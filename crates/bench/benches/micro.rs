@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks: CPU-side costs of the moving parts.
+//!
+//! The paper notes the CPU cost of mesh construction is small next to the
+//! I/O cost; these benches quantify our CPU side so that claim can be
+//! checked against the disk-access counts from the figure benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dm_bench::{build_dataset, vd_query, Terrain};
+use dm_core::BoundaryPolicy;
+use dm_mtm::builder::{build_pm, PmBuildConfig};
+use dm_terrain::{generate, TriMesh};
+
+fn bench_pm_build(c: &mut Criterion) {
+    let hf = generate::fractal_terrain(65, 65, 42);
+    c.bench_function("pm_build_65x65", |b| {
+        b.iter(|| {
+            let mesh = TriMesh::from_heightfield(black_box(&hf));
+            build_pm(mesh, &PmBuildConfig::default())
+        })
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    // One modest dataset shared by the query benches.
+    let d = build_dataset(Terrain::Mining, 129, 42);
+    let roi = dm_geom::Rect::centered_square(d.dm.bounds.center(), d.dm.bounds.width() * 0.3);
+
+    c.bench_function("dm_vi_query_129", |b| {
+        b.iter(|| {
+            d.dm.cold_start();
+            black_box(d.dm.vi_query(black_box(&roi), d.avg_lod))
+        })
+    });
+
+    c.bench_function("dm_vi_query_warm_129", |b| {
+        b.iter(|| black_box(d.dm.vi_query(black_box(&roi), d.avg_lod)))
+    });
+
+    let q = vd_query(&roi, d.dm.e_max, d.dm.e_max * 0.01, 0.5);
+    c.bench_function("dm_vd_single_base_129", |b| {
+        b.iter(|| {
+            d.dm.cold_start();
+            black_box(d.dm.vd_single_base(black_box(&q), BoundaryPolicy::Skip))
+        })
+    });
+
+    c.bench_function("dm_vd_multi_base_129", |b| {
+        b.iter(|| {
+            d.dm.cold_start();
+            black_box(d.dm.vd_multi_base(black_box(&q), BoundaryPolicy::Skip, 16))
+        })
+    });
+
+    c.bench_function("pm_vi_query_129", |b| {
+        b.iter(|| {
+            d.pm.cold_start();
+            black_box(d.pm.vi_query(black_box(&roi), d.avg_lod))
+        })
+    });
+
+    let plane = dm_geom::Box3::prism(roi, d.avg_lod, d.avg_lod);
+    c.bench_function("rtree_plane_query_129", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            d.dm.rtree().query(black_box(&plane), |_, _| n += 1);
+            black_box(n)
+        })
+    });
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let hf = generate::fractal_terrain(65, 65, 7);
+    let mesh = TriMesh::from_heightfield(&hf);
+    let pm = build_pm(mesh, &PmBuildConfig::default());
+    let h = &pm.hierarchy;
+    c.bench_function("refine_root_to_full_65x65", |b| {
+        b.iter(|| {
+            let records: Vec<dm_mtm::PmNode> = h.roots.iter().map(|&r| *h.node(r)).collect();
+            let mut front = dm_mtm::FrontMesh::from_parts(records, &h.root_mesh);
+            let mut src: &dm_mtm::PmHierarchy = h;
+            dm_mtm::refine::refine(&mut front, &mut src, &dm_mtm::UniformTarget(0.0));
+            black_box(front.num_triangles())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pm_build, bench_queries, bench_refinement
+}
+criterion_main!(benches);

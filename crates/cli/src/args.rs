@@ -1,0 +1,118 @@
+//! A tiny argument parser: positionals plus `--key value` / `-k value`
+//! options (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `--key value` pairs and positionals. A `--key` without a
+    /// following value (or followed by another option) is an error — the
+    /// CLI has no boolean flags.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if key.is_empty() {
+                    return Err("stray dash".to_string());
+                }
+                // The next token is a value unless it looks like another
+                // option name (`-x`/`--xyz`); `-5,0,...` style negative
+                // numbers are values.
+                let is_option = |v: &str| {
+                    v.strip_prefix('-')
+                        .is_some_and(|r| r.trim_start_matches('-')
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_alphabetic()))
+                };
+                match it.peek() {
+                    Some(v) if !is_option(v) => {
+                        out.options.insert(key.to_string(), it.next().unwrap().clone());
+                    }
+                    _ => return Err(format!("option --{key} needs a value")),
+                }
+            } else {
+                out.positionals.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    pub fn positional(&self, idx: usize) -> Result<&str, String> {
+        self.positionals
+            .get(idx)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing argument #{}", idx + 1))
+    }
+
+    /// Parse option `key` or fall back to `default`.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Args, String> {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn mixes_positionals_and_options() {
+        let a = parse(&["db.dmdb", "--keep", "0.2", "-o", "out.obj"]).unwrap();
+        assert_eq!(a.positional(0).unwrap(), "db.dmdb");
+        assert_eq!(a.get("keep"), Some("0.2"));
+        assert_eq!(a.get("o"), Some("out.obj"));
+        assert!(a.positional(1).is_err());
+    }
+
+    #[test]
+    fn option_requires_value() {
+        assert!(parse(&["--keep"]).is_err());
+        assert!(parse(&["--keep", "--other", "x"]).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_options() {
+        let a = parse(&["--roi", "-5,0,10,10"]).unwrap();
+        assert_eq!(a.get("roi"), Some("-5,0,10,10"));
+    }
+
+    #[test]
+    fn parse_or_defaults_and_errors() {
+        let a = parse(&["--size", "64"]).unwrap();
+        assert_eq!(a.parse_or("size", 10usize).unwrap(), 64);
+        assert_eq!(a.parse_or("seed", 7u64).unwrap(), 7);
+        let b = parse(&["--size", "abc"]).unwrap();
+        assert!(b.parse_or("size", 10usize).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&[]).unwrap();
+        assert!(a.require("o").is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! `dm` — the Direct Mesh command-line tool.
+//!
+//! ```text
+//! dm generate --kind crater --size 257 --seed 42 -o crater.dmh
+//! dm build crater.dmh -o crater.dmdb [--pm-cache crater.dmpm]
+//! dm info crater.dmdb
+//! dm query crater.dmdb --keep 0.2 [--roi x0,y0,x1,y1] -o mesh.obj
+//! dm vd crater.dmdb --near-keep 0.4 --far-keep 0.05 -o view.obj
+//! ```
+//!
+//! Terrain inputs: `.asc` (ESRI ASCII grid, the USGS interchange format)
+//! or `.dmh` (this repo's binary heightfield). Databases are page files
+//! with a self-describing catalog (reopenable without the source data).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dm_core::{BoundaryPolicy, DirectMeshDb, DmBuildOptions, VdQuery};
+use dm_geom::{Rect, Vec2};
+use dm_mtm::builder::{build_pm, PmBuildConfig};
+use dm_mtm::PlaneTarget;
+use dm_storage::{BufferPool, FileStore};
+use dm_terrain::{generate, io as tio, obj, Heightfield, TriMesh};
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        print_help();
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(args),
+        "build" => cmd_build(args),
+        "info" => cmd_info(args),
+        "query" => cmd_query(args),
+        "vd" => cmd_vd(args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `dm help`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "dm — Direct Mesh terrain databases
+
+commands:
+  generate --kind <mining|crater|ramp> --size <n> [--seed <s>] -o <file.dmh|.asc>
+  build <terrain.dmh|.asc> -o <db.dmdb> [--pm-cache <file.dmpm>]
+  info <db.dmdb>
+  query <db.dmdb> [--keep <frac> | --lod <e>] [--roi x0,y0,x1,y1] [-o mesh.obj]
+  vd <db.dmdb> [--near-keep <frac>] [--far-keep <frac>] [--roi ...] [-o mesh.obj]
+
+terrain files: .asc (ESRI ASCII grid) or .dmh (binary heightfield)
+databases:     page files with a self-describing catalog (page 0)"
+    );
+}
+
+fn cmd_generate(args: Args) -> Result<(), String> {
+    let kind = args.get("kind").unwrap_or("mining");
+    let size: usize = args.parse_or("size", 257)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let out = args.require("o")?;
+    let hf = match kind {
+        "mining" => generate::fractal_terrain(size, size, seed),
+        "crater" => generate::crater_terrain(size, size, seed),
+        "ramp" => generate::ramp(size, size, 1.0),
+        other => return Err(format!("unknown terrain kind {other:?}")),
+    };
+    write_heightfield(&hf, out)?;
+    let (lo, hi) = hf.z_range();
+    println!(
+        "{out}: {}×{} samples, z ∈ [{lo:.1}, {hi:.1}]",
+        hf.width(),
+        hf.height()
+    );
+    Ok(())
+}
+
+fn cmd_build(args: Args) -> Result<(), String> {
+    let input = args.positional(0)?;
+    let out = args.require("o")?;
+    let hf = read_heightfield(input)?;
+    println!("terrain: {}×{} samples", hf.width(), hf.height());
+
+    // PM construction, with an optional cache of the expensive part.
+    let pm = match args.get("pm-cache") {
+        Some(cache) if std::path::Path::new(cache).exists() => {
+            let f = std::fs::File::open(cache).map_err(|e| format!("{cache}: {e}"))?;
+            let pm = dm_mtm::persist::load_pm(f).map_err(|e| format!("{cache}: {e}"))?;
+            println!("loaded PM hierarchy from {cache} ({} nodes)", pm.hierarchy.len());
+            pm
+        }
+        cache => {
+            let t0 = std::time::Instant::now();
+            let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+            println!(
+                "built PM hierarchy: {} nodes in {:.1}s",
+                pm.hierarchy.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            if let Some(cache) = cache {
+                let f = std::fs::File::create(cache).map_err(|e| format!("{cache}: {e}"))?;
+                dm_mtm::persist::save_pm(&pm, f).map_err(|e| format!("{cache}: {e}"))?;
+                println!("cached PM hierarchy to {cache}");
+            }
+            pm
+        }
+    };
+
+    let store = FileStore::create(std::path::Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    let pool = Arc::new(BufferPool::new(Box::new(store), 4096));
+    let db = DirectMeshDb::create_in(pool, &pm, &DmBuildOptions::default());
+    println!(
+        "{out}: {} records over {} pages (e_max {:.2})",
+        db.n_records,
+        db.pool().num_pages(),
+        db.e_max
+    );
+    Ok(())
+}
+
+fn open_db(path: &str) -> Result<DirectMeshDb, String> {
+    let store =
+        FileStore::open(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let pool = Arc::new(BufferPool::new(Box::new(store), 4096));
+    DirectMeshDb::open(pool).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_info(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let db = open_db(path)?;
+    println!("database:   {path}");
+    println!("records:    {} ({} original points)", db.n_records, db.n_leaves);
+    println!("roots:      {}", db.roots.len());
+    println!("pages:      {}", db.pool().num_pages());
+    println!(
+        "bounds:     ({:.1}, {:.1}) .. ({:.1}, {:.1})",
+        db.bounds.min.x, db.bounds.min.y, db.bounds.max.x, db.bounds.max.y
+    );
+    println!("max LOD:    {:.3}", db.e_max);
+    for keep in [0.5, 0.25, 0.1, 0.02] {
+        let e = db.e_for_points_fraction(keep);
+        println!(
+            "  keep {:>4.0}% → e = {:<12.4} ({} points)",
+            keep * 100.0,
+            e,
+            db.cut_size(e)
+        );
+    }
+    Ok(())
+}
+
+fn parse_roi(args: &Args, db: &DirectMeshDb) -> Result<Rect, String> {
+    match args.get("roi") {
+        None => Ok(db.bounds),
+        Some(spec) => {
+            let parts: Vec<f64> = spec
+                .split(',')
+                .map(|t| t.trim().parse::<f64>().map_err(|e| format!("bad roi: {e}")))
+                .collect::<Result<_, _>>()?;
+            if parts.len() != 4 {
+                return Err("roi must be x0,y0,x1,y1".to_string());
+            }
+            Ok(Rect::from_corners(
+                Vec2::new(parts[0], parts[1]),
+                Vec2::new(parts[2], parts[3]),
+            ))
+        }
+    }
+}
+
+fn cmd_query(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let db = open_db(path)?;
+    let roi = parse_roi(&args, &db)?;
+    let e = match args.get("lod") {
+        Some(v) => v.parse::<f64>().map_err(|e| format!("bad --lod: {e}"))?,
+        None => {
+            let keep: f64 = args.parse_or("keep", 0.25)?;
+            db.e_for_points_fraction(keep)
+        }
+    };
+    db.cold_start();
+    let res = db.vi_query(&roi, e);
+    println!(
+        "LOD {e:.4}: {} points, {} triangles, {} disk accesses",
+        res.points,
+        res.front.num_triangles(),
+        db.disk_accesses()
+    );
+    maybe_export(&args, &res.front)
+}
+
+fn cmd_vd(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let db = open_db(path)?;
+    let roi = parse_roi(&args, &db)?;
+    let near: f64 = args.parse_or("near-keep", 0.4)?;
+    let far: f64 = args.parse_or("far-keep", 0.05)?;
+    let e_min = db.e_for_points_fraction(near);
+    let e_far = db.e_for_points_fraction(far).max(e_min);
+    let run = roi.height().max(1e-9);
+    let q = VdQuery {
+        roi,
+        target: PlaneTarget {
+            origin: roi.min,
+            dir: Vec2::new(0.0, 1.0),
+            e_min,
+            slope: (e_far - e_min) / run,
+            e_max: e_far,
+        },
+    };
+    db.cold_start();
+    let res = db.vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16);
+    println!(
+        "viewpoint-dependent ({} → {} keep): {} points, {} triangles, {} cubes, {} disk accesses",
+        near,
+        far,
+        res.front.num_vertices(),
+        res.front.num_triangles(),
+        res.cubes.len(),
+        db.disk_accesses()
+    );
+    maybe_export(&args, &res.front)
+}
+
+fn maybe_export(args: &Args, front: &dm_mtm::FrontMesh) -> Result<(), String> {
+    if let Some(out) = args.get("o") {
+        let (mesh, _) = front.to_trimesh();
+        mesh.validate().map_err(|e| format!("reconstructed mesh invalid: {e}"))?;
+        let mut f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+        obj::write_obj(&mesh, &mut f).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn read_heightfield(path: &str) -> Result<Heightfield, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".asc") {
+        tio::read_esri_ascii(f).map_err(|e| format!("{path}: {e}"))
+    } else {
+        tio::read_dmh(f).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn write_heightfield(hf: &Heightfield, path: &str) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".asc") {
+        tio::write_esri_ascii(hf, f).map_err(|e| format!("{path}: {e}"))
+    } else {
+        tio::write_dmh(hf, f).map_err(|e| format!("{path}: {e}"))
+    }
+}

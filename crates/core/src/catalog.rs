@@ -1,0 +1,263 @@
+//! Database catalog: persist a [`DirectMeshDb`](crate::DirectMeshDb)'s metadata inside its own
+//! page store, so a file-backed database can be closed and reopened
+//! without rebuilding.
+//!
+//! Convention: the catalog starts at **page 0** (reserved by
+//! [`create_in`](crate::DirectMeshDb::create_in) before anything else is allocated) and
+//! chains into continuation pages written at the end of the build.
+//!
+//! Payload (little endian):
+//!
+//! ```text
+//! "DMCT" u32(version)
+//! bounds (4×f64)  e_max (f64)
+//! u32(n_records) u32(n_leaves)
+//! btree: u32(root) u32(height) u64(len)
+//! rtree: u32(root) u32(height) u64(len)
+//! u32(n_roots)     n_roots × u32
+//! u32(n_heap_pages) n_heap_pages × u32
+//! u64(heap_len)
+//! ```
+//!
+//! Interval statistics (`cut_size` support) and the optimizer's node
+//! regions are rebuilt on open by scanning the heap / walking the R-tree
+//! — both one-off costs, like the paper's unmeasured index construction.
+
+use std::io;
+use std::sync::Arc;
+
+use dm_storage::page::{PageId, PAGE_SIZE};
+use dm_storage::BufferPool;
+
+const MAGIC: &[u8; 4] = b"DMCT";
+const VERSION: u32 = 1;
+/// Per continuation page: [next: u32][len: u16] then payload.
+const PAGE_HDR: usize = 6;
+const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_HDR;
+
+/// The serializable part of a database's state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CatalogData {
+    pub bounds: dm_geom::Rect,
+    pub e_max: f64,
+    pub n_records: u32,
+    pub n_leaves: u32,
+    pub btree: (PageId, u32, u64),
+    pub rtree: (PageId, u32, u64),
+    pub roots: Vec<u32>,
+    pub heap_pages: Vec<PageId>,
+    pub heap_len: u64,
+}
+
+impl CatalogData {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 4 * (self.roots.len() + self.heap_pages.len()));
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        for v in [
+            self.bounds.min.x,
+            self.bounds.min.y,
+            self.bounds.max.x,
+            self.bounds.max.y,
+            self.e_max,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.n_records.to_le_bytes());
+        out.extend_from_slice(&self.n_leaves.to_le_bytes());
+        for (root, height, len) in [self.btree, self.rtree] {
+            out.extend_from_slice(&root.to_le_bytes());
+            out.extend_from_slice(&height.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.roots.len() as u32).to_le_bytes());
+        for r in &self.roots {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.heap_pages.len() as u32).to_le_bytes());
+        for p in &self.heap_pages {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out.extend_from_slice(&self.heap_len.to_le_bytes());
+        out
+    }
+
+    fn decode(b: &[u8]) -> io::Result<CatalogData> {
+        let mut cur = Cursor { b, off: 0 };
+        let magic = cur.take(4)?;
+        if magic != MAGIC {
+            return Err(bad("not a Direct Mesh catalog (bad magic)"));
+        }
+        let version = cur.u32()?;
+        if version != VERSION {
+            return Err(bad(&format!("unsupported catalog version {version}")));
+        }
+        let min = dm_geom::Vec2::new(cur.f64()?, cur.f64()?);
+        let max = dm_geom::Vec2::new(cur.f64()?, cur.f64()?);
+        let e_max = cur.f64()?;
+        let n_records = cur.u32()?;
+        let n_leaves = cur.u32()?;
+        let btree = (cur.u32()?, cur.u32()?, cur.u64()?);
+        let rtree = (cur.u32()?, cur.u32()?, cur.u64()?);
+        let n_roots = cur.u32()? as usize;
+        let mut roots = Vec::with_capacity(n_roots.min(1 << 20));
+        for _ in 0..n_roots {
+            roots.push(cur.u32()?);
+        }
+        let n_pages = cur.u32()? as usize;
+        let mut heap_pages = Vec::with_capacity(n_pages.min(1 << 24));
+        for _ in 0..n_pages {
+            heap_pages.push(cur.u32()?);
+        }
+        let heap_len = cur.u64()?;
+        Ok(CatalogData {
+            bounds: dm_geom::Rect::from_corners(min, max),
+            e_max,
+            n_records,
+            n_leaves,
+            btree,
+            rtree,
+            roots,
+            heap_pages,
+            heap_len,
+        })
+    }
+}
+
+/// Write the catalog starting at `first_page` (normally page 0, reserved
+/// before the build); continuation pages are freshly allocated.
+pub fn write_catalog(pool: &Arc<BufferPool>, first_page: PageId, data: &CatalogData) {
+    let bytes = data.encode();
+    let mut chunks = bytes.chunks(PAGE_PAYLOAD).peekable();
+    let mut page = first_page;
+    loop {
+        let chunk = chunks.next().unwrap_or(&[]);
+        let next = if chunks.peek().is_some() { pool.allocate() } else { u32::MAX };
+        pool.write(page, |b| {
+            b[0..4].copy_from_slice(&next.to_le_bytes());
+            b[4..6].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+            b[PAGE_HDR..PAGE_HDR + chunk.len()].copy_from_slice(chunk);
+        });
+        if next == u32::MAX {
+            break;
+        }
+        page = next;
+    }
+}
+
+/// Read the catalog chain starting at `first_page`.
+pub fn read_catalog(pool: &Arc<BufferPool>, first_page: PageId) -> io::Result<CatalogData> {
+    let mut bytes = Vec::new();
+    let mut page = first_page;
+    let mut hops = 0;
+    loop {
+        let next = pool.read(page, |b| {
+            let next = u32::from_le_bytes(b[0..4].try_into().unwrap());
+            let len = u16::from_le_bytes(b[4..6].try_into().unwrap()) as usize;
+            if len <= PAGE_PAYLOAD {
+                bytes.extend_from_slice(&b[PAGE_HDR..PAGE_HDR + len]);
+            }
+            next
+        });
+        if next == u32::MAX {
+            break;
+        }
+        page = next;
+        hops += 1;
+        if hops > 1 << 20 {
+            return Err(bad("catalog chain does not terminate"));
+        }
+    }
+    CatalogData::decode(&bytes)
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.off + n > self.b.len() {
+            return Err(bad("catalog truncated"));
+        }
+        let s = &self.b[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_storage::MemStore;
+
+    fn sample(n_pages: usize) -> CatalogData {
+        CatalogData {
+            bounds: dm_geom::Rect::from_corners(
+                dm_geom::Vec2::new(0.0, 1.0),
+                dm_geom::Vec2::new(512.0, 511.0),
+            ),
+            e_max: 1234.5,
+            n_records: 99,
+            n_leaves: 55,
+            btree: (7, 2, 99),
+            rtree: (9, 3, 42),
+            roots: vec![90, 95, 98],
+            heap_pages: (100..100 + n_pages as u32).collect(),
+            heap_len: 99,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = sample(10);
+        assert_eq!(CatalogData::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn single_page_catalog_roundtrip() {
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 16));
+        let first = pool.allocate();
+        let d = sample(100);
+        write_catalog(&pool, first, &d);
+        assert_eq!(read_catalog(&pool, first).unwrap(), d);
+    }
+
+    #[test]
+    fn multi_page_catalog_roundtrip() {
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 16));
+        let first = pool.allocate();
+        // 30k heap pages → 120 KB payload → needs ~15 continuation pages.
+        let d = sample(30_000);
+        write_catalog(&pool, first, &d);
+        let back = read_catalog(&pool, first).unwrap();
+        assert_eq!(back, d);
+        assert!(pool.num_pages() > 10, "continuation pages were allocated");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(CatalogData::decode(b"XXXXjunkjunk").is_err());
+        let d = sample(3);
+        let mut bytes = d.encode();
+        bytes.truncate(bytes.len() - 3);
+        assert!(CatalogData::decode(&bytes).is_err());
+    }
+}

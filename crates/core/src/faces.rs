@@ -1,0 +1,216 @@
+//! Face extraction: rebuild the triangles of an approximation from its
+//! points and their connection lists — the step that makes Direct Mesh
+//! "direct" (no ancestor traversal).
+//!
+//! A terrain approximation is a planar triangulation in plan view, so the
+//! faces are recoverable from the adjacency graph alone: sort each
+//! vertex's neighbours counter-clockwise; a triangle exists where three
+//! vertices are mutually consecutive. The *triple-consecutiveness* test
+//! (the pair must be consecutive around all three corners) rejects
+//! spurious faces at the ROI boundary where some neighbours were outside
+//! the query region, and the sector-angle test rejects the outer face.
+
+use std::collections::HashMap;
+
+use dm_geom::tri::{angle_around, orient2d};
+use dm_geom::Vec2;
+
+/// Extract CCW triangles from an adjacency structure.
+///
+/// `pos` gives each vertex's plan position; `adj` lists each vertex's
+/// neighbours (must be symmetric — `b ∈ adj[a] ⇔ a ∈ adj[b]`).
+pub fn extract_faces(
+    pos: &HashMap<u32, Vec2>,
+    adj: &HashMap<u32, Vec<u32>>,
+) -> Vec<[u32; 3]> {
+    // CCW-sorted neighbour ring of every vertex, then successor map:
+    // next[(v, a)] = neighbour following `a` counter-clockwise around `v`.
+    let mut next: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut sorted: HashMap<u32, Vec<u32>> = HashMap::with_capacity(adj.len());
+    for (&v, neigh) in adj {
+        let pv = pos[&v];
+        let mut ring: Vec<u32> = neigh.clone();
+        ring.retain(|n| pos.contains_key(n));
+        ring.sort_by(|&a, &b| {
+            angle_around(pv, pos[&a])
+                .partial_cmp(&angle_around(pv, pos[&b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let l = ring.len();
+        for i in 0..l {
+            next.insert((v, ring[i]), ring[(i + 1) % l]);
+        }
+        sorted.insert(v, ring);
+    }
+
+    let mut out = Vec::new();
+    for (&v, ring) in &sorted {
+        let pv = pos[&v];
+        let l = ring.len();
+        if l < 2 {
+            continue;
+        }
+        for i in 0..l {
+            let a = ring[i];
+            let b = ring[(i + 1) % l];
+            // Emit each triangle once, at its smallest corner id.
+            if v > a || v > b || a == b {
+                continue;
+            }
+            // The candidate triangle (v, a, b) must be consistent around
+            // all three corners ...
+            if next.get(&(a, b)) != Some(&v) || next.get(&(b, v)) != Some(&a) {
+                continue;
+            }
+            // ... counter-clockwise ...
+            let pa = pos[&a];
+            let pb = pos[&b];
+            if orient2d(pv, pa, pb) <= 0.0 {
+                continue;
+            }
+            // ... and span a convex sector at every corner (rejects the
+            // outer face of small components).
+            if !sector_convex(pv, pa, pb) || !sector_convex(pa, pb, pv) || !sector_convex(pb, pv, pa)
+            {
+                continue;
+            }
+            out.push([v, a, b]);
+        }
+    }
+    out
+}
+
+/// True when the CCW sector at `center` from `from` to `to` is < π.
+fn sector_convex(center: Vec2, from: Vec2, to: Vec2) -> bool {
+    orient2d(center, from, to) > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(
+        points: &[(u32, f64, f64)],
+        edges: &[(u32, u32)],
+    ) -> (HashMap<u32, Vec2>, HashMap<u32, Vec<u32>>) {
+        let pos: HashMap<u32, Vec2> =
+            points.iter().map(|&(id, x, y)| (id, Vec2::new(x, y))).collect();
+        let mut adj: HashMap<u32, Vec<u32>> = points.iter().map(|&(id, ..)| (id, vec![])).collect();
+        for &(a, b) in edges {
+            adj.get_mut(&a).unwrap().push(b);
+            adj.get_mut(&b).unwrap().push(a);
+        }
+        (pos, adj)
+    }
+
+    fn sorted_tris(mut tris: Vec<[u32; 3]>) -> Vec<[u32; 3]> {
+        for t in &mut tris {
+            let k = t.iter().enumerate().min_by_key(|(_, &v)| v).unwrap().0;
+            t.rotate_left(k);
+        }
+        tris.sort();
+        tris
+    }
+
+    #[test]
+    fn single_triangle() {
+        let (pos, adj) = build(
+            &[(0, 0.0, 0.0), (1, 1.0, 0.0), (2, 0.0, 1.0)],
+            &[(0, 1), (1, 2), (2, 0)],
+        );
+        let tris = extract_faces(&pos, &adj);
+        assert_eq!(sorted_tris(tris), vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    fn quad_with_diagonal() {
+        let (pos, adj) = build(
+            &[(0, 0.0, 0.0), (1, 1.0, 0.0), (2, 1.0, 1.0), (3, 0.0, 1.0)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+        );
+        let tris = extract_faces(&pos, &adj);
+        assert_eq!(tris.len(), 2, "quad split by one diagonal");
+        // The outer face must not be emitted.
+        for t in &tris {
+            assert!(t.contains(&0) && t.contains(&2), "both faces use the diagonal");
+        }
+    }
+
+    #[test]
+    fn grid_patch() {
+        // A 3×3 grid triangulated like TriMesh::from_heightfield.
+        let hf = dm_terrain::generate::ramp(3, 3, 1.0);
+        let mesh = dm_terrain::TriMesh::from_heightfield(&hf);
+        let pos: HashMap<u32, Vec2> =
+            mesh.live_vertices().map(|v| (v, mesh.position(v).xy())).collect();
+        let adj: HashMap<u32, Vec<u32>> =
+            mesh.live_vertices().map(|v| (v, mesh.neighbors(v))).collect();
+        let got = sorted_tris(extract_faces(&pos, &adj));
+        let want =
+            sorted_tris(mesh.live_triangles().map(|t| mesh.triangle(t)).collect::<Vec<_>>());
+        assert_eq!(got, want, "extraction must reproduce the grid triangulation");
+    }
+
+    #[test]
+    fn fractal_cut_roundtrip() {
+        // End-to-end: extraction from adjacency must reproduce a replayed
+        // uniform cut of a real hierarchy.
+        use dm_mtm::builder::{build_pm, PmBuildConfig};
+        let hf = dm_terrain::generate::fractal_terrain(9, 9, 77);
+        let mesh = dm_terrain::TriMesh::from_heightfield(&hf);
+        let original = mesh.clone();
+        let build = build_pm(mesh, &PmBuildConfig::default());
+        let h = &build.hierarchy;
+        for frac in [0.05, 0.3, 0.7] {
+            let e = h.e_max * frac;
+            let replay = h.replay_mesh(&original, e);
+            let pos: HashMap<u32, Vec2> =
+                replay.live_vertices().map(|v| (v, replay.position(v).xy())).collect();
+            // Adjacency from construction episodes filtered by interval
+            // overlap at e — exactly what the DM connection lists encode.
+            let mut adj: HashMap<u32, Vec<u32>> =
+                replay.live_vertices().map(|v| (v, vec![])).collect();
+            for &(a, b) in &build.edges {
+                if h.interval(a).contains(e) && h.interval(b).contains(e) {
+                    adj.get_mut(&a).unwrap().push(b);
+                    adj.get_mut(&b).unwrap().push(a);
+                }
+            }
+            let got = sorted_tris(extract_faces(&pos, &adj));
+            let want = sorted_tris(
+                replay.live_triangles().map(|t| replay.triangle(t)).collect::<Vec<_>>(),
+            );
+            assert_eq!(got, want, "extraction at {frac}·e_max");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let (pos, adj) = build(&[], &[]);
+        assert!(extract_faces(&pos, &adj).is_empty());
+        let (pos, adj) = build(&[(0, 0.0, 0.0), (1, 1.0, 0.0)], &[(0, 1)]);
+        assert!(extract_faces(&pos, &adj).is_empty(), "an edge is not a face");
+    }
+
+    #[test]
+    fn collinear_points_produce_no_faces() {
+        let (pos, adj) = build(
+            &[(0, 0.0, 0.0), (1, 1.0, 0.0), (2, 2.0, 0.0)],
+            &[(0, 1), (1, 2), (0, 2)],
+        );
+        assert!(extract_faces(&pos, &adj).is_empty());
+    }
+
+    #[test]
+    fn adjacency_to_missing_vertex_is_ignored() {
+        // Vertex 9 appears in lists but was not fetched (outside the ROI):
+        // extraction must not panic and must still find the real face.
+        let (pos, mut adj) = build(
+            &[(0, 0.0, 0.0), (1, 1.0, 0.0), (2, 0.0, 1.0)],
+            &[(0, 1), (1, 2), (2, 0)],
+        );
+        adj.get_mut(&0).unwrap().push(9);
+        let tris = extract_faces(&pos, &adj);
+        assert_eq!(tris.len(), 1);
+    }
+}

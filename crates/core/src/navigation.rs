@@ -1,0 +1,185 @@
+//! Incremental viewpoint navigation — an extension beyond the paper.
+//!
+//! The paper evaluates isolated queries over a cold buffer. A real
+//! terrain walkthrough issues a *sequence* of viewpoint-dependent queries
+//! from nearby viewpoints; almost all data of frame *n* is still valid in
+//! frame *n + 1*. [`NavigationSession`] keeps the buffer pool warm across
+//! frames: each `move_to` runs the multi-base query against the shared
+//! pool, so pages fetched for earlier frames are free. The per-frame
+//! disk-access counts it reports show how much of the single-query cost
+//! amortizes away during smooth navigation. (CPU-side mesh construction
+//! is redone per frame — the paper itself observes that reconstruction
+//! cost is negligible next to retrieval.)
+
+use dm_geom::Rect;
+use dm_mtm::refine::{FrontMesh, RefineStats};
+
+use crate::query::{BoundaryPolicy, VdQuery};
+use crate::store::DirectMeshDb;
+
+/// Statistics of one navigation step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrameStats {
+    /// Disk accesses during this frame (warm buffer).
+    pub disk_accesses: u64,
+    /// Records fetched by this frame's range queries.
+    pub fetched_records: usize,
+    /// Refinement counters.
+    pub refine: RefineStats,
+    /// Front size after the frame.
+    pub vertices: usize,
+}
+
+/// A stateful walkthrough over one Direct Mesh database.
+pub struct NavigationSession<'a> {
+    db: &'a DirectMeshDb,
+    policy: BoundaryPolicy,
+    front: FrontMesh,
+    max_cubes: usize,
+}
+
+impl<'a> NavigationSession<'a> {
+    /// Start a session; the first `move_to` pays the full (cold) cost.
+    pub fn new(db: &'a DirectMeshDb, policy: BoundaryPolicy) -> Self {
+        NavigationSession { db, policy, front: FrontMesh::default(), max_cubes: 16 }
+    }
+
+    /// The current front (mesh of the last frame).
+    pub fn front(&self) -> &FrontMesh {
+        &self.front
+    }
+
+    /// Advance to a new viewpoint-dependent query. Returns per-frame
+    /// statistics; the reconstructed mesh is available via [`Self::front`].
+    pub fn move_to(&mut self, q: &VdQuery) -> FrameStats {
+        let before = self.db.pool().stats();
+        let res = self.db.vd_multi_base(q, self.policy, self.max_cubes);
+        let after = self.db.pool().stats();
+        let stats = FrameStats {
+            disk_accesses: after.since(&before).reads,
+            fetched_records: res.fetched_records,
+            refine: res.refine,
+            vertices: res.front.num_vertices(),
+        };
+        self.front = res.front;
+        stats
+    }
+
+    /// Forget the current front (the pool stays warm; use a fresh pool or
+    /// `DirectMeshDb::cold_start` to measure cold costs again).
+    pub fn reset(&mut self) {
+        self.front = FrontMesh::default();
+    }
+}
+
+/// Convenience: a straight flight path of `frames` windows sliding from
+/// the south edge to the north edge of `bounds`.
+pub fn flight_path(bounds: &Rect, window_frac: f64, frames: usize) -> Vec<Rect> {
+    let window = bounds.height() * window_frac;
+    (0..frames)
+        .map(|f| {
+            let t = if frames > 1 { f as f64 / (frames - 1) as f64 } else { 0.0 };
+            let y0 = bounds.min.y + (bounds.height() - window) * t;
+            Rect::new(
+                dm_geom::Vec2::new(bounds.min.x, y0),
+                dm_geom::Vec2::new(bounds.max.x, y0 + window),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DmBuildOptions;
+    use dm_mtm::builder::{build_pm, PmBuildConfig};
+    use dm_mtm::PlaneTarget;
+    use dm_storage::{BufferPool, MemStore};
+    use dm_terrain::{generate, TriMesh};
+    use std::sync::Arc;
+
+    fn db() -> DirectMeshDb {
+        let hf = generate::fractal_terrain(33, 33, 77);
+        let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 4096));
+        DirectMeshDb::build(pool, &pm, &DmBuildOptions::default())
+    }
+
+    // Viewer at the leading (north) edge of the sliding window, looking
+    // back: near the viewer fine, far south coarse.
+    fn query_at(db: &DirectMeshDb, roi: Rect) -> VdQuery {
+        let e_min = db.e_max * 0.002;
+        let slope = db.e_max * 0.2 / roi.height().max(1e-9);
+        VdQuery {
+            roi,
+            target: PlaneTarget {
+                origin: dm_geom::Vec2::new(roi.min.x, roi.max.y),
+                dir: dm_geom::Vec2::new(0.0, -1.0),
+                e_min,
+                slope,
+                e_max: e_min + slope * roi.height(),
+            },
+        }
+    }
+
+    #[test]
+    fn later_frames_are_cheaper_than_the_first() {
+        let db = db();
+        let mut session = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+        db.cold_start();
+        let path = flight_path(&db.bounds, 0.5, 6);
+        let mut costs = Vec::new();
+        for roi in &path {
+            let stats = session.move_to(&query_at(&db, *roi));
+            costs.push(stats.disk_accesses);
+            assert!(stats.vertices > 0);
+        }
+        let later: u64 = costs[1..].iter().sum::<u64>() / (costs.len() - 1) as u64;
+        assert!(
+            later < costs[0].max(1),
+            "warm frames ({later}) should undercut the first ({})",
+            costs[0]
+        );
+    }
+
+    #[test]
+    fn frames_produce_valid_meshes() {
+        let db = db();
+        let mut session = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+        for roi in flight_path(&db.bounds, 0.45, 5) {
+            let q = query_at(&db, roi);
+            let stats = session.move_to(&q);
+            assert!(stats.vertices > 0);
+            let (mesh, _) = session.front().to_trimesh();
+            mesh.validate().expect("frame mesh valid");
+        }
+    }
+
+    #[test]
+    fn session_matches_fresh_query_result() {
+        let db = db();
+        let mut session = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+        let path = flight_path(&db.bounds, 0.5, 4);
+        for roi in &path {
+            session.move_to(&query_at(&db, *roi));
+        }
+        let q = query_at(&db, *path.last().unwrap());
+        let fresh = db.vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16);
+        let a: std::collections::HashSet<u32> = session.front().vertex_ids().collect();
+        let b: std::collections::HashSet<u32> = fresh.front.vertex_ids().collect();
+        assert_eq!(a, b, "same query, same answer, warm or cold");
+    }
+
+    #[test]
+    fn flight_path_covers_the_terrain() {
+        let b = Rect::new(dm_geom::Vec2::new(0.0, 0.0), dm_geom::Vec2::new(10.0, 100.0));
+        let path = flight_path(&b, 0.25, 5);
+        assert_eq!(path.len(), 5);
+        assert!((path[0].min.y - 0.0).abs() < 1e-9);
+        assert!((path[4].max.y - 100.0).abs() < 1e-9);
+        for w in &path {
+            assert!(b.contains_rect(w));
+            assert!((w.height() - 25.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,701 @@
+//! The three Direct Mesh query algorithms and the multi-base optimizer.
+
+use std::collections::HashMap;
+
+use dm_geom::{Box3, Rect, Vec2};
+use dm_mtm::refine::{refine, FrontMesh, LodTarget, RecordSource, RefineStats};
+use dm_mtm::{PlaneTarget, PmNode};
+
+use crate::faces::extract_faces;
+use crate::record::DmRecord;
+use crate::store::DirectMeshDb;
+
+/// What to do when refinement needs a record outside the fetched region
+/// (the ROI border).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundaryPolicy {
+    /// Leave the border slightly coarser (no extra I/O) — the default and
+    /// what the paper's plots measure.
+    Skip,
+    /// Fetch the missing record through the B+-tree (extra counted disk
+    /// accesses).
+    FetchOnMiss,
+}
+
+/// Result of a viewpoint-independent query.
+pub struct ViResult {
+    /// The reconstructed approximation.
+    pub front: FrontMesh,
+    /// Records fetched by the range query (before exact filtering).
+    pub fetched_records: usize,
+    /// Points in the final mesh.
+    pub points: usize,
+}
+
+/// A viewpoint-dependent query: a ROI and a tilted LOD plane over it.
+#[derive(Clone, Copy, Debug)]
+pub struct VdQuery {
+    pub roi: Rect,
+    pub target: PlaneTarget,
+}
+
+impl VdQuery {
+    /// Range of required LOD over a sub-rectangle (the target is linear,
+    /// so the extrema sit at corners).
+    pub fn e_range(&self, rect: &Rect) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in [
+            rect.min,
+            rect.max,
+            Vec2::new(rect.min.x, rect.max.y),
+            Vec2::new(rect.max.x, rect.min.y),
+        ] {
+            let e = self.target.required(p.x, p.y);
+            lo = lo.min(e);
+            hi = hi.max(e);
+        }
+        (lo, hi)
+    }
+
+    /// The paper's `θmax = arctan(LOD_max / |ROI|)` and the *angle* of
+    /// this query as a fraction of it.
+    pub fn angle(&self) -> f64 {
+        self.target.slope.atan()
+    }
+
+    /// Build a query from a viewer position using the paper's
+    /// rule-of-thumb screen-space criterion `f(m.e, d) ≤ E`: a point at
+    /// distance `d` from the viewer may carry approximation error up to
+    /// `epsilon · d`. The radial requirement is approximated by the
+    /// linear plane along the view direction (the paper treats a
+    /// viewpoint-dependent query "as a number of viewpoint-independent
+    /// queries" the same way).
+    ///
+    /// `epsilon` is error-per-unit-distance; `e_cap` clamps the far end
+    /// (use the dataset's `e_max`).
+    pub fn from_viewpoint(roi: Rect, eye: Vec2, epsilon: f64, e_cap: f64) -> VdQuery {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        // Nearest and farthest points of the ROI from the eye.
+        let clamp = Vec2::new(
+            eye.x.clamp(roi.min.x, roi.max.x),
+            eye.y.clamp(roi.min.y, roi.max.y),
+        );
+        let d_near = eye.dist(clamp);
+        let corners = [
+            roi.min,
+            roi.max,
+            Vec2::new(roi.min.x, roi.max.y),
+            Vec2::new(roi.max.x, roi.min.y),
+        ];
+        let d_far = corners.iter().map(|c| eye.dist(*c)).fold(0.0, f64::max);
+        let dir = (roi.center() - eye)
+            .normalized_or(Vec2::new(0.0, 1.0));
+        VdQuery {
+            roi,
+            target: PlaneTarget {
+                origin: eye + dir * d_near,
+                dir,
+                e_min: (epsilon * d_near.max(1e-9)).min(e_cap),
+                slope: epsilon,
+                e_max: (epsilon * d_far).min(e_cap).max(epsilon * d_near.max(1e-9)).min(e_cap),
+            },
+        }
+    }
+}
+
+/// Unit vector helper for [`VdQuery::from_viewpoint`].
+trait NormalizedOr {
+    fn normalized_or(self, fallback: Vec2) -> Vec2;
+}
+
+impl NormalizedOr for Vec2 {
+    fn normalized_or(self, fallback: Vec2) -> Vec2 {
+        let len = self.length();
+        if len > 1e-12 {
+            self / len
+        } else {
+            fallback
+        }
+    }
+}
+
+/// Elevation aggregate over one approximation (see
+/// [`DirectMeshDb::elevation_stats`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ElevationStats {
+    pub points: usize,
+    pub min_z: f64,
+    pub max_z: f64,
+    pub mean_z: f64,
+}
+
+impl Default for ElevationStats {
+    fn default() -> Self {
+        ElevationStats {
+            points: 0,
+            min_z: f64::INFINITY,
+            max_z: f64::NEG_INFINITY,
+            mean_z: 0.0,
+        }
+    }
+}
+
+/// Result of a viewpoint-dependent query.
+pub struct VdResult {
+    pub front: FrontMesh,
+    pub refine: RefineStats,
+    /// Records fetched across all range queries.
+    pub fetched_records: usize,
+    /// The query cubes executed (1 for single-base).
+    pub cubes: Vec<Box3>,
+    /// Extra point fetches triggered by `BoundaryPolicy::FetchOnMiss`.
+    pub boundary_fetches: usize,
+}
+
+/// A [`RecordSource`] backed by the fetched record map, with optional
+/// fall-through to the database on miss.
+pub struct DbSource<'a> {
+    db: &'a DirectMeshDb,
+    pub map: HashMap<u32, PmNode>,
+    policy: BoundaryPolicy,
+    pub misses_fetched: usize,
+}
+
+impl<'a> DbSource<'a> {
+    pub fn new(db: &'a DirectMeshDb, map: HashMap<u32, PmNode>, policy: BoundaryPolicy) -> Self {
+        DbSource { db, map, policy, misses_fetched: 0 }
+    }
+}
+
+impl RecordSource for DbSource<'_> {
+    fn fetch(&mut self, id: u32) -> Option<PmNode> {
+        if let Some(n) = self.map.get(&id) {
+            return Some(*n);
+        }
+        match self.policy {
+            BoundaryPolicy::Skip => None,
+            BoundaryPolicy::FetchOnMiss => {
+                let rec = self.db.fetch_by_id(id)?;
+                self.misses_fetched += 1;
+                self.map.insert(id, rec.node);
+                Some(rec.node)
+            }
+        }
+    }
+}
+
+impl DirectMeshDb {
+    /// Viewpoint-independent query `Q(M, r, e)`: one query-plane range
+    /// query, then topology from the connection lists (paper §5.1).
+    pub fn vi_query(&self, roi: &Rect, e: f64) -> ViResult {
+        let e = self.clamp_e(e);
+        let plane = Box3::prism(*roi, e, e);
+        let recs = self.fetch_box(&plane);
+        let fetched = recs.len();
+        let front = assemble_uniform_front(recs, roi, e);
+        ViResult { points: front.num_vertices(), front, fetched_records: fetched }
+    }
+
+    /// Viewpoint-dependent query, single-base (paper Algorithm 1): fetch
+    /// the cube `roi × [e_min, e_max]`, build the mesh on the top plane,
+    /// refine down to the query plane.
+    ///
+    /// For a sub-region of the terrain, paths whose coarse ancestors sit
+    /// *outside* the ROI enter the fetched set at finer levels only; the
+    /// resulting mesh is correspondingly fragmented near the border (the
+    /// paper's construction shares this property — only in-`r` data forms
+    /// the mesh). `BoundaryPolicy::FetchOnMiss` reduces the effect; a
+    /// [`crate::NavigationSession`] amortizes it across frames.
+    pub fn vd_single_base(&self, q: &VdQuery, policy: BoundaryPolicy) -> VdResult {
+        let (e_lo, e_hi) = q.e_range(&q.roi);
+        let e_hi = self.clamp_e(e_hi);
+        let cube = Box3::prism(q.roi, e_lo, e_hi);
+        let recs = self.fetch_box(&cube);
+        let fetched = recs.len();
+
+        // Initial front: the locally topmost fetched records. For a ROI
+        // covering the terrain this is exactly the top-plane cut (the
+        // paper's "construct a mesh on the top plane"); for a sub-ROI it
+        // additionally seeds regions whose coarse ancestors sit outside
+        // the ROI and were deliberately not fetched.
+        let map: HashMap<u32, PmNode> = recs.iter().map(|r| (r.node.id, r.node)).collect();
+        let mut front = assemble_topmost_front(recs, &q.roi);
+        let mut source = DbSource::new(self, map, policy);
+        let stats = refine(&mut front, &mut source, &q.target);
+        VdResult {
+            front,
+            refine: stats,
+            fetched_records: fetched,
+            cubes: vec![cube],
+            boundary_fetches: source.misses_fetched,
+        }
+    }
+
+    /// Aggregate query: elevation statistics of the approximation at LOD
+    /// `e` inside `roi` — the database-style use the paper's introduction
+    /// motivates ("use them together with other types of data"). Same
+    /// I/O as [`Self::vi_query`], no topology reconstruction.
+    pub fn elevation_stats(&self, roi: &Rect, e: f64) -> ElevationStats {
+        let e = self.clamp_e(e);
+        let plane = Box3::prism(*roi, e, e);
+        let mut out = ElevationStats::default();
+        let mut sum = 0.0;
+        for rec in self.fetch_box(&plane) {
+            let n = &rec.node;
+            if !n.interval().contains(e) || !roi.contains(n.pos.xy()) {
+                continue;
+            }
+            out.points += 1;
+            out.min_z = out.min_z.min(n.pos.z);
+            out.max_z = out.max_z.max(n.pos.z);
+            sum += n.pos.z;
+        }
+        if out.points > 0 {
+            out.mean_z = sum / out.points as f64;
+        }
+        out
+    }
+
+    /// Plan the multi-base strip decomposition (paper §5.3): recursively
+    /// halve the ROI along the LOD gradient — each plan is a staircase of
+    /// equal strips — and keep the plan the optimizer statistics predict
+    /// to be cheapest. Costs are *union* page counts (pages shared by
+    /// neighbouring cubes are fetched once) plus an index-descent
+    /// overhead per extra cube.
+    pub fn plan_multi_base(&self, q: &VdQuery, max_cubes: usize) -> Vec<Rect> {
+        let overhead_per_cube = 3.0;
+        let along_x = q.target.dir.x.abs() >= q.target.dir.y.abs();
+        let cube_of = |r: &Rect| {
+            let (lo, hi) = q.e_range(r);
+            Box3::prism(*r, lo, self.clamp_e(hi))
+        };
+        let mut best: Vec<Rect> = vec![q.roi];
+        let mut best_cost = f64::INFINITY;
+        let mut n = 1usize;
+        while n <= max_cubes.max(1) {
+            let strips = equal_strips(&q.roi, n, along_x);
+            let cubes: Vec<Box3> = strips.iter().map(cube_of).collect();
+            let cost = self.cost_model().count_union(&cubes) as f64
+                + overhead_per_cube * (n as f64 - 1.0);
+            if cost < best_cost {
+                best_cost = cost;
+                best = strips;
+            }
+            n *= 2;
+        }
+        best
+    }
+
+    /// Viewpoint-dependent query, multi-base: one query cube per planned
+    /// strip (each bounded by the plane's local LOD range — the staircase
+    /// under the tilted plane), then the final front is assembled
+    /// directly from the union of the fetched records.
+    pub fn vd_multi_base(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        max_cubes: usize,
+    ) -> VdResult {
+        let strips = self.plan_multi_base(q, max_cubes);
+        self.vd_multi_base_with_strips(q, policy, &strips)
+    }
+
+    /// Multi-base with a fixed, caller-provided strip decomposition
+    /// (ablation against the cost-model-driven plan).
+    pub fn vd_multi_base_with_strips(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        strips: &[Rect],
+    ) -> VdResult {
+        let mut cubes = Vec::with_capacity(strips.len());
+        let mut all: HashMap<u32, DmRecord> = HashMap::new();
+        let mut fetched = 0usize;
+        for rect in strips {
+            let (lo, hi) = q.e_range(rect);
+            let cube = Box3::prism(*rect, lo, self.clamp_e(hi));
+            let recs = self.fetch_box(&cube);
+            fetched += recs.len();
+            for r in recs {
+                all.entry(r.node.id).or_insert(r);
+            }
+            cubes.push(cube);
+        }
+
+        // Initial front: the locally topmost records of the union fetch
+        // (the staircase cubes provide each strip's top level; topmost
+        // seeding handles the strip steps and the ROI clipping in one
+        // rule), then one global refinement to the query plane.
+        let recs: Vec<DmRecord> = all.values().cloned().collect();
+        let mut front = assemble_topmost_front(recs, &q.roi);
+
+        let map: HashMap<u32, PmNode> = all.values().map(|r| (r.node.id, r.node)).collect();
+        let mut source = DbSource::new(self, map, policy);
+        let stats = refine(&mut front, &mut source, &q.target);
+        VdResult {
+            front,
+            refine: stats,
+            fetched_records: fetched,
+            cubes,
+            boundary_fetches: source.misses_fetched,
+        }
+    }
+}
+
+/// Build the initial front from the *locally topmost* fetched records:
+/// every in-ROI record whose parent was not fetched (the parent is either
+/// coarser than the cube top — making the record a top-plane cut member —
+/// or positioned outside the ROI). Topology comes from the connection
+/// lists wherever the seeds' LOD intervals overlap.
+fn assemble_topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMesh {
+    let in_roi: HashMap<u32, DmRecord> = recs
+        .into_iter()
+        .filter(|r| roi.contains(r.node.pos.xy()))
+        .map(|r| (r.node.id, r))
+        .collect();
+    let seeds: HashMap<u32, &DmRecord> = in_roi
+        .values()
+        .filter(|r| {
+            r.node.parent == dm_mtm::NIL_ID || !in_roi.contains_key(&r.node.parent)
+        })
+        .map(|r| (r.node.id, r))
+        .collect();
+    let pos: HashMap<u32, Vec2> =
+        seeds.values().map(|r| (r.node.id, r.node.pos.xy())).collect();
+    let adj: HashMap<u32, Vec<u32>> = seeds
+        .values()
+        .map(|r| {
+            let iv = r.node.interval();
+            let ns = r
+                .conn
+                .iter()
+                .copied()
+                .filter(|c| {
+                    seeds
+                        .get(c)
+                        .is_some_and(|o| iv.overlaps(&o.node.interval()))
+                })
+                .collect();
+            (r.node.id, ns)
+        })
+        .collect();
+    let faces = extract_faces(&pos, &adj);
+    FrontMesh::from_parts(seeds.values().map(|r| r.node).collect(), &faces)
+}
+
+/// Build the uniform-LOD front at level `e` from fetched records: filter
+/// by interval and ROI, connect via the stored lists, extract faces.
+fn assemble_uniform_front(recs: Vec<DmRecord>, roi: &Rect, e: f64) -> FrontMesh {
+    let active: HashMap<u32, DmRecord> = recs
+        .into_iter()
+        .filter(|r| r.node.interval().contains(e) && roi.contains(r.node.pos.xy()))
+        .map(|r| (r.node.id, r))
+        .collect();
+    let pos: HashMap<u32, Vec2> =
+        active.values().map(|r| (r.node.id, r.node.pos.xy())).collect();
+    let adj: HashMap<u32, Vec<u32>> = active
+        .values()
+        .map(|r| {
+            let ns = r
+                .conn
+                .iter()
+                .copied()
+                .filter(|c| active.get(c).is_some_and(|o| o.node.interval().contains(e)))
+                .collect();
+            (r.node.id, ns)
+        })
+        .collect();
+    let faces = extract_faces(&pos, &adj);
+    FrontMesh::from_parts(active.into_values().map(|r| r.node).collect(), &faces)
+}
+
+
+/// Cut a rectangle into `n` equal strips perpendicular to the dominant
+/// LOD-gradient axis (ablation helper for fixed multi-base plans).
+pub fn equal_strips(roi: &Rect, n: usize, along_x: bool) -> Vec<Rect> {
+    let n = n.max(1);
+    (0..n)
+        .map(|i| {
+            let t0 = i as f64 / n as f64;
+            let t1 = (i + 1) as f64 / n as f64;
+            if along_x {
+                Rect::new(
+                    Vec2::new(roi.min.x + t0 * roi.width(), roi.min.y),
+                    Vec2::new(roi.min.x + t1 * roi.width(), roi.max.y),
+                )
+            } else {
+                Rect::new(
+                    Vec2::new(roi.min.x, roi.min.y + t0 * roi.height()),
+                    Vec2::new(roi.max.x, roi.min.y + t1 * roi.height()),
+                )
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DmBuildOptions;
+    use dm_mtm::builder::{build_pm, PmBuild, PmBuildConfig};
+    use dm_storage::{BufferPool, MemStore};
+    use dm_terrain::{generate, TriMesh};
+    use std::sync::Arc;
+
+    fn setup(n: usize, seed: u64) -> (TriMesh, PmBuild, DirectMeshDb) {
+        let hf = generate::fractal_terrain(n, n, seed);
+        let mesh = TriMesh::from_heightfield(&hf);
+        let original = mesh.clone();
+        let pm = build_pm(mesh, &PmBuildConfig::default());
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 4096));
+        let db = DirectMeshDb::build(pool, &pm, &DmBuildOptions::default());
+        (original, pm, db)
+    }
+
+    #[test]
+    fn vi_query_full_roi_matches_replay() {
+        let (original, pm, db) = setup(9, 11);
+        let h = &pm.hierarchy;
+        for frac in [0.05, 0.3, 0.8] {
+            let e = h.e_max * frac;
+            let res = db.vi_query(&db.bounds, e);
+            let replay = h.replay_mesh(&original, e);
+            assert_eq!(
+                res.points,
+                replay.num_live_vertices(),
+                "point count at {frac}·e_max"
+            );
+            assert_eq!(
+                res.front.num_triangles(),
+                replay.num_live_triangles(),
+                "triangle count at {frac}·e_max"
+            );
+            let (mesh, _) = res.front.to_trimesh();
+            mesh.validate().expect("VI mesh valid");
+        }
+    }
+
+    #[test]
+    fn vi_query_sub_roi_returns_cut_restricted() {
+        let (_, pm, db) = setup(13, 5);
+        let h = &pm.hierarchy;
+        let e = h.e_max * 0.2;
+        let roi = Rect::centered_square(db.bounds.center(), db.bounds.width() * 0.4);
+        let res = db.vi_query(&roi, e);
+        // Exactly the cut members inside the ROI.
+        let expected: usize = h
+            .uniform_cut(e)
+            .iter()
+            .filter(|&&id| roi.contains(h.node(id).pos.xy()))
+            .count();
+        assert_eq!(res.points, expected);
+        assert!(res.fetched_records >= res.points);
+        // All triangles stay inside the ROI.
+        for t in res.front.triangles() {
+            for v in t {
+                assert!(roi.contains(res.front.node(v).unwrap().pos.xy()));
+            }
+        }
+    }
+
+    #[test]
+    fn vi_fetch_is_far_smaller_than_whole_dataset() {
+        let (_, _, db) = setup(17, 7);
+        let e = db.e_max * 0.1;
+        let res = db.vi_query(&db.bounds, e);
+        assert!(
+            res.fetched_records < db.n_records / 2,
+            "query plane must not fetch most of the dataset ({} of {})",
+            res.fetched_records,
+            db.n_records
+        );
+    }
+
+    #[test]
+    fn vd_single_base_reaches_target_everywhere() {
+        let (_, _, db) = setup(17, 9);
+        let q = test_query(&db, 0.5);
+        let res = db.vd_single_base(&q, BoundaryPolicy::Skip);
+        for id in res.front.vertex_ids() {
+            let n = res.front.node(id).unwrap();
+            assert!(
+                n.is_leaf() || n.e_lo <= q.target.required(n.pos.x, n.pos.y) + 1e-12,
+                "vertex {id} coarser than the plane allows"
+            );
+        }
+        let (mesh, _) = res.front.to_trimesh();
+        mesh.validate().expect("SB mesh valid");
+        assert_eq!(res.cubes.len(), 1);
+    }
+
+    #[test]
+    fn vd_single_base_full_roi_no_missing_records() {
+        let (_, _, db) = setup(17, 13);
+        let q = test_query(&db, 0.4);
+        let res = db.vd_single_base(&q, BoundaryPolicy::Skip);
+        // The ROI covers the whole terrain: every record the refinement
+        // can need lies inside the cube.
+        assert_eq!(res.refine.missing_records, 0);
+        assert_eq!(res.boundary_fetches, 0);
+    }
+
+    #[test]
+    fn vd_multi_base_fetches_fewer_records() {
+        let (_, _, db) = setup(17, 15);
+        let q = test_query(&db, 0.8);
+        let sb = db.vd_single_base(&q, BoundaryPolicy::Skip);
+        let mb = db.vd_multi_base(&q, BoundaryPolicy::Skip, 8);
+        assert!(!mb.cubes.is_empty());
+        assert!(
+            mb.fetched_records <= sb.fetched_records,
+            "multi-base must not fetch more ({} vs {})",
+            mb.fetched_records,
+            sb.fetched_records
+        );
+        let (mesh, _) = mb.front.to_trimesh();
+        mesh.validate().expect("MB mesh valid");
+    }
+
+    #[test]
+    fn vd_multi_base_mesh_close_to_single_base() {
+        let (_, _, db) = setup(17, 19);
+        let q = test_query(&db, 0.5);
+        let sb = db.vd_single_base(&q, BoundaryPolicy::Skip);
+        let mb = db.vd_multi_base(&q, BoundaryPolicy::Skip, 8);
+        let sb_ids: std::collections::HashSet<u32> = sb.front.vertex_ids().collect();
+        let mb_ids: std::collections::HashSet<u32> = mb.front.vertex_ids().collect();
+        let inter = sb_ids.intersection(&mb_ids).count();
+        let union = sb_ids.union(&mb_ids).count();
+        // Small fronts make the staircase-boundary differences loom large
+        // in relative terms; the integration tests check bigger datasets.
+        assert!(
+            inter as f64 / union as f64 > 0.8,
+            "MB front diverges from SB: {inter}/{union}"
+        );
+    }
+
+    #[test]
+    fn plan_agrees_with_the_cost_model() {
+        let (_, _, db) = setup(33, 23);
+        let shallow = test_query(&db, 0.15);
+        let steep = test_query(&db, 0.9);
+        let p1 = db.plan_multi_base(&shallow, 16).len();
+        let p2 = db.plan_multi_base(&steep, 16).len();
+        assert!(p2 >= p1, "steeper plane should not plan fewer strips ({p2} vs {p1})");
+        // The planner must return the power-of-two plan with the least
+        // predicted cost (union page count + per-extra-cube overhead).
+        for q in [&shallow, &steep] {
+            let cube_of = |r: &Rect| {
+                let (lo, hi) = q.e_range(r);
+                Box3::prism(*r, lo, db.clamp_e(hi))
+            };
+            let cost_of = |n: usize| {
+                let cubes: Vec<Box3> =
+                    equal_strips(&q.roi, n, false).iter().map(cube_of).collect();
+                db.cost_model().count_union(&cubes) as f64 + 3.0 * (n as f64 - 1.0)
+            };
+            let best_n = [1usize, 2, 4, 8, 16]
+                .into_iter()
+                .min_by(|&a, &b| cost_of(a).total_cmp(&cost_of(b)))
+                .unwrap();
+            let planned = db.plan_multi_base(q, 16).len();
+            assert_eq!(planned, best_n, "planner disagrees with the predictor");
+        }
+    }
+
+    #[test]
+    fn fetch_on_miss_policy_fetches_border_records() {
+        let (_, _, db) = setup(17, 27);
+        // A small interior ROI with a fine target: the border will need
+        // out-of-ROI wings.
+        let roi = Rect::centered_square(db.bounds.center(), db.bounds.width() * 0.3);
+        let q = VdQuery {
+            roi,
+            target: PlaneTarget {
+                origin: roi.min,
+                dir: Vec2::new(0.0, 1.0),
+                e_min: db.e_max * 0.01,
+                slope: db.e_max * 0.5 / roi.height().max(1.0),
+                e_max: db.e_max * 0.5,
+            },
+        };
+        let skip = db.vd_single_base(&q, BoundaryPolicy::Skip);
+        let fetch = db.vd_single_base(&q, BoundaryPolicy::FetchOnMiss);
+        assert!(
+            fetch.front.num_vertices() >= skip.front.num_vertices(),
+            "fetch-on-miss can only refine further"
+        );
+        // The policies agree when nothing is missing; otherwise the
+        // fetching run did extra point lookups.
+        if skip.refine.missing_records > 0 {
+            assert!(fetch.boundary_fetches > 0);
+        }
+    }
+
+    #[test]
+    fn viewpoint_query_construction() {
+        let (_, _, db) = setup(17, 29);
+        let eye = Vec2::new(db.bounds.min.x, db.bounds.center().y);
+        let q = VdQuery::from_viewpoint(db.bounds, eye, 0.5, db.e_max);
+        // Requirement grows with distance from the eye.
+        use dm_mtm::refine::LodTarget;
+        let near = q.target.required(db.bounds.min.x + 1.0, eye.y);
+        let far = q.target.required(db.bounds.max.x, eye.y);
+        assert!(near < far, "near {near} !< far {far}");
+        assert!(q.target.e_max <= db.e_max);
+        // An eye inside the ROI has distance 0 to it.
+        let q2 = VdQuery::from_viewpoint(db.bounds, db.bounds.center(), 0.5, db.e_max);
+        assert!(q2.target.e_min <= q2.target.e_max);
+        // And the query actually runs.
+        let res = db.vd_single_base(&q, BoundaryPolicy::Skip);
+        assert!(res.front.num_vertices() > 0);
+        let (mesh, _) = res.front.to_trimesh();
+        mesh.validate().unwrap();
+    }
+
+    #[test]
+    fn elevation_stats_match_vi_query() {
+        let (_, _, db) = setup(17, 31);
+        let e = db.e_for_points_fraction(0.2);
+        let roi = Rect::centered_square(db.bounds.center(), db.bounds.width() * 0.6);
+        let stats = db.elevation_stats(&roi, e);
+        let res = db.vi_query(&roi, e);
+        assert_eq!(stats.points, res.points);
+        let (zmin, zmax) = res
+            .front
+            .vertex_ids()
+            .map(|v| res.front.node(v).unwrap().pos.z)
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), z| {
+                (lo.min(z), hi.max(z))
+            });
+        assert_eq!(stats.min_z, zmin);
+        assert_eq!(stats.max_z, zmax);
+        assert!(stats.mean_z >= zmin && stats.mean_z <= zmax);
+        // Same I/O as the mesh query (aggregation is free).
+        db.cold_start();
+        let _ = db.elevation_stats(&roi, e);
+        let agg_da = db.disk_accesses();
+        db.cold_start();
+        let _ = db.vi_query(&roi, e);
+        assert_eq!(agg_da, db.disk_accesses());
+    }
+
+    fn test_query(db: &DirectMeshDb, angle_frac: f64) -> VdQuery {
+        let roi = db.bounds;
+        let e_min = db.e_max * 0.02;
+        let run = roi.height().max(1.0);
+        let theta_max = (db.e_max / run).atan();
+        let slope = (theta_max * angle_frac).tan();
+        VdQuery {
+            roi,
+            target: PlaneTarget {
+                origin: roi.min,
+                dir: Vec2::new(0.0, 1.0),
+                e_min,
+                slope,
+                e_max: (e_min + slope * run).min(db.e_max),
+            },
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! On-disk codec for Direct Mesh records.
+//!
+//! A DM record is the paper's PM node layout
+//! `(ID, x, y, z, e, parent, child1, child2, wing1, wing2)` extended with
+//! the LOD interval upper bound and the variable-length list of
+//! connection points with similar LOD.
+
+use dm_geom::Vec3;
+use dm_mtm::{PmNode, NIL_ID};
+use dm_storage::page::codec;
+
+/// A Direct Mesh record: the PM node plus its connection list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DmRecord {
+    pub node: PmNode,
+    /// Ids of connection points with similar LOD (intervals overlap and
+    /// ever adjacent during construction).
+    pub conn: Vec<u32>,
+}
+
+/// Fixed part: id(4) + pos(24) + e_lo(8) + e_hi(8) + 5 links(20) + n(2).
+pub const FIXED_LEN: usize = 66;
+
+impl DmRecord {
+    /// Serialized length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        FIXED_LEN + 4 * self.conn.len()
+    }
+
+    /// Serialize to bytes (little endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let n = &self.node;
+        let mut out = vec![0u8; self.encoded_len()];
+        codec::put_u32(&mut out, 0, n.id);
+        codec::put_f64(&mut out, 4, n.pos.x);
+        codec::put_f64(&mut out, 12, n.pos.y);
+        codec::put_f64(&mut out, 20, n.pos.z);
+        codec::put_f64(&mut out, 28, n.e_lo);
+        codec::put_f64(&mut out, 36, n.e_hi);
+        codec::put_u32(&mut out, 44, n.parent);
+        codec::put_u32(&mut out, 48, n.child1);
+        codec::put_u32(&mut out, 52, n.child2);
+        codec::put_u32(&mut out, 56, n.wing1);
+        codec::put_u32(&mut out, 60, n.wing2);
+        assert!(self.conn.len() <= u16::MAX as usize);
+        codec::put_u16(&mut out, 64, self.conn.len() as u16);
+        for (i, &c) in self.conn.iter().enumerate() {
+            codec::put_u32(&mut out, FIXED_LEN + i * 4, c);
+        }
+        out
+    }
+
+    /// Deserialize from bytes.
+    pub fn decode(b: &[u8]) -> DmRecord {
+        assert!(b.len() >= FIXED_LEN, "truncated DM record");
+        let n_conn = codec::get_u16(b, 64) as usize;
+        assert_eq!(b.len(), FIXED_LEN + 4 * n_conn, "corrupt DM record length");
+        let node = PmNode {
+            id: codec::get_u32(b, 0),
+            pos: Vec3::new(codec::get_f64(b, 4), codec::get_f64(b, 12), codec::get_f64(b, 20)),
+            e_lo: codec::get_f64(b, 28),
+            e_hi: codec::get_f64(b, 36),
+            parent: codec::get_u32(b, 44),
+            child1: codec::get_u32(b, 48),
+            child2: codec::get_u32(b, 52),
+            wing1: codec::get_u32(b, 56),
+            wing2: codec::get_u32(b, 60),
+        };
+        let conn = (0..n_conn).map(|i| codec::get_u32(b, FIXED_LEN + i * 4)).collect();
+        DmRecord { node, conn }
+    }
+}
+
+/// A PM record without connection lists — what the PM baseline stores.
+/// Same fixed layout, no list.
+pub fn encode_pm_node(n: &PmNode) -> Vec<u8> {
+    DmRecord { node: *n, conn: Vec::new() }.encode()
+}
+
+/// Decode a bare PM node (ignores any trailing connection list).
+pub fn decode_pm_node(b: &[u8]) -> PmNode {
+    DmRecord::decode(b).node
+}
+
+/// Helper for tests: a record with every field distinct.
+pub fn sample_record() -> DmRecord {
+    DmRecord {
+        node: PmNode {
+            id: 7,
+            pos: Vec3::new(1.5, -2.25, 300.125),
+            e_lo: 0.5,
+            e_hi: f64::INFINITY,
+            parent: NIL_ID,
+            child1: 3,
+            child2: 4,
+            wing1: 9,
+            wing2: NIL_ID,
+        },
+        conn: vec![1, 2, 9, 4_000_000_000],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_conn_list() {
+        let r = sample_record();
+        let bytes = r.encode();
+        assert_eq!(bytes.len(), FIXED_LEN + 16);
+        let back = DmRecord::decode(&bytes);
+        assert_eq!(back, r);
+        assert!(back.node.e_hi.is_infinite(), "root interval survives encoding");
+    }
+
+    #[test]
+    fn roundtrip_empty_conn_list() {
+        let mut r = sample_record();
+        r.conn.clear();
+        let back = DmRecord::decode(&r.encode());
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pm_node_roundtrip() {
+        let n = sample_record().node;
+        let back = decode_pm_node(&encode_pm_node(&n));
+        assert_eq!(back.id, n.id);
+        assert_eq!(back.pos, n.pos);
+        assert_eq!(back.wing2, NIL_ID);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt DM record")]
+    fn decode_rejects_bad_length() {
+        let mut bytes = sample_record().encode();
+        bytes.push(0);
+        DmRecord::decode(&bytes);
+    }
+}

@@ -1,0 +1,464 @@
+//! The Direct Mesh database: heap table + B+-tree + 3D R\*-tree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dm_geom::{Box3, Rect};
+use dm_index::{RStarTree, RtreeCostModel};
+use dm_mtm::builder::PmBuild;
+use dm_mtm::PmNode;
+use dm_storage::{BTree, BufferPool, HeapFile, RecordId};
+
+use crate::record::DmRecord;
+
+/// How heap records are placed on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Clustering {
+    /// Records in R\*-tree leaf order: each index leaf's records occupy
+    /// consecutive heap pages, so a range query reads dense pages. The
+    /// paper's "(x, y) clustering preserved as much as possible", realized
+    /// through the same STR tiling the index uses (default).
+    StrLeaf,
+    /// Hilbert order of `(x, y)` only — plan-view locality, but every
+    /// page mixes all LOD levels (ablation A3).
+    Hilbert,
+    /// Node-id (creation) order — no spatial locality (ablation A3).
+    IdOrder,
+}
+
+/// Knobs for database construction (exercised by the ablation benches).
+#[derive(Clone, Copy, Debug)]
+pub struct DmBuildOptions {
+    /// Target R\*-tree node occupancy for bulk loading.
+    pub rtree_fill: f64,
+    /// Heap record placement.
+    pub clustering: Clustering,
+    /// Build the R\*-tree by repeated R\* insertion instead of STR bulk
+    /// loading (slower, different node shapes; ablation A2).
+    pub dynamic_rtree: bool,
+}
+
+impl Default for DmBuildOptions {
+    fn default() -> Self {
+        DmBuildOptions { rtree_fill: 0.7, clustering: Clustering::StrLeaf, dynamic_rtree: false }
+    }
+}
+
+/// The Direct Mesh database over one terrain dataset.
+pub struct DirectMeshDb {
+    pool: Arc<BufferPool>,
+    heap: HeapFile,
+    btree: BTree,
+    rtree: RStarTree,
+    cost: RtreeCostModel,
+    /// Plan-view bounds of the terrain.
+    pub bounds: Rect,
+    /// Largest finite normalized LOD value.
+    pub e_max: f64,
+    /// Total records (= PM nodes).
+    pub n_records: usize,
+    /// Number of original terrain points.
+    pub n_leaves: usize,
+    /// Root node ids (the coarsest approximation).
+    pub roots: Vec<u32>,
+    /// Sorted interval bounds, for cut-size statistics (build metadata).
+    lo_sorted: Vec<f64>,
+    hi_sorted: Vec<f64>,
+}
+
+impl DirectMeshDb {
+    /// Stored upper bound for root segments (roots are conceptually
+    /// unbounded; the index stores a cap just above `e_max`).
+    pub fn e_cap(&self) -> f64 {
+        self.e_max * 1.001 + 1e-9
+    }
+
+    /// Clamp a query LOD into the indexed range, so queries above `e_max`
+    /// hit the root level.
+    pub fn clamp_e(&self, e: f64) -> f64 {
+        e.clamp(0.0, self.e_max * 1.0005 + 1e-12)
+    }
+
+    /// Build the database from a finished PM construction.
+    pub fn build(pool: Arc<BufferPool>, pm: &PmBuild, opts: &DmBuildOptions) -> Self {
+        let h = &pm.hierarchy;
+        let n = h.len();
+
+        // Connection lists: ever-adjacent pairs with overlapping LOD
+        // intervals ("similar LOD").
+        let mut conn: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in &pm.edges {
+            if h.interval(a).overlaps(&h.interval(b)) {
+                conn[a as usize].push(b);
+                conn[b as usize].push(a);
+            }
+        }
+
+        let e_max = h.e_max;
+        let e_cap = e_max * 1.001 + 1e-9;
+        let seg = |node: &PmNode| {
+            let hi = if node.e_hi.is_finite() { node.e_hi.min(e_cap) } else { e_cap };
+            Box3::vertical_segment(node.pos.xy(), node.e_lo, hi)
+        };
+
+        // Heap placement order.
+        let order: Vec<u32> = match opts.clustering {
+            Clustering::StrLeaf => {
+                let items: Vec<(Box3, u64)> =
+                    (0..n as u32).map(|id| (seg(h.node(id)), id as u64)).collect();
+                dm_index::rstar::str_leaf_order(&items, opts.rtree_fill)
+                    .into_iter()
+                    .map(|v| v as u32)
+                    .collect()
+            }
+            Clustering::Hilbert => {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                let b = h.bounds;
+                let ext = (b.width().max(1e-12), b.height().max(1e-12));
+                order.sort_by_key(|&id| {
+                    let p = h.node(id).pos;
+                    dm_geom::hilbert::continuous_key(16, p.x, p.y, (b.min.x, b.min.y), ext)
+                });
+                order
+            }
+            Clustering::IdOrder => (0..n as u32).collect(),
+        };
+
+        let mut heap = HeapFile::create(Arc::clone(&pool));
+        let mut rids: Vec<RecordId> = vec![RecordId { page: 0, slot: 0 }; n];
+        for &id in &order {
+            let rec = DmRecord {
+                node: *h.node(id),
+                conn: std::mem::take(&mut conn[id as usize]),
+            };
+            rids[id as usize] = heap.insert(&rec.encode());
+        }
+
+        let btree = BTree::bulk_load(
+            Arc::clone(&pool),
+            (0..n as u32).map(|id| (id as u64, rids[id as usize].to_u64())),
+            0.9,
+        );
+
+        // The spatial index is page-granular: one entry per heap page,
+        // keyed by the MBR of the vertical segments stored on it. With
+        // STR-ordered placement each page is an (x, y, e) tile, so this
+        // behaves like a clustering R-tree (an R-tree-organized table): a
+        // range query reads the few index pages plus exactly the data
+        // pages whose contents can match.
+        let mut page_boxes: HashMap<dm_storage::PageId, Box3> = HashMap::new();
+        for id in 0..n as u32 {
+            let b = seg(h.node(id));
+            let page = rids[id as usize].page;
+            page_boxes
+                .entry(page)
+                .and_modify(|acc| *acc = acc.union(&b))
+                .or_insert(b);
+        }
+        let items: Vec<(Box3, u64)> =
+            page_boxes.iter().map(|(&p, &b)| (b, p as u64)).collect();
+        let rtree = if opts.dynamic_rtree {
+            let mut t = RStarTree::new(Arc::clone(&pool));
+            for &(b, p) in &items {
+                t.insert(b, p);
+            }
+            t
+        } else {
+            RStarTree::bulk_load(Arc::clone(&pool), items, opts.rtree_fill)
+        };
+
+        let space = Box3::prism(h.bounds, 0.0, e_cap);
+        // Optimizer statistics: the data-page boxes (what a range query
+        // actually fetches) plus the index node regions (the descent).
+        let mut stat_regions: Vec<Box3> = page_boxes.values().copied().collect();
+        stat_regions.extend(rtree.collect_node_regions());
+        let cost = RtreeCostModel::new(&stat_regions, space);
+
+        let mut lo_sorted: Vec<f64> = h.nodes.iter().map(|nd| nd.e_lo).collect();
+        let mut hi_sorted: Vec<f64> =
+            h.nodes.iter().filter(|nd| nd.e_hi.is_finite()).map(|nd| nd.e_hi).collect();
+        lo_sorted.sort_by(f64::total_cmp);
+        hi_sorted.sort_by(f64::total_cmp);
+
+        DirectMeshDb {
+            pool,
+            heap,
+            btree,
+            rtree,
+            cost,
+            bounds: h.bounds,
+            e_max,
+            n_records: n,
+            n_leaves: h.n_leaves,
+            roots: h.roots.clone(),
+            lo_sorted,
+            hi_sorted,
+        }
+    }
+
+    /// Build into an *empty* store and persist the catalog at page 0, so
+    /// the database can later be reattached with [`Self::open`]. Use with
+    /// a [`dm_storage::FileStore`]-backed pool for durable databases.
+    pub fn create_in(pool: Arc<BufferPool>, pm: &PmBuild, opts: &DmBuildOptions) -> Self {
+        assert_eq!(pool.num_pages(), 0, "create_in needs an empty store");
+        let catalog_page = pool.allocate();
+        debug_assert_eq!(catalog_page, 0);
+        let db = Self::build(pool, pm, opts);
+        db.save_catalog(catalog_page);
+        db.pool.flush_all();
+        db
+    }
+
+    /// Persist the catalog starting at `page` (normally page 0).
+    pub fn save_catalog(&self, page: dm_storage::PageId) {
+        let data = crate::catalog::CatalogData {
+            bounds: self.bounds,
+            e_max: self.e_max,
+            n_records: self.n_records as u32,
+            n_leaves: self.n_leaves as u32,
+            btree: (self.btree.root_page(), self.btree.height(), self.btree.len()),
+            rtree: (self.rtree.root_page(), self.rtree.height(), self.rtree.len()),
+            roots: self.roots.clone(),
+            heap_pages: self.heap.page_ids().to_vec(),
+            heap_len: self.heap.len(),
+        };
+        crate::catalog::write_catalog(&self.pool, page, &data);
+    }
+
+    /// Reattach to a database previously persisted with
+    /// [`Self::create_in`]. Interval statistics and optimizer node
+    /// regions are rebuilt by one scan (a once-off cost, like index
+    /// construction in the paper's setup).
+    pub fn open(pool: Arc<BufferPool>) -> std::io::Result<Self> {
+        let cat = crate::catalog::read_catalog(&pool, 0)?;
+        let heap = HeapFile::from_parts(Arc::clone(&pool), cat.heap_pages, cat.heap_len);
+        let btree =
+            BTree::from_parts(Arc::clone(&pool), cat.btree.0, cat.btree.2, cat.btree.1);
+        let rtree =
+            RStarTree::from_parts(Arc::clone(&pool), cat.rtree.0, cat.rtree.1, cat.rtree.2);
+        let e_cap = cat.e_max * 1.001 + 1e-9;
+        let space = Box3::prism(cat.bounds, 0.0, e_cap);
+        let mut lo_sorted = Vec::with_capacity(cat.n_records as usize);
+        let mut hi_sorted = Vec::with_capacity(cat.n_records as usize);
+        let mut page_boxes: HashMap<dm_storage::PageId, Box3> = HashMap::new();
+        heap.scan(|rid, bytes| {
+            let rec = DmRecord::decode(bytes);
+            lo_sorted.push(rec.node.e_lo);
+            if rec.node.e_hi.is_finite() {
+                hi_sorted.push(rec.node.e_hi);
+            }
+            let hi = if rec.node.e_hi.is_finite() { rec.node.e_hi.min(e_cap) } else { e_cap };
+            let seg = Box3::vertical_segment(rec.node.pos.xy(), rec.node.e_lo.min(hi), hi);
+            page_boxes
+                .entry(rid.page)
+                .and_modify(|acc| *acc = acc.union(&seg))
+                .or_insert(seg);
+        });
+        let mut stat_regions: Vec<Box3> = page_boxes.into_values().collect();
+        stat_regions.extend(rtree.collect_node_regions());
+        let cost = RtreeCostModel::new(&stat_regions, space);
+        lo_sorted.sort_by(f64::total_cmp);
+        hi_sorted.sort_by(f64::total_cmp);
+        Ok(DirectMeshDb {
+            pool,
+            heap,
+            btree,
+            rtree,
+            cost,
+            bounds: cat.bounds,
+            e_max: cat.e_max,
+            n_records: cat.n_records as usize,
+            n_leaves: cat.n_leaves as usize,
+            roots: cat.roots,
+            lo_sorted,
+            hi_sorted,
+        })
+    }
+
+    /// Number of points in the uniform approximation at LOD `e`.
+    pub fn cut_size(&self, e: f64) -> usize {
+        let below_lo = self.lo_sorted.partition_point(|&v| v <= e);
+        let below_hi = self.hi_sorted.partition_point(|&v| v <= e);
+        below_lo - below_hi
+    }
+
+    /// The LOD whose uniform approximation keeps about `frac` of the
+    /// original points. QEM error values are heavily skewed, so selecting
+    /// query LODs by mesh size is far more intuitive than by fractions of
+    /// `e_max`.
+    pub fn e_for_points_fraction(&self, frac: f64) -> f64 {
+        let target = ((self.n_leaves as f64) * frac.clamp(0.0, 1.0)) as usize;
+        let mut lo = 0.0f64;
+        let mut hi = self.e_cap();
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            if self.cut_size(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    pub fn cost_model(&self) -> &RtreeCostModel {
+        &self.cost
+    }
+
+    pub fn rtree(&self) -> &RStarTree {
+        &self.rtree
+    }
+
+    /// Fetch every record whose vertical segment intersects `q`: index
+    /// lookup for the candidate pages, then a scan of each page with an
+    /// exact segment test.
+    pub fn fetch_box(&self, q: &Box3) -> Vec<DmRecord> {
+        let mut pages: Vec<u64> = Vec::new();
+        self.rtree.query(q, |_, page| pages.push(page));
+        pages.sort_unstable();
+        pages.dedup();
+        let mut out = Vec::new();
+        for &page in &pages {
+            self.heap.for_each_in_page(page as dm_storage::PageId, |_, bytes| {
+                let rec = DmRecord::decode(bytes);
+                let n = &rec.node;
+                let hi = if n.e_hi.is_finite() { n.e_hi } else { self.e_cap() };
+                let seg = Box3::vertical_segment(n.pos.xy(), n.e_lo.min(hi), hi);
+                if seg.intersects(q) {
+                    out.push(rec);
+                }
+            });
+        }
+        out
+    }
+
+    /// Point lookup through the primary-key B+-tree (counted I/O). Used by
+    /// the `FetchOnMiss` boundary policy.
+    pub fn fetch_by_id(&self, id: u32) -> Option<DmRecord> {
+        let rid = self.btree.get(id as u64)?;
+        Some(DmRecord::decode(&self.heap.get(RecordId::from_u64(rid))))
+    }
+
+    /// Reset counters and drop the cache — the paper's measurement
+    /// protocol before every query.
+    pub fn cold_start(&self) {
+        self.pool.flush_all();
+        self.pool.reset_stats();
+    }
+
+    /// Disk accesses since the last [`Self::cold_start`].
+    pub fn disk_accesses(&self) -> u64 {
+        self.pool.stats().reads
+    }
+
+    /// In-memory map of all records (testing aid; not a measured path).
+    pub fn all_records(&self) -> HashMap<u32, DmRecord> {
+        let mut out = HashMap::with_capacity(self.n_records);
+        self.heap.scan(|_, bytes| {
+            let rec = DmRecord::decode(bytes);
+            out.insert(rec.node.id, rec);
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_mtm::builder::{build_pm, PmBuildConfig};
+    use dm_storage::MemStore;
+    use dm_terrain::{generate, TriMesh};
+
+    fn small_db() -> DirectMeshDb {
+        let hf = generate::fractal_terrain(9, 9, 3);
+        let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
+        DirectMeshDb::build(pool, &pm, &DmBuildOptions::default())
+    }
+
+    #[test]
+    fn build_and_point_lookup() {
+        let db = small_db();
+        assert_eq!(db.n_records, db.all_records().len());
+        for id in [0u32, 40, 80, db.n_records as u32 - 1] {
+            let rec = db.fetch_by_id(id).expect("record exists");
+            assert_eq!(rec.node.id, id);
+        }
+        assert!(db.fetch_by_id(db.n_records as u32).is_none());
+    }
+
+    #[test]
+    fn conn_lists_respect_interval_overlap() {
+        let db = small_db();
+        let all = db.all_records();
+        for rec in all.values() {
+            for &c in &rec.conn {
+                let other = &all[&c];
+                assert!(
+                    rec.node.interval().overlaps(&other.node.interval()),
+                    "conn pair ({}, {c}) without similar LOD",
+                    rec.node.id
+                );
+                assert!(other.conn.contains(&rec.node.id), "conn lists must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_box_returns_segments_hit_by_plane() {
+        let db = small_db();
+        let e = db.e_max * 0.5;
+        let plane = Box3::prism(db.bounds, e, e);
+        let recs = db.fetch_box(&plane);
+        assert!(!recs.is_empty());
+        for rec in &recs {
+            // Closed-box semantics may over-fetch the exact upper bound;
+            // every record must at least touch the plane level.
+            assert!(rec.node.e_lo <= e && e <= rec.node.e_hi);
+        }
+        // Compare against the ground truth cut.
+        let exact: usize =
+            db.all_records().values().filter(|r| r.node.interval().contains(e)).count();
+        let fetched_in = recs.iter().filter(|r| r.node.interval().contains(e)).count();
+        assert_eq!(fetched_in, exact, "plane query must cover the whole cut");
+    }
+
+    #[test]
+    fn cold_start_counts_accesses() {
+        let db = small_db();
+        db.cold_start();
+        assert_eq!(db.disk_accesses(), 0);
+        let _ = db.fetch_by_id(7);
+        let first = db.disk_accesses();
+        assert!(first >= 2, "B+-tree descent + heap page");
+        let _ = db.fetch_by_id(7);
+        assert_eq!(db.disk_accesses(), first, "warm repeat costs nothing");
+    }
+
+    #[test]
+    fn dynamic_rtree_build_matches_bulk() {
+        let hf = generate::fractal_terrain(9, 9, 3);
+        let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+        let mk = |dynamic: bool| {
+            let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
+            DirectMeshDb::build(
+                pool,
+                &pm,
+                &DmBuildOptions { dynamic_rtree: dynamic, ..Default::default() },
+            )
+        };
+        let a = mk(false);
+        let b = mk(true);
+        let e = a.e_max * 0.3;
+        let q = Box3::prism(a.bounds, e, e);
+        let mut ia: Vec<u32> = a.fetch_box(&q).iter().map(|r| r.node.id).collect();
+        let mut ib: Vec<u32> = b.fetch_box(&q).iter().map(|r| r.node.id).collect();
+        ia.sort();
+        ib.sort();
+        assert_eq!(ia, ib, "index build method must not change results");
+    }
+}

@@ -1,0 +1,128 @@
+//! Half-open scalar intervals `[lo, hi)`.
+//!
+//! Direct Mesh assigns every MTM node a *LOD interval*
+//! `[node.e, parent.e)` (the root gets `[e, ∞)`). A node is part of the
+//! uniform approximation at LOD `e` exactly when its interval *encloses*
+//! `e`, and two nodes have "similar LOD" (the paper's term) exactly when
+//! their intervals *overlap*.
+
+/// A half-open interval `[lo, hi)`. `hi` may be `f64::INFINITY`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Interval {
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(lo <= hi, "inverted interval [{lo}, {hi})");
+        Interval { lo, hi }
+    }
+
+    /// `[lo, ∞)` — the root node's interval.
+    #[inline]
+    pub fn unbounded(lo: f64) -> Self {
+        Interval { lo, hi: f64::INFINITY }
+    }
+
+    /// True when the interval contains no value (`lo == hi`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// Half-open membership: `lo <= v < hi`.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v < self.hi
+    }
+
+    /// Two half-open intervals overlap iff `a.lo < b.hi && b.lo < a.hi`.
+    ///
+    /// This is the paper's "similar LOD" test: a parent and its child have
+    /// intervals `[c.e, p.e)` and `[p.e, gp.e)`, which touch but do *not*
+    /// overlap — parent/child can never coexist in one approximation.
+    #[inline]
+    pub fn overlaps(&self, o: &Interval) -> bool {
+        !self.is_empty() && !o.is_empty() && self.lo < o.hi && o.lo < self.hi
+    }
+
+    /// Intersection (may be empty).
+    pub fn intersection(&self, o: &Interval) -> Interval {
+        let lo = self.lo.max(o.lo);
+        let hi = self.hi.min(o.hi);
+        Interval { lo, hi: hi.max(lo) }
+    }
+
+    #[inline]
+    pub fn len(&self) -> f64 {
+        if self.hi.is_infinite() {
+            f64::INFINITY
+        } else {
+            (self.hi - self.lo).max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_is_half_open() {
+        let i = Interval::new(1.0, 3.0);
+        assert!(i.contains(1.0));
+        assert!(i.contains(2.999));
+        assert!(!i.contains(3.0));
+        assert!(!i.contains(0.999));
+    }
+
+    #[test]
+    fn unbounded_contains_everything_above() {
+        let i = Interval::unbounded(5.0);
+        assert!(i.contains(5.0));
+        assert!(i.contains(1e300));
+        assert!(!i.contains(4.999));
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn parent_child_intervals_do_not_overlap() {
+        // child [0, 2), parent [2, 7): touching, not overlapping.
+        let child = Interval::new(0.0, 2.0);
+        let parent = Interval::new(2.0, 7.0);
+        assert!(!child.overlaps(&parent));
+        assert!(!parent.overlaps(&child));
+    }
+
+    #[test]
+    fn siblingish_intervals_overlap() {
+        let a = Interval::new(0.0, 3.0);
+        let b = Interval::new(2.0, 7.0);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersection(&b), Interval::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn empty_interval() {
+        let e = Interval::new(2.0, 2.0);
+        assert!(e.is_empty());
+        assert!(!e.contains(2.0));
+        assert!(!e.overlaps(&Interval::new(0.0, 10.0)));
+        assert_eq!(e.len(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(5.0, 6.0);
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn infinite_length() {
+        assert_eq!(Interval::unbounded(3.0).len(), f64::INFINITY);
+        assert_eq!(Interval::new(1.0, 4.0).len(), 3.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! 2D orientation and triangle predicates.
+//!
+//! A terrain mesh is a *planar* triangulation when projected to `(x, y)`
+//! (it is a height field). The simplifier uses [`orient2d`] to reject edge
+//! collapses that would fold a triangle over, and the Direct Mesh
+//! reconstruction uses counter-clockwise angular order around each vertex
+//! to extract faces from an adjacency graph.
+
+use crate::vec::{Vec2, Vec3};
+
+/// Twice the signed area of triangle `(a, b, c)`; positive when the
+/// triangle winds counter-clockwise.
+#[inline]
+pub fn orient2d(a: Vec2, b: Vec2, c: Vec2) -> f64 {
+    (b - a).cross(c - a)
+}
+
+/// True when `(a, b, c)` is strictly counter-clockwise.
+#[inline]
+pub fn is_ccw(a: Vec2, b: Vec2, c: Vec2) -> bool {
+    orient2d(a, b, c) > 0.0
+}
+
+/// Area of the 2D triangle (always non-negative).
+#[inline]
+pub fn area2d(a: Vec2, b: Vec2, c: Vec2) -> f64 {
+    orient2d(a, b, c).abs() / 2.0
+}
+
+/// Unnormalized plane normal of a 3D triangle.
+#[inline]
+pub fn normal(a: Vec3, b: Vec3, c: Vec3) -> Vec3 {
+    (b - a).cross(c - a)
+}
+
+/// Plane through three 3D points as `(n, d)` with `n·p + d = 0` and
+/// `|n| = 1`. Returns `None` for degenerate triangles.
+pub fn plane(a: Vec3, b: Vec3, c: Vec3) -> Option<(Vec3, f64)> {
+    let n = normal(a, b, c).normalized()?;
+    Some((n, -n.dot(a)))
+}
+
+/// True if point `p` lies inside or on triangle `(a, b, c)` (any winding).
+pub fn point_in_triangle(p: Vec2, a: Vec2, b: Vec2, c: Vec2) -> bool {
+    let d1 = orient2d(p, a, b);
+    let d2 = orient2d(p, b, c);
+    let d3 = orient2d(p, c, a);
+    let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+    let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+    !(has_neg && has_pos)
+}
+
+/// Counter-clockwise angle of `to` as seen from `from`, in `[0, 2π)`.
+#[inline]
+pub fn angle_around(from: Vec2, to: Vec2) -> f64 {
+    let a = (to - from).angle();
+    if a < 0.0 {
+        a + std::f64::consts::TAU
+    } else {
+        a
+    }
+}
+
+/// Sort vertex ids angularly (counter-clockwise) around a centre point.
+///
+/// `pos` maps an id to its plan position. Ties (exactly equal angles —
+/// impossible in a valid planar triangulation) fall back to distance so the
+/// order is still deterministic.
+pub fn sort_ccw_around<I: Copy>(center: Vec2, ids: &mut [I], mut pos: impl FnMut(I) -> Vec2) {
+    ids.sort_by(|&a, &b| {
+        let pa = pos(a);
+        let pb = pos(b);
+        let aa = angle_around(center, pa);
+        let ab = angle_around(center, pb);
+        aa.partial_cmp(&ab)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                center
+                    .dist_sq(pa)
+                    .partial_cmp(&center.dist_sq(pb))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    });
+}
+
+/// Vertical (z) distance from `p` to the plane of triangle `(a, b, c)`,
+/// evaluated at `p`'s plan position. Returns `None` when the triangle is
+/// degenerate in plan view.
+pub fn vertical_distance(p: Vec3, a: Vec3, b: Vec3, c: Vec3) -> Option<f64> {
+    let det = orient2d(a.xy(), b.xy(), c.xy());
+    if det.abs() < 1e-30 {
+        return None;
+    }
+    // Barycentric coordinates of p.xy in the plan triangle.
+    let l1 = orient2d(p.xy(), b.xy(), c.xy()) / det;
+    let l2 = orient2d(a.xy(), p.xy(), c.xy()) / det;
+    let l3 = 1.0 - l1 - l2;
+    let z = l1 * a.z + l2 * b.z + l3 * c.z;
+    Some((p.z - z).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    #[test]
+    fn orientation_signs() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(1.0, 0.0);
+        let c = Vec2::new(0.0, 1.0);
+        assert!(orient2d(a, b, c) > 0.0);
+        assert!(orient2d(a, c, b) < 0.0);
+        assert_eq!(orient2d(a, b, Vec2::new(2.0, 0.0)), 0.0); // collinear
+        assert!(is_ccw(a, b, c));
+        assert!(!is_ccw(a, c, b));
+    }
+
+    #[test]
+    fn triangle_area() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(4.0, 0.0);
+        let c = Vec2::new(0.0, 3.0);
+        assert_eq!(area2d(a, b, c), 6.0);
+        assert_eq!(area2d(a, c, b), 6.0); // winding-independent
+    }
+
+    #[test]
+    fn point_in_triangle_cases() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(4.0, 0.0);
+        let c = Vec2::new(0.0, 4.0);
+        assert!(point_in_triangle(Vec2::new(1.0, 1.0), a, b, c));
+        assert!(point_in_triangle(a, a, b, c)); // vertex
+        assert!(point_in_triangle(Vec2::new(2.0, 0.0), a, b, c)); // edge
+        assert!(!point_in_triangle(Vec2::new(3.0, 3.0), a, b, c));
+        // Same point, clockwise winding — must still be inside.
+        assert!(point_in_triangle(Vec2::new(1.0, 1.0), a, c, b));
+    }
+
+    #[test]
+    fn plane_of_horizontal_triangle() {
+        let (n, d) = plane(
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(1.0, 0.0, 2.0),
+            Vec3::new(0.0, 1.0, 2.0),
+        )
+        .unwrap();
+        assert!((n.z.abs() - 1.0).abs() < 1e-12);
+        assert!((n.dot(Vec3::new(5.0, 5.0, 2.0)) + d).abs() < 1e-12);
+        assert!(plane(Vec3::ZERO, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn ccw_sort_produces_angular_order() {
+        let pts = [
+            Vec2::new(1.0, 0.0),   // 0 rad
+            Vec2::new(0.0, 1.0),   // π/2
+            Vec2::new(-1.0, 0.0),  // π
+            Vec2::new(0.0, -1.0),  // 3π/2
+        ];
+        let mut ids = [2usize, 0, 3, 1];
+        sort_ccw_around(O, &mut ids, |i| pts[i]);
+        assert_eq!(ids, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn vertical_distance_interpolates() {
+        // Plane z = x + y over the unit triangle.
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(1.0, 0.0, 1.0);
+        let c = Vec3::new(0.0, 1.0, 1.0);
+        let p = Vec3::new(0.25, 0.25, 1.0);
+        let d = vertical_distance(p, a, b, c).unwrap();
+        assert!((d - 0.5).abs() < 1e-12, "d = {d}");
+        // Degenerate plan triangle.
+        assert!(vertical_distance(p, a, a, c).is_none());
+    }
+
+    #[test]
+    fn angle_around_wraps_to_positive() {
+        let a = angle_around(O, Vec2::new(0.0, -1.0));
+        assert!((a - 3.0 * std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+}

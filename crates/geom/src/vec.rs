@@ -1,0 +1,238 @@
+//! 2D and 3D vectors/points.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A 2D point or vector with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Vec2 {
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec2) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// 2D cross product (z component of the 3D cross product).
+    #[inline]
+    pub fn cross(self, o: Vec2) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    #[inline]
+    pub fn length_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.length_sq().sqrt()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn dist_sq(self, o: Vec2) -> f64 {
+        (self - o).length_sq()
+    }
+
+    #[inline]
+    pub fn dist(self, o: Vec2) -> f64 {
+        self.dist_sq(o).sqrt()
+    }
+
+    /// Angle of the vector in `(-π, π]`, measured from the +x axis.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+/// A 3D point or vector with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Drop the height component, giving the plan-view position.
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    #[inline]
+    pub fn length_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.length_sq().sqrt()
+    }
+
+    #[inline]
+    pub fn dist_sq(self, o: Vec3) -> f64 {
+        (self - o).length_sq()
+    }
+
+    #[inline]
+    pub fn dist(self, o: Vec3) -> f64 {
+        self.dist_sq(o).sqrt()
+    }
+
+    /// Unit vector in the same direction, or `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let len = self.length();
+        if len <= f64::EPSILON {
+            None
+        } else {
+            Some(self / len)
+        }
+    }
+}
+
+macro_rules! impl_vec_ops {
+    ($t:ty, $($f:ident),+) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, o: $t) -> $t {
+                Self { $($f: self.$f + o.$f),+ }
+            }
+        }
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, o: $t) {
+                $(self.$f += o.$f;)+
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, o: $t) -> $t {
+                Self { $($f: self.$f - o.$f),+ }
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, s: f64) -> $t {
+                Self { $($f: self.$f * s),+ }
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, s: f64) -> $t {
+                Self { $($f: self.$f / s),+ }
+            }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            #[inline]
+            fn neg(self) -> $t {
+                Self { $($f: -self.$f),+ }
+            }
+        }
+    };
+}
+
+impl_vec_ops!(Vec2, x, y);
+impl_vec_ops!(Vec3, x, y, z);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Vec2::new(1.5, -0.5));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn vec2_dot_cross() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn vec2_angle_quadrants() {
+        assert!(Vec2::new(1.0, 0.0).angle().abs() < 1e-12);
+        assert!((Vec2::new(0.0, 1.0).angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((Vec2::new(-1.0, 0.0).angle() - std::f64::consts::PI).abs() < 1e-12);
+        assert!(Vec2::new(0.0, -1.0).angle() < 0.0);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-9);
+        assert!(c.dot(b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vec3_normalized() {
+        let v = Vec3::new(3.0, 0.0, 4.0).normalized().unwrap();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn distances() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        let a3 = Vec3::new(0.0, 0.0, 0.0);
+        let b3 = Vec3::new(2.0, 3.0, 6.0);
+        assert_eq!(a3.dist(b3), 7.0);
+    }
+
+    #[test]
+    fn xy_projection() {
+        assert_eq!(Vec3::new(1.0, 2.0, 9.0).xy(), Vec2::new(1.0, 2.0));
+    }
+}

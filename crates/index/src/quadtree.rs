@@ -1,0 +1,489 @@
+//! The adaptive 3D "LOD-quadtree" (Xu, ADC 2003).
+//!
+//! The best previously reported index for Progressive Mesh data, used here
+//! as the PM baseline's access path. Points live in `(x, y, e)` space
+//! where `e` is the LOD value. Terrain points are near-uniform in
+//! `(x, y)` but severely skewed in `e` (almost all points are
+//! fine-detail), so the tree splits adaptively:
+//!
+//! * a *quadrant split* partitions a leaf at the median `x`/`y` of its
+//!   points,
+//! * an *e-split* partitions at the median `e`,
+//!
+//! choosing whichever dimension has the larger normalized spread. Leaves
+//! are page-sized buckets; every node visited by a range query costs one
+//! disk access through the buffer pool.
+
+use std::sync::Arc;
+
+use dm_geom::{Box3, Vec3};
+use dm_storage::page::{codec, PageId, PAGE_SIZE};
+use dm_storage::BufferPool;
+
+const HDR: usize = 8;
+const POINT: usize = 32; // x, y, e as f64 + u64 payload
+/// Bucket capacity of a leaf page.
+pub const LEAF_CAP: usize = (PAGE_SIZE - HDR) / POINT; // 255
+
+const KIND_LEAF: u8 = 0;
+const KIND_XY: u8 = 1;
+const KIND_E: u8 = 2;
+
+/// One indexed point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QPoint {
+    pub pos: Vec3, // (x, y, e)
+    pub data: u64,
+}
+
+enum NodeKind {
+    Leaf(Vec<QPoint>),
+    /// Quadrant split at `(mid_x, mid_y)`; children indexed by
+    /// `(x >= mid_x) as usize | ((y >= mid_y) as usize) << 1`.
+    Xy { mid_x: f64, mid_y: f64, children: [PageId; 4] },
+    /// Binary split at `mid_e`; children `[e < mid_e, e >= mid_e]`.
+    E { mid_e: f64, children: [PageId; 2] },
+}
+
+/// The LOD-quadtree.
+pub struct LodQuadtree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    /// Extent of the data space, used to normalize spreads when choosing
+    /// the split dimension.
+    space: Box3,
+    len: u64,
+}
+
+impl LodQuadtree {
+    /// `space` must (loosely) cover all points ever inserted; it only
+    /// calibrates the adaptive split heuristic, never correctness.
+    pub fn new(pool: Arc<BufferPool>, space: Box3) -> Self {
+        let root = pool.allocate();
+        write_node(&pool, root, &NodeKind::Leaf(Vec::new()));
+        LodQuadtree { pool, root, space, len: 0 }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn insert(&mut self, pos: Vec3, data: u64) {
+        self.insert_at(self.root, QPoint { pos, data }, 0);
+        self.len += 1;
+    }
+
+    fn insert_at(&mut self, page: PageId, p: QPoint, depth: u32) {
+        assert!(depth < 64, "quadtree too deep — degenerate point distribution");
+        let node = read_node(&self.pool, page);
+        match node {
+            NodeKind::Leaf(mut pts) => {
+                if pts.len() < LEAF_CAP {
+                    pts.push(p);
+                    write_node(&self.pool, page, &NodeKind::Leaf(pts));
+                    return;
+                }
+                pts.push(p);
+                let split = self.split_leaf(page, pts);
+                write_node(&self.pool, page, &split);
+            }
+            NodeKind::Xy { mid_x, mid_y, children } => {
+                let idx = usize::from(p.pos.x >= mid_x) | (usize::from(p.pos.y >= mid_y) << 1);
+                self.insert_at(children[idx], p, depth + 1);
+            }
+            NodeKind::E { mid_e, children } => {
+                let idx = usize::from(p.pos.z >= mid_e);
+                self.insert_at(children[idx], p, depth + 1);
+            }
+        }
+    }
+
+    /// Decide the split dimension for an overflowing bucket and build the
+    /// children. Returns the new internal-node descriptor for `page`.
+    fn split_leaf(&mut self, _page: PageId, mut pts: Vec<QPoint>) -> NodeKind {
+        let ext = self.space.extent();
+        let norm = |v: f64, e: f64| if e > 0.0 { v / e } else { 0.0 };
+        let spread = |get: &dyn Fn(&QPoint) -> f64| -> f64 {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for p in &pts {
+                let v = get(p);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            hi - lo
+        };
+        let sx = norm(spread(&|p| p.pos.x), ext.x).max(norm(spread(&|p| p.pos.y), ext.y));
+        let se = norm(spread(&|p| p.pos.z), ext.z);
+
+        let median = |key: &dyn Fn(&QPoint) -> f64, pts: &mut [QPoint]| -> f64 {
+            let mid = pts.len() / 2;
+            pts.select_nth_unstable_by(mid, |a, b| {
+                key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            key(&pts[mid])
+        };
+
+        // Prefer the e-split when the LOD spread dominates — this is what
+        // makes the quadtree "adaptive" to the skewed LOD dimension.
+        if se > sx {
+            let mid_e = median(&|p| p.pos.z, &mut pts);
+            let (lo, hi): (Vec<QPoint>, Vec<QPoint>) =
+                pts.into_iter().partition(|p| p.pos.z < mid_e);
+            if !lo.is_empty() && !hi.is_empty() {
+                let children = [self.new_leaf(lo), self.new_leaf(hi)];
+                return NodeKind::E { mid_e, children };
+            }
+            // All e equal the median: fall through to an xy split.
+            return self.split_xy(match (lo, hi) {
+                (l, h) if l.is_empty() => h,
+                (l, _) => l,
+            });
+        }
+        let all = pts;
+        self.split_xy(all)
+    }
+
+    fn split_xy(&mut self, mut pts: Vec<QPoint>) -> NodeKind {
+        let mid = pts.len() / 2;
+        pts.select_nth_unstable_by(mid, |a, b| {
+            a.pos.x.partial_cmp(&b.pos.x).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid_x = pts[mid].pos.x;
+        pts.select_nth_unstable_by(mid, |a, b| {
+            a.pos.y.partial_cmp(&b.pos.y).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid_y = pts[mid].pos.y;
+        let mut quads: [Vec<QPoint>; 4] = Default::default();
+        for p in pts {
+            let idx = usize::from(p.pos.x >= mid_x) | (usize::from(p.pos.y >= mid_y) << 1);
+            quads[idx].push(p);
+        }
+        // Degenerate guard: if a quadrant swallowed everything (identical
+        // coordinates), the depth assertion in insert_at eventually fires;
+        // terrain points have unique (x, y) so this cannot happen there.
+        let children = quads.map(|q| self.new_leaf(q));
+        NodeKind::Xy { mid_x, mid_y, children }
+    }
+
+    fn new_leaf(&mut self, pts: Vec<QPoint>) -> PageId {
+        // An overfull child (possible under degenerate duplication) is
+        // split recursively on write.
+        if pts.len() > LEAF_CAP {
+            let page = self.pool.allocate();
+            let split = self.split_leaf(page, pts);
+            write_node(&self.pool, page, &split);
+            return page;
+        }
+        let page = self.pool.allocate();
+        write_node(&self.pool, page, &NodeKind::Leaf(pts));
+        page
+    }
+
+    /// 3D range query; calls `f` for every point inside `q` (closed box).
+    /// Returns the number of hits.
+    pub fn query(&self, q: &Box3, mut f: impl FnMut(&QPoint)) -> usize {
+        let mut hits = 0;
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            match read_node(&self.pool, page) {
+                NodeKind::Leaf(pts) => {
+                    for p in &pts {
+                        if q.contains(p.pos) {
+                            hits += 1;
+                            f(p);
+                        }
+                    }
+                }
+                NodeKind::Xy { mid_x, mid_y, children } => {
+                    let lo_x = q.min.x < mid_x;
+                    let hi_x = q.max.x >= mid_x;
+                    let lo_y = q.min.y < mid_y;
+                    let hi_y = q.max.y >= mid_y;
+                    if lo_x && lo_y {
+                        stack.push(children[0]);
+                    }
+                    if hi_x && lo_y {
+                        stack.push(children[1]);
+                    }
+                    if lo_x && hi_y {
+                        stack.push(children[2]);
+                    }
+                    if hi_x && hi_y {
+                        stack.push(children[3]);
+                    }
+                }
+                NodeKind::E { mid_e, children } => {
+                    if q.min.z < mid_e {
+                        stack.push(children[0]);
+                    }
+                    if q.max.z >= mid_e {
+                        stack.push(children[1]);
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Total number of nodes (pages).
+    pub fn num_nodes(&self) -> usize {
+        let mut n = 0;
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            n += 1;
+            match read_node(&self.pool, page) {
+                NodeKind::Leaf(_) => {}
+                NodeKind::Xy { children, .. } => stack.extend(children),
+                NodeKind::E { children, .. } => stack.extend(children),
+            }
+        }
+        n
+    }
+
+    /// All points concatenated in leaf (depth-first) order — the
+    /// clustering order for data placement aligned with the index.
+    pub fn collect_leaf_points(&self) -> Vec<QPoint> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            match read_node(&self.pool, page) {
+                NodeKind::Leaf(pts) => out.extend(pts),
+                NodeKind::Xy { children, .. } => stack.extend(children),
+                NodeKind::E { children, .. } => stack.extend(children),
+            }
+        }
+        out
+    }
+
+    /// Count of e-splits vs xy-splits (to observe the adaptivity).
+    pub fn split_profile(&self) -> (usize, usize) {
+        let mut e = 0;
+        let mut xy = 0;
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            match read_node(&self.pool, page) {
+                NodeKind::Leaf(_) => {}
+                NodeKind::Xy { children, .. } => {
+                    xy += 1;
+                    stack.extend(children);
+                }
+                NodeKind::E { children, .. } => {
+                    e += 1;
+                    stack.extend(children);
+                }
+            }
+        }
+        (e, xy)
+    }
+}
+
+fn read_node(pool: &BufferPool, page: PageId) -> NodeKind {
+    pool.read(page, |b| match b[0] {
+        KIND_LEAF => {
+            let n = codec::get_u16(b, 2) as usize;
+            let mut pts = Vec::with_capacity(n);
+            for i in 0..n {
+                let off = HDR + i * POINT;
+                pts.push(QPoint {
+                    pos: Vec3::new(
+                        codec::get_f64(b, off),
+                        codec::get_f64(b, off + 8),
+                        codec::get_f64(b, off + 16),
+                    ),
+                    data: codec::get_u64(b, off + 24),
+                });
+            }
+            NodeKind::Leaf(pts)
+        }
+        KIND_XY => NodeKind::Xy {
+            mid_x: codec::get_f64(b, 8),
+            mid_y: codec::get_f64(b, 16),
+            children: [
+                codec::get_u32(b, 24),
+                codec::get_u32(b, 28),
+                codec::get_u32(b, 32),
+                codec::get_u32(b, 36),
+            ],
+        },
+        KIND_E => NodeKind::E {
+            mid_e: codec::get_f64(b, 8),
+            children: [codec::get_u32(b, 16), codec::get_u32(b, 20)],
+        },
+        k => panic!("corrupt quadtree node kind {k}"),
+    })
+}
+
+fn write_node(pool: &BufferPool, page: PageId, node: &NodeKind) {
+    pool.write(page, |b| match node {
+        NodeKind::Leaf(pts) => {
+            assert!(pts.len() <= LEAF_CAP);
+            b[0] = KIND_LEAF;
+            codec::put_u16(b, 2, pts.len() as u16);
+            for (i, p) in pts.iter().enumerate() {
+                let off = HDR + i * POINT;
+                codec::put_f64(b, off, p.pos.x);
+                codec::put_f64(b, off + 8, p.pos.y);
+                codec::put_f64(b, off + 16, p.pos.z);
+                codec::put_u64(b, off + 24, p.data);
+            }
+        }
+        NodeKind::Xy { mid_x, mid_y, children } => {
+            b[0] = KIND_XY;
+            codec::put_f64(b, 8, *mid_x);
+            codec::put_f64(b, 16, *mid_y);
+            for (i, c) in children.iter().enumerate() {
+                codec::put_u32(b, 24 + i * 4, *c);
+            }
+        }
+        NodeKind::E { mid_e, children } => {
+            b[0] = KIND_E;
+            codec::put_f64(b, 8, *mid_e);
+            codec::put_u32(b, 16, children[0]);
+            codec::put_u32(b, 20, children[1]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_storage::MemStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Box::new(MemStore::new()), 512))
+    }
+
+    fn space() -> Box3 {
+        Box3::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1000.0, 1000.0, 100.0))
+    }
+
+    /// LOD-skewed points: uniform in (x, y), exponential-ish in e.
+    fn skewed_points(n: usize, seed: u64) -> Vec<QPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|i| {
+                let u: f64 = rng.random_range(0.0f64..1.0);
+                QPoint {
+                    pos: Vec3::new(
+                        rng.random_range(0.0..1000.0),
+                        rng.random_range(0.0..1000.0),
+                        100.0 * u.powi(8), // heavy skew toward 0
+                    ),
+                    data: i,
+                }
+            })
+            .collect()
+    }
+
+    fn brute(pts: &[QPoint], q: &Box3) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            pts.iter().filter(|p| q.contains(p.pos)).map(|p| p.data).collect();
+        v.sort();
+        v
+    }
+
+    fn query_sorted(t: &LodQuadtree, q: &Box3) -> Vec<u64> {
+        let mut v = Vec::new();
+        t.query(q, |p| v.push(p.data));
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn empty_query() {
+        let t = LodQuadtree::new(pool(), space());
+        assert_eq!(t.query(&space(), |_| {}), 0);
+    }
+
+    #[test]
+    fn small_roundtrip() {
+        let mut t = LodQuadtree::new(pool(), space());
+        for i in 0..100u64 {
+            t.insert(Vec3::new(i as f64, i as f64, i as f64 / 10.0), i);
+        }
+        assert_eq!(t.len(), 100);
+        let q = Box3::new(Vec3::new(10.0, 10.0, 0.0), Vec3::new(20.0, 20.0, 100.0));
+        assert_eq!(query_sorted(&t, &q), (10..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_brute_force_on_skewed_data() {
+        let pts = skewed_points(20_000, 77);
+        let mut t = LodQuadtree::new(pool(), space());
+        for p in &pts {
+            t.insert(p.pos, p.data);
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..25 {
+            let x = rng.random_range(0.0..800.0);
+            let y = rng.random_range(0.0..800.0);
+            let e0 = rng.random_range(0.0..50.0);
+            let q = Box3::new(
+                Vec3::new(x, y, e0),
+                Vec3::new(x + 150.0, y + 150.0, e0 + rng.random_range(0.0..50.0)),
+            );
+            assert_eq!(query_sorted(&t, &q), brute(&pts, &q));
+        }
+    }
+
+    #[test]
+    fn adaptive_splits_use_e_dimension() {
+        // With the heavy LOD skew, at least some splits must be e-splits —
+        // that is the LOD-quadtree's reason to exist.
+        let pts = skewed_points(20_000, 99);
+        let mut t = LodQuadtree::new(pool(), space());
+        for p in &pts {
+            t.insert(p.pos, p.data);
+        }
+        let (e_splits, xy_splits) = t.split_profile();
+        assert!(xy_splits > 0);
+        assert!(e_splits > 0, "no e-splits on severely skewed data");
+    }
+
+    #[test]
+    fn query_cost_scales_with_selectivity() {
+        let pts = skewed_points(30_000, 5);
+        let p = pool();
+        let mut t = LodQuadtree::new(Arc::clone(&p), space());
+        for q in &pts {
+            t.insert(q.pos, q.data);
+        }
+        p.flush_all();
+        p.reset_stats();
+        let small = Box3::new(Vec3::new(400.0, 400.0, 0.0), Vec3::new(450.0, 450.0, 100.0));
+        t.query(&small, |_| {});
+        let small_reads = p.stats().reads;
+        p.flush_all();
+        p.reset_stats();
+        t.query(&space(), |_| {});
+        let all_reads = p.stats().reads;
+        assert!(small_reads >= 1);
+        assert!(small_reads * 5 < all_reads, "small {small_reads} vs all {all_reads}");
+        assert_eq!(all_reads as usize, t.num_nodes());
+    }
+
+    #[test]
+    fn boundary_points_on_split_plane() {
+        // Points exactly at the split coordinate must land in the `>=`
+        // child and still be found.
+        let mut t = LodQuadtree::new(pool(), space());
+        let mut pts = Vec::new();
+        for i in 0..(LEAF_CAP * 3) as u64 {
+            let p = QPoint {
+                pos: Vec3::new(500.0, (i % 97) as f64 * 10.0, (i % 13) as f64),
+                data: i,
+            };
+            t.insert(p.pos, p.data);
+            pts.push(p);
+        }
+        let q = Box3::new(Vec3::new(500.0, 0.0, 0.0), Vec3::new(500.0, 1000.0, 100.0));
+        assert_eq!(query_sorted(&t, &q), brute(&pts, &q));
+    }
+}

@@ -1,0 +1,761 @@
+//! A disk-based 3D R\*-tree (Beckmann, Kriegel, Schneider & Seeger, 1990).
+//!
+//! This is the index the paper builds over Direct Mesh nodes: each node is
+//! a vertical segment in `(x, y, e)` space and queries are boxes (possibly
+//! degenerate "query planes"). The tree also serves 2D uses (HDoV tiles)
+//! by leaving the third dimension degenerate.
+//!
+//! Node pages hold up to [`CAP`] entries of 56 bytes (an `f64` box plus a
+//! `u64` payload: data for leaves, child page id for internal nodes).
+//! Implemented:
+//!
+//! * dynamic insertion with the full R\* heuristics — choose-subtree by
+//!   overlap enlargement (with the 32-candidate optimization), forced
+//!   reinsertion of 30 % on first overflow per level, and the
+//!   margin-driven axis/distribution split,
+//! * Sort-Tile-Recursive bulk loading (x/y/z tiling),
+//! * range queries over the buffer pool, so every node touched is a
+//!   counted disk access.
+//!
+//! Deletion is not implemented: terrain datasets are write-once.
+
+use std::sync::Arc;
+
+use dm_geom::{Box3, Vec3};
+use dm_storage::page::{codec, PageId, PAGE_SIZE};
+use dm_storage::BufferPool;
+
+const HDR: usize = 8;
+const ENTRY: usize = 56; // 6 × f64 box + u64 payload
+/// Maximum entries per node.
+pub const CAP: usize = (PAGE_SIZE - HDR) / ENTRY; // 146
+/// Minimum fill after a split (40 % of CAP, the R* recommendation).
+pub const MIN_FILL: usize = (CAP * 2) / 5; // 58
+/// Entries removed by forced reinsertion (30 % of CAP).
+pub const REINSERT_P: usize = (CAP * 3) / 10; // 43
+/// Candidate subset size for the overlap-enlargement choose-subtree test.
+const CHOOSE_CANDIDATES: usize = 32;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    bbox: Box3,
+    val: u64,
+}
+
+struct Node {
+    is_leaf: bool,
+    entries: Vec<Entry>,
+}
+
+impl Node {
+    fn mbr(&self) -> Box3 {
+        let mut b = Box3::EMPTY;
+        for e in &self.entries {
+            b = b.union(&e.bbox);
+        }
+        b
+    }
+}
+
+enum Outcome {
+    /// Insert absorbed; the subtree MBR is now this.
+    Ok(Box3),
+    /// The child node split; `old_box` is the kept page's new MBR and
+    /// `new_entry` points at the freshly allocated sibling.
+    Split { old_box: Box3, new_entry: Entry },
+    /// Forced reinsertion: the node shed `pending` entries (tagged with
+    /// the level they must re-enter at).
+    Reinsert { old_box: Box3, pending: Vec<(Entry, u32)> },
+}
+
+/// The R\*-tree.
+pub struct RStarTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    height: u32, // number of levels; leaf level is 0, root level is height-1
+    len: u64,
+}
+
+impl RStarTree {
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        let root = pool.allocate();
+        write_node(&pool, root, &Node { is_leaf: true, entries: Vec::new() });
+        RStarTree { pool, root, height: 1, len: 0 }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Reattach to an existing tree (catalog reload).
+    pub fn from_parts(pool: Arc<BufferPool>, root: PageId, height: u32, len: u64) -> Self {
+        RStarTree { pool, root, height, len }
+    }
+
+    /// Insert one entry using the R\* heuristics.
+    pub fn insert(&mut self, bbox: Box3, data: u64) {
+        let mut reinserted = vec![false; self.height as usize];
+        self.insert_entry(Entry { bbox, val: data }, 0, &mut reinserted);
+        self.len += 1;
+    }
+
+    fn insert_entry(&mut self, entry: Entry, target_level: u32, reinserted: &mut Vec<bool>) {
+        let root_level = self.height - 1;
+        match self.insert_rec(self.root, root_level, entry, target_level, reinserted) {
+            Outcome::Ok(_) => {}
+            Outcome::Split { old_box, new_entry } => {
+                let old_root = self.root;
+                let new_root = self.pool.allocate();
+                write_node(
+                    &self.pool,
+                    new_root,
+                    &Node {
+                        is_leaf: false,
+                        entries: vec![Entry { bbox: old_box, val: old_root as u64 }, new_entry],
+                    },
+                );
+                self.root = new_root;
+                self.height += 1;
+                reinserted.resize(self.height as usize, true); // no reinsert at new root level
+            }
+            Outcome::Reinsert { pending, .. } => {
+                for (e, level) in pending {
+                    self.insert_entry(e, level, reinserted);
+                }
+            }
+        }
+    }
+
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        level: u32,
+        entry: Entry,
+        target_level: u32,
+        reinserted: &mut Vec<bool>,
+    ) -> Outcome {
+        let mut node = read_node(&self.pool, page);
+        if level == target_level {
+            node.entries.push(entry);
+            if node.entries.len() <= CAP {
+                let mbr = node.mbr();
+                write_node(&self.pool, page, &node);
+                return Outcome::Ok(mbr);
+            }
+            return self.overflow_treatment(page, node, level, reinserted);
+        }
+
+        debug_assert!(!node.is_leaf, "reached leaf above target level");
+        let idx = choose_subtree(&node, &entry.bbox, level == target_level + 1 && target_level == 0);
+        let child = node.entries[idx].val as PageId;
+        match self.insert_rec(child, level - 1, entry, target_level, reinserted) {
+            Outcome::Ok(newbox) => {
+                node.entries[idx].bbox = newbox;
+                let mbr = node.mbr();
+                write_node(&self.pool, page, &node);
+                Outcome::Ok(mbr)
+            }
+            Outcome::Reinsert { old_box, pending } => {
+                node.entries[idx].bbox = old_box;
+                let mbr = node.mbr();
+                write_node(&self.pool, page, &node);
+                Outcome::Reinsert { old_box: mbr, pending }
+            }
+            Outcome::Split { old_box, new_entry } => {
+                node.entries[idx].bbox = old_box;
+                node.entries.push(new_entry);
+                if node.entries.len() <= CAP {
+                    let mbr = node.mbr();
+                    write_node(&self.pool, page, &node);
+                    return Outcome::Ok(mbr);
+                }
+                self.overflow_treatment(page, node, level, reinserted)
+            }
+        }
+    }
+
+    fn overflow_treatment(
+        &mut self,
+        page: PageId,
+        mut node: Node,
+        level: u32,
+        reinserted: &mut [bool],
+    ) -> Outcome {
+        let root_level = self.height - 1;
+        let lvl = level as usize;
+        if level < root_level && lvl < reinserted.len() && !reinserted[lvl] {
+            // Forced reinsertion: shed the P entries whose centres lie
+            // farthest from the node centre.
+            reinserted[lvl] = true;
+            let center = node.mbr().center();
+            node.entries.sort_by(|a, b| {
+                let da = a.bbox.center().dist_sq(center);
+                let db = b.bbox.center().dist_sq(center);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let keep = node.entries.len() - REINSERT_P;
+            let removed: Vec<Entry> = node.entries.split_off(keep);
+            let old_box = node.mbr();
+            write_node(&self.pool, page, &node);
+            Outcome::Reinsert {
+                old_box,
+                pending: removed.into_iter().map(|e| (e, level)).collect(),
+            }
+        } else {
+            let (a, b) = rstar_split(std::mem::take(&mut node.entries));
+            let is_leaf = node.is_leaf;
+            let node_a = Node { is_leaf, entries: a };
+            let node_b = Node { is_leaf, entries: b };
+            let old_box = node_a.mbr();
+            let new_box = node_b.mbr();
+            write_node(&self.pool, page, &node_a);
+            let new_page = self.pool.allocate();
+            write_node(&self.pool, new_page, &node_b);
+            Outcome::Split {
+                old_box,
+                new_entry: Entry { bbox: new_box, val: new_page as u64 },
+            }
+        }
+    }
+
+    /// Bulk-load with Sort-Tile-Recursive packing (x, then y, then z
+    /// tiling). `fill` in `(0, 1]` is the target node occupancy.
+    pub fn bulk_load(pool: Arc<BufferPool>, items: Vec<(Box3, u64)>, fill: f64) -> Self {
+        assert!(fill > 0.0 && fill <= 1.0);
+        if items.is_empty() {
+            return RStarTree::new(pool);
+        }
+        let cap = ((CAP as f64 * fill) as usize).clamp(2, CAP);
+        let len = items.len() as u64;
+        let mut entries: Vec<Entry> =
+            items.into_iter().map(|(bbox, val)| Entry { bbox, val }).collect();
+        let mut height = 1u32;
+        let mut is_leaf = true;
+        loop {
+            entries = str_pack_level(&pool, entries, cap, is_leaf);
+            if entries.len() == 1 {
+                let root = entries[0].val as PageId;
+                return RStarTree { pool, root, height, len };
+            }
+            is_leaf = false;
+            height += 1;
+        }
+    }
+
+    /// Range query: `f` is called for every leaf entry whose box
+    /// intersects `q`. Returns the number of matching entries.
+    pub fn query(&self, q: &Box3, mut f: impl FnMut(&Box3, u64)) -> usize {
+        let mut hits = 0;
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = read_node(&self.pool, page);
+            for e in &node.entries {
+                if e.bbox.intersects(q) {
+                    if node.is_leaf {
+                        hits += 1;
+                        f(&e.bbox, e.val);
+                    } else {
+                        stack.push(e.val as PageId);
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Collect every node's MBR (all levels, root included). Used by the
+    /// cost model; runs over the buffer pool once at optimizer-statistics
+    /// build time, not during measured queries.
+    pub fn collect_node_regions(&self) -> Vec<Box3> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = read_node(&self.pool, page);
+            out.push(node.mbr());
+            if !node.is_leaf {
+                for e in &node.entries {
+                    stack.push(e.val as PageId);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of nodes (pages) in the tree.
+    pub fn num_nodes(&self) -> usize {
+        let mut n = 0;
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = read_node(&self.pool, page);
+            n += 1;
+            if !node.is_leaf {
+                for e in &node.entries {
+                    stack.push(e.val as PageId);
+                }
+            }
+        }
+        n
+    }
+
+    /// Structural validation (for tests): entry containment, fill factors,
+    /// uniform leaf depth. Returns the total number of leaf entries.
+    pub fn validate(&self) -> Result<u64, String> {
+        let mut leaf_depth: Option<u32> = None;
+        let mut count = 0u64;
+        // (page, depth, parent_box)
+        let mut stack: Vec<(PageId, u32, Option<Box3>)> = vec![(self.root, 0, None)];
+        while let Some((page, depth, parent_box)) = stack.pop() {
+            let node = read_node(&self.pool, page);
+            if let Some(pb) = parent_box {
+                let mbr = node.mbr();
+                if !pb.contains_box(&mbr) {
+                    return Err(format!("node {page}: parent box does not contain mbr"));
+                }
+            }
+            if node.entries.len() > CAP {
+                return Err(format!("node {page} overfull: {}", node.entries.len()));
+            }
+            if depth > 0 && node.entries.is_empty() {
+                return Err(format!("non-root node {page} is empty"));
+            }
+            if node.is_leaf {
+                match leaf_depth {
+                    None => leaf_depth = Some(depth),
+                    Some(d) if d != depth => {
+                        return Err(format!("leaf depth mismatch: {d} vs {depth}"))
+                    }
+                    _ => {}
+                }
+                if depth + 1 != self.height {
+                    return Err(format!("leaf at depth {depth} but height {}", self.height));
+                }
+                count += node.entries.len() as u64;
+            } else {
+                for e in &node.entries {
+                    stack.push((e.val as PageId, depth + 1, Some(e.bbox)));
+                }
+            }
+        }
+        if count != self.len {
+            return Err(format!("len {} != leaf entries {count}", self.len));
+        }
+        Ok(count)
+    }
+}
+
+fn axis(v: Vec3, d: usize) -> f64 {
+    match d {
+        0 => v.x,
+        1 => v.y,
+        _ => v.z,
+    }
+}
+
+/// R\* choose-subtree: overlap-enlargement criterion when the children are
+/// leaves, volume enlargement otherwise.
+fn choose_subtree(node: &Node, bbox: &Box3, children_are_leaves: bool) -> usize {
+    debug_assert!(!node.entries.is_empty());
+    if !children_are_leaves {
+        return min_by_keys(node.entries.iter().enumerate().map(|(i, e)| {
+            (i, [e.bbox.enlargement(bbox), e.bbox.volume(), 0.0])
+        }));
+    }
+    // Leaf level: among the CHOOSE_CANDIDATES entries with the least
+    // volume enlargement, pick the one whose expansion adds the least
+    // overlap with the siblings.
+    let mut cand: Vec<(usize, f64)> = node
+        .entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i, e.bbox.enlargement(bbox)))
+        .collect();
+    cand.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    cand.truncate(CHOOSE_CANDIDATES);
+    min_by_keys(cand.into_iter().map(|(i, enlargement)| {
+        let expanded = node.entries[i].bbox.union(bbox);
+        let mut overlap_delta = 0.0;
+        for (j, other) in node.entries.iter().enumerate() {
+            if j != i {
+                overlap_delta += expanded.overlap(&other.bbox)
+                    - node.entries[i].bbox.overlap(&other.bbox);
+            }
+        }
+        (i, [overlap_delta, enlargement, node.entries[i].bbox.volume()])
+    }))
+}
+
+/// Pick the index with the lexicographically smallest key triple.
+fn min_by_keys(iter: impl Iterator<Item = (usize, [f64; 3])>) -> usize {
+    let mut best = 0usize;
+    let mut best_key = [f64::INFINITY; 3];
+    for (i, key) in iter {
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The R\* split: choose the axis minimizing the margin sum over all
+/// distributions, then the distribution minimizing overlap (ties by
+/// combined volume).
+fn rstar_split(entries: Vec<Entry>) -> (Vec<Entry>, Vec<Entry>) {
+    let n = entries.len();
+    debug_assert!(n > CAP);
+    let mut best_axis = 0usize;
+    let mut best_margin = f64::INFINITY;
+    // Distributions are defined over two sorted orders per axis (by lower
+    // and by upper coordinate).
+    let sorted = |d: usize, by_max: bool| -> Vec<Entry> {
+        let mut v = entries.clone();
+        v.sort_by(|a, b| {
+            let ka = if by_max { axis(a.bbox.max, d) } else { axis(a.bbox.min, d) };
+            let kb = if by_max { axis(b.bbox.max, d) } else { axis(b.bbox.min, d) };
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    };
+    for d in 0..3 {
+        let mut margin_sum = 0.0;
+        for by_max in [false, true] {
+            let v = sorted(d, by_max);
+            for k in MIN_FILL..=(n - MIN_FILL) {
+                let b1 = mbr_of(&v[..k]);
+                let b2 = mbr_of(&v[k..]);
+                margin_sum += b1.margin() + b2.margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = d;
+        }
+    }
+    // Best distribution on the chosen axis.
+    let mut best: Option<(Vec<Entry>, Vec<Entry>)> = None;
+    let mut best_key = [f64::INFINITY; 2];
+    for by_max in [false, true] {
+        let v = sorted(best_axis, by_max);
+        for k in MIN_FILL..=(n - MIN_FILL) {
+            let b1 = mbr_of(&v[..k]);
+            let b2 = mbr_of(&v[k..]);
+            let key = [b1.overlap(&b2), b1.volume() + b2.volume()];
+            if key < best_key {
+                best_key = key;
+                best = Some((v[..k].to_vec(), v[k..].to_vec()));
+            }
+        }
+    }
+    best.expect("at least one distribution")
+}
+
+fn mbr_of(entries: &[Entry]) -> Box3 {
+    let mut b = Box3::EMPTY;
+    for e in entries {
+        b = b.union(&e.bbox);
+    }
+    b
+}
+
+/// Sort-Tile-Recursive grouping: x-slabs, then y-runs, then z order, with
+/// node boundaries aligned to run boundaries. Returns the leaf groups in
+/// pack order.
+fn str_tiles(mut items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
+    let n = items.len();
+    let pages = n.div_ceil(cap);
+    let sx = (pages as f64).cbrt().ceil() as usize;
+    let slab_items = n.div_ceil(sx.max(1));
+    sort_by_center(&mut items, 0);
+    let mut groups = Vec::with_capacity(pages);
+    let mut rest: &mut [Entry] = &mut items;
+    while !rest.is_empty() {
+        let take = slab_items.min(rest.len());
+        let (slab, tail) = rest.split_at_mut(take);
+        let slab_pages = slab.len().div_ceil(cap);
+        let sy = (slab_pages as f64).sqrt().ceil() as usize;
+        let run_items = slab.len().div_ceil(sy.max(1));
+        sort_by_center(slab, 1);
+        let mut srest: &mut [Entry] = slab;
+        while !srest.is_empty() {
+            let take = run_items.min(srest.len());
+            let (run, stail) = srest.split_at_mut(take);
+            sort_by_center(run, 2);
+            for chunk in run.chunks(cap) {
+                groups.push(chunk.to_vec());
+            }
+            srest = stail;
+        }
+        rest = tail;
+    }
+    groups
+}
+
+/// The order in which [`RStarTree::bulk_load`] with the same `fill` will
+/// pack these boxes into leaves. Callers use it to place data records on
+/// disk aligned with the index leaves (clustered storage).
+pub fn str_leaf_order(items: &[(Box3, u64)], fill: f64) -> Vec<u64> {
+    let cap = ((CAP as f64 * fill) as usize).clamp(2, CAP);
+    let entries: Vec<Entry> =
+        items.iter().map(|&(bbox, val)| Entry { bbox, val }).collect();
+    str_tiles(entries, cap).into_iter().flatten().map(|e| e.val).collect()
+}
+
+/// Pack one level of STR tiles; returns the entries for the next level up.
+fn str_pack_level(pool: &Arc<BufferPool>, items: Vec<Entry>, cap: usize, is_leaf: bool) -> Vec<Entry> {
+    let groups = str_tiles(items, cap);
+    let mut out = Vec::with_capacity(groups.len());
+    for group in groups {
+        let page = pool.allocate();
+        let node = Node { is_leaf, entries: group };
+        write_node(pool, page, &node);
+        out.push(Entry { bbox: node.mbr(), val: page as u64 });
+    }
+    out
+}
+
+fn sort_by_center(items: &mut [Entry], d: usize) {
+    items.sort_by(|a, b| {
+        axis(a.bbox.center(), d)
+            .partial_cmp(&axis(b.bbox.center(), d))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+fn read_node(pool: &BufferPool, page: PageId) -> Node {
+    pool.read(page, |b| {
+        let is_leaf = b[0] == 1;
+        let n = codec::get_u16(b, 2) as usize;
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = HDR + i * ENTRY;
+            let bbox = Box3::new(
+                Vec3::new(
+                    codec::get_f64(b, off),
+                    codec::get_f64(b, off + 8),
+                    codec::get_f64(b, off + 16),
+                ),
+                Vec3::new(
+                    codec::get_f64(b, off + 24),
+                    codec::get_f64(b, off + 32),
+                    codec::get_f64(b, off + 40),
+                ),
+            );
+            entries.push(Entry { bbox, val: codec::get_u64(b, off + 48) });
+        }
+        Node { is_leaf, entries }
+    })
+}
+
+fn write_node(pool: &BufferPool, page: PageId, node: &Node) {
+    assert!(node.entries.len() <= CAP, "node overflow: {}", node.entries.len());
+    pool.write(page, |b| {
+        b[0] = u8::from(node.is_leaf);
+        codec::put_u16(b, 2, node.entries.len() as u16);
+        for (i, e) in node.entries.iter().enumerate() {
+            let off = HDR + i * ENTRY;
+            codec::put_f64(b, off, e.bbox.min.x);
+            codec::put_f64(b, off + 8, e.bbox.min.y);
+            codec::put_f64(b, off + 16, e.bbox.min.z);
+            codec::put_f64(b, off + 24, e.bbox.max.x);
+            codec::put_f64(b, off + 32, e.bbox.max.y);
+            codec::put_f64(b, off + 40, e.bbox.max.z);
+            codec::put_u64(b, off + 48, e.val);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_storage::MemStore;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Box::new(MemStore::new()), 512))
+    }
+
+    fn pt(x: f64, y: f64, z: f64) -> Box3 {
+        Box3::point(Vec3::new(x, y, z))
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Box3, u64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|i| {
+                let x = rng.random_range(0.0..1000.0);
+                let y = rng.random_range(0.0..1000.0);
+                let z0 = rng.random_range(0.0..90.0);
+                let z1 = z0 + rng.random_range(0.0..10.0);
+                (Box3::vertical_segment(dm_geom::Vec2::new(x, y), z0, z1), i)
+            })
+            .collect()
+    }
+
+    fn brute_force(items: &[(Box3, u64)], q: &Box3) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            items.iter().filter(|(b, _)| b.intersects(q)).map(|&(_, d)| d).collect();
+        v.sort();
+        v
+    }
+
+    fn query_sorted(t: &RStarTree, q: &Box3) -> Vec<u64> {
+        let mut v = Vec::new();
+        t.query(q, |_, d| v.push(d));
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn empty_tree_query() {
+        let t = RStarTree::new(pool());
+        assert_eq!(t.query(&pt(0.0, 0.0, 0.0), |_, _| {}), 0);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn small_insert_and_query() {
+        let mut t = RStarTree::new(pool());
+        for i in 0..10u64 {
+            t.insert(pt(i as f64, i as f64, 0.0), i);
+        }
+        let q = Box3::new(Vec3::new(2.5, 0.0, -1.0), Vec3::new(6.5, 10.0, 1.0));
+        assert_eq!(query_sorted(&t, &q), vec![3, 4, 5, 6]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn dynamic_inserts_match_brute_force() {
+        let items = random_points(5000, 7);
+        let mut t = RStarTree::new(pool());
+        for &(b, d) in &items {
+            t.insert(b, d);
+        }
+        assert_eq!(t.len(), 5000);
+        t.validate().unwrap();
+        assert!(t.height() >= 2, "5000 entries must split");
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..25 {
+            let x = rng.random_range(0.0..900.0);
+            let y = rng.random_range(0.0..900.0);
+            let z = rng.random_range(0.0..80.0);
+            let q = Box3::new(
+                Vec3::new(x, y, z),
+                Vec3::new(x + rng.random_range(1.0..120.0), y + rng.random_range(1.0..120.0), z + rng.random_range(0.0..15.0)),
+            );
+            assert_eq!(query_sorted(&t, &q), brute_force(&items, &q));
+        }
+    }
+
+    #[test]
+    fn plane_query_hits_intersecting_segments() {
+        // The Direct Mesh use case: vertical segments and a degenerate
+        // query plane.
+        let items = random_points(2000, 13);
+        let t = RStarTree::bulk_load(pool(), items.clone(), 0.8);
+        let q = Box3::new(Vec3::new(0.0, 0.0, 50.0), Vec3::new(1000.0, 1000.0, 50.0));
+        assert_eq!(query_sorted(&t, &q), brute_force(&items, &q));
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        let items = random_points(20_000, 21);
+        let t = RStarTree::bulk_load(pool(), items.clone(), 0.75);
+        assert_eq!(t.len(), 20_000);
+        t.validate().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let x = rng.random_range(0.0..900.0);
+            let y = rng.random_range(0.0..900.0);
+            let q = Box3::new(
+                Vec3::new(x, y, 0.0),
+                Vec3::new(x + 80.0, y + 80.0, rng.random_range(0.0..100.0)),
+            );
+            assert_eq!(query_sorted(&t, &q), brute_force(&items, &q));
+        }
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let t = RStarTree::bulk_load(pool(), vec![], 0.8);
+        assert!(t.is_empty());
+        let t = RStarTree::bulk_load(pool(), vec![(pt(1.0, 2.0, 3.0), 42)], 0.8);
+        assert_eq!(t.len(), 1);
+        assert_eq!(query_sorted(&t, &pt(1.0, 2.0, 3.0)), vec![42]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_produces_shallower_or_equal_trees() {
+        let items = random_points(30_000, 3);
+        let p1 = pool();
+        let bulk = RStarTree::bulk_load(Arc::clone(&p1), items.clone(), 0.9);
+        let mut dynamic = RStarTree::new(pool());
+        for &(b, d) in items.iter().take(5000) {
+            dynamic.insert(b, d);
+        }
+        assert!(bulk.height() <= dynamic.height() + 1);
+        assert!(bulk.num_nodes() * CAP >= 30_000 / 2);
+    }
+
+    #[test]
+    fn query_counts_node_accesses() {
+        let items = random_points(20_000, 17);
+        let p = pool();
+        let t = RStarTree::bulk_load(Arc::clone(&p), items, 0.8);
+        p.flush_all();
+        p.reset_stats();
+        // A tiny query touches few pages; a full-space query touches all.
+        let tiny = Box3::new(Vec3::new(500.0, 500.0, 0.0), Vec3::new(505.0, 505.0, 1.0));
+        t.query(&tiny, |_, _| {});
+        let tiny_reads = p.stats().reads;
+        p.flush_all();
+        p.reset_stats();
+        let all = Box3::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1e6, 1e6, 1e6));
+        t.query(&all, |_, _| {});
+        let all_reads = p.stats().reads;
+        assert!(tiny_reads >= 1);
+        assert!(
+            all_reads as usize == t.num_nodes(),
+            "full query must touch every node ({} vs {})",
+            all_reads,
+            t.num_nodes()
+        );
+        assert!(tiny_reads * 10 < all_reads, "tiny {tiny_reads} vs all {all_reads}");
+    }
+
+    #[test]
+    fn collect_node_regions_covers_data() {
+        let items = random_points(3000, 31);
+        let t = RStarTree::bulk_load(pool(), items.clone(), 0.8);
+        let regions = t.collect_node_regions();
+        assert_eq!(regions.len(), t.num_nodes());
+        // The root MBR (largest region) must contain every item.
+        let root = regions.iter().fold(Box3::EMPTY, |a, b| a.union(b));
+        for (b, _) in items {
+            assert!(root.contains_box(&b));
+        }
+    }
+
+    #[test]
+    fn duplicate_boxes_are_retained() {
+        let mut t = RStarTree::new(pool());
+        for i in 0..300u64 {
+            t.insert(pt(5.0, 5.0, 5.0), i);
+        }
+        assert_eq!(query_sorted(&t, &pt(5.0, 5.0, 5.0)), (0..300).collect::<Vec<_>>());
+        t.validate().unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests: both spatial indexes against brute force.
+
+use std::sync::Arc;
+
+use dm_geom::{Box3, Vec2, Vec3};
+use dm_index::{LodQuadtree, RStarTree};
+use dm_storage::{BufferPool, MemStore};
+use proptest::prelude::*;
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024))
+}
+
+fn arb_segment() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (
+        0.0..1000.0f64,
+        0.0..1000.0f64,
+        0.0..100.0f64,
+        0.0..30.0f64,
+    )
+}
+
+fn arb_query() -> impl Strategy<Value = Box3> {
+    (
+        0.0..900.0f64,
+        0.0..900.0f64,
+        0.0..90.0f64,
+        0.0..300.0f64,
+        0.0..300.0f64,
+        0.0..40.0f64,
+    )
+        .prop_map(|(x, y, z, w, h, d)| {
+            Box3::new(Vec3::new(x, y, z), Vec3::new(x + w, y + h, z + d))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rtree_insert_matches_brute_force(
+        segs in proptest::collection::vec(arb_segment(), 1..300),
+        q in arb_query(),
+    ) {
+        let items: Vec<(Box3, u64)> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z0, dz))| {
+                (Box3::vertical_segment(Vec2::new(x, y), z0, z0 + dz), i as u64)
+            })
+            .collect();
+        let mut t = RStarTree::new(pool());
+        for &(b, d) in &items {
+            t.insert(b, d);
+        }
+        t.validate().unwrap();
+        let mut got = Vec::new();
+        t.query(&q, |_, d| got.push(d));
+        got.sort_unstable();
+        let mut want: Vec<u64> = items
+            .iter()
+            .filter(|(b, _)| b.intersects(&q))
+            .map(|&(_, d)| d)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_bulk_load_matches_brute_force(
+        segs in proptest::collection::vec(arb_segment(), 1..500),
+        q in arb_query(),
+        fill in 0.4..1.0f64,
+    ) {
+        let items: Vec<(Box3, u64)> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z0, dz))| {
+                (Box3::vertical_segment(Vec2::new(x, y), z0, z0 + dz), i as u64)
+            })
+            .collect();
+        let t = RStarTree::bulk_load(pool(), items.clone(), fill);
+        t.validate().unwrap();
+        let mut got = Vec::new();
+        t.query(&q, |_, d| got.push(d));
+        got.sort_unstable();
+        let mut want: Vec<u64> = items
+            .iter()
+            .filter(|(b, _)| b.intersects(&q))
+            .map(|&(_, d)| d)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quadtree_matches_brute_force(
+        pts in proptest::collection::vec(arb_segment(), 1..500),
+        q in arb_query(),
+    ) {
+        let space = Box3::new(Vec3::ZERO, Vec3::new(1000.0, 1000.0, 130.0));
+        let mut t = LodQuadtree::new(pool(), space);
+        let items: Vec<(Vec3, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z0, dz))| (Vec3::new(x, y, z0 + dz), i as u64))
+            .collect();
+        for &(p, d) in &items {
+            t.insert(p, d);
+        }
+        let mut got = Vec::new();
+        t.query(&q, |p| got.push(p.data));
+        got.sort_unstable();
+        let mut want: Vec<u64> =
+            items.iter().filter(|(p, _)| q.contains(*p)).map(|&(_, d)| d).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn str_leaf_order_is_a_permutation(
+        segs in proptest::collection::vec(arb_segment(), 1..400),
+        fill in 0.4..1.0f64,
+    ) {
+        let items: Vec<(Box3, u64)> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z0, dz))| {
+                (Box3::vertical_segment(Vec2::new(x, y), z0, z0 + dz), i as u64)
+            })
+            .collect();
+        let order = dm_index::rstar::str_leaf_order(&items, fill);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        let want: Vec<u64> = (0..items.len() as u64).collect();
+        prop_assert_eq!(sorted, want, "must be a permutation of the input ids");
+    }
+}

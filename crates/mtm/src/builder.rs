@@ -1,0 +1,508 @@
+//! Bottom-up PM construction (paper §2) with QEM ordering.
+//!
+//! Repeatedly collapses the cheapest legal edge `(u, v)` into a freshly
+//! created parent node, recording `parent`/`child1`/`child2`/`wing1`/
+//! `wing2` exactly as the paper's node layout requires. The assigned LOD
+//! value is the *running maximum* of the QEM error, which both satisfies
+//! the paper's normalization (`m.e ≥ children's e`) and makes the whole
+//! collapse sequence monotone — so the uniform cut at any `e` is a
+//! construction prefix (see DESIGN.md).
+//!
+//! The builder also records every *adjacency episode* (each pair of nodes
+//! that is ever connected by a mesh edge during construction). An edge
+//! exists exactly while both endpoints are alive, i.e. during the overlap
+//! of their LOD intervals — this is the raw material for the Direct Mesh
+//! connection lists.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dm_geom::Vec3;
+use dm_terrain::TriMesh;
+
+use crate::hierarchy::{PmHierarchy, PmNode, NIL_ID};
+use crate::quadric::Quadric;
+
+/// Construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PmBuildConfig {
+    /// Weight of the border-preservation constraint quadrics. `0` turns
+    /// boundary preservation off.
+    pub boundary_weight: f64,
+}
+
+impl Default for PmBuildConfig {
+    fn default() -> Self {
+        PmBuildConfig { boundary_weight: 1.0 }
+    }
+}
+
+/// Result of PM construction.
+pub struct PmBuild {
+    pub hierarchy: PmHierarchy,
+    /// Every pair of nodes ever adjacent during construction (unordered,
+    /// deduplicated, `a < b`).
+    pub edges: Vec<(u32, u32)>,
+    /// Raw QEM collapse costs in creation order (before the monotone
+    /// normalization). Diagnostics: how much the running max inflates.
+    pub raw_costs: Vec<f64>,
+}
+
+struct HeapEdge {
+    cost: f64,
+    u: u32,
+    v: u32,
+    /// Times this edge failed to collapse and was re-queued with a
+    /// penalty. Without retries a temporarily illegal edge (link
+    /// condition, fold-over) is lost forever, the cheap supply drains,
+    /// and the builder is forced into expensive out-of-order collapses.
+    retries: u8,
+}
+
+/// Retry budget per edge; each retry doubles the queue cost.
+const MAX_RETRIES: u8 = 16;
+
+impl PartialEq for HeapEdge {
+    fn eq(&self, o: &Self) -> bool {
+        self.cost == o.cost && self.u == o.u && self.v == o.v
+    }
+}
+impl Eq for HeapEdge {}
+impl PartialOrd for HeapEdge {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for HeapEdge {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap by cost (BinaryHeap is a max-heap), deterministic ties.
+        o.cost
+            .total_cmp(&self.cost)
+            .then_with(|| o.u.cmp(&self.u))
+            .then_with(|| o.v.cmp(&self.v))
+    }
+}
+
+/// Build the PM hierarchy from a full-resolution terrain mesh.
+///
+/// The mesh is consumed (collapsed down to its roots). Node ids follow
+/// `TriMesh` vertex ids: originals `0..n`, then created parents in
+/// collapse order.
+pub fn build_pm(mut mesh: TriMesh, cfg: &PmBuildConfig) -> PmBuild {
+    let n_leaves = mesh.vertex_capacity();
+    assert!(n_leaves >= 3, "terrain too small to simplify");
+
+    // --- Initial quadrics -------------------------------------------------
+    let mut quadrics: Vec<Quadric> = vec![Quadric::ZERO; n_leaves];
+    for t in mesh.live_triangles() {
+        let [a, b, c] = mesh.triangle(t);
+        let q = Quadric::from_triangle(mesh.position(a), mesh.position(b), mesh.position(c));
+        quadrics[a as usize] += q;
+        quadrics[b as usize] += q;
+        quadrics[c as usize] += q;
+    }
+
+    // --- Initial edges (and boundary constraints) ------------------------
+    let mut initial_edges: Vec<(u32, u32)> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for t in mesh.live_triangles() {
+            let tri = mesh.triangle(t);
+            for i in 0..3 {
+                let a = tri[i].min(tri[(i + 1) % 3]);
+                let b = tri[i].max(tri[(i + 1) % 3]);
+                if seen.insert((a, b)) {
+                    initial_edges.push((a, b));
+                }
+            }
+        }
+    }
+    if cfg.boundary_weight > 0.0 {
+        for &(a, b) in &initial_edges {
+            if mesh.triangles_with_edge(a, b).len() == 1 {
+                let q = Quadric::boundary_constraint(
+                    mesh.position(a),
+                    mesh.position(b),
+                    cfg.boundary_weight,
+                );
+                quadrics[a as usize] += q;
+                quadrics[b as usize] += q;
+            }
+        }
+    }
+
+    // --- Priority queue ---------------------------------------------------
+    let mut heap: BinaryHeap<HeapEdge> = BinaryHeap::with_capacity(initial_edges.len() * 2);
+    let push_edge = |heap: &mut BinaryHeap<HeapEdge>,
+                     quadrics: &[Quadric],
+                     mesh: &TriMesh,
+                     u: u32,
+                     v: u32| {
+        let q = quadrics[u as usize].add(&quadrics[v as usize]);
+        let cost = candidate_positions(&q, mesh.position(u), mesh.position(v))
+            .into_iter()
+            .map(|p| q.eval(p).max(0.0))
+            .fold(f64::INFINITY, f64::min);
+        heap.push(HeapEdge { cost, u, v, retries: 0 });
+    };
+    for &(u, v) in &initial_edges {
+        push_edge(&mut heap, &quadrics, &mesh, u, v);
+    }
+
+    // --- Collapse loop ----------------------------------------------------
+    let mut nodes: Vec<PmNode> = (0..n_leaves as u32)
+        .map(|id| PmNode {
+            id,
+            pos: mesh.position(id),
+            e_lo: 0.0,
+            e_hi: f64::INFINITY, // fixed up when a parent appears
+            parent: NIL_ID,
+            child1: NIL_ID,
+            child2: NIL_ID,
+            wing1: NIL_ID,
+            wing2: NIL_ID,
+        })
+        .collect();
+    let mut edges_ever = initial_edges;
+    let mut last_e = 0.0f64;
+    let mut raw_costs: Vec<f64> = Vec::new();
+
+    while let Some(HeapEdge { cost, u, v, retries }) = heap.pop() {
+        if !mesh.is_vertex_alive(u) || !mesh.is_vertex_alive(v) || !mesh.has_edge(u, v) {
+            continue; // stale entry
+        }
+        let q = quadrics[u as usize].add(&quadrics[v as usize]);
+        let mut success = None;
+        let mut cands = candidate_positions(&q, mesh.position(u), mesh.position(v));
+        cands.sort_by(|a, b| q.eval(*a).total_cmp(&q.eval(*b)));
+        // Never collapse at a position dramatically worse than this
+        // edge's best candidate: that would assign a wild error to a
+        // cheap edge (poisoning the monotone normalization). If only bad
+        // positions are legal right now, retry the edge later instead.
+        let best = q.eval(cands[0]).max(0.0);
+        let acceptable = best * 16.0 + 1e-12;
+        for pos in cands {
+            if q.eval(pos).max(0.0) > acceptable {
+                break;
+            }
+            if let Ok(res) = mesh.collapse_edge(u, v, pos) {
+                success = Some((pos, res));
+                break;
+            }
+        }
+        let Some((pos, res)) = success else {
+            // Not collapsible right now (link condition / fold-over /
+            // boundary rule). Re-queue with a penalty so it is retried
+            // after its neighbourhood evolves.
+            if retries < MAX_RETRIES {
+                heap.push(HeapEdge {
+                    cost: (cost.max(1e-12)) * 2.0,
+                    u,
+                    v,
+                    retries: retries + 1,
+                });
+            }
+            continue;
+        };
+        let w = res.new_vertex;
+        debug_assert_eq!(w as usize, nodes.len());
+
+        let e_raw = q.eval(pos).max(0.0).sqrt();
+        raw_costs.push(e_raw);
+        let e = e_raw.max(last_e);
+        last_e = e;
+
+        nodes[u as usize].parent = w;
+        nodes[u as usize].e_hi = e;
+        nodes[v as usize].parent = w;
+        nodes[v as usize].e_hi = e;
+        // Order the wings by side: wing1 is the wing for which
+        // (child1, child2, wing1) winds counter-clockwise, wing2 the other
+        // side. The refinement engine relies on this orientation to
+        // partition the neighbour fan deterministically at split time.
+        let (mut wing1, mut wing2) = (NIL_ID, NIL_ID);
+        for &wv in &res.wings {
+            let o = dm_geom::tri::orient2d(
+                nodes[u as usize].pos.xy(),
+                nodes[v as usize].pos.xy(),
+                nodes[wv as usize].pos.xy(),
+            );
+            if o > 0.0 && wing1 == NIL_ID {
+                wing1 = wv;
+            } else if o < 0.0 && wing2 == NIL_ID {
+                wing2 = wv;
+            } else if wing1 == NIL_ID {
+                wing1 = wv; // degenerate side: keep deterministic slots
+            } else {
+                wing2 = wv;
+            }
+        }
+        nodes.push(PmNode {
+            id: w,
+            pos,
+            e_lo: e,
+            e_hi: f64::INFINITY,
+            parent: NIL_ID,
+            child1: u,
+            child2: v,
+            wing1,
+            wing2,
+        });
+        quadrics.push(q);
+
+        for n in mesh.neighbors(w) {
+            edges_ever.push((n.min(w), n.max(w)));
+            push_edge(&mut heap, &quadrics, &mesh, w, n);
+        }
+    }
+
+    // --- Finalize -----------------------------------------------------------
+    let roots: Vec<u32> = mesh.live_vertices().collect();
+    let root_mesh: Vec<[u32; 3]> = mesh.live_triangles().map(|t| mesh.triangle(t)).collect();
+    edges_ever.sort_unstable();
+    edges_ever.dedup();
+    let hierarchy = PmHierarchy::assemble(nodes, roots, root_mesh, n_leaves);
+    PmBuild { hierarchy, edges: edges_ever, raw_costs }
+}
+
+/// Candidate placements for the merged vertex: QEM-optimal point when the
+/// system is solvable, then midpoint and both endpoints.
+fn candidate_positions(q: &Quadric, pu: Vec3, pv: Vec3) -> Vec<Vec3> {
+    let mut cands = Vec::with_capacity(4);
+    if let Some(p) = q.optimal_point() {
+        // Reject wild solutions far outside the edge neighbourhood (badly
+        // conditioned systems can fling the point away).
+        let span = pu.dist(pv) * 4.0 + 1e-9;
+        if p.dist((pu + pv) / 2.0) <= span {
+            cands.push(p);
+        }
+    }
+    cands.push((pu + pv) / 2.0);
+    cands.push(pu);
+    cands.push(pv);
+    cands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_terrain::generate;
+
+    fn build_fractal(n: usize, seed: u64) -> (TriMesh, PmBuild) {
+        let hf = generate::fractal_terrain(n, n, seed);
+        let mesh = TriMesh::from_heightfield(&hf);
+        let original = mesh.clone();
+        (original, build_pm(mesh, &PmBuildConfig::default()))
+    }
+
+    #[test]
+    fn builds_a_small_hierarchy() {
+        let (_, build) = build_fractal(9, 1);
+        let h = &build.hierarchy;
+        assert_eq!(h.n_leaves, 81);
+        assert!(h.len() > 81, "no collapses happened");
+        assert!(h.roots.len() < 81 / 4, "too many roots: {}", h.roots.len());
+        h.validate().expect("hierarchy invariants");
+    }
+
+    #[test]
+    fn collapse_errors_are_monotone_and_normalized() {
+        let (_, build) = build_fractal(9, 2);
+        let h = &build.hierarchy;
+        for n in &h.nodes {
+            if !n.is_leaf() {
+                assert!(n.e_lo >= h.node(n.child1).e_lo);
+                assert!(n.e_lo >= h.node(n.child2).e_lo);
+            } else {
+                assert_eq!(n.e_lo, 0.0, "leaves sit at LOD 0");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_cuts_are_valid_at_every_level() {
+        let (_, build) = build_fractal(9, 3);
+        let h = &build.hierarchy;
+        for frac in [0.0, 0.001, 0.01, 0.1, 0.3, 0.7, 1.0] {
+            let e = h.e_max * frac;
+            let cut = h.uniform_cut(e);
+            h.validate_cut(&cut)
+                .unwrap_or_else(|err| panic!("cut at {frac} of e_max: {err}"));
+        }
+    }
+
+    #[test]
+    fn cut_at_zero_is_all_leaves_for_noisy_terrain() {
+        let (_, build) = build_fractal(9, 4);
+        let h = &build.hierarchy;
+        let cut = h.uniform_cut(0.0);
+        // Fractal terrain has strictly positive collapse costs, so the cut
+        // at 0 keeps every original point.
+        assert_eq!(cut.len(), h.n_leaves);
+    }
+
+    #[test]
+    fn cut_above_emax_is_the_root_set() {
+        let (_, build) = build_fractal(9, 5);
+        let h = &build.hierarchy;
+        let cut = h.uniform_cut(h.e_max * 2.0);
+        let mut roots = h.roots.clone();
+        let mut cut = cut;
+        roots.sort();
+        cut.sort();
+        assert_eq!(cut, roots);
+    }
+
+    #[test]
+    fn replay_reproduces_every_uniform_cut() {
+        let (original, build) = build_fractal(9, 6);
+        let h = &build.hierarchy;
+        for frac in [0.0, 0.05, 0.25, 0.6, 1.1] {
+            let e = h.e_max * frac;
+            let mesh = h.replay_mesh(&original, e);
+            mesh.validate().expect("replayed mesh valid");
+            let cut = h.uniform_cut(e);
+            assert_eq!(
+                mesh.num_live_vertices(),
+                cut.len(),
+                "replay vertex count vs cut at {frac}·e_max"
+            );
+            let mut live: Vec<u32> = mesh.live_vertices().collect();
+            let mut cut = cut;
+            live.sort();
+            cut.sort();
+            assert_eq!(live, cut, "cut membership at {frac}·e_max");
+        }
+    }
+
+    #[test]
+    fn edge_episodes_cover_every_replayed_mesh_edge() {
+        // The defining property for Direct Mesh: the edges of the uniform
+        // cut at any LOD are exactly the ever-adjacent pairs whose
+        // intervals both contain that LOD.
+        let (original, build) = build_fractal(9, 7);
+        let h = &build.hierarchy;
+        let episode_set: std::collections::HashSet<(u32, u32)> =
+            build.edges.iter().copied().collect();
+        for frac in [0.0, 0.1, 0.4, 0.9] {
+            let e = h.e_max * frac;
+            let mesh = h.replay_mesh(&original, e);
+            let mut mesh_edges = std::collections::HashSet::new();
+            for t in mesh.live_triangles() {
+                let tri = mesh.triangle(t);
+                for i in 0..3 {
+                    let a = tri[i].min(tri[(i + 1) % 3]);
+                    let b = tri[i].max(tri[(i + 1) % 3]);
+                    mesh_edges.insert((a, b));
+                }
+            }
+            // Every mesh edge is a recorded episode with overlapping
+            // intervals containing e ...
+            for &(a, b) in &mesh_edges {
+                assert!(episode_set.contains(&(a, b)), "missing episode ({a},{b})");
+                assert!(h.interval(a).contains(e) && h.interval(b).contains(e));
+            }
+            // ... and every episode whose endpoints are both in the cut is
+            // a mesh edge (no phantom connections).
+            for &(a, b) in &build.edges {
+                if h.interval(a).contains(e) && h.interval(b).contains(e) {
+                    assert!(
+                        mesh_edges.contains(&(a, b)),
+                        "episode ({a},{b}) not an edge of the cut at {frac}·e_max"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wings_are_recorded() {
+        let (_, build) = build_fractal(9, 8);
+        let h = &build.hierarchy;
+        let mut with_two = 0;
+        for n in &h.nodes {
+            if !n.is_leaf() {
+                assert!(
+                    n.wing1 != NIL_ID || n.wing2 != NIL_ID,
+                    "every collapse has at least one wing"
+                );
+                if n.wing1 != NIL_ID && n.wing2 != NIL_ID {
+                    with_two += 1;
+                }
+            }
+        }
+        assert!(with_two > 0, "some collapses must be interior (two wings)");
+    }
+
+    #[test]
+    fn boundary_weight_delays_border_collapses() {
+        let hf = generate::fractal_terrain(9, 9, 10);
+        let build_with = build_pm(
+            TriMesh::from_heightfield(&hf),
+            &PmBuildConfig { boundary_weight: 20.0 },
+        );
+        let build_without = build_pm(
+            TriMesh::from_heightfield(&hf),
+            &PmBuildConfig { boundary_weight: 0.0 },
+        );
+        // Compare how long border leaves survive (normalized rank of
+        // their death among all collapses): constraints must not make
+        // borders die earlier on average.
+        let avg_border_rank = |b: &PmBuild| -> f64 {
+            let h = &b.hierarchy;
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            for row in 0..9usize {
+                for col in 0..9usize {
+                    if row == 0 || col == 0 || row == 8 || col == 8 {
+                        let id = (row * 9 + col) as u32;
+                        let parent = h.node(id).parent;
+                        if parent != NIL_ID {
+                            sum += parent as f64 / h.len() as f64;
+                        } else {
+                            sum += 1.0;
+                        }
+                        n += 1.0;
+                    }
+                }
+            }
+            sum / n
+        };
+        let with = avg_border_rank(&build_with);
+        let without = avg_border_rank(&build_without);
+        assert!(
+            with >= without - 0.05,
+            "boundary constraints made borders die earlier: {with:.3} vs {without:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (_, b1) = build_fractal(9, 12);
+        let (_, b2) = build_fractal(9, 12);
+        assert_eq!(b1.hierarchy.len(), b2.hierarchy.len());
+        for (x, y) in b1.hierarchy.nodes.iter().zip(&b2.hierarchy.nodes) {
+            assert_eq!(x.child1, y.child1);
+            assert_eq!(x.e_lo, y.e_lo);
+        }
+        assert_eq!(b1.edges, b2.edges);
+    }
+}
+
+#[cfg(test)]
+mod heap_order_tests {
+    use super::*;
+
+    #[test]
+    fn heap_pops_cheapest_first() {
+        let mut heap = std::collections::BinaryHeap::new();
+        for (i, c) in [5.0, 0.0, 15.0, 0.0, 3.0, 0.596, 0.0].into_iter().enumerate() {
+            heap.push(HeapEdge { cost: c, u: i as u32, v: 100 + i as u32, retries: 0 });
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = heap.pop() {
+            popped.push(e.cost);
+        }
+        assert_eq!(popped, vec![0.0, 0.0, 0.0, 0.596, 3.0, 5.0, 15.0]);
+    }
+}

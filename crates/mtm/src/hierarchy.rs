@@ -1,0 +1,276 @@
+//! The PM node table: LOD intervals, footprints, ancestor tests, cuts.
+
+use dm_geom::{Interval, Rect, Vec3};
+use dm_terrain::TriMesh;
+
+/// Sentinel for "no node".
+pub const NIL_ID: u32 = u32::MAX;
+
+/// One MTM node, exactly the paper's record
+/// `(ID, x, y, z, e, parent, child1, child2, wing1, wing2)` after LOD
+/// normalization (plus the derived interval upper bound).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PmNode {
+    pub id: u32,
+    pub pos: Vec3,
+    /// Normalized LOD value (`0` for leaves) — the interval lower bound.
+    pub e_lo: f64,
+    /// The parent's LOD value; `f64::INFINITY` for roots.
+    pub e_hi: f64,
+    pub parent: u32,
+    pub child1: u32,
+    pub child2: u32,
+    pub wing1: u32,
+    pub wing2: u32,
+}
+
+impl PmNode {
+    pub fn is_leaf(&self) -> bool {
+        self.child1 == NIL_ID
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.parent == NIL_ID
+    }
+
+    /// LOD interval `[e_lo, e_hi)`.
+    pub fn interval(&self) -> Interval {
+        Interval { lo: self.e_lo, hi: self.e_hi }
+    }
+}
+
+/// A complete PM hierarchy (a forest: simplification may stop with several
+/// roots when no further collapse is legal).
+///
+/// Node ids equal creation order: original terrain points first (`0..
+/// n_leaves`), then internal nodes in collapse order. Because the builder
+/// makes normalized errors globally non-decreasing along that order, the
+/// uniform cut at any LOD `e` is exactly the construction prefix
+/// `{collapses with e' ≤ e}` — the property the Direct Mesh connection
+/// lists rely on.
+#[derive(Clone, Debug)]
+pub struct PmHierarchy {
+    pub nodes: Vec<PmNode>,
+    pub roots: Vec<u32>,
+    /// Triangles of the coarsest mesh (among root nodes).
+    pub root_mesh: Vec<[u32; 3]>,
+    /// Subtree footprint of each node: MBR of all descendant leaf points
+    /// (the paper: "all internal nodes must record ... its footprint").
+    pub footprints: Vec<Rect>,
+    /// Euler-tour labels (enter, exit) for O(1) ancestorship tests.
+    euler: Vec<(u32, u32)>,
+    /// Number of original terrain points.
+    pub n_leaves: usize,
+    /// Largest finite normalized LOD value in the hierarchy.
+    pub e_max: f64,
+    /// Plan-view bounds of the terrain.
+    pub bounds: Rect,
+}
+
+impl PmHierarchy {
+    /// Assemble a hierarchy from finished node records; computes
+    /// footprints, Euler labels and summary fields.
+    pub fn assemble(
+        nodes: Vec<PmNode>,
+        roots: Vec<u32>,
+        root_mesh: Vec<[u32; 3]>,
+        n_leaves: usize,
+    ) -> Self {
+        // Footprints bottom-up; children precede parents by construction.
+        // A node's own (merged) position is included: QEM-optimal
+        // placements can drift slightly outside the descendants' MBR, and
+        // ROI tests must still find the node under its ancestors.
+        let mut footprints = vec![Rect::EMPTY; nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            let own = Rect::point(n.pos.xy());
+            footprints[i] = if n.is_leaf() {
+                own
+            } else {
+                footprints[n.child1 as usize]
+                    .union(&footprints[n.child2 as usize])
+                    .union(&own)
+            };
+        }
+        // Euler labels by iterative DFS over the forest.
+        let mut euler = vec![(0u32, 0u32); nodes.len()];
+        let mut clock = 0u32;
+        for &root in &roots {
+            // (node, entered?)
+            let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+            while let Some((id, entered)) = stack.pop() {
+                if entered {
+                    euler[id as usize].1 = clock;
+                    clock += 1;
+                    continue;
+                }
+                euler[id as usize].0 = clock;
+                clock += 1;
+                stack.push((id, true));
+                let n = &nodes[id as usize];
+                if !n.is_leaf() {
+                    stack.push((n.child1, false));
+                    stack.push((n.child2, false));
+                }
+            }
+        }
+        let mut e_max = 0.0f64;
+        let mut bounds = Rect::EMPTY;
+        for n in &nodes {
+            if n.e_lo.is_finite() {
+                e_max = e_max.max(n.e_lo);
+            }
+            // Cover every node: merged-vertex positions (QEM optima) can
+            // drift slightly outside the leaf grid.
+            bounds.expand_point(n.pos.xy());
+        }
+        PmHierarchy { nodes, roots, root_mesh, footprints, euler, n_leaves, e_max, bounds }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    #[inline]
+    pub fn node(&self, id: u32) -> &PmNode {
+        &self.nodes[id as usize]
+    }
+
+    /// True when `a` is an ancestor of `d` or `a == d`.
+    #[inline]
+    pub fn is_ancestor_or_self(&self, a: u32, d: u32) -> bool {
+        let (ea, xa) = self.euler[a as usize];
+        let (ed, _) = self.euler[d as usize];
+        ea <= ed && ed < xa
+    }
+
+    /// True when the two nodes lie on one root-leaf path.
+    #[inline]
+    pub fn related(&self, a: u32, b: u32) -> bool {
+        self.is_ancestor_or_self(a, b) || self.is_ancestor_or_self(b, a)
+    }
+
+    /// All nodes whose LOD interval encloses `e` — the uniform cut.
+    pub fn uniform_cut(&self, e: f64) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|n| n.interval().contains(e))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Check that a node set is a valid cut: every root-to-leaf path meets
+    /// it exactly once. Used by tests. `O(n)` over the whole forest.
+    pub fn validate_cut(&self, cut: &[u32]) -> Result<(), String> {
+        let in_cut: std::collections::HashSet<u32> = cut.iter().copied().collect();
+        // Count cut members on each path by propagating from roots.
+        let mut count = vec![0u32; self.nodes.len()];
+        // Process in reverse creation order (parents have larger ids).
+        let mut order: Vec<u32> = (0..self.nodes.len() as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(i));
+        for &root in &self.roots {
+            count[root as usize] = u32::from(in_cut.contains(&root));
+        }
+        for &id in &order {
+            let n = &self.nodes[id as usize];
+            if n.is_leaf() {
+                continue;
+            }
+            for c in [n.child1, n.child2] {
+                count[c as usize] = count[id as usize] + u32::from(in_cut.contains(&c));
+            }
+        }
+        for n in &self.nodes {
+            if n.is_leaf() && count[n.id as usize] != 1 {
+                return Err(format!(
+                    "path to leaf {} crosses the cut {} times",
+                    n.id, count[n.id as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference semantics: rebuild the mesh of the uniform cut at `e` by
+    /// replaying the collapse sequence on a fresh copy of the original
+    /// full-resolution mesh. Collapses are applied in creation order while
+    /// `e_lo ≤ e`; ids assigned by the replay match hierarchy ids.
+    pub fn replay_mesh(&self, original: &TriMesh, e: f64) -> TriMesh {
+        let mut mesh = original.clone();
+        assert_eq!(
+            mesh.vertex_capacity(),
+            self.n_leaves,
+            "replay needs the original full-resolution mesh"
+        );
+        for id in self.n_leaves..self.nodes.len() {
+            let n = &self.nodes[id];
+            if n.e_lo > e {
+                break; // monotone order: nothing further collapses
+            }
+            let w = mesh
+                .collapse_edge(n.child1, n.child2, n.pos)
+                .unwrap_or_else(|err| panic!("replay collapse {id} failed: {err:?}"));
+            debug_assert_eq!(w.new_vertex, n.id);
+        }
+        mesh
+    }
+
+    /// Interval of a node id.
+    pub fn interval(&self, id: u32) -> Interval {
+        self.node(id).interval()
+    }
+
+    /// Basic structural invariants; used by tests.
+    pub fn validate(&self) -> Result<(), String> {
+        for n in &self.nodes {
+            if n.e_lo < 0.0 {
+                return Err(format!("node {}: negative LOD", n.id));
+            }
+            if n.e_hi < n.e_lo {
+                return Err(format!("node {}: inverted interval", n.id));
+            }
+            if !n.is_root() {
+                let p = self.node(n.parent);
+                if p.child1 != n.id && p.child2 != n.id {
+                    return Err(format!("node {}: parent link broken", n.id));
+                }
+                if (p.e_lo - n.e_hi).abs() > 1e-12 {
+                    return Err(format!("node {}: e_hi != parent.e_lo", n.id));
+                }
+                if p.e_lo < n.e_lo {
+                    return Err(format!("node {}: parent error below child", n.id));
+                }
+                if n.id >= n.parent {
+                    return Err(format!("node {}: created after parent", n.id));
+                }
+            } else if n.e_hi != f64::INFINITY {
+                return Err(format!("root {}: interval must be unbounded", n.id));
+            }
+            if !n.is_leaf() {
+                for c in [n.child1, n.child2] {
+                    if self.node(c).parent != n.id {
+                        return Err(format!("node {}: child {c} does not link back", n.id));
+                    }
+                }
+                if !self.footprints[n.id as usize]
+                    .contains_rect(&self.footprints[n.child1 as usize])
+                {
+                    return Err(format!("node {}: footprint misses child", n.id));
+                }
+            }
+        }
+        // Monotone creation order of normalized errors.
+        let mut last = 0.0f64;
+        for id in self.n_leaves..self.nodes.len() {
+            let e = self.nodes[id].e_lo;
+            if e < last {
+                return Err(format!("node {id}: collapse order not monotone ({e} < {last})"));
+            }
+            last = e;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,213 @@
+//! Binary serialization of a finished PM construction.
+//!
+//! QEM simplification of a multi-million-point terrain takes minutes;
+//! persisting the [`PmBuild`] lets databases and benchmarks reload it in
+//! seconds. Little-endian `DMPM` format, version 1:
+//!
+//! ```text
+//! "DMPM" u32(version) u32(n_leaves) u32(n_nodes)
+//! n_nodes × node  (pos 24B, e_lo 8B, e_hi 8B, parent/children/wings 20B)
+//! u32(n_roots)    n_roots × u32
+//! u32(n_tris)     n_tris × 3×u32          (root mesh)
+//! u64(n_edges)    n_edges × 2×u32         (adjacency episodes)
+//! u32(n_raw)      n_raw × f64             (raw collapse costs)
+//! ```
+//!
+//! Node ids are implicit (storage order); roots/edges reference them.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+use dm_geom::Vec3;
+
+use crate::builder::PmBuild;
+use crate::hierarchy::{PmHierarchy, PmNode};
+
+const MAGIC: &[u8; 4] = b"DMPM";
+const VERSION: u32 = 1;
+
+/// Serialize a PM construction.
+pub fn save_pm(build: &PmBuild, writer: impl Write) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    let h = &build.hierarchy;
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(h.n_leaves as u32).to_le_bytes())?;
+    out.write_all(&(h.len() as u32).to_le_bytes())?;
+    for n in &h.nodes {
+        out.write_all(&n.pos.x.to_le_bytes())?;
+        out.write_all(&n.pos.y.to_le_bytes())?;
+        out.write_all(&n.pos.z.to_le_bytes())?;
+        out.write_all(&n.e_lo.to_le_bytes())?;
+        out.write_all(&n.e_hi.to_le_bytes())?;
+        for v in [n.parent, n.child1, n.child2, n.wing1, n.wing2] {
+            out.write_all(&v.to_le_bytes())?;
+        }
+    }
+    out.write_all(&(h.roots.len() as u32).to_le_bytes())?;
+    for r in &h.roots {
+        out.write_all(&r.to_le_bytes())?;
+    }
+    out.write_all(&(h.root_mesh.len() as u32).to_le_bytes())?;
+    for t in &h.root_mesh {
+        for v in t {
+            out.write_all(&v.to_le_bytes())?;
+        }
+    }
+    out.write_all(&(build.edges.len() as u64).to_le_bytes())?;
+    for &(a, b) in &build.edges {
+        out.write_all(&a.to_le_bytes())?;
+        out.write_all(&b.to_le_bytes())?;
+    }
+    out.write_all(&(build.raw_costs.len() as u32).to_le_bytes())?;
+    for c in &build.raw_costs {
+        out.write_all(&c.to_le_bytes())?;
+    }
+    out.flush()
+}
+
+/// Deserialize a PM construction; footprints and ancestor labels are
+/// rebuilt on load.
+pub fn load_pm(reader: impl Read) -> io::Result<PmBuild> {
+    let mut inp = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    inp.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a DMPM file (bad magic)"));
+    }
+    let version = read_u32(&mut inp)?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported DMPM version {version}")));
+    }
+    let n_leaves = read_u32(&mut inp)? as usize;
+    let n_nodes = read_u32(&mut inp)? as usize;
+    if n_leaves > n_nodes || n_nodes > (1 << 31) {
+        return Err(bad(&format!("implausible node counts {n_leaves}/{n_nodes}")));
+    }
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for id in 0..n_nodes as u32 {
+        let pos = Vec3::new(read_f64(&mut inp)?, read_f64(&mut inp)?, read_f64(&mut inp)?);
+        let e_lo = read_f64(&mut inp)?;
+        let e_hi = read_f64(&mut inp)?;
+        let parent = read_u32(&mut inp)?;
+        let child1 = read_u32(&mut inp)?;
+        let child2 = read_u32(&mut inp)?;
+        let wing1 = read_u32(&mut inp)?;
+        let wing2 = read_u32(&mut inp)?;
+        nodes.push(PmNode { id, pos, e_lo, e_hi, parent, child1, child2, wing1, wing2 });
+    }
+    let n_roots = read_u32(&mut inp)? as usize;
+    let mut roots = Vec::with_capacity(n_roots);
+    for _ in 0..n_roots {
+        roots.push(read_u32(&mut inp)?);
+    }
+    let n_tris = read_u32(&mut inp)? as usize;
+    let mut root_mesh = Vec::with_capacity(n_tris);
+    for _ in 0..n_tris {
+        root_mesh.push([read_u32(&mut inp)?, read_u32(&mut inp)?, read_u32(&mut inp)?]);
+    }
+    let n_edges = read_u64(&mut inp)? as usize;
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edges.push((read_u32(&mut inp)?, read_u32(&mut inp)?));
+    }
+    let n_raw = read_u32(&mut inp)? as usize;
+    let mut raw_costs = Vec::with_capacity(n_raw);
+    for _ in 0..n_raw {
+        raw_costs.push(read_f64(&mut inp)?);
+    }
+
+    // Sanity: every referenced id is in range.
+    let in_range = |v: u32| v == crate::hierarchy::NIL_ID || (v as usize) < n_nodes;
+    for n in &nodes {
+        if ![n.parent, n.child1, n.child2, n.wing1, n.wing2].iter().all(|&v| in_range(v)) {
+            return Err(bad(&format!("node {} references out-of-range ids", n.id)));
+        }
+    }
+    if !roots.iter().all(|&r| (r as usize) < n_nodes) {
+        return Err(bad("root id out of range"));
+    }
+
+    let hierarchy = PmHierarchy::assemble(nodes, roots, root_mesh, n_leaves);
+    Ok(PmBuild { hierarchy, edges, raw_costs })
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_pm, PmBuildConfig};
+    use dm_terrain::{generate, TriMesh};
+
+    fn sample() -> PmBuild {
+        let hf = generate::fractal_terrain(17, 17, 12);
+        build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let b = sample();
+        let mut buf = Vec::new();
+        save_pm(&b, &mut buf).unwrap();
+        let back = load_pm(&buf[..]).unwrap();
+        assert_eq!(back.hierarchy.len(), b.hierarchy.len());
+        assert_eq!(back.hierarchy.n_leaves, b.hierarchy.n_leaves);
+        assert_eq!(back.hierarchy.roots, b.hierarchy.roots);
+        assert_eq!(back.hierarchy.root_mesh, b.hierarchy.root_mesh);
+        assert_eq!(back.edges, b.edges);
+        assert_eq!(back.raw_costs, b.raw_costs);
+        for (x, y) in back.hierarchy.nodes.iter().zip(&b.hierarchy.nodes) {
+            assert_eq!(x, y);
+        }
+        back.hierarchy.validate().expect("reloaded hierarchy valid");
+        // Derived structures (footprints, ancestor labels) rebuilt.
+        assert_eq!(back.hierarchy.e_max, b.hierarchy.e_max);
+        assert_eq!(back.hierarchy.bounds, b.hierarchy.bounds);
+    }
+
+    #[test]
+    fn reloaded_hierarchy_answers_cuts_identically() {
+        let b = sample();
+        let mut buf = Vec::new();
+        save_pm(&b, &mut buf).unwrap();
+        let back = load_pm(&buf[..]).unwrap();
+        for frac in [0.05, 0.3, 0.9] {
+            let e = b.hierarchy.e_max * frac;
+            assert_eq!(back.hierarchy.uniform_cut(e), b.hierarchy.uniform_cut(e));
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let b = sample();
+        let mut buf = Vec::new();
+        save_pm(&b, &mut buf).unwrap();
+        assert!(load_pm(&b"XXXX rest"[..]).is_err(), "bad magic");
+        let mut truncated = buf.clone();
+        truncated.truncate(buf.len() / 2);
+        assert!(load_pm(&truncated[..]).is_err(), "truncation");
+        let mut version = buf.clone();
+        version[4] = 99;
+        assert!(load_pm(&version[..]).is_err(), "future version");
+    }
+}

@@ -1,0 +1,248 @@
+//! Quadric Error Metrics (Garland & Heckbert, SIGGRAPH 1997).
+//!
+//! A quadric is a symmetric 4×4 matrix `Q` such that for a homogeneous
+//! point `p = (x, y, z, 1)`, `pᵀQp` is the sum of squared distances to a
+//! set of planes. Summing the plane quadrics of a vertex's incident
+//! triangles (area-weighted) gives the error of moving that vertex;
+//! collapsing an edge accumulates both endpoint quadrics, and the optimal
+//! placement of the merged vertex minimizes the accumulated quadric.
+//!
+//! The paper pre-processes both datasets "using the Quadric Error
+//! Metrics", which is exactly this.
+
+use dm_geom::Vec3;
+
+/// A symmetric 4×4 quadric, stored as its 10 unique coefficients.
+///
+/// Layout: `[a11, a12, a13, a14, a22, a23, a24, a33, a34, a44]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Quadric {
+    q: [f64; 10],
+}
+
+impl Quadric {
+    pub const ZERO: Quadric = Quadric { q: [0.0; 10] };
+
+    /// Quadric of the plane `n·p + d = 0` with unit normal `n`, scaled by
+    /// `weight` (typically the triangle area).
+    pub fn from_plane(n: Vec3, d: f64, weight: f64) -> Self {
+        let (a, b, c) = (n.x, n.y, n.z);
+        Quadric {
+            q: [
+                weight * a * a,
+                weight * a * b,
+                weight * a * c,
+                weight * a * d,
+                weight * b * b,
+                weight * b * c,
+                weight * b * d,
+                weight * c * c,
+                weight * c * d,
+                weight * d * d,
+            ],
+        }
+    }
+
+    /// Area-weighted quadric of a triangle's supporting plane; zero for
+    /// degenerate triangles.
+    pub fn from_triangle(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        let n = (b - a).cross(c - a);
+        let len = n.length();
+        if len <= f64::EPSILON {
+            return Quadric::ZERO;
+        }
+        let area = len / 2.0;
+        let unit = n / len;
+        Quadric::from_plane(unit, -unit.dot(a), area)
+    }
+
+    /// Constraint quadric that penalizes moving away from the *vertical*
+    /// plane containing edge `a`–`b` (used to preserve terrain borders;
+    /// Garland's boundary-preservation trick). Weighted by
+    /// `weight · |ab|²`.
+    pub fn boundary_constraint(a: Vec3, b: Vec3, weight: f64) -> Self {
+        let edge = (b - a).xy();
+        let len = edge.length();
+        if len <= f64::EPSILON {
+            return Quadric::ZERO;
+        }
+        // Vertical plane through the edge: normal is horizontal,
+        // perpendicular to the edge.
+        let n = Vec3::new(-edge.y / len, edge.x / len, 0.0);
+        Quadric::from_plane(n, -n.dot(a), weight * len * len)
+    }
+
+    /// Evaluate `pᵀQp`.
+    pub fn eval(&self, p: Vec3) -> f64 {
+        let q = &self.q;
+        let (x, y, z) = (p.x, p.y, p.z);
+        q[0] * x * x
+            + 2.0 * q[1] * x * y
+            + 2.0 * q[2] * x * z
+            + 2.0 * q[3] * x
+            + q[4] * y * y
+            + 2.0 * q[5] * y * z
+            + 2.0 * q[6] * y
+            + q[7] * z * z
+            + 2.0 * q[8] * z
+            + q[9]
+    }
+
+    /// Position minimizing the quadric, if the 3×3 system is well
+    /// conditioned.
+    pub fn optimal_point(&self) -> Option<Vec3> {
+        let q = &self.q;
+        // Solve A x = -b with A the upper-left 3×3, b = (a14, a24, a34).
+        let a = [[q[0], q[1], q[2]], [q[1], q[4], q[5]], [q[2], q[5], q[7]]];
+        let b = [-q[3], -q[6], -q[8]];
+        solve3(a, b).map(|x| Vec3::new(x[0], x[1], x[2]))
+    }
+
+    pub fn add(&self, o: &Quadric) -> Quadric {
+        let mut q = self.q;
+        for (i, v) in o.q.iter().enumerate() {
+            q[i] += v;
+        }
+        Quadric { q }
+    }
+}
+
+impl std::ops::AddAssign for Quadric {
+    fn add_assign(&mut self, o: Quadric) {
+        for (i, v) in o.q.iter().enumerate() {
+            self.q[i] += v;
+        }
+    }
+}
+
+/// Solve a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. `None` when (nearly) singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    // Relative singularity threshold from the matrix magnitude.
+    let scale = a
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    if scale <= 0.0 {
+        return None;
+    }
+    let eps = 1e-10 * scale;
+    for col in 0..3 {
+        let piv = (col..3)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        if a[piv][col].abs() < eps {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col];
+            for (k, entry) in a[row].iter_mut().enumerate().skip(col) {
+                *entry -= f * pivot_row[k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for col in (0..3).rev() {
+        let mut s = b[col];
+        for k in col + 1..3 {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_quadric_measures_squared_distance() {
+        // Plane z = 0, weight 1: error at (x, y, z) is z².
+        let q = Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        assert!((q.eval(Vec3::new(5.0, -3.0, 2.0)) - 4.0).abs() < 1e-12);
+        assert!(q.eval(Vec3::new(100.0, 100.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_quadric_zero_on_its_plane() {
+        let a = Vec3::new(0.0, 0.0, 1.0);
+        let b = Vec3::new(2.0, 0.0, 1.0);
+        let c = Vec3::new(0.0, 2.0, 1.0);
+        let q = Quadric::from_triangle(a, b, c);
+        assert!(q.eval(Vec3::new(0.7, 0.7, 1.0)).abs() < 1e-12);
+        // One unit off the plane, area weight 2: error = area · 1².
+        assert!((q.eval(Vec3::new(0.0, 0.0, 2.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_triangle_gives_zero_quadric() {
+        let q = Quadric::from_triangle(Vec3::ZERO, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(q, Quadric::ZERO);
+    }
+
+    #[test]
+    fn sum_of_quadrics_adds_errors() {
+        let q1 = Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), 0.0, 1.0); // z = 0
+        let q2 = Quadric::from_plane(Vec3::new(1.0, 0.0, 0.0), 0.0, 1.0); // x = 0
+        let s = q1.add(&q2);
+        let p = Vec3::new(3.0, 9.0, 4.0);
+        assert!((s.eval(p) - (9.0 + 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_point_of_three_planes_is_their_intersection() {
+        let mut q = Quadric::from_plane(Vec3::new(1.0, 0.0, 0.0), -1.0, 1.0); // x = 1
+        q += Quadric::from_plane(Vec3::new(0.0, 1.0, 0.0), -2.0, 1.0); // y = 2
+        q += Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), -3.0, 1.0); // z = 3
+        let p = q.optimal_point().expect("full-rank system");
+        assert!(p.dist(Vec3::new(1.0, 2.0, 3.0)) < 1e-9);
+        assert!(q.eval(p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_point_of_single_plane_is_singular() {
+        let q = Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        assert!(q.optimal_point().is_none(), "rank-1 system has no unique minimum");
+    }
+
+    #[test]
+    fn optimal_point_minimizes() {
+        // Planes z = 0 and z = 2 (parallel) plus x = 0 and y = 0: optimum
+        // sits at x = 0, y = 0, z = 1.
+        let mut q = Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        q += Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), -2.0, 1.0);
+        q += Quadric::from_plane(Vec3::new(1.0, 0.0, 0.0), 0.0, 1.0);
+        q += Quadric::from_plane(Vec3::new(0.0, 1.0, 0.0), 0.0, 1.0);
+        let p = q.optimal_point().expect("rank 3");
+        assert!(p.dist(Vec3::new(0.0, 0.0, 1.0)) < 1e-9);
+        // Perturbations are never better.
+        for d in [
+            Vec3::new(0.1, 0.0, 0.0),
+            Vec3::new(0.0, -0.1, 0.0),
+            Vec3::new(0.0, 0.0, 0.3),
+        ] {
+            assert!(q.eval(p + d) > q.eval(p));
+        }
+    }
+
+    #[test]
+    fn boundary_constraint_penalizes_lateral_motion() {
+        // Edge along x: moving in y must hurt, moving in x/z must not.
+        let a = Vec3::new(0.0, 0.0, 5.0);
+        let b = Vec3::new(2.0, 0.0, 5.0);
+        let q = Quadric::boundary_constraint(a, b, 1.0);
+        assert!(q.eval(Vec3::new(1.0, 0.0, 9.0)).abs() < 1e-12);
+        assert!(q.eval(Vec3::new(5.0, 0.0, 0.0)).abs() < 1e-12);
+        assert!(q.eval(Vec3::new(1.0, 1.0, 5.0)) > 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests on the PM hierarchy invariants over random
+//! terrains, and the refinement/replay equivalence the Direct Mesh
+//! structure depends on.
+
+use dm_mtm::builder::{build_pm, PmBuildConfig};
+use dm_mtm::refine::{refine, FrontMesh, UniformTarget};
+use dm_mtm::{PmHierarchy, PmNode};
+use dm_terrain::{generate, TriMesh};
+use proptest::prelude::*;
+
+fn build(side: usize, seed: u64) -> (TriMesh, dm_mtm::PmBuild) {
+    let hf = generate::fractal_terrain(side, side, seed);
+    let mesh = TriMesh::from_heightfield(&hf);
+    let original = mesh.clone();
+    (original, build_pm(mesh, &PmBuildConfig::default()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn hierarchy_invariants_hold_for_random_terrains(
+        seed in 0u64..1000,
+        side in 7usize..14,
+    ) {
+        let (_, b) = build(side, seed);
+        b.hierarchy.validate().unwrap();
+        // Raw costs exist for every collapse.
+        prop_assert_eq!(
+            b.raw_costs.len(),
+            b.hierarchy.len() - b.hierarchy.n_leaves
+        );
+    }
+
+    #[test]
+    fn random_uniform_cuts_are_valid_and_replayable(
+        seed in 0u64..1000,
+        frac in 0.0..1.2f64,
+    ) {
+        let (original, b) = build(9, seed);
+        let h = &b.hierarchy;
+        let e = h.e_max * frac;
+        let cut = h.uniform_cut(e);
+        h.validate_cut(&cut).unwrap();
+        let replay = h.replay_mesh(&original, e);
+        prop_assert_eq!(replay.num_live_vertices(), cut.len());
+        replay.validate().unwrap();
+    }
+
+    #[test]
+    fn refinement_equals_replay_at_random_levels(
+        seed in 0u64..500,
+        frac in 0.0..1.0f64,
+    ) {
+        let (original, b) = build(9, seed);
+        let h = &b.hierarchy;
+        let e = h.e_max * frac;
+        let records: Vec<PmNode> = h.roots.iter().map(|&r| *h.node(r)).collect();
+        let mut front = FrontMesh::from_parts(records, &h.root_mesh);
+        let mut src: &PmHierarchy = h;
+        let stats = refine(&mut front, &mut src, &UniformTarget(e));
+        prop_assert_eq!(stats.blocked, 0);
+        let replay = h.replay_mesh(&original, e);
+        let mut got: Vec<u32> = front.vertex_ids().collect();
+        let mut want: Vec<u32> = replay.live_vertices().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(front.num_triangles(), replay.num_live_triangles());
+    }
+
+    #[test]
+    fn episodes_cover_cut_edges_at_random_levels(
+        seed in 0u64..500,
+        frac in 0.0..1.0f64,
+    ) {
+        let (original, b) = build(9, seed);
+        let h = &b.hierarchy;
+        let e = h.e_max * frac;
+        let replay = h.replay_mesh(&original, e);
+        let episodes: std::collections::HashSet<(u32, u32)> =
+            b.edges.iter().copied().collect();
+        for t in replay.live_triangles() {
+            let tri = replay.triangle(t);
+            for i in 0..3 {
+                let a = tri[i].min(tri[(i + 1) % 3]);
+                let bb = tri[i].max(tri[(i + 1) % 3]);
+                prop_assert!(episodes.contains(&(a, bb)));
+                prop_assert!(h.interval(a).overlaps(&h.interval(bb)));
+            }
+        }
+    }
+}

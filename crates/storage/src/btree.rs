@@ -1,0 +1,524 @@
+//! A disk-resident B+-tree mapping `u64` keys to `u64` values.
+//!
+//! Used as the primary-key index (`node id → record id`) on every terrain
+//! table, mirroring the paper's "B+-tree indexes are created wherever
+//! necessary for all the tables used".
+//!
+//! Node layout (8 KiB pages):
+//!
+//! ```text
+//! leaf:     [1u8][pad][n: u16][next_leaf: u32]  then n × (key u64, val u64)
+//! internal: [0u8][pad][n: u16][pad: u32][child0: u32]  then n × (key u64, child u32)
+//! ```
+//!
+//! An internal node with `n` keys has `n + 1` children; `key[i]` is the
+//! smallest key reachable in `child[i + 1]`.
+
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::page::{codec, PageId, NO_PAGE, PAGE_SIZE};
+
+const HDR: usize = 8;
+const LEAF_ENTRY: usize = 16;
+const INT_ENTRY: usize = 12;
+const INT_CHILD0: usize = HDR + 4; // after header + pad comes child0
+/// Max keys per leaf.
+pub const LEAF_CAP: usize = (PAGE_SIZE - HDR) / LEAF_ENTRY; // 511
+/// Max keys per internal node.
+pub const INT_CAP: usize = (PAGE_SIZE - INT_CHILD0 - 4) / INT_ENTRY; // ~680
+
+/// The B+-tree. Root page id changes as the tree grows.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    len: u64,
+    height: u32,
+}
+
+enum InsertResult {
+    Done,
+    /// Child split: (separator key, new right sibling page).
+    Split(u64, PageId),
+}
+
+impl BTree {
+    pub fn create(pool: Arc<BufferPool>) -> Self {
+        let root = pool.allocate();
+        pool.write(root, |b| {
+            b[0] = 1; // leaf
+            codec::put_u16(b, 2, 0);
+            codec::put_u32(b, 4, NO_PAGE);
+        });
+        BTree { pool, root, len: 0, height: 1 }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Reattach to an existing tree (catalog reload). The caller is
+    /// responsible for passing the values a prior instance reported.
+    pub fn from_parts(pool: Arc<BufferPool>, root: PageId, len: u64, height: u32) -> Self {
+        BTree { pool, root, len, height }
+    }
+
+    /// Insert or overwrite.
+    pub fn insert(&mut self, key: u64, value: u64) {
+        match self.insert_rec(self.root, key, value) {
+            InsertResult::Done => {}
+            InsertResult::Split(sep, right) => {
+                let new_root = self.pool.allocate();
+                let old_root = self.root;
+                self.pool.write(new_root, |b| {
+                    b[0] = 0; // internal
+                    codec::put_u16(b, 2, 1);
+                    codec::put_u32(b, INT_CHILD0, old_root);
+                    codec::put_u64(b, INT_CHILD0 + 4, sep);
+                    codec::put_u32(b, INT_CHILD0 + 12, right);
+                });
+                self.root = new_root;
+                self.height += 1;
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut page = self.root;
+        loop {
+            enum Step {
+                Descend(PageId),
+                Leaf(Option<u64>),
+            }
+            let step = self.pool.read(page, |b| {
+                if b[0] == 1 {
+                    let n = codec::get_u16(b, 2) as usize;
+                    Step::Leaf(leaf_search(b, n, key))
+                } else {
+                    Step::Descend(internal_child_for(b, key))
+                }
+            });
+            match step {
+                Step::Descend(child) => page = child,
+                Step::Leaf(v) => return v,
+            }
+        }
+    }
+
+    /// Visit all `(key, value)` pairs with `lo <= key <= hi` in order.
+    pub fn range(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) {
+        if lo > hi {
+            return;
+        }
+        // Descend to the leaf that could contain `lo`.
+        let mut page = self.root;
+        loop {
+            let next = self.pool.read(page, |b| {
+                if b[0] == 1 {
+                    None
+                } else {
+                    Some(internal_child_for(b, lo))
+                }
+            });
+            match next {
+                Some(child) => page = child,
+                None => break,
+            }
+        }
+        // Walk the leaf chain.
+        let mut current = page;
+        while current != NO_PAGE {
+            let (next, done) = self.pool.read(current, |b| {
+                debug_assert_eq!(b[0], 1);
+                let n = codec::get_u16(b, 2) as usize;
+                for i in 0..n {
+                    let off = HDR + i * LEAF_ENTRY;
+                    let k = codec::get_u64(b, off);
+                    if k > hi {
+                        return (NO_PAGE, true);
+                    }
+                    if k >= lo {
+                        f(k, codec::get_u64(b, off + 8));
+                    }
+                }
+                (codec::get_u32(b, 4), false)
+            });
+            if done {
+                break;
+            }
+            current = next;
+        }
+    }
+
+    fn insert_rec(&mut self, page: PageId, key: u64, value: u64) -> InsertResult {
+        let is_leaf = self.pool.read(page, |b| b[0] == 1);
+        if is_leaf {
+            return self.leaf_insert(page, key, value);
+        }
+        let child = self.pool.read(page, |b| internal_child_for(b, key));
+        match self.insert_rec(child, key, value) {
+            InsertResult::Done => InsertResult::Done,
+            InsertResult::Split(sep, right) => self.internal_insert(page, sep, right),
+        }
+    }
+
+    fn leaf_insert(&mut self, page: PageId, key: u64, value: u64) -> InsertResult {
+        // Read entries, splice, write back — possibly splitting.
+        let (mut keys, mut vals, next) = self.pool.read(page, |b| {
+            let n = codec::get_u16(b, 2) as usize;
+            let mut keys = Vec::with_capacity(n + 1);
+            let mut vals = Vec::with_capacity(n + 1);
+            for i in 0..n {
+                let off = HDR + i * LEAF_ENTRY;
+                keys.push(codec::get_u64(b, off));
+                vals.push(codec::get_u64(b, off + 8));
+            }
+            (keys, vals, codec::get_u32(b, 4))
+        });
+        match keys.binary_search(&key) {
+            Ok(i) => {
+                vals[i] = value; // overwrite
+            }
+            Err(i) => {
+                keys.insert(i, key);
+                vals.insert(i, value);
+                self.len += 1;
+            }
+        }
+        if keys.len() <= LEAF_CAP {
+            write_leaf(&self.pool, page, &keys, &vals, next);
+            return InsertResult::Done;
+        }
+        // Split in the middle.
+        let mid = keys.len() / 2;
+        let right = self.pool.allocate();
+        let sep = keys[mid];
+        write_leaf(&self.pool, right, &keys[mid..], &vals[mid..], next);
+        write_leaf(&self.pool, page, &keys[..mid], &vals[..mid], right);
+        InsertResult::Split(sep, right)
+    }
+
+    fn internal_insert(&mut self, page: PageId, sep: u64, right: PageId) -> InsertResult {
+        let (mut keys, mut children) = self.pool.read(page, read_internal);
+        let pos = keys.partition_point(|&k| k <= sep);
+        keys.insert(pos, sep);
+        children.insert(pos + 1, right);
+        if keys.len() <= INT_CAP {
+            write_internal(&self.pool, page, &keys, &children);
+            return InsertResult::Done;
+        }
+        let mid = keys.len() / 2;
+        let up = keys[mid];
+        let right_page = self.pool.allocate();
+        write_internal(&self.pool, right_page, &keys[mid + 1..], &children[mid + 1..]);
+        write_internal(&self.pool, page, &keys[..mid], &children[..=mid]);
+        InsertResult::Split(up, right_page)
+    }
+
+    /// Build a tree from key-sorted pairs, packing leaves to `fill` (0–1).
+    ///
+    /// Panics if the input is not strictly ascending by key.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+        fill: f64,
+    ) -> Self {
+        let per_leaf = ((LEAF_CAP as f64 * fill) as usize).clamp(1, LEAF_CAP);
+        let per_int = ((INT_CAP as f64 * fill) as usize).clamp(2, INT_CAP);
+
+        // Build the leaf level.
+        let mut leaves: Vec<(u64, PageId)> = Vec::new(); // (first key, page)
+        let mut buf_keys: Vec<u64> = Vec::new();
+        let mut buf_vals: Vec<u64> = Vec::new();
+        let mut len = 0u64;
+        let mut last_key: Option<u64> = None;
+        let flush =
+            |keys: &mut Vec<u64>, vals: &mut Vec<u64>, leaves: &mut Vec<(u64, PageId)>| {
+                if keys.is_empty() {
+                    return;
+                }
+                let page = pool.allocate();
+                write_leaf(&pool, page, keys, vals, NO_PAGE);
+                if let Some(&(_, prev)) = leaves.last() {
+                    pool.write(prev, |b| codec::put_u32(b, 4, page));
+                }
+                leaves.push((keys[0], page));
+                keys.clear();
+                vals.clear();
+            };
+        for (k, v) in pairs {
+            if let Some(prev) = last_key {
+                assert!(k > prev, "bulk_load input must be strictly ascending");
+            }
+            last_key = Some(k);
+            buf_keys.push(k);
+            buf_vals.push(v);
+            len += 1;
+            if buf_keys.len() == per_leaf {
+                flush(&mut buf_keys, &mut buf_vals, &mut leaves);
+            }
+        }
+        flush(&mut buf_keys, &mut buf_vals, &mut leaves);
+        if leaves.is_empty() {
+            return BTree::create(pool);
+        }
+
+        // Build internal levels bottom-up.
+        let mut level: Vec<(u64, PageId)> = leaves;
+        let mut height = 1;
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level = Vec::new();
+            for chunk in level.chunks(per_int + 1) {
+                let page = pool.allocate();
+                let keys: Vec<u64> = chunk[1..].iter().map(|&(k, _)| k).collect();
+                let children: Vec<PageId> = chunk.iter().map(|&(_, p)| p).collect();
+                write_internal(&pool, page, &keys, &children);
+                next_level.push((chunk[0].0, page));
+            }
+            level = next_level;
+        }
+        let root = level[0].1;
+        BTree { pool, root, len, height }
+    }
+}
+
+fn leaf_search(b: &[u8; PAGE_SIZE], n: usize, key: u64) -> Option<u64> {
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = codec::get_u64(b, HDR + mid * LEAF_ENTRY);
+        match k.cmp(&key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => {
+                return Some(codec::get_u64(b, HDR + mid * LEAF_ENTRY + 8))
+            }
+        }
+    }
+    None
+}
+
+/// Child pointer to follow for `key` in an internal node.
+fn internal_child_for(b: &[u8; PAGE_SIZE], key: u64) -> PageId {
+    let n = codec::get_u16(b, 2) as usize;
+    // First index whose key is > `key`; descend into that child slot.
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = codec::get_u64(b, INT_CHILD0 + 4 + mid * INT_ENTRY);
+        if k <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0 {
+        codec::get_u32(b, INT_CHILD0)
+    } else {
+        codec::get_u32(b, INT_CHILD0 + 4 + (lo - 1) * INT_ENTRY + 8)
+    }
+}
+
+fn read_internal(b: &[u8; PAGE_SIZE]) -> (Vec<u64>, Vec<PageId>) {
+    let n = codec::get_u16(b, 2) as usize;
+    let mut keys = Vec::with_capacity(n + 1);
+    let mut children = Vec::with_capacity(n + 2);
+    children.push(codec::get_u32(b, INT_CHILD0));
+    for i in 0..n {
+        let off = INT_CHILD0 + 4 + i * INT_ENTRY;
+        keys.push(codec::get_u64(b, off));
+        children.push(codec::get_u32(b, off + 8));
+    }
+    (keys, children)
+}
+
+fn write_internal(pool: &BufferPool, page: PageId, keys: &[u64], children: &[PageId]) {
+    assert_eq!(children.len(), keys.len() + 1);
+    assert!(keys.len() <= INT_CAP);
+    pool.write(page, |b| {
+        b[0] = 0;
+        codec::put_u16(b, 2, keys.len() as u16);
+        codec::put_u32(b, INT_CHILD0, children[0]);
+        for (i, (&k, &c)) in keys.iter().zip(&children[1..]).enumerate() {
+            let off = INT_CHILD0 + 4 + i * INT_ENTRY;
+            codec::put_u64(b, off, k);
+            codec::put_u32(b, off + 8, c);
+        }
+    });
+}
+
+fn write_leaf(pool: &BufferPool, page: PageId, keys: &[u64], vals: &[u64], next: PageId) {
+    assert_eq!(keys.len(), vals.len());
+    assert!(keys.len() <= LEAF_CAP);
+    pool.write(page, |b| {
+        b[0] = 1;
+        codec::put_u16(b, 2, keys.len() as u16);
+        codec::put_u32(b, 4, next);
+        for (i, (&k, &v)) in keys.iter().zip(vals).enumerate() {
+            let off = HDR + i * LEAF_ENTRY;
+            codec::put_u64(b, off, k);
+            codec::put_u64(b, off + 8, v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use std::collections::BTreeMap;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Box::new(MemStore::new()), 256))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BTree::create(pool());
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(u64::MAX), None);
+        let mut seen = 0;
+        t.range(0, u64::MAX, |_, _| seen += 1);
+        assert_eq!(seen, 0);
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BTree::create(pool());
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k, k * 10);
+        }
+        assert_eq!(t.len(), 5);
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.get(k), Some(k * 10));
+        }
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut t = BTree::create(pool());
+        t.insert(1, 10);
+        t.insert(1, 20);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1), Some(20));
+    }
+
+    #[test]
+    fn many_inserts_force_splits() {
+        let mut t = BTree::create(pool());
+        let n = 20_000u64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = (i * 7919) % n;
+            t.insert(k, k + 1);
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.height() >= 2, "20k keys must split the root");
+        for k in (0..n).step_by(997) {
+            assert_eq!(t.get(k), Some(k + 1), "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_scan_matches_model() {
+        let mut t = BTree::create(pool());
+        let mut model = BTreeMap::new();
+        for i in 0..5000u64 {
+            let k = (i * 2654435761) % 100_000;
+            t.insert(k, i);
+            model.insert(k, i);
+        }
+        for (lo, hi) in [(0u64, 99_999), (500, 700), (99_000, 99_999), (42, 42)] {
+            let mut got = Vec::new();
+            t.range(lo, hi, |k, v| got.push((k, v)));
+            let want: Vec<_> =
+                model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want, "range [{lo}, {hi}]");
+        }
+        // Inverted range yields nothing (and must not panic).
+        let mut n = 0;
+        t.range(70, 20, |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let p = pool();
+        let pairs: Vec<(u64, u64)> = (0..30_000u64).map(|k| (k * 3, k)).collect();
+        let t = BTree::bulk_load(Arc::clone(&p), pairs.iter().copied(), 0.8);
+        assert_eq!(t.len(), 30_000);
+        for &(k, v) in pairs.iter().step_by(511) {
+            assert_eq!(t.get(k), Some(v));
+        }
+        assert_eq!(t.get(1), None); // between keys
+        let mut got = Vec::new();
+        t.range(0, u64::MAX, |k, v| got.push((k, v)));
+        assert_eq!(got, pairs);
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t = BTree::bulk_load(pool(), std::iter::empty(), 0.8);
+        assert!(t.is_empty());
+        assert_eq!(t.get(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bulk_load_rejects_unsorted() {
+        BTree::bulk_load(pool(), [(2u64, 0u64), (1, 0)], 0.8);
+    }
+
+    #[test]
+    fn bulk_loaded_tree_accepts_inserts() {
+        let p = pool();
+        let mut t = BTree::bulk_load(Arc::clone(&p), (0..1000u64).map(|k| (k * 2, k)), 0.9);
+        for k in 0..1000u64 {
+            t.insert(k * 2 + 1, k + 5000);
+        }
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.get(501), Some(250 + 5000));
+        assert_eq!(t.get(500), Some(250));
+    }
+
+    #[test]
+    fn point_lookup_costs_height_accesses() {
+        let p = pool();
+        let t = BTree::bulk_load(Arc::clone(&p), (0..100_000u64).map(|k| (k, k)), 1.0);
+        p.flush_all();
+        p.reset_stats();
+        t.get(54_321);
+        assert_eq!(p.stats().reads as u32, t.height(), "one access per level");
+    }
+
+    #[test]
+    fn data_survives_cold_restart_of_cache() {
+        let p = pool();
+        let mut t = BTree::create(Arc::clone(&p));
+        for k in 0..3000u64 {
+            t.insert(k, !k);
+        }
+        p.flush_all();
+        for k in (0..3000u64).step_by(100) {
+            assert_eq!(t.get(k), Some(!k));
+        }
+    }
+}

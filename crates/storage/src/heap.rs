@@ -1,0 +1,278 @@
+//! Slotted heap files with variable-length records.
+//!
+//! Page layout:
+//!
+//! ```text
+//! [n_slots: u16][free_off: u16]  header (4 bytes)
+//! [(rec_off: u16, rec_len: u16)] * n_slots  slot directory, grows up
+//! ...free space...
+//! records, grow down from the end of the page
+//! ```
+//!
+//! Records are immutable once inserted (terrain datasets are write-once,
+//! read-many). Insertion order is therefore the clustering order: callers
+//! sort records by Hilbert key before loading so that spatially close
+//! points share pages.
+
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::page::{codec, PageId, PAGE_SIZE};
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+
+/// Address of a record: page + slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Pack into a `u64` (for storage inside B+-tree values / index leaves).
+    #[inline]
+    pub fn to_u64(self) -> u64 {
+        ((self.page as u64) << 16) | self.slot as u64
+    }
+
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        RecordId { page: (v >> 16) as PageId, slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+/// A heap file: an append-only bag of records spread over pages.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    /// All pages of this file, in allocation order. Kept in memory as the
+    /// file "catalog" (a production system would chain pages; the list is
+    /// reconstructible and never consulted during measured queries, which
+    /// reach records only through indexes).
+    pages: Vec<PageId>,
+    len: u64,
+}
+
+impl HeapFile {
+    /// Largest record that fits on an empty page.
+    pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT;
+
+    pub fn create(pool: Arc<BufferPool>) -> Self {
+        HeapFile { pool, pages: Vec::new(), len: 0 }
+    }
+
+    /// Reattach to an existing file (catalog reload).
+    pub fn from_parts(pool: Arc<BufferPool>, pages: Vec<PageId>, len: u64) -> Self {
+        HeapFile { pool, pages, len }
+    }
+
+    /// Number of records inserted.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages the file occupies.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Append a record, returning its address.
+    ///
+    /// A record never spans pages; if it does not fit in the free space of
+    /// the last page a new page is allocated.
+    pub fn insert(&mut self, record: &[u8]) -> RecordId {
+        assert!(
+            record.len() <= Self::MAX_RECORD,
+            "record of {} bytes exceeds page capacity {}",
+            record.len(),
+            Self::MAX_RECORD
+        );
+        if let Some(&last) = self.pages.last() {
+            if let Some(rid) = self.try_insert_into(last, record) {
+                self.len += 1;
+                return rid;
+            }
+        }
+        let page = self.pool.allocate();
+        self.pages.push(page);
+        let rid = self.try_insert_into(page, record).expect("record fits empty page");
+        self.len += 1;
+        rid
+    }
+
+    fn try_insert_into(&self, page: PageId, record: &[u8]) -> Option<RecordId> {
+        self.pool.write(page, |buf| {
+            let n_slots = codec::get_u16(buf, 0) as usize;
+            let free_off = {
+                let f = codec::get_u16(buf, 2) as usize;
+                if f == 0 {
+                    PAGE_SIZE // fresh page: records start from the very end
+                } else {
+                    f
+                }
+            };
+            let dir_end = HEADER + (n_slots + 1) * SLOT;
+            if free_off < dir_end + record.len() {
+                return None; // does not fit
+            }
+            let rec_off = free_off - record.len();
+            buf[rec_off..free_off].copy_from_slice(record);
+            let slot_off = HEADER + n_slots * SLOT;
+            codec::put_u16(buf, slot_off, rec_off as u16);
+            codec::put_u16(buf, slot_off + 2, record.len() as u16);
+            codec::put_u16(buf, 0, (n_slots + 1) as u16);
+            codec::put_u16(buf, 2, rec_off as u16);
+            Some(RecordId { page, slot: n_slots as u16 })
+        })
+    }
+
+    /// Fetch a record by address.
+    pub fn get(&self, rid: RecordId) -> Vec<u8> {
+        self.pool.read(rid.page, |buf| {
+            let n_slots = codec::get_u16(buf, 0);
+            assert!(rid.slot < n_slots, "slot {} out of range ({n_slots})", rid.slot);
+            let slot_off = HEADER + rid.slot as usize * SLOT;
+            let rec_off = codec::get_u16(buf, slot_off) as usize;
+            let rec_len = codec::get_u16(buf, slot_off + 2) as usize;
+            buf[rec_off..rec_off + rec_len].to_vec()
+        })
+    }
+
+    /// Run `f` over every record in the page with id `page` (used by index
+    /// scans that fetch whole pages).
+    pub fn for_each_in_page(&self, page: PageId, mut f: impl FnMut(RecordId, &[u8])) {
+        self.pool.read(page, |buf| {
+            let n_slots = codec::get_u16(buf, 0);
+            for slot in 0..n_slots {
+                let slot_off = HEADER + slot as usize * SLOT;
+                let rec_off = codec::get_u16(buf, slot_off) as usize;
+                let rec_len = codec::get_u16(buf, slot_off + 2) as usize;
+                f(RecordId { page, slot }, &buf[rec_off..rec_off + rec_len]);
+            }
+        });
+    }
+
+    /// Iterate every record in file order (page by page).
+    pub fn scan(&self, mut f: impl FnMut(RecordId, &[u8])) {
+        for &page in &self.pages {
+            self.for_each_in_page(page, &mut f);
+        }
+    }
+
+    /// The page ids of this file in order.
+    pub fn page_ids(&self) -> &[PageId] {
+        &self.pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn heap() -> HeapFile {
+        HeapFile::create(Arc::new(BufferPool::new(Box::new(MemStore::new()), 64)))
+    }
+
+    #[test]
+    fn record_id_packing() {
+        let rid = RecordId { page: 0xABCDEF, slot: 0x1234 };
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut h = heap();
+        let a = h.insert(b"hello");
+        let b = h.insert(b"direct mesh");
+        assert_eq!(h.get(a), b"hello");
+        assert_eq!(h.get(b), b"direct mesh");
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn records_spill_to_new_pages() {
+        let mut h = heap();
+        let rec = vec![0x5Au8; 1000];
+        let ids: Vec<_> = (0..50).map(|_| h.insert(&rec)).collect();
+        assert!(h.num_pages() > 1, "1000-byte records must span pages");
+        // 8 records of 1004 bytes (with slot) fit per page.
+        assert!(h.num_pages() <= 8);
+        for id in ids {
+            assert_eq!(h.get(id).len(), 1000);
+        }
+    }
+
+    #[test]
+    fn variable_lengths_roundtrip() {
+        let mut h = heap();
+        let recs: Vec<Vec<u8>> = (0..200).map(|i| vec![i as u8; (i * 7) % 300 + 1]).collect();
+        let ids: Vec<_> = recs.iter().map(|r| h.insert(r)).collect();
+        for (rid, rec) in ids.iter().zip(&recs) {
+            assert_eq!(&h.get(*rid), rec);
+        }
+    }
+
+    #[test]
+    fn empty_record_is_legal() {
+        let mut h = heap();
+        let rid = h.insert(b"");
+        assert_eq!(h.get(rid), b"");
+    }
+
+    #[test]
+    fn max_record_fills_page() {
+        let mut h = heap();
+        let rec = vec![1u8; HeapFile::MAX_RECORD];
+        let rid = h.insert(&rec);
+        assert_eq!(h.get(rid), rec);
+        assert_eq!(h.num_pages(), 1);
+        h.insert(b"x");
+        assert_eq!(h.num_pages(), 2, "full page forces allocation");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page capacity")]
+    fn oversized_record_panics() {
+        let mut h = heap();
+        h.insert(&vec![0u8; HeapFile::MAX_RECORD + 1]);
+    }
+
+    #[test]
+    fn scan_visits_all_in_order() {
+        let mut h = heap();
+        for i in 0u32..500 {
+            h.insert(&i.to_le_bytes());
+        }
+        let mut seen = Vec::new();
+        h.scan(|_, rec| seen.push(u32::from_le_bytes(rec.try_into().unwrap())));
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_in_page_counts_one_access() {
+        let mut h = heap();
+        for i in 0u32..100 {
+            h.insert(&i.to_le_bytes());
+        }
+        let pool = Arc::clone(&h.pool);
+        pool.flush_all();
+        pool.reset_stats();
+        h.for_each_in_page(h.page_ids()[0], |_, _| {});
+        assert_eq!(pool.stats().reads, 1, "page scan = one disk access");
+    }
+
+    #[test]
+    fn data_survives_flush() {
+        let mut h = heap();
+        let ids: Vec<_> = (0u32..300).map(|i| h.insert(&i.to_le_bytes())).collect();
+        h.pool.flush_all();
+        for (i, rid) in ids.iter().enumerate() {
+            assert_eq!(h.get(*rid), (i as u32).to_le_bytes());
+        }
+    }
+}

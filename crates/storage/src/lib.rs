@@ -1,0 +1,35 @@
+//! A small page-based storage engine.
+//!
+//! The Direct Mesh paper measures query cost as the *number of disk
+//! accesses* reported by Oracle after flushing the database and system
+//! buffers. This crate reproduces that measurement environment from
+//! scratch:
+//!
+//! * [`page`] — fixed 8 KiB pages and little-endian field codecs,
+//! * [`store`] — the [`store::PageStore`] trait with an in-memory and a
+//!   file-backed implementation,
+//! * [`buffer`] — a buffer pool with LRU eviction, dirty-page write-back,
+//!   `flush_all` (the "cold cache" switch used before every measured
+//!   query) and an [`stats::AccessStats`] counter that records every page
+//!   fetched from the underlying store,
+//! * [`heap`] — slotted heap files with variable-length records,
+//! * [`btree`] — a disk-resident B+-tree mapping `u64 → u64`, used for
+//!   primary-key (`node id → record`) lookups.
+//!
+//! All spatial indexes (R\*-tree, LOD-quadtree) live in `dm-index` and are
+//! built on these primitives, exactly as the paper builds its indexes on
+//! plain Oracle tables rather than Oracle Spatial.
+
+pub mod btree;
+pub mod buffer;
+pub mod heap;
+pub mod page;
+pub mod stats;
+pub mod store;
+
+pub use btree::BTree;
+pub use buffer::BufferPool;
+pub use heap::{HeapFile, RecordId};
+pub use page::{PageId, PAGE_SIZE};
+pub use stats::{AccessStats, StatsSnapshot};
+pub use store::{FileStore, MemStore, PageStore};

@@ -1,0 +1,97 @@
+//! Disk-access statistics.
+//!
+//! The paper's sole performance metric is the number of disk accesses
+//! (Oracle's `physical reads` after a buffer flush). [`AccessStats`]
+//! counts every page the buffer pool fetches from or writes back to the
+//! underlying store. Measured queries call `reset` after `flush_all` and
+//! read a [`StatsSnapshot`] afterwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for page traffic between buffer pool and store.
+#[derive(Default, Debug)]
+pub struct AccessStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Pages fetched from the store (cache misses) — the paper's
+    /// "number of disk accesses".
+    pub reads: u64,
+    /// Dirty pages written back to the store.
+    pub writes: u64,
+}
+
+impl StatsSnapshot {
+    /// Total page traffic.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+impl AccessStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_reset() {
+        let s = AccessStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        assert_eq!(s.snapshot(), StatsSnapshot { reads: 2, writes: 1 });
+        assert_eq!(s.snapshot().total(), 3);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = AccessStats::new();
+        s.record_read();
+        let before = s.snapshot();
+        s.record_read();
+        s.record_write();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta, StatsSnapshot { reads: 1, writes: 1 });
+    }
+}

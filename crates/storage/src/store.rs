@@ -1,0 +1,196 @@
+//! Page stores: the "disk" under the buffer pool.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
+
+/// A flat array of pages. Implementations must be usable behind a shared
+/// reference (the buffer pool serializes access).
+pub trait PageStore: Send + Sync {
+    /// Read page `id` into `buf`. Panics if the page was never allocated.
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]);
+
+    /// Write `buf` to page `id`. Panics if the page was never allocated.
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]);
+
+    /// Allocate a new zeroed page and return its id.
+    fn allocate(&self) -> PageId;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u32;
+
+    /// Flush any OS-level buffering (no-op for the memory store).
+    fn sync(&self) {}
+}
+
+/// An in-memory store. Deterministic and fast; the default for tests and
+/// benchmarks (disk accesses are *counted*, not timed, exactly as the
+/// paper reports Oracle's `physical reads` statistic rather than seconds).
+#[derive(Default)]
+pub struct MemStore {
+    pages: Mutex<Vec<PageBuf>>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemStore {
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
+        let pages = self.pages.lock();
+        assert!((id as usize) < pages.len(), "read of unallocated page {id}");
+        buf.copy_from_slice(&pages[id as usize][..]);
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) {
+        let mut pages = self.pages.lock();
+        assert!((id as usize) < pages.len(), "write of unallocated page {id}");
+        pages[id as usize].copy_from_slice(buf);
+    }
+
+    fn allocate(&self) -> PageId {
+        let mut pages = self.pages.lock();
+        pages.push(zeroed_page());
+        (pages.len() - 1) as PageId
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.pages.lock().len() as u32
+    }
+}
+
+/// A file-backed store: page `i` lives at byte offset `i * PAGE_SIZE`.
+pub struct FileStore {
+    file: Mutex<File>,
+    num_pages: Mutex<u32>,
+}
+
+impl FileStore {
+    /// Create or truncate the file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStore { file: Mutex::new(file), num_pages: Mutex::new(0) })
+    }
+
+    /// Open an existing store file.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("store file length {len} is not a multiple of the page size"),
+            ));
+        }
+        let num_pages = (len / PAGE_SIZE as u64) as u32;
+        Ok(FileStore { file: Mutex::new(file), num_pages: Mutex::new(num_pages) })
+    }
+}
+
+impl PageStore for FileStore {
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
+        assert!(id < *self.num_pages.lock(), "read of unallocated page {id}");
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64)).expect("seek");
+        file.read_exact(buf).expect("read_page");
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) {
+        assert!(id < *self.num_pages.lock(), "write of unallocated page {id}");
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64)).expect("seek");
+        file.write_all(buf).expect("write_page");
+    }
+
+    fn allocate(&self) -> PageId {
+        let mut n = self.num_pages.lock();
+        let id = *n;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64)).expect("seek");
+        file.write_all(&zeroed_page()[..]).expect("allocate");
+        *n += 1;
+        id
+    }
+
+    fn num_pages(&self) -> u32 {
+        *self.num_pages.lock()
+    }
+
+    fn sync(&self) {
+        self.file.lock().sync_data().expect("sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn PageStore) {
+        assert_eq!(store.num_pages(), 0);
+        let a = store.allocate();
+        let b = store.allocate();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(store.num_pages(), 2);
+
+        let mut buf = zeroed_page();
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        store.write_page(b, &buf);
+
+        let mut out = zeroed_page();
+        store.read_page(b, &mut out);
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(out[PAGE_SIZE - 1], 0xCD);
+
+        store.read_page(a, &mut out);
+        assert!(out.iter().all(|&x| x == 0), "fresh page must be zeroed");
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let path = std::env::temp_dir().join(format!("dm_store_{}.db", std::process::id()));
+        let store = FileStore::create(&path).unwrap();
+        exercise(&store);
+        store.sync();
+        drop(store);
+        // Reopen and verify persistence.
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.num_pages(), 2);
+        let mut out = zeroed_page();
+        store.read_page(1, &mut out);
+        assert_eq!(out[0], 0xAB);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_rejects_torn_file() {
+        let path = std::env::temp_dir().join(format!("dm_torn_{}.db", std::process::id()));
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
+        assert!(FileStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn mem_store_read_unallocated_panics() {
+        let store = MemStore::new();
+        let mut buf = zeroed_page();
+        store.read_page(3, &mut buf);
+    }
+}

@@ -1,0 +1,156 @@
+//! Standard GIS derivatives of a heightfield: slope, aspect, hillshade
+//! and roughness. Used by the `terrain_analysis` example and handy for
+//! sanity-checking synthetic DEMs against real-terrain expectations.
+
+use crate::heightfield::Heightfield;
+
+/// Central-difference surface gradient `(dz/dx, dz/dy)` at a grid sample
+/// (one-sided at borders).
+pub fn gradient(hf: &Heightfield, col: usize, row: usize) -> (f64, f64) {
+    let w = hf.width();
+    let h = hf.height();
+    let cell = hf.cell();
+    let (c0, c1) = (col.saturating_sub(1), (col + 1).min(w - 1));
+    let (r0, r1) = (row.saturating_sub(1), (row + 1).min(h - 1));
+    let dx = (hf.at(c1, row) - hf.at(c0, row)) / ((c1 - c0) as f64 * cell);
+    let dy = (hf.at(col, r1) - hf.at(col, r0)) / ((r1 - r0) as f64 * cell);
+    (dx, dy)
+}
+
+/// Slope angle in radians (0 = flat, π/2 = vertical).
+pub fn slope(hf: &Heightfield, col: usize, row: usize) -> f64 {
+    let (dx, dy) = gradient(hf, col, row);
+    (dx * dx + dy * dy).sqrt().atan()
+}
+
+/// Aspect (downslope direction) in radians, measured counter-clockwise
+/// from +x. `None` on flat ground.
+pub fn aspect(hf: &Heightfield, col: usize, row: usize) -> Option<f64> {
+    let (dx, dy) = gradient(hf, col, row);
+    if dx.abs() < 1e-12 && dy.abs() < 1e-12 {
+        None
+    } else {
+        Some((-dy).atan2(-dx))
+    }
+}
+
+/// Lambertian hillshade in `[0, 1]` for a light direction given by
+/// `azimuth` (radians CCW from +x) and `altitude` (radians above the
+/// horizon) — the classic cartographic relief shading.
+pub fn hillshade(
+    hf: &Heightfield,
+    col: usize,
+    row: usize,
+    azimuth: f64,
+    altitude: f64,
+) -> f64 {
+    let (dx, dy) = gradient(hf, col, row);
+    // Surface normal (unnormalized): (-dx, -dy, 1).
+    let nx = -dx;
+    let ny = -dy;
+    let nz = 1.0;
+    let nl = (nx * nx + ny * ny + nz * nz).sqrt();
+    // Light vector.
+    let lx = azimuth.cos() * altitude.cos();
+    let ly = azimuth.sin() * altitude.cos();
+    let lz = altitude.sin();
+    ((nx * lx + ny * ly + nz * lz) / nl).clamp(0.0, 1.0)
+}
+
+/// Summary statistics of a heightfield region.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TerrainStats {
+    pub min_z: f64,
+    pub max_z: f64,
+    pub mean_z: f64,
+    /// Mean slope angle (radians).
+    pub mean_slope: f64,
+    /// Standard deviation of elevation (a roughness proxy).
+    pub roughness: f64,
+}
+
+/// Compute [`TerrainStats`] over the whole grid.
+pub fn stats(hf: &Heightfield) -> TerrainStats {
+    let n = (hf.width() * hf.height()) as f64;
+    let mut min_z = f64::INFINITY;
+    let mut max_z = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut slope_sum = 0.0;
+    for row in 0..hf.height() {
+        for col in 0..hf.width() {
+            let z = hf.at(col, row);
+            min_z = min_z.min(z);
+            max_z = max_z.max(z);
+            sum += z;
+            sum_sq += z * z;
+            slope_sum += slope(hf, col, row);
+        }
+    }
+    let mean = sum / n;
+    TerrainStats {
+        min_z,
+        max_z,
+        mean_z: mean,
+        mean_slope: slope_sum / n,
+        roughness: (sum_sq / n - mean * mean).max(0.0).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn flat_terrain_derivatives() {
+        let hf = Heightfield::flat(8, 8, 1.0, 5.0);
+        assert_eq!(gradient(&hf, 4, 4), (0.0, 0.0));
+        assert_eq!(slope(&hf, 4, 4), 0.0);
+        assert_eq!(aspect(&hf, 4, 4), None);
+        // Flat ground under a 45° light: shade = sin(45°).
+        let s = hillshade(&hf, 4, 4, 0.0, std::f64::consts::FRAC_PI_4);
+        assert!((s - std::f64::consts::FRAC_PI_4.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_gradient_and_aspect() {
+        let hf = generate::ramp(16, 16, 2.0); // z = 2x
+        let (dx, dy) = gradient(&hf, 8, 8);
+        assert!((dx - 2.0).abs() < 1e-12);
+        assert!(dy.abs() < 1e-12);
+        assert!((slope(&hf, 8, 8) - 2.0f64.atan()).abs() < 1e-12);
+        // Downslope points toward -x (π).
+        let a = aspect(&hf, 8, 8).unwrap();
+        assert!((a.abs() - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hillshade_favors_lit_slopes() {
+        let hf = generate::ramp(16, 16, 1.0);
+        // Light from +x at low altitude: the slope faces away (normal
+        // points toward -x), so it is darker than under light from -x.
+        let from_plus_x = hillshade(&hf, 8, 8, 0.0, 0.3);
+        let from_minus_x = hillshade(&hf, 8, 8, std::f64::consts::PI, 0.3);
+        assert!(from_minus_x > from_plus_x);
+    }
+
+    #[test]
+    fn stats_on_known_surface() {
+        let hf = generate::ramp(11, 11, 1.0); // z = x ∈ [0, 10]
+        let s = stats(&hf);
+        assert_eq!(s.min_z, 0.0);
+        assert_eq!(s.max_z, 10.0);
+        assert!((s.mean_z - 5.0).abs() < 1e-12);
+        assert!((s.mean_slope - 1.0f64.atan()).abs() < 1e-12);
+        assert!(s.roughness > 0.0);
+    }
+
+    #[test]
+    fn crater_is_rougher_than_ramp() {
+        let crater = stats(&generate::crater_terrain(65, 65, 3));
+        let ramp = stats(&generate::ramp(65, 65, 0.1));
+        assert!(crater.mean_slope > ramp.mean_slope);
+        assert!(crater.roughness > ramp.roughness);
+    }
+}

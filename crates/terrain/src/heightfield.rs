@@ -1,0 +1,223 @@
+//! Regular-grid digital elevation models.
+
+use dm_geom::{Rect, Vec2, Vec3};
+
+/// A regular grid of elevation samples.
+///
+/// Sample `(col, row)` sits at world position
+/// `(origin.x + col * cell, origin.y + row * cell)`.
+#[derive(Clone, Debug)]
+pub struct Heightfield {
+    width: usize,
+    height: usize,
+    cell: f64,
+    origin: Vec2,
+    data: Vec<f64>,
+}
+
+impl Heightfield {
+    /// Create from raw samples (row-major, `width * height` values).
+    pub fn from_data(width: usize, height: usize, cell: f64, origin: Vec2, data: Vec<f64>) -> Self {
+        assert!(width >= 2 && height >= 2, "heightfield must be at least 2×2");
+        assert_eq!(data.len(), width * height, "sample count mismatch");
+        assert!(cell > 0.0, "cell size must be positive");
+        Heightfield { width, height, cell, origin, data }
+    }
+
+    /// A flat heightfield of constant elevation.
+    pub fn flat(width: usize, height: usize, cell: f64, z: f64) -> Self {
+        Self::from_data(width, height, cell, Vec2::ZERO, vec![z; width * height])
+    }
+
+    /// Build by evaluating `f(world_x, world_y)` at every sample.
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        cell: f64,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for row in 0..height {
+            for col in 0..width {
+                data.push(f(col as f64 * cell, row as f64 * cell));
+            }
+        }
+        Self::from_data(width, height, cell, Vec2::ZERO, data)
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    pub fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // construction requires ≥ 2×2
+    }
+
+    /// Elevation at grid coordinates.
+    #[inline]
+    pub fn at(&self, col: usize, row: usize) -> f64 {
+        debug_assert!(col < self.width && row < self.height);
+        self.data[row * self.width + col]
+    }
+
+    #[inline]
+    pub fn set(&mut self, col: usize, row: usize, z: f64) {
+        debug_assert!(col < self.width && row < self.height);
+        self.data[row * self.width + col] = z;
+    }
+
+    /// World-space position of a grid sample.
+    #[inline]
+    pub fn world(&self, col: usize, row: usize) -> Vec3 {
+        Vec3::new(
+            self.origin.x + col as f64 * self.cell,
+            self.origin.y + row as f64 * self.cell,
+            self.at(col, row),
+        )
+    }
+
+    /// World-space bounding rectangle of the grid.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(
+            self.origin,
+            Vec2::new(
+                self.origin.x + (self.width - 1) as f64 * self.cell,
+                self.origin.y + (self.height - 1) as f64 * self.cell,
+            ),
+        )
+    }
+
+    /// Bilinear elevation sample at a world position (clamped to bounds).
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let fx = ((x - self.origin.x) / self.cell).clamp(0.0, (self.width - 1) as f64);
+        let fy = ((y - self.origin.y) / self.cell).clamp(0.0, (self.height - 1) as f64);
+        let c0 = fx.floor() as usize;
+        let r0 = fy.floor() as usize;
+        let c1 = (c0 + 1).min(self.width - 1);
+        let r1 = (r0 + 1).min(self.height - 1);
+        let tx = fx - c0 as f64;
+        let ty = fy - r0 as f64;
+        let a = self.at(c0, r0) * (1.0 - tx) + self.at(c1, r0) * tx;
+        let b = self.at(c0, r1) * (1.0 - tx) + self.at(c1, r1) * tx;
+        a * (1.0 - ty) + b * ty
+    }
+
+    /// `(min, max)` elevation.
+    pub fn z_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &z in &self.data {
+            lo = lo.min(z);
+            hi = hi.max(z);
+        }
+        (lo, hi)
+    }
+
+    /// Crop the top-left `width × height` sub-grid (used to trim
+    /// power-of-two-plus-one fractal grids to a requested size).
+    pub fn crop(&self, width: usize, height: usize) -> Heightfield {
+        assert!(width <= self.width && height <= self.height);
+        let mut data = Vec::with_capacity(width * height);
+        for row in 0..height {
+            for col in 0..width {
+                data.push(self.at(col, row));
+            }
+        }
+        Heightfield::from_data(width, height, self.cell, self.origin, data)
+    }
+
+    /// Root-mean-square of the elevation differences against another
+    /// heightfield of identical shape.
+    pub fn rmse(&self, other: &Heightfield) -> f64 {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        let sum: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (sum / self.data.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let hf = Heightfield::from_fn(4, 3, 2.0, |x, y| x + 10.0 * y);
+        assert_eq!(hf.width(), 4);
+        assert_eq!(hf.height(), 3);
+        assert_eq!(hf.len(), 12);
+        assert_eq!(hf.at(0, 0), 0.0);
+        assert_eq!(hf.at(3, 0), 6.0);
+        assert_eq!(hf.at(0, 2), 40.0);
+        assert_eq!(hf.world(2, 1), Vec3::new(4.0, 2.0, 4.0 + 20.0));
+    }
+
+    #[test]
+    fn bounds_cover_grid() {
+        let hf = Heightfield::flat(5, 4, 1.5, 0.0);
+        let b = hf.bounds();
+        assert_eq!(b.min, Vec2::ZERO);
+        assert_eq!(b.max, Vec2::new(6.0, 4.5));
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let hf = Heightfield::from_fn(3, 3, 1.0, |x, y| x + y);
+        // A plane is reproduced exactly by bilinear interpolation.
+        assert!((hf.sample(0.5, 0.5) - 1.0).abs() < 1e-12);
+        assert!((hf.sample(1.25, 0.75) - 2.0).abs() < 1e-12);
+        // Clamping outside the grid.
+        assert!((hf.sample(-5.0, -5.0) - 0.0).abs() < 1e-12);
+        assert!((hf.sample(99.0, 99.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_range() {
+        let hf = Heightfield::from_fn(4, 4, 1.0, |x, y| x - y);
+        assert_eq!(hf.z_range(), (-3.0, 3.0));
+    }
+
+    #[test]
+    fn crop_preserves_samples() {
+        let hf = Heightfield::from_fn(8, 8, 1.0, |x, y| x * 100.0 + y);
+        let c = hf.crop(3, 5);
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.height(), 5);
+        for row in 0..5 {
+            for col in 0..3 {
+                assert_eq!(c.at(col, row), hf.at(col, row));
+            }
+        }
+    }
+
+    #[test]
+    fn rmse_of_identical_is_zero() {
+        let hf = Heightfield::from_fn(6, 6, 1.0, |x, y| (x * y).sin());
+        assert_eq!(hf.rmse(&hf), 0.0);
+        let flat = Heightfield::flat(6, 6, 1.0, 0.0);
+        let two = Heightfield::flat(6, 6, 1.0, 2.0);
+        assert!((flat.rmse(&two) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2×2")]
+    fn rejects_degenerate_grid() {
+        Heightfield::flat(1, 5, 1.0, 0.0);
+    }
+}

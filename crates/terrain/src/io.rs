@@ -1,0 +1,257 @@
+//! Heightfield file I/O.
+//!
+//! Two formats:
+//!
+//! * **ESRI ASCII grid** (`.asc`) — the interchange format USGS DEMs (the
+//!   paper's Crater Lake dataset) are commonly distributed in. Header
+//!   keys `ncols`, `nrows`, `xllcorner`, `yllcorner`, `cellsize`,
+//!   optional `nodata_value`; rows listed north to south.
+//! * **DMH** — a tiny little-endian binary format (`DMHF` magic, u32
+//!   dims, f64 cell/origin, f64 samples) for fast save/load of generated
+//!   terrains.
+
+use std::io::{self, BufRead, BufWriter, Read, Write};
+
+use dm_geom::Vec2;
+
+use crate::heightfield::Heightfield;
+
+/// Magic bytes of the binary heightfield format.
+const DMH_MAGIC: &[u8; 4] = b"DMHF";
+
+/// Parse an ESRI ASCII grid.
+///
+/// `nodata` cells are filled with the minimum valid elevation (terrain
+/// meshes need a value everywhere; callers with real holes should
+/// preprocess). Rows are north-to-south in the file and flipped into this
+/// crate's south-to-north order.
+pub fn read_esri_ascii(reader: impl Read) -> io::Result<Heightfield> {
+    let mut lines = io::BufReader::new(reader).lines();
+    let mut header = std::collections::HashMap::new();
+    let mut first_data_line: Option<String> = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let key = parts.next().unwrap_or("").to_ascii_lowercase();
+        if key.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+            let val: f64 = parts
+                .next()
+                .ok_or_else(|| bad_data(format!("header key {key} without value")))?
+                .parse()
+                .map_err(|e| bad_data(format!("bad header value for {key}: {e}")))?;
+            header.insert(key, val);
+        } else {
+            first_data_line = Some(line);
+            break;
+        }
+    }
+    let need = |k: &str| -> io::Result<f64> {
+        header.get(k).copied().ok_or_else(|| bad_data(format!("missing header key {k}")))
+    };
+    let ncols = need("ncols")? as usize;
+    let nrows = need("nrows")? as usize;
+    if ncols < 2 || nrows < 2 {
+        return Err(bad_data(format!("grid too small: {ncols}×{nrows}")));
+    }
+    let cell = need("cellsize")?;
+    let x0 = header.get("xllcorner").copied().unwrap_or(0.0);
+    let y0 = header.get("yllcorner").copied().unwrap_or(0.0);
+    let nodata = header.get("nodata_value").copied();
+
+    let mut values: Vec<f64> = Vec::with_capacity(ncols * nrows);
+    let mut push_line = |line: &str| -> io::Result<()> {
+        for tok in line.split_whitespace() {
+            let v: f64 =
+                tok.parse().map_err(|e| bad_data(format!("bad sample {tok:?}: {e}")))?;
+            values.push(v);
+        }
+        Ok(())
+    };
+    if let Some(l) = first_data_line {
+        push_line(&l)?;
+    }
+    for line in lines {
+        push_line(&line?)?;
+    }
+    if values.len() != ncols * nrows {
+        return Err(bad_data(format!(
+            "expected {} samples, found {}",
+            ncols * nrows,
+            values.len()
+        )));
+    }
+    // Replace nodata with the minimum valid sample.
+    if let Some(nd) = nodata {
+        let min_valid = values
+            .iter()
+            .copied()
+            .filter(|&v| v != nd)
+            .fold(f64::INFINITY, f64::min);
+        let fill = if min_valid.is_finite() { min_valid } else { 0.0 };
+        for v in &mut values {
+            if *v == nd {
+                *v = fill;
+            }
+        }
+    }
+    // File rows run north→south; flip to row 0 = south.
+    let mut data = vec![0.0f64; ncols * nrows];
+    for (file_row, chunk) in values.chunks(ncols).enumerate() {
+        let row = nrows - 1 - file_row;
+        data[row * ncols..(row + 1) * ncols].copy_from_slice(chunk);
+    }
+    Ok(Heightfield::from_data(ncols, nrows, cell, Vec2::new(x0, y0), data))
+}
+
+/// Write an ESRI ASCII grid.
+pub fn write_esri_ascii(hf: &Heightfield, writer: impl Write) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    let b = hf.bounds();
+    writeln!(out, "ncols {}", hf.width())?;
+    writeln!(out, "nrows {}", hf.height())?;
+    writeln!(out, "xllcorner {}", b.min.x)?;
+    writeln!(out, "yllcorner {}", b.min.y)?;
+    writeln!(out, "cellsize {}", hf.cell())?;
+    for row in (0..hf.height()).rev() {
+        let mut first = true;
+        for col in 0..hf.width() {
+            if !first {
+                write!(out, " ")?;
+            }
+            write!(out, "{}", hf.at(col, row))?;
+            first = false;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Write the binary DMH format.
+pub fn write_dmh(hf: &Heightfield, writer: impl Write) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    out.write_all(DMH_MAGIC)?;
+    out.write_all(&(hf.width() as u32).to_le_bytes())?;
+    out.write_all(&(hf.height() as u32).to_le_bytes())?;
+    out.write_all(&hf.cell().to_le_bytes())?;
+    let b = hf.bounds();
+    out.write_all(&b.min.x.to_le_bytes())?;
+    out.write_all(&b.min.y.to_le_bytes())?;
+    for row in 0..hf.height() {
+        for col in 0..hf.width() {
+            out.write_all(&hf.at(col, row).to_le_bytes())?;
+        }
+    }
+    out.flush()
+}
+
+/// Read the binary DMH format.
+pub fn read_dmh(mut reader: impl Read) -> io::Result<Heightfield> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != DMH_MAGIC {
+        return Err(bad_data("not a DMH file (bad magic)".to_string()));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut f64buf = [0u8; 8];
+    reader.read_exact(&mut u32buf)?;
+    let width = u32::from_le_bytes(u32buf) as usize;
+    reader.read_exact(&mut u32buf)?;
+    let height = u32::from_le_bytes(u32buf) as usize;
+    if width < 2 || height < 2 || width.saturating_mul(height) > (1 << 30) {
+        return Err(bad_data(format!("implausible DMH dimensions {width}×{height}")));
+    }
+    reader.read_exact(&mut f64buf)?;
+    let cell = f64::from_le_bytes(f64buf);
+    reader.read_exact(&mut f64buf)?;
+    let x0 = f64::from_le_bytes(f64buf);
+    reader.read_exact(&mut f64buf)?;
+    let y0 = f64::from_le_bytes(f64buf);
+    let mut data = Vec::with_capacity(width * height);
+    for _ in 0..width * height {
+        reader.read_exact(&mut f64buf)?;
+        data.push(f64::from_le_bytes(f64buf));
+    }
+    Ok(Heightfield::from_data(width, height, cell, Vec2::new(x0, y0), data))
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn esri_roundtrip() {
+        let hf = generate::fractal_terrain(17, 13, 3);
+        let mut buf = Vec::new();
+        write_esri_ascii(&hf, &mut buf).unwrap();
+        let back = read_esri_ascii(&buf[..]).unwrap();
+        assert_eq!(back.width(), 17);
+        assert_eq!(back.height(), 13);
+        assert!(hf.rmse(&back) < 1e-9);
+        assert_eq!(hf.bounds().min, back.bounds().min);
+    }
+
+    #[test]
+    fn esri_parses_reference_document() {
+        let text = "\
+ncols 3
+nrows 2
+xllcorner 100.0
+yllcorner 200.0
+cellsize 10.0
+NODATA_value -9999
+1 2 3
+4 -9999 6
+";
+        let hf = read_esri_ascii(text.as_bytes()).unwrap();
+        assert_eq!((hf.width(), hf.height()), (3, 2));
+        // File top row (1 2 3) is the NORTH row = our row 1.
+        assert_eq!(hf.at(0, 1), 1.0);
+        assert_eq!(hf.at(2, 1), 3.0);
+        assert_eq!(hf.at(0, 0), 4.0);
+        // nodata filled with the minimum valid value.
+        assert_eq!(hf.at(1, 0), 1.0);
+        assert_eq!(hf.bounds().min, Vec2::new(100.0, 200.0));
+        assert_eq!(hf.cell(), 10.0);
+    }
+
+    #[test]
+    fn esri_rejects_garbage() {
+        assert!(read_esri_ascii("ncols x\n".as_bytes()).is_err());
+        assert!(read_esri_ascii("ncols 3\nnrows 2\n1 2 3\n".as_bytes()).is_err()); // no cellsize
+        let short = "ncols 3\nnrows 2\ncellsize 1\n1 2 3\n";
+        assert!(read_esri_ascii(short.as_bytes()).is_err()); // missing samples
+    }
+
+    #[test]
+    fn dmh_roundtrip() {
+        let hf = generate::crater_terrain(21, 34, 9);
+        let mut buf = Vec::new();
+        write_dmh(&hf, &mut buf).unwrap();
+        let back = read_dmh(&buf[..]).unwrap();
+        assert_eq!((back.width(), back.height()), (21, 34));
+        assert_eq!(hf.rmse(&back), 0.0, "binary roundtrip is exact");
+    }
+
+    #[test]
+    fn dmh_rejects_bad_magic() {
+        assert!(read_dmh(&b"NOPE1234"[..]).is_err());
+    }
+
+    #[test]
+    fn dmh_rejects_truncation() {
+        let hf = generate::ramp(5, 5, 1.0);
+        let mut buf = Vec::new();
+        write_dmh(&hf, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_dmh(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Approximation-error metrics: how far a simplified mesh deviates from
+//! the original heightfield.
+//!
+//! Used by the `terrain_analysis` example and by tests asserting that
+//! lower LOD values (smaller approximation error bounds) really produce
+//! more accurate meshes.
+
+use std::collections::HashMap;
+
+use dm_geom::tri::{orient2d, point_in_triangle};
+use dm_geom::Vec2;
+
+use crate::heightfield::Heightfield;
+use crate::mesh::TriMesh;
+
+/// Error summary of a mesh against the source heightfield.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ErrorStats {
+    /// Root-mean-square vertical error over the sampled points.
+    pub rmse: f64,
+    /// Largest vertical error seen.
+    pub max: f64,
+    /// Samples that fell outside every triangle (mesh holes or boundary
+    /// shrinkage); excluded from rmse/max.
+    pub uncovered: usize,
+    /// Samples measured.
+    pub samples: usize,
+}
+
+/// Sample the heightfield every `step` grid cells and measure the vertical
+/// distance to the mesh surface.
+///
+/// Point location uses a uniform triangle bucket grid, so the cost is
+/// `O(samples + triangles)` for terrain-shaped meshes.
+pub fn mesh_error(mesh: &TriMesh, hf: &Heightfield, step: usize) -> ErrorStats {
+    assert!(step >= 1);
+    let bounds = hf.bounds();
+    let cell = hf.cell() * 4.0; // bucket size: a few heightfield cells
+    let inv = 1.0 / cell;
+    let bucket_of = |p: Vec2| -> (i64, i64) {
+        (((p.x - bounds.min.x) * inv).floor() as i64, ((p.y - bounds.min.y) * inv).floor() as i64)
+    };
+
+    // Bucket triangles by the cells their bounding box covers.
+    let mut buckets: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    for t in mesh.live_triangles() {
+        let tri = mesh.triangle(t);
+        let pts = [
+            mesh.position(tri[0]).xy(),
+            mesh.position(tri[1]).xy(),
+            mesh.position(tri[2]).xy(),
+        ];
+        let (x0, y0) = bucket_of(Vec2::new(
+            pts.iter().map(|p| p.x).fold(f64::INFINITY, f64::min),
+            pts.iter().map(|p| p.y).fold(f64::INFINITY, f64::min),
+        ));
+        let (x1, y1) = bucket_of(Vec2::new(
+            pts.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max),
+            pts.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max),
+        ));
+        for bx in x0..=x1 {
+            for by in y0..=y1 {
+                buckets.entry((bx, by)).or_default().push(t);
+            }
+        }
+    }
+
+    let mut sum_sq = 0.0;
+    let mut max = 0.0f64;
+    let mut uncovered = 0usize;
+    let mut samples = 0usize;
+    for row in (0..hf.height()).step_by(step) {
+        for col in (0..hf.width()).step_by(step) {
+            let p = hf.world(col, row);
+            samples += 1;
+            let Some(z) = interpolate_z(mesh, &buckets, bucket_of(p.xy()), p.xy()) else {
+                uncovered += 1;
+                continue;
+            };
+            let d = (z - p.z).abs();
+            sum_sq += d * d;
+            max = max.max(d);
+        }
+    }
+    let covered = samples - uncovered;
+    ErrorStats {
+        rmse: if covered > 0 { (sum_sq / covered as f64).sqrt() } else { 0.0 },
+        max,
+        uncovered,
+        samples,
+    }
+}
+
+fn interpolate_z(
+    mesh: &TriMesh,
+    buckets: &HashMap<(i64, i64), Vec<u32>>,
+    bucket: (i64, i64),
+    p: Vec2,
+) -> Option<f64> {
+    let tris = buckets.get(&bucket)?;
+    for &t in tris {
+        let tri = mesh.triangle(t);
+        let a = mesh.position(tri[0]);
+        let b = mesh.position(tri[1]);
+        let c = mesh.position(tri[2]);
+        if point_in_triangle(p, a.xy(), b.xy(), c.xy()) {
+            let det = orient2d(a.xy(), b.xy(), c.xy());
+            if det.abs() < 1e-30 {
+                continue;
+            }
+            let l1 = orient2d(p, b.xy(), c.xy()) / det;
+            let l2 = orient2d(a.xy(), p, c.xy()) / det;
+            let l3 = 1.0 - l1 - l2;
+            return Some(l1 * a.z + l2 * b.z + l3 * c.z);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn full_resolution_mesh_has_zero_error() {
+        let hf = generate::fractal_terrain(17, 17, 3);
+        let mesh = TriMesh::from_heightfield(&hf);
+        let e = mesh_error(&mesh, &hf, 1);
+        assert_eq!(e.uncovered, 0);
+        assert!(e.rmse < 1e-9, "rmse = {}", e.rmse);
+        assert!(e.max < 1e-9);
+        assert_eq!(e.samples, 17 * 17);
+    }
+
+    #[test]
+    fn flat_mesh_over_bumpy_terrain_has_error() {
+        let hf = generate::fractal_terrain(17, 17, 3);
+        let flat = Heightfield::flat(17, 17, 1.0, 0.0);
+        let mesh = TriMesh::from_heightfield(&flat);
+        let e = mesh_error(&mesh, &hf, 1);
+        assert!(e.rmse > 0.0);
+        assert!(e.max >= e.rmse);
+    }
+
+    #[test]
+    fn sampling_step_reduces_samples() {
+        let hf = generate::ramp(16, 16, 1.0);
+        let mesh = TriMesh::from_heightfield(&hf);
+        let e1 = mesh_error(&mesh, &hf, 1);
+        let e4 = mesh_error(&mesh, &hf, 4);
+        assert!(e4.samples < e1.samples);
+    }
+
+    #[test]
+    fn collapsed_ramp_stays_exact() {
+        // The ramp is planar: midpoint collapses preserve the surface.
+        let hf = generate::ramp(9, 9, 1.0);
+        let mut mesh = TriMesh::from_heightfield(&hf);
+        let mut collapsed = 0;
+        let verts: Vec<u32> = mesh.live_vertices().collect();
+        for u in verts {
+            if !mesh.is_vertex_alive(u) {
+                continue;
+            }
+            for v in mesh.neighbors(u) {
+                let mid = (mesh.position(u) + mesh.position(v)) / 2.0;
+                if mesh.collapse_edge(u, v, mid).is_ok() {
+                    collapsed += 1;
+                    break;
+                }
+            }
+        }
+        assert!(collapsed > 5);
+        let e = mesh_error(&mesh, &hf, 1);
+        assert!(e.rmse < 1e-9, "planar surface must stay exact, rmse = {}", e.rmse);
+    }
+}

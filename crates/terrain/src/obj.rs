@@ -1,0 +1,70 @@
+//! Wavefront OBJ export, so reconstructed terrain approximations can be
+//! inspected in any 3D viewer.
+
+use std::io::{self, Write};
+
+use crate::mesh::TriMesh;
+
+/// Write the live part of a mesh as a Wavefront OBJ document.
+///
+/// Dead vertices are compacted away; triangle indices are rewritten to the
+/// compact numbering (OBJ indices are 1-based).
+pub fn write_obj(mesh: &TriMesh, out: &mut impl Write) -> io::Result<()> {
+    let mut remap = vec![0u32; mesh.vertex_capacity()];
+    writeln!(out, "# direct-mesh terrain export")?;
+    writeln!(out, "o terrain")?;
+    // OBJ indices are 1-based.
+    for (next, v) in (1u32..).zip(mesh.live_vertices()) {
+        let p = mesh.position(v);
+        remap[v as usize] = next;
+        writeln!(out, "v {} {} {}", p.x, p.y, p.z)?;
+    }
+    for t in mesh.live_triangles() {
+        let tri = mesh.triangle(t);
+        writeln!(
+            out,
+            "f {} {} {}",
+            remap[tri[0] as usize], remap[tri[1] as usize], remap[tri[2] as usize]
+        )?;
+    }
+    Ok(())
+}
+
+/// Convenience: render to a `String`.
+pub fn to_obj_string(mesh: &TriMesh) -> String {
+    let mut buf = Vec::new();
+    write_obj(mesh, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("OBJ output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn obj_counts_match_mesh() {
+        let mesh = TriMesh::from_heightfield(&generate::ramp(4, 4, 1.0));
+        let obj = to_obj_string(&mesh);
+        let vs = obj.lines().filter(|l| l.starts_with("v ")).count();
+        let fs = obj.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(vs, mesh.num_live_vertices());
+        assert_eq!(fs, mesh.num_live_triangles());
+    }
+
+    #[test]
+    fn obj_indices_are_in_range_after_collapse() {
+        let mut mesh = TriMesh::from_heightfield(&generate::ramp(5, 5, 1.0));
+        // Kill some vertices via collapse so the remap matters.
+        let mid = (mesh.position(12) + mesh.position(13)) / 2.0;
+        mesh.collapse_edge(12, 13, mid).unwrap();
+        let obj = to_obj_string(&mesh);
+        let vs = obj.lines().filter(|l| l.starts_with("v ")).count();
+        for line in obj.lines().filter(|l| l.starts_with("f ")) {
+            for idx in line.split_whitespace().skip(1) {
+                let i: usize = idx.parse().unwrap();
+                assert!(i >= 1 && i <= vs, "face index {i} out of range 1..={vs}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The whole system on a *file-backed* store: identical results and
+//! identical disk-access counts to the in-memory store, plus real I/O.
+
+use std::sync::Arc;
+
+use dm_core::{DirectMeshDb, DmBuildOptions};
+use dm_geom::Rect;
+use dm_mtm::builder::{build_pm, PmBuildConfig};
+use dm_storage::{BufferPool, FileStore, MemStore};
+use dm_terrain::{generate, TriMesh};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dm_it_{}_{name}.db", std::process::id()))
+}
+
+#[test]
+fn file_backed_database_matches_memory_backed() {
+    let hf = generate::fractal_terrain(21, 21, 31);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+
+    let mem_pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 256));
+    let mem_db = DirectMeshDb::build(mem_pool, &pm, &DmBuildOptions::default());
+
+    let path = tmp("match");
+    let file_pool = Arc::new(BufferPool::new(
+        Box::new(FileStore::create(&path).unwrap()),
+        256,
+    ));
+    let file_db = DirectMeshDb::build(file_pool, &pm, &DmBuildOptions::default());
+
+    for frac in [0.01, 0.1, 0.4] {
+        let e = mem_db.e_max * frac;
+        let roi = Rect::centered_square(mem_db.bounds.center(), mem_db.bounds.width() * 0.5);
+        mem_db.cold_start();
+        let a = mem_db.vi_query(&roi, e);
+        let da_mem = mem_db.disk_accesses();
+        file_db.cold_start();
+        let b = file_db.vi_query(&roi, e);
+        let da_file = file_db.disk_accesses();
+        assert_eq!(a.points, b.points, "results differ at {frac}");
+        assert_eq!(da_mem, da_file, "access counts differ at {frac}");
+        let mut ia: Vec<u32> = a.front.vertex_ids().collect();
+        let mut ib: Vec<u32> = b.front.vertex_ids().collect();
+        ia.sort();
+        ib.sort();
+        assert_eq!(ia, ib);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tiny_buffer_pool_still_answers_correctly() {
+    // With an 8-frame pool the working set never fits: eviction and
+    // re-reads must not change results, only cost.
+    let hf = generate::fractal_terrain(17, 17, 33);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+    let big = DirectMeshDb::build(
+        Arc::new(BufferPool::new(Box::new(MemStore::new()), 4096)),
+        &pm,
+        &DmBuildOptions::default(),
+    );
+    let small = DirectMeshDb::build(
+        Arc::new(BufferPool::new(Box::new(MemStore::new()), 8)),
+        &pm,
+        &DmBuildOptions::default(),
+    );
+    let e = big.e_max * 0.05;
+    let a = big.vi_query(&big.bounds, e);
+    let b = small.vi_query(&small.bounds, e);
+    assert_eq!(a.points, b.points);
+    big.cold_start();
+    let _ = big.vi_query(&big.bounds, e);
+    small.cold_start();
+    let _ = small.vi_query(&small.bounds, e);
+    assert!(
+        small.disk_accesses() >= big.disk_accesses(),
+        "a thrashing pool cannot read fewer pages"
+    );
+}
+
+#[test]
+fn database_reopens_from_its_catalog() {
+    let hf = generate::fractal_terrain(21, 21, 37);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+    let path = tmp("catalog");
+
+    // Build, persist, remember reference answers, drop everything.
+    let (e, want_points, want_ids) = {
+        let pool = Arc::new(BufferPool::new(
+            Box::new(FileStore::create(&path).unwrap()),
+            256,
+        ));
+        let db = DirectMeshDb::create_in(pool, &pm, &DmBuildOptions::default());
+        let e = db.e_for_points_fraction(0.25);
+        let res = db.vi_query(&db.bounds, e);
+        let mut ids: Vec<u32> = res.front.vertex_ids().collect();
+        ids.sort();
+        (e, res.points, ids)
+    };
+
+    // Reopen from disk alone: same answers, records intact.
+    let pool = Arc::new(BufferPool::new(
+        Box::new(FileStore::open(&path).unwrap()),
+        256,
+    ));
+    let db = DirectMeshDb::open(pool).expect("catalog readable");
+    assert_eq!(db.n_records, pm.hierarchy.len());
+    assert_eq!(db.n_leaves, pm.hierarchy.n_leaves);
+    let res = db.vi_query(&db.bounds, e);
+    assert_eq!(res.points, want_points);
+    let mut ids: Vec<u32> = res.front.vertex_ids().collect();
+    ids.sort();
+    assert_eq!(ids, want_ids);
+    // Point lookups work through the reattached B+-tree.
+    for id in [0u32, 7, 100] {
+        assert_eq!(db.fetch_by_id(id).unwrap().node.id, id);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pm_build_persist_then_database_build_matches() {
+    // The other half of the persistence story: save the expensive PM
+    // construction, reload it, and build an identical database from it.
+    use dm_mtm::persist::{load_pm, save_pm};
+    let hf = generate::fractal_terrain(17, 17, 41);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+    let mut buf = Vec::new();
+    save_pm(&pm, &mut buf).unwrap();
+    let pm2 = load_pm(&buf[..]).unwrap();
+
+    let mk = |p: &dm_mtm::builder::PmBuild| {
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
+        DirectMeshDb::build(pool, p, &DmBuildOptions::default())
+    };
+    let a = mk(&pm);
+    let b = mk(&pm2);
+    let e = a.e_for_points_fraction(0.2);
+    let ra = a.vi_query(&a.bounds, e);
+    let rb = b.vi_query(&b.bounds, e);
+    assert_eq!(ra.points, rb.points);
+    a.cold_start();
+    b.cold_start();
+    let _ = a.vi_query(&a.bounds, e);
+    let _ = b.vi_query(&b.bounds, e);
+    assert_eq!(a.disk_accesses(), b.disk_accesses(), "identical layouts");
+}
+
+#[test]
+fn file_store_persists_across_reopen() {
+    use dm_storage::{PageStore, PAGE_SIZE};
+    let path = tmp("persist");
+    {
+        let store = FileStore::create(&path).unwrap();
+        for i in 0..10u8 {
+            let id = store.allocate();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = i;
+            store.write_page(id, &buf);
+        }
+        store.sync();
+    }
+    let store = FileStore::open(&path).unwrap();
+    assert_eq!(store.num_pages(), 10);
+    for i in 0..10u8 {
+        let mut buf = [0u8; PAGE_SIZE];
+        store.read_page(i as u32, &mut buf);
+        assert_eq!(buf[0], i);
+    }
+    std::fs::remove_file(&path).ok();
+}
