@@ -14,7 +14,6 @@
 //! fixed set of LODs, and on open terrain DoV is close to 1 everywhere so
 //! visibility rarely saves anything.
 
-
 use std::sync::Arc;
 
 use dm_geom::{Rect, Vec2};
@@ -101,24 +100,28 @@ impl HdovDb {
             let hh = bounds.height() / g as f64;
             Rect::new(
                 Vec2::new(bounds.min.x + tx as f64 * w, bounds.min.y + ty as f64 * hh),
-                Vec2::new(bounds.min.x + (tx + 1) as f64 * w, bounds.min.y + (ty + 1) as f64 * hh),
+                Vec2::new(
+                    bounds.min.x + (tx + 1) as f64 * w,
+                    bounds.min.y + (ty + 1) as f64 * hh,
+                ),
             )
         };
 
         // Cut members of a tile group at LOD e.
-        let cut_of = |txs: std::ops::Range<usize>, tys: std::ops::Range<usize>, e: f64| -> Vec<u32> {
-            let mut out = Vec::new();
-            for ty in tys.clone() {
-                for tx in txs.clone() {
-                    for &(lo, hi, id) in &tiles[ty * g + tx] {
-                        if lo <= e && e < hi {
-                            out.push(id);
+        let cut_of =
+            |txs: std::ops::Range<usize>, tys: std::ops::Range<usize>, e: f64| -> Vec<u32> {
+                let mut out = Vec::new();
+                for ty in tys.clone() {
+                    for tx in txs.clone() {
+                        for &(lo, hi, id) in &tiles[ty * g + tx] {
+                            if lo <= e && e < hi {
+                                out.push(id);
+                            }
                         }
                     }
                 }
-            }
-            out
-        };
+                out
+            };
 
         // Similar-LOD adjacency (for extracting each node mesh's
         // triangles — HDoV stores whole meshes, topology included).
@@ -143,7 +146,16 @@ impl HdovDb {
                 let dov = tile_dov(hf, &rect);
                 let tris = node_mesh_triangles(h, &conn, &ids, 0.0);
                 let idx = store_node(
-                    &mut nodes, &mut heap, &pool, rect, 0.0, dov, Vec::new(), &ids, &tris, h,
+                    &mut nodes,
+                    &mut heap,
+                    &pool,
+                    rect,
+                    0.0,
+                    dov,
+                    Vec::new(),
+                    &ids,
+                    &tris,
+                    h,
                 );
                 cur.push(idx);
             }
@@ -232,7 +244,14 @@ impl HdovDb {
             pool.write(page, |b| b[..data.len()].copy_from_slice(&data));
         }
 
-        HdovDb { pool, heap, nodes, root, bounds, e_max: h.e_max }
+        HdovDb {
+            pool,
+            heap,
+            nodes,
+            root,
+            bounds,
+            e_max: h.e_max,
+        }
     }
 
     pub fn pool(&self) -> &Arc<BufferPool> {
@@ -278,8 +297,12 @@ impl HdovDb {
     }
 
     fn query(&self, roi: &Rect, required: impl Fn(&Rect) -> f64) -> HdovResult {
-        let mut res =
-            HdovResult { points: 0, nodes_fetched: 0, nodes_visited: 0, culled: 0 };
+        let mut res = HdovResult {
+            points: 0,
+            nodes_fetched: 0,
+            nodes_visited: 0,
+            culled: 0,
+        };
         let mut stack = vec![self.root];
         while let Some(idx) = stack.pop() {
             let node = &self.nodes[idx];
@@ -324,8 +347,7 @@ fn node_mesh_triangles(
 ) -> Vec<[u32; 3]> {
     use std::collections::HashMap;
     let members: std::collections::HashSet<u32> = ids.iter().copied().collect();
-    let pos: HashMap<u32, Vec2> =
-        ids.iter().map(|&id| (id, h.node(id).pos.xy())).collect();
+    let pos: HashMap<u32, Vec2> = ids.iter().map(|&id| (id, h.node(id).pos.xy())).collect();
     let adj: HashMap<u32, Vec<u32>> = ids
         .iter()
         .map(|&id| {
@@ -398,7 +420,10 @@ fn store_node(
         lod,
         dov,
         children,
-        mesh_rids: (first.unwrap_or(RecordId { page: 0, slot: 0 }), ids.len() as u32),
+        mesh_rids: (
+            first.unwrap_or(RecordId { page: 0, slot: 0 }),
+            ids.len() as u32,
+        ),
         mesh_pages,
     });
     idx
@@ -456,7 +481,11 @@ mod tests {
     #[test]
     fn builds_a_tile_hierarchy() {
         let (_, db) = setup(33, 1);
-        assert!(db.num_nodes() > 4, "expected several tiles, got {}", db.num_nodes());
+        assert!(
+            db.num_nodes() > 4,
+            "expected several tiles, got {}",
+            db.num_nodes()
+        );
     }
 
     #[test]
@@ -509,9 +538,11 @@ mod tests {
         // The paper's observation: terrain occludes far less than city
         // models, so DoV barely helps.
         let (_, db) = setup(33, 5);
-        let avg: f64 =
-            db.nodes.iter().map(|n| n.dov).sum::<f64>() / db.nodes.len() as f64;
-        assert!(avg > 0.4, "average DoV {avg} suspiciously low for open terrain");
+        let avg: f64 = db.nodes.iter().map(|n| n.dov).sum::<f64>() / db.nodes.len() as f64;
+        assert!(
+            avg > 0.4,
+            "average DoV {avg} suspiciously low for open terrain"
+        );
         assert_eq!(
             db.vi_query(&db.bounds, db.e_max * 0.1).culled,
             0,

@@ -36,7 +36,11 @@ use dm_storage::{BTree, BufferPool, HeapFile, PageId, RecordId};
 /// "all internal nodes of the MTM tree must record its point coordinates,
 /// as well as its 'footprint'".
 fn encode_pm_record(n: &PmNode, fp: &Rect) -> Vec<u8> {
-    let mut out = DmRecord { node: *n, conn: Vec::new() }.encode();
+    let mut out = DmRecord {
+        node: *n,
+        conn: Vec::new(),
+    }
+    .encode();
     for v in [fp.min.x, fp.min.y, fp.max.x, fp.max.y] {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -47,7 +51,11 @@ fn decode_pm_record(b: &[u8]) -> (PmNode, Rect) {
     assert!(b.len() >= FIXED_LEN + 32, "truncated PM record");
     let node = DmRecord::decode(&b[..b.len() - 32]).node;
     let f = |i: usize| {
-        f64::from_le_bytes(b[b.len() - 32 + 8 * i..b.len() - 24 + 8 * i].try_into().unwrap())
+        f64::from_le_bytes(
+            b[b.len() - 32 + 8 * i..b.len() - 24 + 8 * i]
+                .try_into()
+                .unwrap(),
+        )
     };
     let fp = Rect::from_corners(Vec2::new(f(0), f(1)), Vec2::new(f(2), f(3)));
     (node, fp)
@@ -96,20 +104,24 @@ impl PmDb {
         // with record addresses as payloads.
         let key = |id: u32| -> Vec3 {
             let node = h.node(id);
-            let e_hi = if node.e_hi.is_finite() { node.e_hi.min(e_cap) } else { e_cap };
+            let e_hi = if node.e_hi.is_finite() {
+                node.e_hi.min(e_cap)
+            } else {
+                e_cap
+            };
             Vec3::new(node.pos.x, node.pos.y, e_hi)
         };
         let space = Box3::prism(h.bounds, 0.0, e_cap);
         let order: Vec<u32> = {
-            let scratch = Arc::new(BufferPool::new(
-                Box::new(dm_storage::MemStore::new()),
-                64,
-            ));
+            let scratch = Arc::new(BufferPool::new(Box::new(dm_storage::MemStore::new()), 64));
             let mut qt = LodQuadtree::new(scratch, space);
             for id in 0..n as u32 {
                 qt.insert(key(id), id as u64);
             }
-            qt.collect_leaf_points().into_iter().map(|p| p.data as u32).collect()
+            qt.collect_leaf_points()
+                .into_iter()
+                .map(|p| p.data as u32)
+                .collect()
         };
         let mut heap = HeapFile::create(Arc::clone(&pool));
         let mut rids = vec![RecordId { page: 0, slot: 0 }; n];
@@ -227,7 +239,9 @@ impl PmDb {
             if map.contains_key(&id) {
                 continue;
             }
-            let Some((node, fp)) = self.fetch_by_id(id) else { continue };
+            let Some((node, fp)) = self.fetch_by_id(id) else {
+                continue;
+            };
             completion += 1;
             if node.parent != NIL_ID && !map.contains_key(&node.parent) {
                 missing.push(node.parent);
@@ -247,9 +261,7 @@ impl PmDb {
                 .filter(|n| {
                     !n.is_leaf()
                         && n.e_lo > e_floor
-                        && footprints
-                            .get(&n.id)
-                            .is_some_and(|fp| fp.intersects(roi))
+                        && footprints.get(&n.id).is_some_and(|fp| fp.intersects(roi))
                 })
                 .flat_map(|n| [n.child1, n.child2])
                 .filter(|c| *c != NIL_ID && !map.contains_key(c))
@@ -270,10 +282,13 @@ impl PmDb {
 
     /// Viewpoint-independent query: selective refinement to uniform LOD.
     pub fn vi_query(&self, roi: &Rect, e: f64) -> PmQueryResult {
-        let (map, footprints, completion) =
-            self.fetch_subtree(roi, e.min(self.e_max * 1.0005));
+        let (map, footprints, completion) = self.fetch_subtree(roi, e.min(self.e_max * 1.0005));
         let fps: FpMap = std::rc::Rc::new(std::cell::RefCell::new(footprints));
-        let target = ClippedUniform { e, roi: *roi, footprints: std::rc::Rc::clone(&fps) };
+        let target = ClippedUniform {
+            e,
+            roi: *roi,
+            footprints: std::rc::Rc::clone(&fps),
+        };
         self.refine_from_root(map, fps, completion, &target)
     }
 
@@ -283,7 +298,11 @@ impl PmDb {
         let (e_floor, _) = plane_range(target, roi);
         let (map, footprints, completion) = self.fetch_subtree(roi, e_floor);
         let fps: FpMap = std::rc::Rc::new(std::cell::RefCell::new(footprints));
-        let t = ClippedPlane { plane: *target, roi: *roi, footprints: std::rc::Rc::clone(&fps) };
+        let t = ClippedPlane {
+            plane: *target,
+            roi: *roi,
+            footprints: std::rc::Rc::clone(&fps),
+        };
         self.refine_from_root(map, fps, completion, &t)
     }
 
@@ -313,12 +332,22 @@ impl PmDb {
         // Wings and off-path children that the pre-fetch could not
         // anticipate are point-fetched through the B+-tree — more of the
         // PM method's structural overhead, all counted.
-        let mut source = PmSource { db: self, map, fps, misses: 0 };
+        let mut source = PmSource {
+            db: self,
+            map,
+            fps,
+            misses: 0,
+        };
         let stats = refine(&mut front, &mut source, target);
         completion += source.misses;
         // The paper keeps the mesh as refined (coarse context outside the
         // ROI included); we report it unmodified.
-        PmQueryResult { front, refine: stats, fetched_records: fetched, completion_fetches: completion }
+        PmQueryResult {
+            front,
+            refine: stats,
+            fetched_records: fetched,
+            completion_fetches: completion,
+        }
     }
 }
 
@@ -485,10 +514,7 @@ mod tests {
     #[test]
     fn sub_roi_query_uses_ancestor_completion() {
         let (_, _, db) = setup(17, 8);
-        let roi = Rect::centered_square(
-            db.bounds.center(),
-            db.bounds.width() * 0.3,
-        );
+        let roi = Rect::centered_square(db.bounds.center(), db.bounds.width() * 0.3);
         let res = db.vi_query(&roi, db.e_max * 0.05);
         // With a small ROI the sub-tree's upper levels sit outside it: the
         // range query misses them and completion fetches must kick in.

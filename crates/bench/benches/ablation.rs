@@ -23,10 +23,20 @@ fn main() {
     println!("\n## A1 — boundary policy (VD single-base, ROI 5%)");
     println!(
         "{}",
-        row("policy", &["DA".into(), "points".into(), "blocked".into(), "fetches".into()])
+        row(
+            "policy",
+            &[
+                "DA".into(),
+                "points".into(),
+                "blocked".into(),
+                "fetches".into()
+            ]
+        )
     );
-    for (label, policy) in [("skip", BoundaryPolicy::Skip), ("fetch", BoundaryPolicy::FetchOnMiss)]
-    {
+    for (label, policy) in [
+        ("skip", BoundaryPolicy::Skip),
+        ("fetch", BoundaryPolicy::FetchOnMiss),
+    ] {
         let (mut da, mut pts, mut blocked, mut fetches) = (vec![], 0usize, 0usize, 0usize);
         for roi in &rois {
             let q = vd_query(roi, d.dm.e_max, d.e_at_cut(0.3), 0.5);
@@ -58,7 +68,10 @@ fn main() {
         ("str-leaf", DmBuildOptions::default()),
         (
             "dynamic-R*",
-            DmBuildOptions { dynamic_rtree: true, ..DmBuildOptions::default() },
+            DmBuildOptions {
+                dynamic_rtree: true,
+                ..DmBuildOptions::default()
+            },
         ),
         (
             "hilbert",
@@ -76,7 +89,10 @@ fn main() {
         ),
     ];
     for (label, opts) in variants {
-        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), dm_bench::POOL_PAGES));
+        let pool = Arc::new(BufferPool::new(
+            Box::new(MemStore::new()),
+            dm_bench::POOL_PAGES,
+        ));
         let db = DirectMeshDb::build(pool, &d.pm_build, &opts);
         let mut da = Vec::new();
         for roi in &rois {
@@ -98,7 +114,8 @@ fn main() {
             let q = vd_query(roi, d.dm.e_max, d.e_at_cut(0.3), 0.5);
             let strips = plan(&q);
             d.dm.cold_start();
-            let res = d.dm.vd_multi_base_with_strips(&q, BoundaryPolicy::Skip, &strips);
+            let res =
+                d.dm.vd_multi_base_with_strips(&q, BoundaryPolicy::Skip, &strips);
             da.push(d.dm.disk_accesses());
             cubes += res.cubes.len();
         }
@@ -106,7 +123,10 @@ fn main() {
             "{}",
             row(
                 &label,
-                &[format!("{:.1}", mean(&da)), format!("{:.1}", cubes as f64 / rois10.len() as f64)],
+                &[
+                    format!("{:.1}", mean(&da)),
+                    format!("{:.1}", cubes as f64 / rois10.len() as f64)
+                ],
             )
         );
     };

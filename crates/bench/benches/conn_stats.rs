@@ -20,10 +20,18 @@ fn main() {
         "{}",
         row(
             "dataset",
-            &["points".into(), "similar".into(), "max-sim".into(), "total".into()],
+            &[
+                "points".into(),
+                "similar".into(),
+                "max-sim".into(),
+                "total".into()
+            ],
         )
     );
-    for (kind, side) in [(Terrain::Mining, scale.small), (Terrain::Crater, scale.large)] {
+    for (kind, side) in [
+        (Terrain::Mining, scale.small),
+        (Terrain::Crater, scale.large),
+    ] {
         let hf = match kind {
             Terrain::Mining => generate::fractal_terrain(side, side, 42),
             Terrain::Crater => generate::crater_terrain(side, side, 42),
@@ -35,7 +43,11 @@ fn main() {
         println!(
             "{}",
             row(
-                if kind == Terrain::Mining { "mining-2M" } else { "crater-17M" },
+                if kind == Terrain::Mining {
+                    "mining-2M"
+                } else {
+                    "crater-17M"
+                },
                 &[
                     format!("{}", side * side),
                     format!("{:.1}", s.avg_similar),

@@ -22,7 +22,12 @@ fn main() {
         "{}",
         row(
             "query",
-            &["eq1".into(), "exact".into(), "measured".into(), "eq1-err%".into()],
+            &[
+                "eq1".into(),
+                "exact".into(),
+                "measured".into(),
+                "eq1-err%".into()
+            ],
         )
     );
     let cases: Vec<(&str, f64, f64, f64)> = vec![
@@ -73,7 +78,12 @@ fn main() {
         "{}",
         row(
             "angle%",
-            &["strips".into(), "SB-DA".into(), "MB-DA".into(), "gain%".into()],
+            &[
+                "strips".into(),
+                "SB-DA".into(),
+                "MB-DA".into(),
+                "gain%".into()
+            ],
         )
     );
     for angle_frac in [0.1, 0.25, 0.5, 0.75, 0.9] {

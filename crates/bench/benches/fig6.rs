@@ -14,8 +14,22 @@ use dm_bench::{build_dataset, mean, measure_vi, random_rois, row, Scale, Terrain
 fn main() {
     let scale = Scale::from_env();
     let configs = [
-        (Terrain::Mining, scale.small, vec![0.02, 0.04, 0.06, 0.08, 0.10], 0.10, "6(a)", "6(b)"),
-        (Terrain::Crater, scale.large, vec![0.01, 0.02, 0.03, 0.04, 0.05], 0.05, "6(c)", "6(d)"),
+        (
+            Terrain::Mining,
+            scale.small,
+            vec![0.02, 0.04, 0.06, 0.08, 0.10],
+            0.10,
+            "6(a)",
+            "6(b)",
+        ),
+        (
+            Terrain::Crater,
+            scale.large,
+            vec![0.01, 0.02, 0.03, 0.04, 0.05],
+            0.05,
+            "6(c)",
+            "6(d)",
+        ),
     ];
     for (kind, side, roi_fracs, lod_roi, panel_roi, panel_lod) in configs {
         let t0 = std::time::Instant::now();
@@ -29,8 +43,17 @@ fn main() {
         );
 
         // --- varying ROI, LOD = dataset average ------------------------
-        println!("\n## Figure {panel_roi} — VI query, varying ROI ({})", d.name);
-        println!("{}", row("roi%", &["DM".into(), "PM".into(), "HDoV".into(), "points".into()]));
+        println!(
+            "\n## Figure {panel_roi} — VI query, varying ROI ({})",
+            d.name
+        );
+        println!(
+            "{}",
+            row(
+                "roi%",
+                &["DM".into(), "PM".into(), "HDoV".into(), "points".into()]
+            )
+        );
         for &frac in &roi_fracs {
             let rois = random_rois(&d.dm.bounds, frac, scale.locations, 7);
             let (mut dm, mut pm, mut hdov) = (vec![], vec![], vec![]);
@@ -57,10 +80,16 @@ fn main() {
         }
 
         // --- varying LOD, fixed ROI -------------------------------------
-        println!("\n## Figure {panel_lod} — VI query, varying LOD ({}); label = % of points kept", d.name);
+        println!(
+            "\n## Figure {panel_lod} — VI query, varying LOD ({}); label = % of points kept",
+            d.name
+        );
         println!(
             "{}",
-            row("keep%", &["DM".into(), "PM".into(), "HDoV".into(), "points".into()])
+            row(
+                "keep%",
+                &["DM".into(), "PM".into(), "HDoV".into(), "points".into()]
+            )
         );
         // Sweep positions chosen by cut size (fraction of the original
         // points still present); the paper likewise restricts the LOD

@@ -17,8 +17,20 @@ fn header() -> Vec<String> {
 fn main() {
     let scale = Scale::from_env();
     let configs = [
-        (Terrain::Mining, scale.small, vec![0.02, 0.04, 0.06, 0.08, 0.10], 0.10, 'a'),
-        (Terrain::Crater, scale.large, vec![0.01, 0.02, 0.03, 0.04, 0.05], 0.05, 'd'),
+        (
+            Terrain::Mining,
+            scale.small,
+            vec![0.02, 0.04, 0.06, 0.08, 0.10],
+            0.10,
+            'a',
+        ),
+        (
+            Terrain::Crater,
+            scale.large,
+            vec![0.01, 0.02, 0.03, 0.04, 0.05],
+            0.05,
+            'd',
+        ),
     ];
     for (kind, side, roi_fracs, fixed_roi, first_panel) in configs {
         let t0 = std::time::Instant::now();
@@ -38,7 +50,10 @@ fn main() {
         let e_base = d.e_at_cut(0.3);
 
         // --- (a)/(d): varying ROI, angle = θmax/2 ----------------------
-        println!("\n## Figure 8({}) — VD query, varying ROI ({})", panels[0], d.name);
+        println!(
+            "\n## Figure 8({}) — VD query, varying ROI ({})",
+            panels[0], d.name
+        );
         println!("{}", row("roi%", &header()));
         for &frac in &roi_fracs {
             let rois = random_rois(&d.dm.bounds, frac, scale.locations, 13);
@@ -54,13 +69,18 @@ fn main() {
                 "{}",
                 row(
                     &format!("{:.0}%", frac * 100.0),
-                    &acc.iter().map(|v| format!("{:.1}", mean(v))).collect::<Vec<_>>(),
+                    &acc.iter()
+                        .map(|v| format!("{:.1}", mean(v)))
+                        .collect::<Vec<_>>(),
                 )
             );
         }
 
         // --- (b)/(e): varying e_min ------------------------------------
-        println!("\n## Figure 8({}) — VD query, varying LOD ({}); label = % of points kept at e_min", panels[1], d.name);
+        println!(
+            "\n## Figure 8({}) — VD query, varying LOD ({}); label = % of points kept at e_min",
+            panels[1], d.name
+        );
         println!("{}", row("keep%", &header()));
         for cut_frac in [0.5, 0.3, 0.2, 0.1, 0.05] {
             let e_min = d.e_at_cut(cut_frac);
@@ -77,13 +97,18 @@ fn main() {
                 "{}",
                 row(
                     &format!("{:.0}%", cut_frac * 100.0),
-                    &acc.iter().map(|v| format!("{:.1}", mean(v))).collect::<Vec<_>>(),
+                    &acc.iter()
+                        .map(|v| format!("{:.1}", mean(v)))
+                        .collect::<Vec<_>>(),
                 )
             );
         }
 
         // --- (c)/(f): varying angle, e_min = 1 % -----------------------
-        println!("\n## Figure 8({}) — VD query, varying angle ({})", panels[2], d.name);
+        println!(
+            "\n## Figure 8({}) — VD query, varying angle ({})",
+            panels[2], d.name
+        );
         println!("{}", row("angle%", &header()));
         let e_fine = d.e_at_cut(0.5); // "1 %" in the paper: a fine floor
         for angle_frac in [0.1, 0.25, 0.5, 0.75, 0.9] {
@@ -100,7 +125,9 @@ fn main() {
                 "{}",
                 row(
                     &format!("{:.0}%", angle_frac * 100.0),
-                    &acc.iter().map(|v| format!("{:.1}", mean(v))).collect::<Vec<_>>(),
+                    &acc.iter()
+                        .map(|v| format!("{:.1}", mean(v)))
+                        .collect::<Vec<_>>(),
                 )
             );
         }

@@ -38,9 +38,21 @@ impl Scale {
     /// Read `DM_SCALE` (`ci` | `default` | `paper`).
     pub fn from_env() -> Scale {
         match std::env::var("DM_SCALE").as_deref() {
-            Ok("ci") => Scale { small: 65, large: 129, locations: 5 },
-            Ok("paper") => Scale { small: 1449, large: 4097, locations: 20 },
-            _ => Scale { small: 513, large: 1025, locations: 20 },
+            Ok("ci") => Scale {
+                small: 65,
+                large: 129,
+                locations: 5,
+            },
+            Ok("paper") => Scale {
+                small: 1449,
+                large: 4097,
+                locations: 20,
+            },
+            _ => Scale {
+                small: 513,
+                large: 1025,
+                locations: 20,
+            },
         }
     }
 }
@@ -127,7 +139,17 @@ pub fn build_dataset(kind: Terrain, side: usize, seed: u64) -> Dataset {
         .collect();
     lo_sorted.sort_by(f64::total_cmp);
     hi_sorted.sort_by(f64::total_cmp);
-    Dataset { name, hf, pm_build, dm, pm, hdov, avg_lod, lo_sorted, hi_sorted }
+    Dataset {
+        name,
+        hf,
+        pm_build,
+        dm,
+        pm,
+        hdov,
+        avg_lod,
+        lo_sorted,
+        hi_sorted,
+    }
 }
 
 /// Random square ROIs covering `area_frac` of the dataset area.

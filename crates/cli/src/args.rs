@@ -1,20 +1,23 @@
 //! A tiny argument parser: positionals plus `--key value` / `-k value`
-//! options (no external dependencies).
+//! options and a declared set of boolean `--flag`s (no external
+//! dependencies).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Parsed command-line arguments.
 #[derive(Debug, Default)]
 pub struct Args {
     positionals: Vec<String>,
     options: HashMap<String, String>,
+    flags: HashSet<String>,
 }
 
 impl Args {
-    /// Parse `--key value` pairs and positionals. A `--key` without a
-    /// following value (or followed by another option) is an error — the
-    /// CLI has no boolean flags.
-    pub fn parse(argv: &[String]) -> Result<Args, String> {
+    /// Parse `--key value` pairs, positionals, and the declared boolean
+    /// `flag_names` (which take no value and are queried with
+    /// [`Self::has`]). An undeclared `--key` without a following value —
+    /// or followed by another option — is an error.
+    pub fn parse_with_flags(argv: &[String], flag_names: &[&str]) -> Result<Args, String> {
         let mut out = Args::default();
         let mut it = argv.iter().peekable();
         while let Some(a) = it.next() {
@@ -22,19 +25,25 @@ impl Args {
                 if key.is_empty() {
                     return Err("stray dash".to_string());
                 }
+                if flag_names.contains(&key) {
+                    out.flags.insert(key.to_string());
+                    continue;
+                }
                 // The next token is a value unless it looks like another
                 // option name (`-x`/`--xyz`); `-5,0,...` style negative
                 // numbers are values.
                 let is_option = |v: &str| {
-                    v.strip_prefix('-')
-                        .is_some_and(|r| r.trim_start_matches('-')
+                    v.strip_prefix('-').is_some_and(|r| {
+                        r.trim_start_matches('-')
                             .chars()
                             .next()
-                            .is_some_and(|c| c.is_ascii_alphabetic()))
+                            .is_some_and(|c| c.is_ascii_alphabetic())
+                    })
                 };
                 match it.peek() {
                     Some(v) if !is_option(v) => {
-                        out.options.insert(key.to_string(), it.next().unwrap().clone());
+                        out.options
+                            .insert(key.to_string(), it.next().unwrap().clone());
                     }
                     _ => return Err(format!("option --{key} needs a value")),
                 }
@@ -49,8 +58,14 @@ impl Args {
         self.options.get(key).map(|s| s.as_str())
     }
 
+    /// Whether a declared boolean flag was present.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     pub fn positional(&self, idx: usize) -> Result<&str, String> {
@@ -77,7 +92,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Result<Args, String> {
-        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+        Args::parse_with_flags(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>(), &[])
     }
 
     #[test]
@@ -114,5 +129,20 @@ mod tests {
     fn require_reports_missing() {
         let a = parse(&[]).unwrap();
         assert!(a.require("o").is_err());
+    }
+
+    #[test]
+    fn declared_flags_take_no_value() {
+        let argv: Vec<String> = ["db.dmdb", "--degraded", "--keep", "0.2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with_flags(&argv, &["degraded"]).unwrap();
+        assert!(a.has("degraded"));
+        assert!(!a.has("keep"));
+        assert_eq!(a.get("keep"), Some("0.2"));
+        assert_eq!(a.positional(0).unwrap(), "db.dmdb");
+        // Undeclared keys still demand a value.
+        assert!(Args::parse_with_flags(&argv, &[]).is_err());
     }
 }

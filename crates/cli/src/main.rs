@@ -15,11 +15,11 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use dm_core::{BoundaryPolicy, DirectMeshDb, DmBuildOptions, VdQuery};
+use dm_core::{BoundaryPolicy, DirectMeshDb, DmBuildOptions, IntegrityReport, VdQuery};
 use dm_geom::{Rect, Vec2};
 use dm_mtm::builder::{build_pm, PmBuildConfig};
 use dm_mtm::PlaneTarget;
-use dm_storage::{BufferPool, FileStore};
+use dm_storage::{BufferPool, FaultConfig, FaultInjector, FileStore, PageStore};
 use dm_terrain::{generate, io as tio, obj, Heightfield, TriMesh};
 
 mod args;
@@ -41,7 +41,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         print_help();
         return Ok(());
     };
-    let args = Args::parse(rest)?;
+    let args = Args::parse_with_flags(rest, &["degraded"])?;
     match cmd.as_str() {
         "generate" => cmd_generate(args),
         "build" => cmd_build(args),
@@ -66,6 +66,14 @@ commands:
   info <db.dmdb>
   query <db.dmdb> [--keep <frac> | --lod <e>] [--roi x0,y0,x1,y1] [-o mesh.obj]
   vd <db.dmdb> [--near-keep <frac>] [--far-keep <frac>] [--roi ...] [-o mesh.obj]
+
+fault tolerance (query / vd / info):
+  --degraded            open the database and complete queries past
+                        unreadable data pages, printing an integrity
+                        report instead of failing
+  --max-retries <n>     page-read retry budget (default 4)
+  --fault-rate <p>      inject transient read faults with probability p
+  --fault-seed <s>      deterministic fault stream seed (default 1)
 
 terrain files: .asc (ESRI ASCII grid) or .dmh (binary heightfield)
 databases:     page files with a self-describing catalog (page 0)"
@@ -104,7 +112,10 @@ fn cmd_build(args: Args) -> Result<(), String> {
         Some(cache) if std::path::Path::new(cache).exists() => {
             let f = std::fs::File::open(cache).map_err(|e| format!("{cache}: {e}"))?;
             let pm = dm_mtm::persist::load_pm(f).map_err(|e| format!("{cache}: {e}"))?;
-            println!("loaded PM hierarchy from {cache} ({} nodes)", pm.hierarchy.len());
+            println!(
+                "loaded PM hierarchy from {cache} ({} nodes)",
+                pm.hierarchy.len()
+            );
             pm
         }
         cache => {
@@ -124,8 +135,7 @@ fn cmd_build(args: Args) -> Result<(), String> {
         }
     };
 
-    let store = FileStore::create(std::path::Path::new(out))
-        .map_err(|e| format!("{out}: {e}"))?;
+    let store = FileStore::create(std::path::Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
     let pool = Arc::new(BufferPool::new(Box::new(store), 4096));
     let db = DirectMeshDb::create_in(pool, &pm, &DmBuildOptions::default());
     println!(
@@ -137,18 +147,54 @@ fn cmd_build(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn open_db(path: &str) -> Result<DirectMeshDb, String> {
-    let store =
-        FileStore::open(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
-    let pool = Arc::new(BufferPool::new(Box::new(store), 4096));
-    DirectMeshDb::open(pool).map_err(|e| format!("{path}: {e}"))
+fn open_db(path: &str, args: &Args) -> Result<DirectMeshDb, String> {
+    let store = FileStore::open(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    // Optional deterministic fault injection, for exercising the
+    // degraded query paths against a real database file.
+    let fault_rate: f64 = args.parse_or("fault-rate", 0.0)?;
+    let store: Box<dyn PageStore> = if fault_rate > 0.0 {
+        let seed: u64 = args.parse_or("fault-seed", 1)?;
+        println!("injecting transient read faults: rate {fault_rate}, seed {seed}");
+        Box::new(FaultInjector::new(
+            Box::new(store),
+            FaultConfig::new(seed).with_read_fail_rate(fault_rate),
+        ))
+    } else {
+        Box::new(store)
+    };
+    let max_retries: u32 = args.parse_or("max-retries", 4)?;
+    let pool = Arc::new(BufferPool::new(store, 4096).with_max_retries(max_retries));
+    if args.has("degraded") {
+        let mut report = IntegrityReport::default();
+        let db =
+            DirectMeshDb::open_degraded(pool, &mut report).map_err(|e| format!("{path}: {e}"))?;
+        if !report.is_clean() {
+            println!("opened degraded: {report}");
+            for e in &report.errors {
+                println!("  lost: {e}");
+            }
+        }
+        Ok(db)
+    } else {
+        DirectMeshDb::open(pool).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn print_report(report: &IntegrityReport) {
+    println!("integrity:  {report}");
+    for e in &report.errors {
+        println!("  lost: {e}");
+    }
 }
 
 fn cmd_info(args: Args) -> Result<(), String> {
     let path = args.positional(0)?;
-    let db = open_db(path)?;
+    let db = open_db(path, &args)?;
     println!("database:   {path}");
-    println!("records:    {} ({} original points)", db.n_records, db.n_leaves);
+    println!(
+        "records:    {} ({} original points)",
+        db.n_records, db.n_leaves
+    );
     println!("roots:      {}", db.roots.len());
     println!("pages:      {}", db.pool().num_pages());
     println!(
@@ -189,7 +235,7 @@ fn parse_roi(args: &Args, db: &DirectMeshDb) -> Result<Rect, String> {
 
 fn cmd_query(args: Args) -> Result<(), String> {
     let path = args.positional(0)?;
-    let db = open_db(path)?;
+    let db = open_db(path, &args)?;
     let roi = parse_roi(&args, &db)?;
     let e = match args.get("lod") {
         Some(v) => v.parse::<f64>().map_err(|e| format!("bad --lod: {e}"))?,
@@ -198,8 +244,22 @@ fn cmd_query(args: Args) -> Result<(), String> {
             db.e_for_points_fraction(keep)
         }
     };
-    db.cold_start();
-    let res = db.vi_query(&roi, e);
+    db.try_cold_start().map_err(|e| e.to_string())?;
+    let res = if args.has("degraded") {
+        let (res, report) = db.try_vi_query(&roi, e).map_err(|e| e.to_string())?;
+        print_report(&report);
+        res
+    } else {
+        db.try_vi_query(&roi, e)
+            .map_err(|e| e.to_string())
+            .and_then(|(res, report)| {
+                if report.is_clean() {
+                    Ok(res)
+                } else {
+                    Err(format!("query lost data ({report}); rerun with --degraded to accept a partial mesh"))
+                }
+            })?
+    };
     println!(
         "LOD {e:.4}: {} points, {} triangles, {} disk accesses",
         res.points,
@@ -211,7 +271,7 @@ fn cmd_query(args: Args) -> Result<(), String> {
 
 fn cmd_vd(args: Args) -> Result<(), String> {
     let path = args.positional(0)?;
-    let db = open_db(path)?;
+    let db = open_db(path, &args)?;
     let roi = parse_roi(&args, &db)?;
     let near: f64 = args.parse_or("near-keep", 0.4)?;
     let far: f64 = args.parse_or("far-keep", 0.05)?;
@@ -228,8 +288,24 @@ fn cmd_vd(args: Args) -> Result<(), String> {
             e_max: e_far,
         },
     };
-    db.cold_start();
-    let res = db.vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16);
+    db.try_cold_start().map_err(|e| e.to_string())?;
+    let res = if args.has("degraded") {
+        let (res, report) = db
+            .try_vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16)
+            .map_err(|e| e.to_string())?;
+        print_report(&report);
+        res
+    } else {
+        db.try_vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16)
+            .map_err(|e| e.to_string())
+            .and_then(|(res, report)| {
+                if report.is_clean() {
+                    Ok(res)
+                } else {
+                    Err(format!("query lost data ({report}); rerun with --degraded to accept a partial mesh"))
+                }
+            })?
+    };
     println!(
         "viewpoint-dependent ({} → {} keep): {} points, {} triangles, {} cubes, {} disk accesses",
         near,
@@ -245,7 +321,8 @@ fn cmd_vd(args: Args) -> Result<(), String> {
 fn maybe_export(args: &Args, front: &dm_mtm::FrontMesh) -> Result<(), String> {
     if let Some(out) = args.get("o") {
         let (mesh, _) = front.to_trimesh();
-        mesh.validate().map_err(|e| format!("reconstructed mesh invalid: {e}"))?;
+        mesh.validate()
+            .map_err(|e| format!("reconstructed mesh invalid: {e}"))?;
         let mut f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
         obj::write_obj(&mesh, &mut f).map_err(|e| format!("{out}: {e}"))?;
         println!("wrote {out}");

@@ -17,23 +17,31 @@
 //! u32(n_roots)     n_roots × u32
 //! u32(n_heap_pages) n_heap_pages × u32
 //! u64(heap_len)
+//! u32(crc32 of everything above)
 //! ```
+//!
+//! Version 2 adds the trailing payload CRC32 and keeps each page chunk
+//! inside [`PAGE_DATA`] so the buffer pool's per-page checksum trailer is
+//! never overwritten. The per-page checksum catches a torn or flipped
+//! page; the payload CRC catches a chain stitched together from pages of
+//! different catalog generations.
 //!
 //! Interval statistics (`cut_size` support) and the optimizer's node
 //! regions are rebuilt on open by scanning the heap / walking the R-tree
 //! — both one-off costs, like the paper's unmeasured index construction.
 
-use std::io;
 use std::sync::Arc;
 
-use dm_storage::page::{PageId, PAGE_SIZE};
-use dm_storage::BufferPool;
+use dm_storage::page::{PageId, NO_PAGE, PAGE_DATA};
+use dm_storage::{crc32, BufferPool, StorageError, StorageResult};
 
 const MAGIC: &[u8; 4] = b"DMCT";
-const VERSION: u32 = 1;
-/// Per continuation page: [next: u32][len: u16] then payload.
+const VERSION: u32 = 2;
+/// Per continuation page: [next: u32][len: u16] then payload. Chunks stay
+/// inside `PAGE_DATA` — the last four bytes of every page belong to the
+/// buffer pool's checksum.
 const PAGE_HDR: usize = 6;
-const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_HDR;
+const PAGE_PAYLOAD: usize = PAGE_DATA - PAGE_HDR;
 
 /// The serializable part of a database's state.
 #[derive(Clone, Debug, PartialEq)]
@@ -79,18 +87,41 @@ impl CatalogData {
             out.extend_from_slice(&p.to_le_bytes());
         }
         out.extend_from_slice(&self.heap_len.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
-    fn decode(b: &[u8]) -> io::Result<CatalogData> {
-        let mut cur = Cursor { b, off: 0 };
+    fn decode(b: &[u8]) -> StorageResult<CatalogData> {
+        if b.len() < 4 {
+            return Err(StorageError::format("catalog truncated"));
+        }
+        let (body, trailer) = b.split_at(b.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+        let computed = crc32(body);
+        let mut cur = Cursor { b: body, off: 0 };
         let magic = cur.take(4)?;
         if magic != MAGIC {
-            return Err(bad("not a Direct Mesh catalog (bad magic)"));
+            return Err(StorageError::format(
+                "not a Direct Mesh catalog (bad magic)",
+            ));
         }
         let version = cur.u32()?;
         if version != VERSION {
-            return Err(bad(&format!("unsupported catalog version {version}")));
+            return Err(StorageError::format(format!(
+                "unsupported catalog version {version} (this build reads version {VERSION})"
+            )));
+        }
+        // Magic and version first so a foreign file reports "not a
+        // catalog" rather than "checksum mismatch"; everything after this
+        // point is protected by the payload CRC.
+        if stored != computed {
+            return Err(StorageError::corrupt(
+                NO_PAGE,
+                format!(
+                    "catalog payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                ),
+            ));
         }
         let min = dm_geom::Vec2::new(cur.f64()?, cur.f64()?);
         let max = dm_geom::Vec2::new(cur.f64()?, cur.f64()?);
@@ -126,46 +157,62 @@ impl CatalogData {
 
 /// Write the catalog starting at `first_page` (normally page 0, reserved
 /// before the build); continuation pages are freshly allocated.
-pub fn write_catalog(pool: &Arc<BufferPool>, first_page: PageId, data: &CatalogData) {
+pub fn write_catalog(
+    pool: &Arc<BufferPool>,
+    first_page: PageId,
+    data: &CatalogData,
+) -> StorageResult<()> {
     let bytes = data.encode();
     let mut chunks = bytes.chunks(PAGE_PAYLOAD).peekable();
     let mut page = first_page;
     loop {
         let chunk = chunks.next().unwrap_or(&[]);
-        let next = if chunks.peek().is_some() { pool.allocate() } else { u32::MAX };
-        pool.write(page, |b| {
+        let next = if chunks.peek().is_some() {
+            pool.try_allocate()?
+        } else {
+            NO_PAGE
+        };
+        pool.try_write(page, |b| {
             b[0..4].copy_from_slice(&next.to_le_bytes());
             b[4..6].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
             b[PAGE_HDR..PAGE_HDR + chunk.len()].copy_from_slice(chunk);
-        });
-        if next == u32::MAX {
+        })?;
+        if next == NO_PAGE {
             break;
         }
         page = next;
     }
+    Ok(())
 }
 
 /// Read the catalog chain starting at `first_page`.
-pub fn read_catalog(pool: &Arc<BufferPool>, first_page: PageId) -> io::Result<CatalogData> {
+pub fn read_catalog(pool: &Arc<BufferPool>, first_page: PageId) -> StorageResult<CatalogData> {
     let mut bytes = Vec::new();
     let mut page = first_page;
-    let mut hops = 0;
+    let mut hops = 0u32;
     loop {
-        let next = pool.read(page, |b| {
+        let next = pool.try_read(page, |b| {
             let next = u32::from_le_bytes(b[0..4].try_into().unwrap());
             let len = u16::from_le_bytes(b[4..6].try_into().unwrap()) as usize;
-            if len <= PAGE_PAYLOAD {
-                bytes.extend_from_slice(&b[PAGE_HDR..PAGE_HDR + len]);
+            if len > PAGE_PAYLOAD {
+                return Err(StorageError::corrupt(
+                    page,
+                    format!("catalog chunk of {len} bytes exceeds page payload {PAGE_PAYLOAD}"),
+                ));
             }
-            next
-        });
-        if next == u32::MAX {
+            bytes.extend_from_slice(&b[PAGE_HDR..PAGE_HDR + len]);
+            Ok(next)
+        })??;
+        if next == NO_PAGE {
             break;
         }
         page = next;
         hops += 1;
         if hops > 1 << 20 {
-            return Err(bad("catalog chain does not terminate"));
+            return Err(StorageError::corrupt(
+                page,
+                "catalog chain does not terminate",
+            ));
         }
     }
     CatalogData::decode(&bytes)
@@ -177,30 +224,26 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
         if self.off + n > self.b.len() {
-            return Err(bad("catalog truncated"));
+            return Err(StorageError::format("catalog truncated"));
         }
         let s = &self.b[self.off..self.off + n];
         self.off += n;
         Ok(s)
     }
 
-    fn u32(&mut self) -> io::Result<u32> {
+    fn u32(&mut self) -> StorageResult<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    fn u64(&mut self) -> StorageResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> io::Result<f64> {
+    fn f64(&mut self) -> StorageResult<f64> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-}
-
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
 #[cfg(test)]
@@ -236,7 +279,7 @@ mod tests {
         let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 16));
         let first = pool.allocate();
         let d = sample(100);
-        write_catalog(&pool, first, &d);
+        write_catalog(&pool, first, &d).unwrap();
         assert_eq!(read_catalog(&pool, first).unwrap(), d);
     }
 
@@ -246,7 +289,7 @@ mod tests {
         let first = pool.allocate();
         // 30k heap pages → 120 KB payload → needs ~15 continuation pages.
         let d = sample(30_000);
-        write_catalog(&pool, first, &d);
+        write_catalog(&pool, first, &d).unwrap();
         let back = read_catalog(&pool, first).unwrap();
         assert_eq!(back, d);
         assert!(pool.num_pages() > 10, "continuation pages were allocated");
@@ -254,10 +297,32 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(CatalogData::decode(b"XXXXjunkjunk").is_err());
+        assert!(CatalogData::decode(b"XXXXjunkjunkjunk").is_err());
         let d = sample(3);
         let mut bytes = d.encode();
         bytes.truncate(bytes.len() - 3);
         assert!(CatalogData::decode(&bytes).is_err());
     }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut bytes = sample(1).encode();
+        bytes[4] = 1; // version field follows the magic
+        let err = CatalogData::decode(&bytes).unwrap_err();
+        assert!(matches!(err, StorageError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn decode_detects_payload_tampering() {
+        let mut bytes = sample(5).encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = CatalogData::decode(&bytes).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+    }
+
+    // Sanity: the chunking constant leaves the pool's 4-byte trailer
+    // alone even on a full continuation page.
+    const _: () = assert!(PAGE_HDR + PAGE_PAYLOAD <= PAGE_DATA);
 }

@@ -19,10 +19,7 @@ use dm_geom::Vec2;
 ///
 /// `pos` gives each vertex's plan position; `adj` lists each vertex's
 /// neighbours (must be symmetric — `b ∈ adj[a] ⇔ a ∈ adj[b]`).
-pub fn extract_faces(
-    pos: &HashMap<u32, Vec2>,
-    adj: &HashMap<u32, Vec<u32>>,
-) -> Vec<[u32; 3]> {
+pub fn extract_faces(pos: &HashMap<u32, Vec2>, adj: &HashMap<u32, Vec<u32>>) -> Vec<[u32; 3]> {
     // CCW-sorted neighbour ring of every vertex, then successor map:
     // next[(v, a)] = neighbour following `a` counter-clockwise around `v`.
     let mut next: HashMap<(u32, u32), u32> = HashMap::new();
@@ -70,7 +67,9 @@ pub fn extract_faces(
             }
             // ... and span a convex sector at every corner (rejects the
             // outer face of small components).
-            if !sector_convex(pv, pa, pb) || !sector_convex(pa, pb, pv) || !sector_convex(pb, pv, pa)
+            if !sector_convex(pv, pa, pb)
+                || !sector_convex(pa, pb, pv)
+                || !sector_convex(pb, pv, pa)
             {
                 continue;
             }
@@ -93,8 +92,10 @@ mod tests {
         points: &[(u32, f64, f64)],
         edges: &[(u32, u32)],
     ) -> (HashMap<u32, Vec2>, HashMap<u32, Vec<u32>>) {
-        let pos: HashMap<u32, Vec2> =
-            points.iter().map(|&(id, x, y)| (id, Vec2::new(x, y))).collect();
+        let pos: HashMap<u32, Vec2> = points
+            .iter()
+            .map(|&(id, x, y)| (id, Vec2::new(x, y)))
+            .collect();
         let mut adj: HashMap<u32, Vec<u32>> = points.iter().map(|&(id, ..)| (id, vec![])).collect();
         for &(a, b) in edges {
             adj.get_mut(&a).unwrap().push(b);
@@ -132,7 +133,10 @@ mod tests {
         assert_eq!(tris.len(), 2, "quad split by one diagonal");
         // The outer face must not be emitted.
         for t in &tris {
-            assert!(t.contains(&0) && t.contains(&2), "both faces use the diagonal");
+            assert!(
+                t.contains(&0) && t.contains(&2),
+                "both faces use the diagonal"
+            );
         }
     }
 
@@ -141,14 +145,24 @@ mod tests {
         // A 3×3 grid triangulated like TriMesh::from_heightfield.
         let hf = dm_terrain::generate::ramp(3, 3, 1.0);
         let mesh = dm_terrain::TriMesh::from_heightfield(&hf);
-        let pos: HashMap<u32, Vec2> =
-            mesh.live_vertices().map(|v| (v, mesh.position(v).xy())).collect();
-        let adj: HashMap<u32, Vec<u32>> =
-            mesh.live_vertices().map(|v| (v, mesh.neighbors(v))).collect();
+        let pos: HashMap<u32, Vec2> = mesh
+            .live_vertices()
+            .map(|v| (v, mesh.position(v).xy()))
+            .collect();
+        let adj: HashMap<u32, Vec<u32>> = mesh
+            .live_vertices()
+            .map(|v| (v, mesh.neighbors(v)))
+            .collect();
         let got = sorted_tris(extract_faces(&pos, &adj));
-        let want =
-            sorted_tris(mesh.live_triangles().map(|t| mesh.triangle(t)).collect::<Vec<_>>());
-        assert_eq!(got, want, "extraction must reproduce the grid triangulation");
+        let want = sorted_tris(
+            mesh.live_triangles()
+                .map(|t| mesh.triangle(t))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            got, want,
+            "extraction must reproduce the grid triangulation"
+        );
     }
 
     #[test]
@@ -164,8 +178,10 @@ mod tests {
         for frac in [0.05, 0.3, 0.7] {
             let e = h.e_max * frac;
             let replay = h.replay_mesh(&original, e);
-            let pos: HashMap<u32, Vec2> =
-                replay.live_vertices().map(|v| (v, replay.position(v).xy())).collect();
+            let pos: HashMap<u32, Vec2> = replay
+                .live_vertices()
+                .map(|v| (v, replay.position(v).xy()))
+                .collect();
             // Adjacency from construction episodes filtered by interval
             // overlap at e — exactly what the DM connection lists encode.
             let mut adj: HashMap<u32, Vec<u32>> =
@@ -178,7 +194,10 @@ mod tests {
             }
             let got = sorted_tris(extract_faces(&pos, &adj));
             let want = sorted_tris(
-                replay.live_triangles().map(|t| replay.triangle(t)).collect::<Vec<_>>(),
+                replay
+                    .live_triangles()
+                    .map(|t| replay.triangle(t))
+                    .collect::<Vec<_>>(),
             );
             assert_eq!(got, want, "extraction at {frac}·e_max");
         }
@@ -189,7 +208,10 @@ mod tests {
         let (pos, adj) = build(&[], &[]);
         assert!(extract_faces(&pos, &adj).is_empty());
         let (pos, adj) = build(&[(0, 0.0, 0.0), (1, 1.0, 0.0)], &[(0, 1)]);
-        assert!(extract_faces(&pos, &adj).is_empty(), "an edge is not a face");
+        assert!(
+            extract_faces(&pos, &adj).is_empty(),
+            "an edge is not a face"
+        );
     }
 
     #[test]

@@ -60,4 +60,4 @@ pub mod store;
 pub use navigation::{FrameStats, NavigationSession};
 pub use query::{BoundaryPolicy, ElevationStats, VdQuery, VdResult, ViResult};
 pub use record::DmRecord;
-pub use store::{DirectMeshDb, DmBuildOptions};
+pub use store::{DirectMeshDb, DmBuildOptions, IntegrityReport};

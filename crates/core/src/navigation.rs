@@ -41,7 +41,12 @@ pub struct NavigationSession<'a> {
 impl<'a> NavigationSession<'a> {
     /// Start a session; the first `move_to` pays the full (cold) cost.
     pub fn new(db: &'a DirectMeshDb, policy: BoundaryPolicy) -> Self {
-        NavigationSession { db, policy, front: FrontMesh::default(), max_cubes: 16 }
+        NavigationSession {
+            db,
+            policy,
+            front: FrontMesh::default(),
+            max_cubes: 16,
+        }
     }
 
     /// The current front (mesh of the last frame).
@@ -78,7 +83,11 @@ pub fn flight_path(bounds: &Rect, window_frac: f64, frames: usize) -> Vec<Rect> 
     let window = bounds.height() * window_frac;
     (0..frames)
         .map(|f| {
-            let t = if frames > 1 { f as f64 / (frames - 1) as f64 } else { 0.0 };
+            let t = if frames > 1 {
+                f as f64 / (frames - 1) as f64
+            } else {
+                0.0
+            };
             let y0 = bounds.min.y + (bounds.height() - window) * t;
             Rect::new(
                 dm_geom::Vec2::new(bounds.min.x, y0),
@@ -172,7 +181,10 @@ mod tests {
 
     #[test]
     fn flight_path_covers_the_terrain() {
-        let b = Rect::new(dm_geom::Vec2::new(0.0, 0.0), dm_geom::Vec2::new(10.0, 100.0));
+        let b = Rect::new(
+            dm_geom::Vec2::new(0.0, 0.0),
+            dm_geom::Vec2::new(10.0, 100.0),
+        );
         let path = flight_path(&b, 0.25, 5);
         assert_eq!(path.len(), 5);
         assert!((path[0].min.y - 0.0).abs() < 1e-9);

@@ -6,9 +6,11 @@ use dm_geom::{Box3, Rect, Vec2};
 use dm_mtm::refine::{refine, FrontMesh, LodTarget, RecordSource, RefineStats};
 use dm_mtm::{PlaneTarget, PmNode};
 
+use dm_storage::{StorageError, StorageResult};
+
 use crate::faces::extract_faces;
 use crate::record::DmRecord;
-use crate::store::DirectMeshDb;
+use crate::store::{DirectMeshDb, IntegrityReport};
 
 /// What to do when refinement needs a record outside the fetched region
 /// (the ROI border).
@@ -89,8 +91,7 @@ impl VdQuery {
             Vec2::new(roi.max.x, roi.min.y),
         ];
         let d_far = corners.iter().map(|c| eye.dist(*c)).fold(0.0, f64::max);
-        let dir = (roi.center() - eye)
-            .normalized_or(Vec2::new(0.0, 1.0));
+        let dir = (roi.center() - eye).normalized_or(Vec2::new(0.0, 1.0));
         VdQuery {
             roi,
             target: PlaneTarget {
@@ -98,7 +99,10 @@ impl VdQuery {
                 dir,
                 e_min: (epsilon * d_near.max(1e-9)).min(e_cap),
                 slope: epsilon,
-                e_max: (epsilon * d_far).min(e_cap).max(epsilon * d_near.max(1e-9)).min(e_cap),
+                e_max: (epsilon * d_far)
+                    .min(e_cap)
+                    .max(epsilon * d_near.max(1e-9))
+                    .min(e_cap),
             },
         }
     }
@@ -160,11 +164,25 @@ pub struct DbSource<'a> {
     pub map: HashMap<u32, PmNode>,
     policy: BoundaryPolicy,
     pub misses_fetched: usize,
+    /// Fall-through fetches that failed with a storage error. The record
+    /// is reported to the refinement as missing (same as `Skip`), so the
+    /// query completes with a slightly coarser border; callers decide
+    /// whether that is acceptable by inspecting [`Self::first_error`].
+    pub fetch_errors: usize,
+    /// The first storage error absorbed, for diagnostics.
+    pub first_error: Option<StorageError>,
 }
 
 impl<'a> DbSource<'a> {
     pub fn new(db: &'a DirectMeshDb, map: HashMap<u32, PmNode>, policy: BoundaryPolicy) -> Self {
-        DbSource { db, map, policy, misses_fetched: 0 }
+        DbSource {
+            db,
+            map,
+            policy,
+            misses_fetched: 0,
+            fetch_errors: 0,
+            first_error: None,
+        }
     }
 }
 
@@ -175,12 +193,21 @@ impl RecordSource for DbSource<'_> {
         }
         match self.policy {
             BoundaryPolicy::Skip => None,
-            BoundaryPolicy::FetchOnMiss => {
-                let rec = self.db.fetch_by_id(id)?;
-                self.misses_fetched += 1;
-                self.map.insert(id, rec.node);
-                Some(rec.node)
-            }
+            BoundaryPolicy::FetchOnMiss => match self.db.try_fetch_by_id(id) {
+                Ok(Some(rec)) => {
+                    self.misses_fetched += 1;
+                    self.map.insert(id, rec.node);
+                    Some(rec.node)
+                }
+                Ok(None) => None,
+                Err(e) => {
+                    self.fetch_errors += 1;
+                    if self.first_error.is_none() {
+                        self.first_error = Some(e);
+                    }
+                    None
+                }
+            },
         }
     }
 }
@@ -188,13 +215,37 @@ impl RecordSource for DbSource<'_> {
 impl DirectMeshDb {
     /// Viewpoint-independent query `Q(M, r, e)`: one query-plane range
     /// query, then topology from the connection lists (paper §5.1).
+    /// Panics if any page needed is unreadable; see
+    /// [`Self::try_vi_query`] for the degrading variant.
     pub fn vi_query(&self, roi: &Rect, e: f64) -> ViResult {
+        let (res, report) = self
+            .try_vi_query(roi, e)
+            .unwrap_or_else(|e| panic!("vi query: {e}"));
+        assert!(report.is_clean(), "vi query lost data: {report}");
+        res
+    }
+
+    /// Fault-tolerant viewpoint-independent query: heap pages that stay
+    /// unreadable after retries are skipped and the mesh is assembled
+    /// from the surviving connection lists. The [`IntegrityReport`] says
+    /// what was lost (`is_clean()` ⇒ the result is exact). `Err` means
+    /// the R\*-tree descent itself failed — no meaningful partial answer
+    /// exists.
+    pub fn try_vi_query(&self, roi: &Rect, e: f64) -> StorageResult<(ViResult, IntegrityReport)> {
+        let mut report = IntegrityReport::default();
         let e = self.clamp_e(e);
         let plane = Box3::prism(*roi, e, e);
-        let recs = self.fetch_box(&plane);
+        let recs = self.fetch_box_degraded(&plane, &mut report)?;
         let fetched = recs.len();
         let front = assemble_uniform_front(recs, roi, e);
-        ViResult { points: front.num_vertices(), front, fetched_records: fetched }
+        Ok((
+            ViResult {
+                points: front.num_vertices(),
+                front,
+                fetched_records: fetched,
+            },
+            report,
+        ))
     }
 
     /// Viewpoint-dependent query, single-base (paper Algorithm 1): fetch
@@ -208,10 +259,28 @@ impl DirectMeshDb {
     /// the mesh). `BoundaryPolicy::FetchOnMiss` reduces the effect; a
     /// [`crate::NavigationSession`] amortizes it across frames.
     pub fn vd_single_base(&self, q: &VdQuery, policy: BoundaryPolicy) -> VdResult {
+        let (res, report) = self
+            .try_vd_single_base(q, policy)
+            .unwrap_or_else(|e| panic!("vd query: {e}"));
+        assert!(report.is_clean(), "vd query lost data: {report}");
+        res
+    }
+
+    /// Fault-tolerant single-base query: unreadable heap pages are
+    /// skipped (the mesh completes from the surviving records' connection
+    /// lists, slightly coarser where data vanished) and failed boundary
+    /// fetches degrade to `Skip` behaviour. `Err` only when the index
+    /// descent fails.
+    pub fn try_vd_single_base(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
+        let mut report = IntegrityReport::default();
         let (e_lo, e_hi) = q.e_range(&q.roi);
         let e_hi = self.clamp_e(e_hi);
         let cube = Box3::prism(q.roi, e_lo, e_hi);
-        let recs = self.fetch_box(&cube);
+        let recs = self.fetch_box_degraded(&cube, &mut report)?;
         let fetched = recs.len();
 
         // Initial front: the locally topmost fetched records. For a ROI
@@ -222,14 +291,39 @@ impl DirectMeshDb {
         let map: HashMap<u32, PmNode> = recs.iter().map(|r| (r.node.id, r.node)).collect();
         let mut front = assemble_topmost_front(recs, &q.roi);
         let mut source = DbSource::new(self, map, policy);
-        let stats = refine(&mut front, &mut source, &q.target);
-        VdResult {
-            front,
-            refine: stats,
-            fetched_records: fetched,
-            cubes: vec![cube],
-            boundary_fetches: source.misses_fetched,
+        let stats = self.refine_accounted(&mut front, &mut source, q, &mut report);
+        Ok((
+            VdResult {
+                front,
+                refine: stats,
+                fetched_records: fetched,
+                cubes: vec![cube],
+                boundary_fetches: source.misses_fetched,
+            },
+            report,
+        ))
+    }
+
+    /// Run the refinement and fold its boundary-fetch failures and retry
+    /// spend into `report`.
+    fn refine_accounted(
+        &self,
+        front: &mut FrontMesh,
+        source: &mut DbSource<'_>,
+        q: &VdQuery,
+        report: &mut IntegrityReport,
+    ) -> RefineStats {
+        let retries_before = self.pool().stats().retries;
+        let stats = refine(front, source, &q.target);
+        report.retries += self.pool().stats().retries.saturating_sub(retries_before);
+        // A failed point lookup loses at most that one point.
+        report.points_lost += source.fetch_errors as u64;
+        if let Some(e) = &source.first_error {
+            if report.errors.len() < IntegrityReport::MAX_ERRORS {
+                report.errors.push(format!("boundary fetch: {e}"));
+            }
         }
+        stats
     }
 
     /// Aggregate query: elevation statistics of the approximation at LOD
@@ -276,8 +370,8 @@ impl DirectMeshDb {
         while n <= max_cubes.max(1) {
             let strips = equal_strips(&q.roi, n, along_x);
             let cubes: Vec<Box3> = strips.iter().map(cube_of).collect();
-            let cost = self.cost_model().count_union(&cubes) as f64
-                + overhead_per_cube * (n as f64 - 1.0);
+            let cost =
+                self.cost_model().count_union(&cubes) as f64 + overhead_per_cube * (n as f64 - 1.0);
             if cost < best_cost {
                 best_cost = cost;
                 best = strips;
@@ -291,14 +385,22 @@ impl DirectMeshDb {
     /// strip (each bounded by the plane's local LOD range — the staircase
     /// under the tilted plane), then the final front is assembled
     /// directly from the union of the fetched records.
-    pub fn vd_multi_base(
+    pub fn vd_multi_base(&self, q: &VdQuery, policy: BoundaryPolicy, max_cubes: usize) -> VdResult {
+        let strips = self.plan_multi_base(q, max_cubes);
+        self.vd_multi_base_with_strips(q, policy, &strips)
+    }
+
+    /// Fault-tolerant multi-base query; see [`Self::try_vd_single_base`]
+    /// for the degradation semantics. A page shared by neighbouring cubes
+    /// that stays unreadable is counted once per cube that needed it.
+    pub fn try_vd_multi_base(
         &self,
         q: &VdQuery,
         policy: BoundaryPolicy,
         max_cubes: usize,
-    ) -> VdResult {
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
         let strips = self.plan_multi_base(q, max_cubes);
-        self.vd_multi_base_with_strips(q, policy, &strips)
+        self.try_vd_multi_base_with_strips(q, policy, &strips)
     }
 
     /// Multi-base with a fixed, caller-provided strip decomposition
@@ -309,13 +411,28 @@ impl DirectMeshDb {
         policy: BoundaryPolicy,
         strips: &[Rect],
     ) -> VdResult {
+        let (res, report) = self
+            .try_vd_multi_base_with_strips(q, policy, strips)
+            .unwrap_or_else(|e| panic!("vd query: {e}"));
+        assert!(report.is_clean(), "vd query lost data: {report}");
+        res
+    }
+
+    /// Fault-tolerant [`Self::vd_multi_base_with_strips`].
+    pub fn try_vd_multi_base_with_strips(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        strips: &[Rect],
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
+        let mut report = IntegrityReport::default();
         let mut cubes = Vec::with_capacity(strips.len());
         let mut all: HashMap<u32, DmRecord> = HashMap::new();
         let mut fetched = 0usize;
         for rect in strips {
             let (lo, hi) = q.e_range(rect);
             let cube = Box3::prism(*rect, lo, self.clamp_e(hi));
-            let recs = self.fetch_box(&cube);
+            let recs = self.fetch_box_degraded(&cube, &mut report)?;
             fetched += recs.len();
             for r in recs {
                 all.entry(r.node.id).or_insert(r);
@@ -332,14 +449,17 @@ impl DirectMeshDb {
 
         let map: HashMap<u32, PmNode> = all.values().map(|r| (r.node.id, r.node)).collect();
         let mut source = DbSource::new(self, map, policy);
-        let stats = refine(&mut front, &mut source, &q.target);
-        VdResult {
-            front,
-            refine: stats,
-            fetched_records: fetched,
-            cubes,
-            boundary_fetches: source.misses_fetched,
-        }
+        let stats = self.refine_accounted(&mut front, &mut source, q, &mut report);
+        Ok((
+            VdResult {
+                front,
+                refine: stats,
+                fetched_records: fetched,
+                cubes,
+                boundary_fetches: source.misses_fetched,
+            },
+            report,
+        ))
     }
 }
 
@@ -356,13 +476,13 @@ fn assemble_topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMesh {
         .collect();
     let seeds: HashMap<u32, &DmRecord> = in_roi
         .values()
-        .filter(|r| {
-            r.node.parent == dm_mtm::NIL_ID || !in_roi.contains_key(&r.node.parent)
-        })
+        .filter(|r| r.node.parent == dm_mtm::NIL_ID || !in_roi.contains_key(&r.node.parent))
         .map(|r| (r.node.id, r))
         .collect();
-    let pos: HashMap<u32, Vec2> =
-        seeds.values().map(|r| (r.node.id, r.node.pos.xy())).collect();
+    let pos: HashMap<u32, Vec2> = seeds
+        .values()
+        .map(|r| (r.node.id, r.node.pos.xy()))
+        .collect();
     let adj: HashMap<u32, Vec<u32>> = seeds
         .values()
         .map(|r| {
@@ -392,8 +512,10 @@ fn assemble_uniform_front(recs: Vec<DmRecord>, roi: &Rect, e: f64) -> FrontMesh 
         .filter(|r| r.node.interval().contains(e) && roi.contains(r.node.pos.xy()))
         .map(|r| (r.node.id, r))
         .collect();
-    let pos: HashMap<u32, Vec2> =
-        active.values().map(|r| (r.node.id, r.node.pos.xy())).collect();
+    let pos: HashMap<u32, Vec2> = active
+        .values()
+        .map(|r| (r.node.id, r.node.pos.xy()))
+        .collect();
     let adj: HashMap<u32, Vec<u32>> = active
         .values()
         .map(|r| {
@@ -409,7 +531,6 @@ fn assemble_uniform_front(recs: Vec<DmRecord>, roi: &Rect, e: f64) -> FrontMesh 
     let faces = extract_faces(&pos, &adj);
     FrontMesh::from_parts(active.into_values().map(|r| r.node).collect(), &faces)
 }
-
 
 /// Cut a rectangle into `n` equal strips perpendicular to the dominant
 /// LOD-gradient axis (ablation helper for fixed multi-base plans).
@@ -582,7 +703,10 @@ mod tests {
         let steep = test_query(&db, 0.9);
         let p1 = db.plan_multi_base(&shallow, 16).len();
         let p2 = db.plan_multi_base(&steep, 16).len();
-        assert!(p2 >= p1, "steeper plane should not plan fewer strips ({p2} vs {p1})");
+        assert!(
+            p2 >= p1,
+            "steeper plane should not plan fewer strips ({p2} vs {p1})"
+        );
         // The planner must return the power-of-two plan with the least
         // predicted cost (union page count + per-extra-cube overhead).
         for q in [&shallow, &steep] {
@@ -591,8 +715,7 @@ mod tests {
                 Box3::prism(*r, lo, db.clamp_e(hi))
             };
             let cost_of = |n: usize| {
-                let cubes: Vec<Box3> =
-                    equal_strips(&q.roi, n, false).iter().map(cube_of).collect();
+                let cubes: Vec<Box3> = equal_strips(&q.roi, n, false).iter().map(cube_of).collect();
                 db.cost_model().count_union(&cubes) as f64 + 3.0 * (n as f64 - 1.0)
             };
             let best_n = [1usize, 2, 4, 8, 16]

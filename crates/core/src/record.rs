@@ -57,7 +57,11 @@ impl DmRecord {
         assert_eq!(b.len(), FIXED_LEN + 4 * n_conn, "corrupt DM record length");
         let node = PmNode {
             id: codec::get_u32(b, 0),
-            pos: Vec3::new(codec::get_f64(b, 4), codec::get_f64(b, 12), codec::get_f64(b, 20)),
+            pos: Vec3::new(
+                codec::get_f64(b, 4),
+                codec::get_f64(b, 12),
+                codec::get_f64(b, 20),
+            ),
             e_lo: codec::get_f64(b, 28),
             e_hi: codec::get_f64(b, 36),
             parent: codec::get_u32(b, 44),
@@ -66,7 +70,9 @@ impl DmRecord {
             wing1: codec::get_u32(b, 56),
             wing2: codec::get_u32(b, 60),
         };
-        let conn = (0..n_conn).map(|i| codec::get_u32(b, FIXED_LEN + i * 4)).collect();
+        let conn = (0..n_conn)
+            .map(|i| codec::get_u32(b, FIXED_LEN + i * 4))
+            .collect();
         DmRecord { node, conn }
     }
 }
@@ -74,7 +80,11 @@ impl DmRecord {
 /// A PM record without connection lists — what the PM baseline stores.
 /// Same fixed layout, no list.
 pub fn encode_pm_node(n: &PmNode) -> Vec<u8> {
-    DmRecord { node: *n, conn: Vec::new() }.encode()
+    DmRecord {
+        node: *n,
+        conn: Vec::new(),
+    }
+    .encode()
 }
 
 /// Decode a bare PM node (ignores any trailing connection list).
@@ -111,7 +121,10 @@ mod tests {
         assert_eq!(bytes.len(), FIXED_LEN + 16);
         let back = DmRecord::decode(&bytes);
         assert_eq!(back, r);
-        assert!(back.node.e_hi.is_infinite(), "root interval survives encoding");
+        assert!(
+            back.node.e_hi.is_infinite(),
+            "root interval survives encoding"
+        );
     }
 
     #[test]

@@ -115,8 +115,16 @@ mod tests {
     fn similar_is_much_smaller_than_total() {
         let pm = build(17, 1);
         let s = connection_stats(&pm, 1);
-        assert!(s.avg_similar > 3.0, "similar-LOD lists too short: {}", s.avg_similar);
-        assert!(s.avg_similar < 30.0, "similar-LOD lists too long: {}", s.avg_similar);
+        assert!(
+            s.avg_similar > 3.0,
+            "similar-LOD lists too short: {}",
+            s.avg_similar
+        );
+        assert!(
+            s.avg_similar < 30.0,
+            "similar-LOD lists too long: {}",
+            s.avg_similar
+        );
         // On a tiny 17×17 hierarchy the chains are short; the gap widens
         // with dataset size (see `total_grows_with_dataset_size` and the
         // conn_stats bench, which reproduces the paper's 12 vs 180/840).
@@ -140,8 +148,10 @@ mod tests {
         );
         // The similar-LOD average stays roughly flat (the paper reports 12
         // for both datasets).
-        assert!((large.avg_similar - small.avg_similar).abs() < small.avg_similar,
-            "similar-LOD average should be roughly size-independent");
+        assert!(
+            (large.avg_similar - small.avg_similar).abs() < small.avg_similar,
+            "similar-LOD average should be roughly size-independent"
+        );
     }
 
     #[test]

@@ -7,9 +7,63 @@ use dm_geom::{Box3, Rect};
 use dm_index::{RStarTree, RtreeCostModel};
 use dm_mtm::builder::PmBuild;
 use dm_mtm::PmNode;
-use dm_storage::{BTree, BufferPool, HeapFile, RecordId};
+use dm_storage::{BTree, BufferPool, HeapFile, RecordId, StorageResult};
 
 use crate::record::DmRecord;
+
+/// What a degraded read had to give up.
+///
+/// Returned by the `*_degraded` fetch / query paths: when a heap page
+/// cannot be read even after the buffer pool's retries, the query skips
+/// it, completes from the surviving pages, and accounts for the loss
+/// here instead of failing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IntegrityReport {
+    /// Heap pages that stayed unreadable after retries.
+    pub pages_lost: u64,
+    /// Records dropped with those pages. The exact slot counts are
+    /// unknowable (the page is gone), so this is estimated from the
+    /// database's mean records-per-heap-page.
+    pub points_lost: u64,
+    /// Read retries the buffer pool spent during the operation —
+    /// including the successful ones that healed transient faults.
+    pub retries: u64,
+    /// The first few underlying errors, for diagnostics.
+    pub errors: Vec<String>,
+}
+
+impl IntegrityReport {
+    /// Cap on [`Self::errors`] so a badly corrupted database cannot
+    /// balloon the report.
+    pub const MAX_ERRORS: usize = 8;
+
+    /// No pages lost, no errors: the result is exact.
+    pub fn is_clean(&self) -> bool {
+        self.pages_lost == 0 && self.errors.is_empty()
+    }
+
+    fn record_loss(&mut self, est_points: u64, err: &dm_storage::StorageError) {
+        self.pages_lost += 1;
+        self.points_lost += est_points;
+        if self.errors.len() < Self::MAX_ERRORS {
+            self.errors.push(err.to_string());
+        }
+    }
+}
+
+impl std::fmt::Display for IntegrityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            write!(f, "clean ({} retries)", self.retries)
+        } else {
+            write!(
+                f,
+                "{} pages lost (~{} points dropped), {} retries",
+                self.pages_lost, self.points_lost, self.retries
+            )
+        }
+    }
+}
 
 /// How heap records are placed on disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,7 +94,11 @@ pub struct DmBuildOptions {
 
 impl Default for DmBuildOptions {
     fn default() -> Self {
-        DmBuildOptions { rtree_fill: 0.7, clustering: Clustering::StrLeaf, dynamic_rtree: false }
+        DmBuildOptions {
+            rtree_fill: 0.7,
+            clustering: Clustering::StrLeaf,
+            dynamic_rtree: false,
+        }
     }
 }
 
@@ -97,15 +155,20 @@ impl DirectMeshDb {
         let e_max = h.e_max;
         let e_cap = e_max * 1.001 + 1e-9;
         let seg = |node: &PmNode| {
-            let hi = if node.e_hi.is_finite() { node.e_hi.min(e_cap) } else { e_cap };
+            let hi = if node.e_hi.is_finite() {
+                node.e_hi.min(e_cap)
+            } else {
+                e_cap
+            };
             Box3::vertical_segment(node.pos.xy(), node.e_lo, hi)
         };
 
         // Heap placement order.
         let order: Vec<u32> = match opts.clustering {
             Clustering::StrLeaf => {
-                let items: Vec<(Box3, u64)> =
-                    (0..n as u32).map(|id| (seg(h.node(id)), id as u64)).collect();
+                let items: Vec<(Box3, u64)> = (0..n as u32)
+                    .map(|id| (seg(h.node(id)), id as u64))
+                    .collect();
                 dm_index::rstar::str_leaf_order(&items, opts.rtree_fill)
                     .into_iter()
                     .map(|v| v as u32)
@@ -155,8 +218,7 @@ impl DirectMeshDb {
                 .and_modify(|acc| *acc = acc.union(&b))
                 .or_insert(b);
         }
-        let items: Vec<(Box3, u64)> =
-            page_boxes.iter().map(|(&p, &b)| (b, p as u64)).collect();
+        let items: Vec<(Box3, u64)> = page_boxes.iter().map(|(&p, &b)| (b, p as u64)).collect();
         let rtree = if opts.dynamic_rtree {
             let mut t = RStarTree::new(Arc::clone(&pool));
             for &(b, p) in &items {
@@ -175,8 +237,12 @@ impl DirectMeshDb {
         let cost = RtreeCostModel::new(&stat_regions, space);
 
         let mut lo_sorted: Vec<f64> = h.nodes.iter().map(|nd| nd.e_lo).collect();
-        let mut hi_sorted: Vec<f64> =
-            h.nodes.iter().filter(|nd| nd.e_hi.is_finite()).map(|nd| nd.e_hi).collect();
+        let mut hi_sorted: Vec<f64> = h
+            .nodes
+            .iter()
+            .filter(|nd| nd.e_hi.is_finite())
+            .map(|nd| nd.e_hi)
+            .collect();
         lo_sorted.sort_by(f64::total_cmp);
         hi_sorted.sort_by(f64::total_cmp);
 
@@ -204,56 +270,110 @@ impl DirectMeshDb {
         let catalog_page = pool.allocate();
         debug_assert_eq!(catalog_page, 0);
         let db = Self::build(pool, pm, opts);
-        db.save_catalog(catalog_page);
+        db.save_catalog(catalog_page)
+            .unwrap_or_else(|e| panic!("save catalog: {e}"));
         db.pool.flush_all();
         db
     }
 
     /// Persist the catalog starting at `page` (normally page 0).
-    pub fn save_catalog(&self, page: dm_storage::PageId) {
+    pub fn save_catalog(&self, page: dm_storage::PageId) -> StorageResult<()> {
         let data = crate::catalog::CatalogData {
             bounds: self.bounds,
             e_max: self.e_max,
             n_records: self.n_records as u32,
             n_leaves: self.n_leaves as u32,
-            btree: (self.btree.root_page(), self.btree.height(), self.btree.len()),
-            rtree: (self.rtree.root_page(), self.rtree.height(), self.rtree.len()),
+            btree: (
+                self.btree.root_page(),
+                self.btree.height(),
+                self.btree.len(),
+            ),
+            rtree: (
+                self.rtree.root_page(),
+                self.rtree.height(),
+                self.rtree.len(),
+            ),
             roots: self.roots.clone(),
             heap_pages: self.heap.page_ids().to_vec(),
             heap_len: self.heap.len(),
         };
-        crate::catalog::write_catalog(&self.pool, page, &data);
+        crate::catalog::write_catalog(&self.pool, page, &data)
     }
 
     /// Reattach to a database previously persisted with
     /// [`Self::create_in`]. Interval statistics and optimizer node
     /// regions are rebuilt by one scan (a once-off cost, like index
     /// construction in the paper's setup).
-    pub fn open(pool: Arc<BufferPool>) -> std::io::Result<Self> {
+    ///
+    /// Fails with a typed [`dm_storage::StorageError`] when the catalog
+    /// has a bad magic/version/checksum or any page of the scan is
+    /// unreadable — an open never silently attaches to a broken database.
+    pub fn open(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        let mut report = IntegrityReport::default();
+        Self::open_inner(pool, true, &mut report)
+    }
+
+    /// Like [`Self::open`], but unreadable *heap* pages are skipped
+    /// (their records are simply absent — queries over them degrade the
+    /// same way) with the loss accounted in `report`. The catalog and
+    /// index pages remain load-bearing: errors there still fail the open.
+    pub fn open_degraded(
+        pool: Arc<BufferPool>,
+        report: &mut IntegrityReport,
+    ) -> StorageResult<Self> {
+        Self::open_inner(pool, false, report)
+    }
+
+    fn open_inner(
+        pool: Arc<BufferPool>,
+        strict: bool,
+        report: &mut IntegrityReport,
+    ) -> StorageResult<Self> {
+        let retries_before = pool.stats().retries;
         let cat = crate::catalog::read_catalog(&pool, 0)?;
         let heap = HeapFile::from_parts(Arc::clone(&pool), cat.heap_pages, cat.heap_len);
-        let btree =
-            BTree::from_parts(Arc::clone(&pool), cat.btree.0, cat.btree.2, cat.btree.1);
-        let rtree =
-            RStarTree::from_parts(Arc::clone(&pool), cat.rtree.0, cat.rtree.1, cat.rtree.2);
+        let btree = BTree::from_parts(Arc::clone(&pool), cat.btree.0, cat.btree.2, cat.btree.1);
+        let rtree = RStarTree::from_parts(Arc::clone(&pool), cat.rtree.0, cat.rtree.1, cat.rtree.2);
         let e_cap = cat.e_max * 1.001 + 1e-9;
         let space = Box3::prism(cat.bounds, 0.0, e_cap);
         let mut lo_sorted = Vec::with_capacity(cat.n_records as usize);
         let mut hi_sorted = Vec::with_capacity(cat.n_records as usize);
         let mut page_boxes: HashMap<dm_storage::PageId, Box3> = HashMap::new();
-        heap.scan(|rid, bytes| {
-            let rec = DmRecord::decode(bytes);
-            lo_sorted.push(rec.node.e_lo);
-            if rec.node.e_hi.is_finite() {
-                hi_sorted.push(rec.node.e_hi);
+        let n_pages = heap.page_ids().len().max(1) as u64;
+        let est_points = u64::from(cat.n_records).div_ceil(n_pages);
+        for page in heap.page_ids().to_vec() {
+            let lo_len = lo_sorted.len();
+            let hi_len = hi_sorted.len();
+            let scanned = heap.try_for_each_in_page(page, |rid, bytes| {
+                let rec = DmRecord::decode(bytes);
+                lo_sorted.push(rec.node.e_lo);
+                if rec.node.e_hi.is_finite() {
+                    hi_sorted.push(rec.node.e_hi);
+                }
+                let hi = if rec.node.e_hi.is_finite() {
+                    rec.node.e_hi.min(e_cap)
+                } else {
+                    e_cap
+                };
+                let seg = Box3::vertical_segment(rec.node.pos.xy(), rec.node.e_lo.min(hi), hi);
+                page_boxes
+                    .entry(rid.page)
+                    .and_modify(|acc| *acc = acc.union(&seg))
+                    .or_insert(seg);
+            });
+            if let Err(e) = scanned {
+                if strict {
+                    return Err(e);
+                }
+                // Trust only end-to-end-scanned pages: drop the partial
+                // statistics this page contributed.
+                lo_sorted.truncate(lo_len);
+                hi_sorted.truncate(hi_len);
+                page_boxes.remove(&page);
+                report.record_loss(est_points, &e);
             }
-            let hi = if rec.node.e_hi.is_finite() { rec.node.e_hi.min(e_cap) } else { e_cap };
-            let seg = Box3::vertical_segment(rec.node.pos.xy(), rec.node.e_lo.min(hi), hi);
-            page_boxes
-                .entry(rid.page)
-                .and_modify(|acc| *acc = acc.union(&seg))
-                .or_insert(seg);
-        });
+        }
+        report.retries += pool.stats().retries.saturating_sub(retries_before);
         let mut stat_regions: Vec<Box3> = page_boxes.into_values().collect();
         stat_regions.extend(rtree.collect_node_regions());
         let cost = RtreeCostModel::new(&stat_regions, space);
@@ -315,32 +435,100 @@ impl DirectMeshDb {
 
     /// Fetch every record whose vertical segment intersects `q`: index
     /// lookup for the candidate pages, then a scan of each page with an
-    /// exact segment test.
+    /// exact segment test. Panics on storage errors; see
+    /// [`Self::try_fetch_box`] / [`Self::fetch_box_degraded`].
     pub fn fetch_box(&self, q: &Box3) -> Vec<DmRecord> {
+        self.try_fetch_box(q)
+            .unwrap_or_else(|e| panic!("fetch box: {e}"))
+    }
+
+    /// Strict fallible fetch: the first unreadable page aborts the query.
+    pub fn try_fetch_box(&self, q: &Box3) -> StorageResult<Vec<DmRecord>> {
+        let mut report = IntegrityReport::default();
+        self.fetch_box_inner(q, true, &mut report)
+    }
+
+    /// Degraded fetch: heap pages that stay unreadable after the buffer
+    /// pool's retries are *skipped* and accounted for in `report`; the
+    /// result is everything the surviving pages hold. Index pages get no
+    /// such forgiveness — a lost interior node silently hides whole
+    /// subtrees, so index errors still abort.
+    pub fn fetch_box_degraded(
+        &self,
+        q: &Box3,
+        report: &mut IntegrityReport,
+    ) -> StorageResult<Vec<DmRecord>> {
+        self.fetch_box_inner(q, false, report)
+    }
+
+    fn fetch_box_inner(
+        &self,
+        q: &Box3,
+        strict: bool,
+        report: &mut IntegrityReport,
+    ) -> StorageResult<Vec<DmRecord>> {
+        let retries_before = self.pool.stats().retries;
         let mut pages: Vec<u64> = Vec::new();
-        self.rtree.query(q, |_, page| pages.push(page));
+        self.rtree.try_query(q, |_, page| pages.push(page))?;
         pages.sort_unstable();
         pages.dedup();
+        let est_points = self.mean_records_per_page();
         let mut out = Vec::new();
         for &page in &pages {
-            self.heap.for_each_in_page(page as dm_storage::PageId, |_, bytes| {
-                let rec = DmRecord::decode(bytes);
-                let n = &rec.node;
-                let hi = if n.e_hi.is_finite() { n.e_hi } else { self.e_cap() };
-                let seg = Box3::vertical_segment(n.pos.xy(), n.e_lo.min(hi), hi);
-                if seg.intersects(q) {
-                    out.push(rec);
+            let len_before = out.len();
+            let r = self
+                .heap
+                .try_for_each_in_page(page as dm_storage::PageId, |_, bytes| {
+                    let rec = DmRecord::decode(bytes);
+                    let n = &rec.node;
+                    let hi = if n.e_hi.is_finite() {
+                        n.e_hi
+                    } else {
+                        self.e_cap()
+                    };
+                    let seg = Box3::vertical_segment(n.pos.xy(), n.e_lo.min(hi), hi);
+                    if seg.intersects(q) {
+                        out.push(rec);
+                    }
+                });
+            if let Err(e) = r {
+                if strict {
+                    report.retries += self.pool.stats().retries.saturating_sub(retries_before);
+                    return Err(e);
                 }
-            });
+                // Drop anything half-read from the failing page; trust
+                // only pages that scanned end to end.
+                out.truncate(len_before);
+                report.record_loss(est_points, &e);
+            }
         }
-        out
+        report.retries += self.pool.stats().retries.saturating_sub(retries_before);
+        Ok(out)
+    }
+
+    /// Mean records per heap page — the best available estimate for how
+    /// many points an unreadable page took with it.
+    fn mean_records_per_page(&self) -> u64 {
+        let n_pages = self.heap.page_ids().len().max(1) as u64;
+        (self.n_records as u64).div_ceil(n_pages)
     }
 
     /// Point lookup through the primary-key B+-tree (counted I/O). Used by
     /// the `FetchOnMiss` boundary policy.
     pub fn fetch_by_id(&self, id: u32) -> Option<DmRecord> {
-        let rid = self.btree.get(id as u64)?;
-        Some(DmRecord::decode(&self.heap.get(RecordId::from_u64(rid))))
+        self.try_fetch_by_id(id)
+            .unwrap_or_else(|e| panic!("fetch id: {e}"))
+    }
+
+    /// Fallible point lookup: `Ok(None)` means the id does not exist,
+    /// `Err` that the B+-tree or heap page could not be read.
+    pub fn try_fetch_by_id(&self, id: u32) -> StorageResult<Option<DmRecord>> {
+        let Some(rid) = self.btree.try_get(id as u64)? else {
+            return Ok(None);
+        };
+        Ok(Some(DmRecord::decode(
+            &self.heap.try_get(RecordId::from_u64(rid))?,
+        )))
     }
 
     /// Reset counters and drop the cache — the paper's measurement
@@ -348,6 +536,14 @@ impl DirectMeshDb {
     pub fn cold_start(&self) {
         self.pool.flush_all();
         self.pool.reset_stats();
+    }
+
+    /// [`Self::cold_start`] that surfaces flush errors instead of
+    /// panicking (stats are reset either way).
+    pub fn try_cold_start(&self) -> StorageResult<()> {
+        let r = self.pool.try_flush_all();
+        self.pool.reset_stats();
+        r
     }
 
     /// Disk accesses since the last [`Self::cold_start`].
@@ -403,7 +599,10 @@ mod tests {
                     "conn pair ({}, {c}) without similar LOD",
                     rec.node.id
                 );
-                assert!(other.conn.contains(&rec.node.id), "conn lists must be symmetric");
+                assert!(
+                    other.conn.contains(&rec.node.id),
+                    "conn lists must be symmetric"
+                );
             }
         }
     }
@@ -421,9 +620,15 @@ mod tests {
             assert!(rec.node.e_lo <= e && e <= rec.node.e_hi);
         }
         // Compare against the ground truth cut.
-        let exact: usize =
-            db.all_records().values().filter(|r| r.node.interval().contains(e)).count();
-        let fetched_in = recs.iter().filter(|r| r.node.interval().contains(e)).count();
+        let exact: usize = db
+            .all_records()
+            .values()
+            .filter(|r| r.node.interval().contains(e))
+            .count();
+        let fetched_in = recs
+            .iter()
+            .filter(|r| r.node.interval().contains(e))
+            .count();
         assert_eq!(fetched_in, exact, "plane query must cover the whole cut");
     }
 
@@ -448,7 +653,10 @@ mod tests {
             DirectMeshDb::build(
                 pool,
                 &pm,
-                &DmBuildOptions { dynamic_rtree: dynamic, ..Default::default() },
+                &DmBuildOptions {
+                    dynamic_rtree: dynamic,
+                    ..Default::default()
+                },
             )
         };
         let a = mk(false);

@@ -17,8 +17,14 @@ pub struct Rect {
 impl Rect {
     /// The "empty" rectangle: contains nothing, unions as the identity.
     pub const EMPTY: Rect = Rect {
-        min: Vec2 { x: f64::INFINITY, y: f64::INFINITY },
-        max: Vec2 { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY },
+        min: Vec2 {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Vec2 {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
     };
 
     #[inline]
@@ -73,7 +79,10 @@ impl Rect {
 
     #[inline]
     pub fn center(&self) -> Vec2 {
-        Vec2::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Vec2::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 
     #[inline]
@@ -150,8 +159,16 @@ pub struct Box3 {
 
 impl Box3 {
     pub const EMPTY: Box3 = Box3 {
-        min: Vec3 { x: f64::INFINITY, y: f64::INFINITY, z: f64::INFINITY },
-        max: Vec3 { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY, z: f64::NEG_INFINITY },
+        min: Vec3 {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+            z: f64::INFINITY,
+        },
+        max: Vec3 {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+            z: f64::NEG_INFINITY,
+        },
     };
 
     #[inline]
@@ -194,7 +211,10 @@ impl Box3 {
     /// Plan-view footprint.
     #[inline]
     pub fn rect(&self) -> Rect {
-        Rect { min: self.min.xy(), max: self.max.xy() }
+        Rect {
+            min: self.min.xy(),
+            max: self.max.xy(),
+        }
     }
 
     #[inline]

@@ -66,13 +66,7 @@ pub fn d_to_xy(order: u32, mut d: u64) -> (u32, u32) {
 /// `min`/`extent` describe the data-space rectangle; the point is quantized
 /// onto a `2^order × 2^order` grid first. Points outside the rectangle are
 /// clamped.
-pub fn continuous_key(
-    order: u32,
-    x: f64,
-    y: f64,
-    min: (f64, f64),
-    extent: (f64, f64),
-) -> u64 {
+pub fn continuous_key(order: u32, x: f64, y: f64, min: (f64, f64), extent: (f64, f64)) -> u64 {
     let side = (1u64 << order) as f64;
     let q = |v: f64, lo: f64, ext: f64| -> u32 {
         if ext <= 0.0 {
@@ -177,7 +171,10 @@ mod tests {
         }
         let h = hilbert_sum / pages;
         let r = row_sum / pages;
-        assert!(h < r / 2.0, "hilbert page diag {h:.1} not << row-major {r:.1}");
+        assert!(
+            h < r / 2.0,
+            "hilbert page diag {h:.1} not << row-major {r:.1}"
+        );
     }
 
     #[test]

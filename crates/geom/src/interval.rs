@@ -23,7 +23,10 @@ impl Interval {
     /// `[lo, ∞)` — the root node's interval.
     #[inline]
     pub fn unbounded(lo: f64) -> Self {
-        Interval { lo, hi: f64::INFINITY }
+        Interval {
+            lo,
+            hi: f64::INFINITY,
+        }
     }
 
     /// True when the interval contains no value (`lo == hi`).

@@ -155,10 +155,10 @@ mod tests {
     #[test]
     fn ccw_sort_produces_angular_order() {
         let pts = [
-            Vec2::new(1.0, 0.0),   // 0 rad
-            Vec2::new(0.0, 1.0),   // π/2
-            Vec2::new(-1.0, 0.0),  // π
-            Vec2::new(0.0, -1.0),  // 3π/2
+            Vec2::new(1.0, 0.0),  // 0 rad
+            Vec2::new(0.0, 1.0),  // π/2
+            Vec2::new(-1.0, 0.0), // π
+            Vec2::new(0.0, -1.0), // 3π/2
         ];
         let mut ids = [2usize, 0, 3, 1];
         sort_ccw_around(O, &mut ids, |i| pts[i]);

@@ -10,9 +10,7 @@ fn arb_rect() -> impl Strategy<Value = Rect> {
         0.0..500.0f64,
         0.0..500.0f64,
     )
-        .prop_map(|(x, y, w, h)| {
-            Rect::new(Vec2::new(x, y), Vec2::new(x + w, y + h))
-        })
+        .prop_map(|(x, y, w, h)| Rect::new(Vec2::new(x, y), Vec2::new(x + w, y + h)))
 }
 
 fn arb_box() -> impl Strategy<Value = Box3> {

@@ -33,8 +33,11 @@ impl RtreeCostModel {
     pub fn new(node_regions: &[Box3], space: Box3) -> Self {
         let ext = space.extent();
         let norm = |v: f64, e: f64| if e > 0.0 { (v / e).min(1.0) } else { 0.0 };
-        let regions: Vec<Box3> =
-            node_regions.iter().copied().filter(|r| !r.is_empty()).collect();
+        let regions: Vec<Box3> = node_regions
+            .iter()
+            .copied()
+            .filter(|r| !r.is_empty())
+            .collect();
         let extents = regions
             .iter()
             .map(|r| {
@@ -42,7 +45,11 @@ impl RtreeCostModel {
                 Vec3::new(norm(e.x, ext.x), norm(e.y, ext.y), norm(e.z, ext.z))
             })
             .collect();
-        RtreeCostModel { extents, regions, space }
+        RtreeCostModel {
+            extents,
+            regions,
+            space,
+        }
     }
 
     /// Number of nodes in the model.
@@ -111,7 +118,10 @@ mod tests {
     fn point_query_costs_total_node_volume() {
         // A degenerate (point) query hits node i with probability
         // w_i · h_i · d_i.
-        let nodes = vec![b(0.0, 0.0, 0.0, 0.5, 0.5, 0.5), b(0.5, 0.5, 0.5, 1.0, 1.0, 1.0)];
+        let nodes = vec![
+            b(0.0, 0.0, 0.0, 0.5, 0.5, 0.5),
+            b(0.5, 0.5, 0.5, 1.0, 1.0, 1.0),
+        ];
         let m = RtreeCostModel::new(&nodes, unit_space());
         let q = Box3::point(Vec3::new(0.3, 0.3, 0.3));
         assert!((m.estimate(&q) - 2.0 * 0.125).abs() < 1e-12);
@@ -119,8 +129,9 @@ mod tests {
 
     #[test]
     fn full_space_query_costs_all_nodes_at_least() {
-        let nodes: Vec<Box3> =
-            (0..10).map(|i| b(0.0, 0.0, i as f64 * 0.1, 0.1, 0.1, i as f64 * 0.1 + 0.1)).collect();
+        let nodes: Vec<Box3> = (0..10)
+            .map(|i| b(0.0, 0.0, i as f64 * 0.1, 0.1, 0.1, i as f64 * 0.1 + 0.1))
+            .collect();
         let m = RtreeCostModel::new(&nodes, unit_space());
         assert!(m.estimate(&unit_space()) >= 10.0);
     }

@@ -17,13 +17,14 @@
 use std::sync::Arc;
 
 use dm_geom::{Box3, Vec3};
-use dm_storage::page::{codec, PageId, PAGE_SIZE};
+use dm_storage::page::{codec, PageId, PAGE_DATA};
 use dm_storage::BufferPool;
+use dm_storage::StorageResult;
 
 const HDR: usize = 8;
 const POINT: usize = 32; // x, y, e as f64 + u64 payload
 /// Bucket capacity of a leaf page.
-pub const LEAF_CAP: usize = (PAGE_SIZE - HDR) / POINT; // 255
+pub const LEAF_CAP: usize = (PAGE_DATA - HDR) / POINT; // 255 (unchanged by the checksum trailer)
 
 const KIND_LEAF: u8 = 0;
 const KIND_XY: u8 = 1;
@@ -40,9 +41,16 @@ enum NodeKind {
     Leaf(Vec<QPoint>),
     /// Quadrant split at `(mid_x, mid_y)`; children indexed by
     /// `(x >= mid_x) as usize | ((y >= mid_y) as usize) << 1`.
-    Xy { mid_x: f64, mid_y: f64, children: [PageId; 4] },
+    Xy {
+        mid_x: f64,
+        mid_y: f64,
+        children: [PageId; 4],
+    },
     /// Binary split at `mid_e`; children `[e < mid_e, e >= mid_e]`.
-    E { mid_e: f64, children: [PageId; 2] },
+    E {
+        mid_e: f64,
+        children: [PageId; 2],
+    },
 }
 
 /// The LOD-quadtree.
@@ -61,7 +69,12 @@ impl LodQuadtree {
     pub fn new(pool: Arc<BufferPool>, space: Box3) -> Self {
         let root = pool.allocate();
         write_node(&pool, root, &NodeKind::Leaf(Vec::new()));
-        LodQuadtree { pool, root, space, len: 0 }
+        LodQuadtree {
+            pool,
+            root,
+            space,
+            len: 0,
+        }
     }
 
     pub fn len(&self) -> u64 {
@@ -78,7 +91,10 @@ impl LodQuadtree {
     }
 
     fn insert_at(&mut self, page: PageId, p: QPoint, depth: u32) {
-        assert!(depth < 64, "quadtree too deep — degenerate point distribution");
+        assert!(
+            depth < 64,
+            "quadtree too deep — degenerate point distribution"
+        );
         let node = read_node(&self.pool, page);
         match node {
             NodeKind::Leaf(mut pts) => {
@@ -91,7 +107,11 @@ impl LodQuadtree {
                 let split = self.split_leaf(page, pts);
                 write_node(&self.pool, page, &split);
             }
-            NodeKind::Xy { mid_x, mid_y, children } => {
+            NodeKind::Xy {
+                mid_x,
+                mid_y,
+                children,
+            } => {
                 let idx = usize::from(p.pos.x >= mid_x) | (usize::from(p.pos.y >= mid_y) << 1);
                 self.insert_at(children[idx], p, depth + 1);
             }
@@ -123,7 +143,9 @@ impl LodQuadtree {
         let median = |key: &dyn Fn(&QPoint) -> f64, pts: &mut [QPoint]| -> f64 {
             let mid = pts.len() / 2;
             pts.select_nth_unstable_by(mid, |a, b| {
-                key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal)
+                key(a)
+                    .partial_cmp(&key(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             key(&pts[mid])
         };
@@ -151,11 +173,17 @@ impl LodQuadtree {
     fn split_xy(&mut self, mut pts: Vec<QPoint>) -> NodeKind {
         let mid = pts.len() / 2;
         pts.select_nth_unstable_by(mid, |a, b| {
-            a.pos.x.partial_cmp(&b.pos.x).unwrap_or(std::cmp::Ordering::Equal)
+            a.pos
+                .x
+                .partial_cmp(&b.pos.x)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mid_x = pts[mid].pos.x;
         pts.select_nth_unstable_by(mid, |a, b| {
-            a.pos.y.partial_cmp(&b.pos.y).unwrap_or(std::cmp::Ordering::Equal)
+            a.pos
+                .y
+                .partial_cmp(&b.pos.y)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mid_y = pts[mid].pos.y;
         let mut quads: [Vec<QPoint>; 4] = Default::default();
@@ -167,7 +195,11 @@ impl LodQuadtree {
         // coordinates), the depth assertion in insert_at eventually fires;
         // terrain points have unique (x, y) so this cannot happen there.
         let children = quads.map(|q| self.new_leaf(q));
-        NodeKind::Xy { mid_x, mid_y, children }
+        NodeKind::Xy {
+            mid_x,
+            mid_y,
+            children,
+        }
     }
 
     fn new_leaf(&mut self, pts: Vec<QPoint>) -> PageId {
@@ -186,11 +218,14 @@ impl LodQuadtree {
 
     /// 3D range query; calls `f` for every point inside `q` (closed box).
     /// Returns the number of hits.
-    pub fn query(&self, q: &Box3, mut f: impl FnMut(&QPoint)) -> usize {
+    ///
+    /// Any page error aborts the query: a lost interior node hides whole
+    /// subtrees, so no meaningful partial answer exists at this layer.
+    pub fn try_query(&self, q: &Box3, mut f: impl FnMut(&QPoint)) -> StorageResult<usize> {
         let mut hits = 0;
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
-            match read_node(&self.pool, page) {
+            match try_read_node(&self.pool, page)? {
                 NodeKind::Leaf(pts) => {
                     for p in &pts {
                         if q.contains(p.pos) {
@@ -199,7 +234,11 @@ impl LodQuadtree {
                         }
                     }
                 }
-                NodeKind::Xy { mid_x, mid_y, children } => {
+                NodeKind::Xy {
+                    mid_x,
+                    mid_y,
+                    children,
+                } => {
                     let lo_x = q.min.x < mid_x;
                     let hi_x = q.max.x >= mid_x;
                     let lo_y = q.min.y < mid_y;
@@ -227,7 +266,13 @@ impl LodQuadtree {
                 }
             }
         }
-        hits
+        Ok(hits)
+    }
+
+    /// Infallible [`Self::try_query`]; panics on storage errors.
+    pub fn query(&self, q: &Box3, f: impl FnMut(&QPoint)) -> usize {
+        self.try_query(q, f)
+            .unwrap_or_else(|e| panic!("quadtree query: {e}"))
     }
 
     /// Total number of nodes (pages).
@@ -283,7 +328,11 @@ impl LodQuadtree {
 }
 
 fn read_node(pool: &BufferPool, page: PageId) -> NodeKind {
-    pool.read(page, |b| match b[0] {
+    try_read_node(pool, page).unwrap_or_else(|e| panic!("quadtree node: {e}"))
+}
+
+fn try_read_node(pool: &BufferPool, page: PageId) -> StorageResult<NodeKind> {
+    pool.try_read(page, |b| match b[0] {
         KIND_LEAF => {
             let n = codec::get_u16(b, 2) as usize;
             let mut pts = Vec::with_capacity(n);
@@ -332,7 +381,11 @@ fn write_node(pool: &BufferPool, page: PageId, node: &NodeKind) {
                 codec::put_u64(b, off + 24, p.data);
             }
         }
-        NodeKind::Xy { mid_x, mid_y, children } => {
+        NodeKind::Xy {
+            mid_x,
+            mid_y,
+            children,
+        } => {
             b[0] = KIND_XY;
             codec::put_f64(b, 8, *mid_x);
             codec::put_f64(b, 16, *mid_y);
@@ -383,8 +436,11 @@ mod tests {
     }
 
     fn brute(pts: &[QPoint], q: &Box3) -> Vec<u64> {
-        let mut v: Vec<u64> =
-            pts.iter().filter(|p| q.contains(p.pos)).map(|p| p.data).collect();
+        let mut v: Vec<u64> = pts
+            .iter()
+            .filter(|p| q.contains(p.pos))
+            .map(|p| p.data)
+            .collect();
         v.sort();
         v
     }
@@ -465,7 +521,10 @@ mod tests {
         t.query(&space(), |_| {});
         let all_reads = p.stats().reads;
         assert!(small_reads >= 1);
-        assert!(small_reads * 5 < all_reads, "small {small_reads} vs all {all_reads}");
+        assert!(
+            small_reads * 5 < all_reads,
+            "small {small_reads} vs all {all_reads}"
+        );
         assert_eq!(all_reads as usize, t.num_nodes());
     }
 

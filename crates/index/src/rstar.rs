@@ -22,13 +22,14 @@
 use std::sync::Arc;
 
 use dm_geom::{Box3, Vec3};
-use dm_storage::page::{codec, PageId, PAGE_SIZE};
+use dm_storage::page::{codec, PageId, PAGE_DATA};
 use dm_storage::BufferPool;
+use dm_storage::StorageResult;
 
 const HDR: usize = 8;
 const ENTRY: usize = 56; // 6 × f64 box + u64 payload
 /// Maximum entries per node.
-pub const CAP: usize = (PAGE_SIZE - HDR) / ENTRY; // 146
+pub const CAP: usize = (PAGE_DATA - HDR) / ENTRY; // 146 (unchanged by the checksum trailer)
 /// Minimum fill after a split (40 % of CAP, the R* recommendation).
 pub const MIN_FILL: usize = (CAP * 2) / 5; // 58
 /// Entries removed by forced reinsertion (30 % of CAP).
@@ -65,7 +66,10 @@ enum Outcome {
     Split { old_box: Box3, new_entry: Entry },
     /// Forced reinsertion: the node shed `pending` entries (tagged with
     /// the level they must re-enter at).
-    Reinsert { old_box: Box3, pending: Vec<(Entry, u32)> },
+    Reinsert {
+        old_box: Box3,
+        pending: Vec<(Entry, u32)>,
+    },
 }
 
 /// The R\*-tree.
@@ -79,8 +83,20 @@ pub struct RStarTree {
 impl RStarTree {
     pub fn new(pool: Arc<BufferPool>) -> Self {
         let root = pool.allocate();
-        write_node(&pool, root, &Node { is_leaf: true, entries: Vec::new() });
-        RStarTree { pool, root, height: 1, len: 0 }
+        write_node(
+            &pool,
+            root,
+            &Node {
+                is_leaf: true,
+                entries: Vec::new(),
+            },
+        );
+        RStarTree {
+            pool,
+            root,
+            height: 1,
+            len: 0,
+        }
     }
 
     pub fn len(&self) -> u64 {
@@ -101,7 +117,12 @@ impl RStarTree {
 
     /// Reattach to an existing tree (catalog reload).
     pub fn from_parts(pool: Arc<BufferPool>, root: PageId, height: u32, len: u64) -> Self {
-        RStarTree { pool, root, height, len }
+        RStarTree {
+            pool,
+            root,
+            height,
+            len,
+        }
     }
 
     /// Insert one entry using the R\* heuristics.
@@ -123,7 +144,13 @@ impl RStarTree {
                     new_root,
                     &Node {
                         is_leaf: false,
-                        entries: vec![Entry { bbox: old_box, val: old_root as u64 }, new_entry],
+                        entries: vec![
+                            Entry {
+                                bbox: old_box,
+                                val: old_root as u64,
+                            },
+                            new_entry,
+                        ],
                     },
                 );
                 self.root = new_root;
@@ -158,7 +185,11 @@ impl RStarTree {
         }
 
         debug_assert!(!node.is_leaf, "reached leaf above target level");
-        let idx = choose_subtree(&node, &entry.bbox, level == target_level + 1 && target_level == 0);
+        let idx = choose_subtree(
+            &node,
+            &entry.bbox,
+            level == target_level + 1 && target_level == 0,
+        );
         let child = node.entries[idx].val as PageId;
         match self.insert_rec(child, level - 1, entry, target_level, reinserted) {
             Outcome::Ok(newbox) => {
@@ -171,7 +202,10 @@ impl RStarTree {
                 node.entries[idx].bbox = old_box;
                 let mbr = node.mbr();
                 write_node(&self.pool, page, &node);
-                Outcome::Reinsert { old_box: mbr, pending }
+                Outcome::Reinsert {
+                    old_box: mbr,
+                    pending,
+                }
             }
             Outcome::Split { old_box, new_entry } => {
                 node.entries[idx].bbox = old_box;
@@ -216,8 +250,14 @@ impl RStarTree {
         } else {
             let (a, b) = rstar_split(std::mem::take(&mut node.entries));
             let is_leaf = node.is_leaf;
-            let node_a = Node { is_leaf, entries: a };
-            let node_b = Node { is_leaf, entries: b };
+            let node_a = Node {
+                is_leaf,
+                entries: a,
+            };
+            let node_b = Node {
+                is_leaf,
+                entries: b,
+            };
             let old_box = node_a.mbr();
             let new_box = node_b.mbr();
             write_node(&self.pool, page, &node_a);
@@ -225,7 +265,10 @@ impl RStarTree {
             write_node(&self.pool, new_page, &node_b);
             Outcome::Split {
                 old_box,
-                new_entry: Entry { bbox: new_box, val: new_page as u64 },
+                new_entry: Entry {
+                    bbox: new_box,
+                    val: new_page as u64,
+                },
             }
         }
     }
@@ -239,15 +282,22 @@ impl RStarTree {
         }
         let cap = ((CAP as f64 * fill) as usize).clamp(2, CAP);
         let len = items.len() as u64;
-        let mut entries: Vec<Entry> =
-            items.into_iter().map(|(bbox, val)| Entry { bbox, val }).collect();
+        let mut entries: Vec<Entry> = items
+            .into_iter()
+            .map(|(bbox, val)| Entry { bbox, val })
+            .collect();
         let mut height = 1u32;
         let mut is_leaf = true;
         loop {
             entries = str_pack_level(&pool, entries, cap, is_leaf);
             if entries.len() == 1 {
                 let root = entries[0].val as PageId;
-                return RStarTree { pool, root, height, len };
+                return RStarTree {
+                    pool,
+                    root,
+                    height,
+                    len,
+                };
             }
             is_leaf = false;
             height += 1;
@@ -256,11 +306,15 @@ impl RStarTree {
 
     /// Range query: `f` is called for every leaf entry whose box
     /// intersects `q`. Returns the number of matching entries.
-    pub fn query(&self, q: &Box3, mut f: impl FnMut(&Box3, u64)) -> usize {
+    ///
+    /// Every visited node is load-bearing for completeness, so any page
+    /// error aborts the query (a partial index answer would silently drop
+    /// whole subtrees).
+    pub fn try_query(&self, q: &Box3, mut f: impl FnMut(&Box3, u64)) -> StorageResult<usize> {
         let mut hits = 0;
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
-            let node = read_node(&self.pool, page);
+            let node = try_read_node(&self.pool, page)?;
             for e in &node.entries {
                 if e.bbox.intersects(q) {
                     if node.is_leaf {
@@ -272,7 +326,13 @@ impl RStarTree {
                 }
             }
         }
-        hits
+        Ok(hits)
+    }
+
+    /// Infallible [`Self::try_query`]; panics on storage errors.
+    pub fn query(&self, q: &Box3, f: impl FnMut(&Box3, u64)) -> usize {
+        self.try_query(q, f)
+            .unwrap_or_else(|e| panic!("rstar query: {e}"))
     }
 
     /// Collect every node's MBR (all levels, root included). Used by the
@@ -368,9 +428,12 @@ fn axis(v: Vec3, d: usize) -> f64 {
 fn choose_subtree(node: &Node, bbox: &Box3, children_are_leaves: bool) -> usize {
     debug_assert!(!node.entries.is_empty());
     if !children_are_leaves {
-        return min_by_keys(node.entries.iter().enumerate().map(|(i, e)| {
-            (i, [e.bbox.enlargement(bbox), e.bbox.volume(), 0.0])
-        }));
+        return min_by_keys(
+            node.entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, [e.bbox.enlargement(bbox), e.bbox.volume(), 0.0])),
+        );
     }
     // Leaf level: among the CHOOSE_CANDIDATES entries with the least
     // volume enlargement, pick the one whose expansion adds the least
@@ -388,11 +451,14 @@ fn choose_subtree(node: &Node, bbox: &Box3, children_are_leaves: bool) -> usize 
         let mut overlap_delta = 0.0;
         for (j, other) in node.entries.iter().enumerate() {
             if j != i {
-                overlap_delta += expanded.overlap(&other.bbox)
-                    - node.entries[i].bbox.overlap(&other.bbox);
+                overlap_delta +=
+                    expanded.overlap(&other.bbox) - node.entries[i].bbox.overlap(&other.bbox);
             }
         }
-        (i, [overlap_delta, enlargement, node.entries[i].bbox.volume()])
+        (
+            i,
+            [overlap_delta, enlargement, node.entries[i].bbox.volume()],
+        )
     }))
 }
 
@@ -422,8 +488,16 @@ fn rstar_split(entries: Vec<Entry>) -> (Vec<Entry>, Vec<Entry>) {
     let sorted = |d: usize, by_max: bool| -> Vec<Entry> {
         let mut v = entries.clone();
         v.sort_by(|a, b| {
-            let ka = if by_max { axis(a.bbox.max, d) } else { axis(a.bbox.min, d) };
-            let kb = if by_max { axis(b.bbox.max, d) } else { axis(b.bbox.min, d) };
+            let ka = if by_max {
+                axis(a.bbox.max, d)
+            } else {
+                axis(a.bbox.min, d)
+            };
+            let kb = if by_max {
+                axis(b.bbox.max, d)
+            } else {
+                axis(b.bbox.min, d)
+            };
             ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
         });
         v
@@ -507,20 +581,37 @@ fn str_tiles(mut items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
 /// disk aligned with the index leaves (clustered storage).
 pub fn str_leaf_order(items: &[(Box3, u64)], fill: f64) -> Vec<u64> {
     let cap = ((CAP as f64 * fill) as usize).clamp(2, CAP);
-    let entries: Vec<Entry> =
-        items.iter().map(|&(bbox, val)| Entry { bbox, val }).collect();
-    str_tiles(entries, cap).into_iter().flatten().map(|e| e.val).collect()
+    let entries: Vec<Entry> = items
+        .iter()
+        .map(|&(bbox, val)| Entry { bbox, val })
+        .collect();
+    str_tiles(entries, cap)
+        .into_iter()
+        .flatten()
+        .map(|e| e.val)
+        .collect()
 }
 
 /// Pack one level of STR tiles; returns the entries for the next level up.
-fn str_pack_level(pool: &Arc<BufferPool>, items: Vec<Entry>, cap: usize, is_leaf: bool) -> Vec<Entry> {
+fn str_pack_level(
+    pool: &Arc<BufferPool>,
+    items: Vec<Entry>,
+    cap: usize,
+    is_leaf: bool,
+) -> Vec<Entry> {
     let groups = str_tiles(items, cap);
     let mut out = Vec::with_capacity(groups.len());
     for group in groups {
         let page = pool.allocate();
-        let node = Node { is_leaf, entries: group };
+        let node = Node {
+            is_leaf,
+            entries: group,
+        };
         write_node(pool, page, &node);
-        out.push(Entry { bbox: node.mbr(), val: page as u64 });
+        out.push(Entry {
+            bbox: node.mbr(),
+            val: page as u64,
+        });
     }
     out
 }
@@ -534,7 +625,11 @@ fn sort_by_center(items: &mut [Entry], d: usize) {
 }
 
 fn read_node(pool: &BufferPool, page: PageId) -> Node {
-    pool.read(page, |b| {
+    try_read_node(pool, page).unwrap_or_else(|e| panic!("rstar node: {e}"))
+}
+
+fn try_read_node(pool: &BufferPool, page: PageId) -> StorageResult<Node> {
+    pool.try_read(page, |b| {
         let is_leaf = b[0] == 1;
         let n = codec::get_u16(b, 2) as usize;
         let mut entries = Vec::with_capacity(n);
@@ -552,14 +647,21 @@ fn read_node(pool: &BufferPool, page: PageId) -> Node {
                     codec::get_f64(b, off + 40),
                 ),
             );
-            entries.push(Entry { bbox, val: codec::get_u64(b, off + 48) });
+            entries.push(Entry {
+                bbox,
+                val: codec::get_u64(b, off + 48),
+            });
         }
         Node { is_leaf, entries }
     })
 }
 
 fn write_node(pool: &BufferPool, page: PageId, node: &Node) {
-    assert!(node.entries.len() <= CAP, "node overflow: {}", node.entries.len());
+    assert!(
+        node.entries.len() <= CAP,
+        "node overflow: {}",
+        node.entries.len()
+    );
     pool.write(page, |b| {
         b[0] = u8::from(node.is_leaf);
         codec::put_u16(b, 2, node.entries.len() as u16);
@@ -605,8 +707,11 @@ mod tests {
     }
 
     fn brute_force(items: &[(Box3, u64)], q: &Box3) -> Vec<u64> {
-        let mut v: Vec<u64> =
-            items.iter().filter(|(b, _)| b.intersects(q)).map(|&(_, d)| d).collect();
+        let mut v: Vec<u64> = items
+            .iter()
+            .filter(|(b, _)| b.intersects(q))
+            .map(|&(_, d)| d)
+            .collect();
         v.sort();
         v
     }
@@ -653,7 +758,11 @@ mod tests {
             let z = rng.random_range(0.0..80.0);
             let q = Box3::new(
                 Vec3::new(x, y, z),
-                Vec3::new(x + rng.random_range(1.0..120.0), y + rng.random_range(1.0..120.0), z + rng.random_range(0.0..15.0)),
+                Vec3::new(
+                    x + rng.random_range(1.0..120.0),
+                    y + rng.random_range(1.0..120.0),
+                    z + rng.random_range(0.0..15.0),
+                ),
             );
             assert_eq!(query_sorted(&t, &q), brute_force(&items, &q));
         }
@@ -733,7 +842,10 @@ mod tests {
             all_reads,
             t.num_nodes()
         );
-        assert!(tiny_reads * 10 < all_reads, "tiny {tiny_reads} vs all {all_reads}");
+        assert!(
+            tiny_reads * 10 < all_reads,
+            "tiny {tiny_reads} vs all {all_reads}"
+        );
     }
 
     #[test]
@@ -755,7 +867,10 @@ mod tests {
         for i in 0..300u64 {
             t.insert(pt(5.0, 5.0, 5.0), i);
         }
-        assert_eq!(query_sorted(&t, &pt(5.0, 5.0, 5.0)), (0..300).collect::<Vec<_>>());
+        assert_eq!(
+            query_sorted(&t, &pt(5.0, 5.0, 5.0)),
+            (0..300).collect::<Vec<_>>()
+        );
         t.validate().unwrap();
     }
 }

@@ -12,12 +12,7 @@ fn pool() -> Arc<BufferPool> {
 }
 
 fn arb_segment() -> impl Strategy<Value = (f64, f64, f64, f64)> {
-    (
-        0.0..1000.0f64,
-        0.0..1000.0f64,
-        0.0..100.0f64,
-        0.0..30.0f64,
-    )
+    (0.0..1000.0f64, 0.0..1000.0f64, 0.0..100.0f64, 0.0..30.0f64)
 }
 
 fn arb_query() -> impl Strategy<Value = Box3> {

@@ -33,7 +33,9 @@ pub struct PmBuildConfig {
 
 impl Default for PmBuildConfig {
     fn default() -> Self {
-        PmBuildConfig { boundary_weight: 1.0 }
+        PmBuildConfig {
+            boundary_weight: 1.0,
+        }
     }
 }
 
@@ -133,18 +135,20 @@ pub fn build_pm(mut mesh: TriMesh, cfg: &PmBuildConfig) -> PmBuild {
 
     // --- Priority queue ---------------------------------------------------
     let mut heap: BinaryHeap<HeapEdge> = BinaryHeap::with_capacity(initial_edges.len() * 2);
-    let push_edge = |heap: &mut BinaryHeap<HeapEdge>,
-                     quadrics: &[Quadric],
-                     mesh: &TriMesh,
-                     u: u32,
-                     v: u32| {
-        let q = quadrics[u as usize].add(&quadrics[v as usize]);
-        let cost = candidate_positions(&q, mesh.position(u), mesh.position(v))
-            .into_iter()
-            .map(|p| q.eval(p).max(0.0))
-            .fold(f64::INFINITY, f64::min);
-        heap.push(HeapEdge { cost, u, v, retries: 0 });
-    };
+    let push_edge =
+        |heap: &mut BinaryHeap<HeapEdge>, quadrics: &[Quadric], mesh: &TriMesh, u: u32, v: u32| {
+            let q = quadrics[u as usize].add(&quadrics[v as usize]);
+            let cost = candidate_positions(&q, mesh.position(u), mesh.position(v))
+                .into_iter()
+                .map(|p| q.eval(p).max(0.0))
+                .fold(f64::INFINITY, f64::min);
+            heap.push(HeapEdge {
+                cost,
+                u,
+                v,
+                retries: 0,
+            });
+        };
     for &(u, v) in &initial_edges {
         push_edge(&mut heap, &quadrics, &mesh, u, v);
     }
@@ -167,7 +171,13 @@ pub fn build_pm(mut mesh: TriMesh, cfg: &PmBuildConfig) -> PmBuild {
     let mut last_e = 0.0f64;
     let mut raw_costs: Vec<f64> = Vec::new();
 
-    while let Some(HeapEdge { cost, u, v, retries }) = heap.pop() {
+    while let Some(HeapEdge {
+        cost,
+        u,
+        v,
+        retries,
+    }) = heap.pop()
+    {
         if !mesh.is_vertex_alive(u) || !mesh.is_vertex_alive(v) || !mesh.has_edge(u, v) {
             continue; // stale entry
         }
@@ -262,7 +272,11 @@ pub fn build_pm(mut mesh: TriMesh, cfg: &PmBuildConfig) -> PmBuild {
     edges_ever.sort_unstable();
     edges_ever.dedup();
     let hierarchy = PmHierarchy::assemble(nodes, roots, root_mesh, n_leaves);
-    PmBuild { hierarchy, edges: edges_ever, raw_costs }
+    PmBuild {
+        hierarchy,
+        edges: edges_ever,
+        raw_costs,
+    }
 }
 
 /// Candidate placements for the merged vertex: QEM-optimal point when the
@@ -439,11 +453,15 @@ mod tests {
         let hf = generate::fractal_terrain(9, 9, 10);
         let build_with = build_pm(
             TriMesh::from_heightfield(&hf),
-            &PmBuildConfig { boundary_weight: 20.0 },
+            &PmBuildConfig {
+                boundary_weight: 20.0,
+            },
         );
         let build_without = build_pm(
             TriMesh::from_heightfield(&hf),
-            &PmBuildConfig { boundary_weight: 0.0 },
+            &PmBuildConfig {
+                boundary_weight: 0.0,
+            },
         );
         // Compare how long border leaves survive (normalized rank of
         // their death among all collapses): constraints must not make
@@ -496,8 +514,16 @@ mod heap_order_tests {
     #[test]
     fn heap_pops_cheapest_first() {
         let mut heap = std::collections::BinaryHeap::new();
-        for (i, c) in [5.0, 0.0, 15.0, 0.0, 3.0, 0.596, 0.0].into_iter().enumerate() {
-            heap.push(HeapEdge { cost: c, u: i as u32, v: 100 + i as u32, retries: 0 });
+        for (i, c) in [5.0, 0.0, 15.0, 0.0, 3.0, 0.596, 0.0]
+            .into_iter()
+            .enumerate()
+        {
+            heap.push(HeapEdge {
+                cost: c,
+                u: i as u32,
+                v: 100 + i as u32,
+                retries: 0,
+            });
         }
         let mut popped = Vec::new();
         while let Some(e) = heap.pop() {

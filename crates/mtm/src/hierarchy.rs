@@ -35,7 +35,10 @@ impl PmNode {
 
     /// LOD interval `[e_lo, e_hi)`.
     pub fn interval(&self) -> Interval {
-        Interval { lo: self.e_lo, hi: self.e_hi }
+        Interval {
+            lo: self.e_lo,
+            hi: self.e_hi,
+        }
     }
 }
 
@@ -123,7 +126,16 @@ impl PmHierarchy {
             // drift slightly outside the leaf grid.
             bounds.expand_point(n.pos.xy());
         }
-        PmHierarchy { nodes, roots, root_mesh, footprints, euler, n_leaves, e_max, bounds }
+        PmHierarchy {
+            nodes,
+            roots,
+            root_mesh,
+            footprints,
+            euler,
+            n_leaves,
+            e_max,
+            bounds,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -267,7 +279,9 @@ impl PmHierarchy {
         for id in self.n_leaves..self.nodes.len() {
             let e = self.nodes[id].e_lo;
             if e < last {
-                return Err(format!("node {id}: collapse order not monotone ({e} < {last})"));
+                return Err(format!(
+                    "node {id}: collapse order not monotone ({e} < {last})"
+                ));
             }
             last = e;
         }

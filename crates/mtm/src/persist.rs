@@ -2,7 +2,7 @@
 //!
 //! QEM simplification of a multi-million-point terrain takes minutes;
 //! persisting the [`PmBuild`] lets databases and benchmarks reload it in
-//! seconds. Little-endian `DMPM` format, version 1:
+//! seconds. Little-endian `DMPM` format, version 2:
 //!
 //! ```text
 //! "DMPM" u32(version) u32(n_leaves) u32(n_nodes)
@@ -11,23 +11,61 @@
 //! u32(n_tris)     n_tris × 3×u32          (root mesh)
 //! u64(n_edges)    n_edges × 2×u32         (adjacency episodes)
 //! u32(n_raw)      n_raw × f64             (raw collapse costs)
+//! u32(crc32 of everything above)          (version ≥ 2)
 //! ```
 //!
 //! Node ids are implicit (storage order); roots/edges reference them.
+//! Version 1 files (no CRC trailer) are still readable.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 
 use dm_geom::Vec3;
+use dm_storage::Crc32Hasher;
 
 use crate::builder::PmBuild;
 use crate::hierarchy::{PmHierarchy, PmNode};
 
 const MAGIC: &[u8; 4] = b"DMPM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// `Write` adapter that folds every byte into a CRC32.
+struct CrcWriter<W: Write> {
+    inner: W,
+    hasher: Crc32Hasher,
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hasher.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// `Read` adapter that folds every byte into a CRC32.
+struct CrcReader<R: Read> {
+    inner: R,
+    hasher: Crc32Hasher,
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hasher.update(&buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Serialize a PM construction.
 pub fn save_pm(build: &PmBuild, writer: impl Write) -> io::Result<()> {
-    let mut out = BufWriter::new(writer);
+    let mut out = CrcWriter {
+        inner: BufWriter::new(writer),
+        hasher: Crc32Hasher::new(),
+    };
     let h = &build.hierarchy;
     out.write_all(MAGIC)?;
     out.write_all(&VERSION.to_le_bytes())?;
@@ -62,30 +100,44 @@ pub fn save_pm(build: &PmBuild, writer: impl Write) -> io::Result<()> {
     for c in &build.raw_costs {
         out.write_all(&c.to_le_bytes())?;
     }
-    out.flush()
+    // Trailer: CRC of everything written so far, itself unhashed.
+    let crc = out.hasher.finalize();
+    out.inner.write_all(&crc.to_le_bytes())?;
+    out.inner.flush()
 }
 
 /// Deserialize a PM construction; footprints and ancestor labels are
 /// rebuilt on load.
 pub fn load_pm(reader: impl Read) -> io::Result<PmBuild> {
-    let mut inp = BufReader::new(reader);
+    let mut inp = CrcReader {
+        inner: BufReader::new(reader),
+        hasher: Crc32Hasher::new(),
+    };
     let mut magic = [0u8; 4];
     inp.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(bad("not a DMPM file (bad magic)"));
     }
     let version = read_u32(&mut inp)?;
-    if version != VERSION {
-        return Err(bad(&format!("unsupported DMPM version {version}")));
+    if version == 0 || version > VERSION {
+        return Err(bad(&format!(
+            "unsupported DMPM version {version} (this build reads 1..={VERSION})"
+        )));
     }
     let n_leaves = read_u32(&mut inp)? as usize;
     let n_nodes = read_u32(&mut inp)? as usize;
     if n_leaves > n_nodes || n_nodes > (1 << 31) {
-        return Err(bad(&format!("implausible node counts {n_leaves}/{n_nodes}")));
+        return Err(bad(&format!(
+            "implausible node counts {n_leaves}/{n_nodes}"
+        )));
     }
     let mut nodes = Vec::with_capacity(n_nodes);
     for id in 0..n_nodes as u32 {
-        let pos = Vec3::new(read_f64(&mut inp)?, read_f64(&mut inp)?, read_f64(&mut inp)?);
+        let pos = Vec3::new(
+            read_f64(&mut inp)?,
+            read_f64(&mut inp)?,
+            read_f64(&mut inp)?,
+        );
         let e_lo = read_f64(&mut inp)?;
         let e_hi = read_f64(&mut inp)?;
         let parent = read_u32(&mut inp)?;
@@ -93,7 +145,17 @@ pub fn load_pm(reader: impl Read) -> io::Result<PmBuild> {
         let child2 = read_u32(&mut inp)?;
         let wing1 = read_u32(&mut inp)?;
         let wing2 = read_u32(&mut inp)?;
-        nodes.push(PmNode { id, pos, e_lo, e_hi, parent, child1, child2, wing1, wing2 });
+        nodes.push(PmNode {
+            id,
+            pos,
+            e_lo,
+            e_hi,
+            parent,
+            child1,
+            child2,
+            wing1,
+            wing2,
+        });
     }
     let n_roots = read_u32(&mut inp)? as usize;
     let mut roots = Vec::with_capacity(n_roots);
@@ -103,7 +165,11 @@ pub fn load_pm(reader: impl Read) -> io::Result<PmBuild> {
     let n_tris = read_u32(&mut inp)? as usize;
     let mut root_mesh = Vec::with_capacity(n_tris);
     for _ in 0..n_tris {
-        root_mesh.push([read_u32(&mut inp)?, read_u32(&mut inp)?, read_u32(&mut inp)?]);
+        root_mesh.push([
+            read_u32(&mut inp)?,
+            read_u32(&mut inp)?,
+            read_u32(&mut inp)?,
+        ]);
     }
     let n_edges = read_u64(&mut inp)? as usize;
     let mut edges = Vec::with_capacity(n_edges);
@@ -116,10 +182,27 @@ pub fn load_pm(reader: impl Read) -> io::Result<PmBuild> {
         raw_costs.push(read_f64(&mut inp)?);
     }
 
+    if version >= 2 {
+        // The trailer itself is read from the underlying stream so it
+        // does not perturb the running hash.
+        let computed = inp.hasher.finalize();
+        let mut trailer = [0u8; 4];
+        inp.inner.read_exact(&mut trailer)?;
+        let stored = u32::from_le_bytes(trailer);
+        if stored != computed {
+            return Err(bad(&format!(
+                "DMPM checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
+    }
+
     // Sanity: every referenced id is in range.
     let in_range = |v: u32| v == crate::hierarchy::NIL_ID || (v as usize) < n_nodes;
     for n in &nodes {
-        if ![n.parent, n.child1, n.child2, n.wing1, n.wing2].iter().all(|&v| in_range(v)) {
+        if ![n.parent, n.child1, n.child2, n.wing1, n.wing2]
+            .iter()
+            .all(|&v| in_range(v))
+        {
             return Err(bad(&format!("node {} references out-of-range ids", n.id)));
         }
     }
@@ -128,7 +211,11 @@ pub fn load_pm(reader: impl Read) -> io::Result<PmBuild> {
     }
 
     let hierarchy = PmHierarchy::assemble(nodes, roots, root_mesh, n_leaves);
-    Ok(PmBuild { hierarchy, edges, raw_costs })
+    Ok(PmBuild {
+        hierarchy,
+        edges,
+        raw_costs,
+    })
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -209,5 +296,35 @@ mod tests {
         let mut version = buf.clone();
         version[4] = 99;
         assert!(load_pm(&version[..]).is_err(), "future version");
+    }
+
+    #[test]
+    fn checksum_catches_mid_file_bit_flip() {
+        let b = sample();
+        let mut buf = Vec::new();
+        save_pm(&b, &mut buf).unwrap();
+        // A flip deep in the node payload keeps all counts plausible, so
+        // only the trailer CRC can catch it.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x04;
+        let err = match load_pm(&buf[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("bit flip went undetected"),
+        };
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn version_1_files_without_trailer_still_load() {
+        let b = sample();
+        let mut buf = Vec::new();
+        save_pm(&b, &mut buf).unwrap();
+        // A v1 file is byte-identical except for the version field and
+        // the missing CRC trailer.
+        buf[4] = 1;
+        buf.truncate(buf.len() - 4);
+        let back = load_pm(&buf[..]).unwrap();
+        assert_eq!(back.hierarchy.len(), b.hierarchy.len());
+        assert_eq!(back.edges, b.edges);
     }
 }

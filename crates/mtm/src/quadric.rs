@@ -212,7 +212,10 @@ mod tests {
     #[test]
     fn optimal_point_of_single_plane_is_singular() {
         let q = Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), 0.0, 1.0);
-        assert!(q.optimal_point().is_none(), "rank-1 system has no unique minimum");
+        assert!(
+            q.optimal_point().is_none(),
+            "rank-1 system has no unique minimum"
+        );
     }
 
     #[test]

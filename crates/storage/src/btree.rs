@@ -17,16 +17,17 @@
 use std::sync::Arc;
 
 use crate::buffer::BufferPool;
-use crate::page::{codec, PageId, NO_PAGE, PAGE_SIZE};
+use crate::error::StorageResult;
+use crate::page::{codec, PageId, NO_PAGE, PAGE_DATA, PAGE_SIZE};
 
 const HDR: usize = 8;
 const LEAF_ENTRY: usize = 16;
 const INT_ENTRY: usize = 12;
 const INT_CHILD0: usize = HDR + 4; // after header + pad comes child0
-/// Max keys per leaf.
-pub const LEAF_CAP: usize = (PAGE_SIZE - HDR) / LEAF_ENTRY; // 511
+/// Max keys per leaf (the page's checksum trailer is out of bounds).
+pub const LEAF_CAP: usize = (PAGE_DATA - HDR) / LEAF_ENTRY; // 511
 /// Max keys per internal node.
-pub const INT_CAP: usize = (PAGE_SIZE - INT_CHILD0 - 4) / INT_ENTRY; // ~680
+pub const INT_CAP: usize = (PAGE_DATA - INT_CHILD0 - 4) / INT_ENTRY; // 681
 
 /// The B+-tree. Root page id changes as the tree grows.
 pub struct BTree {
@@ -50,7 +51,12 @@ impl BTree {
             codec::put_u16(b, 2, 0);
             codec::put_u32(b, 4, NO_PAGE);
         });
-        BTree { pool, root, len: 0, height: 1 }
+        BTree {
+            pool,
+            root,
+            len: 0,
+            height: 1,
+        }
     }
 
     pub fn len(&self) -> u64 {
@@ -72,7 +78,12 @@ impl BTree {
     /// Reattach to an existing tree (catalog reload). The caller is
     /// responsible for passing the values a prior instance reported.
     pub fn from_parts(pool: Arc<BufferPool>, root: PageId, len: u64, height: u32) -> Self {
-        BTree { pool, root, len, height }
+        BTree {
+            pool,
+            root,
+            len,
+            height,
+        }
     }
 
     /// Insert or overwrite.
@@ -96,43 +107,52 @@ impl BTree {
     }
 
     /// Point lookup.
-    pub fn get(&self, key: u64) -> Option<u64> {
+    ///
+    /// Index pages are load-bearing for the whole lookup, so any page
+    /// error aborts it (no partial answer is possible).
+    pub fn try_get(&self, key: u64) -> StorageResult<Option<u64>> {
         let mut page = self.root;
         loop {
             enum Step {
                 Descend(PageId),
                 Leaf(Option<u64>),
             }
-            let step = self.pool.read(page, |b| {
+            let step = self.pool.try_read(page, |b| {
                 if b[0] == 1 {
                     let n = codec::get_u16(b, 2) as usize;
                     Step::Leaf(leaf_search(b, n, key))
                 } else {
                     Step::Descend(internal_child_for(b, key))
                 }
-            });
+            })?;
             match step {
                 Step::Descend(child) => page = child,
-                Step::Leaf(v) => return v,
+                Step::Leaf(v) => return Ok(v),
             }
         }
     }
 
+    /// Infallible [`Self::try_get`]; panics on storage errors.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.try_get(key)
+            .unwrap_or_else(|e| panic!("btree get: {e}"))
+    }
+
     /// Visit all `(key, value)` pairs with `lo <= key <= hi` in order.
-    pub fn range(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) {
+    pub fn try_range(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) -> StorageResult<()> {
         if lo > hi {
-            return;
+            return Ok(());
         }
         // Descend to the leaf that could contain `lo`.
         let mut page = self.root;
         loop {
-            let next = self.pool.read(page, |b| {
+            let next = self.pool.try_read(page, |b| {
                 if b[0] == 1 {
                     None
                 } else {
                     Some(internal_child_for(b, lo))
                 }
-            });
+            })?;
             match next {
                 Some(child) => page = child,
                 None => break,
@@ -141,7 +161,7 @@ impl BTree {
         // Walk the leaf chain.
         let mut current = page;
         while current != NO_PAGE {
-            let (next, done) = self.pool.read(current, |b| {
+            let (next, done) = self.pool.try_read(current, |b| {
                 debug_assert_eq!(b[0], 1);
                 let n = codec::get_u16(b, 2) as usize;
                 for i in 0..n {
@@ -155,12 +175,19 @@ impl BTree {
                     }
                 }
                 (codec::get_u32(b, 4), false)
-            });
+            })?;
             if done {
                 break;
             }
             current = next;
         }
+        Ok(())
+    }
+
+    /// Infallible [`Self::try_range`]; panics on storage errors.
+    pub fn range(&self, lo: u64, hi: u64, f: impl FnMut(u64, u64)) {
+        self.try_range(lo, hi, f)
+            .unwrap_or_else(|e| panic!("btree range: {e}"))
     }
 
     fn insert_rec(&mut self, page: PageId, key: u64, value: u64) -> InsertResult {
@@ -223,7 +250,12 @@ impl BTree {
         let mid = keys.len() / 2;
         let up = keys[mid];
         let right_page = self.pool.allocate();
-        write_internal(&self.pool, right_page, &keys[mid + 1..], &children[mid + 1..]);
+        write_internal(
+            &self.pool,
+            right_page,
+            &keys[mid + 1..],
+            &children[mid + 1..],
+        );
         write_internal(&self.pool, page, &keys[..mid], &children[..=mid]);
         InsertResult::Split(up, right_page)
     }
@@ -245,20 +277,19 @@ impl BTree {
         let mut buf_vals: Vec<u64> = Vec::new();
         let mut len = 0u64;
         let mut last_key: Option<u64> = None;
-        let flush =
-            |keys: &mut Vec<u64>, vals: &mut Vec<u64>, leaves: &mut Vec<(u64, PageId)>| {
-                if keys.is_empty() {
-                    return;
-                }
-                let page = pool.allocate();
-                write_leaf(&pool, page, keys, vals, NO_PAGE);
-                if let Some(&(_, prev)) = leaves.last() {
-                    pool.write(prev, |b| codec::put_u32(b, 4, page));
-                }
-                leaves.push((keys[0], page));
-                keys.clear();
-                vals.clear();
-            };
+        let flush = |keys: &mut Vec<u64>, vals: &mut Vec<u64>, leaves: &mut Vec<(u64, PageId)>| {
+            if keys.is_empty() {
+                return;
+            }
+            let page = pool.allocate();
+            write_leaf(&pool, page, keys, vals, NO_PAGE);
+            if let Some(&(_, prev)) = leaves.last() {
+                pool.write(prev, |b| codec::put_u32(b, 4, page));
+            }
+            leaves.push((keys[0], page));
+            keys.clear();
+            vals.clear();
+        };
         for (k, v) in pairs {
             if let Some(prev) = last_key {
                 assert!(k > prev, "bulk_load input must be strictly ascending");
@@ -292,7 +323,12 @@ impl BTree {
             level = next_level;
         }
         let root = level[0].1;
-        BTree { pool, root, len, height }
+        BTree {
+            pool,
+            root,
+            len,
+            height,
+        }
     }
 }
 
@@ -449,8 +485,7 @@ mod tests {
         for (lo, hi) in [(0u64, 99_999), (500, 700), (99_000, 99_999), (42, 42)] {
             let mut got = Vec::new();
             t.range(lo, hi, |k, v| got.push((k, v)));
-            let want: Vec<_> =
-                model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            let want: Vec<_> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
             assert_eq!(got, want, "range [{lo}, {hi}]");
         }
         // Inverted range yields nothing (and must not panic).

@@ -1,0 +1,181 @@
+//! CRC32 page checksums.
+//!
+//! Every page reserves its last four bytes ([`crate::page::CHECKSUM_LEN`])
+//! for a little-endian CRC32 (IEEE 802.3 polynomial, the same one zlib
+//! uses) over the first [`crate::page::PAGE_DATA`] bytes. The buffer pool
+//! seals pages when it writes them back and verifies them on every fetch.
+//!
+//! One page state is exempt: the **all-zero page**. Freshly allocated
+//! pages are zeroed by the store without passing through the pool's write
+//! path, so their trailer is zero while `crc32(zeros) != 0`. An all-zero
+//! page is therefore accepted as trivially valid. This cannot mask a
+//! single-bit flip of a sealed page: a sealed page always carries a
+//! nonzero checksum (see `crc_of_zeros_is_nonzero`), so it can never be
+//! all-zero, and any single-bit flip of it leaves it non-zero too.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{codec, PageId, PAGE_DATA, PAGE_SIZE};
+
+/// CRC32 (IEEE, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Byte-at-a-time with a lazily built table: plenty fast for an 8 KiB
+    // page on the flush path, and dependency-free.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Incremental CRC32 (same polynomial) for streamed artifacts.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32Hasher(u32);
+
+impl Default for Crc32Hasher {
+    fn default() -> Self {
+        Crc32Hasher(!0)
+    }
+}
+
+impl Crc32Hasher {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn update(&mut self, data: &[u8]) {
+        // Reuse the one-shot path by continuing from the current state.
+        let mut crc = self.0;
+        for &b in data {
+            crc = crc32_step(crc, b);
+        }
+        self.0 = crc;
+    }
+
+    pub fn finalize(self) -> u32 {
+        !self.0
+    }
+}
+
+#[inline]
+fn crc32_step(mut crc: u32, byte: u8) -> u32 {
+    crc ^= byte as u32;
+    for _ in 0..8 {
+        crc = if crc & 1 != 0 {
+            0xEDB8_8320 ^ (crc >> 1)
+        } else {
+            crc >> 1
+        };
+    }
+    crc
+}
+
+/// Write the checksum trailer of `buf` (call just before handing the page
+/// to the store).
+pub fn seal_page(buf: &mut [u8; PAGE_SIZE]) {
+    let crc = crc32(&buf[..PAGE_DATA]);
+    codec::put_u32(buf, PAGE_DATA, crc);
+}
+
+/// Verify the checksum trailer of `buf` as read from the store.
+///
+/// An all-zero page (never sealed — a fresh allocation) is accepted; see
+/// the module docs for why this cannot hide corruption of sealed pages.
+pub fn verify_page(page: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
+    let stored = codec::get_u32(buf, PAGE_DATA);
+    let computed = crc32(&buf[..PAGE_DATA]);
+    if stored == computed {
+        return Ok(());
+    }
+    if stored == 0 && buf[..PAGE_DATA].iter().all(|&b| b == 0) {
+        return Ok(()); // fresh page, never sealed
+    }
+    Err(StorageError::corrupt(
+        page,
+        format!("checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::zeroed_page;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn hasher_matches_one_shot() {
+        let data = b"direct mesh stores terrain in pages";
+        let mut h = Crc32Hasher::new();
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn crc_of_zeros_is_nonzero() {
+        // Load-bearing for the fresh-page exemption: a sealed page can
+        // never be all-zero because its trailer would be this value.
+        assert_ne!(crc32(&[0u8; PAGE_DATA]), 0);
+    }
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let mut p = zeroed_page();
+        p[100] = 0xAB;
+        seal_page(&mut p);
+        verify_page(7, &p).unwrap();
+    }
+
+    #[test]
+    fn fresh_zero_page_is_valid() {
+        let p = zeroed_page();
+        verify_page(0, &p).unwrap();
+    }
+
+    #[test]
+    fn any_tampering_is_detected() {
+        let mut p = zeroed_page();
+        p[9] = 3;
+        seal_page(&mut p);
+        p[5000] ^= 0x10;
+        let err = verify_page(4, &p).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Corrupt { page: 4, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailer_tampering_is_detected() {
+        let mut p = zeroed_page();
+        p[0] = 1;
+        seal_page(&mut p);
+        p[PAGE_SIZE - 1] ^= 0x80;
+        assert!(verify_page(1, &p).is_err());
+    }
+}

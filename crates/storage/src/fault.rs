@@ -1,0 +1,362 @@
+//! Deterministic fault injection for the page-store layer.
+//!
+//! [`FaultInjector`] wraps any [`PageStore`] and perturbs its operations
+//! according to a seeded [`FaultConfig`]: transient read failures, a hard
+//! fail-after-N switch, single-bit flips on read, and torn writes. Every
+//! decision is a pure function of the seed and a per-operation counter,
+//! so a given (config, workload) pair always injects the same faults —
+//! tests can assert exact retry counts.
+//!
+//! The injector sits *below* the buffer pool, standing in for a flaky
+//! disk: the pool's retry loop and checksum verification are exactly the
+//! defenses under test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{PageId, PAGE_SIZE};
+use crate::store::PageStore;
+
+/// What to inject. All probabilities are in `[0, 1]`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultConfig {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Probability that a read fails with a transient (retryable) I/O
+    /// error before touching the underlying store.
+    pub read_fail_rate: f64,
+    /// Probability that a read succeeds but one bit of the returned page
+    /// is flipped (caught by the checksum layer as `Corrupt`).
+    pub bit_flip_rate: f64,
+    /// Probability that a write persists only the first half of the page
+    /// while reporting success (a torn write; caught by the checksum on a
+    /// later read).
+    pub torn_write_rate: f64,
+    /// After this many successful reads, every further read fails with a
+    /// non-retryable error (`None` disables). Models a device dropping
+    /// dead mid-query.
+    pub fail_reads_after: Option<u64>,
+}
+
+impl FaultConfig {
+    pub fn new(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_read_fail_rate(mut self, rate: f64) -> Self {
+        self.read_fail_rate = rate;
+        self
+    }
+
+    pub fn with_bit_flip_rate(mut self, rate: f64) -> Self {
+        self.bit_flip_rate = rate;
+        self
+    }
+
+    pub fn with_torn_write_rate(mut self, rate: f64) -> Self {
+        self.torn_write_rate = rate;
+        self
+    }
+
+    pub fn with_fail_reads_after(mut self, n: u64) -> Self {
+        self.fail_reads_after = Some(n);
+        self
+    }
+}
+
+/// Counters of what was actually injected, shared with the test through
+/// an [`Arc`] handle taken before the injector is boxed into a pool.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    transient_read_failures: AtomicU64,
+    bit_flips: AtomicU64,
+    torn_writes: AtomicU64,
+    hard_failures: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Reads that reached the injector (including failed ones).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Injected transient read failures.
+    pub fn transient_read_failures(&self) -> u64 {
+        self.transient_read_failures.load(Ordering::Relaxed)
+    }
+
+    /// Injected single-bit flips.
+    pub fn bit_flips(&self) -> u64 {
+        self.bit_flips.load(Ordering::Relaxed)
+    }
+
+    /// Injected torn writes.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes.load(Ordering::Relaxed)
+    }
+
+    /// Reads rejected by the fail-after-N switch.
+    pub fn hard_failures(&self) -> u64 {
+        self.hard_failures.load(Ordering::Relaxed)
+    }
+
+    /// All injected faults of any kind.
+    pub fn total_injected(&self) -> u64 {
+        self.transient_read_failures()
+            + self.bit_flips()
+            + self.torn_writes()
+            + self.hard_failures()
+    }
+}
+
+/// A [`PageStore`] decorator injecting faults per [`FaultConfig`].
+pub struct FaultInjector {
+    inner: Box<dyn PageStore>,
+    config: FaultConfig,
+    counters: Arc<FaultCounters>,
+    /// Monotone operation counter; with the seed it fully determines the
+    /// fault stream.
+    ops: AtomicU64,
+}
+
+impl FaultInjector {
+    pub fn new(inner: Box<dyn PageStore>, config: FaultConfig) -> Self {
+        FaultInjector {
+            inner,
+            config,
+            counters: Arc::new(FaultCounters::default()),
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Handle to the injection counters (clone before boxing the injector
+    /// into a buffer pool).
+    pub fn counters(&self) -> Arc<FaultCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Draw a deterministic uniform value in `[0, 1)` for this operation.
+    fn draw(&self, salt: u64) -> f64 {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let x = mix(self.config.seed ^ salt, op);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Deterministic bit position within a page for this operation.
+    fn draw_bit(&self) -> usize {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        (mix(self.config.seed ^ 0xB17_F11B, op) % (PAGE_SIZE as u64 * 8)) as usize
+    }
+}
+
+/// SplitMix64-style stateless mixer.
+fn mix(seed: u64, op: u64) -> u64 {
+    let mut z = seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PageStore for FaultInjector {
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
+        let n = self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(limit) = self.config.fail_reads_after {
+            if n >= limit {
+                self.counters.hard_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(StorageError::Io(std::io::Error::other(format!(
+                    "injected hard failure: device dead after {limit} reads"
+                ))));
+            }
+        }
+        if self.config.read_fail_rate > 0.0 && self.draw(0x7EAD) < self.config.read_fail_rate {
+            self.counters
+                .transient_read_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient read failure",
+            )));
+        }
+        self.inner.read_page(id, buf)?;
+        if self.config.bit_flip_rate > 0.0 && self.draw(0xF11B) < self.config.bit_flip_rate {
+            let bit = self.draw_bit();
+            buf[bit / 8] ^= 1 << (bit % 8);
+            self.counters.bit_flips.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        if self.config.torn_write_rate > 0.0 && self.draw(0x7093) < self.config.torn_write_rate {
+            // Persist only the first half over whatever is on disk, then
+            // report success — the lie a torn sector write tells.
+            let mut current = crate::page::zeroed_page();
+            // Best effort: if the old page is unreadable, tear onto zeros.
+            let _ = self.inner.read_page(id, &mut current);
+            current[..PAGE_SIZE / 2].copy_from_slice(&buf[..PAGE_SIZE / 2]);
+            self.inner.write_page(id, &current)?;
+            self.counters.torn_writes.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.inner.write_page(id, buf)
+    }
+
+    fn allocate(&self) -> StorageResult<PageId> {
+        self.inner.allocate()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::zeroed_page;
+    use crate::store::MemStore;
+
+    fn store_with_pages(n: u32) -> Box<MemStore> {
+        let s = Box::new(MemStore::new());
+        for _ in 0..n {
+            s.allocate().unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn clean_config_injects_nothing() {
+        let inj = FaultInjector::new(store_with_pages(4), FaultConfig::new(1));
+        let counters = inj.counters();
+        let mut buf = zeroed_page();
+        for id in 0..4 {
+            inj.read_page(id, &mut buf).unwrap();
+            inj.write_page(id, &buf).unwrap();
+        }
+        assert_eq!(counters.total_injected(), 0);
+        assert_eq!(counters.reads(), 4);
+        assert_eq!(counters.writes(), 4);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic() {
+        let run = || {
+            let inj = FaultInjector::new(
+                store_with_pages(1),
+                FaultConfig::new(99).with_read_fail_rate(0.3),
+            );
+            let counters = inj.counters();
+            let mut buf = zeroed_page();
+            let outcomes: Vec<bool> = (0..200)
+                .map(|_| inj.read_page(0, &mut buf).is_ok())
+                .collect();
+            (outcomes, counters.transient_read_failures())
+        };
+        let (a, fa) = run();
+        let (b, fb) = run();
+        assert_eq!(a, b, "same seed must give the same fault stream");
+        assert_eq!(fa, fb);
+        assert!(
+            fa > 20 && fa < 100,
+            "~30% of 200 reads should fail, got {fa}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let outcomes = |seed| {
+            let inj = FaultInjector::new(
+                store_with_pages(1),
+                FaultConfig::new(seed).with_read_fail_rate(0.5),
+            );
+            let mut buf = zeroed_page();
+            (0..64)
+                .map(|_| inj.read_page(0, &mut buf).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(outcomes(1), outcomes(2));
+    }
+
+    #[test]
+    fn transient_failures_are_retryable() {
+        let inj = FaultInjector::new(
+            store_with_pages(1),
+            FaultConfig::new(7).with_read_fail_rate(1.0),
+        );
+        let mut buf = zeroed_page();
+        let err = inj.read_page(0, &mut buf).unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "injected transient failure must be retryable"
+        );
+    }
+
+    #[test]
+    fn fail_after_n_is_hard() {
+        let inj = FaultInjector::new(
+            store_with_pages(1),
+            FaultConfig::new(7).with_fail_reads_after(3),
+        );
+        let counters = inj.counters();
+        let mut buf = zeroed_page();
+        for _ in 0..3 {
+            inj.read_page(0, &mut buf).unwrap();
+        }
+        let err = inj.read_page(0, &mut buf).unwrap_err();
+        assert!(!err.is_retryable(), "dead device must not be retried");
+        assert!(inj.read_page(0, &mut buf).is_err(), "stays dead");
+        assert_eq!(counters.hard_failures(), 2);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let store = store_with_pages(1);
+        let mut sealed = zeroed_page();
+        sealed[17] = 0x5A;
+        store.write_page(0, &sealed).unwrap();
+        let inj = FaultInjector::new(store, FaultConfig::new(3).with_bit_flip_rate(1.0));
+        let counters = inj.counters();
+        let mut buf = zeroed_page();
+        inj.read_page(0, &mut buf).unwrap();
+        let differing_bits: u32 = sealed
+            .iter()
+            .zip(buf.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing_bits, 1);
+        assert_eq!(counters.bit_flips(), 1);
+    }
+
+    #[test]
+    fn torn_write_keeps_first_half_only() {
+        let store = store_with_pages(1);
+        let mut old = zeroed_page();
+        old.fill(0x11);
+        store.write_page(0, &old).unwrap();
+        let inj = FaultInjector::new(store, FaultConfig::new(5).with_torn_write_rate(1.0));
+        let counters = inj.counters();
+        let mut new = zeroed_page();
+        new.fill(0x22);
+        inj.write_page(0, &new).unwrap(); // reports success!
+        let mut on_disk = zeroed_page();
+        inj.read_page(0, &mut on_disk).unwrap();
+        assert!(on_disk[..PAGE_SIZE / 2].iter().all(|&b| b == 0x22));
+        assert!(on_disk[PAGE_SIZE / 2..].iter().all(|&b| b == 0x11));
+        assert_eq!(counters.torn_writes(), 1);
+    }
+}

@@ -13,11 +13,15 @@
 //! read-many). Insertion order is therefore the clustering order: callers
 //! sort records by Hilbert key before loading so that spatially close
 //! points share pages.
+//!
+//! All offsets stay below [`PAGE_DATA`]: the buffer pool owns the last
+//! four bytes of every page for its CRC32 trailer.
 
 use std::sync::Arc;
 
 use crate::buffer::BufferPool;
-use crate::page::{codec, PageId, PAGE_SIZE};
+use crate::error::{StorageError, StorageResult};
+use crate::page::{codec, PageId, PAGE_DATA};
 
 const HEADER: usize = 4;
 const SLOT: usize = 4;
@@ -38,7 +42,10 @@ impl RecordId {
 
     #[inline]
     pub fn from_u64(v: u64) -> Self {
-        RecordId { page: (v >> 16) as PageId, slot: (v & 0xFFFF) as u16 }
+        RecordId {
+            page: (v >> 16) as PageId,
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -54,11 +61,16 @@ pub struct HeapFile {
 }
 
 impl HeapFile {
-    /// Largest record that fits on an empty page.
-    pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT;
+    /// Largest record that fits on an empty page (the checksum trailer
+    /// is outside the usable area).
+    pub const MAX_RECORD: usize = PAGE_DATA - HEADER - SLOT;
 
     pub fn create(pool: Arc<BufferPool>) -> Self {
-        HeapFile { pool, pages: Vec::new(), len: 0 }
+        HeapFile {
+            pool,
+            pages: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Reattach to an existing file (catalog reload).
@@ -83,34 +95,44 @@ impl HeapFile {
     /// Append a record, returning its address.
     ///
     /// A record never spans pages; if it does not fit in the free space of
-    /// the last page a new page is allocated.
-    pub fn insert(&mut self, record: &[u8]) -> RecordId {
-        assert!(
-            record.len() <= Self::MAX_RECORD,
-            "record of {} bytes exceeds page capacity {}",
-            record.len(),
-            Self::MAX_RECORD
-        );
+    /// the last page a new page is allocated. Oversized records are
+    /// rejected up front with [`StorageError::RecordTooLarge`] — nothing
+    /// is allocated or written for them.
+    pub fn try_insert(&mut self, record: &[u8]) -> StorageResult<RecordId> {
+        if record.len() > Self::MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                len: record.len(),
+                max: Self::MAX_RECORD,
+            });
+        }
         if let Some(&last) = self.pages.last() {
-            if let Some(rid) = self.try_insert_into(last, record) {
+            if let Some(rid) = self.try_insert_into(last, record)? {
                 self.len += 1;
-                return rid;
+                return Ok(rid);
             }
         }
-        let page = self.pool.allocate();
+        let page = self.pool.try_allocate()?;
         self.pages.push(page);
-        let rid = self.try_insert_into(page, record).expect("record fits empty page");
+        let rid = self
+            .try_insert_into(page, record)?
+            .expect("record fits empty page");
         self.len += 1;
-        rid
+        Ok(rid)
     }
 
-    fn try_insert_into(&self, page: PageId, record: &[u8]) -> Option<RecordId> {
-        self.pool.write(page, |buf| {
+    /// Infallible [`Self::try_insert`] for build paths; panics on
+    /// oversized records and storage errors.
+    pub fn insert(&mut self, record: &[u8]) -> RecordId {
+        self.try_insert(record).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_insert_into(&self, page: PageId, record: &[u8]) -> StorageResult<Option<RecordId>> {
+        self.pool.try_write(page, |buf| {
             let n_slots = codec::get_u16(buf, 0) as usize;
             let free_off = {
                 let f = codec::get_u16(buf, 2) as usize;
                 if f == 0 {
-                    PAGE_SIZE // fresh page: records start from the very end
+                    PAGE_DATA // fresh page: records start at the trailer
                 } else {
                     f
                 }
@@ -126,41 +148,83 @@ impl HeapFile {
             codec::put_u16(buf, slot_off + 2, record.len() as u16);
             codec::put_u16(buf, 0, (n_slots + 1) as u16);
             codec::put_u16(buf, 2, rec_off as u16);
-            Some(RecordId { page, slot: n_slots as u16 })
+            Some(RecordId {
+                page,
+                slot: n_slots as u16,
+            })
         })
     }
 
     /// Fetch a record by address.
-    pub fn get(&self, rid: RecordId) -> Vec<u8> {
-        self.pool.read(rid.page, |buf| {
+    pub fn try_get(&self, rid: RecordId) -> StorageResult<Vec<u8>> {
+        self.pool.try_read(rid.page, |buf| {
             let n_slots = codec::get_u16(buf, 0);
-            assert!(rid.slot < n_slots, "slot {} out of range ({n_slots})", rid.slot);
+            if rid.slot >= n_slots {
+                return Err(StorageError::corrupt(
+                    rid.page,
+                    format!("slot {} out of range ({n_slots})", rid.slot),
+                ));
+            }
             let slot_off = HEADER + rid.slot as usize * SLOT;
             let rec_off = codec::get_u16(buf, slot_off) as usize;
             let rec_len = codec::get_u16(buf, slot_off + 2) as usize;
-            buf[rec_off..rec_off + rec_len].to_vec()
-        })
+            if rec_off + rec_len > PAGE_DATA {
+                return Err(StorageError::corrupt(
+                    rid.page,
+                    format!("slot {} points past the page payload", rid.slot),
+                ));
+            }
+            Ok(buf[rec_off..rec_off + rec_len].to_vec())
+        })?
+    }
+
+    /// Infallible [`Self::try_get`]; panics on storage errors.
+    pub fn get(&self, rid: RecordId) -> Vec<u8> {
+        self.try_get(rid).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run `f` over every record in the page with id `page` (used by index
     /// scans that fetch whole pages).
-    pub fn for_each_in_page(&self, page: PageId, mut f: impl FnMut(RecordId, &[u8])) {
-        self.pool.read(page, |buf| {
+    pub fn try_for_each_in_page(
+        &self,
+        page: PageId,
+        mut f: impl FnMut(RecordId, &[u8]),
+    ) -> StorageResult<()> {
+        self.pool.try_read(page, |buf| {
             let n_slots = codec::get_u16(buf, 0);
             for slot in 0..n_slots {
                 let slot_off = HEADER + slot as usize * SLOT;
                 let rec_off = codec::get_u16(buf, slot_off) as usize;
                 let rec_len = codec::get_u16(buf, slot_off + 2) as usize;
+                if rec_off + rec_len > PAGE_DATA {
+                    return Err(StorageError::corrupt(
+                        page,
+                        format!("slot {slot} points past the page payload"),
+                    ));
+                }
                 f(RecordId { page, slot }, &buf[rec_off..rec_off + rec_len]);
             }
-        });
+            Ok(())
+        })?
+    }
+
+    /// Infallible [`Self::try_for_each_in_page`]; panics on storage errors.
+    pub fn for_each_in_page(&self, page: PageId, f: impl FnMut(RecordId, &[u8])) {
+        self.try_for_each_in_page(page, f)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Iterate every record in file order (page by page).
-    pub fn scan(&self, mut f: impl FnMut(RecordId, &[u8])) {
+    pub fn try_scan(&self, mut f: impl FnMut(RecordId, &[u8])) -> StorageResult<()> {
         for &page in &self.pages {
-            self.for_each_in_page(page, &mut f);
+            self.try_for_each_in_page(page, &mut f)?;
         }
+        Ok(())
+    }
+
+    /// Infallible [`Self::try_scan`]; panics on storage errors.
+    pub fn scan(&self, f: impl FnMut(RecordId, &[u8])) {
+        self.try_scan(f).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The page ids of this file in order.
@@ -180,7 +244,10 @@ mod tests {
 
     #[test]
     fn record_id_packing() {
-        let rid = RecordId { page: 0xABCDEF, slot: 0x1234 };
+        let rid = RecordId {
+            page: 0xABCDEF,
+            slot: 0x1234,
+        };
         assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
     }
 
@@ -240,6 +307,24 @@ mod tests {
     fn oversized_record_panics() {
         let mut h = heap();
         h.insert(&vec![0u8; HeapFile::MAX_RECORD + 1]);
+    }
+
+    #[test]
+    fn oversized_record_is_a_typed_error_and_allocates_nothing() {
+        let mut h = heap();
+        let err = h
+            .try_insert(&vec![0u8; HeapFile::MAX_RECORD + 1])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::RecordTooLarge { len, max }
+                if len == HeapFile::MAX_RECORD + 1 && max == HeapFile::MAX_RECORD
+        ));
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.num_pages(), 0, "rejected record must not allocate a page");
+        // The file still works afterwards.
+        let rid = h.try_insert(b"ok").unwrap();
+        assert_eq!(h.get(rid), b"ok");
     }
 
     #[test]

@@ -22,6 +22,9 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod checksum;
+pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod stats;
@@ -29,7 +32,10 @@ pub mod store;
 
 pub use btree::BTree;
 pub use buffer::BufferPool;
+pub use checksum::{crc32, Crc32Hasher};
+pub use error::{StorageError, StorageResult};
+pub use fault::{FaultConfig, FaultCounters, FaultInjector};
 pub use heap::{HeapFile, RecordId};
-pub use page::{PageId, PAGE_SIZE};
+pub use page::{PageId, PAGE_DATA, PAGE_SIZE};
 pub use stats::{AccessStats, StatsSnapshot};
 pub use store::{FileStore, MemStore, PageStore};

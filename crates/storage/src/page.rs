@@ -4,6 +4,15 @@
 /// (Oracle's default block size in the paper's era).
 pub const PAGE_SIZE: usize = 8192;
 
+/// Bytes reserved at the end of every page for the CRC32 trailer
+/// (see [`crate::checksum`]).
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Usable payload bytes per page: page layouts (heap, B+-tree, spatial
+/// index nodes, catalog) must confine themselves to `[0, PAGE_DATA)`; the
+/// buffer pool owns the trailer.
+pub const PAGE_DATA: usize = PAGE_SIZE - CHECKSUM_LEN;
+
 /// Identifier of a page within a store. Page 0 is valid.
 pub type PageId = u32;
 
@@ -17,7 +26,10 @@ pub type PageBuf = Box<[u8; PAGE_SIZE]>;
 pub fn zeroed_page() -> PageBuf {
     // A boxed array literal would build on the stack first; go through a
     // Vec so the allocation is zeroed directly on the heap.
-    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("PAGE_SIZE slice")
+    vec![0u8; PAGE_SIZE]
+        .into_boxed_slice()
+        .try_into()
+        .expect("PAGE_SIZE slice")
 }
 
 /// Little-endian read/write helpers over a byte slice. All offsets are in

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct AccessStats {
     reads: AtomicU64,
     writes: AtomicU64,
+    retries: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -23,6 +24,11 @@ pub struct StatsSnapshot {
     pub reads: u64,
     /// Dirty pages written back to the store.
     pub writes: u64,
+    /// Re-issued page reads after a retryable failure (transient I/O
+    /// error or checksum mismatch). Not part of [`Self::total`]: the
+    /// paper's disk-access metric counts logical fetches, and a retry is
+    /// the same logical fetch tried again.
+    pub retries: u64,
 }
 
 impl StatsSnapshot {
@@ -36,6 +42,7 @@ impl StatsSnapshot {
         StatsSnapshot {
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
+            retries: self.retries - earlier.retries,
         }
     }
 }
@@ -55,16 +62,23 @@ impl AccessStats {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -78,8 +92,16 @@ mod tests {
         s.record_read();
         s.record_read();
         s.record_write();
-        assert_eq!(s.snapshot(), StatsSnapshot { reads: 2, writes: 1 });
-        assert_eq!(s.snapshot().total(), 3);
+        s.record_retry();
+        assert_eq!(
+            s.snapshot(),
+            StatsSnapshot {
+                reads: 2,
+                writes: 1,
+                retries: 1
+            }
+        );
+        assert_eq!(s.snapshot().total(), 3, "retries are not logical accesses");
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
@@ -91,7 +113,15 @@ mod tests {
         let before = s.snapshot();
         s.record_read();
         s.record_write();
+        s.record_retry();
         let delta = s.snapshot().since(&before);
-        assert_eq!(delta, StatsSnapshot { reads: 1, writes: 1 });
+        assert_eq!(
+            delta,
+            StatsSnapshot {
+                reads: 1,
+                writes: 1,
+                retries: 1
+            }
+        );
     }
 }

@@ -6,25 +6,32 @@ use std::path::Path;
 
 use parking_lot::Mutex;
 
+use crate::error::{StorageError, StorageResult};
 use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
 
 /// A flat array of pages. Implementations must be usable behind a shared
 /// reference (the buffer pool serializes access).
+///
+/// All operations are fallible: implementations report unallocated page
+/// ids as [`StorageError::OutOfBounds`] and surface I/O problems instead
+/// of panicking, so the buffer pool can retry or degrade.
 pub trait PageStore: Send + Sync {
-    /// Read page `id` into `buf`. Panics if the page was never allocated.
-    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]);
+    /// Read page `id` into `buf`.
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()>;
 
-    /// Write `buf` to page `id`. Panics if the page was never allocated.
-    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]);
+    /// Write `buf` to page `id`.
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()>;
 
     /// Allocate a new zeroed page and return its id.
-    fn allocate(&self) -> PageId;
+    fn allocate(&self) -> StorageResult<PageId>;
 
     /// Number of allocated pages.
     fn num_pages(&self) -> u32;
 
     /// Flush any OS-level buffering (no-op for the memory store).
-    fn sync(&self) {}
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
 }
 
 /// An in-memory store. Deterministic and fast; the default for tests and
@@ -42,22 +49,33 @@ impl MemStore {
 }
 
 impl PageStore for MemStore {
-    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
         let pages = self.pages.lock();
-        assert!((id as usize) < pages.len(), "read of unallocated page {id}");
-        buf.copy_from_slice(&pages[id as usize][..]);
+        let page = pages.get(id as usize).ok_or(StorageError::OutOfBounds {
+            page: id,
+            num_pages: pages.len() as u32,
+        })?;
+        buf.copy_from_slice(&page[..]);
+        Ok(())
     }
 
-    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) {
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
         let mut pages = self.pages.lock();
-        assert!((id as usize) < pages.len(), "write of unallocated page {id}");
-        pages[id as usize].copy_from_slice(buf);
+        let n = pages.len() as u32;
+        let page = pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::OutOfBounds {
+                page: id,
+                num_pages: n,
+            })?;
+        page.copy_from_slice(buf);
+        Ok(())
     }
 
-    fn allocate(&self) -> PageId {
+    fn allocate(&self) -> StorageResult<PageId> {
         let mut pages = self.pages.lock();
         pages.push(zeroed_page());
-        (pages.len() - 1) as PageId
+        Ok((pages.len() - 1) as PageId)
     }
 
     fn num_pages(&self) -> u32 {
@@ -80,7 +98,10 @@ impl FileStore {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(FileStore { file: Mutex::new(file), num_pages: Mutex::new(0) })
+        Ok(FileStore {
+            file: Mutex::new(file),
+            num_pages: Mutex::new(0),
+        })
     }
 
     /// Open an existing store file.
@@ -94,41 +115,66 @@ impl FileStore {
             ));
         }
         let num_pages = (len / PAGE_SIZE as u64) as u32;
-        Ok(FileStore { file: Mutex::new(file), num_pages: Mutex::new(num_pages) })
+        Ok(FileStore {
+            file: Mutex::new(file),
+            num_pages: Mutex::new(num_pages),
+        })
+    }
+
+    /// Bounds check shared by reads and writes: seeking past EOF would
+    /// silently read zeros / extend the file, so unallocated ids must be
+    /// rejected before any positioning happens.
+    fn check_bounds(&self, id: PageId) -> StorageResult<()> {
+        let n = *self.num_pages.lock();
+        if id >= n {
+            return Err(StorageError::OutOfBounds {
+                page: id,
+                num_pages: n,
+            });
+        }
+        Ok(())
     }
 }
 
 impl PageStore for FileStore {
-    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) {
-        assert!(id < *self.num_pages.lock(), "read of unallocated page {id}");
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
+        self.check_bounds(id)?;
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64)).expect("seek");
-        file.read_exact(buf).expect("read_page");
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                StorageError::ShortFile { page: id }
+            } else {
+                StorageError::Io(e)
+            }
+        })
     }
 
-    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) {
-        assert!(id < *self.num_pages.lock(), "write of unallocated page {id}");
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
+        self.check_bounds(id)?;
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64)).expect("seek");
-        file.write_all(buf).expect("write_page");
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.write_all(buf)?;
+        Ok(())
     }
 
-    fn allocate(&self) -> PageId {
+    fn allocate(&self) -> StorageResult<PageId> {
         let mut n = self.num_pages.lock();
         let id = *n;
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64)).expect("seek");
-        file.write_all(&zeroed_page()[..]).expect("allocate");
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.write_all(&zeroed_page()[..])?;
         *n += 1;
-        id
+        Ok(id)
     }
 
     fn num_pages(&self) -> u32 {
         *self.num_pages.lock()
     }
 
-    fn sync(&self) {
-        self.file.lock().sync_data().expect("sync");
+    fn sync(&self) -> StorageResult<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
     }
 }
 
@@ -138,23 +184,41 @@ mod tests {
 
     fn exercise(store: &dyn PageStore) {
         assert_eq!(store.num_pages(), 0);
-        let a = store.allocate();
-        let b = store.allocate();
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
         assert_eq!((a, b), (0, 1));
         assert_eq!(store.num_pages(), 2);
 
         let mut buf = zeroed_page();
         buf[0] = 0xAB;
         buf[PAGE_SIZE - 1] = 0xCD;
-        store.write_page(b, &buf);
+        store.write_page(b, &buf).unwrap();
 
         let mut out = zeroed_page();
-        store.read_page(b, &mut out);
+        store.read_page(b, &mut out).unwrap();
         assert_eq!(out[0], 0xAB);
         assert_eq!(out[PAGE_SIZE - 1], 0xCD);
 
-        store.read_page(a, &mut out);
+        store.read_page(a, &mut out).unwrap();
         assert!(out.iter().all(|&x| x == 0), "fresh page must be zeroed");
+
+        // Out-of-bounds access in both directions is a typed error, not
+        // a panic and not a silent file extension.
+        assert!(matches!(
+            store.read_page(2, &mut out),
+            Err(StorageError::OutOfBounds {
+                page: 2,
+                num_pages: 2
+            })
+        ));
+        assert!(matches!(
+            store.write_page(7, &buf),
+            Err(StorageError::OutOfBounds {
+                page: 7,
+                num_pages: 2
+            })
+        ));
+        assert_eq!(store.num_pages(), 2, "failed write must not allocate");
     }
 
     #[test]
@@ -167,13 +231,13 @@ mod tests {
         let path = std::env::temp_dir().join(format!("dm_store_{}.db", std::process::id()));
         let store = FileStore::create(&path).unwrap();
         exercise(&store);
-        store.sync();
+        store.sync().unwrap();
         drop(store);
         // Reopen and verify persistence.
         let store = FileStore::open(&path).unwrap();
         assert_eq!(store.num_pages(), 2);
         let mut out = zeroed_page();
-        store.read_page(1, &mut out);
+        store.read_page(1, &mut out).unwrap();
         assert_eq!(out[0], 0xAB);
         std::fs::remove_file(&path).ok();
     }
@@ -187,10 +251,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
-    fn mem_store_read_unallocated_panics() {
+    fn file_store_write_out_of_bounds_does_not_extend_file() {
+        let path = std::env::temp_dir().join(format!("dm_oob_{}.db", std::process::id()));
+        let store = FileStore::create(&path).unwrap();
+        store.allocate().unwrap();
+        let buf = zeroed_page();
+        assert!(store.write_page(100, &buf).is_err());
+        store.sync().unwrap();
+        drop(store);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            PAGE_SIZE as u64,
+            "rejected write must leave the file untouched"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_store_read_unallocated_is_an_error() {
         let store = MemStore::new();
         let mut buf = zeroed_page();
-        store.read_page(3, &mut buf);
+        let err = store.read_page(3, &mut buf).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::OutOfBounds {
+                page: 3,
+                num_pages: 0
+            }
+        ));
     }
 }

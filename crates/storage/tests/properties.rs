@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use dm_storage::checksum::{seal_page, verify_page};
+use dm_storage::page::{zeroed_page, PAGE_DATA, PAGE_SIZE};
 use dm_storage::{BTree, BufferPool, HeapFile, MemStore};
 use proptest::prelude::*;
 
@@ -71,6 +73,22 @@ proptest! {
         for (i, &page) in pages.iter().enumerate() {
             prop_assert_eq!(p.read(page, |b| b[7]), model[i]);
         }
+    }
+
+    #[test]
+    fn any_single_bit_flip_of_a_sealed_page_is_detected(
+        data in proptest::collection::vec(any::<u8>(), PAGE_DATA..PAGE_DATA + 1),
+        pos in 0usize..PAGE_SIZE * 8,
+    ) {
+        // Arbitrary page contents (including all-zero data: the sealed
+        // trailer is then nonzero, so the fresh-page exemption cannot
+        // mask the flip), arbitrary bit anywhere in the page — data or
+        // checksum trailer alike.
+        let mut page = zeroed_page();
+        page[..PAGE_DATA].copy_from_slice(&data);
+        seal_page(&mut page);
+        page[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(verify_page(3, &page).is_err(), "flip at bit {pos} undetected");
     }
 
     #[test]

@@ -37,13 +37,7 @@ pub fn aspect(hf: &Heightfield, col: usize, row: usize) -> Option<f64> {
 /// Lambertian hillshade in `[0, 1]` for a light direction given by
 /// `azimuth` (radians CCW from +x) and `altitude` (radians above the
 /// horizon) — the classic cartographic relief shading.
-pub fn hillshade(
-    hf: &Heightfield,
-    col: usize,
-    row: usize,
-    azimuth: f64,
-    altitude: f64,
-) -> f64 {
+pub fn hillshade(hf: &Heightfield, col: usize, row: usize, azimuth: f64, altitude: f64) -> f64 {
     let (dx, dy) = gradient(hf, col, row);
     // Surface normal (unnormalized): (-dx, -dy, 1).
     let nx = -dx;

@@ -23,7 +23,10 @@ use dm_geom::Vec2;
 /// `roughness` in `(0, 1]` controls how fast the perturbation amplitude
 /// decays per subdivision level; larger values give craggier terrain.
 pub fn diamond_square(n: u32, seed: u64, roughness: f64) -> Heightfield {
-    assert!((1..=13).contains(&n), "diamond_square size exponent out of range");
+    assert!(
+        (1..=13).contains(&n),
+        "diamond_square size exponent out of range"
+    );
     assert!(roughness > 0.0 && roughness <= 1.0);
     let size = (1usize << n) + 1;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -18,10 +18,19 @@ pub struct Heightfield {
 impl Heightfield {
     /// Create from raw samples (row-major, `width * height` values).
     pub fn from_data(width: usize, height: usize, cell: f64, origin: Vec2, data: Vec<f64>) -> Self {
-        assert!(width >= 2 && height >= 2, "heightfield must be at least 2×2");
+        assert!(
+            width >= 2 && height >= 2,
+            "heightfield must be at least 2×2"
+        );
         assert_eq!(data.len(), width * height, "sample count mismatch");
         assert!(cell > 0.0, "cell size must be positive");
-        Heightfield { width, height, cell, origin, data }
+        Heightfield {
+            width,
+            height,
+            cell,
+            origin,
+            data,
+        }
     }
 
     /// A flat heightfield of constant elevation.

@@ -50,7 +50,10 @@ pub fn read_esri_ascii(reader: impl Read) -> io::Result<Heightfield> {
         }
     }
     let need = |k: &str| -> io::Result<f64> {
-        header.get(k).copied().ok_or_else(|| bad_data(format!("missing header key {k}")))
+        header
+            .get(k)
+            .copied()
+            .ok_or_else(|| bad_data(format!("missing header key {k}")))
     };
     let ncols = need("ncols")? as usize;
     let nrows = need("nrows")? as usize;
@@ -65,8 +68,9 @@ pub fn read_esri_ascii(reader: impl Read) -> io::Result<Heightfield> {
     let mut values: Vec<f64> = Vec::with_capacity(ncols * nrows);
     let mut push_line = |line: &str| -> io::Result<()> {
         for tok in line.split_whitespace() {
-            let v: f64 =
-                tok.parse().map_err(|e| bad_data(format!("bad sample {tok:?}: {e}")))?;
+            let v: f64 = tok
+                .parse()
+                .map_err(|e| bad_data(format!("bad sample {tok:?}: {e}")))?;
             values.push(v);
         }
         Ok(())
@@ -91,7 +95,11 @@ pub fn read_esri_ascii(reader: impl Read) -> io::Result<Heightfield> {
             .copied()
             .filter(|&v| v != nd)
             .fold(f64::INFINITY, f64::min);
-        let fill = if min_valid.is_finite() { min_valid } else { 0.0 };
+        let fill = if min_valid.is_finite() {
+            min_valid
+        } else {
+            0.0
+        };
         for v in &mut values {
             if *v == nd {
                 *v = fill;
@@ -104,7 +112,13 @@ pub fn read_esri_ascii(reader: impl Read) -> io::Result<Heightfield> {
         let row = nrows - 1 - file_row;
         data[row * ncols..(row + 1) * ncols].copy_from_slice(chunk);
     }
-    Ok(Heightfield::from_data(ncols, nrows, cell, Vec2::new(x0, y0), data))
+    Ok(Heightfield::from_data(
+        ncols,
+        nrows,
+        cell,
+        Vec2::new(x0, y0),
+        data,
+    ))
 }
 
 /// Write an ESRI ASCII grid.
@@ -162,7 +176,9 @@ pub fn read_dmh(mut reader: impl Read) -> io::Result<Heightfield> {
     reader.read_exact(&mut u32buf)?;
     let height = u32::from_le_bytes(u32buf) as usize;
     if width < 2 || height < 2 || width.saturating_mul(height) > (1 << 30) {
-        return Err(bad_data(format!("implausible DMH dimensions {width}×{height}")));
+        return Err(bad_data(format!(
+            "implausible DMH dimensions {width}×{height}"
+        )));
     }
     reader.read_exact(&mut f64buf)?;
     let cell = f64::from_le_bytes(f64buf);
@@ -175,7 +191,13 @@ pub fn read_dmh(mut reader: impl Read) -> io::Result<Heightfield> {
         reader.read_exact(&mut f64buf)?;
         data.push(f64::from_le_bytes(f64buf));
     }
-    Ok(Heightfield::from_data(width, height, cell, Vec2::new(x0, y0), data))
+    Ok(Heightfield::from_data(
+        width,
+        height,
+        cell,
+        Vec2::new(x0, y0),
+        data,
+    ))
 }
 
 fn bad_data(msg: String) -> io::Error {

@@ -122,7 +122,10 @@ impl TriMesh {
     }
 
     pub fn add_triangle(&mut self, t: [u32; 3]) -> u32 {
-        assert!(t[0] != t[1] && t[1] != t[2] && t[0] != t[2], "degenerate triangle {t:?}");
+        assert!(
+            t[0] != t[1] && t[1] != t[2] && t[0] != t[2],
+            "degenerate triangle {t:?}"
+        );
         for &v in &t {
             assert!(self.is_vertex_alive(v), "dead vertex {v} in triangle");
         }
@@ -216,7 +219,10 @@ impl TriMesh {
     /// Vertices adjacent to both `u` and `v`.
     pub fn common_neighbors(&self, u: u32, v: u32) -> Vec<u32> {
         let nv = self.neighbors(v);
-        self.neighbors(u).into_iter().filter(|n| nv.contains(n)).collect()
+        self.neighbors(u)
+            .into_iter()
+            .filter(|n| nv.contains(n))
+            .collect()
     }
 
     /// A vertex is on the boundary when one of its edges borders only one
@@ -300,7 +306,11 @@ impl TriMesh {
                         self.position(x)
                     }
                 };
-                let after = orient2d(pos_of(tri[0]).xy(), pos_of(tri[1]).xy(), pos_of(tri[2]).xy());
+                let after = orient2d(
+                    pos_of(tri[0]).xy(),
+                    pos_of(tri[1]).xy(),
+                    pos_of(tri[2]).xy(),
+                );
                 if after.signum() != before.signum() || after.abs() < 1e-12 {
                     return Err(CollapseError::Foldover);
                 }
@@ -325,7 +335,12 @@ impl TriMesh {
         self.kill_vertex(u);
         self.kill_vertex(v);
 
-        Ok(CollapseResult { new_vertex: w, wings, removed_tris: shared, retargeted_tris: retargeted })
+        Ok(CollapseResult {
+            new_vertex: w,
+            wings,
+            removed_tris: shared,
+            retargeted_tris: retargeted,
+        })
     }
 
     fn kill_triangle(&mut self, t: u32) {
@@ -397,7 +412,9 @@ impl TriMesh {
                 self.position(tri[2]).xy(),
             );
             if area <= 0.0 {
-                return Err(format!("triangle {t} is not CCW in plan view (2·area = {area})"));
+                return Err(format!(
+                    "triangle {t} is not CCW in plan view (2·area = {area})"
+                ));
             }
             for i in 0..3 {
                 let a = tri[i];
@@ -414,11 +431,17 @@ impl TriMesh {
             }
         }
         if live_t != self.live_tris {
-            return Err(format!("live_tris counter {} != actual {live_t}", self.live_tris));
+            return Err(format!(
+                "live_tris counter {} != actual {live_t}",
+                self.live_tris
+            ));
         }
         let live_v = self.vert_alive.iter().filter(|&&a| a).count();
         if live_v != self.live_verts {
-            return Err(format!("live_verts counter {} != actual {live_v}", self.live_verts));
+            return Err(format!(
+                "live_verts counter {} != actual {live_v}",
+                self.live_verts
+            ));
         }
         for v in 0..self.positions.len() as u32 {
             for &t in &self.vert_tris[v as usize] {
@@ -458,7 +481,11 @@ mod tests {
         // Vertex (2,2) = id 12; a grid interior vertex touches 6 triangles
         // and has 6 neighbours when both diagonals alternate around it.
         let n = m.neighbors(12);
-        assert!(n.len() >= 4 && n.len() <= 8, "valence {} out of range", n.len());
+        assert!(
+            n.len() >= 4 && n.len() <= 8,
+            "valence {} out of range",
+            n.len()
+        );
         assert!(n.contains(&11) && n.contains(&13) && n.contains(&7) && n.contains(&17));
     }
 
@@ -483,7 +510,9 @@ mod tests {
     fn wings_are_common_neighbors() {
         let mut m = grid(5);
         let commons = m.common_neighbors(12, 13);
-        let res = m.collapse_edge(12, 13, (m.position(12) + m.position(13)) / 2.0).unwrap();
+        let res = m
+            .collapse_edge(12, 13, (m.position(12) + m.position(13)) / 2.0)
+            .unwrap();
         let mut w = res.wings.clone();
         let mut c = commons;
         w.sort();
@@ -498,9 +527,18 @@ mod tests {
     #[test]
     fn collapse_rejects_non_edges_and_dead() {
         let mut m = grid(4);
-        assert_eq!(m.collapse_edge(0, 15, Vec3::ZERO).unwrap_err(), CollapseError::NotAnEdge);
-        assert_eq!(m.collapse_edge(3, 3, Vec3::ZERO).unwrap_err(), CollapseError::BadVertices);
-        assert_eq!(m.collapse_edge(0, 999, Vec3::ZERO).unwrap_err(), CollapseError::BadVertices);
+        assert_eq!(
+            m.collapse_edge(0, 15, Vec3::ZERO).unwrap_err(),
+            CollapseError::NotAnEdge
+        );
+        assert_eq!(
+            m.collapse_edge(3, 3, Vec3::ZERO).unwrap_err(),
+            CollapseError::BadVertices
+        );
+        assert_eq!(
+            m.collapse_edge(0, 999, Vec3::ZERO).unwrap_err(),
+            CollapseError::BadVertices
+        );
     }
 
     #[test]
@@ -576,7 +614,8 @@ mod tests {
             }
         }
         assert!(collapses > 20, "only {collapses} collapses on a 9×9 grid");
-        m.validate().expect("mesh valid after exhaustive collapsing");
+        m.validate()
+            .expect("mesh valid after exhaustive collapsing");
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub fn mesh_error(mesh: &TriMesh, hf: &Heightfield, step: usize) -> ErrorStats {
     let cell = hf.cell() * 4.0; // bucket size: a few heightfield cells
     let inv = 1.0 / cell;
     let bucket_of = |p: Vec2| -> (i64, i64) {
-        (((p.x - bounds.min.x) * inv).floor() as i64, ((p.y - bounds.min.y) * inv).floor() as i64)
+        (
+            ((p.x - bounds.min.x) * inv).floor() as i64,
+            ((p.y - bounds.min.y) * inv).floor() as i64,
+        )
     };
 
     // Bucket triangles by the cells their bounding box covers.
@@ -84,7 +87,11 @@ pub fn mesh_error(mesh: &TriMesh, hf: &Heightfield, step: usize) -> ErrorStats {
     }
     let covered = samples - uncovered;
     ErrorStats {
-        rmse: if covered > 0 { (sum_sq / covered as f64).sqrt() } else { 0.0 },
+        rmse: if covered > 0 {
+            (sum_sq / covered as f64).sqrt()
+        } else {
+            0.0
+        },
         max,
         uncovered,
         samples,
@@ -173,6 +180,10 @@ mod tests {
         }
         assert!(collapsed > 5);
         let e = mesh_error(&mesh, &hf, 1);
-        assert!(e.rmse < 1e-9, "planar surface must stay exact, rmse = {}", e.rmse);
+        assert!(
+            e.rmse < 1e-9,
+            "planar surface must stay exact, rmse = {}",
+            e.rmse
+        );
     }
 }

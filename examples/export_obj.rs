@@ -13,7 +13,9 @@ use dm_storage::{BufferPool, MemStore};
 use dm_terrain::{generate, obj, TriMesh};
 
 fn main() -> std::io::Result<()> {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "target/obj".to_string());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/obj".to_string());
     std::fs::create_dir_all(&out_dir)?;
 
     let hf = generate::crater_terrain(129, 129, 5);

@@ -27,7 +27,10 @@ fn main() {
     let pm = build_pm(mesh, &PmBuildConfig::default());
     let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 4096));
     let db = DirectMeshDb::build(pool, &pm, &DmBuildOptions::default());
-    println!("crater terrain loaded: {} records, e_max {:.2}\n", db.n_records, db.e_max);
+    println!(
+        "crater terrain loaded: {} records, e_max {:.2}\n",
+        db.n_records, db.e_max
+    );
 
     // The viewer flies south→north; every frame views a window ahead of
     // it with LOD degrading over distance.

@@ -16,7 +16,12 @@ use dm_terrain::{generate, TriMesh};
 fn main() {
     // 1. Terrain: a 129×129 fractal heightfield (~16.6k points).
     let hf = generate::fractal_terrain(129, 129, 7);
-    println!("terrain: {}×{} samples, z ∈ {:?}", hf.width(), hf.height(), hf.z_range());
+    println!(
+        "terrain: {}×{} samples, z ∈ {:?}",
+        hf.width(),
+        hf.height(),
+        hf.z_range()
+    );
 
     // 2. Multiresolution hierarchy: QEM edge collapses down to a handful
     //    of root vertices, every collapse recorded as a PM node.
@@ -34,7 +39,11 @@ fn main() {
     //    every node carrying its LOD interval and connection list.
     let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 4096));
     let db = DirectMeshDb::build(pool, &pm, &DmBuildOptions::default());
-    println!("database: {} records over {} pages", db.n_records, db.pool().num_pages());
+    println!(
+        "database: {} records over {} pages",
+        db.n_records,
+        db.pool().num_pages()
+    );
 
     // 4. A viewpoint-independent query: centre 10% of the terrain at a
     //    mid LOD — one range query, topology from the connection lists.
@@ -53,6 +62,7 @@ fn main() {
 
     // 5. The result is a real mesh: validate and show a corner of it.
     let (mesh, ids) = res.front.to_trimesh();
-    mesh.validate().expect("reconstructed mesh is a valid triangulation");
+    mesh.validate()
+        .expect("reconstructed mesh is a valid triangulation");
     println!("mesh valid; first vertices: {:?}", &ids[..ids.len().min(5)]);
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, release build, tests.
+# Run from anywhere; operates on the repository this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "ci: all green"

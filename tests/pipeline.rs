@@ -29,7 +29,14 @@ fn world(side: usize, seed: u64) -> World {
     let dm = DirectMeshDb::build(mk(), &pm_build, &DmBuildOptions::default());
     let pm = PmDb::build(mk(), &pm_build);
     let hdov = HdovDb::build(mk(), &pm_build, &hf);
-    World { hf, original, pm_build, dm, pm, hdov }
+    World {
+        hf,
+        original,
+        pm_build,
+        dm,
+        pm,
+        hdov,
+    }
 }
 
 #[test]
@@ -42,7 +49,11 @@ fn all_systems_agree_on_uniform_cuts() {
         let dm = w.dm.vi_query(&w.dm.bounds, e);
         let pm = w.pm.vi_query(&w.pm.bounds, e);
         assert_eq!(dm.points, replay.num_live_vertices(), "DM at {frac}");
-        assert_eq!(pm.front.num_vertices(), replay.num_live_vertices(), "PM at {frac}");
+        assert_eq!(
+            pm.front.num_vertices(),
+            replay.num_live_vertices(),
+            "PM at {frac}"
+        );
         assert_eq!(
             dm.front.num_triangles(),
             pm.front.num_triangles(),
@@ -97,7 +108,8 @@ fn vd_pipeline_produces_valid_gradient_meshes() {
     let pm = w.pm.vd_query(&roi, &q.target);
     for (name, front) in [("SB", &sb.front), ("MB", &mb.front), ("PM", &pm.front)] {
         let (mesh, _) = front.to_trimesh();
-        mesh.validate().unwrap_or_else(|e| panic!("{name} mesh invalid: {e}"));
+        mesh.validate()
+            .unwrap_or_else(|e| panic!("{name} mesh invalid: {e}"));
         // Denser near the viewer.
         let mid = roi.center().y;
         let near = front
@@ -117,8 +129,7 @@ fn vd_pipeline_produces_valid_gradient_meshes() {
     let h = &w.pm_build.hierarchy;
     let pm_ids: Vec<u32> = pm.front.vertex_ids().collect();
     for v in sb.front.vertex_ids() {
-        let ok = pm.front.contains(v)
-            || pm_ids.iter().any(|&p| h.related(p, v));
+        let ok = pm.front.contains(v) || pm_ids.iter().any(|&p| h.related(p, v));
         assert!(ok, "SB vertex {v} has no relative in the PM front");
     }
     assert!(
@@ -134,11 +145,17 @@ fn hdov_covers_the_roi_with_tiles() {
     // The finest approximation is the cut at LOD 0 (zero-error collapses
     // make it slightly smaller than the raw point count).
     let full_cut = w.pm_build.hierarchy.uniform_cut(0.0).len();
-    assert_eq!(res.points, full_cut, "full-res query returns the whole LOD-0 cut");
+    assert_eq!(
+        res.points, full_cut,
+        "full-res query returns the whole LOD-0 cut"
+    );
     let sub = Rect::new(w.hdov.bounds.min, w.hdov.bounds.center());
     let part = w.hdov.vi_query(&sub, 0.0);
     assert!(part.points < res.points);
-    assert!(part.points >= full_cut / 5, "quarter ROI needs roughly a quarter of points");
+    assert!(
+        part.points >= full_cut / 5,
+        "quarter ROI needs roughly a quarter of points"
+    );
 }
 
 #[test]
@@ -165,5 +182,8 @@ fn disk_access_accounting_is_deterministic() {
             w.dm.disk_accesses()
         })
         .collect();
-    assert!(runs.windows(2).all(|w| w[0] == w[1]), "cold-start runs must repeat: {runs:?}");
+    assert!(
+        runs.windows(2).all(|w| w[0] == w[1]),
+        "cold-start runs must repeat: {runs:?}"
+    );
 }

@@ -65,7 +65,10 @@ fn vi_triangles_never_leave_the_roi_or_violate_lod() {
         for id in res.front.vertex_ids() {
             let n = res.front.node(id).unwrap();
             assert!(roi.contains(n.pos.xy()));
-            assert!(n.interval().contains(e), "vertex {id} not part of the LOD-{e} cut");
+            assert!(
+                n.interval().contains(e),
+                "vertex {id} not part of the LOD-{e} cut"
+            );
         }
         let (mesh, _) = res.front.to_trimesh();
         mesh.validate().expect("VI mesh structurally valid");
@@ -92,7 +95,10 @@ fn single_base_satisfies_plane_targets_for_random_queries() {
             },
         };
         let res = db.vd_single_base(&q, BoundaryPolicy::Skip);
-        assert_eq!(res.refine.blocked, 0, "trial {trial}: full-ROI query must not block");
+        assert_eq!(
+            res.refine.blocked, 0,
+            "trial {trial}: full-ROI query must not block"
+        );
         for id in res.front.vertex_ids() {
             let n = res.front.node(id).unwrap();
             assert!(

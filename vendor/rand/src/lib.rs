@@ -1,0 +1,220 @@
+//! Offline shim for `rand` 0.9: the subset this workspace uses —
+//! `StdRng::seed_from_u64` plus `Rng::random_range` over primitive ranges.
+//! The build container has no access to crates.io, so the workspace
+//! vendors the few external crates it needs (see `vendor/README.md`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), which is explicitly allowed:
+//! upstream documents `StdRng` streams as non-portable across versions.
+//! Everything in this workspace treats seeded randomness as "arbitrary
+//! but reproducible", never as a golden sequence.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Value generation (subset of `rand::Rng`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range (panics if the range is empty).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+        Self: Sized,
+    {
+        let r = range.into();
+        T::sample(self, &r)
+    }
+
+    /// Uniform sample of the full domain (`bool`, floats in `[0, 1)`).
+    fn random<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_full(self)
+    }
+}
+
+/// A closed-open or closed-closed range normalized for sampling.
+pub struct UniformRange<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: Copy> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        UniformRange {
+            lo: r.start,
+            hi: r.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        UniformRange {
+            lo: *r.start(),
+            hi: *r.end(),
+            inclusive: true,
+        }
+    }
+}
+
+/// Types samplable from a [`UniformRange`].
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample<R: Rng>(rng: &mut R, range: &UniformRange<Self>) -> Self;
+    fn sample_full<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng>(rng: &mut R, range: &UniformRange<Self>) -> Self {
+                let lo = range.lo as i128;
+                let hi = range.hi as i128;
+                let span = if range.inclusive { hi - lo + 1 } else { hi - lo };
+                assert!(span > 0, "cannot sample empty range {lo}..{hi}");
+                // Rejection-free Lemire-style reduction is overkill here;
+                // 64 fresh bits modulo the span is fine for test workloads
+                // (u64 → i128 zero-extends, so the remainder is in [0, span)).
+                (lo + rng.next_u64() as i128 % span) as $t
+            }
+
+            fn sample_full<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng>(rng: &mut R, range: &UniformRange<Self>) -> Self {
+                assert!(range.lo < range.hi || (range.inclusive && range.lo == range.hi),
+                    "cannot sample empty float range");
+                let unit = <$t>::sample_full(rng);
+                range.lo + unit * (range.hi - range.lo)
+            }
+
+            fn sample_full<R: Rng>(rng: &mut R) -> Self {
+                // 53 (resp. 24) high bits → uniform in [0, 1).
+                (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+impl SampleUniform for bool {
+    fn sample<R: Rng>(rng: &mut R, _range: &UniformRange<Self>) -> Self {
+        Self::sample_full(rng)
+    }
+
+    fn sample_full<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// SplitMix64: seeds the main generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::*;
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n: usize = r.random_range(1..16);
+            assert!((1..16).contains(&n));
+            let m: u64 = r.random_range(5..=5);
+            assert_eq!(m, 5);
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+}
