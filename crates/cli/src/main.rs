@@ -67,6 +67,13 @@ commands:
   query <db.dmdb> [--keep <frac> | --lod <e>] [--roi x0,y0,x1,y1] [-o mesh.obj]
   vd <db.dmdb> [--near-keep <frac>] [--far-keep <frac>] [--roi ...] [-o mesh.obj]
 
+parallel execution (query / vd):
+  --threads <n>         worker threads (default 1; 0 = all hardware
+                        threads); results are identical to sequential
+  --batch <n>           query only: split the ROI into an n×n grid of
+                        sub-queries and fan them across the workers,
+                        printing aggregate figures
+
 fault tolerance (query / vd / info):
   --degraded            open the database and complete queries past
                         unreadable data pages, printing an integrity
@@ -233,6 +240,20 @@ fn parse_roi(args: &Args, db: &DirectMeshDb) -> Result<Rect, String> {
     }
 }
 
+/// Split `roi` into an `n × n` grid of sub-rectangles, row-major.
+fn roi_grid(roi: &Rect, n: usize) -> Vec<Rect> {
+    let n = n.max(1);
+    let (w, h) = (roi.width() / n as f64, roi.height() / n as f64);
+    let mut cells = Vec::with_capacity(n * n);
+    for j in 0..n {
+        for i in 0..n {
+            let min = Vec2::new(roi.min.x + i as f64 * w, roi.min.y + j as f64 * h);
+            cells.push(Rect::from_corners(min, Vec2::new(min.x + w, min.y + h)));
+        }
+    }
+    cells
+}
+
 fn cmd_query(args: Args) -> Result<(), String> {
     let path = args.positional(0)?;
     let db = open_db(path, &args)?;
@@ -244,7 +265,35 @@ fn cmd_query(args: Args) -> Result<(), String> {
             db.e_for_points_fraction(keep)
         }
     };
+    let threads: usize = args.parse_or("threads", 1)?;
+    let batch: usize = args.parse_or("batch", 0)?;
     db.try_cold_start().map_err(|e| e.to_string())?;
+    if batch > 1 {
+        let queries: Vec<(Rect, f64)> = roi_grid(&roi, batch).into_iter().map(|r| (r, e)).collect();
+        let mut merged = IntegrityReport::default();
+        let (mut points, mut triangles, mut fetched) = (0usize, 0usize, 0usize);
+        for r in dm_core::vi_query_batch(&db, &queries, threads) {
+            let (res, report) = r.map_err(|e| e.to_string())?;
+            merged.merge(report);
+            points += res.points;
+            triangles += res.front.num_triangles();
+            fetched += res.fetched_records;
+        }
+        if args.has("degraded") {
+            print_report(&merged);
+        } else if !merged.is_clean() {
+            return Err(format!(
+                "batch lost data ({merged}); rerun with --degraded to accept partial results"
+            ));
+        }
+        println!(
+            "batch {batch}×{batch} at LOD {e:.4} on {} threads: {points} points, \
+             {triangles} triangles, {fetched} records fetched, {} disk accesses",
+            dm_core::parallel::resolve_threads(threads),
+            db.disk_accesses()
+        );
+        return Ok(());
+    }
     let res = if args.has("degraded") {
         let (res, report) = db.try_vi_query(&roi, e).map_err(|e| e.to_string())?;
         print_report(&report);
@@ -288,15 +337,29 @@ fn cmd_vd(args: Args) -> Result<(), String> {
             e_max: e_far,
         },
     };
+    let threads: usize = args.parse_or("threads", 1)?;
     db.try_cold_start().map_err(|e| e.to_string())?;
+    // One thread → the sequential algorithm; more → per-strip fetches in
+    // parallel with a deterministic stitch (identical results).
+    let run_query = || {
+        if threads == 1 {
+            db.try_vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16)
+        } else {
+            dm_core::parallel::vd_multi_base_parallel(
+                &db,
+                &q,
+                BoundaryPolicy::FetchOnMiss,
+                16,
+                threads,
+            )
+        }
+    };
     let res = if args.has("degraded") {
-        let (res, report) = db
-            .try_vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16)
-            .map_err(|e| e.to_string())?;
+        let (res, report) = run_query().map_err(|e| e.to_string())?;
         print_report(&report);
         res
     } else {
-        db.try_vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16)
+        run_query()
             .map_err(|e| e.to_string())
             .and_then(|(res, report)| {
                 if report.is_clean() {

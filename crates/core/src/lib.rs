@@ -52,12 +52,14 @@
 pub mod catalog;
 pub mod faces;
 pub mod navigation;
+pub mod parallel;
 pub mod query;
 pub mod record;
 pub mod stats;
 pub mod store;
 
 pub use navigation::{FrameStats, NavigationSession};
+pub use parallel::{vd_query_batch, vi_query_batch};
 pub use query::{BoundaryPolicy, ElevationStats, VdQuery, VdResult, ViResult};
 pub use record::DmRecord;
 pub use store::{DirectMeshDb, DmBuildOptions, IntegrityReport};

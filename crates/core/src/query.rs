@@ -305,17 +305,20 @@ impl DirectMeshDb {
     }
 
     /// Run the refinement and fold its boundary-fetch failures and retry
-    /// spend into `report`.
-    fn refine_accounted(
+    /// spend into `report`. Crate-visible so the parallel multi-base path
+    /// ([`crate::parallel`]) can share the stitch-then-refine tail.
+    pub(crate) fn refine_accounted(
         &self,
         front: &mut FrontMesh,
         source: &mut DbSource<'_>,
         q: &VdQuery,
         report: &mut IntegrityReport,
     ) -> RefineStats {
-        let retries_before = self.pool().stats().retries;
+        // Thread-attributed delta: the pool counter is shared, so under
+        // concurrent workers it would tally other threads' retries too.
+        let retries_before = dm_storage::thread_retries();
         let stats = refine(front, source, &q.target);
-        report.retries += self.pool().stats().retries.saturating_sub(retries_before);
+        report.retries += dm_storage::thread_retries() - retries_before;
         // A failed point lookup loses at most that one point.
         report.points_lost += source.fetch_errors as u64;
         if let Some(e) = &source.first_error {
@@ -468,7 +471,7 @@ impl DirectMeshDb {
 /// coarser than the cube top — making the record a top-plane cut member —
 /// or positioned outside the ROI). Topology comes from the connection
 /// lists wherever the seeds' LOD intervals overlap.
-fn assemble_topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMesh {
+pub(crate) fn assemble_topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMesh {
     let in_roi: HashMap<u32, DmRecord> = recs
         .into_iter()
         .filter(|r| roi.contains(r.node.pos.xy()))

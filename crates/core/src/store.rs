@@ -49,6 +49,22 @@ impl IntegrityReport {
             self.errors.push(err.to_string());
         }
     }
+
+    /// Fold another report into this one: counters add, error samples
+    /// append up to [`Self::MAX_ERRORS`]. Parallel query paths give each
+    /// worker its own report and merge them in a deterministic (input)
+    /// order afterwards.
+    pub fn merge(&mut self, other: IntegrityReport) {
+        self.pages_lost += other.pages_lost;
+        self.points_lost += other.points_lost;
+        self.retries += other.retries;
+        for e in other.errors {
+            if self.errors.len() >= Self::MAX_ERRORS {
+                break;
+            }
+            self.errors.push(e);
+        }
+    }
 }
 
 impl std::fmt::Display for IntegrityReport {
@@ -329,7 +345,9 @@ impl DirectMeshDb {
         strict: bool,
         report: &mut IntegrityReport,
     ) -> StorageResult<Self> {
-        let retries_before = pool.stats().retries;
+        // Thread-local tally: under concurrency, a delta of the pool's
+        // shared counter would absorb other threads' retries.
+        let retries_before = dm_storage::thread_retries();
         let cat = crate::catalog::read_catalog(&pool, 0)?;
         let heap = HeapFile::from_parts(Arc::clone(&pool), cat.heap_pages, cat.heap_len);
         let btree = BTree::from_parts(Arc::clone(&pool), cat.btree.0, cat.btree.2, cat.btree.1);
@@ -373,7 +391,7 @@ impl DirectMeshDb {
                 report.record_loss(est_points, &e);
             }
         }
-        report.retries += pool.stats().retries.saturating_sub(retries_before);
+        report.retries += dm_storage::thread_retries() - retries_before;
         let mut stat_regions: Vec<Box3> = page_boxes.into_values().collect();
         stat_regions.extend(rtree.collect_node_regions());
         let cost = RtreeCostModel::new(&stat_regions, space);
@@ -467,7 +485,9 @@ impl DirectMeshDb {
         strict: bool,
         report: &mut IntegrityReport,
     ) -> StorageResult<Vec<DmRecord>> {
-        let retries_before = self.pool.stats().retries;
+        // Attribute only this thread's retries to this operation (the
+        // pool counter is shared across concurrent workers).
+        let retries_before = dm_storage::thread_retries();
         let mut pages: Vec<u64> = Vec::new();
         self.rtree.try_query(q, |_, page| pages.push(page))?;
         pages.sort_unstable();
@@ -493,7 +513,7 @@ impl DirectMeshDb {
                 });
             if let Err(e) = r {
                 if strict {
-                    report.retries += self.pool.stats().retries.saturating_sub(retries_before);
+                    report.retries += dm_storage::thread_retries() - retries_before;
                     return Err(e);
                 }
                 // Drop anything half-read from the failing page; trust
@@ -502,7 +522,7 @@ impl DirectMeshDb {
                 report.record_loss(est_points, &e);
             }
         }
-        report.retries += self.pool.stats().retries.saturating_sub(retries_before);
+        report.retries += dm_storage::thread_retries() - retries_before;
         Ok(out)
     }
 

@@ -924,6 +924,20 @@ mod tests {
         FrontMesh::from_parts(records, &h.root_mesh)
     }
 
+    #[test]
+    fn refinement_types_are_shareable_across_threads() {
+        // The parallel query paths in dm-core move fronts and targets
+        // into worker threads and share node data by reference; these
+        // bounds are load-bearing, not incidental.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmNode>();
+        assert_send_sync::<FrontMesh>();
+        assert_send_sync::<RefineStats>();
+        assert_send_sync::<PlaneTarget>();
+        assert_send_sync::<UniformTarget>();
+        assert_send_sync::<PmHierarchy>();
+    }
+
     fn edge_set(tris: impl Iterator<Item = [u32; 3]>) -> std::collections::HashSet<(u32, u32)> {
         let mut s = std::collections::HashSet::new();
         for t in tris {

@@ -1,5 +1,5 @@
-//! Buffer pool with LRU eviction, access counting, page checksums and
-//! bounded retry.
+//! Sharded buffer pool with per-shard LRU eviction, access counting,
+//! page checksums and bounded retry.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -16,6 +16,12 @@ use crate::store::PageStore;
 /// error propagates.
 pub const DEFAULT_MAX_RETRIES: u32 = 4;
 
+/// Default number of lock-striped segments. 16 keeps contention low for
+/// a handful of query workers (the expected 2–8) while per-shard LRU
+/// state stays large enough that striping does not distort eviction for
+/// any pool of a few hundred frames or more.
+pub const DEFAULT_SHARDS: usize = 16;
+
 struct Frame {
     buf: PageBuf,
     dirty: bool,
@@ -31,6 +37,25 @@ struct Inner {
     capacity: usize,
 }
 
+impl Inner {
+    fn with_capacity(capacity: usize) -> Self {
+        Inner {
+            cache: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_tick: 0,
+            capacity,
+        }
+    }
+}
+
+/// One lock stripe: its own mutex-protected LRU cache plus a mirror of
+/// the access counters, so concurrent readers of disjoint pages never
+/// touch the same lock and per-shard traffic stays observable.
+struct Shard {
+    inner: Mutex<Inner>,
+    stats: AccessStats,
+}
+
 /// A buffer pool over a [`PageStore`].
 ///
 /// * `try_read`/`try_write` run a closure against the cached page,
@@ -44,28 +69,55 @@ struct Inner {
 ///   and empties the cache — this is the paper's "the database and system
 ///   buffer is flushed before each test".
 ///
-/// The pool serializes all access through one mutex. The workloads in this
-/// workspace are single-threaded query loops, so simplicity wins over
-/// latch-per-frame concurrency.
+/// # Concurrency
+///
+/// The pool is sharded: page `id` lives in shard `id % num_shards`, each
+/// shard behind its own mutex with its own LRU state. Threads touching
+/// disjoint pages in different shards proceed without contention; two
+/// threads missing on the *same* page serialize on its shard, so the
+/// second waits for the first's fetch and then hits the cache — a page
+/// is fetched from the store at most once per residency, which keeps the
+/// logical disk-access count identical to a sequential execution of the
+/// same page-touch set (absent capacity evictions).
+///
+/// Lock ordering: no code path holds two shard locks at once.
+/// `try_flush_all` visits shards one at a time in index order, and every
+/// other operation touches exactly the one shard its page maps to, so
+/// the pool cannot deadlock against itself.
+///
+/// `capacity` is striped: each shard holds up to
+/// `max(1, capacity / num_shards)` frames (rounded up), evicting by its
+/// own LRU order. A pool that must reproduce exact *global* LRU behavior
+/// (some unit tests; pathological single-page workloads) can ask for one
+/// shard via [`Self::with_shard_count`].
 pub struct BufferPool {
     store: Box<dyn PageStore>,
-    inner: Mutex<Inner>,
+    shards: Vec<Shard>,
     stats: Arc<AccessStats>,
     max_retries: u32,
 }
 
 impl BufferPool {
-    /// `capacity` is the number of resident pages (e.g. 1024 ≈ 8 MiB).
+    /// `capacity` is the number of resident pages (e.g. 1024 ≈ 8 MiB),
+    /// striped over `min(DEFAULT_SHARDS, capacity)` shards.
     pub fn new(store: Box<dyn PageStore>, capacity: usize) -> Self {
+        let shards = DEFAULT_SHARDS.min(capacity.max(1));
+        Self::with_shard_count(store, capacity, shards)
+    }
+
+    /// [`Self::new`] with an explicit shard count (clamped to ≥ 1).
+    pub fn with_shard_count(store: Box<dyn PageStore>, capacity: usize, shards: usize) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let n = shards.max(1);
+        let per_shard = capacity.div_ceil(n).max(1);
         BufferPool {
             store,
-            inner: Mutex::new(Inner {
-                cache: HashMap::new(),
-                lru: BTreeMap::new(),
-                next_tick: 0,
-                capacity,
-            }),
+            shards: (0..n)
+                .map(|_| Shard {
+                    inner: Mutex::new(Inner::with_capacity(per_shard)),
+                    stats: AccessStats::new(),
+                })
+                .collect(),
             stats: Arc::new(AccessStats::new()),
             max_retries: DEFAULT_MAX_RETRIES,
         }
@@ -81,6 +133,15 @@ impl BufferPool {
         self.max_retries
     }
 
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: PageId) -> &Shard {
+        &self.shards[id as usize % self.shards.len()]
+    }
+
     /// Allocate a fresh zeroed page in the store and cache it.
     ///
     /// Allocation itself is not counted as a read: it is part of dataset
@@ -89,8 +150,9 @@ impl BufferPool {
     /// with a checksum on its first flush/evict even if never written.
     pub fn try_allocate(&self) -> StorageResult<PageId> {
         let id = self.store.allocate()?;
-        let mut inner = self.inner.lock();
-        self.install(&mut inner, id, zeroed_page(), true)?;
+        let shard = self.shard(id);
+        let mut inner = shard.inner.lock();
+        self.install(shard, &mut inner, id, zeroed_page(), true)?;
         Ok(id)
     }
 
@@ -101,13 +163,18 @@ impl BufferPool {
     }
 
     /// Run `f` against an immutable view of the page.
+    ///
+    /// `f` runs while the page's shard lock is held: keep it short (the
+    /// record-decode closures this workspace passes are) — other pages in
+    /// the same shard are blocked for its duration, other shards are not.
     pub fn try_read<R>(
         &self,
         id: PageId,
         f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
     ) -> StorageResult<R> {
-        let mut inner = self.inner.lock();
-        self.ensure_cached(&mut inner, id)?;
+        let shard = self.shard(id);
+        let mut inner = shard.inner.lock();
+        self.ensure_cached(shard, &mut inner, id)?;
         let frame = inner.cache.get(&id).expect("just cached");
         Ok(f(&frame.buf))
     }
@@ -124,8 +191,9 @@ impl BufferPool {
         id: PageId,
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> StorageResult<R> {
-        let mut inner = self.inner.lock();
-        self.ensure_cached(&mut inner, id)?;
+        let shard = self.shard(id);
+        let mut inner = shard.inner.lock();
+        self.ensure_cached(shard, &mut inner, id)?;
         let frame = inner.cache.get_mut(&id).expect("just cached");
         frame.dirty = true;
         Ok(f(&mut frame.buf))
@@ -141,23 +209,31 @@ impl BufferPool {
     /// drop the entire cache. After this call every page access is a miss
     /// — a cold buffer.
     ///
+    /// Shards are flushed one at a time in index order (never two locks
+    /// at once). Concurrent readers may repopulate already-flushed shards
+    /// before the call returns; flushing is a quiescent-state operation,
+    /// exactly like the measurement protocol that uses it.
+    ///
     /// On error the cache is still emptied (the failed page's data may be
     /// lost — that is the fault being simulated), and the first error is
     /// returned.
     pub fn try_flush_all(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
         let mut first_err = None;
-        for (id, frame) in inner.cache.iter_mut() {
-            if frame.dirty {
-                self.stats.record_write();
-                seal_page(&mut frame.buf);
-                if let Err(e) = self.store.write_page(*id, &frame.buf) {
-                    first_err.get_or_insert(e);
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            for (id, frame) in inner.cache.iter_mut() {
+                if frame.dirty {
+                    self.stats.record_write();
+                    shard.stats.record_write();
+                    seal_page(&mut frame.buf);
+                    if let Err(e) = self.store.write_page(*id, &frame.buf) {
+                        first_err.get_or_insert(e);
+                    }
                 }
             }
+            inner.cache.clear();
+            inner.lru.clear();
         }
-        inner.cache.clear();
-        inner.lru.clear();
         match self.store.sync() {
             Err(e) if first_err.is_none() => Err(e),
             _ => match first_err {
@@ -178,26 +254,36 @@ impl BufferPool {
         self.store.num_pages()
     }
 
-    /// Number of pages currently resident in the cache.
+    /// Number of pages currently resident in the cache (all shards).
     pub fn resident(&self) -> usize {
-        self.inner.lock().cache.len()
+        self.shards.iter().map(|s| s.inner.lock().cache.len()).sum()
     }
 
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
 
-    pub fn reset_stats(&self) {
-        self.stats.reset();
+    /// Per-shard counter snapshots, in shard-index order. Each page
+    /// access is mirrored into exactly one shard's counters, so the
+    /// field-wise sum over this vector equals [`Self::stats`].
+    pub fn shard_stats(&self) -> Vec<StatsSnapshot> {
+        self.shards.iter().map(|s| s.stats.snapshot()).collect()
     }
 
-    /// Shared handle to the counters (for sub-systems that want to record
-    /// logical accesses of their own).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        for shard in &self.shards {
+            shard.stats.reset();
+        }
+    }
+
+    /// Shared handle to the global counters (for sub-systems that want to
+    /// record logical accesses of their own).
     pub fn stats_handle(&self) -> Arc<AccessStats> {
         Arc::clone(&self.stats)
     }
 
-    fn ensure_cached(&self, inner: &mut Inner, id: PageId) -> StorageResult<()> {
+    fn ensure_cached(&self, shard: &Shard, inner: &mut Inner, id: PageId) -> StorageResult<()> {
         if let Some(frame) = inner.cache.get_mut(&id) {
             // Refresh recency. Disjoint field borrows let the frame stay
             // borrowed while the tick counter and LRU map update.
@@ -209,14 +295,19 @@ impl BufferPool {
             return Ok(());
         }
         self.stats.record_read();
-        let buf = self.fetch_verified(id)?;
-        self.install(inner, id, buf, false)
+        shard.stats.record_read();
+        let buf = self.fetch_verified(shard, id)?;
+        self.install(shard, inner, id, buf, false)
     }
 
     /// Read `id` from the store and checksum-verify it, re-issuing the
     /// read after retryable failures (transient I/O, corruption) up to
     /// `max_retries` times.
-    fn fetch_verified(&self, id: PageId) -> StorageResult<PageBuf> {
+    ///
+    /// Runs with the page's shard lock held: a second thread asking for
+    /// the same page waits here and then hits the cache, so no page is
+    /// double-fetched.
+    fn fetch_verified(&self, shard: &Shard, id: PageId) -> StorageResult<PageBuf> {
         let mut attempt = 0u32;
         loop {
             let result: StorageResult<PageBuf> = (|| {
@@ -233,6 +324,7 @@ impl BufferPool {
                     }
                     attempt += 1;
                     self.stats.record_retry();
+                    shard.stats.mirror_retry();
                 }
             }
         }
@@ -240,6 +332,7 @@ impl BufferPool {
 
     fn install(
         &self,
+        shard: &Shard,
         inner: &mut Inner,
         id: PageId,
         buf: PageBuf,
@@ -252,6 +345,7 @@ impl BufferPool {
             let mut frame = inner.cache.remove(&victim).expect("victim cached");
             if frame.dirty {
                 self.stats.record_write();
+                shard.stats.record_write();
                 seal_page(&mut frame.buf);
                 if let Err(e) = self.store.write_page(victim, &frame.buf) {
                     // The incoming page must still be installed; report
@@ -289,6 +383,11 @@ mod tests {
 
     fn pool(cap: usize) -> BufferPool {
         BufferPool::new(Box::new(MemStore::new()), cap)
+    }
+
+    /// Exact-LRU pool: one shard, global eviction order.
+    fn pool1(cap: usize) -> BufferPool {
+        BufferPool::with_shard_count(Box::new(MemStore::new()), cap, 1)
     }
 
     #[test]
@@ -329,7 +428,7 @@ mod tests {
     #[test]
     fn eviction_preserves_dirty_data() {
         // Capacity 2: writing 10 pages forces evictions; all data must
-        // survive the round trip through the store.
+        // survive the round trip through the store (any shard count).
         let p = pool(2);
         let ids: Vec<_> = (0..10).map(|_| p.allocate()).collect();
         for (i, &id) in ids.iter().enumerate() {
@@ -342,7 +441,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let p = pool(2);
+        // Global LRU order is only defined for a single shard.
+        let p = pool1(2);
         let a = p.allocate();
         let b = p.allocate();
         let c = p.allocate(); // evicts a (oldest)
@@ -361,6 +461,86 @@ mod tests {
         assert_eq!(p.stats().reads, 3, "a was evicted but should not be");
         p.read(b, |_| ());
         assert_eq!(p.stats().reads, 4, "b should have been evicted");
+    }
+
+    #[test]
+    fn sharding_keeps_disjoint_pages_resident() {
+        // 4 shards × 1 frame: pages 0..4 map to distinct shards and must
+        // all stay resident despite the tiny total capacity.
+        let p = BufferPool::with_shard_count(Box::new(MemStore::new()), 4, 4);
+        assert_eq!(p.num_shards(), 4);
+        let ids: Vec<_> = (0..4).map(|_| p.allocate()).collect();
+        p.flush_all();
+        p.reset_stats();
+        for &id in &ids {
+            p.read(id, |_| ());
+        }
+        assert_eq!(p.stats().reads, 4);
+        assert_eq!(p.resident(), 4, "one frame per shard, no eviction");
+        for &id in &ids {
+            p.read(id, |_| ());
+        }
+        assert_eq!(p.stats().reads, 4, "all warm repeats hit");
+    }
+
+    #[test]
+    fn shard_stats_sum_to_global() {
+        let p = pool(64);
+        let ids: Vec<_> = (0..40).map(|_| p.allocate()).collect();
+        for &id in &ids {
+            p.write(id, |b| b[0] = id as u8);
+        }
+        p.flush_all();
+        p.reset_stats();
+        for &id in &ids {
+            p.read(id, |_| ());
+        }
+        p.flush_all();
+        let global = p.stats();
+        let per_shard = p.shard_stats();
+        assert_eq!(per_shard.len(), p.num_shards());
+        let sum = per_shard
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, s| StatsSnapshot {
+                reads: acc.reads + s.reads,
+                writes: acc.writes + s.writes,
+                retries: acc.retries + s.retries,
+            });
+        assert_eq!(sum, global, "shard counters partition the global ones");
+        assert!(
+            per_shard.iter().filter(|s| s.reads > 0).count() > 1,
+            "40 consecutive pages must spread over several shards"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_fetch_each_page_once() {
+        let p = std::sync::Arc::new(pool(256));
+        let ids: Vec<_> = (0..64).map(|_| p.allocate()).collect();
+        for &id in &ids {
+            p.write(id, |b| b[7] = (id % 251) as u8);
+        }
+        p.flush_all();
+        p.reset_stats();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = std::sync::Arc::clone(&p);
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for _round in 0..20 {
+                        for &id in &ids {
+                            let v = p.read(id, |b| b[7]);
+                            assert_eq!(v, (id % 251) as u8);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            p.stats().reads,
+            ids.len() as u64,
+            "every page misses exactly once across all threads"
+        );
     }
 
     #[test]
@@ -510,5 +690,12 @@ mod tests {
         );
         p.write(id, |b| b[0] = 2); // dirty again...
         drop(p); // ...and drop must swallow the error.
+    }
+
+    #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BufferPool>();
+        assert_send_sync::<Arc<BufferPool>>();
     }
 }

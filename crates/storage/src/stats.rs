@@ -8,6 +8,25 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+thread_local! {
+    /// Retries recorded *by this thread*, across all pools. A thread runs
+    /// one storage operation at a time, so the delta of
+    /// [`thread_retries`] around an operation attributes retry spend
+    /// exactly — even when other threads are retrying the same pages
+    /// concurrently. Global-counter deltas cannot do this: two workers
+    /// each observing the shared counter would both absorb the other's
+    /// retries into their own tally.
+    static THREAD_RETRIES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Monotone count of retries recorded by the calling thread (see
+/// [`AccessStats::record_retry`]). Measure an operation's retry spend as
+/// `thread_retries()` before/after — never as a delta of the shared
+/// [`StatsSnapshot::retries`], which mixes in other threads' retries.
+pub fn thread_retries() -> u64 {
+    THREAD_RETRIES.with(|c| c.get())
+}
+
 /// Monotonic counters for page traffic between buffer pool and store.
 #[derive(Default, Debug)]
 pub struct AccessStats {
@@ -62,8 +81,22 @@ impl AccessStats {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one re-issued page read. Also bumps the calling thread's
+    /// [`thread_retries`] counter so concurrent operations can each
+    /// attribute exactly their own retry spend.
     #[inline]
     pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        THREAD_RETRIES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Increment the retry counter *without* touching the calling
+    /// thread's attribution tally. Used for per-shard mirror counters,
+    /// whose paired global [`Self::record_retry`] call already bumped
+    /// [`thread_retries`] — mirroring through `record_retry` would
+    /// double-attribute every retry.
+    #[inline]
+    pub(crate) fn mirror_retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -104,6 +137,29 @@ mod tests {
         assert_eq!(s.snapshot().total(), 3, "retries are not logical accesses");
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn thread_retries_attribute_to_the_calling_thread() {
+        let s = std::sync::Arc::new(AccessStats::new());
+        let base_here = thread_retries();
+        s.record_retry();
+        s.record_retry();
+        let s2 = std::sync::Arc::clone(&s);
+        let other = std::thread::spawn(move || {
+            let base = thread_retries();
+            s2.record_retry();
+            thread_retries() - base
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1, "other thread sees exactly its own retry");
+        assert_eq!(
+            thread_retries() - base_here,
+            2,
+            "this thread's tally is untouched by the other thread"
+        );
+        assert_eq!(s.snapshot().retries, 3, "global counter sees all three");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
@@ -37,9 +37,13 @@ pub trait PageStore: Send + Sync {
 /// An in-memory store. Deterministic and fast; the default for tests and
 /// benchmarks (disk accesses are *counted*, not timed, exactly as the
 /// paper reports Oracle's `physical reads` statistic rather than seconds).
+///
+/// Pages sit behind an `RwLock` so concurrent buffer-pool shards can
+/// fetch pages simultaneously; only `allocate`/`write_page` take the
+/// write lock.
 #[derive(Default)]
 pub struct MemStore {
-    pages: Mutex<Vec<PageBuf>>,
+    pages: RwLock<Vec<PageBuf>>,
 }
 
 impl MemStore {
@@ -50,7 +54,7 @@ impl MemStore {
 
 impl PageStore for MemStore {
     fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
-        let pages = self.pages.lock();
+        let pages = self.pages.read();
         let page = pages.get(id as usize).ok_or(StorageError::OutOfBounds {
             page: id,
             num_pages: pages.len() as u32,
@@ -60,7 +64,7 @@ impl PageStore for MemStore {
     }
 
     fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.write();
         let n = pages.len() as u32;
         let page = pages
             .get_mut(id as usize)
@@ -73,13 +77,13 @@ impl PageStore for MemStore {
     }
 
     fn allocate(&self) -> StorageResult<PageId> {
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.write();
         pages.push(zeroed_page());
         Ok((pages.len() - 1) as PageId)
     }
 
     fn num_pages(&self) -> u32 {
-        self.pages.lock().len() as u32
+        self.pages.read().len() as u32
     }
 }
 

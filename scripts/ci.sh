@@ -16,4 +16,12 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== cargo test (single-threaded harness)"
+# Concurrency bugs can hide behind the test harness's own parallelism
+# (or be provoked by it); the suite must pass both ways.
+cargo test --workspace -q -- --test-threads=1
+
+echo "== benches compile"
+cargo build --release --benches --workspace
+
 echo "ci: all green"

@@ -1,0 +1,251 @@
+//! Offline shim for `rayon`: the subset of the API this workspace uses,
+//! backed by `std::thread::scope`. The build container has no access to
+//! crates.io, so the workspace vendors the few external crates it needs
+//! as minimal local implementations (see `vendor/README.md`).
+//!
+//! Provided: [`scope`] / [`Scope::spawn`], [`join`],
+//! [`current_num_threads`], and [`ThreadPool`] /[`ThreadPoolBuilder`]
+//! with `install` + `scope`. Unlike upstream there is no work-stealing
+//! deque: every `spawn` is one OS thread, so callers fan out one task
+//! per worker (a bounded number), never one task per item. All code in
+//! this workspace follows that rule — `dm_core::parallel` chunks its
+//! query batches into at most `num_threads` contiguous slices before
+//! spawning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upstream returns this from `ThreadPoolBuilder::build`; the shim never
+/// actually fails but keeps the type so call sites stay source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+thread_local! {
+    /// Logical pool width installed by [`ThreadPool::install`] on this
+    /// thread; 0 means "not inside a pool" (fall back to the hardware).
+    static INSTALLED_WIDTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of threads the current context should fan out to: the
+/// installed pool's width inside [`ThreadPool::install`], otherwise the
+/// hardware parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_WIDTH.with(|w| w.get());
+    if installed > 0 {
+        return installed;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scope handed to tasks; `spawn` adds a task that may borrow from the
+/// enclosing stack frame (everything outliving `'scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Run `f` on its own thread within the scope. The closure receives
+    /// the scope again so tasks can spawn sub-tasks, like upstream.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Create a scope whose spawned tasks all join before `scope` returns —
+/// the structured fan-out primitive. Panics in tasks propagate to the
+/// caller when the scope joins (std semantics; upstream also propagates).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// A logical thread pool: it carries a width that [`install`]ed code
+/// reads through [`current_num_threads`]. Threads are created per scope
+/// (std scoped threads), not parked in a deque — adequate for the coarse
+/// one-task-per-worker fan-outs this workspace performs.
+///
+/// [`install`]: ThreadPool::install
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool installed as the current context:
+    /// [`current_num_threads`] inside `op` reports this pool's width.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let prev = INSTALLED_WIDTH.with(|w| w.replace(self.num_threads));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// [`scope`] bound to this pool (tasks see the pool's width).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+        R: Send,
+    {
+        self.install(|| scope(f))
+    }
+}
+
+/// Builder matching the upstream entry point.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 (the default) means "use the hardware parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        // Touch the id counter so pools are observably distinct objects
+        // (upstream registries are; some diagnostics rely on it).
+        let _ = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let num_threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_and_mutate_disjoint_slices() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(16).collect();
+        scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                });
+            }
+        });
+        assert!(data[..16].iter().all(|&v| v == 1));
+        assert!(data[48..].iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s2.spawn(|_| {
+                    counter.fetch_add(10, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn pool_width_is_visible_inside_install() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        // Outside install the hardware default is back.
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn install_restores_width_on_unwind() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
+        assert!(r.is_err());
+        let installed = INSTALLED_WIDTH.with(|w| w.get());
+        assert_eq!(installed, 0, "width must be restored after a panic");
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_hardware() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}
