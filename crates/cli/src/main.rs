@@ -41,13 +41,14 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         print_help();
         return Ok(());
     };
-    let args = Args::parse_with_flags(rest, &["degraded"])?;
+    let args = Args::parse_with_flags(rest, &["degraded", "full"])?;
     match cmd.as_str() {
         "generate" => cmd_generate(args),
         "build" => cmd_build(args),
         "info" => cmd_info(args),
         "query" => cmd_query(args),
         "vd" => cmd_vd(args),
+        "walkthrough" => cmd_walkthrough(args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -66,6 +67,23 @@ commands:
   info <db.dmdb>
   query <db.dmdb> [--keep <frac> | --lod <e>] [--roi x0,y0,x1,y1] [-o mesh.obj]
   vd <db.dmdb> [--near-keep <frac>] [--far-keep <frac>] [--roi ...] [-o mesh.obj]
+  walkthrough <db.dmdb> [--frames <n>] [--window <frac>]
+              [--waypoints x0,y0;x1,y1;...] [--full] [-o last-frame.obj]
+
+viewpoint-dependent options (vd / walkthrough):
+  --policy <skip|fetch> boundary policy: leave ROI borders coarser, or
+                        fetch missing records by id (default fetch)
+  --max-cubes <n>       cap on the multi-base strip decomposition
+                        (default 16)
+
+walkthrough options:
+  --frames <n>          navigation frames along the path (default 16)
+  --window <frac>       window size as a fraction of the terrain
+                        (default 0.5)
+  --waypoints <list>    fly a polyline of x,y points (semicolon-
+                        separated) instead of the south→north slide
+  --full                disable incremental reuse: every frame pays the
+                        cold multi-base cost (comparison baseline)
 
 parallel execution (query / vd):
   --threads <n>         worker threads (default 1; 0 = all hardware
@@ -74,7 +92,7 @@ parallel execution (query / vd):
                         sub-queries and fan them across the workers,
                         printing aggregate figures
 
-fault tolerance (query / vd / info):
+fault tolerance (query / vd / walkthrough / info):
   --degraded            open the database and complete queries past
                         unreadable data pages, printing an integrity
                         report instead of failing
@@ -318,16 +336,21 @@ fn cmd_query(args: Args) -> Result<(), String> {
     maybe_export(&args, &res.front)
 }
 
-fn cmd_vd(args: Args) -> Result<(), String> {
-    let path = args.positional(0)?;
-    let db = open_db(path, &args)?;
-    let roi = parse_roi(&args, &db)?;
-    let near: f64 = args.parse_or("near-keep", 0.4)?;
-    let far: f64 = args.parse_or("far-keep", 0.05)?;
-    let e_min = db.e_for_points_fraction(near);
-    let e_far = db.e_for_points_fraction(far).max(e_min);
+/// Parse `--policy skip|fetch` (default fetch-on-miss, matching the
+/// interactive use case where borders should not stay coarse).
+fn parse_policy(args: &Args) -> Result<BoundaryPolicy, String> {
+    match args.get("policy").unwrap_or("fetch") {
+        "skip" => Ok(BoundaryPolicy::Skip),
+        "fetch" | "fetch-on-miss" => Ok(BoundaryPolicy::FetchOnMiss),
+        other => Err(format!("unknown --policy {other:?} (skip|fetch)")),
+    }
+}
+
+/// The walkthrough/vd query shape: viewer on the ROI edge, LOD plane
+/// rising from `e_min` at the viewer to `e_far` at the far edge.
+fn vd_query(roi: Rect, e_min: f64, e_far: f64) -> VdQuery {
     let run = roi.height().max(1e-9);
-    let q = VdQuery {
+    VdQuery {
         roi,
         target: PlaneTarget {
             origin: roi.min,
@@ -336,22 +359,29 @@ fn cmd_vd(args: Args) -> Result<(), String> {
             slope: (e_far - e_min) / run,
             e_max: e_far,
         },
-    };
+    }
+}
+
+fn cmd_vd(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let db = open_db(path, &args)?;
+    let roi = parse_roi(&args, &db)?;
+    let near: f64 = args.parse_or("near-keep", 0.4)?;
+    let far: f64 = args.parse_or("far-keep", 0.05)?;
+    let policy = parse_policy(&args)?;
+    let max_cubes: usize = args.parse_or("max-cubes", 16)?;
+    let e_min = db.e_for_points_fraction(near);
+    let e_far = db.e_for_points_fraction(far).max(e_min);
+    let q = vd_query(roi, e_min, e_far);
     let threads: usize = args.parse_or("threads", 1)?;
     db.try_cold_start().map_err(|e| e.to_string())?;
     // One thread → the sequential algorithm; more → per-strip fetches in
     // parallel with a deterministic stitch (identical results).
     let run_query = || {
         if threads == 1 {
-            db.try_vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16)
+            db.try_vd_multi_base(&q, policy, max_cubes)
         } else {
-            dm_core::parallel::vd_multi_base_parallel(
-                &db,
-                &q,
-                BoundaryPolicy::FetchOnMiss,
-                16,
-                threads,
-            )
+            dm_core::parallel::vd_multi_base_parallel(&db, &q, policy, max_cubes, threads)
         }
     };
     let res = if args.has("degraded") {
@@ -379,6 +409,102 @@ fn cmd_vd(args: Args) -> Result<(), String> {
         db.disk_accesses()
     );
     maybe_export(&args, &res.front)
+}
+
+fn parse_waypoints(spec: &str) -> Result<Vec<Vec2>, String> {
+    spec.split(';')
+        .map(|p| {
+            let parts: Vec<f64> = p
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad waypoint {p:?}: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            if parts.len() != 2 {
+                return Err(format!("waypoint {p:?} must be x,y"));
+            }
+            Ok(Vec2::new(parts[0], parts[1]))
+        })
+        .collect()
+}
+
+fn cmd_walkthrough(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let db = open_db(path, &args)?;
+    let frames: usize = args.parse_or("frames", 16)?;
+    let window_frac: f64 = args.parse_or("window", 0.5)?;
+    let near: f64 = args.parse_or("near-keep", 0.4)?;
+    let far: f64 = args.parse_or("far-keep", 0.05)?;
+    let policy = parse_policy(&args)?;
+    let max_cubes: usize = args.parse_or("max-cubes", 16)?;
+    let degraded = args.has("degraded");
+
+    let rois = match args.get("waypoints") {
+        None => dm_core::navigation::flight_path(&db.bounds, window_frac, frames),
+        Some(spec) => {
+            let pts = parse_waypoints(spec)?;
+            let window = db.bounds.width().min(db.bounds.height()) * window_frac;
+            dm_core::navigation::waypoint_path(&pts, window, frames)
+        }
+    };
+
+    let e_min = db.e_for_points_fraction(near);
+    let e_far = db.e_for_points_fraction(far).max(e_min);
+    let mut session = dm_core::NavigationSession::new(&db, policy)
+        .with_max_cubes(max_cubes)
+        .with_full_requery(args.has("full"));
+    db.try_cold_start().map_err(|e| e.to_string())?;
+
+    println!(
+        "{} walkthrough: {} frames, window {:.0}%, policy {:?}, max {} cubes",
+        if args.has("full") {
+            "full-requery"
+        } else {
+            "incremental"
+        },
+        rois.len(),
+        window_frac * 100.0,
+        policy,
+        max_cubes
+    );
+    println!("frame    disk  fetched  decoded examined    +seed    -seed  vertices      ms");
+    let (mut t_disk, mut t_fetched, mut t_decoded) = (0u64, 0usize, 0u64);
+    let mut merged = IntegrityReport::default();
+    for (i, roi) in rois.iter().enumerate() {
+        let q = vd_query(*roi, e_min, e_far);
+        let t0 = std::time::Instant::now();
+        let (stats, report) = session.try_move_to(&q).map_err(|e| e.to_string())?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if !report.is_clean() && !degraded {
+            return Err(format!(
+                "frame {i} lost data ({report}); rerun with --degraded to accept partial meshes"
+            ));
+        }
+        merged.merge(report);
+        t_disk += stats.disk_accesses;
+        t_fetched += stats.fetched_records;
+        t_decoded += stats.decoded_records;
+        println!(
+            "{i:>5} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {ms:>7.1}",
+            stats.disk_accesses,
+            stats.fetched_records,
+            stats.decoded_records,
+            stats.examined_records,
+            stats.seeds_added,
+            stats.seeds_removed,
+            stats.vertices
+        );
+    }
+    println!(
+        "total {t_disk:>7} {t_fetched:>8} {t_decoded:>8}  ({:.1} disk accesses/frame)",
+        t_disk as f64 / rois.len().max(1) as f64
+    );
+    if degraded {
+        print_report(&merged);
+    }
+    maybe_export(&args, session.front())
 }
 
 fn maybe_export(args: &Args, front: &dm_mtm::FrontMesh) -> Result<(), String> {

@@ -11,19 +11,26 @@
 //! the query region, and the sector-angle test rejects the outer face.
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 use dm_geom::tri::{angle_around, orient2d};
 use dm_geom::Vec2;
+use fxhash::FxHashMap;
 
 /// Extract CCW triangles from an adjacency structure.
 ///
 /// `pos` gives each vertex's plan position; `adj` lists each vertex's
-/// neighbours (must be symmetric — `b ∈ adj[a] ⇔ a ∈ adj[b]`).
-pub fn extract_faces(pos: &HashMap<u32, Vec2>, adj: &HashMap<u32, Vec<u32>>) -> Vec<[u32; 3]> {
+/// neighbours (must be symmetric — `b ∈ adj[a] ⇔ a ∈ adj[b]`). Generic
+/// over the map hashers so both std and `FxHashMap` callers qualify.
+pub fn extract_faces<S1: BuildHasher, S2: BuildHasher>(
+    pos: &HashMap<u32, Vec2, S1>,
+    adj: &HashMap<u32, Vec<u32>, S2>,
+) -> Vec<[u32; 3]> {
     // CCW-sorted neighbour ring of every vertex, then successor map:
     // next[(v, a)] = neighbour following `a` counter-clockwise around `v`.
-    let mut next: HashMap<(u32, u32), u32> = HashMap::new();
-    let mut sorted: HashMap<u32, Vec<u32>> = HashMap::with_capacity(adj.len());
+    let mut next: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    let mut sorted: FxHashMap<u32, Vec<u32>> =
+        FxHashMap::with_capacity_and_hasher(adj.len(), Default::default());
     for (&v, neigh) in adj {
         let pv = pos[&v];
         let mut ring: Vec<u32> = neigh.clone();

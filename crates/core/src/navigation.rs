@@ -3,27 +3,69 @@
 //! The paper evaluates isolated queries over a cold buffer. A real
 //! terrain walkthrough issues a *sequence* of viewpoint-dependent queries
 //! from nearby viewpoints; almost all data of frame *n* is still valid in
-//! frame *n + 1*. [`NavigationSession`] keeps the buffer pool warm across
-//! frames: each `move_to` runs the multi-base query against the shared
-//! pool, so pages fetched for earlier frames are free. The per-frame
-//! disk-access counts it reports show how much of the single-query cost
-//! amortizes away during smooth navigation. (CPU-side mesh construction
-//! is redone per frame — the paper itself observes that reconstruction
-//! cost is negligible next to retrieval.)
+//! frame *n + 1*. [`NavigationSession`] exploits that overlap at the
+//! query level, not just the buffer level:
+//!
+//! 1. **Delta planning.** The session remembers the query cubes of the
+//!    previous frame. Each new cube is reduced by box subtraction
+//!    ([`dm_geom::subtract_boxes`]) to the parts not covered last frame,
+//!    and only those slivers hit the R\*-tree. For a smoothly moving
+//!    window the per-frame I/O drops from `O(ROI)` to `O(ΔROI)`.
+//! 2. **Working set.** Fetched records live in a session cache keyed by
+//!    node id. On each frame the cache drops records whose indexed
+//!    vertical segment left the new cubes and absorbs the delta fetch —
+//!    by construction the cache then equals exactly what a cold
+//!    multi-base query would have fetched, so results are identical.
+//! 3. **Front patching.** The seed-level front (the topmost-record mesh
+//!    a cold query would assemble) is patched in place: seeds whose
+//!    records expired are removed, new seeds spliced in, and only the
+//!    *dirty* neighbourhood — vertices whose connection-list rings
+//!    changed — is re-extracted locally. Each frame then clones the seed
+//!    front and refines the clone to the query plane, so refinement CPU
+//!    stays `O(ROI)` while all I/O is `O(ΔROI)`. (The paper observes
+//!    that reconstruction cost is negligible next to retrieval.)
+//!
+//! Per-frame disk accesses are attributed with the storage layer's
+//! thread-local read counter, so concurrent sessions on one shared pool
+//! don't inflate each other's [`FrameStats`].
 
-use dm_geom::Rect;
+use dm_geom::{subtract_boxes, Box3, Rect, Vec2};
 use dm_mtm::refine::{FrontMesh, RefineStats};
+use dm_mtm::NIL_ID;
+use dm_storage::StorageResult;
+use fxhash::{FxHashMap, FxHashSet};
 
-use crate::query::{BoundaryPolicy, VdQuery};
-use crate::store::DirectMeshDb;
+use crate::faces::extract_faces;
+use crate::query::{BoundaryPolicy, DbSource, VdQuery};
+use crate::record::DmRecord;
+use crate::store::{DirectMeshDb, FetchCounters, IntegrityReport};
+
+/// Box-subtraction fragmentation cap: beyond this many pieces the delta
+/// planner falls back to refetching the whole cube (correct, just
+/// cheaper to execute as one range query than as many slivers).
+const MAX_DELTA_PIECES: usize = 48;
+
+/// Compact the seed front when dead triangle slots outnumber live ones.
+const COMPACT_SLACK: usize = 2;
 
 /// Statistics of one navigation step.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FrameStats {
-    /// Disk accesses during this frame (warm buffer).
+    /// Logical disk accesses by this frame (this thread only).
     pub disk_accesses: u64,
-    /// Records fetched by this frame's range queries.
+    /// Records fetched by this frame's (delta) range queries.
     pub fetched_records: usize,
+    /// Records fully decoded while scanning heap pages this frame.
+    pub decoded_records: u64,
+    /// Record headers examined during page scans (no allocation; the
+    /// gap to `decoded_records` is what the borrowing decode saves).
+    pub examined_records: u64,
+    /// Candidate heap pages scanned by this frame's range queries.
+    pub pages_scanned: u64,
+    /// Seed vertices spliced into the session front this frame.
+    pub seeds_added: usize,
+    /// Seed vertices dropped from the session front this frame.
+    pub seeds_removed: usize,
     /// Refinement counters.
     pub refine: RefineStats,
     /// Front size after the frame.
@@ -34,8 +76,21 @@ pub struct FrameStats {
 pub struct NavigationSession<'a> {
     db: &'a DirectMeshDb,
     policy: BoundaryPolicy,
-    front: FrontMesh,
     max_cubes: usize,
+    full_requery: bool,
+    /// The refined mesh of the last frame.
+    front: FrontMesh,
+    /// Session record cache — always exactly the union fetch set of the
+    /// last frame's cubes.
+    working: FxHashMap<u32, DmRecord>,
+    /// The query cubes executed last frame (delta-planning baseline).
+    prev_cubes: Vec<Box3>,
+    /// Seed-level front, patched in place across frames.
+    seed_front: FrontMesh,
+    /// Current filtered connection ring of every seed. Kept so a seed
+    /// that expires (its record may already be gone from `working`) can
+    /// still dirty its old neighbours.
+    seed_adj: FxHashMap<u32, Vec<u32>>,
 }
 
 impl<'a> NavigationSession<'a> {
@@ -44,9 +99,32 @@ impl<'a> NavigationSession<'a> {
         NavigationSession {
             db,
             policy,
-            front: FrontMesh::default(),
             max_cubes: 16,
+            full_requery: false,
+            front: FrontMesh::default(),
+            working: FxHashMap::default(),
+            prev_cubes: Vec::new(),
+            seed_front: FrontMesh::default(),
+            seed_adj: FxHashMap::default(),
         }
+    }
+
+    /// Cap on the multi-base strip decomposition (default 16 cubes).
+    pub fn with_max_cubes(mut self, max_cubes: usize) -> Self {
+        self.max_cubes = max_cubes.max(1);
+        self
+    }
+
+    /// Disable incremental reuse: every frame runs a cold-style
+    /// multi-base query (the baseline the benchmarks compare against).
+    pub fn with_full_requery(mut self, full: bool) -> Self {
+        self.full_requery = full;
+        self
+    }
+
+    /// The session's boundary policy.
+    pub fn policy(&self) -> BoundaryPolicy {
+        self.policy
     }
 
     /// The current front (mesh of the last frame).
@@ -55,25 +133,220 @@ impl<'a> NavigationSession<'a> {
     }
 
     /// Advance to a new viewpoint-dependent query. Returns per-frame
-    /// statistics; the reconstructed mesh is available via [`Self::front`].
+    /// statistics; the reconstructed mesh is available via
+    /// [`Self::front`]. Panics if storage failed or lost data — see
+    /// [`Self::try_move_to`] for the degrading variant.
     pub fn move_to(&mut self, q: &VdQuery) -> FrameStats {
-        let before = self.db.pool().stats();
-        let res = self.db.vd_multi_base(q, self.policy, self.max_cubes);
-        let after = self.db.pool().stats();
-        let stats = FrameStats {
-            disk_accesses: after.since(&before).reads,
-            fetched_records: res.fetched_records,
-            refine: res.refine,
-            vertices: res.front.num_vertices(),
-        };
-        self.front = res.front;
+        let (stats, report) = self
+            .try_move_to(q)
+            .unwrap_or_else(|e| panic!("navigation frame: {e}"));
+        assert!(report.is_clean(), "navigation frame lost data: {report}");
         stats
     }
 
-    /// Forget the current front (the pool stays warm; use a fresh pool or
-    /// `DirectMeshDb::cold_start` to measure cold costs again).
+    /// Fault-tolerant frame advance: unreadable heap pages degrade the
+    /// frame (details in the [`IntegrityReport`]) instead of failing it;
+    /// `Err` means an index descent failed and the session state is
+    /// unchanged from the previous frame.
+    pub fn try_move_to(&mut self, q: &VdQuery) -> StorageResult<(FrameStats, IntegrityReport)> {
+        let reads_before = dm_storage::thread_reads();
+        let mut report = IntegrityReport::default();
+        let mut counters = FetchCounters::default();
+
+        // Plan this frame's strips and cubes (same planner as a cold
+        // multi-base query, so coverage is identical).
+        let strips = self.db.plan_multi_base(q, self.max_cubes);
+        let mut new_cubes: Vec<Box3> = Vec::with_capacity(strips.len());
+        for rect in &strips {
+            let (lo, hi) = q.e_range(rect);
+            new_cubes.push(Box3::prism(*rect, lo, self.db.clamp_e(hi)));
+        }
+
+        // Delta planning: fetch only the parts of the new cubes that the
+        // previous frame's cubes did not cover. All fetches complete
+        // before any session state changes, so an `Err` leaves the
+        // session consistent.
+        let prev: &[Box3] = if self.full_requery {
+            &[]
+        } else {
+            &self.prev_cubes
+        };
+        let mut fresh: Vec<DmRecord> = Vec::new();
+        let mut fetched = 0usize;
+        for cube in &new_cubes {
+            for piece in subtract_boxes(cube, prev, MAX_DELTA_PIECES) {
+                let recs = self
+                    .db
+                    .fetch_box_counted(&piece, &mut report, &mut counters)?;
+                fetched += recs.len();
+                fresh.extend(recs);
+            }
+        }
+
+        // Working-set update: drop records whose indexed segment left
+        // every new cube, absorb the delta fetch. The cache now equals
+        // the union fetch set of a cold query over `new_cubes`.
+        let db = self.db;
+        self.working.retain(|_, r| {
+            let seg = db.record_segment(&r.node);
+            new_cubes.iter().any(|c| seg.intersects(c))
+        });
+        for r in fresh {
+            self.working.entry(r.node.id).or_insert(r);
+        }
+        self.prev_cubes = new_cubes;
+
+        let (seeds_added, seeds_removed) = self.patch_seed_front(&q.roi);
+
+        // Result mesh: clone the seed-level front and refine the clone
+        // to the query plane, reading records straight out of the
+        // working set (no per-frame node-map rebuild). Boundary fetches
+        // land in the source's own overlay so they never contaminate the
+        // working set across frames.
+        let mut front = self.seed_front.clone();
+        let mut source = DbSource::borrowed(self.db, &self.working, self.policy);
+        let refine = self
+            .db
+            .refine_accounted(&mut front, &mut source, q, &mut report);
+        let stats = FrameStats {
+            disk_accesses: dm_storage::thread_reads() - reads_before,
+            fetched_records: fetched,
+            decoded_records: counters.records_decoded,
+            examined_records: counters.records_examined,
+            pages_scanned: counters.pages_scanned,
+            seeds_added,
+            seeds_removed,
+            refine,
+            vertices: front.num_vertices(),
+        };
+        self.front = front;
+        Ok((stats, report))
+    }
+
+    /// Recompute the seed set over the updated working set and splice
+    /// the differences into the persistent seed front. Only the *dirty*
+    /// neighbourhood — vertices whose filtered connection ring changed —
+    /// is re-extracted. Returns (added, removed) seed counts.
+    fn patch_seed_front(&mut self, roi: &Rect) -> (usize, usize) {
+        // The seed rule of a cold query (`assemble_topmost_front`):
+        // in-ROI records whose parent is absent from the in-ROI set.
+        let in_roi: FxHashSet<u32> = self
+            .working
+            .values()
+            .filter(|r| roi.contains(r.node.pos.xy()))
+            .map(|r| r.node.id)
+            .collect();
+        let new_seeds: FxHashSet<u32> = in_roi
+            .iter()
+            .copied()
+            .filter(|id| {
+                let p = self.working[id].node.parent;
+                p == NIL_ID || !in_roi.contains(&p)
+            })
+            .collect();
+
+        let ring_of = |id: u32| -> Vec<u32> {
+            let r = &self.working[&id];
+            let iv = r.node.interval();
+            r.conn
+                .iter()
+                .copied()
+                .filter(|c| new_seeds.contains(c) && iv.overlaps(&self.working[c].node.interval()))
+                .collect()
+        };
+
+        let added: Vec<u32> = new_seeds
+            .iter()
+            .copied()
+            .filter(|id| !self.seed_adj.contains_key(id))
+            .collect();
+        let removed: Vec<u32> = self
+            .seed_adj
+            .keys()
+            .copied()
+            .filter(|id| !new_seeds.contains(id))
+            .collect();
+
+        if added.is_empty() && removed.is_empty() {
+            return (0, 0);
+        }
+
+        // Dirty = surviving seeds whose ring changed. Connection lists
+        // are symmetric, so a ring changes exactly when an added seed
+        // appears in it or a removed seed vanishes from it.
+        let mut dirty: FxHashSet<u32> = FxHashSet::default();
+        for &a in &added {
+            dirty.insert(a);
+            for n in ring_of(a) {
+                dirty.insert(n);
+            }
+        }
+        for r in &removed {
+            for n in &self.seed_adj[r] {
+                if new_seeds.contains(n) {
+                    dirty.insert(*n);
+                }
+            }
+        }
+
+        // Local re-extraction: every triangle that gained or lost
+        // existence has a dirty corner, and all corners of such a
+        // triangle lie in K = dirty ∪ ring(dirty). Supplying complete
+        // rings for K (and positions for K plus its ring members) makes
+        // the local extraction agree with the global one on exactly
+        // those triangles.
+        let mut adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        let mut pos: FxHashMap<u32, Vec2> = FxHashMap::default();
+        for &d in &dirty {
+            for n in ring_of(d) {
+                adj.entry(n).or_insert_with(|| ring_of(n));
+            }
+            adj.entry(d).or_insert_with(|| ring_of(d));
+        }
+        let ks: Vec<u32> = adj.keys().copied().collect();
+        for k in ks {
+            pos.entry(k)
+                .or_insert_with(|| self.working[&k].node.pos.xy());
+            for n in adj[&k].clone() {
+                pos.entry(n)
+                    .or_insert_with(|| self.working[&n].node.pos.xy());
+            }
+        }
+        let patch_tris: Vec<[u32; 3]> = extract_faces(&pos, &adj)
+            .into_iter()
+            // Triangles with no dirty corner were never removed from the
+            // front; re-adding them would duplicate geometry.
+            .filter(|t| t.iter().any(|v| dirty.contains(v)))
+            .collect();
+
+        // Splice: drop expired seeds with their fans, clear the dirty
+        // fans, absorb the new seeds and the re-extracted neighbourhood.
+        let dirty_list: Vec<u32> = dirty.iter().copied().collect();
+        let nodes: Vec<dm_mtm::PmNode> = added.iter().map(|id| self.working[id].node).collect();
+        self.seed_front
+            .splice(&removed, &dirty_list, nodes, &patch_tris);
+        if self.seed_front.num_triangles() * COMPACT_SLACK < self.seed_front.triangle_slots() {
+            self.seed_front.compact();
+        }
+
+        // Ring bookkeeping for the next frame's diff.
+        for r in &removed {
+            self.seed_adj.remove(r);
+        }
+        for &d in &dirty_list {
+            self.seed_adj.insert(d, ring_of(d));
+        }
+        (added.len(), removed.len())
+    }
+
+    /// Forget all session state (the pool stays warm; use a fresh pool
+    /// or `DirectMeshDb::cold_start` to measure cold costs again).
     pub fn reset(&mut self) {
         self.front = FrontMesh::default();
+        self.working = FxHashMap::default();
+        self.prev_cubes.clear();
+        self.seed_front = FrontMesh::default();
+        self.seed_adj = FxHashMap::default();
     }
 }
 
@@ -93,6 +366,42 @@ pub fn flight_path(bounds: &Rect, window_frac: f64, frames: usize) -> Vec<Rect> 
                 dm_geom::Vec2::new(bounds.min.x, y0),
                 dm_geom::Vec2::new(bounds.max.x, y0 + window),
             )
+        })
+        .collect()
+}
+
+/// A general flight path: `frames` square windows of side `window`
+/// whose centers slide along the polyline through `waypoints` at
+/// constant arc-length speed. Waypoints may turn sharply or revisit
+/// earlier territory — exactly the motions that distinguish delta
+/// planning from a simple sliding window.
+pub fn waypoint_path(waypoints: &[Vec2], window: f64, frames: usize) -> Vec<Rect> {
+    assert!(!waypoints.is_empty(), "waypoint_path needs waypoints");
+    let mut cum = vec![0.0];
+    for w in waypoints.windows(2) {
+        cum.push(cum.last().unwrap() + w[0].dist(w[1]));
+    }
+    let total = *cum.last().unwrap();
+    (0..frames)
+        .map(|f| {
+            let t = if frames > 1 {
+                f as f64 / (frames - 1) as f64
+            } else {
+                0.0
+            };
+            let s = t * total;
+            let center = if total <= 0.0 || waypoints.len() == 1 {
+                waypoints[0]
+            } else {
+                let i = cum
+                    .windows(2)
+                    .position(|w| s <= w[1])
+                    .unwrap_or(waypoints.len() - 2);
+                let seg = cum[i + 1] - cum[i];
+                let u = if seg > 0.0 { (s - cum[i]) / seg } else { 0.0 };
+                waypoints[i] + (waypoints[i + 1] - waypoints[i]) * u
+            };
+            Rect::centered_square(center, window)
         })
         .collect()
 }
@@ -129,6 +438,17 @@ mod tests {
                 e_max: e_min + slope * roi.height(),
             },
         }
+    }
+
+    fn face_set(front: &FrontMesh) -> std::collections::BTreeSet<[u32; 3]> {
+        front
+            .triangles()
+            .map(|mut t| {
+                let k = t.iter().enumerate().min_by_key(|(_, &v)| v).unwrap().0;
+                t.rotate_left(k);
+                t
+            })
+            .collect()
     }
 
     #[test]
@@ -171,12 +491,87 @@ mod tests {
         let path = flight_path(&db.bounds, 0.5, 4);
         for roi in &path {
             session.move_to(&query_at(&db, *roi));
+            // Every frame, not just the last: same vertices, same faces.
+            let q = query_at(&db, *roi);
+            let fresh = db.vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16);
+            let a: std::collections::HashSet<u32> = session.front().vertex_ids().collect();
+            let b: std::collections::HashSet<u32> = fresh.front.vertex_ids().collect();
+            assert_eq!(a, b, "same query, same answer, warm or cold");
+            assert_eq!(
+                face_set(session.front()),
+                face_set(&fresh.front),
+                "same faces, warm or cold"
+            );
         }
-        let q = query_at(&db, *path.last().unwrap());
-        let fresh = db.vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16);
-        let a: std::collections::HashSet<u32> = session.front().vertex_ids().collect();
-        let b: std::collections::HashSet<u32> = fresh.front.vertex_ids().collect();
-        assert_eq!(a, b, "same query, same answer, warm or cold");
+    }
+
+    #[test]
+    fn small_shift_fetches_strictly_less_than_a_cold_requery() {
+        let db = db();
+        let mut session = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+        let path = flight_path(&db.bounds, 0.5, 12); // small steps
+        session.move_to(&query_at(&db, path[0]));
+        let s1 = session.move_to(&query_at(&db, path[1]));
+        let fresh = db.vd_multi_base(&query_at(&db, path[1]), BoundaryPolicy::FetchOnMiss, 16);
+        assert!(
+            s1.fetched_records < fresh.fetched_records,
+            "delta fetch ({}) must undercut a cold requery ({})",
+            s1.fetched_records,
+            fresh.fetched_records
+        );
+        assert!(
+            (s1.decoded_records as usize) < fresh.fetched_records,
+            "delta decode count ({}) must undercut a cold requery ({})",
+            s1.decoded_records,
+            fresh.fetched_records
+        );
+    }
+
+    #[test]
+    fn full_requery_mode_matches_incremental_results() {
+        let db = db();
+        let mut inc = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+        let mut full =
+            NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss).with_full_requery(true);
+        for roi in flight_path(&db.bounds, 0.5, 4) {
+            let q = query_at(&db, roi);
+            let si = inc.move_to(&q);
+            let sf = full.move_to(&q);
+            assert_eq!(si.vertices, sf.vertices);
+            assert_eq!(face_set(inc.front()), face_set(full.front()));
+            assert!(si.fetched_records <= sf.fetched_records);
+        }
+    }
+
+    #[test]
+    fn waypoint_path_turns_and_revisits() {
+        let db = db();
+        let b = db.bounds;
+        let w = b.width() * 0.4;
+        // Out along the west edge, turn east, come back: the last leg
+        // revisits territory near the first.
+        let pts = [
+            Vec2::new(b.min.x + w, b.min.y + w),
+            Vec2::new(b.min.x + w, b.max.y - w),
+            Vec2::new(b.max.x - w, b.max.y - w),
+            Vec2::new(b.min.x + w, b.min.y + w),
+        ];
+        let path = waypoint_path(&pts, w, 9);
+        assert_eq!(path.len(), 9);
+        assert!(path[0].center().dist(pts[0]) < 1e-9);
+        assert!(path[8].center().dist(pts[3]) < 1e-9);
+        for r in &path {
+            assert!((r.width() - w).abs() < 1e-9);
+        }
+        let mut session = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+        for roi in &path {
+            let q = query_at(&db, *roi);
+            session.move_to(&q);
+            let fresh = db.vd_multi_base(&q, BoundaryPolicy::FetchOnMiss, 16);
+            let a: std::collections::HashSet<u32> = session.front().vertex_ids().collect();
+            let b2: std::collections::HashSet<u32> = fresh.front.vertex_ids().collect();
+            assert_eq!(a, b2, "turning/revisiting path frame must match fresh");
+        }
     }
 
     #[test]

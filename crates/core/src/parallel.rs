@@ -18,7 +18,7 @@
 use dm_geom::{Box3, Rect};
 use dm_mtm::PmNode;
 use dm_storage::StorageResult;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use crate::query::{BoundaryPolicy, DbSource, VdQuery, VdResult, ViResult};
 use crate::record::DmRecord;
@@ -127,7 +127,7 @@ pub fn vd_multi_base_parallel(
     // the sequential loop would have.
     let mut report = IntegrityReport::default();
     let mut cubes = Vec::with_capacity(strips.len());
-    let mut all: HashMap<u32, DmRecord> = HashMap::new();
+    let mut all: FxHashMap<u32, DmRecord> = FxHashMap::default();
     let mut fetched_records = 0usize;
     for strip in fetched {
         let (cube, recs, strip_report) = strip?;
@@ -143,7 +143,7 @@ pub fn vd_multi_base_parallel(
     // union fetch, then one global refinement to the query plane.
     let recs: Vec<DmRecord> = all.values().cloned().collect();
     let mut front = crate::query::assemble_topmost_front(recs, &q.roi);
-    let map: HashMap<u32, PmNode> = all.values().map(|r| (r.node.id, r.node)).collect();
+    let map: FxHashMap<u32, PmNode> = all.values().map(|r| (r.node.id, r.node)).collect();
     let mut source = DbSource::new(db, map, policy);
     let stats = db.refine_accounted(&mut front, &mut source, q, &mut report);
     Ok((

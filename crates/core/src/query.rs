@@ -1,10 +1,9 @@
 //! The three Direct Mesh query algorithms and the multi-base optimizer.
 
-use std::collections::HashMap;
-
 use dm_geom::{Box3, Rect, Vec2};
 use dm_mtm::refine::{refine, FrontMesh, LodTarget, RecordSource, RefineStats};
 use dm_mtm::{PlaneTarget, PmNode};
+use fxhash::FxHashMap;
 
 use dm_storage::{StorageError, StorageResult};
 
@@ -161,7 +160,11 @@ pub struct VdResult {
 /// fall-through to the database on miss.
 pub struct DbSource<'a> {
     db: &'a DirectMeshDb,
-    pub map: HashMap<u32, PmNode>,
+    /// Borrowed base record set (a navigation session's working set).
+    /// Checked first; never written — boundary fetches land in the owned
+    /// overlay `map` so they cannot leak into a longer-lived cache.
+    base: Option<&'a FxHashMap<u32, DmRecord>>,
+    pub map: FxHashMap<u32, PmNode>,
     policy: BoundaryPolicy,
     pub misses_fetched: usize,
     /// Fall-through fetches that failed with a storage error. The record
@@ -174,10 +177,30 @@ pub struct DbSource<'a> {
 }
 
 impl<'a> DbSource<'a> {
-    pub fn new(db: &'a DirectMeshDb, map: HashMap<u32, PmNode>, policy: BoundaryPolicy) -> Self {
+    pub fn new(db: &'a DirectMeshDb, map: FxHashMap<u32, PmNode>, policy: BoundaryPolicy) -> Self {
         DbSource {
             db,
+            base: None,
             map,
+            policy,
+            misses_fetched: 0,
+            fetch_errors: 0,
+            first_error: None,
+        }
+    }
+
+    /// A source reading from a borrowed record map without copying it —
+    /// the navigation hot path, where the working set is large and
+    /// rebuilt-per-frame node maps were the dominant allocation.
+    pub fn borrowed(
+        db: &'a DirectMeshDb,
+        base: &'a FxHashMap<u32, DmRecord>,
+        policy: BoundaryPolicy,
+    ) -> Self {
+        DbSource {
+            db,
+            base: Some(base),
+            map: FxHashMap::default(),
             policy,
             misses_fetched: 0,
             fetch_errors: 0,
@@ -188,6 +211,9 @@ impl<'a> DbSource<'a> {
 
 impl RecordSource for DbSource<'_> {
     fn fetch(&mut self, id: u32) -> Option<PmNode> {
+        if let Some(r) = self.base.and_then(|b| b.get(&id)) {
+            return Some(r.node);
+        }
         if let Some(n) = self.map.get(&id) {
             return Some(*n);
         }
@@ -288,7 +314,7 @@ impl DirectMeshDb {
         // paper's "construct a mesh on the top plane"); for a sub-ROI it
         // additionally seeds regions whose coarse ancestors sit outside
         // the ROI and were deliberately not fetched.
-        let map: HashMap<u32, PmNode> = recs.iter().map(|r| (r.node.id, r.node)).collect();
+        let map: FxHashMap<u32, PmNode> = recs.iter().map(|r| (r.node.id, r.node)).collect();
         let mut front = assemble_topmost_front(recs, &q.roi);
         let mut source = DbSource::new(self, map, policy);
         let stats = self.refine_accounted(&mut front, &mut source, q, &mut report);
@@ -430,7 +456,7 @@ impl DirectMeshDb {
     ) -> StorageResult<(VdResult, IntegrityReport)> {
         let mut report = IntegrityReport::default();
         let mut cubes = Vec::with_capacity(strips.len());
-        let mut all: HashMap<u32, DmRecord> = HashMap::new();
+        let mut all: FxHashMap<u32, DmRecord> = FxHashMap::default();
         let mut fetched = 0usize;
         for rect in strips {
             let (lo, hi) = q.e_range(rect);
@@ -450,7 +476,7 @@ impl DirectMeshDb {
         let recs: Vec<DmRecord> = all.values().cloned().collect();
         let mut front = assemble_topmost_front(recs, &q.roi);
 
-        let map: HashMap<u32, PmNode> = all.values().map(|r| (r.node.id, r.node)).collect();
+        let map: FxHashMap<u32, PmNode> = all.values().map(|r| (r.node.id, r.node)).collect();
         let mut source = DbSource::new(self, map, policy);
         let stats = self.refine_accounted(&mut front, &mut source, q, &mut report);
         Ok((
@@ -472,21 +498,21 @@ impl DirectMeshDb {
 /// or positioned outside the ROI). Topology comes from the connection
 /// lists wherever the seeds' LOD intervals overlap.
 pub(crate) fn assemble_topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMesh {
-    let in_roi: HashMap<u32, DmRecord> = recs
+    let in_roi: FxHashMap<u32, DmRecord> = recs
         .into_iter()
         .filter(|r| roi.contains(r.node.pos.xy()))
         .map(|r| (r.node.id, r))
         .collect();
-    let seeds: HashMap<u32, &DmRecord> = in_roi
+    let seeds: FxHashMap<u32, &DmRecord> = in_roi
         .values()
         .filter(|r| r.node.parent == dm_mtm::NIL_ID || !in_roi.contains_key(&r.node.parent))
         .map(|r| (r.node.id, r))
         .collect();
-    let pos: HashMap<u32, Vec2> = seeds
+    let pos: FxHashMap<u32, Vec2> = seeds
         .values()
         .map(|r| (r.node.id, r.node.pos.xy()))
         .collect();
-    let adj: HashMap<u32, Vec<u32>> = seeds
+    let adj: FxHashMap<u32, Vec<u32>> = seeds
         .values()
         .map(|r| {
             let iv = r.node.interval();
@@ -510,16 +536,16 @@ pub(crate) fn assemble_topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMe
 /// Build the uniform-LOD front at level `e` from fetched records: filter
 /// by interval and ROI, connect via the stored lists, extract faces.
 fn assemble_uniform_front(recs: Vec<DmRecord>, roi: &Rect, e: f64) -> FrontMesh {
-    let active: HashMap<u32, DmRecord> = recs
+    let active: FxHashMap<u32, DmRecord> = recs
         .into_iter()
         .filter(|r| r.node.interval().contains(e) && roi.contains(r.node.pos.xy()))
         .map(|r| (r.node.id, r))
         .collect();
-    let pos: HashMap<u32, Vec2> = active
+    let pos: FxHashMap<u32, Vec2> = active
         .values()
         .map(|r| (r.node.id, r.node.pos.xy()))
         .collect();
-    let adj: HashMap<u32, Vec<u32>> = active
+    let adj: FxHashMap<u32, Vec<u32>> = active
         .values()
         .map(|r| {
             let ns = r

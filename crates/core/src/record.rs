@@ -52,10 +52,63 @@ impl DmRecord {
 
     /// Deserialize from bytes.
     pub fn decode(b: &[u8]) -> DmRecord {
+        RawRecord::parse(b).to_owned()
+    }
+}
+
+/// A zero-copy view of an encoded DM record, borrowing the page slice.
+///
+/// The hot fetch path filters many records per page by their vertical
+/// segment; a `RawRecord` answers the filter fields (`pos_xy`, `e_lo`,
+/// `e_hi`) straight from the bytes, so the per-record `Vec` allocations
+/// of [`DmRecord::decode`] happen only for records that actually match.
+#[derive(Clone, Copy)]
+pub struct RawRecord<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> RawRecord<'a> {
+    /// Validate the length framing and wrap the slice. Panics on a
+    /// malformed record, exactly like [`DmRecord::decode`] did.
+    pub fn parse(b: &'a [u8]) -> RawRecord<'a> {
         assert!(b.len() >= FIXED_LEN, "truncated DM record");
         let n_conn = codec::get_u16(b, 64) as usize;
         assert_eq!(b.len(), FIXED_LEN + 4 * n_conn, "corrupt DM record length");
-        let node = PmNode {
+        RawRecord { bytes: b }
+    }
+
+    #[inline]
+    pub fn id(&self) -> u32 {
+        codec::get_u32(self.bytes, 0)
+    }
+
+    #[inline]
+    pub fn pos_xy(&self) -> dm_geom::Vec2 {
+        dm_geom::Vec2::new(
+            codec::get_f64(self.bytes, 4),
+            codec::get_f64(self.bytes, 12),
+        )
+    }
+
+    #[inline]
+    pub fn e_lo(&self) -> f64 {
+        codec::get_f64(self.bytes, 28)
+    }
+
+    #[inline]
+    pub fn e_hi(&self) -> f64 {
+        codec::get_f64(self.bytes, 36)
+    }
+
+    #[inline]
+    pub fn conn_len(&self) -> usize {
+        codec::get_u16(self.bytes, 64) as usize
+    }
+
+    /// Decode the fixed part into a [`PmNode`] (no allocation).
+    pub fn node(&self) -> PmNode {
+        let b = self.bytes;
+        PmNode {
             id: codec::get_u32(b, 0),
             pos: Vec3::new(
                 codec::get_f64(b, 4),
@@ -69,11 +122,21 @@ impl DmRecord {
             child2: codec::get_u32(b, 52),
             wing1: codec::get_u32(b, 56),
             wing2: codec::get_u32(b, 60),
-        };
-        let conn = (0..n_conn)
-            .map(|i| codec::get_u32(b, FIXED_LEN + i * 4))
-            .collect();
-        DmRecord { node, conn }
+        }
+    }
+
+    /// The connection list, decoded lazily.
+    pub fn conn_iter(&self) -> impl Iterator<Item = u32> + 'a {
+        let b = self.bytes;
+        (0..self.conn_len()).map(move |i| codec::get_u32(b, FIXED_LEN + i * 4))
+    }
+
+    /// Materialize the full owned record (the only allocating step).
+    pub fn to_owned(&self) -> DmRecord {
+        DmRecord {
+            node: self.node(),
+            conn: self.conn_iter().collect(),
+        }
     }
 }
 
@@ -150,5 +213,20 @@ mod tests {
         let mut bytes = sample_record().encode();
         bytes.push(0);
         DmRecord::decode(&bytes);
+    }
+
+    #[test]
+    fn raw_record_reads_fields_without_decoding() {
+        let r = sample_record();
+        let bytes = r.encode();
+        let raw = RawRecord::parse(&bytes);
+        assert_eq!(raw.id(), r.node.id);
+        assert_eq!(raw.pos_xy(), r.node.pos.xy());
+        assert_eq!(raw.e_lo(), r.node.e_lo);
+        assert!(raw.e_hi().is_infinite());
+        assert_eq!(raw.conn_len(), r.conn.len());
+        assert_eq!(raw.conn_iter().collect::<Vec<_>>(), r.conn);
+        assert_eq!(raw.node(), r.node);
+        assert_eq!(raw.to_owned(), r);
     }
 }

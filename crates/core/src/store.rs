@@ -9,7 +9,27 @@ use dm_mtm::builder::PmBuild;
 use dm_mtm::PmNode;
 use dm_storage::{BTree, BufferPool, HeapFile, RecordId, StorageResult};
 
-use crate::record::DmRecord;
+use crate::record::{DmRecord, RawRecord};
+
+/// Counters for one range-fetch operation, used by the navigation bench
+/// to show what delta planning saves beyond raw page reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchCounters {
+    /// Candidate heap pages the index descent produced (deduplicated).
+    pub pages_scanned: u64,
+    /// Records whose header was examined during page scans.
+    pub records_examined: u64,
+    /// Records fully decoded (matched the query box and materialized).
+    pub records_decoded: u64,
+}
+
+impl FetchCounters {
+    pub fn merge(&mut self, o: &FetchCounters) {
+        self.pages_scanned += o.pages_scanned;
+        self.records_examined += o.records_examined;
+        self.records_decoded += o.records_decoded;
+    }
+}
 
 /// What a degraded read had to give up.
 ///
@@ -363,17 +383,18 @@ impl DirectMeshDb {
             let lo_len = lo_sorted.len();
             let hi_len = hi_sorted.len();
             let scanned = heap.try_for_each_in_page(page, |rid, bytes| {
-                let rec = DmRecord::decode(bytes);
-                lo_sorted.push(rec.node.e_lo);
-                if rec.node.e_hi.is_finite() {
-                    hi_sorted.push(rec.node.e_hi);
+                let raw = RawRecord::parse(bytes);
+                let (e_lo, e_hi) = (raw.e_lo(), raw.e_hi());
+                lo_sorted.push(e_lo);
+                if e_hi.is_finite() {
+                    hi_sorted.push(e_hi);
                 }
-                let hi = if rec.node.e_hi.is_finite() {
-                    rec.node.e_hi.min(e_cap)
+                let hi = if e_hi.is_finite() {
+                    e_hi.min(e_cap)
                 } else {
                     e_cap
                 };
-                let seg = Box3::vertical_segment(rec.node.pos.xy(), rec.node.e_lo.min(hi), hi);
+                let seg = Box3::vertical_segment(raw.pos_xy(), e_lo.min(hi), hi);
                 page_boxes
                     .entry(rid.page)
                     .and_modify(|acc| *acc = acc.union(&seg))
@@ -451,6 +472,19 @@ impl DirectMeshDb {
         &self.rtree
     }
 
+    /// The indexed vertical segment of a record (root intervals clamped
+    /// to the stored cap) — the exact shape the fetch paths test query
+    /// boxes against. Incremental navigation uses it to decide which
+    /// cached records a shrinking region of interest keeps.
+    pub fn record_segment(&self, node: &dm_mtm::PmNode) -> Box3 {
+        let hi = if node.e_hi.is_finite() {
+            node.e_hi
+        } else {
+            self.e_cap()
+        };
+        Box3::vertical_segment(node.pos.xy(), node.e_lo.min(hi), hi)
+    }
+
     /// Fetch every record whose vertical segment intersects `q`: index
     /// lookup for the candidate pages, then a scan of each page with an
     /// exact segment test. Panics on storage errors; see
@@ -463,7 +497,8 @@ impl DirectMeshDb {
     /// Strict fallible fetch: the first unreadable page aborts the query.
     pub fn try_fetch_box(&self, q: &Box3) -> StorageResult<Vec<DmRecord>> {
         let mut report = IntegrityReport::default();
-        self.fetch_box_inner(q, true, &mut report)
+        let mut counters = FetchCounters::default();
+        self.fetch_box_inner(q, true, &mut report, &mut counters)
     }
 
     /// Degraded fetch: heap pages that stay unreadable after the buffer
@@ -476,7 +511,19 @@ impl DirectMeshDb {
         q: &Box3,
         report: &mut IntegrityReport,
     ) -> StorageResult<Vec<DmRecord>> {
-        self.fetch_box_inner(q, false, report)
+        let mut counters = FetchCounters::default();
+        self.fetch_box_inner(q, false, report, &mut counters)
+    }
+
+    /// [`Self::fetch_box_degraded`] that additionally accumulates
+    /// page/record [`FetchCounters`] for the operation.
+    pub fn fetch_box_counted(
+        &self,
+        q: &Box3,
+        report: &mut IntegrityReport,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<Vec<DmRecord>> {
+        self.fetch_box_inner(q, false, report, counters)
     }
 
     fn fetch_box_inner(
@@ -484,6 +531,7 @@ impl DirectMeshDb {
         q: &Box3,
         strict: bool,
         report: &mut IntegrityReport,
+        counters: &mut FetchCounters,
     ) -> StorageResult<Vec<DmRecord>> {
         // Attribute only this thread's retries to this operation (the
         // pool counter is shared across concurrent workers).
@@ -492,25 +540,27 @@ impl DirectMeshDb {
         self.rtree.try_query(q, |_, page| pages.push(page))?;
         pages.sort_unstable();
         pages.dedup();
+        counters.pages_scanned += pages.len() as u64;
         let est_points = self.mean_records_per_page();
         let mut out = Vec::new();
         for &page in &pages {
             let len_before = out.len();
+            let mut examined = 0u64;
             let r = self
                 .heap
                 .try_for_each_in_page(page as dm_storage::PageId, |_, bytes| {
-                    let rec = DmRecord::decode(bytes);
-                    let n = &rec.node;
-                    let hi = if n.e_hi.is_finite() {
-                        n.e_hi
-                    } else {
-                        self.e_cap()
-                    };
-                    let seg = Box3::vertical_segment(n.pos.xy(), n.e_lo.min(hi), hi);
+                    // Borrowing view: the exact segment test reads only the
+                    // fixed header; non-matching records never allocate.
+                    let raw = RawRecord::parse(bytes);
+                    examined += 1;
+                    let e_hi = raw.e_hi();
+                    let hi = if e_hi.is_finite() { e_hi } else { self.e_cap() };
+                    let seg = Box3::vertical_segment(raw.pos_xy(), raw.e_lo().min(hi), hi);
                     if seg.intersects(q) {
-                        out.push(rec);
+                        out.push(raw.to_owned());
                     }
                 });
+            counters.records_examined += examined;
             if let Err(e) = r {
                 if strict {
                     report.retries += dm_storage::thread_retries() - retries_before;
@@ -522,6 +572,7 @@ impl DirectMeshDb {
                 report.record_loss(est_points, &e);
             }
         }
+        counters.records_decoded += out.len() as u64;
         report.retries += dm_storage::thread_retries() - retries_before;
         Ok(out)
     }

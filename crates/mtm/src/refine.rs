@@ -18,9 +18,11 @@
 //! policy decides whether that is acceptable or triggers a fetch.
 
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::BuildHasher;
 
 use dm_geom::tri::orient2d;
 use dm_geom::Vec2;
+use fxhash::{FxHashMap, FxHashSet};
 
 use crate::hierarchy::{PmHierarchy, PmNode, NIL_ID};
 
@@ -70,8 +72,9 @@ impl RecordSource for &PmHierarchy {
     }
 }
 
-/// A map of fetched records (what a range query returned).
-impl RecordSource for HashMap<u32, PmNode> {
+/// A map of fetched records (what a range query returned) — generic over
+/// the hasher so the fast `FxHashMap` working sets qualify too.
+impl<S: BuildHasher> RecordSource for HashMap<u32, PmNode, S> {
     fn fetch(&mut self, id: u32) -> Option<PmNode> {
         self.get(&id).copied()
     }
@@ -141,15 +144,16 @@ pub struct RefineStats {
     pub missing_records: usize,
 }
 
+#[derive(Clone)]
 struct FrontVert {
     node: PmNode,
     tris: Vec<u32>,
 }
 
 /// The explicit front mesh, keyed by PM node ids.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct FrontMesh {
-    verts: HashMap<u32, FrontVert>,
+    verts: FxHashMap<u32, FrontVert>,
     tris: Vec<[u32; 3]>,
     tri_alive: Vec<bool>,
     live_tris: usize,
@@ -233,6 +237,12 @@ impl FrontMesh {
         self.live_tris
     }
 
+    /// Total triangle slots including dead ones left by removals — the
+    /// signal long-lived fronts use to decide when to [`Self::compact`].
+    pub fn triangle_slots(&self) -> usize {
+        self.tris.len()
+    }
+
     pub fn vertex_ids(&self) -> impl Iterator<Item = u32> + '_ {
         self.verts.keys().copied()
     }
@@ -268,8 +278,9 @@ impl FrontMesh {
             return Some(Vec::new());
         }
         // succ[a] = b for each incident CCW triangle (id, a, b).
-        let mut succ: HashMap<u32, u32> = HashMap::with_capacity(fv.tris.len());
-        let mut has_pred: HashMap<u32, bool> = HashMap::new();
+        let mut succ: FxHashMap<u32, u32> =
+            FxHashMap::with_capacity_and_hasher(fv.tris.len(), Default::default());
+        let mut has_pred: FxHashMap<u32, bool> = FxHashMap::default();
         for &t in &fv.tris {
             let tri = self.tris[t as usize];
             let k = tri.iter().position(|&x| x == id).expect("incident");
@@ -345,6 +356,50 @@ impl FrontMesh {
         }
     }
 
+    /// Remove every triangle incident to `id` but keep the vertex itself
+    /// (used to clear a dirty neighbourhood before re-extracting it).
+    pub fn remove_incident_triangles(&mut self, id: u32) {
+        if let Some(fv) = self.verts.get(&id) {
+            for t in fv.tris.clone() {
+                self.remove_triangle(t);
+            }
+        }
+    }
+
+    /// Patch the front in place: drop `gone` vertices with their fans,
+    /// clear the fans of the `dirty` survivors, then absorb replacement
+    /// vertices and triangles. The one entry point incremental
+    /// navigation uses to keep a session front current without a rebuild.
+    pub fn splice(&mut self, gone: &[u32], dirty: &[u32], nodes: Vec<PmNode>, tris: &[[u32; 3]]) {
+        for &v in gone {
+            self.remove_vertex(v);
+        }
+        for &v in dirty {
+            self.remove_incident_triangles(v);
+        }
+        self.absorb(nodes, tris);
+    }
+
+    /// Rebuild the triangle table without the dead slots that removals
+    /// leave behind (triangle indices are renumbered). Long-lived
+    /// navigation fronts call this to keep memory proportional to the
+    /// live mesh instead of its whole edit history.
+    pub fn compact(&mut self) {
+        if self.live_tris == self.tris.len() {
+            return;
+        }
+        let live: Vec<[u32; 3]> = self.triangles().collect();
+        self.tris.clear();
+        self.tri_alive.clear();
+        self.live_tris = 0;
+        for fv in self.verts.values_mut() {
+            fv.tris.clear();
+        }
+        for t in live {
+            self.add_triangle(t);
+        }
+    }
+
     fn remove_triangle_even_if_vertex_gone(&mut self, t: u32, gone: u32) {
         if !self.tri_alive[t as usize] {
             return;
@@ -363,7 +418,7 @@ impl FrontMesh {
     /// Number of mesh edges bordered by exactly one triangle — the hull
     /// plus any seams/holes; a diagnostic for multi-base stitching.
     pub fn boundary_edge_count(&self) -> usize {
-        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut counts: FxHashMap<(u32, u32), u32> = FxHashMap::default();
         for t in self.triangles() {
             for i in 0..3 {
                 let a = t[i].min(t[(i + 1) % 3]);
@@ -379,7 +434,7 @@ impl FrontMesh {
     pub fn to_trimesh(&self) -> (dm_terrain::TriMesh, Vec<u32>) {
         let mut ids: Vec<u32> = self.verts.keys().copied().collect();
         ids.sort_unstable();
-        let remap: HashMap<u32, u32> = ids
+        let remap: FxHashMap<u32, u32> = ids
             .iter()
             .enumerate()
             .map(|(i, &id)| (id, i as u32))
@@ -435,7 +490,7 @@ pub fn refine(
         .map(|v| heap_item(&v.node))
         .collect();
     // Ids whose split is known to be impossible (don't retry forever).
-    let mut dead_ends: std::collections::HashSet<u32> = Default::default();
+    let mut dead_ends: FxHashSet<u32> = Default::default();
 
     while let Some(item) = heap.pop() {
         let id = item.id;
@@ -1144,6 +1199,80 @@ mod tests {
         refine(&mut front, &mut src, &UniformTarget(0.0));
         // A full-resolution 5×5 grid has 16 hull edges.
         assert_eq!(front.boundary_edge_count(), 16);
+    }
+
+    #[test]
+    fn splice_round_trip_restores_the_front() {
+        // Remove an interior vertex's star, then splice the original
+        // pieces back: vertex set, triangle count and validity return.
+        let (_, build) = setup(5, 61);
+        let h = &build.hierarchy;
+        let mut front = root_front(h);
+        let mut src: &PmHierarchy = h;
+        refine(&mut front, &mut src, &UniformTarget(0.0));
+        let before_tris = edge_set(front.triangles());
+        let before_verts = front.num_vertices();
+
+        let victim = 12; // interior vertex of the 5×5 grid
+        let node = *front.node(victim).unwrap();
+        let ring: Vec<u32> = front.neighbors(victim);
+        // Every triangle touching the dirty neighbourhood, captured
+        // before surgery so the splice can restore them all.
+        let affected: Vec<[u32; 3]> = front
+            .triangles()
+            .filter(|t| t.contains(&victim) || t.iter().any(|v| ring.contains(v)))
+            .collect();
+
+        front.splice(&[victim], &ring, vec![node], &affected);
+        assert!(front.contains(victim));
+        assert_eq!(front.num_vertices(), before_verts);
+        assert_eq!(edge_set(front.triangles()), before_tris);
+        let (mesh, _) = front.to_trimesh();
+        mesh.validate().expect("spliced front structurally valid");
+    }
+
+    #[test]
+    fn compact_preserves_mesh_and_drops_dead_slots() {
+        let (_, build) = setup(7, 62);
+        let h = &build.hierarchy;
+        let mut front = root_front(h);
+        let mut src: &PmHierarchy = h;
+        refine(&mut front, &mut src, &UniformTarget(0.0));
+        // Removals (here via coarsening) leave dead triangle slots.
+        coarsen(&mut front, &mut src, &UniformTarget(h.e_max * 0.5));
+        let edges = edge_set(front.triangles());
+        let n_live = front.num_triangles();
+        front.compact();
+        assert_eq!(front.num_triangles(), n_live);
+        assert_eq!(front.tris.len(), n_live, "no dead slots after compact");
+        assert_eq!(edge_set(front.triangles()), edges);
+        let (mesh, _) = front.to_trimesh();
+        mesh.validate().expect("compacted front valid");
+    }
+
+    #[test]
+    fn cloned_front_refines_identically() {
+        let (_, build) = setup(9, 63);
+        let h = &build.hierarchy;
+        let mut a = root_front(h);
+        let mut src: &PmHierarchy = h;
+        refine(&mut a, &mut src, &UniformTarget(h.e_max * 0.4));
+        let b = a.clone();
+        let b_verts = b.num_vertices();
+        let b_edges = edge_set(b.triangles());
+        // Refine the original and the clone further; both must agree.
+        refine(&mut a, &mut src, &UniformTarget(0.0));
+        let mut b2 = b.clone();
+        refine(&mut b2, &mut src, &UniformTarget(0.0));
+        let mut ia: Vec<u32> = a.vertex_ids().collect();
+        let mut ib: Vec<u32> = b2.vertex_ids().collect();
+        ia.sort();
+        ib.sort();
+        assert_eq!(ia, ib);
+        assert_eq!(edge_set(a.triangles()), edge_set(b2.triangles()));
+        // The clone we kept is untouched.
+        assert_eq!(b.num_vertices(), b_verts);
+        assert_eq!(edge_set(b.triangles()), b_edges);
     }
 
     #[test]

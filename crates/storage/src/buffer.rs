@@ -295,7 +295,7 @@ impl BufferPool {
             return Ok(());
         }
         self.stats.record_read();
-        shard.stats.record_read();
+        shard.stats.mirror_read();
         let buf = self.fetch_verified(shard, id)?;
         self.install(shard, inner, id, buf, false)
     }

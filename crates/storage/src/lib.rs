@@ -37,5 +37,5 @@ pub use error::{StorageError, StorageResult};
 pub use fault::{FaultConfig, FaultCounters, FaultInjector};
 pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_DATA, PAGE_SIZE};
-pub use stats::{thread_retries, AccessStats, StatsSnapshot};
+pub use stats::{thread_reads, thread_retries, AccessStats, StatsSnapshot};
 pub use store::{FileStore, MemStore, PageStore};

@@ -17,6 +17,13 @@ thread_local! {
     /// each observing the shared counter would both absorb the other's
     /// retries into their own tally.
     static THREAD_RETRIES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+
+    /// Page reads (cache misses) recorded *by this thread*, across all
+    /// pools. Same attribution argument as [`THREAD_RETRIES`]: a
+    /// before/after delta of this counter around an operation counts
+    /// exactly the disk accesses that operation caused, no matter how
+    /// many other sessions are hitting the same pool concurrently.
+    static THREAD_READS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// Monotone count of retries recorded by the calling thread (see
@@ -25,6 +32,15 @@ thread_local! {
 /// [`StatsSnapshot::retries`], which mixes in other threads' retries.
 pub fn thread_retries() -> u64 {
     THREAD_RETRIES.with(|c| c.get())
+}
+
+/// Monotone count of page reads recorded by the calling thread (see
+/// [`AccessStats::record_read`]). The paper's disk-access metric for *one*
+/// operation under concurrency: take this before and after, use the
+/// delta. A delta of the shared [`StatsSnapshot::reads`] would absorb
+/// every other session's traffic.
+pub fn thread_reads() -> u64 {
+    THREAD_READS.with(|c| c.get())
 }
 
 /// Monotonic counters for page traffic between buffer pool and store.
@@ -71,8 +87,21 @@ impl AccessStats {
         Self::default()
     }
 
+    /// Count one page fetched from the store. Also bumps the calling
+    /// thread's [`thread_reads`] counter so concurrent operations can
+    /// each attribute exactly their own disk accesses.
     #[inline]
     pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        THREAD_READS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Increment the read counter *without* touching the calling
+    /// thread's attribution tally — for per-shard mirror counters, whose
+    /// paired global [`Self::record_read`] already bumped
+    /// [`thread_reads`].
+    #[inline]
+    pub(crate) fn mirror_read(&self) {
         self.reads.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -160,6 +189,30 @@ mod tests {
             "this thread's tally is untouched by the other thread"
         );
         assert_eq!(s.snapshot().retries, 3, "global counter sees all three");
+    }
+
+    #[test]
+    fn thread_reads_attribute_to_the_calling_thread() {
+        let s = std::sync::Arc::new(AccessStats::new());
+        let base_here = thread_reads();
+        s.record_read();
+        s.record_read();
+        s.mirror_read(); // shard mirror: global counter only
+        let s2 = std::sync::Arc::clone(&s);
+        let other = std::thread::spawn(move || {
+            let base = thread_reads();
+            s2.record_read();
+            thread_reads() - base
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1, "other thread sees exactly its own read");
+        assert_eq!(
+            thread_reads() - base_here,
+            2,
+            "mirror_read must not inflate the thread-local tally"
+        );
+        assert_eq!(s.snapshot().reads, 4, "global counter sees all four");
     }
 
     #[test]

@@ -24,4 +24,11 @@ cargo test --workspace -q -- --test-threads=1
 echo "== benches compile"
 cargo build --release --benches --workspace
 
+echo "== navigation bench smoke (tiny terrain, short path)"
+# The bench runs with the package directory as cwd; anchor the output
+# inside the workspace target dir so smoke runs never clobber the
+# committed BENCH_navigation.json.
+DM_SCALE=ci DM_NAV_FRAMES=4 DM_NAV_OUT="$PWD/target/BENCH_navigation.ci.json" \
+    cargo bench -p dm-bench --bench navigation >/dev/null
+
 echo "ci: all green"

@@ -1,0 +1,319 @@
+//! Property-based navigation tests: an incremental [`NavigationSession`]
+//! must produce exactly the mesh a fresh multi-base query produces, frame
+//! by frame, along arbitrary waypoint paths — including under transient
+//! read faults and on a database opened in degraded mode over persistent
+//! corruption.
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+use dm_core::navigation::waypoint_path;
+use dm_core::{
+    BoundaryPolicy, DirectMeshDb, DmBuildOptions, IntegrityReport, NavigationSession, VdQuery,
+};
+use dm_geom::{Rect, Vec2};
+use dm_mtm::builder::{build_pm, PmBuildConfig};
+use dm_mtm::refine::FrontMesh;
+use dm_mtm::PlaneTarget;
+use dm_storage::{BufferPool, FaultConfig, FaultInjector, FileStore, MemStore, PAGE_SIZE};
+use dm_terrain::{generate, TriMesh};
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dm_nav_{}_{name}.db", std::process::id()))
+}
+
+fn build_db(side: usize, seed: u64) -> DirectMeshDb {
+    let hf = generate::fractal_terrain(side, side, seed);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+    let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 2048));
+    DirectMeshDb::build(pool, &pm, &DmBuildOptions::default())
+}
+
+/// Viewer at the leading (north) edge of the window looking back south:
+/// fine near the viewer, coarse in the distance.
+fn query_at(db: &DirectMeshDb, roi: Rect) -> VdQuery {
+    let e_min = db.e_max * 0.002;
+    let slope = db.e_max * 0.2 / roi.height().max(1e-9);
+    VdQuery {
+        roi,
+        target: PlaneTarget {
+            origin: Vec2::new(roi.min.x, roi.max.y),
+            dir: Vec2::new(0.0, -1.0),
+            e_min,
+            slope,
+            e_max: e_min + slope * roi.height(),
+        },
+    }
+}
+
+fn vertex_set(front: &FrontMesh) -> HashSet<u32> {
+    front.vertex_ids().collect()
+}
+
+/// Triangles normalised to start at their smallest vertex id, so two
+/// fronts compare equal regardless of internal slot order.
+fn face_set(front: &FrontMesh) -> BTreeSet<[u32; 3]> {
+    front
+        .triangles()
+        .map(|mut t| {
+            let k = t.iter().enumerate().min_by_key(|(_, &v)| v).unwrap().0;
+            t.rotate_left(k);
+            t
+        })
+        .collect()
+}
+
+/// Map unit-square waypoint fractions into the terrain bounds (with a
+/// margin so the sliding window stays mostly inside).
+fn path_in_bounds(
+    db: &DirectMeshDb,
+    fracs: &[(f64, f64)],
+    window_frac: f64,
+    frames: usize,
+) -> (Vec<Rect>, f64) {
+    let b = db.bounds;
+    let pts: Vec<Vec2> = fracs
+        .iter()
+        .map(|&(fx, fy)| Vec2::new(b.min.x + fx * b.width(), b.min.y + fy * b.height()))
+        .collect();
+    let window = b.width().min(b.height()) * window_frac;
+    (waypoint_path(&pts, window, frames), window)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline equivalence: along a random waypoint path, every
+    /// incremental frame has exactly the vertex set AND face set of a
+    /// cold multi-base query — for either boundary policy and arbitrary
+    /// cube budgets.
+    #[test]
+    fn incremental_session_matches_fresh_queries_on_random_paths(
+        terrain_seed in 0u64..10_000,
+        side in 13usize..20,
+        fracs in collection::vec((0.2..0.8f64, 0.2..0.8f64), 2..5),
+        window_frac in 0.25..0.5f64,
+        frames in 4usize..8,
+        fetch_on_miss in any::<bool>(),
+        max_cubes in 4usize..24,
+    ) {
+        let db = build_db(side, terrain_seed);
+        let policy = if fetch_on_miss {
+            BoundaryPolicy::FetchOnMiss
+        } else {
+            BoundaryPolicy::Skip
+        };
+        let (path, _) = path_in_bounds(&db, &fracs, window_frac, frames);
+        let mut session = NavigationSession::new(&db, policy).with_max_cubes(max_cubes);
+        for roi in &path {
+            let q = query_at(&db, *roi);
+            let stats = session.move_to(&q);
+            prop_assert!(stats.vertices > 0, "empty frame at roi {roi:?}");
+            let fresh = db.vd_multi_base(&q, policy, max_cubes);
+            prop_assert_eq!(
+                vertex_set(session.front()),
+                vertex_set(&fresh.front),
+                "vertex sets diverge at roi {:?}",
+                roi
+            );
+            prop_assert_eq!(
+                face_set(session.front()),
+                face_set(&fresh.front),
+                "face sets diverge at roi {:?}",
+                roi
+            );
+        }
+    }
+
+    /// With ~1% transient read faults the pool's retries usually heal the
+    /// frame, and a healed frame must still match a fresh query exactly.
+    /// A frame that exhausts retries degrades: it reports losses instead
+    /// of failing, the mesh stays valid, and equivalence is only waived
+    /// from that point on (the session legitimately kept fewer records).
+    #[test]
+    fn transient_read_faults_heal_or_degrade_cleanly(
+        terrain_seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        fracs in collection::vec((0.25..0.75f64, 0.25..0.75f64), 2..4),
+        window_frac in 0.3..0.5f64,
+    ) {
+        let path_name = format!("fault_{terrain_seed}_{fault_seed}");
+        let file = tmp(&path_name);
+        {
+            let hf = generate::fractal_terrain(17, 17, terrain_seed);
+            let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+            let pool = Arc::new(BufferPool::new(
+                Box::new(FileStore::create(&file).unwrap()),
+                1024,
+            ));
+            DirectMeshDb::create_in(pool, &pm, &DmBuildOptions::default());
+        }
+        let inj = FaultInjector::new(
+            Box::new(FileStore::open(&file).unwrap()),
+            FaultConfig::new(fault_seed).with_read_fail_rate(0.01),
+        );
+        let pool = Arc::new(BufferPool::new(Box::new(inj), 1024));
+        let db = DirectMeshDb::open(pool).expect("catalog readable despite 1% faults");
+
+        let (path, _) = path_in_bounds(&db, &fracs, window_frac, 6);
+        let mut session = NavigationSession::new(&db, BoundaryPolicy::Skip);
+        let mut tainted = false;
+        for roi in &path {
+            let q = query_at(&db, *roi);
+            let (stats, report) = match session.try_move_to(&q) {
+                Ok(ok) => ok,
+                // An index-page read that exhausted its retries aborts the
+                // frame; the session must stay usable (no partial state).
+                Err(_) => {
+                    tainted = true;
+                    continue;
+                }
+            };
+            prop_assert!(stats.vertices > 0);
+            let (mesh, _) = session.front().to_trimesh();
+            prop_assert!(mesh.validate().is_ok(), "{:?}", mesh.validate());
+            if !report.is_clean() {
+                tainted = true;
+            }
+            if tainted {
+                continue;
+            }
+            // Healed frame: exact equivalence against a fresh query, which
+            // may itself hit (and heal or report) faults.
+            let (fresh, fresh_report) =
+                match db.try_vd_multi_base(&q, BoundaryPolicy::Skip, 16) {
+                    Ok(ok) => ok,
+                    Err(_) => continue,
+                };
+            if !fresh_report.is_clean() {
+                continue;
+            }
+            prop_assert_eq!(vertex_set(session.front()), vertex_set(&fresh.front));
+            prop_assert_eq!(face_set(session.front()), face_set(&fresh.front));
+        }
+        std::fs::remove_file(&file).ok();
+    }
+}
+
+/// Persistent corruption: scribble over part of the heap, attach with
+/// `open_degraded`, and walk the terrain. Every frame must degrade
+/// deterministically — same surviving records as a cold query on the same
+/// wounded database — report its losses, and never yield an invalid mesh.
+#[test]
+fn degraded_database_supports_incremental_navigation() {
+    let file = tmp("degraded_walk");
+    let hf = generate::fractal_terrain(25, 25, 4242);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+    {
+        let pool = Arc::new(BufferPool::new(
+            Box::new(FileStore::create(&file).unwrap()),
+            1024,
+        ));
+        DirectMeshDb::create_in(pool, &pm, &DmBuildOptions::default());
+    }
+
+    // Corrupt a third of the heap behind the pool's back.
+    let pool = Arc::new(BufferPool::new(
+        Box::new(FileStore::open(&file).unwrap()),
+        1024,
+    ));
+    let heap_pages = dm_core::catalog::read_catalog(&pool, 0).unwrap().heap_pages;
+    drop(pool);
+    let n_corrupt = (heap_pages.len() / 3).max(1);
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new().write(true).open(&file).unwrap();
+        for &page in heap_pages.iter().take(n_corrupt) {
+            f.seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64 + 77))
+                .unwrap();
+            f.write_all(b"scribble").unwrap();
+        }
+        f.sync_all().unwrap();
+    }
+
+    let pool = Arc::new(BufferPool::new(
+        Box::new(FileStore::open(&file).unwrap()),
+        1024,
+    ));
+    let mut open_report = IntegrityReport::default();
+    let db = DirectMeshDb::open_degraded(pool, &mut open_report).expect("catalog intact");
+    assert!(
+        !open_report.is_clean(),
+        "corruption must be visible at open"
+    );
+
+    // Clean twin of the same terrain for the subset sanity check.
+    let clean_pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 2048));
+    let clean_db = DirectMeshDb::build(clean_pool, &pm, &DmBuildOptions::default());
+
+    let fracs = [(0.3, 0.3), (0.7, 0.4), (0.5, 0.7)];
+    let (path, _) = path_in_bounds(&db, &fracs, 0.45, 8);
+    let mut session = NavigationSession::new(&db, BoundaryPolicy::Skip);
+    let mut merged = IntegrityReport::default();
+    for roi in &path {
+        let q = query_at(&db, *roi);
+        let (stats, report) = session
+            .try_move_to(&q)
+            .expect("index pages untouched; heap losses must degrade, not abort");
+        merged.merge(report);
+        assert!(
+            stats.vertices > 0,
+            "a third of the heap is not the whole mesh"
+        );
+        let (mesh, _) = session.front().to_trimesh();
+        assert!(mesh.validate().is_ok(), "{:?}", mesh.validate());
+
+        // The corruption is persistent and deterministic, so the session's
+        // surviving working set equals a cold query's — frames still match.
+        let (fresh, _) = db
+            .try_vd_multi_base(&q, BoundaryPolicy::Skip, 16)
+            .expect("cold query degrades the same way");
+        assert_eq!(vertex_set(session.front()), vertex_set(&fresh.front));
+        assert_eq!(face_set(session.front()), face_set(&fresh.front));
+
+        // The wounded mesh never invents geometry: every vertex it shows
+        // also exists in the clean twin's full record set. (It may show
+        // *more* vertices than the clean frame — losing a parent record
+        // promotes its children to unrefinable seeds — so no size or
+        // subset relation holds against the clean *frame*.)
+        let clean = clean_db.vd_multi_base(&q, BoundaryPolicy::Skip, 16);
+        assert!(clean.front.num_vertices() > 0);
+        for v in session.front().vertex_ids() {
+            assert!(
+                (v as usize) < pm.hierarchy.len(),
+                "vertex {v} not in hierarchy"
+            );
+        }
+    }
+    assert!(
+        merged.pages_lost > 0,
+        "an 8-frame sweep over a third-corrupt heap must hit losses"
+    );
+    std::fs::remove_file(&file).ok();
+}
+
+/// Regression guard at the integration level: nudging the window by a
+/// quarter of its width must fetch strictly fewer records than the cold
+/// requery answering the same frame.
+#[test]
+fn small_shift_beats_cold_requery() {
+    let db = build_db(21, 99);
+    let b = db.bounds;
+    let window = b.width().min(b.height()) * 0.5;
+    let start = b.center();
+    let step = Vec2::new(window * 0.25, 0.0);
+    let r0 = Rect::centered_square(start, window);
+    let r1 = Rect::centered_square(Vec2::new(start.x + step.x, start.y + step.y), window);
+
+    let mut session = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+    session.move_to(&query_at(&db, r0));
+    let warm = session.move_to(&query_at(&db, r1));
+    let fresh = db.vd_multi_base(&query_at(&db, r1), BoundaryPolicy::FetchOnMiss, 16);
+    assert!(
+        warm.fetched_records < fresh.fetched_records,
+        "warm frame fetched {} records, cold requery fetched {}",
+        warm.fetched_records,
+        fresh.fetched_records
+    );
+}

@@ -1,0 +1,142 @@
+//! Offline shim for `fxhash`: the Firefox/rustc "Fx" multiply-xor hash.
+//! The build container has no access to crates.io, so the workspace
+//! vendors the few external crates it needs as minimal local
+//! implementations (see `vendor/README.md`).
+//!
+//! The algorithm is the classic per-word mix used by rustc's `FxHasher`:
+//! `state = (state.rotate_left(5) ^ word) * K` with a fixed odd constant.
+//! It is *not* DoS-resistant — exactly like upstream — which is the
+//! point: the hot maps in this workspace are keyed by dense internal
+//! `u32` vertex ids, where SipHash's per-lookup setup cost dominates and
+//! adversarial keys cannot occur.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `pi.frac() * 2^64`, the multiplier upstream uses for 64-bit state.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A [`HashMap`] using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Zero-cost `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Fast, non-cryptographic hasher for small fixed-width keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (head, rest) = bytes.split_at(8);
+            self.add_word(u64::from_le_bytes(head.try_into().unwrap()));
+            bytes = rest;
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_ne!(hash_of(42u32), hash_of(43u32));
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+    }
+
+    #[test]
+    fn dense_u32_keys_spread() {
+        // The only real requirement: consecutive ids must not collide or
+        // cluster into a few buckets.
+        let mut seen = HashSet::new();
+        for id in 0u32..10_000 {
+            seen.insert(hash_of(id) % 1024);
+        }
+        assert!(
+            seen.len() == 1024,
+            "only {} of 1024 buckets hit",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content() {
+        assert_eq!(hash_of([1u8, 2, 3].as_slice()), hash_of(vec![1u8, 2, 3]));
+        assert_ne!(
+            hash_of([1u8, 2, 3].as_slice()),
+            hash_of([1u8, 2, 3, 0].as_slice())
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&99));
+    }
+}
