@@ -49,7 +49,9 @@ fn encode_pm_record(n: &PmNode, fp: &Rect) -> Vec<u8> {
 
 fn decode_pm_record(b: &[u8]) -> (PmNode, Rect) {
     assert!(b.len() >= FIXED_LEN + 32, "truncated PM record");
-    let node = DmRecord::decode(&b[..b.len() - 32]).node;
+    // Header-only parse: no connection-list Vec is materialized and
+    // discarded on this scan path.
+    let node = dm_core::record::RawRecord::parse(&b[..b.len() - 32]).node();
     let f = |i: usize| {
         f64::from_le_bytes(
             b[b.len() - 32 + 8 * i..b.len() - 24 + 8 * i]

@@ -63,8 +63,14 @@ fn print_help() {
 
 commands:
   generate --kind <mining|crater|ramp> --size <n> [--seed <s>] -o <file.dmh|.asc>
-  build <terrain.dmh|.asc> -o <db.dmdb> [--pm-cache <file.dmpm>]
+  build <terrain.dmh|.asc> -o <db.dmdb> [--pm-cache <file.dmpm>] [--codec v2|v3]
   info <db.dmdb>
+
+build options:
+  --codec <v2|v3>       on-disk record codec: v3 (default) packs records
+                        with page-local delta compression; v2 writes the
+                        flat layout older binaries read. `open` detects
+                        the codec from the catalog either way.
   query <db.dmdb> [--keep <frac> | --lod <e>] [--roi x0,y0,x1,y1] [-o mesh.obj]
   vd <db.dmdb> [--near-keep <frac>] [--far-keep <frac>] [--roi ...] [-o mesh.obj]
   walkthrough <db.dmdb> [--frames <n>] [--window <frac>]
@@ -160,13 +166,26 @@ fn cmd_build(args: Args) -> Result<(), String> {
         }
     };
 
+    let codec = match args.get("codec").unwrap_or("v3") {
+        "v2" | "flat" => dm_core::record::RecordCodec::Flat,
+        "v3" | "compact" => dm_core::record::RecordCodec::Compact,
+        other => return Err(format!("unknown --codec {other:?} (v2|v3)")),
+    };
     let store = FileStore::create(std::path::Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
     let pool = Arc::new(BufferPool::new(Box::new(store), 4096));
-    let db = DirectMeshDb::create_in(pool, &pm, &DmBuildOptions::default());
+    let db = DirectMeshDb::create_in(
+        pool,
+        &pm,
+        &DmBuildOptions {
+            codec,
+            ..Default::default()
+        },
+    );
     println!(
-        "{out}: {} records over {} pages (e_max {:.2})",
+        "{out}: {} records over {} pages, {} codec (e_max {:.2})",
         db.n_records,
         db.pool().num_pages(),
+        db.codec().name(),
         db.e_max
     );
     Ok(())
@@ -221,7 +240,12 @@ fn cmd_info(args: Args) -> Result<(), String> {
         db.n_records, db.n_leaves
     );
     println!("roots:      {}", db.roots.len());
-    println!("pages:      {}", db.pool().num_pages());
+    println!("codec:      {}", db.codec().name());
+    println!(
+        "pages:      {} ({} heap)",
+        db.pool().num_pages(),
+        db.n_heap_pages()
+    );
     println!(
         "bounds:     ({:.1}, {:.1}) .. ({:.1}, {:.1})",
         db.bounds.min.x, db.bounds.min.y, db.bounds.max.x, db.bounds.max.y

@@ -35,8 +35,15 @@ use std::sync::Arc;
 use dm_storage::page::{PageId, NO_PAGE, PAGE_DATA};
 use dm_storage::{crc32, BufferPool, StorageError, StorageResult};
 
+use crate::record::RecordCodec;
+
 const MAGIC: &[u8; 4] = b"DMCT";
-const VERSION: u32 = 2;
+/// Version 2: flat records, payload CRC. Version 3 inserts one codec tag
+/// byte after the version and allows compact heap records. A database
+/// whose build selected the flat codec is still written as a byte-exact
+/// version-2 catalog, so older binaries keep reading it.
+const VERSION_FLAT: u32 = 2;
+const VERSION_CODEC: u32 = 3;
 /// Per continuation page: [next: u32][len: u16] then payload. Chunks stay
 /// inside `PAGE_DATA` — the last four bytes of every page belong to the
 /// buffer pool's checksum.
@@ -55,13 +62,21 @@ pub struct CatalogData {
     pub roots: Vec<u32>,
     pub heap_pages: Vec<PageId>,
     pub heap_len: u64,
+    /// Which codec the heap records are stored in.
+    pub codec: RecordCodec,
 }
 
 impl CatalogData {
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + 4 * (self.roots.len() + self.heap_pages.len()));
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        match self.codec {
+            RecordCodec::Flat => out.extend_from_slice(&VERSION_FLAT.to_le_bytes()),
+            RecordCodec::Compact => {
+                out.extend_from_slice(&VERSION_CODEC.to_le_bytes());
+                out.push(self.codec.tag());
+            }
+        }
         for v in [
             self.bounds.min.x,
             self.bounds.min.y,
@@ -107,9 +122,9 @@ impl CatalogData {
             ));
         }
         let version = cur.u32()?;
-        if version != VERSION {
+        if version != VERSION_FLAT && version != VERSION_CODEC {
             return Err(StorageError::format(format!(
-                "unsupported catalog version {version} (this build reads version {VERSION})"
+                "unsupported catalog version {version} (this build reads versions {VERSION_FLAT}-{VERSION_CODEC})"
             )));
         }
         // Magic and version first so a foreign file reports "not a
@@ -123,6 +138,14 @@ impl CatalogData {
                 ),
             ));
         }
+        let codec = if version == VERSION_FLAT {
+            RecordCodec::Flat
+        } else {
+            let tag = cur.take(1)?[0];
+            RecordCodec::from_tag(tag).ok_or_else(|| {
+                StorageError::format(format!("unknown record codec tag {tag} in catalog"))
+            })?
+        };
         let min = dm_geom::Vec2::new(cur.f64()?, cur.f64()?);
         let max = dm_geom::Vec2::new(cur.f64()?, cur.f64()?);
         let e_max = cur.f64()?;
@@ -151,6 +174,7 @@ impl CatalogData {
             roots,
             heap_pages,
             heap_len,
+            codec,
         })
     }
 }
@@ -265,6 +289,7 @@ mod tests {
             roots: vec![90, 95, 98],
             heap_pages: (100..100 + n_pages as u32).collect(),
             heap_len: 99,
+            codec: RecordCodec::Compact,
         }
     }
 
@@ -302,6 +327,49 @@ mod tests {
         let mut bytes = d.encode();
         bytes.truncate(bytes.len() - 3);
         assert!(CatalogData::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn flat_catalog_stays_version_2_on_disk() {
+        let mut d = sample(4);
+        d.codec = RecordCodec::Flat;
+        let bytes = d.encode();
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            VERSION_FLAT,
+            "flat-codec catalogs keep the old on-disk version"
+        );
+        let back = CatalogData::decode(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.codec, RecordCodec::Flat);
+    }
+
+    #[test]
+    fn compact_catalog_roundtrips_codec_tag() {
+        let d = sample(4);
+        let bytes = d.encode();
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            VERSION_CODEC
+        );
+        assert_eq!(
+            CatalogData::decode(&bytes).unwrap().codec,
+            RecordCodec::Compact
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_codec_tag() {
+        let d = sample(1);
+        let mut bytes = d.encode();
+        // The codec tag is the byte right after the version field;
+        // recompute the payload CRC so only the tag is at fault.
+        bytes[8] = 99;
+        let body_len = bytes.len() - 4;
+        let crc = dm_storage::crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let err = CatalogData::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("codec tag"), "{err}");
     }
 
     #[test]

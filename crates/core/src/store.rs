@@ -8,8 +8,9 @@ use dm_index::{RStarTree, RtreeCostModel};
 use dm_mtm::builder::PmBuild;
 use dm_mtm::PmNode;
 use dm_storage::{BTree, BufferPool, HeapFile, RecordId, StorageResult};
+use fxhash::FxHashMap;
 
-use crate::record::{DmRecord, RawRecord};
+use crate::record::{encode_compact, BaseVals, DmRecord, PageDecoder, RecordCodec};
 
 /// Counters for one range-fetch operation, used by the navigation bench
 /// to show what delta planning saves beyond raw page reads.
@@ -126,6 +127,9 @@ pub struct DmBuildOptions {
     /// Build the R\*-tree by repeated R\* insertion instead of STR bulk
     /// loading (slower, different node shapes; ablation A2).
     pub dynamic_rtree: bool,
+    /// On-disk record codec (compact by default; flat keeps databases
+    /// readable by pre-v3 binaries).
+    pub codec: RecordCodec,
 }
 
 impl Default for DmBuildOptions {
@@ -134,6 +138,7 @@ impl Default for DmBuildOptions {
             rtree_fill: 0.7,
             clustering: Clustering::StrLeaf,
             dynamic_rtree: false,
+            codec: RecordCodec::default(),
         }
     }
 }
@@ -158,6 +163,8 @@ pub struct DirectMeshDb {
     /// Sorted interval bounds, for cut-size statistics (build metadata).
     lo_sorted: Vec<f64>,
     hi_sorted: Vec<f64>,
+    /// On-disk codec of the heap records.
+    codec: RecordCodec,
 }
 
 impl DirectMeshDb {
@@ -199,16 +206,68 @@ impl DirectMeshDb {
             Box3::vertical_segment(node.pos.xy(), node.e_lo, hi)
         };
 
-        // Heap placement order.
-        let order: Vec<u32> = match opts.clustering {
+        // Heap placement order, in page-sized groups. The spatial index
+        // below is page-granular, so a page whose records straddle an STR
+        // run boundary gets an MBR spanning both runs and matches almost
+        // every query in its slab. The flat codec's fixed record size is
+        // what the default STR tile capacity was tuned for; the compact
+        // codec packs ~1.5× more records per page, so its tiles are sized
+        // from sampled encodings and every group boundary forces a page
+        // break — each data page's MBR stays a single STR tile.
+        let order_groups: Vec<Vec<u32>> = match opts.clustering {
             Clustering::StrLeaf => {
                 let items: Vec<(Box3, u64)> = (0..n as u32)
                     .map(|id| (seg(h.node(id)), id as u64))
                     .collect();
-                dm_index::rstar::str_leaf_order(&items, opts.rtree_fill)
-                    .into_iter()
-                    .map(|v| v as u32)
-                    .collect()
+                match opts.codec {
+                    RecordCodec::Flat => {
+                        vec![dm_index::rstar::str_leaf_order(&items, opts.rtree_fill)
+                            .into_iter()
+                            .map(|v| v as u32)
+                            .collect()]
+                    }
+                    RecordCodec::Compact => {
+                        // Exact packing simulation: the group weight IS
+                        // the record's on-page cost against the group's
+                        // real slot-0 base, so groups map 1:1 onto pages.
+                        let base_of = |id: u32| {
+                            let b = h.node(id);
+                            BaseVals {
+                                id: b.id,
+                                x: b.pos.x.to_bits(),
+                                y: b.pos.y.to_bits(),
+                                z: b.pos.z.to_bits(),
+                                e_lo: b.e_lo.to_bits(),
+                            }
+                        };
+                        let weight = |opener: Option<u64>, id: u64| {
+                            let rec = DmRecord {
+                                node: *h.node(id as u32),
+                                conn: conn[id as usize].clone(),
+                            };
+                            let base = opener.map_or(BaseVals::ZERO, |a| base_of(a as u32));
+                            encode_compact(&rec, &base).len() + HEAP_SLOT
+                        };
+                        // Size runs at ~85% of the estimated page
+                        // capacity: the estimate is a sampled mean, and
+                        // a run that overshoots the byte budget even
+                        // slightly spills a near-empty remainder page
+                        // whose MBR still spans the whole tile — the
+                        // margin keeps almost every run on one page.
+                        let cap_hint = (estimate_compact_capacity(h, &conn, &items, opts.rtree_fill)
+                            as f64
+                            * 0.85) as usize;
+                        dm_index::rstar::str_leaf_groups_weighted(
+                            &items,
+                            cap_hint,
+                            dm_storage::PAGE_DATA - HEAP_HEADER,
+                            weight,
+                        )
+                        .into_iter()
+                        .map(|g| g.into_iter().map(|v| v as u32).collect())
+                        .collect()
+                    }
+                }
             }
             Clustering::Hilbert => {
                 let mut order: Vec<u32> = (0..n as u32).collect();
@@ -218,19 +277,55 @@ impl DirectMeshDb {
                     let p = h.node(id).pos;
                     dm_geom::hilbert::continuous_key(16, p.x, p.y, (b.min.x, b.min.y), ext)
                 });
-                order
+                vec![order]
             }
-            Clustering::IdOrder => (0..n as u32).collect(),
+            Clustering::IdOrder => vec![(0..n as u32).collect()],
         };
 
         let mut heap = HeapFile::create(Arc::clone(&pool));
         let mut rids: Vec<RecordId> = vec![RecordId { page: 0, slot: 0 }; n];
-        for &id in &order {
-            let rec = DmRecord {
-                node: *h.node(id),
-                conn: std::mem::take(&mut conn[id as usize]),
-            };
-            rids[id as usize] = heap.insert(&rec.encode());
+        // Compact codec: slot 0 of each page is the base the rest of the
+        // page deltas against. `base` tracks the open (last) page's base;
+        // when a delta-encoded record no longer fits there — or a new
+        // placement group starts — the record re-encodes against ZERO and
+        // opens the next page as its base.
+        let force_breaks = order_groups.len() > 1;
+        let mut base = BaseVals::ZERO;
+        for group in &order_groups {
+            let mut first_in_group = true;
+            for &id in group {
+                let rec = DmRecord {
+                    node: *h.node(id),
+                    conn: std::mem::take(&mut conn[id as usize]),
+                };
+                rids[id as usize] = match opts.codec {
+                    RecordCodec::Flat => heap.insert(&rec.encode()),
+                    RecordCodec::Compact => {
+                        let fits = if force_breaks && first_in_group {
+                            None
+                        } else {
+                            let delta = encode_compact(&rec, &base);
+                            heap.fits_in_last_page(delta.len())
+                                .unwrap_or_else(|e| panic!("heap probe: {e}"))
+                                .then_some(delta)
+                        };
+                        match fits {
+                            Some(delta) => heap.insert(&delta),
+                            None => {
+                                let opener = encode_compact(&rec, &BaseVals::ZERO);
+                                base = crate::record::RawRecord::parse_compact(
+                                    &opener,
+                                    &BaseVals::ZERO,
+                                )
+                                .base_vals();
+                                heap.try_insert_new_page(&opener)
+                                    .unwrap_or_else(|e| panic!("heap insert: {e}"))
+                            }
+                        }
+                    }
+                };
+                first_in_group = false;
+            }
         }
 
         let btree = BTree::bulk_load(
@@ -295,6 +390,7 @@ impl DirectMeshDb {
             roots: h.roots.clone(),
             lo_sorted,
             hi_sorted,
+            codec: opts.codec,
         }
     }
 
@@ -332,6 +428,7 @@ impl DirectMeshDb {
             roots: self.roots.clone(),
             heap_pages: self.heap.page_ids().to_vec(),
             heap_len: self.heap.len(),
+            codec: self.codec,
         };
         crate::catalog::write_catalog(&self.pool, page, &data)
     }
@@ -382,8 +479,9 @@ impl DirectMeshDb {
         for page in heap.page_ids().to_vec() {
             let lo_len = lo_sorted.len();
             let hi_len = hi_sorted.len();
+            let mut dec = PageDecoder::new(cat.codec);
             let scanned = heap.try_for_each_in_page(page, |rid, bytes| {
-                let raw = RawRecord::parse(bytes);
+                let raw = dec.next(rid.slot, bytes);
                 let (e_lo, e_hi) = (raw.e_lo(), raw.e_hi());
                 lo_sorted.push(e_lo);
                 if e_hi.is_finite() {
@@ -431,6 +529,7 @@ impl DirectMeshDb {
             roots: cat.roots,
             lo_sorted,
             hi_sorted,
+            codec: cat.codec,
         })
     }
 
@@ -515,6 +614,19 @@ impl DirectMeshDb {
         self.fetch_box_inner(q, false, report, &mut counters)
     }
 
+    /// The deduplicated candidate heap pages the index descent produces
+    /// for `q` — exactly the heap pages [`Self::fetch_box`] reads.
+    /// Measurement introspection: lets benches separate heap-page I/O
+    /// from index I/O, and union page sets across the cubes of one
+    /// multi-base query the way a cold buffer pool would.
+    pub fn candidate_pages(&self, q: &Box3) -> StorageResult<Vec<u64>> {
+        let mut pages: Vec<u64> = Vec::new();
+        self.rtree.try_query(q, |_, page| pages.push(page))?;
+        pages.sort_unstable();
+        pages.dedup();
+        Ok(pages)
+    }
+
     /// [`Self::fetch_box_degraded`] that additionally accumulates
     /// page/record [`FetchCounters`] for the operation.
     pub fn fetch_box_counted(
@@ -546,12 +658,13 @@ impl DirectMeshDb {
         for &page in &pages {
             let len_before = out.len();
             let mut examined = 0u64;
+            let mut dec = PageDecoder::new(self.codec);
             let r = self
                 .heap
-                .try_for_each_in_page(page as dm_storage::PageId, |_, bytes| {
+                .try_for_each_in_page(page as dm_storage::PageId, |rid, bytes| {
                     // Borrowing view: the exact segment test reads only the
-                    // fixed header; non-matching records never allocate.
-                    let raw = RawRecord::parse(bytes);
+                    // decoded header; non-matching records never allocate.
+                    let raw = dec.next(rid.slot, bytes);
                     examined += 1;
                     let e_hi = raw.e_hi();
                     let hi = if e_hi.is_finite() { e_hi } else { self.e_cap() };
@@ -597,9 +710,25 @@ impl DirectMeshDb {
         let Some(rid) = self.btree.try_get(id as u64)? else {
             return Ok(None);
         };
-        Ok(Some(DmRecord::decode(
-            &self.heap.try_get(RecordId::from_u64(rid))?,
-        )))
+        let rid = RecordId::from_u64(rid);
+        match self.codec {
+            RecordCodec::Flat => Ok(Some(DmRecord::decode(&self.heap.try_get(rid)?))),
+            RecordCodec::Compact => {
+                // The record deltas against the page's slot-0 base, so
+                // decode through one borrowed page view — still a single
+                // counted page access.
+                self.heap.try_view_page(rid.page, |view| {
+                    let mut dec = PageDecoder::new(RecordCodec::Compact);
+                    let base = dec.next(0, view.record(0)?);
+                    let raw = if rid.slot == 0 {
+                        base
+                    } else {
+                        dec.next(rid.slot, view.record(rid.slot)?)
+                    };
+                    Ok(Some(raw.to_owned()))
+                })
+            }
+        }
     }
 
     /// Reset counters and drop the cache — the paper's measurement
@@ -622,15 +751,78 @@ impl DirectMeshDb {
         self.pool.stats().reads
     }
 
+    /// Which codec the heap records are stored in.
+    pub fn codec(&self) -> RecordCodec {
+        self.codec
+    }
+
+    /// Number of heap pages the record table occupies — the denominator
+    /// of the compression bench's bytes-per-record figure.
+    pub fn n_heap_pages(&self) -> usize {
+        self.heap.page_ids().len()
+    }
+
     /// In-memory map of all records (testing aid; not a measured path).
-    pub fn all_records(&self) -> HashMap<u32, DmRecord> {
-        let mut out = HashMap::with_capacity(self.n_records);
-        self.heap.scan(|_, bytes| {
-            let rec = DmRecord::decode(bytes);
+    pub fn all_records(&self) -> FxHashMap<u32, DmRecord> {
+        let mut out = FxHashMap::with_capacity_and_hasher(self.n_records, Default::default());
+        let mut dec = PageDecoder::new(self.codec);
+        // `scan` walks pages in file order and slots in page order, which
+        // is exactly the traversal the page decoder needs.
+        self.heap.scan(|rid, bytes| {
+            let rec = dec.next(rid.slot, bytes).to_owned();
             out.insert(rec.node.id, rec);
         });
         out
     }
+}
+
+/// Heap page layout constants (see `dm_storage::heap`): 4-byte page
+/// header plus a 4-byte slot-directory entry per record.
+const HEAP_HEADER: usize = 4;
+const HEAP_SLOT: usize = 4;
+
+/// Rough records-per-page for the compact codec, used only to shape the
+/// STR slab/run geometry (the byte-exact grouping happens per run in
+/// [`dm_index::rstar::str_leaf_groups_weighted`]). Samples delta
+/// encodings between records adjacent in a provisional STR order — the
+/// same neighbourhood they will delta against on a real page.
+/// Deterministic (stride sampling); cheap relative to the build.
+fn estimate_compact_capacity(
+    h: &dm_mtm::PmHierarchy,
+    conn: &[Vec<u32>],
+    items: &[(Box3, u64)],
+    fill: f64,
+) -> usize {
+    let provisional = dm_index::rstar::str_leaf_order(items, fill);
+    let n = provisional.len();
+    if n < 2 {
+        return 2;
+    }
+    let stride = (n / 512).max(1);
+    let (mut sum, mut count) = (0.0f64, 0usize);
+    let mut j = 1;
+    while j < n {
+        let a = provisional[j - 1] as u32;
+        let b = provisional[j] as u32;
+        let na = h.node(a);
+        let base = BaseVals {
+            id: na.id,
+            x: na.pos.x.to_bits(),
+            y: na.pos.y.to_bits(),
+            z: na.pos.z.to_bits(),
+            e_lo: na.e_lo.to_bits(),
+        };
+        let rec = DmRecord {
+            node: *h.node(b),
+            conn: conn[b as usize].clone(),
+        };
+        sum += (encode_compact(&rec, &base).len() + HEAP_SLOT) as f64;
+        count += 1;
+        j += stride;
+    }
+    let mu = sum / count as f64;
+    let cap = (dm_storage::PAGE_DATA - HEAP_HEADER) as f64 / mu;
+    (cap.floor() as usize).clamp(2, u16::MAX as usize)
 }
 
 #[cfg(test)]
@@ -713,6 +905,44 @@ mod tests {
         assert!(first >= 2, "B+-tree descent + heap page");
         let _ = db.fetch_by_id(7);
         assert_eq!(db.disk_accesses(), first, "warm repeat costs nothing");
+    }
+
+    #[test]
+    fn compact_codec_matches_flat_and_uses_fewer_pages() {
+        // Big enough that both codecs span many pages (a 2-page database
+        // cannot show a page-count ratio).
+        let hf = generate::fractal_terrain(33, 33, 3);
+        let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+        let mk = |codec: RecordCodec| {
+            let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
+            DirectMeshDb::build(
+                pool,
+                &pm,
+                &DmBuildOptions {
+                    codec,
+                    ..Default::default()
+                },
+            )
+        };
+        let flat = mk(RecordCodec::Flat);
+        let compact = mk(RecordCodec::Compact);
+        let a = flat.all_records();
+        let b = compact.all_records();
+        assert_eq!(a.len(), b.len());
+        for (id, rec) in &a {
+            assert_eq!(&b[id], rec, "record {id} differs between codecs");
+        }
+        // Point lookups agree too (the compact path goes through the
+        // page-base view).
+        for id in [0u32, 1, 17, flat.n_records as u32 - 1] {
+            assert_eq!(flat.fetch_by_id(id), compact.fetch_by_id(id));
+        }
+        assert!(
+            (compact.n_heap_pages() as f64) < 0.75 * flat.n_heap_pages() as f64,
+            "compact codec should cut heap pages by ≥25% ({} vs {})",
+            compact.n_heap_pages(),
+            flat.n_heap_pages()
+        );
     }
 
     #[test]

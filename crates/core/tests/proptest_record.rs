@@ -1,0 +1,200 @@
+//! Property tests for the v3 compact record codec: lossless round-trips
+//! over adversarial values and hard rejection of malformed input.
+//!
+//! NaN payloads make `DmRecord`'s derived `PartialEq` useless for the
+//! exhaustive check (NaN ≠ NaN), so equality here is on *bit patterns* —
+//! the strongest possible statement of losslessness.
+
+use dm_core::record::{encode_compact, BaseVals, DmRecord, PageDecoder, RawRecord, RecordCodec};
+use dm_mtm::{PmNode, NIL_ID};
+use proptest::prelude::*;
+
+/// Adversarial f64 palette: specials, subnormals, huge/tiny magnitudes,
+/// and raw random bit patterns (including signalling-NaN encodings).
+fn pick_f64(sel: u64, bits: u64) -> f64 {
+    match sel % 10 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => f64::from_bits(bits % 0x000F_FFFF_FFFF_FFFF + 1), // subnormal
+        4 => -0.0,
+        5 => f64::MAX,
+        6 => f64::MIN_POSITIVE,
+        7 => (bits as f64) * 1e-300,
+        8 => (bits as i64 as f64) * 1e300,
+        _ => f64::from_bits(bits),
+    }
+}
+
+fn pick_link(sel: u64, id: u32, bits: u64) -> u32 {
+    match sel % 4 {
+        0 => NIL_ID,
+        1 => id.wrapping_add((bits % 7) as u32).min(u32::MAX - 1),
+        2 => id.saturating_sub((bits % 1000) as u32),
+        _ => (bits % u64::from(u32::MAX)) as u32,
+    }
+}
+
+/// Deterministic splitmix-style stream so one u64 seed yields the whole
+/// record.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn adversarial_record(seed: u64, conn_len: usize) -> DmRecord {
+    let mut s = seed;
+    let id = (mix(&mut s) % u64::from(u32::MAX)) as u32;
+    let node = PmNode {
+        id,
+        pos: dm_geom::Vec3::new(
+            pick_f64(mix(&mut s), mix(&mut s)),
+            pick_f64(mix(&mut s), mix(&mut s)),
+            pick_f64(mix(&mut s), mix(&mut s)),
+        ),
+        e_lo: pick_f64(mix(&mut s), mix(&mut s)),
+        e_hi: pick_f64(mix(&mut s), mix(&mut s)),
+        parent: pick_link(mix(&mut s), id, mix(&mut s)),
+        child1: pick_link(mix(&mut s), id, mix(&mut s)),
+        child2: pick_link(mix(&mut s), id, mix(&mut s)),
+        wing1: pick_link(mix(&mut s), id, mix(&mut s)),
+        wing2: pick_link(mix(&mut s), id, mix(&mut s)),
+    };
+    let conn = (0..conn_len)
+        .map(|_| (mix(&mut s) % u64::from(u32::MAX)) as u32)
+        .collect();
+    DmRecord { node, conn }
+}
+
+/// Bit-exact equality (survives NaN payloads where `PartialEq` cannot).
+fn assert_bits_eq(a: &DmRecord, b: &DmRecord) -> Result<(), TestCaseError> {
+    let na = &a.node;
+    let nb = &b.node;
+    prop_assert_eq!(na.id, nb.id);
+    for (x, y) in [
+        (na.pos.x, nb.pos.x),
+        (na.pos.y, nb.pos.y),
+        (na.pos.z, nb.pos.z),
+        (na.e_lo, nb.e_lo),
+        (na.e_hi, nb.e_hi),
+    ] {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "f64 bits differ: {} vs {}", x, y);
+    }
+    prop_assert_eq!(
+        [na.parent, na.child1, na.child2, na.wing1, na.wing2],
+        [nb.parent, nb.child1, nb.child2, nb.wing1, nb.wing2]
+    );
+    prop_assert_eq!(&a.conn, &b.conn);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrips_adversarial_records(
+        seed in any::<u64>(),
+        base_seed in any::<u64>(),
+        conn_len in 0usize..2000,
+    ) {
+        let rec = adversarial_record(seed, conn_len);
+        // Against the zero base (page opener)…
+        let opener = encode_compact(&rec, &BaseVals::ZERO);
+        let back = RawRecord::parse_compact(&opener, &BaseVals::ZERO).to_owned();
+        assert_bits_eq(&rec, &back)?;
+        // …and against an equally adversarial base record.
+        let base_rec = adversarial_record(base_seed, 0);
+        let base_bytes = encode_compact(&base_rec, &BaseVals::ZERO);
+        let base = RawRecord::parse_compact(&base_bytes, &BaseVals::ZERO).base_vals();
+        let delta = encode_compact(&rec, &base);
+        let raw = RawRecord::parse_compact(&delta, &base);
+        // Hot filter fields decode in place, bit-for-bit.
+        prop_assert_eq!(raw.id(), rec.node.id);
+        prop_assert_eq!(raw.pos_xy().x.to_bits(), rec.node.pos.x.to_bits());
+        prop_assert_eq!(raw.pos_xy().y.to_bits(), rec.node.pos.y.to_bits());
+        prop_assert_eq!(raw.e_lo().to_bits(), rec.node.e_lo.to_bits());
+        prop_assert_eq!(raw.e_hi().to_bits(), rec.node.e_hi.to_bits());
+        assert_bits_eq(&rec, &raw.to_owned())?;
+    }
+
+    #[test]
+    fn page_decoder_replays_adversarial_pages(
+        seed in any::<u64>(),
+        n in 1usize..20,
+    ) {
+        // A synthetic page: slot 0 is the base, the rest delta against it.
+        let records: Vec<DmRecord> = (0..n)
+            .map(|i| adversarial_record(seed.wrapping_add(i as u64), i % 5))
+            .collect();
+        let mut encoded = Vec::new();
+        let opener = encode_compact(&records[0], &BaseVals::ZERO);
+        let base = RawRecord::parse_compact(&opener, &BaseVals::ZERO).base_vals();
+        encoded.push(opener);
+        for r in &records[1..] {
+            encoded.push(encode_compact(r, &base));
+        }
+        let mut dec = PageDecoder::new(RecordCodec::Compact);
+        for (slot, (bytes, want)) in encoded.iter().zip(&records).enumerate() {
+            let got = dec.next(slot as u16, bytes).to_owned();
+            assert_bits_eq(want, &got)?;
+        }
+    }
+
+    #[test]
+    fn compact_rejects_any_truncation_or_trailing_garbage(
+        seed in any::<u64>(),
+        conn_len in 0usize..64,
+        cut_sel in any::<u64>(),
+        garbage in any::<u8>(),
+    ) {
+        let rec = adversarial_record(seed, conn_len);
+        let bytes = encode_compact(&rec, &BaseVals::ZERO);
+        // Every proper prefix must panic on materialization (mirroring
+        // the flat codec's decode_rejects_bad_length contract)…
+        let cut = (cut_sel as usize) % bytes.len();
+        let truncated = bytes[..cut].to_vec();
+        let r = std::panic::catch_unwind(move || {
+            RawRecord::parse_compact(&truncated, &BaseVals::ZERO).to_owned()
+        });
+        prop_assert!(r.is_err(), "truncation to {} of {} went undetected", cut, bytes.len());
+        // …and so must trailing garbage.
+        let mut extended = bytes;
+        extended.push(garbage);
+        let r = std::panic::catch_unwind(move || {
+            RawRecord::parse_compact(&extended, &BaseVals::ZERO).to_owned()
+        });
+        prop_assert!(r.is_err(), "trailing garbage went undetected");
+    }
+}
+
+#[test]
+fn compact_handles_max_length_conn_list() {
+    let rec = adversarial_record(0xDEAD_BEEF, u16::MAX as usize);
+    let bytes = encode_compact(&rec, &BaseVals::ZERO);
+    let back = RawRecord::parse_compact(&bytes, &BaseVals::ZERO).to_owned();
+    assert_eq!(back.conn, rec.conn);
+    assert_eq!(back.conn.len(), u16::MAX as usize);
+}
+
+#[test]
+fn nil_only_links_cost_one_byte_each() {
+    let mut rec = adversarial_record(7, 0);
+    rec.node.parent = NIL_ID;
+    rec.node.child1 = NIL_ID;
+    rec.node.child2 = NIL_ID;
+    rec.node.wing1 = NIL_ID;
+    rec.node.wing2 = NIL_ID;
+    let bytes = encode_compact(&rec, &BaseVals::ZERO);
+    let back = RawRecord::parse_compact(&bytes, &BaseVals::ZERO).to_owned();
+    assert_eq!(
+        [
+            back.node.parent,
+            back.node.child1,
+            back.node.child2,
+            back.node.wing1,
+            back.node.wing2
+        ],
+        [NIL_ID; 5]
+    );
+}

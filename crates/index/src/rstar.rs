@@ -543,16 +543,16 @@ fn mbr_of(entries: &[Entry]) -> Box3 {
     b
 }
 
-/// Sort-Tile-Recursive grouping: x-slabs, then y-runs, then z order, with
-/// node boundaries aligned to run boundaries. Returns the leaf groups in
-/// pack order.
-fn str_tiles(mut items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
+/// Sort-Tile-Recursive slab/run structure: x-slabs, then y-runs, each run
+/// sorted along z. Returns the runs in pack order; chunking runs into
+/// leaf-sized tiles is the caller's business.
+fn str_runs(mut items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
     let n = items.len();
     let pages = n.div_ceil(cap);
     let sx = (pages as f64).cbrt().ceil() as usize;
     let slab_items = n.div_ceil(sx.max(1));
     sort_by_center(&mut items, 0);
-    let mut groups = Vec::with_capacity(pages);
+    let mut runs = Vec::new();
     let mut rest: &mut [Entry] = &mut items;
     while !rest.is_empty() {
         let take = slab_items.min(rest.len());
@@ -566,14 +566,26 @@ fn str_tiles(mut items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
             let take = run_items.min(srest.len());
             let (run, stail) = srest.split_at_mut(take);
             sort_by_center(run, 2);
-            for chunk in run.chunks(cap) {
-                groups.push(chunk.to_vec());
-            }
+            runs.push(run.to_vec());
             srest = stail;
         }
         rest = tail;
     }
-    groups
+    runs
+}
+
+/// Sort-Tile-Recursive grouping: x-slabs, then y-runs, then z order, with
+/// node boundaries aligned to run boundaries. Returns the leaf groups in
+/// pack order.
+fn str_tiles(items: Vec<Entry>, cap: usize) -> Vec<Vec<Entry>> {
+    str_runs(items, cap)
+        .into_iter()
+        .flat_map(|run| {
+            run.chunks(cap)
+                .map(<[Entry]>::to_vec)
+                .collect::<Vec<Vec<Entry>>>()
+        })
+        .collect()
 }
 
 /// The order in which [`RStarTree::bulk_load`] with the same `fill` will
@@ -590,6 +602,64 @@ pub fn str_leaf_order(items: &[(Box3, u64)], fill: f64) -> Vec<u64> {
         .flatten()
         .map(|e| e.val)
         .collect()
+}
+
+/// STR leaf grouping where each group is closed by a byte budget rather
+/// than an item count, returning the group boundaries instead of a flat
+/// order. Callers whose data pages hold a variable number of records (a
+/// compressed record codec) simulate their page packing through `weight`
+/// and break pages on group boundaries, so every data page's MBR stays a
+/// single STR tile.
+///
+/// `weight(base, val)` returns the on-page cost of `val` when the group
+/// was opened by `base` (`None` while the group is empty — `val` itself
+/// becomes the opener). A group closes when the next item would push the
+/// running weight past `budget`; with an exact `weight`, groups map 1:1
+/// onto data pages. `cap_hint` (items per page, roughly) only shapes the
+/// slab/run geometry.
+pub fn str_leaf_groups_weighted(
+    items: &[(Box3, u64)],
+    cap_hint: usize,
+    budget: usize,
+    weight: impl Fn(Option<u64>, u64) -> usize,
+) -> Vec<Vec<u64>> {
+    let entries: Vec<Entry> = items
+        .iter()
+        .map(|&(bbox, val)| Entry { bbox, val })
+        .collect();
+    let mut out = Vec::new();
+    for mut run in str_runs(entries, cap_hint.max(2)) {
+        // Re-sort each run by the segment *top* rather than the center:
+        // a group's z-extent is dominated by its tallest member, so
+        // center order lets one tall (coarse-LOD) segment stretch a
+        // group of short ones and turn the whole page into a false
+        // positive for every query plane it now straddles. Top order
+        // pushes the tall segments to the run's tail where they group
+        // with each other.
+        run.sort_by(|a, b| {
+            a.bbox
+                .max
+                .z
+                .partial_cmp(&b.bbox.max.z)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut group: Vec<u64> = Vec::new();
+        let mut used = 0usize;
+        for e in run {
+            let w = weight(group.first().copied(), e.val);
+            if !group.is_empty() && used + w > budget {
+                out.push(std::mem::take(&mut group));
+                used = weight(None, e.val);
+            } else {
+                used += w;
+            }
+            group.push(e.val);
+        }
+        if !group.is_empty() {
+            out.push(group);
+        }
+    }
+    out
 }
 
 /// Pack one level of STR tiles; returns the entries for the next level up.

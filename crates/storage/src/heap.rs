@@ -126,6 +126,47 @@ impl HeapFile {
         self.try_insert(record).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Whether a record of `len` bytes would land on the current last
+    /// page (mirrors [`Self::try_insert`]'s placement decision exactly).
+    /// Page-aware codecs use this to decide between delta-encoding a
+    /// record against the page's base and opening a fresh page.
+    pub fn fits_in_last_page(&self, len: usize) -> StorageResult<bool> {
+        let Some(&last) = self.pages.last() else {
+            return Ok(false);
+        };
+        self.pool.try_read(last, |buf| {
+            let n_slots = codec::get_u16(buf, 0) as usize;
+            let free_off = {
+                let f = codec::get_u16(buf, 2) as usize;
+                if f == 0 {
+                    PAGE_DATA
+                } else {
+                    f
+                }
+            };
+            free_off >= HEADER + (n_slots + 1) * SLOT + len
+        })
+    }
+
+    /// Append a record onto a *freshly allocated* page, even when it
+    /// would fit on the current last one. The returned id always has
+    /// slot 0 — the slot page-aware codecs reserve for base records.
+    pub fn try_insert_new_page(&mut self, record: &[u8]) -> StorageResult<RecordId> {
+        if record.len() > Self::MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                len: record.len(),
+                max: Self::MAX_RECORD,
+            });
+        }
+        let page = self.pool.try_allocate()?;
+        self.pages.push(page);
+        let rid = self
+            .try_insert_into(page, record)?
+            .expect("record fits empty page");
+        self.len += 1;
+        Ok(rid)
+    }
+
     fn try_insert_into(&self, page: PageId, record: &[u8]) -> StorageResult<Option<RecordId>> {
         self.pool.try_write(page, |buf| {
             let n_slots = codec::get_u16(buf, 0) as usize;
@@ -157,25 +198,19 @@ impl HeapFile {
 
     /// Fetch a record by address.
     pub fn try_get(&self, rid: RecordId) -> StorageResult<Vec<u8>> {
-        self.pool.try_read(rid.page, |buf| {
-            let n_slots = codec::get_u16(buf, 0);
-            if rid.slot >= n_slots {
-                return Err(StorageError::corrupt(
-                    rid.page,
-                    format!("slot {} out of range ({n_slots})", rid.slot),
-                ));
-            }
-            let slot_off = HEADER + rid.slot as usize * SLOT;
-            let rec_off = codec::get_u16(buf, slot_off) as usize;
-            let rec_len = codec::get_u16(buf, slot_off + 2) as usize;
-            if rec_off + rec_len > PAGE_DATA {
-                return Err(StorageError::corrupt(
-                    rid.page,
-                    format!("slot {} points past the page payload", rid.slot),
-                ));
-            }
-            Ok(buf[rec_off..rec_off + rec_len].to_vec())
-        })?
+        self.try_view_page(rid.page, |view| Ok(view.record(rid.slot)?.to_vec()))
+    }
+
+    /// Run `f` against a borrowed [`PageView`] of one page — a single
+    /// counted page access however many slots `f` reads. Codecs whose
+    /// records reference a sibling slot (the compact codec's page base)
+    /// decode point lookups through this.
+    pub fn try_view_page<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&PageView<'_>) -> StorageResult<R>,
+    ) -> StorageResult<R> {
+        self.pool.try_read(page, |buf| f(&PageView { page, buf }))?
     }
 
     /// Infallible [`Self::try_get`]; panics on storage errors.
@@ -190,22 +225,12 @@ impl HeapFile {
         page: PageId,
         mut f: impl FnMut(RecordId, &[u8]),
     ) -> StorageResult<()> {
-        self.pool.try_read(page, |buf| {
-            let n_slots = codec::get_u16(buf, 0);
-            for slot in 0..n_slots {
-                let slot_off = HEADER + slot as usize * SLOT;
-                let rec_off = codec::get_u16(buf, slot_off) as usize;
-                let rec_len = codec::get_u16(buf, slot_off + 2) as usize;
-                if rec_off + rec_len > PAGE_DATA {
-                    return Err(StorageError::corrupt(
-                        page,
-                        format!("slot {slot} points past the page payload"),
-                    ));
-                }
-                f(RecordId { page, slot }, &buf[rec_off..rec_off + rec_len]);
+        self.try_view_page(page, |view| {
+            for slot in 0..view.n_slots() {
+                f(RecordId { page, slot }, view.record(slot)?);
             }
             Ok(())
-        })?
+        })
     }
 
     /// Infallible [`Self::try_for_each_in_page`]; panics on storage errors.
@@ -230,6 +255,41 @@ impl HeapFile {
     /// The page ids of this file in order.
     pub fn page_ids(&self) -> &[PageId] {
         &self.pages
+    }
+}
+
+/// A borrowed view of one heap page's slot directory (see
+/// [`HeapFile::try_view_page`]).
+pub struct PageView<'a> {
+    page: PageId,
+    buf: &'a [u8],
+}
+
+impl PageView<'_> {
+    /// Number of records on the page.
+    pub fn n_slots(&self) -> u16 {
+        codec::get_u16(self.buf, 0)
+    }
+
+    /// The bytes of the record in `slot`.
+    pub fn record(&self, slot: u16) -> StorageResult<&[u8]> {
+        let n_slots = self.n_slots();
+        if slot >= n_slots {
+            return Err(StorageError::corrupt(
+                self.page,
+                format!("slot {slot} out of range ({n_slots})"),
+            ));
+        }
+        let slot_off = HEADER + slot as usize * SLOT;
+        let rec_off = codec::get_u16(self.buf, slot_off) as usize;
+        let rec_len = codec::get_u16(self.buf, slot_off + 2) as usize;
+        if rec_off + rec_len > PAGE_DATA {
+            return Err(StorageError::corrupt(
+                self.page,
+                format!("slot {slot} points past the page payload"),
+            ));
+        }
+        Ok(&self.buf[rec_off..rec_off + rec_len])
     }
 }
 
@@ -349,6 +409,62 @@ mod tests {
         pool.reset_stats();
         h.for_each_in_page(h.page_ids()[0], |_, _| {});
         assert_eq!(pool.stats().reads, 1, "page scan = one disk access");
+    }
+
+    #[test]
+    fn fits_in_last_page_mirrors_insert_placement() {
+        let mut h = heap();
+        assert!(!h.fits_in_last_page(1).unwrap(), "no pages yet");
+        let rec = vec![0x5Au8; 1000];
+        h.insert(&rec);
+        // Placement prediction must agree with the actual insert for a
+        // range of sizes straddling the remaining free space.
+        for len in [1usize, 500, 1000, 4000, 7000, HeapFile::MAX_RECORD] {
+            let predicted = h.fits_in_last_page(len).unwrap();
+            let pages_before = h.num_pages();
+            let rid = h.insert(&vec![1u8; len]);
+            assert_eq!(
+                predicted,
+                h.num_pages() == pages_before,
+                "prediction wrong for len {len} (rid {rid:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_new_page_forces_allocation_at_slot_zero() {
+        let mut h = heap();
+        h.insert(b"tiny");
+        let rid = h.try_insert_new_page(b"base").unwrap();
+        assert_eq!(rid.slot, 0);
+        assert_eq!(h.num_pages(), 2, "fresh page despite ample free space");
+        assert_eq!(h.get(rid), b"base");
+        // Oversized records are still rejected without allocating.
+        let err = h
+            .try_insert_new_page(&vec![0u8; HeapFile::MAX_RECORD + 1])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::RecordTooLarge { .. }));
+        assert_eq!(h.num_pages(), 2);
+    }
+
+    #[test]
+    fn page_view_reads_multiple_slots_in_one_access() {
+        let mut h = heap();
+        let a = h.insert(b"base record");
+        let b = h.insert(b"delta");
+        assert_eq!(a.page, b.page);
+        let pool = Arc::clone(&h.pool);
+        pool.flush_all();
+        pool.reset_stats();
+        h.try_view_page(a.page, |view| {
+            assert_eq!(view.n_slots(), 2);
+            assert_eq!(view.record(0)?, b"base record");
+            assert_eq!(view.record(1)?, b"delta");
+            assert!(view.record(2).is_err(), "out-of-range slot is typed");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(pool.stats().reads, 1, "both slots from one disk access");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   query) and an [`stats::AccessStats`] counter that records every page
 //!   fetched from the underlying store,
 //! * [`heap`] — slotted heap files with variable-length records,
+//! * [`pack`] — varint/zig-zag/XOR-delta primitives shared by the
+//!   compact record codecs layered above,
 //! * [`btree`] — a disk-resident B+-tree mapping `u64 → u64`, used for
 //!   primary-key (`node id → record`) lookups.
 //!
@@ -26,6 +28,7 @@ pub mod checksum;
 pub mod error;
 pub mod fault;
 pub mod heap;
+pub mod pack;
 pub mod page;
 pub mod stats;
 pub mod store;
@@ -35,7 +38,7 @@ pub use buffer::BufferPool;
 pub use checksum::{crc32, Crc32Hasher};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultConfig, FaultCounters, FaultInjector};
-pub use heap::{HeapFile, RecordId};
+pub use heap::{HeapFile, PageView, RecordId};
 pub use page::{PageId, PAGE_DATA, PAGE_SIZE};
 pub use stats::{thread_reads, thread_retries, AccessStats, StatsSnapshot};
 pub use store::{FileStore, MemStore, PageStore};

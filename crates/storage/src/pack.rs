@@ -1,0 +1,215 @@
+//! Byte-oriented compression primitives shared by the compact on-disk
+//! codecs (`dm-core`'s v3 heap records, `dm-mtm`'s DMPM v3 files).
+//!
+//! Three building blocks, all lossless for every input bit pattern:
+//!
+//! * **LEB128 varints** (`put_varint`/`get_varint`) — 7 bits per byte,
+//!   LSB first; values below 128 cost one byte, a full `u64` costs ten.
+//! * **Zig-zag** (`zigzag`/`unzigzag`) — maps signed deltas to unsigned
+//!   so small negative differences stay small varints.
+//! * **`f64` XOR deltas** (`put_fdelta`/`get_fdelta`) — a Gorilla-style
+//!   byte-granular scheme: the caller XORs the two bit patterns; the
+//!   encoding strips the XOR's leading *and* trailing zero bytes behind
+//!   a one-byte `(lead << 4) | trail` header. Equal values cost one
+//!   byte; values sharing sign/exponent/coarse mantissa (clustered
+//!   coordinates) or mantissa tails (grid-aligned coordinates) cost a
+//!   few; the worst case is nine. Works on raw bit patterns, so NaNs,
+//!   infinities and subnormals round-trip bit-exactly.
+//!
+//! Decoders panic with descriptive messages on truncated or malformed
+//! input — record framing above them converts that into the same
+//! "corrupt record" failure mode the flat codec has.
+
+/// Append `v` as an LEB128 varint.
+#[inline]
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Read an LEB128 varint at `*off`, advancing it. Panics on truncation
+/// or a varint longer than a `u64` can hold.
+#[inline]
+pub fn get_varint(b: &[u8], off: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        assert!(*off < b.len(), "truncated varint");
+        let byte = b[*off];
+        *off += 1;
+        assert!(
+            shift < 64 && (shift < 63 || byte <= 1),
+            "varint overflows u64"
+        );
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed delta to an unsigned value with small magnitudes first:
+/// 0, -1, 1, -2, 2, …
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append the XOR `d` of two `f64` bit patterns: one header byte
+/// `(leading_zero_bytes << 4) | trailing_zero_bytes`, then the non-zero
+/// middle bytes little-endian. `d == 0` encodes as the single header
+/// byte `0x80` (eight leading zero bytes, nothing else).
+#[inline]
+pub fn put_fdelta(out: &mut Vec<u8>, d: u64) {
+    if d == 0 {
+        out.push(0x80);
+        return;
+    }
+    let lead = (d.leading_zeros() / 8) as usize;
+    let trail = (d.trailing_zeros() / 8) as usize;
+    let mid = 8 - lead - trail;
+    out.push(((lead as u8) << 4) | trail as u8);
+    out.extend_from_slice(&(d >> (8 * trail)).to_le_bytes()[..mid]);
+}
+
+/// Read an XOR delta written by [`put_fdelta`] at `*off`, advancing it.
+#[inline]
+pub fn get_fdelta(b: &[u8], off: &mut usize) -> u64 {
+    assert!(*off < b.len(), "truncated f64 delta");
+    let hdr = b[*off];
+    *off += 1;
+    let lead = (hdr >> 4) as usize;
+    let trail = (hdr & 0x0F) as usize;
+    assert!(lead + trail <= 8, "malformed f64 delta header");
+    let mid = 8 - lead - trail;
+    if mid == 0 {
+        return 0;
+    }
+    assert!(*off + mid <= b.len(), "truncated f64 delta");
+    let mut bytes = [0u8; 8];
+    bytes[..mid].copy_from_slice(&b[*off..*off + mid]);
+    *off += mid;
+    u64::from_le_bytes(bytes) << (8 * trail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            (1 << 14) - 1,
+            1 << 14,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut off = 0;
+            assert_eq!(get_varint(&out, &mut off), v);
+            assert_eq!(off, out.len(), "exactly consumed for {v}");
+        }
+        let mut out = Vec::new();
+        put_varint(&mut out, 5);
+        assert_eq!(out.len(), 1);
+        put_varint(&mut out, u64::MAX);
+        assert_eq!(out.len(), 11, "u64::MAX takes ten bytes");
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated varint")]
+    fn varint_rejects_truncation() {
+        let mut off = 0;
+        get_varint(&[0x80, 0x80], &mut off);
+    }
+
+    #[test]
+    #[should_panic(expected = "varint overflows u64")]
+    fn varint_rejects_overflow() {
+        let mut off = 0;
+        get_varint(&[0xFF; 11], &mut off);
+    }
+
+    #[test]
+    fn zigzag_orders_by_magnitude() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [0i64, 1, -1, 1000, -1000, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn fdelta_roundtrip_and_sizes() {
+        let cases: &[(u64, usize)] = &[
+            (0, 1),                     // equal values: header only
+            (0xFF, 2),                  // one low byte
+            (0xFF00, 2),                // one middle byte, trail stripped
+            (0x00FF_0000_0000_0000, 2), // high byte, lead stripped
+            (u64::MAX, 9),              // worst case: all bytes live
+            (1u64 << 63, 2),            // sign-bit-only flip
+            (f64::to_bits(1.5) ^ f64::to_bits(2.5), 3),
+        ];
+        for &(d, expect_len) in cases {
+            let mut out = Vec::new();
+            put_fdelta(&mut out, d);
+            assert_eq!(out.len(), expect_len, "encoded size of {d:#x}");
+            let mut off = 0;
+            assert_eq!(get_fdelta(&out, &mut off), d);
+            assert_eq!(off, out.len());
+        }
+    }
+
+    #[test]
+    fn fdelta_exotic_bit_patterns_roundtrip() {
+        for bits in [
+            f64::NAN.to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            1u64, // smallest subnormal
+            f64::MIN_POSITIVE.to_bits() - 1,
+            (-0.0f64).to_bits(),
+        ] {
+            for base in [0u64, f64::to_bits(123.456)] {
+                let mut out = Vec::new();
+                put_fdelta(&mut out, bits ^ base);
+                let mut off = 0;
+                assert_eq!(get_fdelta(&out, &mut off) ^ base, bits);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed f64 delta header")]
+    fn fdelta_rejects_bad_header() {
+        let mut off = 0;
+        get_fdelta(&[0x77, 0, 0], &mut off); // lead 7 + trail 7 > 8
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated f64 delta")]
+    fn fdelta_rejects_truncation() {
+        let mut off = 0;
+        get_fdelta(&[0x00, 1, 2, 3], &mut off); // header demands 8 bytes
+    }
+}

@@ -31,4 +31,36 @@ echo "== navigation bench smoke (tiny terrain, short path)"
 DM_SCALE=ci DM_NAV_FRAMES=4 DM_NAV_OUT="$PWD/target/BENCH_navigation.ci.json" \
     cargo bench -p dm-bench --bench navigation >/dev/null
 
+echo "== compact codec bench smoke + size-regression guard"
+# Smoke-run the codec comparison on the tiny terrain (the bench itself
+# asserts byte-identical query results between the v2 and v3 stores),
+# then hold the small-scale build to the committed official run's
+# thresholds: bytes-per-record must not regress past baseline × 1.15,
+# and the VI/VD heap-page savings must stay within 10 points of the
+# official numbers. The margins absorb scale effects (65² here vs the
+# official 513²), not real regressions — dropping the placement logic
+# trips the VI/VD floors, bloating the codec trips the byte ceiling.
+DM_SCALE=ci DM_COMPACT_OUT="$PWD/target/BENCH_compact.ci.json" \
+    cargo bench -p dm-bench --bench compact >/dev/null
+python3 - "$PWD/BENCH_compact.json" "$PWD/target/BENCH_compact.ci.json" << 'PY'
+import json, sys
+base = json.load(open(sys.argv[1]))
+ci = json.load(open(sys.argv[2]))
+checks = [
+    ("bytes_per_record_v3", ci["bytes_per_record_v3"],
+     "<=", base["bytes_per_record_v3"] * 1.15),
+    ("vi_heap_saved_pct", ci["vi_heap_saved_pct"],
+     ">=", base["vi_heap_saved_pct"] - 10.0),
+    ("vd_heap_saved_pct", ci["vd_heap_saved_pct"],
+     ">=", base["vd_heap_saved_pct"] - 10.0),
+]
+bad = [f"{k}: {v:.2f} not {op} {lim:.2f}"
+       for k, v, op, lim in checks
+       if not (v <= lim if op == "<=" else v >= lim)]
+if bad:
+    sys.exit("size-regression guard FAILED\n  " + "\n  ".join(bad))
+print("size-regression guard ok: " +
+      ", ".join(f"{k}={v:.2f}" for k, v, _, _ in checks))
+PY
+
 echo "ci: all green"
