@@ -1,0 +1,218 @@
+//! Load generator for the dm-server network stack.
+//!
+//! Builds the mining dataset in memory, serves it over a loopback TCP
+//! socket with the bounded worker pool, and measures query throughput
+//! and latency percentiles at increasing client-side concurrency
+//! (1/2/4/8 client threads, each with its own connection).
+//!
+//! Before the load phase, one invariant is *asserted*, not reported:
+//! a serial, cold remote query stream must be byte-identical to the
+//! same queries executed locally — same canonical vertex/face sets,
+//! same fetched-record counts, and the same logical disk-access counts.
+//! The server holds a reference to the same database instance, so the
+//! cost metric of the paper is preserved end-to-end across the wire.
+//!
+//! Results land in `BENCH_server.json` (override with `DM_SERVER_OUT`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dm_bench::{random_rois, Scale};
+use dm_core::{DirectMeshDb, DmBuildOptions, FetchCounters};
+use dm_mtm::builder::{build_pm, PmBuildConfig};
+use dm_net::{canonical_mesh, Client, QueryOpts};
+use dm_server::{Server, ServerConfig};
+use dm_storage::{thread_reads, BufferPool, MemStore};
+use dm_terrain::{generate, TriMesh};
+
+struct Run {
+    client_threads: usize,
+    requests: usize,
+    secs: f64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let side = scale.small;
+    let hf = generate::fractal_terrain(side, side, 42);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+    let pool = Arc::new(BufferPool::new(
+        Box::new(MemStore::new()),
+        dm_bench::POOL_PAGES,
+    ));
+    let db = DirectMeshDb::build(pool, &pm, &DmBuildOptions::default());
+    eprintln!(
+        "# server: {side}×{side} mining terrain, {} records, {} pages",
+        db.n_records,
+        db.pool().num_pages()
+    );
+
+    let avg_lod = db.e_for_points_fraction(0.25);
+    let n_check = scale.locations.max(5);
+    let per_thread = (scale.locations * 4).max(20);
+    let check_rois = random_rois(&db.bounds, 0.05, n_check, 7);
+
+    let config = ServerConfig {
+        workers: 8,
+        max_inflight: 16,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut verified = 0usize;
+    std::thread::scope(|s| {
+        let server = &server;
+        let db_ref = &db;
+        let handle = s.spawn(move || server.serve(db_ref).expect("serve"));
+
+        // --- Correctness gate: serial cold remote ≡ serial cold local. ---
+        let mut client = Client::connect(&addr).expect("connect");
+        let cold = QueryOpts {
+            cold: true,
+            degraded: false,
+        };
+        for roi in &check_rois {
+            let remote = client.vi_query(cold, *roi, avg_lod).expect("remote VI");
+            db.cold_start();
+            let reads0 = thread_reads();
+            let mut counters = FetchCounters::default();
+            let (local, _report) = db
+                .try_vi_query_counted(roi, avg_lod, &mut counters)
+                .expect("local VI");
+            let local_disk = thread_reads() - reads0;
+            let (lv, lf) = canonical_mesh(&local.front);
+            assert_eq!(remote.vertices, lv, "remote vertex set diverged");
+            assert_eq!(remote.faces, lf, "remote face set diverged");
+            assert_eq!(
+                remote.fetched_records, local.fetched_records as u64,
+                "fetched-record count diverged"
+            );
+            assert_eq!(
+                remote.disk_accesses, local_disk,
+                "cold disk-access count diverged"
+            );
+            verified += 1;
+        }
+        eprintln!("# remote ≡ local: {verified} serial cold queries bit-identical");
+
+        // --- Load phase: T client threads, each its own connection. ---
+        for client_threads in [1usize, 2, 4, 8] {
+            let t0 = Instant::now();
+            let lat_chunks: Vec<Vec<u64>> = std::thread::scope(|ls| {
+                let handles: Vec<_> = (0..client_threads)
+                    .map(|t| {
+                        let addr = addr.clone();
+                        ls.spawn(move || {
+                            let mut c = Client::connect(&addr).expect("connect");
+                            let rois =
+                                random_rois(&db_ref.bounds, 0.05, per_thread, 100 + t as u64);
+                            let warm = QueryOpts {
+                                cold: false,
+                                degraded: false,
+                            };
+                            let mut lat = Vec::with_capacity(rois.len());
+                            for roi in rois {
+                                let q0 = Instant::now();
+                                let m = c.vi_query(warm, roi, avg_lod).expect("load VI");
+                                lat.push(q0.elapsed().as_micros() as u64);
+                                assert!(m.report.is_clean(), "clean store answered degraded");
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client"))
+                    .collect()
+            });
+            let secs = t0.elapsed().as_secs_f64();
+            let mut lat: Vec<u64> = lat_chunks.into_iter().flatten().collect();
+            lat.sort_unstable();
+            runs.push(Run {
+                client_threads,
+                requests: lat.len(),
+                secs,
+                p50_us: percentile(&lat, 0.50),
+                p90_us: percentile(&lat, 0.90),
+                p99_us: percentile(&lat, 0.99),
+            });
+        }
+
+        let mut shut = Client::connect(&addr).expect("connect");
+        shut.shutdown_server().expect("shutdown");
+        let stats = handle.join().expect("server thread");
+        eprintln!(
+            "# server drained: {} connections, {} requests, {} errors, {} overloaded",
+            stats.connections, stats.requests, stats.errors, stats.overloaded
+        );
+    });
+
+    println!("\n## Server throughput — VI queries over loopback TCP, 8 workers");
+    println!(
+        "{}",
+        dm_bench::row(
+            "clients",
+            &[
+                "requests".into(),
+                "secs".into(),
+                "req/s".into(),
+                "p50 µs".into(),
+                "p90 µs".into(),
+                "p99 µs".into(),
+            ]
+        )
+    );
+    let mut json = String::from("{\n  \"bench\": \"server\",\n");
+    json.push_str(&format!("  \"dataset\": \"mining-{side}\",\n"));
+    json.push_str("  \"server_workers\": 8,\n");
+    json.push_str(&format!("  \"verified_cold_queries\": {verified},\n"));
+    json.push_str("  \"remote_equals_local\": true,\n");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let rps = r.requests as f64 / r.secs.max(1e-9);
+        println!(
+            "{}",
+            dm_bench::row(
+                &r.client_threads.to_string(),
+                &[
+                    format!("{}", r.requests),
+                    format!("{:.3}", r.secs),
+                    format!("{rps:.1}"),
+                    format!("{}", r.p50_us),
+                    format!("{}", r.p90_us),
+                    format!("{}", r.p99_us),
+                ]
+            )
+        );
+        json.push_str(&format!(
+            "    {{\"client_threads\": {}, \"requests\": {}, \"secs\": {:.6}, \
+             \"requests_per_sec\": {rps:.2}, \"p50_us\": {}, \"p90_us\": {}, \
+             \"p99_us\": {}}}{}\n",
+            r.client_threads,
+            r.requests,
+            r.secs,
+            r.p50_us,
+            r.p90_us,
+            r.p99_us,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::var("DM_SERVER_OUT").unwrap_or_else(|_| "BENCH_server.json".to_string());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("# wrote {out}");
+}

@@ -15,7 +15,9 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use dm_core::{BoundaryPolicy, DirectMeshDb, DmBuildOptions, IntegrityReport, VdQuery};
+use dm_core::{
+    BoundaryPolicy, DirectMeshDb, DmBuildOptions, FetchCounters, IntegrityReport, VdQuery,
+};
 use dm_geom::{Rect, Vec2};
 use dm_mtm::builder::{build_pm, PmBuildConfig};
 use dm_mtm::PlaneTarget;
@@ -41,14 +43,19 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         print_help();
         return Ok(());
     };
-    let args = Args::parse_with_flags(rest, &["degraded", "full"])?;
+    let args = Args::parse_with_flags(rest, &["degraded", "full", "cold"])?;
     match cmd.as_str() {
         "generate" => cmd_generate(args),
         "build" => cmd_build(args),
         "info" => cmd_info(args),
+        "stats" => cmd_stats(args),
         "query" => cmd_query(args),
         "vd" => cmd_vd(args),
         "walkthrough" => cmd_walkthrough(args),
+        "serve" => cmd_serve(args),
+        "remote-query" => cmd_remote_query(args),
+        "remote-walkthrough" => cmd_remote_walkthrough(args),
+        "remote-shutdown" => cmd_remote_shutdown(args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -98,13 +105,36 @@ parallel execution (query / vd):
                         sub-queries and fan them across the workers,
                         printing aggregate figures
 
-fault tolerance (query / vd / walkthrough / info):
+fault tolerance (query / vd / walkthrough / info / serve):
   --degraded            open the database and complete queries past
                         unreadable data pages, printing an integrity
                         report instead of failing
   --max-retries <n>     page-read retry budget (default 4)
   --fault-rate <p>      inject transient read faults with probability p
   --fault-seed <s>      deterministic fault stream seed (default 1)
+
+network service:
+  stats <db.dmdb>       structural summary (catalog version, codec,
+                        record/page/index-node counts)
+  serve <db.dmdb> [--addr host:port] [--workers <n>] [--max-inflight <n>]
+                  [--port-file <file>]
+                        serve the database over TCP (the dm-net binary
+                        protocol); --addr defaults to 127.0.0.1:0 and
+                        --port-file records the bound address for scripts
+  remote-query --addr <host:port> [--keep <frac> | --lod <e>]
+               [--roi ...] [--batch <n>] [--threads <n>] [--cold]
+               [--degraded] [--verify-local <db.dmdb>] [-o mesh.obj]
+                        run VI queries against a server; --cold asks the
+                        server to flush first (paper-protocol
+                        measurement), --verify-local re-runs locally and
+                        asserts byte-identical results
+  remote-walkthrough --addr <host:port> [--frames <n>] [--window <frac>]
+               [--near-keep <f>] [--far-keep <f>] [--policy ...]
+               [--max-cubes <n>] [--full] [--degraded]
+               [--verify-local <db.dmdb>]
+                        fly a server-side navigation session
+  remote-shutdown --addr <host:port>
+                        ask a server to drain and exit
 
 terrain files: .asc (ESRI ASCII grid) or .dmh (binary heightfield)
 databases:     page files with a self-describing catalog (page 0)"
@@ -263,9 +293,9 @@ fn cmd_info(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_roi(args: &Args, db: &DirectMeshDb) -> Result<Rect, String> {
+fn parse_roi(args: &Args, bounds: Rect) -> Result<Rect, String> {
     match args.get("roi") {
-        None => Ok(db.bounds),
+        None => Ok(bounds),
         Some(spec) => {
             let parts: Vec<f64> = spec
                 .split(',')
@@ -299,7 +329,7 @@ fn roi_grid(roi: &Rect, n: usize) -> Vec<Rect> {
 fn cmd_query(args: Args) -> Result<(), String> {
     let path = args.positional(0)?;
     let db = open_db(path, &args)?;
-    let roi = parse_roi(&args, &db)?;
+    let roi = parse_roi(&args, db.bounds)?;
     let e = match args.get("lod") {
         Some(v) => v.parse::<f64>().map_err(|e| format!("bad --lod: {e}"))?,
         None => {
@@ -389,7 +419,7 @@ fn vd_query(roi: Rect, e_min: f64, e_far: f64) -> VdQuery {
 fn cmd_vd(args: Args) -> Result<(), String> {
     let path = args.positional(0)?;
     let db = open_db(path, &args)?;
-    let roi = parse_roi(&args, &db)?;
+    let roi = parse_roi(&args, db.bounds)?;
     let near: f64 = args.parse_or("near-keep", 0.4)?;
     let far: f64 = args.parse_or("far-keep", 0.05)?;
     let policy = parse_policy(&args)?;
@@ -540,6 +570,322 @@ fn maybe_export(args: &Args, front: &dm_mtm::FrontMesh) -> Result<(), String> {
         obj::write_obj(&mesh, &mut f).map_err(|e| format!("{out}: {e}"))?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+fn cmd_stats(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let db = open_db(path, &args)?;
+    let s = db.stats_summary();
+    println!("database:        {path}");
+    println!(
+        "catalog:         version {} ({} codec)",
+        s.catalog_version,
+        s.codec.name()
+    );
+    println!(
+        "records:         {} ({} original points, {} roots)",
+        s.n_records, s.n_leaves, s.n_roots
+    );
+    println!(
+        "heap pages:      {} of {} total",
+        s.heap_pages, s.total_pages
+    );
+    println!(
+        "b+-tree:         height {}, {} keyed records",
+        s.btree_height, s.btree_len
+    );
+    println!(
+        "r*-tree:         {} node pages, height {}, {} entries",
+        s.rtree_nodes, s.rtree_height, s.rtree_len
+    );
+    println!(
+        "bounds:          ({:.1}, {:.1}) .. ({:.1}, {:.1})",
+        s.bounds.min.x, s.bounds.min.y, s.bounds.max.x, s.bounds.max.y
+    );
+    println!("max LOD:         {:.3}", s.e_max);
+    Ok(())
+}
+
+fn cmd_serve(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let db = open_db(path, &args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let config = dm_server::ServerConfig {
+        workers: args.parse_or("workers", 4)?,
+        max_inflight: args.parse_or("max-inflight", 8)?,
+        ..dm_server::ServerConfig::default()
+    };
+    let server =
+        dm_server::Server::bind(addr, config.clone()).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving {path} on {bound} ({} workers, {} max in-flight)",
+        config.workers, config.max_inflight
+    );
+    if let Some(pf) = args.get("port-file") {
+        std::fs::write(pf, format!("{bound}\n")).map_err(|e| format!("{pf}: {e}"))?;
+    }
+    let stats = server.serve(&db).map_err(|e| e.to_string())?;
+    println!(
+        "server drained: {} connections, {} requests, {} errors, {} overloaded",
+        stats.connections, stats.requests, stats.errors, stats.overloaded
+    );
+    Ok(())
+}
+
+/// Bit-exact comparison of a remote mesh against a locally produced
+/// canonical mesh (coordinates compared as bit patterns, so a NaN in the
+/// terrain cannot mask a mismatch).
+fn mesh_matches(
+    label: &str,
+    remote: &dm_net::MeshResult,
+    local_vertices: &[dm_net::WireVertex],
+    local_faces: &[[u32; 3]],
+) -> Result<(), String> {
+    if remote.vertices.len() != local_vertices.len() {
+        return Err(format!(
+            "{label}: vertex count differs (remote {} vs local {})",
+            remote.vertices.len(),
+            local_vertices.len()
+        ));
+    }
+    for (r, l) in remote.vertices.iter().zip(local_vertices) {
+        if r.id != l.id
+            || r.x.to_bits() != l.x.to_bits()
+            || r.y.to_bits() != l.y.to_bits()
+            || r.z.to_bits() != l.z.to_bits()
+        {
+            return Err(format!("{label}: vertex {} differs", l.id));
+        }
+    }
+    if remote.faces != local_faces {
+        return Err(format!(
+            "{label}: face set differs (remote {} vs local {})",
+            remote.faces.len(),
+            local_faces.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Convert a wire mesh back to a [`TriMesh`] (compact vertex indexing).
+fn wire_mesh_to_trimesh(m: &dm_net::MeshResult) -> Result<TriMesh, String> {
+    let index: std::collections::HashMap<u32, u32> = m
+        .vertices
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.id, i as u32))
+        .collect();
+    let positions: Vec<dm_geom::Vec3> = m
+        .vertices
+        .iter()
+        .map(|v| dm_geom::Vec3::new(v.x, v.y, v.z))
+        .collect();
+    let tris: Vec<[u32; 3]> = m
+        .faces
+        .iter()
+        .map(|f| {
+            let mut out = [0u32; 3];
+            for (o, id) in out.iter_mut().zip(f) {
+                *o = *index
+                    .get(id)
+                    .ok_or_else(|| format!("face references unknown vertex {id}"))?;
+            }
+            Ok(out)
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(TriMesh::from_parts(positions, &tris))
+}
+
+fn maybe_export_wire(args: &Args, m: &dm_net::MeshResult) -> Result<(), String> {
+    if let Some(out) = args.get("o") {
+        let mesh = wire_mesh_to_trimesh(m)?;
+        mesh.validate()
+            .map_err(|e| format!("received mesh invalid: {e}"))?;
+        let mut f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+        obj::write_obj(&mesh, &mut f).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_remote_query(args: Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let mut client = dm_net::Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let keep: f64 = args.parse_or("keep", 0.25)?;
+    let (remote_stats, resolved) = client.stats(vec![keep]).map_err(|e| e.to_string())?;
+    let e = match args.get("lod") {
+        Some(v) => v.parse::<f64>().map_err(|e| format!("bad --lod: {e}"))?,
+        None => resolved[0],
+    };
+    let roi = parse_roi(&args, remote_stats.bounds)?;
+    let opts = dm_net::QueryOpts {
+        cold: args.has("cold"),
+        degraded: args.has("degraded"),
+    };
+    let threads: u32 = args.parse_or("threads", 1)?;
+    let batch: usize = args.parse_or("batch", 0)?;
+
+    if batch > 1 {
+        let queries: Vec<(Rect, f64)> = roi_grid(&roi, batch).into_iter().map(|r| (r, e)).collect();
+        let (total_disk, items) = client
+            .batch_query(opts, queries.clone(), threads)
+            .map_err(|e| e.to_string())?;
+        let points: usize = items.iter().map(|m| m.vertices.len()).sum();
+        let triangles: usize = items.iter().map(|m| m.faces.len()).sum();
+        let fetched: u64 = items.iter().map(|m| m.fetched_records).sum();
+        println!(
+            "remote batch {batch}×{batch} at LOD {e:.4} ({threads} server threads): \
+             {points} points, {triangles} triangles, {fetched} records fetched, \
+             {total_disk} disk accesses"
+        );
+        if let Some(db_path) = args.get("verify-local") {
+            let db = open_db(db_path, &args)?;
+            if opts.cold {
+                db.try_cold_start().map_err(|e| e.to_string())?;
+            }
+            for (i, ((roi, e), item)) in queries.iter().zip(&items).enumerate() {
+                let (res, _report) = db.try_vi_query(roi, *e).map_err(|e| e.to_string())?;
+                let (lv, lf) = dm_net::canonical_mesh(&res.front);
+                mesh_matches(&format!("batch item {i}"), item, &lv, &lf)?;
+            }
+            println!("remote ≡ local: {} sub-queries verified", items.len());
+        }
+        return Ok(());
+    }
+
+    let m = client.vi_query(opts, roi, e).map_err(|e| e.to_string())?;
+    if !m.report.is_clean() {
+        print_report(&m.report);
+    }
+    println!(
+        "remote LOD {e:.4}: {} points, {} triangles, {} records fetched, {} disk accesses \
+         ({} pages scanned, {} records examined)",
+        m.vertices.len(),
+        m.faces.len(),
+        m.fetched_records,
+        m.disk_accesses,
+        m.counters.pages_scanned,
+        m.counters.records_examined
+    );
+    if let Some(db_path) = args.get("verify-local") {
+        let db = open_db(db_path, &args)?;
+        if opts.cold {
+            db.try_cold_start().map_err(|e| e.to_string())?;
+        }
+        let reads_before = dm_storage::thread_reads();
+        let mut counters = FetchCounters::default();
+        let (res, _report) = db
+            .try_vi_query_counted(&roi, e, &mut counters)
+            .map_err(|e| e.to_string())?;
+        let local_disk = dm_storage::thread_reads() - reads_before;
+        let (lv, lf) = dm_net::canonical_mesh(&res.front);
+        mesh_matches("query", &m, &lv, &lf)?;
+        if res.fetched_records as u64 != m.fetched_records {
+            return Err(format!(
+                "fetched records differ: remote {} vs local {}",
+                m.fetched_records, res.fetched_records
+            ));
+        }
+        if opts.cold && local_disk != m.disk_accesses {
+            return Err(format!(
+                "cold disk accesses differ: remote {} vs local {local_disk}",
+                m.disk_accesses
+            ));
+        }
+        println!(
+            "remote ≡ local verified ({} vertices, {} faces)",
+            m.vertices.len(),
+            m.faces.len()
+        );
+    }
+    maybe_export_wire(&args, &m)
+}
+
+fn cmd_remote_walkthrough(args: Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let mut client = dm_net::Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let frames: usize = args.parse_or("frames", 16)?;
+    let window_frac: f64 = args.parse_or("window", 0.5)?;
+    let near: f64 = args.parse_or("near-keep", 0.4)?;
+    let far: f64 = args.parse_or("far-keep", 0.05)?;
+    let policy = parse_policy(&args)?;
+    let max_cubes: u32 = args.parse_or("max-cubes", 16)?;
+    let degraded = args.has("degraded");
+    let full = args.has("full");
+
+    let (remote_stats, resolved) = client.stats(vec![near, far]).map_err(|e| e.to_string())?;
+    let e_min = resolved[0];
+    let e_far = resolved[1].max(e_min);
+    let rois = dm_core::navigation::flight_path(&remote_stats.bounds, window_frac, frames);
+
+    // Optional local shadow session for remote ≡ local verification.
+    let local_db = match args.get("verify-local") {
+        Some(p) => Some(open_db(p, &args)?),
+        None => None,
+    };
+    let mut local_session = local_db.as_ref().map(|db| {
+        dm_core::NavigationSession::new(db, policy)
+            .with_max_cubes(max_cubes as usize)
+            .with_full_requery(full)
+    });
+
+    let session = client
+        .open_session(policy, max_cubes, full)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "remote {} walkthrough on {addr}: {} frames, window {:.0}%, policy {policy:?}",
+        if full { "full-requery" } else { "incremental" },
+        rois.len(),
+        window_frac * 100.0
+    );
+    println!("frame    disk  fetched  vertices triangles");
+    let mut total_disk = 0u64;
+    for (i, roi) in rois.iter().enumerate() {
+        let q = vd_query(*roi, e_min, e_far);
+        let m = client
+            .frame_query(session, q, degraded)
+            .map_err(|e| e.to_string())?;
+        if !m.report.is_clean() {
+            print_report(&m.report);
+        }
+        total_disk += m.disk_accesses;
+        println!(
+            "{i:>5} {:>7} {:>8} {:>9} {:>9}",
+            m.disk_accesses,
+            m.fetched_records,
+            m.vertices.len(),
+            m.faces.len()
+        );
+        if let Some(nav) = local_session.as_mut() {
+            let (stats, _report) = nav.try_move_to(&q).map_err(|e| e.to_string())?;
+            let (lv, lf) = dm_net::canonical_mesh(nav.front());
+            mesh_matches(&format!("frame {i}"), &m, &lv, &lf)?;
+            if stats.fetched_records as u64 != m.fetched_records {
+                return Err(format!(
+                    "frame {i}: fetched records differ (remote {} vs local {})",
+                    m.fetched_records, stats.fetched_records
+                ));
+            }
+        }
+    }
+    client.close_session(session).map_err(|e| e.to_string())?;
+    println!(
+        "total {total_disk:>7}  ({:.1} disk accesses/frame)",
+        total_disk as f64 / rois.len().max(1) as f64
+    );
+    if local_session.is_some() {
+        println!("remote ≡ local: all {} frames verified", rois.len());
+    }
+    Ok(())
+}
+
+fn cmd_remote_shutdown(args: Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let mut client = dm_net::Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    client.shutdown_server().map_err(|e| e.to_string())?;
+    println!("server at {addr} acknowledged shutdown");
     Ok(())
 }
 

@@ -44,6 +44,16 @@ const MAGIC: &[u8; 4] = b"DMCT";
 /// version-2 catalog, so older binaries keep reading it.
 const VERSION_FLAT: u32 = 2;
 const VERSION_CODEC: u32 = 3;
+
+/// The on-disk catalog version a database with this record codec is
+/// written as (flat databases stay byte-exact version-2 files so older
+/// binaries keep reading them).
+pub fn version_for(codec: RecordCodec) -> u32 {
+    match codec {
+        RecordCodec::Flat => VERSION_FLAT,
+        RecordCodec::Compact => VERSION_CODEC,
+    }
+}
 /// Per continuation page: [next: u32][len: u16] then payload. Chunks stay
 /// inside `PAGE_DATA` — the last four bytes of every page belong to the
 /// buffer pool's checksum.

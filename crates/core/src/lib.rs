@@ -62,4 +62,4 @@ pub use navigation::{FrameStats, NavigationSession};
 pub use parallel::{vd_query_batch, vi_query_batch};
 pub use query::{BoundaryPolicy, ElevationStats, VdQuery, VdResult, ViResult};
 pub use record::DmRecord;
-pub use store::{DirectMeshDb, DmBuildOptions, IntegrityReport};
+pub use store::{DbStats, DirectMeshDb, DmBuildOptions, FetchCounters, IntegrityReport};

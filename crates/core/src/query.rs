@@ -9,7 +9,7 @@ use dm_storage::{StorageError, StorageResult};
 
 use crate::faces::extract_faces;
 use crate::record::DmRecord;
-use crate::store::{DirectMeshDb, IntegrityReport};
+use crate::store::{DirectMeshDb, FetchCounters, IntegrityReport};
 
 /// What to do when refinement needs a record outside the fetched region
 /// (the ROI border).
@@ -34,7 +34,7 @@ pub struct ViResult {
 }
 
 /// A viewpoint-dependent query: a ROI and a tilted LOD plane over it.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct VdQuery {
     pub roi: Rect,
     pub target: PlaneTarget,
@@ -258,10 +258,22 @@ impl DirectMeshDb {
     /// the R\*-tree descent itself failed — no meaningful partial answer
     /// exists.
     pub fn try_vi_query(&self, roi: &Rect, e: f64) -> StorageResult<(ViResult, IntegrityReport)> {
+        self.try_vi_query_counted(roi, e, &mut FetchCounters::default())
+    }
+
+    /// [`Self::try_vi_query`] that additionally accumulates per-request
+    /// [`FetchCounters`] — the accounting the network service reports
+    /// with every response.
+    pub fn try_vi_query_counted(
+        &self,
+        roi: &Rect,
+        e: f64,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(ViResult, IntegrityReport)> {
         let mut report = IntegrityReport::default();
         let e = self.clamp_e(e);
         let plane = Box3::prism(*roi, e, e);
-        let recs = self.fetch_box_degraded(&plane, &mut report)?;
+        let recs = self.fetch_box_counted(&plane, &mut report, counters)?;
         let fetched = recs.len();
         let front = assemble_uniform_front(recs, roi, e);
         Ok((
@@ -432,6 +444,19 @@ impl DirectMeshDb {
         self.try_vd_multi_base_with_strips(q, policy, &strips)
     }
 
+    /// [`Self::try_vd_multi_base`] that additionally accumulates
+    /// per-request [`FetchCounters`].
+    pub fn try_vd_multi_base_counted(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        max_cubes: usize,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
+        let strips = self.plan_multi_base(q, max_cubes);
+        self.try_vd_multi_base_with_strips_counted(q, policy, &strips, counters)
+    }
+
     /// Multi-base with a fixed, caller-provided strip decomposition
     /// (ablation against the cost-model-driven plan).
     pub fn vd_multi_base_with_strips(
@@ -454,6 +479,18 @@ impl DirectMeshDb {
         policy: BoundaryPolicy,
         strips: &[Rect],
     ) -> StorageResult<(VdResult, IntegrityReport)> {
+        self.try_vd_multi_base_with_strips_counted(q, policy, strips, &mut FetchCounters::default())
+    }
+
+    /// [`Self::try_vd_multi_base_with_strips`] with [`FetchCounters`]
+    /// accumulation.
+    pub fn try_vd_multi_base_with_strips_counted(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        strips: &[Rect],
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
         let mut report = IntegrityReport::default();
         let mut cubes = Vec::with_capacity(strips.len());
         let mut all: FxHashMap<u32, DmRecord> = FxHashMap::default();
@@ -461,7 +498,7 @@ impl DirectMeshDb {
         for rect in strips {
             let (lo, hi) = q.e_range(rect);
             let cube = Box3::prism(*rect, lo, self.clamp_e(hi));
-            let recs = self.fetch_box_degraded(&cube, &mut report)?;
+            let recs = self.fetch_box_counted(&cube, &mut report, counters)?;
             fetched += recs.len();
             for r in recs {
                 all.entry(r.node.id).or_insert(r);

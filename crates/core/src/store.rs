@@ -32,6 +32,39 @@ impl FetchCounters {
     }
 }
 
+/// A database's structural summary — what `dm stats` prints and what the
+/// network service's `Stats` handler serializes. Every field comes from
+/// catalog metadata or cheap index walks; producing one touches no heap
+/// data pages.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DbStats {
+    /// On-disk catalog version (2 = flat records, 3 = compact).
+    pub catalog_version: u32,
+    /// Heap record codec.
+    pub codec: RecordCodec,
+    /// Stored DM records (= PM nodes).
+    pub n_records: u64,
+    /// Original terrain points.
+    pub n_leaves: u64,
+    /// Root records (the coarsest approximation).
+    pub n_roots: u64,
+    /// Heap pages holding the record table.
+    pub heap_pages: u64,
+    /// Total pages in the store (catalog + heap + both indexes).
+    pub total_pages: u64,
+    /// B+-tree height and keyed records.
+    pub btree_height: u32,
+    pub btree_len: u64,
+    /// R\*-tree node-page count, height, and indexed entries.
+    pub rtree_nodes: u64,
+    pub rtree_height: u32,
+    pub rtree_len: u64,
+    /// Largest finite normalized LOD value.
+    pub e_max: f64,
+    /// Plan-view bounds of the terrain.
+    pub bounds: Rect,
+}
+
 /// What a degraded read had to give up.
 ///
 /// Returned by the `*_degraded` fetch / query paths: when a heap page
@@ -760,6 +793,26 @@ impl DirectMeshDb {
     /// of the compression bench's bytes-per-record figure.
     pub fn n_heap_pages(&self) -> usize {
         self.heap.page_ids().len()
+    }
+
+    /// Structural summary of the database (see [`DbStats`]).
+    pub fn stats_summary(&self) -> DbStats {
+        DbStats {
+            catalog_version: crate::catalog::version_for(self.codec),
+            codec: self.codec,
+            n_records: self.n_records as u64,
+            n_leaves: self.n_leaves as u64,
+            n_roots: self.roots.len() as u64,
+            heap_pages: self.heap.page_ids().len() as u64,
+            total_pages: u64::from(self.pool.num_pages()),
+            btree_height: self.btree.height(),
+            btree_len: self.btree.len(),
+            rtree_nodes: self.rtree.num_nodes() as u64,
+            rtree_height: self.rtree.height(),
+            rtree_len: self.rtree.len(),
+            e_max: self.e_max,
+            bounds: self.bounds,
+        }
     }
 
     /// In-memory map of all records (testing aid; not a measured path).

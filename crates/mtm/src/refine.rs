@@ -108,7 +108,7 @@ impl LodTarget for UniformTarget {
 /// A tilted *query plane* (viewpoint-dependent query): the required LOD
 /// grows linearly with the distance from the viewer along `dir`,
 /// clamped to `[e_min, e_max]`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PlaneTarget {
     /// Point where the requirement equals `e_min` (the viewer's edge).
     pub origin: Vec2,

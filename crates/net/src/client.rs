@@ -1,0 +1,307 @@
+//! Blocking client for the Direct Mesh query service.
+//!
+//! [`Client`] owns one TCP connection and speaks one request/response
+//! pair at a time. Transient failures are absorbed here so callers see
+//! them rarely:
+//!
+//! * connect attempts back off exponentially (cold servers, races with
+//!   a listener still binding),
+//! * **idempotent** requests (VI/VD/batch/stats/shutdown) are replayed
+//!   over a fresh connection after an I/O error — a re-run query
+//!   returns the same bytes, so replay is safe,
+//! * [`Response::Overloaded`] answers are retried after the server's
+//!   `retry_after_ms` hint.
+//!
+//! Session-scoped requests are **not** replayed: sessions live on the
+//! connection that opened them, so after a drop the walkthrough must be
+//! restarted by the caller.
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use dm_core::{BoundaryPolicy, DbStats, VdQuery};
+use dm_geom::Rect;
+
+use crate::frame::{read_frame, write_frame, FrameEvent};
+use crate::mesh::MeshResult;
+use crate::proto::{QueryOpts, Request, Response};
+use crate::wire::{WireError, WireResult};
+
+/// Client-side retry and timeout policy.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Connection attempts before giving up.
+    pub connect_attempts: u32,
+    /// Initial backoff between attempts; doubles per retry, capped at 1 s.
+    pub initial_backoff: Duration,
+    /// Reconnect-and-replay attempts for idempotent requests that hit an
+    /// I/O error.
+    pub io_retries: u32,
+    /// Retries when the server answers `Overloaded`.
+    pub overload_retries: u32,
+    /// Socket read timeout (bounds how long one response may take).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_attempts: 10,
+            initial_backoff: Duration::from_millis(25),
+            io_retries: 2,
+            overload_retries: 8,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A blocking connection to a `dm serve` instance.
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// Connect with the default policy.
+    pub fn connect(addr: &str) -> WireResult<Client> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with an explicit policy; retries with exponential backoff.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> WireResult<Client> {
+        let mut client = Client {
+            addr: addr.to_string(),
+            config,
+            stream: None,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> WireResult<()> {
+        self.stream = None;
+        let mut backoff = self.config.initial_backoff;
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..self.config.connect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+            match self
+                .addr
+                .to_socket_addrs()
+                .and_then(|mut addrs| {
+                    addrs.next().ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                })
+                .and_then(TcpStream::connect)
+            {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(self.config.read_timeout))?;
+                    stream.set_write_timeout(Some(self.config.write_timeout))?;
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(WireError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "connect failed")
+        })))
+    }
+
+    /// One request → one response over the live connection. On any I/O
+    /// error the stream is dropped so the next call reconnects.
+    fn exchange(&mut self, kind: u8, payload: &[u8]) -> WireResult<Response> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let result = (|| {
+            let stream = self.stream.as_mut().expect("reconnect populated stream");
+            {
+                let mut w = BufWriter::new(&mut *stream);
+                write_frame(&mut w, kind, payload)?;
+            }
+            match read_frame(stream)? {
+                FrameEvent::Frame(f) => Response::decode(&f),
+                FrameEvent::Eof => Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))),
+                FrameEvent::Idle => Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "timed out waiting for response",
+                ))),
+            }
+        })();
+        if matches!(result, Err(WireError::Io(_))) {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Send a request, absorbing overload backoff and (for idempotent
+    /// requests) transient I/O errors. Error-class responses surface as
+    /// `Err` ([`WireError::Remote`] / [`WireError::Overloaded`]).
+    pub fn roundtrip(&mut self, req: &Request) -> WireResult<Response> {
+        let payload = req.encode();
+        let kind = req.kind();
+        let replayable = matches!(
+            req,
+            Request::ViQuery { .. }
+                | Request::VdQuery { .. }
+                | Request::BatchQuery { .. }
+                | Request::Stats { .. }
+                | Request::Shutdown
+        );
+        let mut io_attempts = 0u32;
+        let mut overload_attempts = 0u32;
+        loop {
+            match self.exchange(kind, &payload) {
+                Ok(Response::Overloaded { retry_after_ms })
+                    if overload_attempts < self.config.overload_retries =>
+                {
+                    overload_attempts += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1000)));
+                }
+                Ok(resp) => return resp.into_result(),
+                Err(WireError::Io(_)) if replayable && io_attempts < self.config.io_retries => {
+                    io_attempts += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn expect_mesh(resp: Response) -> WireResult<MeshResult> {
+        match resp {
+            Response::Mesh(m) => Ok(m),
+            other => Err(WireError::Protocol(format!(
+                "expected mesh response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Viewpoint-independent query.
+    pub fn vi_query(&mut self, opts: QueryOpts, roi: Rect, e: f64) -> WireResult<MeshResult> {
+        Self::expect_mesh(self.roundtrip(&Request::ViQuery { opts, roi, e })?)
+    }
+
+    /// Viewpoint-dependent multi-base query.
+    pub fn vd_query(
+        &mut self,
+        opts: QueryOpts,
+        query: VdQuery,
+        policy: BoundaryPolicy,
+        max_cubes: u32,
+    ) -> WireResult<MeshResult> {
+        Self::expect_mesh(self.roundtrip(&Request::VdQuery {
+            opts,
+            query,
+            policy,
+            max_cubes,
+        })?)
+    }
+
+    /// Batched VI queries; returns the pool-level disk-access total and
+    /// the per-query results in request order.
+    pub fn batch_query(
+        &mut self,
+        opts: QueryOpts,
+        queries: Vec<(Rect, f64)>,
+        threads: u32,
+    ) -> WireResult<(u64, Vec<MeshResult>)> {
+        match self.roundtrip(&Request::BatchQuery {
+            opts,
+            queries,
+            threads,
+        })? {
+            Response::Batch {
+                total_disk_accesses,
+                items,
+            } => Ok((total_disk_accesses, items)),
+            other => Err(WireError::Protocol(format!(
+                "expected batch response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Open a server-side navigation session; returns its id.
+    pub fn open_session(
+        &mut self,
+        policy: BoundaryPolicy,
+        max_cubes: u32,
+        full_requery: bool,
+    ) -> WireResult<u64> {
+        match self.roundtrip(&Request::OpenSession {
+            policy,
+            max_cubes,
+            full_requery,
+        })? {
+            Response::SessionOpened { session } => Ok(session),
+            other => Err(WireError::Protocol(format!(
+                "expected session-opened response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Advance a session to a new viewpoint.
+    pub fn frame_query(
+        &mut self,
+        session: u64,
+        query: VdQuery,
+        degraded: bool,
+    ) -> WireResult<MeshResult> {
+        Self::expect_mesh(self.roundtrip(&Request::FrameQuery {
+            session,
+            query,
+            degraded,
+        })?)
+    }
+
+    /// Close a session.
+    pub fn close_session(&mut self, session: u64) -> WireResult<()> {
+        match self.roundtrip(&Request::CloseSession { session })? {
+            Response::SessionClosed => Ok(()),
+            other => Err(WireError::Protocol(format!(
+                "expected session-closed response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Database summary plus the LODs the keep-fractions resolve to.
+    pub fn stats(&mut self, resolve_keep: Vec<f64>) -> WireResult<(DbStats, Vec<f64>)> {
+        match self.roundtrip(&Request::Stats { resolve_keep })? {
+            Response::Stats { stats, resolved_e } => Ok((stats, resolved_e)),
+            other => Err(WireError::Protocol(format!(
+                "expected stats response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Ask the server to shut down; resolves once it acknowledges.
+    pub fn shutdown_server(&mut self) -> WireResult<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(WireError::Protocol(format!(
+                "expected shutdown ack, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+}

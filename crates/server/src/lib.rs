@@ -1,0 +1,761 @@
+//! dm-server: a TCP query service over one [`DirectMeshDb`].
+//!
+//! Architecture:
+//!
+//! * one **accept loop** on the calling thread (non-blocking listener,
+//!   polled so the shutdown flag is honored promptly),
+//! * a **bounded worker pool** ([`rayon::scope`], one OS thread per
+//!   worker) pulling connections off a condvar queue — each worker owns
+//!   one connection at a time and serves it to EOF,
+//! * **framed I/O** per connection with a short read timeout, so idle
+//!   connections poll the shutdown flag between frames,
+//! * **admission control**: a global in-flight permit counter; when
+//!   `max_inflight` query-class requests are already executing, further
+//!   ones get a typed `Overloaded` response (with a retry hint) instead
+//!   of queueing unboundedly,
+//! * **sessions**: `OpenSession` creates a server-side
+//!   [`NavigationSession`]; frames advance it incrementally exactly like
+//!   a local walkthrough. Sessions are connection-scoped and bounded.
+//!
+//! All workers share the database's sharded buffer pool; disk-access
+//! accounting per request uses the thread-attributed read counter
+//! ([`dm_storage::thread_reads`]), which stays exact under concurrency
+//! because one request executes entirely on one worker thread.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use dm_core::{BoundaryPolicy, DirectMeshDb, FetchCounters, NavigationSession, VdQuery};
+use dm_geom::Rect;
+use dm_net::frame::{read_frame, write_frame, FrameEvent};
+use dm_net::mesh::{canonical_mesh, MeshResult};
+use dm_net::proto::{ErrorCode, QueryOpts, Request, Response};
+
+/// Tuning knobs for [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Query-class requests allowed to execute concurrently before the
+    /// server answers `Overloaded`.
+    pub max_inflight: usize,
+    /// Read timeout per frame wait; doubles as the shutdown poll tick.
+    pub read_timeout: Duration,
+    /// Write timeout per response.
+    pub write_timeout: Duration,
+    /// Navigation sessions one connection may hold open.
+    pub max_sessions_per_conn: usize,
+    /// Retry hint carried by `Overloaded` responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            max_inflight: 8,
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(10),
+            max_sessions_per_conn: 8,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Counters [`Server::serve`] returns once the server has drained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames successfully received and dispatched.
+    pub requests: u64,
+    /// Error-class responses sent (bad requests, storage failures, …).
+    pub errors: u64,
+    /// Requests refused by admission control.
+    pub overloaded: u64,
+}
+
+/// Clonable handle that asks a running [`Server::serve`] call to stop
+/// accepting work and drain.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Global in-flight permit counter (admission control).
+struct Admission {
+    inflight: AtomicUsize,
+    max: usize,
+}
+
+struct AdmissionPermit<'a>(&'a Admission);
+
+impl Admission {
+    fn try_acquire(&self) -> Option<AdmissionPermit<'_>> {
+        let mut cur = self.inflight.load(Ordering::Acquire);
+        loop {
+            if cur >= self.max {
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(AdmissionPermit(self)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Accepted connections waiting for a free worker.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, s: TcpStream) {
+        let mut g = self.state.lock().unwrap();
+        g.0.push_back(s);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until a connection is available or the queue is closed.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut g = self.state.lock().unwrap();
+        loop {
+            if let Some(s) = g.0.pop_front() {
+                return Some(s);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.1 = true;
+        self.ready.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+}
+
+/// State every worker shares.
+struct Shared {
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    admission: Admission,
+    counters: Counters,
+}
+
+/// Per-connection state: the navigation sessions this client opened.
+struct ConnState<'a> {
+    sessions: HashMap<u64, NavigationSession<'a>>,
+    next_session: u64,
+}
+
+/// A bound-but-not-yet-serving query server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener. `addr` may use port 0 to let the OS pick; read
+    /// the result back with [`Self::local_addr`].
+    pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Handle for asking the server to drain (from another thread or
+    /// from a `Shutdown` request, which uses the same flag).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Serve `db` until shut down. Blocks the calling thread (the accept
+    /// loop runs on it); workers run inside a [`rayon::scope`] and are
+    /// all joined before this returns.
+    pub fn serve(&self, db: &DirectMeshDb) -> io::Result<ServerStats> {
+        let shared = Shared {
+            config: self.config.clone(),
+            shutdown: Arc::clone(&self.shutdown),
+            admission: Admission {
+                inflight: AtomicUsize::new(0),
+                max: self.config.max_inflight,
+            },
+            counters: Counters::default(),
+        };
+        let queue = ConnQueue::new();
+        let workers = self.config.workers.max(1);
+
+        rayon::scope(|s| {
+            for _ in 0..workers {
+                let queue = &queue;
+                let shared = &shared;
+                s.spawn(move |_| {
+                    while let Some(stream) = queue.pop() {
+                        serve_connection(stream, db, shared);
+                    }
+                });
+            }
+
+            // Accept loop: poll so the shutdown flag is noticed even
+            // when no client ever connects.
+            while !self.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                        queue.push(stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            queue.close();
+        });
+
+        Ok(ServerStats {
+            connections: shared.counters.connections.load(Ordering::Relaxed),
+            requests: shared.counters.requests.load(Ordering::Relaxed),
+            errors: shared.counters.errors.load(Ordering::Relaxed),
+            overloaded: shared.counters.overloaded.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Does this request class consume an admission permit? Queries do;
+/// session bookkeeping, stats and shutdown are cheap and always answered.
+fn needs_permit(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::ViQuery { .. }
+            | Request::VdQuery { .. }
+            | Request::BatchQuery { .. }
+            | Request::FrameQuery { .. }
+    )
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    write_frame(stream, resp.kind(), &resp.encode()).is_ok()
+}
+
+fn serve_connection(mut stream: TcpStream, db: &DirectMeshDb, shared: &Shared) {
+    stream.set_nodelay(true).ok();
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let mut conn = ConnState {
+        sessions: HashMap::new(),
+        next_session: 1,
+    };
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(FrameEvent::Frame(f)) => f,
+            Ok(FrameEvent::Eof) => break,
+            Ok(FrameEvent::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => {
+                // Framing is desynchronized (bad magic, CRC, I/O): answer
+                // if possible, then drop the connection.
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("unreadable frame: {e}"),
+                    },
+                );
+                break;
+            }
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match Request::decode(&frame) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("bad request: {e}"),
+                    },
+                );
+                break;
+            }
+        };
+
+        if let Request::Shutdown = req {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            send(&mut stream, &Response::ShutdownAck);
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            send(
+                &mut stream,
+                &Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining".to_string(),
+                },
+            );
+            break;
+        }
+
+        let resp = if needs_permit(&req) {
+            match shared.admission.try_acquire() {
+                None => {
+                    shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                    Response::Overloaded {
+                        retry_after_ms: shared.config.retry_after_ms,
+                    }
+                }
+                Some(_permit) => handle_request(db, req, &mut conn, shared),
+            }
+        } else {
+            handle_request(db, req, &mut conn, shared)
+        };
+        if matches!(resp, Response::Error { .. }) {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if !send(&mut stream, &resp) {
+            break;
+        }
+    }
+}
+
+fn storage_error(e: impl std::fmt::Display) -> Box<Response> {
+    Box::new(Response::Error {
+        code: ErrorCode::Storage,
+        message: format!("storage: {e}"),
+    })
+}
+
+/// Flush + reset statistics when the request asks for paper-protocol
+/// cold measurement.
+fn maybe_cold(db: &DirectMeshDb, opts: QueryOpts) -> Result<(), Box<Response>> {
+    if opts.cold {
+        db.try_cold_start().map_err(storage_error)?;
+    }
+    Ok(())
+}
+
+/// Run one VI query on this thread with exact per-request accounting.
+fn exec_vi(
+    db: &DirectMeshDb,
+    roi: &Rect,
+    e: f64,
+    degraded: bool,
+) -> Result<MeshResult, Box<Response>> {
+    let reads_before = dm_storage::thread_reads();
+    let mut counters = FetchCounters::default();
+    let (res, report) = db
+        .try_vi_query_counted(roi, e, &mut counters)
+        .map_err(storage_error)?;
+    if !degraded && !report.is_clean() {
+        return Err(Box::new(Response::Error {
+            code: ErrorCode::DataLoss,
+            message: format!("vi query lost data: {report}"),
+        }));
+    }
+    let (vertices, faces) = canonical_mesh(&res.front);
+    Ok(MeshResult {
+        vertices,
+        faces,
+        fetched_records: res.fetched_records as u64,
+        disk_accesses: dm_storage::thread_reads() - reads_before,
+        cubes: 1,
+        counters,
+        report,
+    })
+}
+
+fn exec_vd(
+    db: &DirectMeshDb,
+    query: &VdQuery,
+    policy: BoundaryPolicy,
+    max_cubes: u32,
+    degraded: bool,
+) -> Result<MeshResult, Box<Response>> {
+    let reads_before = dm_storage::thread_reads();
+    let mut counters = FetchCounters::default();
+    let (res, report) = db
+        .try_vd_multi_base_counted(query, policy, max_cubes.max(1) as usize, &mut counters)
+        .map_err(storage_error)?;
+    if !degraded && !report.is_clean() {
+        return Err(Box::new(Response::Error {
+            code: ErrorCode::DataLoss,
+            message: format!("vd query lost data: {report}"),
+        }));
+    }
+    let (vertices, faces) = canonical_mesh(&res.front);
+    Ok(MeshResult {
+        vertices,
+        faces,
+        fetched_records: res.fetched_records as u64,
+        disk_accesses: dm_storage::thread_reads() - reads_before,
+        cubes: res.cubes.len() as u32,
+        counters,
+        report,
+    })
+}
+
+/// Fan a batch of VI queries over up to `threads` workers (chunked, one
+/// spawned task per worker — the vendored rayon shim's contract). Each
+/// item runs entirely on one thread, so its thread-attributed counters
+/// stay exact even under parallel execution.
+fn exec_batch(
+    db: &DirectMeshDb,
+    queries: &[(Rect, f64)],
+    threads: u32,
+    degraded: bool,
+) -> Result<(u64, Vec<MeshResult>), Box<Response>> {
+    let t = dm_core::parallel::resolve_threads(threads as usize)
+        .min(queries.len())
+        .max(1);
+    let mut slots: Vec<Option<Result<MeshResult, Box<Response>>>> = Vec::new();
+    slots.resize_with(queries.len(), || None);
+    if t <= 1 {
+        for (slot, (roi, e)) in slots.iter_mut().zip(queries) {
+            *slot = Some(exec_vi(db, roi, *e, degraded));
+        }
+    } else {
+        let chunk = queries.len().div_ceil(t);
+        rayon::scope(|s| {
+            for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (slot, (roi, e)) in outs.iter_mut().zip(qs) {
+                        *slot = Some(exec_vi(db, roi, *e, degraded));
+                    }
+                });
+            }
+        });
+    }
+    let mut items = Vec::with_capacity(slots.len());
+    let mut total = 0u64;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.expect("every batch slot is filled") {
+            Ok(m) => {
+                total += m.disk_accesses;
+                items.push(m);
+            }
+            Err(resp) => {
+                return Err(match *resp {
+                    Response::Error { code, message } => Box::new(Response::Error {
+                        code,
+                        message: format!("batch item {i}: {message}"),
+                    }),
+                    other => Box::new(other),
+                });
+            }
+        }
+    }
+    Ok((total, items))
+}
+
+fn handle_request<'db>(
+    db: &'db DirectMeshDb,
+    req: Request,
+    conn: &mut ConnState<'db>,
+    shared: &Shared,
+) -> Response {
+    match req {
+        Request::ViQuery { opts, roi, e } => {
+            if let Err(resp) = maybe_cold(db, opts) {
+                return *resp;
+            }
+            match exec_vi(db, &roi, e, opts.degraded) {
+                Ok(m) => Response::Mesh(m),
+                Err(resp) => *resp,
+            }
+        }
+        Request::VdQuery {
+            opts,
+            query,
+            policy,
+            max_cubes,
+        } => {
+            if let Err(resp) = maybe_cold(db, opts) {
+                return *resp;
+            }
+            match exec_vd(db, &query, policy, max_cubes, opts.degraded) {
+                Ok(m) => Response::Mesh(m),
+                Err(resp) => *resp,
+            }
+        }
+        Request::BatchQuery {
+            opts,
+            queries,
+            threads,
+        } => {
+            if queries.is_empty() {
+                return Response::Batch {
+                    total_disk_accesses: 0,
+                    items: Vec::new(),
+                };
+            }
+            if let Err(resp) = maybe_cold(db, opts) {
+                return *resp;
+            }
+            match exec_batch(db, &queries, threads, opts.degraded) {
+                Ok((total_disk_accesses, items)) => Response::Batch {
+                    total_disk_accesses,
+                    items,
+                },
+                Err(resp) => *resp,
+            }
+        }
+        Request::OpenSession {
+            policy,
+            max_cubes,
+            full_requery,
+        } => {
+            if conn.sessions.len() >= shared.config.max_sessions_per_conn {
+                return Response::Error {
+                    code: ErrorCode::TooManySessions,
+                    message: format!("connection already holds {} sessions", conn.sessions.len()),
+                };
+            }
+            let id = conn.next_session;
+            conn.next_session += 1;
+            let session = NavigationSession::new(db, policy)
+                .with_max_cubes(max_cubes.max(1) as usize)
+                .with_full_requery(full_requery);
+            conn.sessions.insert(id, session);
+            Response::SessionOpened { session: id }
+        }
+        Request::FrameQuery {
+            session,
+            query,
+            degraded,
+        } => {
+            let Some(nav) = conn.sessions.get_mut(&session) else {
+                return Response::Error {
+                    code: ErrorCode::UnknownSession,
+                    message: format!("session {session} is not open on this connection"),
+                };
+            };
+            let reads_before = dm_storage::thread_reads();
+            match nav.try_move_to(&query) {
+                Err(e) => *storage_error(e),
+                Ok((stats, report)) => {
+                    if !degraded && !report.is_clean() {
+                        return Response::Error {
+                            code: ErrorCode::DataLoss,
+                            message: format!("frame lost data: {report}"),
+                        };
+                    }
+                    let (vertices, faces) = canonical_mesh(nav.front());
+                    Response::Mesh(MeshResult {
+                        vertices,
+                        faces,
+                        fetched_records: stats.fetched_records as u64,
+                        disk_accesses: dm_storage::thread_reads() - reads_before,
+                        cubes: 0,
+                        counters: FetchCounters {
+                            pages_scanned: stats.pages_scanned,
+                            records_examined: stats.examined_records,
+                            records_decoded: stats.decoded_records,
+                        },
+                        report,
+                    })
+                }
+            }
+        }
+        Request::CloseSession { session } => {
+            if conn.sessions.remove(&session).is_some() {
+                Response::SessionClosed
+            } else {
+                Response::Error {
+                    code: ErrorCode::UnknownSession,
+                    message: format!("session {session} is not open on this connection"),
+                }
+            }
+        }
+        Request::Stats { resolve_keep } => Response::Stats {
+            stats: db.stats_summary(),
+            resolved_e: resolve_keep
+                .iter()
+                .map(|&k| db.e_for_points_fraction(k))
+                .collect(),
+        },
+        // Handled by the connection loop before dispatch.
+        Request::Shutdown => Response::ShutdownAck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_core::DmBuildOptions;
+    use dm_mtm::builder::{build_pm, PmBuildConfig};
+    use dm_net::client::{Client, ClientConfig};
+    use dm_net::wire::WireError;
+    use dm_storage::{BufferPool, MemStore};
+    use dm_terrain::{generate, TriMesh};
+
+    fn tiny_db() -> DirectMeshDb {
+        let hf = generate::fractal_terrain(17, 17, 7);
+        let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 4096));
+        DirectMeshDb::build(pool, &pm, &DmBuildOptions::default())
+    }
+
+    fn with_server<R>(
+        config: ServerConfig,
+        f: impl FnOnce(&str, &DirectMeshDb) -> R + Send,
+    ) -> (R, ServerStats)
+    where
+        R: Send,
+    {
+        let db = tiny_db();
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.shutdown_handle();
+        std::thread::scope(|s| {
+            let srv = s.spawn(|| server.serve(&db).unwrap());
+            let out = f(&addr, &db);
+            handle.shutdown();
+            (out, srv.join().unwrap())
+        })
+    }
+
+    #[test]
+    fn stats_roundtrip_and_clean_shutdown() {
+        let (got, stats) = with_server(ServerConfig::default(), |addr, db| {
+            let mut c = Client::connect(addr).unwrap();
+            let (remote, resolved) = c.stats(vec![0.25]).unwrap();
+            assert_eq!(remote, db.stats_summary());
+            assert_eq!(resolved, vec![db.e_for_points_fraction(0.25)]);
+            c.shutdown_server().unwrap();
+            remote.n_records
+        });
+        assert!(got > 0);
+        assert_eq!(stats.connections, 1);
+        assert!(stats.requests >= 2);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn zero_inflight_budget_answers_overloaded() {
+        let config = ServerConfig {
+            max_inflight: 0,
+            ..ServerConfig::default()
+        };
+        let ((), stats) = with_server(config, |addr, db| {
+            let mut c = Client::connect_with(
+                addr,
+                ClientConfig {
+                    overload_retries: 1,
+                    ..ClientConfig::default()
+                },
+            )
+            .unwrap();
+            let err = c
+                .vi_query(QueryOpts::default(), db.bounds, 0.5)
+                .unwrap_err();
+            assert!(matches!(err, WireError::Overloaded { .. }), "{err}");
+        });
+        assert!(stats.overloaded >= 1);
+    }
+
+    #[test]
+    fn unknown_session_is_a_typed_error() {
+        let ((), _stats) = with_server(ServerConfig::default(), |addr, db| {
+            let mut c = Client::connect(addr).unwrap();
+            let q = VdQuery {
+                roi: db.bounds,
+                target: dm_mtm::PlaneTarget {
+                    origin: db.bounds.min,
+                    dir: dm_geom::Vec2::new(1.0, 0.0),
+                    e_min: 0.05,
+                    slope: 0.01,
+                    e_max: 0.5,
+                },
+            };
+            let err = c.frame_query(99, q, false).unwrap_err();
+            match err {
+                WireError::Remote { code, .. } => {
+                    assert_eq!(code, ErrorCode::UnknownSession.code());
+                }
+                other => panic!("expected remote error, got {other}"),
+            }
+        });
+    }
+
+    #[test]
+    fn garbage_bytes_do_not_crash_the_server() {
+        let ((), stats) = with_server(ServerConfig::default(), |addr, _db| {
+            use std::io::Write;
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(b"this is not a DMNT frame at all").unwrap();
+            drop(raw);
+            // The server must still answer a well-formed client.
+            let mut c = Client::connect(addr).unwrap();
+            c.stats(Vec::new()).unwrap();
+        });
+        assert!(stats.errors >= 1);
+        assert_eq!(stats.connections, 2);
+    }
+}

@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release --workspace
 
+echo "== examples compile"
+cargo build --release --workspace --examples
+
 echo "== cargo test"
 cargo test --workspace -q
 
@@ -62,5 +65,35 @@ if bad:
 print("size-regression guard ok: " +
       ", ".join(f"{k}={v:.2f}" for k, v, _, _ in checks))
 PY
+
+echo "== server bench smoke (loopback, tiny terrain)"
+# Asserts serial cold remote ≡ local inside the bench itself; anchored
+# output keeps smoke runs from clobbering the committed BENCH_server.json.
+DM_SCALE=ci DM_SERVER_OUT="$PWD/target/BENCH_server.ci.json" \
+    cargo bench -p dm-bench --bench server >/dev/null
+
+echo "== server smoke (serve / remote-query / remote-shutdown over loopback)"
+# End-to-end through the installed binaries: build a tiny database, serve
+# it in the background, run a remote batch query verified bit-for-bit
+# against a local open of the same file, then shut the server down over
+# the wire and check it drains cleanly.
+SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/dm-server-smoke.XXXXXX")
+DM=target/release/dm
+trap '{ [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID"; rm -rf "$SMOKE_DIR"; } 2>/dev/null || true' EXIT
+"$DM" generate --kind crater --size 65 --seed 7 -o "$SMOKE_DIR/t.dmh" >/dev/null
+"$DM" build "$SMOKE_DIR/t.dmh" -o "$SMOKE_DIR/t.dmdb" >/dev/null
+"$DM" serve "$SMOKE_DIR/t.dmdb" --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/port" \
+    > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SMOKE_DIR/port" ] && break; sleep 0.1; done
+[ -s "$SMOKE_DIR/port" ] || { echo "server never published its port"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+ADDR=$(cat "$SMOKE_DIR/port")
+"$DM" remote-query --addr "$ADDR" --cold --verify-local "$SMOKE_DIR/t.dmdb"
+"$DM" remote-query --addr "$ADDR" --batch 2 --verify-local "$SMOKE_DIR/t.dmdb"
+"$DM" remote-walkthrough --addr "$ADDR" --frames 4 --verify-local "$SMOKE_DIR/t.dmdb" >/dev/null
+"$DM" remote-shutdown --addr "$ADDR"
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "server drained" "$SMOKE_DIR/serve.log" || { echo "server did not drain cleanly"; cat "$SMOKE_DIR/serve.log"; exit 1; }
 
 echo "ci: all green"

@@ -1,0 +1,351 @@
+//! Property tests for the dm-net wire protocol.
+//!
+//! Two families of properties:
+//!
+//! * **Round-trip**: every request and response variant — with fully
+//!   adversarial payloads (NaN / infinity / subnormal coordinates from
+//!   raw bit patterns, empty and non-trivial meshes) — re-encodes to
+//!   the exact same bytes after a decode. Byte-level comparison
+//!   side-steps the `NaN != NaN` problem while being strictly stronger
+//!   than structural equality.
+//!
+//! * **Rejection**: corrupt inputs never panic and never round-trip.
+//!   Any single byte flip in a framed message is caught (the frame
+//!   CRC32 covers header and payload), any strict prefix of a frame is
+//!   an error rather than a short read, and arbitrary garbage fed to
+//!   the payload decoders returns a typed error instead of crashing or
+//!   allocating unboundedly.
+
+use dm_core::record::RecordCodec;
+use dm_core::{BoundaryPolicy, DbStats, FetchCounters, IntegrityReport, VdQuery};
+use dm_geom::{Rect, Vec2};
+use dm_mtm::PlaneTarget;
+use dm_net::{
+    encode_frame, read_frame, ErrorCode, Frame, FrameEvent, MeshResult, QueryOpts, Request,
+    Response, WireVertex,
+};
+use proptest::prelude::*;
+
+/// Arbitrary `f64` including NaN payloads, infinities, and subnormals.
+fn bits_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arb_vec2() -> impl Strategy<Value = Vec2> {
+    (bits_f64(), bits_f64()).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_vec2(), arb_vec2()).prop_map(|(min, max)| Rect { min, max })
+}
+
+fn arb_target() -> impl Strategy<Value = PlaneTarget> {
+    (arb_vec2(), arb_vec2(), bits_f64(), bits_f64(), bits_f64()).prop_map(
+        |(origin, dir, e_min, slope, e_max)| PlaneTarget {
+            origin,
+            dir,
+            e_min,
+            slope,
+            e_max,
+        },
+    )
+}
+
+fn arb_vd_query() -> impl Strategy<Value = VdQuery> {
+    (arb_rect(), arb_target()).prop_map(|(roi, target)| VdQuery { roi, target })
+}
+
+fn arb_policy() -> impl Strategy<Value = BoundaryPolicy> {
+    any::<bool>().prop_map(|b| {
+        if b {
+            BoundaryPolicy::FetchOnMiss
+        } else {
+            BoundaryPolicy::Skip
+        }
+    })
+}
+
+fn arb_opts() -> impl Strategy<Value = QueryOpts> {
+    (any::<bool>(), any::<bool>()).prop_map(|(cold, degraded)| QueryOpts { cold, degraded })
+}
+
+fn arb_ascii(max_len: usize) -> impl Strategy<Value = String> {
+    collection::vec(32u8..127, 0..max_len)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+/// One strategy covering every request variant (selector-dispatched; the
+/// vendored proptest shim has no `prop_oneof!`).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..8,
+        (arb_opts(), arb_rect(), bits_f64()),
+        (arb_vd_query(), arb_policy(), 0u32..1000),
+        (collection::vec((arb_rect(), bits_f64()), 0..8), 0u32..64),
+        (
+            any::<u64>(),
+            any::<bool>(),
+            collection::vec(bits_f64(), 0..6),
+        ),
+    )
+        .prop_map(
+            |(
+                sel,
+                (opts, roi, e),
+                (query, policy, max_cubes),
+                (queries, threads),
+                (session, flag, resolve_keep),
+            )| match sel {
+                0 => Request::ViQuery { opts, roi, e },
+                1 => Request::VdQuery {
+                    opts,
+                    query,
+                    policy,
+                    max_cubes,
+                },
+                2 => Request::BatchQuery {
+                    opts,
+                    queries,
+                    threads,
+                },
+                3 => Request::OpenSession {
+                    policy,
+                    max_cubes,
+                    full_requery: flag,
+                },
+                4 => Request::FrameQuery {
+                    session,
+                    query,
+                    degraded: flag,
+                },
+                5 => Request::CloseSession { session },
+                6 => Request::Stats { resolve_keep },
+                _ => Request::Shutdown,
+            },
+        )
+}
+
+/// Vertices with strictly ascending unique ids (the canonical-mesh
+/// invariant the codec enforces), arbitrary coordinate bit patterns.
+fn arb_vertices() -> impl Strategy<Value = Vec<WireVertex>> {
+    collection::vec((any::<u32>(), (bits_f64(), bits_f64(), bits_f64())), 0..32).prop_map(
+        |entries| {
+            let mut ids: Vec<u32> = entries.iter().map(|(id, _)| *id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.into_iter()
+                .zip(entries)
+                .map(|(id, (_, (x, y, z)))| WireVertex { id, x, y, z })
+                .collect()
+        },
+    )
+}
+
+fn arb_face() -> impl Strategy<Value = [u32; 3]> {
+    (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(a, b, c)| [a, b, c])
+}
+
+fn arb_report() -> impl Strategy<Value = IntegrityReport> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        collection::vec(arb_ascii(40), 0..4),
+    )
+        .prop_map(
+            |(pages_lost, points_lost, retries, errors)| IntegrityReport {
+                pages_lost,
+                points_lost,
+                retries,
+                errors,
+            },
+        )
+}
+
+fn arb_mesh() -> impl Strategy<Value = MeshResult> {
+    (
+        (arb_vertices(), collection::vec(arb_face(), 0..32)),
+        (any::<u64>(), any::<u64>(), any::<u32>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        arb_report(),
+    )
+        .prop_map(
+            |((vertices, faces), (fetched_records, disk_accesses, cubes), (p, ex, de), report)| {
+                MeshResult {
+                    vertices,
+                    faces,
+                    fetched_records,
+                    disk_accesses,
+                    cubes,
+                    counters: FetchCounters {
+                        pages_scanned: p,
+                        records_examined: ex,
+                        records_decoded: de,
+                    },
+                    report,
+                }
+            },
+        )
+}
+
+fn arb_db_stats() -> impl Strategy<Value = DbStats> {
+    (
+        (
+            any::<u32>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>()),
+        (any::<u64>(), any::<u32>(), any::<u64>()),
+        (bits_f64(), arb_rect()),
+    )
+        .prop_map(
+            |(
+                (catalog_version, compact, n_records, n_leaves, n_roots),
+                (heap_pages, total_pages, btree_height, btree_len),
+                (rtree_nodes, rtree_height, rtree_len),
+                (e_max, bounds),
+            )| DbStats {
+                catalog_version,
+                codec: if compact {
+                    RecordCodec::Compact
+                } else {
+                    RecordCodec::Flat
+                },
+                n_records,
+                n_leaves,
+                n_roots,
+                heap_pages,
+                total_pages,
+                btree_height,
+                btree_len,
+                rtree_nodes,
+                rtree_height,
+                rtree_len,
+                e_max,
+                bounds,
+            },
+        )
+}
+
+/// One strategy covering every response variant.
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..8,
+        arb_mesh(),
+        (any::<u64>(), collection::vec(arb_mesh(), 0..3)),
+        (arb_db_stats(), collection::vec(bits_f64(), 0..6)),
+        (1u8..8, arb_ascii(60), any::<u64>()),
+    )
+        .prop_map(
+            |(sel, mesh, (total, items), (stats, resolved_e), (code, message, retry))| match sel {
+                0 => Response::Mesh(mesh),
+                1 => Response::Batch {
+                    total_disk_accesses: total,
+                    items,
+                },
+                2 => Response::SessionOpened { session: total },
+                3 => Response::SessionClosed,
+                4 => Response::Stats { stats, resolved_e },
+                5 => Response::Error {
+                    code: ErrorCode::from_code(code).expect("1..=7 are valid codes"),
+                    message,
+                },
+                6 => Response::Overloaded {
+                    retry_after_ms: retry,
+                },
+                _ => Response::ShutdownAck,
+            },
+        )
+}
+
+/// Read one frame out of an in-memory byte buffer.
+fn read_bytes(bytes: &[u8]) -> dm_net::WireResult<FrameEvent> {
+    let mut cursor = std::io::Cursor::new(bytes);
+    read_frame(&mut cursor)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(request)) re-encodes to the identical payload bytes.
+    #[test]
+    fn request_roundtrip_bit_exact(req in arb_request()) {
+        let payload = req.encode();
+        let frame = Frame { kind: req.kind(), payload: payload.clone() };
+        let back = Request::decode(&frame).expect("own encoding must decode");
+        prop_assert_eq!(back.kind(), req.kind());
+        prop_assert_eq!(back.encode(), payload);
+    }
+
+    /// decode(encode(response)) re-encodes to the identical payload bytes.
+    #[test]
+    fn response_roundtrip_bit_exact(resp in arb_response()) {
+        let payload = resp.encode();
+        let frame = Frame { kind: resp.kind(), payload: payload.clone() };
+        let back = Response::decode(&frame).expect("own encoding must decode");
+        prop_assert_eq!(back.kind(), resp.kind());
+        prop_assert_eq!(back.encode(), payload);
+    }
+
+    /// A full framed message survives the transport layer byte-exactly.
+    #[test]
+    fn framed_roundtrip(resp in arb_response()) {
+        let bytes = encode_frame(resp.kind(), &resp.encode());
+        match read_bytes(&bytes).expect("own frame must read") {
+            FrameEvent::Frame(f) => {
+                prop_assert_eq!(f.kind, resp.kind());
+                prop_assert_eq!(f.payload, resp.encode());
+            }
+            other => prop_assert!(false, "expected frame, got {other:?}"),
+        }
+    }
+
+    /// Any single byte flip anywhere in a framed message is detected.
+    #[test]
+    fn single_byte_flips_are_rejected(
+        req in arb_request(),
+        pos_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let bytes = encode_frame(req.kind(), &req.encode());
+        let pos = pos_seed % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= flip;
+        match read_bytes(&corrupt) {
+            Err(_) => {}
+            Ok(FrameEvent::Frame(f)) => prop_assert!(
+                false,
+                "flip of byte {pos} by {flip:#x} went undetected (kind {:#x})",
+                f.kind
+            ),
+            Ok(other) => prop_assert!(false, "corrupt frame read as {other:?}"),
+        }
+    }
+
+    /// Every strict prefix of a frame is an error — never a short read.
+    #[test]
+    fn truncated_frames_are_rejected(req in arb_request(), cut_seed in any::<usize>()) {
+        let bytes = encode_frame(req.kind(), &req.encode());
+        let cut = 1 + cut_seed % (bytes.len() - 1);
+        prop_assert!(
+            read_bytes(&bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes did not error",
+            bytes.len()
+        );
+    }
+
+    /// Garbage payloads fed straight to the decoders return typed errors;
+    /// they never panic and never allocate past the input size.
+    #[test]
+    fn garbage_payloads_do_not_panic(
+        kind in any::<u8>(),
+        payload in collection::vec(any::<u8>(), 0..256),
+    ) {
+        let frame = Frame { kind, payload };
+        let _ = Request::decode(&frame);
+        let _ = Response::decode(&frame);
+    }
+}
