@@ -16,7 +16,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use dm_core::{
-    BoundaryPolicy, DirectMeshDb, DmBuildOptions, FetchCounters, IntegrityReport, VdQuery,
+    verify_store, BoundaryPolicy, DirectMeshDb, DmBuildOptions, EditOp, FetchCounters,
+    IntegrityReport, LiveDb, LiveOptions, RecoveryInfo, VdQuery,
 };
 use dm_geom::{Rect, Vec2};
 use dm_mtm::builder::{build_pm, PmBuildConfig};
@@ -52,6 +53,9 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "query" => cmd_query(args),
         "vd" => cmd_vd(args),
         "walkthrough" => cmd_walkthrough(args),
+        "patch" => cmd_patch(args),
+        "recover" => cmd_recover(args),
+        "verify" => cmd_verify(args),
         "serve" => cmd_serve(args),
         "remote-query" => cmd_remote_query(args),
         "remote-walkthrough" => cmd_remote_walkthrough(args),
@@ -112,6 +116,21 @@ fault tolerance (query / vd / walkthrough / info / serve):
   --max-retries <n>     page-read retry budget (default 4)
   --fault-rate <p>      inject transient read faults with probability p
   --fault-seed <s>      deterministic fault stream seed (default 1)
+
+live edits (crash-safe, WAL-backed):
+  patch <db.dmdb> --region x0,y0,x1,y1 --raise <dz>
+        [--kill-after <n>] [--fault-seed <s>]
+                        durably raise the terrain inside a region:
+                        WAL-logged, copy-on-write, committed by atomic
+                        root swap; --kill-after crashes the process
+                        deterministically after n durable writes (for
+                        recovery drills)
+  recover <db.dmdb>     replay or discard the WAL tail and report the
+                        committed epoch (also happens on every open)
+  verify <db.dmdb> [--catalog <page>]
+                        offline integrity scrub: decode every heap
+                        record, cross-check B+-tree and R*-tree against
+                        the heap; exits nonzero on any inconsistency
 
 network service:
   stats <db.dmdb>       structural summary (catalog version, codec,
@@ -221,8 +240,23 @@ fn cmd_build(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The catalog page the store's root file committed, or page 0 for a
+/// store that has never been live-edited.
+fn committed_catalog(store: &std::path::Path) -> Result<dm_storage::PageId, String> {
+    let root = dm_storage::wal::root_path(store);
+    if !root.exists() {
+        return Ok(0);
+    }
+    let (_file, rec) =
+        dm_storage::RootFile::open(&root).map_err(|e| format!("{}: {e}", root.display()))?;
+    Ok(rec.map_or(0, |r| r.catalog_page))
+}
+
 fn open_db(path: &str, args: &Args) -> Result<DirectMeshDb, String> {
     let store = FileStore::open(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    // Live-edited stores move their catalog on every commit; follow the
+    // root pointer so reads see the last committed edit.
+    let catalog = committed_catalog(std::path::Path::new(path))?;
     // Optional deterministic fault injection, for exercising the
     // degraded query paths against a real database file.
     let fault_rate: f64 = args.parse_or("fault-rate", 0.0)?;
@@ -240,8 +274,8 @@ fn open_db(path: &str, args: &Args) -> Result<DirectMeshDb, String> {
     let pool = Arc::new(BufferPool::new(store, 4096).with_max_retries(max_retries));
     if args.has("degraded") {
         let mut report = IntegrityReport::default();
-        let db =
-            DirectMeshDb::open_degraded(pool, &mut report).map_err(|e| format!("{path}: {e}"))?;
+        let db = DirectMeshDb::open_degraded_at(pool, catalog, &mut report)
+            .map_err(|e| format!("{path}: {e}"))?;
         if !report.is_clean() {
             println!("opened degraded: {report}");
             for e in &report.errors {
@@ -250,7 +284,7 @@ fn open_db(path: &str, args: &Args) -> Result<DirectMeshDb, String> {
         }
         Ok(db)
     } else {
-        DirectMeshDb::open(pool).map_err(|e| format!("{path}: {e}"))
+        DirectMeshDb::open_at(pool, catalog).map_err(|e| format!("{path}: {e}"))
     }
 }
 
@@ -293,22 +327,28 @@ fn cmd_info(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_rect_spec(spec: &str) -> Result<Rect, String> {
+    let parts: Vec<f64> = spec
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("bad rect: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 4 {
+        return Err("rect must be x0,y0,x1,y1".to_string());
+    }
+    Ok(Rect::from_corners(
+        Vec2::new(parts[0], parts[1]),
+        Vec2::new(parts[2], parts[3]),
+    ))
+}
+
 fn parse_roi(args: &Args, bounds: Rect) -> Result<Rect, String> {
     match args.get("roi") {
         None => Ok(bounds),
-        Some(spec) => {
-            let parts: Vec<f64> = spec
-                .split(',')
-                .map(|t| t.trim().parse::<f64>().map_err(|e| format!("bad roi: {e}")))
-                .collect::<Result<_, _>>()?;
-            if parts.len() != 4 {
-                return Err("roi must be x0,y0,x1,y1".to_string());
-            }
-            Ok(Rect::from_corners(
-                Vec2::new(parts[0], parts[1]),
-                Vec2::new(parts[2], parts[3]),
-            ))
-        }
+        Some(spec) => parse_rect_spec(spec),
     }
 }
 
@@ -571,6 +611,109 @@ fn maybe_export(args: &Args, front: &dm_mtm::FrontMesh) -> Result<(), String> {
         println!("wrote {out}");
     }
     Ok(())
+}
+
+fn report_recovery(info: &RecoveryInfo) {
+    if info.replayed > 0 || info.discarded_tail {
+        println!(
+            "recovered:  replayed {} WAL entr{}, torn tail {}",
+            info.replayed,
+            if info.replayed == 1 { "y" } else { "ies" },
+            if info.discarded_tail {
+                "discarded"
+            } else {
+                "absent"
+            },
+        );
+    }
+}
+
+fn cmd_patch(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let region = parse_rect_spec(args.require("region")?)?;
+    let dz: f64 = args
+        .require("raise")?
+        .parse()
+        .map_err(|e| format!("bad --raise: {e}"))?;
+    let fault = match args.get("kill-after") {
+        Some(n) => {
+            let n: u64 = n.parse().map_err(|e| format!("bad --kill-after: {e}"))?;
+            let seed: u64 = args.parse_or("fault-seed", 1)?;
+            println!("crash drill: dying after {n} durable writes (seed {seed})");
+            Some(FaultConfig::new(seed).with_fail_writes_after(n))
+        }
+        None => None,
+    };
+    let opts = LiveOptions {
+        cache_pages: 4096,
+        fault,
+    };
+    let (live, info) =
+        LiveDb::open(std::path::Path::new(path), &opts).map_err(|e| format!("{path}: {e}"))?;
+    report_recovery(&info);
+    let stats = live
+        .apply_patch(&region, &EditOp::Raise(dz))
+        .map_err(|e| format!("patch failed: {e}"))?;
+    println!(
+        "committed:  epoch {}, {} record(s) raised by {dz}, {} heap page(s) rewritten",
+        stats.epoch, stats.records_updated, stats.pages_rewritten
+    );
+    Ok(())
+}
+
+fn cmd_recover(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let (live, info) = LiveDb::open(std::path::Path::new(path), &LiveOptions::default())
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("epoch:      {}", info.epoch);
+    println!("replayed:   {} WAL entries", info.replayed);
+    println!(
+        "torn tail:  {}",
+        if info.discarded_tail {
+            "discarded"
+        } else {
+            "absent"
+        }
+    );
+    let db = live.snapshot();
+    println!(
+        "records:    {} over {} heap pages",
+        db.n_records,
+        db.n_heap_pages()
+    );
+    Ok(())
+}
+
+fn cmd_verify(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    let store = FileStore::open(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    // Scrub the committed root when this store has one; a store that was
+    // never live-edited keeps its catalog at page 0.
+    let root_file = dm_storage::wal::root_path(std::path::Path::new(path));
+    let committed = if root_file.exists() {
+        dm_storage::RootFile::open(&root_file)
+            .map_err(|e| format!("{}: {e}", root_file.display()))?
+            .1
+    } else {
+        None
+    };
+    let catalog_page =
+        args.parse_or("catalog", committed.as_ref().map_or(0, |r| r.catalog_page))?;
+    let pool = Arc::new(BufferPool::new(Box::new(store), 4096));
+    let report = verify_store(&pool, catalog_page)
+        .map_err(|e| format!("{path}: catalog unreadable: {e}"))?;
+    if let Some(r) = &committed {
+        println!("epoch:      {}", r.epoch);
+    }
+    println!("{report}");
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: {} integrity error(s)",
+            report.errors.len()
+        ))
+    }
 }
 
 fn cmd_stats(args: Args) -> Result<(), String> {

@@ -51,15 +51,21 @@
 
 pub mod catalog;
 pub mod faces;
+pub mod live;
 pub mod navigation;
 pub mod parallel;
 pub mod query;
 pub mod record;
 pub mod stats;
 pub mod store;
+pub mod verify;
 
+pub use live::{LiveDb, LiveOptions, PatchStats, RecoveryInfo};
 pub use navigation::{FrameStats, NavigationSession};
 pub use parallel::{vd_query_batch, vi_query_batch};
 pub use query::{BoundaryPolicy, ElevationStats, VdQuery, VdResult, ViResult};
 pub use record::DmRecord;
-pub use store::{DbStats, DirectMeshDb, DmBuildOptions, FetchCounters, IntegrityReport};
+pub use store::{
+    DbStats, DirectMeshDb, DmBuildOptions, EditOp, FetchCounters, IntegrityReport, PatchOutcome,
+};
+pub use verify::{verify_store, VerifyReport};

@@ -1,16 +1,16 @@
 //! The Direct Mesh database: heap table + B+-tree + 3D R\*-tree.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use dm_geom::{Box3, Rect};
+use dm_geom::{Box3, Rect, Vec3};
 use dm_index::{RStarTree, RtreeCostModel};
 use dm_mtm::builder::PmBuild;
-use dm_mtm::PmNode;
-use dm_storage::{BTree, BufferPool, HeapFile, RecordId, StorageResult};
+use dm_mtm::{PmNode, NIL_ID};
+use dm_storage::{BTree, BufferPool, HeapFile, PageId, RecordId, StorageError, StorageResult};
 use fxhash::FxHashMap;
 
-use crate::record::{encode_compact, BaseVals, DmRecord, PageDecoder, RecordCodec};
+use crate::record::{encode_compact, BaseVals, DmRecord, PageDecoder, RawRecord, RecordCodec};
 
 /// Counters for one range-fetch operation, used by the navigation bench
 /// to show what delta planning saves beyond raw page reads.
@@ -176,6 +176,34 @@ impl Default for DmBuildOptions {
     }
 }
 
+/// An edit to the live terrain inside a plan-view region.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EditOp {
+    /// Raise (negative: lower) every terrain point in the region by this
+    /// amount.
+    Raise(f64),
+    /// Replace heights with explicit samples `(x, y, z)`: each terrain
+    /// point in the region takes the z of its nearest sample.
+    SetHeights(Vec<(f64, f64, f64)>),
+}
+
+/// What [`DirectMeshDb::apply_patch`] produced. Nothing is published yet:
+/// every write landed on freshly allocated pages, and the caller owns
+/// making `catalog_page` the live root (see [`crate::LiveDb`]) — or
+/// simply dropping it, which leaves the old version untouched.
+pub struct PatchOutcome {
+    /// Post-edit database handle. Shares the buffer pool with the source;
+    /// the source handle keeps working (snapshot isolation — its pages
+    /// were never overwritten).
+    pub db: DirectMeshDb,
+    /// Head page of the freshly written catalog chain.
+    pub catalog_page: PageId,
+    /// Heap pages that were rewritten copy-on-write.
+    pub pages_rewritten: usize,
+    /// Records whose height actually changed.
+    pub records_updated: usize,
+}
+
 /// The Direct Mesh database over one terrain dataset.
 pub struct DirectMeshDb {
     pool: Arc<BufferPool>,
@@ -198,6 +226,11 @@ pub struct DirectMeshDb {
     hi_sorted: Vec<f64>,
     /// On-disk codec of the heap records.
     codec: RecordCodec,
+    /// Set by a degraded open whose R\*-tree pages were unreadable (e.g.
+    /// a truncated file tail: index pages sit after the heap, so they die
+    /// first). Range fetches then scan every surviving heap page instead
+    /// of descending the index.
+    rtree_lost: bool,
 }
 
 impl DirectMeshDb {
@@ -424,6 +457,7 @@ impl DirectMeshDb {
             lo_sorted,
             hi_sorted,
             codec: opts.codec,
+            rtree_lost: false,
         }
     }
 
@@ -475,30 +509,49 @@ impl DirectMeshDb {
     /// has a bad magic/version/checksum or any page of the scan is
     /// unreadable — an open never silently attaches to a broken database.
     pub fn open(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Self::open_at(pool, 0)
+    }
+
+    /// [`Self::open`] with an explicit catalog chain head — how the live
+    /// write path reattaches to the epoch the root file points at (edits
+    /// commit each new catalog at a freshly allocated page, never over
+    /// page 0).
+    pub fn open_at(pool: Arc<BufferPool>, catalog_page: dm_storage::PageId) -> StorageResult<Self> {
         let mut report = IntegrityReport::default();
-        Self::open_inner(pool, true, &mut report)
+        Self::open_inner(pool, catalog_page, true, &mut report)
     }
 
     /// Like [`Self::open`], but unreadable *heap* pages are skipped
     /// (their records are simply absent — queries over them degrade the
-    /// same way) with the loss accounted in `report`. The catalog and
-    /// index pages remain load-bearing: errors there still fail the open.
+    /// same way) with the loss accounted in `report`, and an unreadable
+    /// R\*-tree downgrades range fetches to heap scans instead of failing
+    /// the open. The catalog chain and the B+-tree remain load-bearing.
     pub fn open_degraded(
         pool: Arc<BufferPool>,
         report: &mut IntegrityReport,
     ) -> StorageResult<Self> {
-        Self::open_inner(pool, false, report)
+        Self::open_inner(pool, 0, false, report)
+    }
+
+    /// [`Self::open_degraded`] at an explicit catalog chain head.
+    pub fn open_degraded_at(
+        pool: Arc<BufferPool>,
+        catalog_page: dm_storage::PageId,
+        report: &mut IntegrityReport,
+    ) -> StorageResult<Self> {
+        Self::open_inner(pool, catalog_page, false, report)
     }
 
     fn open_inner(
         pool: Arc<BufferPool>,
+        catalog_page: dm_storage::PageId,
         strict: bool,
         report: &mut IntegrityReport,
     ) -> StorageResult<Self> {
         // Thread-local tally: under concurrency, a delta of the pool's
         // shared counter would absorb other threads' retries.
         let retries_before = dm_storage::thread_retries();
-        let cat = crate::catalog::read_catalog(&pool, 0)?;
+        let cat = crate::catalog::read_catalog(&pool, catalog_page)?;
         let heap = HeapFile::from_parts(Arc::clone(&pool), cat.heap_pages, cat.heap_len);
         let btree = BTree::from_parts(Arc::clone(&pool), cat.btree.0, cat.btree.2, cat.btree.1);
         let rtree = RStarTree::from_parts(Arc::clone(&pool), cat.rtree.0, cat.rtree.1, cat.rtree.2);
@@ -545,7 +598,20 @@ impl DirectMeshDb {
         }
         report.retries += dm_storage::thread_retries() - retries_before;
         let mut stat_regions: Vec<Box3> = page_boxes.into_values().collect();
-        stat_regions.extend(rtree.collect_node_regions());
+        let rtree_lost = match rtree.try_collect_node_regions() {
+            Ok(regions) => {
+                stat_regions.extend(regions);
+                false
+            }
+            Err(e) if !strict => {
+                // The whole index is suspect once any node is gone: a
+                // partial descent would silently drop subtrees. Fall back
+                // to scanning the surviving heap pages.
+                report.record_loss(0, &e);
+                true
+            }
+            Err(e) => return Err(e),
+        };
         let cost = RtreeCostModel::new(&stat_regions, space);
         lo_sorted.sort_by(f64::total_cmp);
         hi_sorted.sort_by(f64::total_cmp);
@@ -563,6 +629,7 @@ impl DirectMeshDb {
             lo_sorted,
             hi_sorted,
             codec: cat.codec,
+            rtree_lost,
         })
     }
 
@@ -653,11 +720,22 @@ impl DirectMeshDb {
     /// from index I/O, and union page sets across the cubes of one
     /// multi-base query the way a cold buffer pool would.
     pub fn candidate_pages(&self, q: &Box3) -> StorageResult<Vec<u64>> {
+        if self.rtree_lost {
+            // Degraded open without an index: every surviving heap page
+            // is a candidate (correctness over cost).
+            return Ok(self.heap.page_ids().iter().map(|&p| p as u64).collect());
+        }
         let mut pages: Vec<u64> = Vec::new();
         self.rtree.try_query(q, |_, page| pages.push(page))?;
         pages.sort_unstable();
         pages.dedup();
         Ok(pages)
+    }
+
+    /// Whether this handle came from a degraded open that had to abandon
+    /// the R\*-tree (range fetches scan all surviving heap pages).
+    pub fn rtree_lost(&self) -> bool {
+        self.rtree_lost
     }
 
     /// [`Self::fetch_box_degraded`] that additionally accumulates
@@ -681,10 +759,7 @@ impl DirectMeshDb {
         // Attribute only this thread's retries to this operation (the
         // pool counter is shared across concurrent workers).
         let retries_before = dm_storage::thread_retries();
-        let mut pages: Vec<u64> = Vec::new();
-        self.rtree.try_query(q, |_, page| pages.push(page))?;
-        pages.sort_unstable();
-        pages.dedup();
+        let pages = self.candidate_pages(q)?;
         counters.pages_scanned += pages.len() as u64;
         let est_points = self.mean_records_per_page();
         let mut out = Vec::new();
@@ -815,6 +890,286 @@ impl DirectMeshDb {
         }
     }
 
+    /// Apply a terrain edit copy-on-write: re-optimize the dirty
+    /// neighborhood, rewrite the affected heap pages onto fresh pages,
+    /// path-copy the B+-tree and R\*-tree above them, and persist a new
+    /// catalog chain at a freshly allocated page — without touching one
+    /// byte of the current version. `self` remains a fully consistent
+    /// snapshot; the returned [`PatchOutcome::db`] is the next one.
+    ///
+    /// The dirty neighborhood is the paper's simplification dependency
+    /// set: terrain points (PM leaves) inside `region` take their edited
+    /// heights directly; every internal node whose QEM fan contains a
+    /// moved vertex — the one-ring of the region plus all ancestors up to
+    /// the roots — re-runs the QEM height optimization (plan-view
+    /// positions, LOD intervals and the hierarchy itself are preserved,
+    /// so index geometry changes only where pages split). Nodes are
+    /// re-optimized in ascending `(e_lo, id)` order: children settle
+    /// before the parents whose fans read them.
+    pub fn apply_patch(&self, region: &Rect, edit: &EditOp) -> StorageResult<PatchOutcome> {
+        if self.rtree_lost {
+            return Err(StorageError::format(
+                "cannot edit a degraded database (spatial index lost)",
+            ));
+        }
+        // ---- 1. Dirty set: every record whose plan-view position falls
+        // inside the region, at every LOD level (the full vertical slab).
+        let q = Box3::prism(*region, 0.0, self.e_cap());
+        let mut work: FxHashMap<u32, DmRecord> = FxHashMap::default();
+        for rec in self.try_fetch_box(&q)? {
+            if region.contains(rec.node.pos.xy()) {
+                work.insert(rec.node.id, rec);
+            }
+        }
+        let in_region: Vec<u32> = {
+            let mut v: Vec<u32> = work.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+
+        // ---- 2. Closure: the one-ring (connection neighbours, whose
+        // QEM fans contain moved vertices) and every ancestor chain up to
+        // the roots (each parent's height was optimized from the fan its
+        // children sit in).
+        for &id in &in_region {
+            let conn = work[&id].conn.clone();
+            for c in conn {
+                if let std::collections::hash_map::Entry::Vacant(slot) = work.entry(c) {
+                    if let Some(rec) = self.try_fetch_by_id(c)? {
+                        slot.insert(rec);
+                    }
+                }
+            }
+        }
+        let mut stack: Vec<u32> = {
+            let mut v: Vec<u32> = work.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        while let Some(id) = stack.pop() {
+            let parent = work[&id].node.parent;
+            if parent != NIL_ID && !work.contains_key(&parent) {
+                if let Some(rec) = self.try_fetch_by_id(parent)? {
+                    work.insert(parent, rec);
+                    stack.push(parent);
+                }
+            }
+        }
+
+        // ---- 3. Height re-optimization in ascending (e_lo, id) order.
+        let mut order: Vec<u32> = work.keys().copied().collect();
+        order.sort_unstable_by(|a, b| {
+            let (na, nb) = (&work[a].node, &work[b].node);
+            na.e_lo.total_cmp(&nb.e_lo).then(na.id.cmp(&nb.id))
+        });
+        // Read-only cache for fan members outside the working set.
+        let mut context: FxHashMap<u32, PmNode> = FxHashMap::default();
+        let mut changed: Vec<u32> = Vec::new();
+        for id in order {
+            let node = work[&id].node;
+            let new_z = if node.is_leaf() {
+                // Leaves are the measured terrain points: only a direct
+                // edit moves them (ring leaves outside the region stay).
+                if region.contains(node.pos.xy()) {
+                    match edit {
+                        EditOp::Raise(dz) => node.pos.z + dz,
+                        EditOp::SetHeights(samples) => {
+                            nearest_sample_z(samples, node.pos.x, node.pos.y).unwrap_or(node.pos.z)
+                        }
+                    }
+                } else {
+                    node.pos.z
+                }
+            } else {
+                let conn = work[&id].conn.clone();
+                let mut fan = Vec::with_capacity(conn.len());
+                for c in conn {
+                    if let Some(r) = work.get(&c) {
+                        fan.push(r.node.pos);
+                    } else if let Some(n) = context.get(&c) {
+                        fan.push(n.pos);
+                    } else if let Some(r) = self.try_fetch_by_id(c)? {
+                        fan.push(r.node.pos);
+                        context.insert(c, r.node);
+                    }
+                }
+                match qem_optimal_z(&node, &fan) {
+                    Some(z) => z,
+                    None => {
+                        // Degenerate fan (collinear / vertical planes):
+                        // fall back to the mean of the children's
+                        // (already updated) heights, then the old height.
+                        let mut sum = 0.0;
+                        let mut k = 0u32;
+                        for ch in [node.child1, node.child2] {
+                            if ch == NIL_ID {
+                                continue;
+                            }
+                            let cz = if let Some(r) = work.get(&ch) {
+                                Some(r.node.pos.z)
+                            } else if let Some(n) = context.get(&ch) {
+                                Some(n.pos.z)
+                            } else if let Some(r) = self.try_fetch_by_id(ch)? {
+                                let z = r.node.pos.z;
+                                context.insert(ch, r.node);
+                                Some(z)
+                            } else {
+                                None
+                            };
+                            if let Some(cz) = cz {
+                                sum += cz;
+                                k += 1;
+                            }
+                        }
+                        if k > 0 {
+                            sum / f64::from(k)
+                        } else {
+                            node.pos.z
+                        }
+                    }
+                }
+            };
+            if new_z.to_bits() != node.pos.z.to_bits() {
+                work.get_mut(&id).unwrap().node.pos.z = new_z;
+                changed.push(id);
+            }
+        }
+
+        // ---- 4. Copy-on-write rewrite of every heap page holding a
+        // changed record. The whole page re-encodes (the compact codec
+        // deltas against slot 0), spilling onto extra fresh pages when
+        // the new bit patterns no longer fit.
+        let mut dirty_pages: Vec<PageId> = Vec::new();
+        for &id in &changed {
+            let rid = self.btree.try_get(u64::from(id))?.ok_or_else(|| {
+                StorageError::format(format!("edited id {id} missing from the B+-tree"))
+            })?;
+            dirty_pages.push(RecordId::from_u64(rid).page);
+        }
+        dirty_pages.sort_unstable();
+        dirty_pages.dedup();
+
+        let mut rid_updates: Vec<(u64, u64)> = Vec::new();
+        let mut rtree_repl: HashMap<u64, Vec<(Box3, u64)>> = HashMap::new();
+        let mut page_repl: BTreeMap<PageId, Vec<PageId>> = BTreeMap::new();
+        for &old_page in &dirty_pages {
+            let mut recs: Vec<DmRecord> = Vec::new();
+            let mut dec = PageDecoder::new(self.codec);
+            self.heap.try_for_each_in_page(old_page, |rid, bytes| {
+                recs.push(dec.next(rid.slot, bytes).to_owned())
+            })?;
+            for r in &mut recs {
+                if let Some(u) = work.get(&r.node.id) {
+                    *r = u.clone();
+                }
+            }
+            // Greedy packing: indices into `recs` per fresh page.
+            let mut groups: Vec<Vec<(usize, Vec<u8>)>> = Vec::new();
+            let mut cur: Vec<(usize, Vec<u8>)> = Vec::new();
+            let mut used = HEAP_HEADER;
+            let mut base = BaseVals::ZERO;
+            let open = |rec: &DmRecord, base: &mut BaseVals| match self.codec {
+                RecordCodec::Flat => rec.encode(),
+                RecordCodec::Compact => {
+                    let opener = encode_compact(rec, &BaseVals::ZERO);
+                    *base = RawRecord::parse_compact(&opener, &BaseVals::ZERO).base_vals();
+                    opener
+                }
+            };
+            for (idx, rec) in recs.iter().enumerate() {
+                let enc = if cur.is_empty() {
+                    open(rec, &mut base)
+                } else {
+                    match self.codec {
+                        RecordCodec::Flat => rec.encode(),
+                        RecordCodec::Compact => encode_compact(rec, &base),
+                    }
+                };
+                if !cur.is_empty() && used + HEAP_SLOT + enc.len() > dm_storage::PAGE_DATA {
+                    groups.push(std::mem::take(&mut cur));
+                    used = HEAP_HEADER;
+                    let enc = open(rec, &mut base);
+                    used += HEAP_SLOT + enc.len();
+                    cur.push((idx, enc));
+                } else {
+                    used += HEAP_SLOT + enc.len();
+                    cur.push((idx, enc));
+                }
+            }
+            if !cur.is_empty() {
+                groups.push(cur);
+            }
+
+            let mut new_ids: Vec<PageId> = Vec::new();
+            for group in &groups {
+                let page =
+                    write_fresh_heap_page(&self.pool, group.iter().map(|(_, e)| e.as_slice()))?;
+                let mut bbox: Option<Box3> = None;
+                for (slot, (idx, _)) in group.iter().enumerate() {
+                    let rec = &recs[*idx];
+                    let rid = RecordId {
+                        page,
+                        slot: slot as u16,
+                    };
+                    rid_updates.push((u64::from(rec.node.id), rid.to_u64()));
+                    let seg = self.record_segment(&rec.node);
+                    bbox = Some(match bbox {
+                        Some(b) => b.union(&seg),
+                        None => seg,
+                    });
+                }
+                rtree_repl
+                    .entry(u64::from(old_page))
+                    .or_default()
+                    .push((bbox.expect("group is non-empty"), u64::from(page)));
+                new_ids.push(page);
+            }
+            page_repl.insert(old_page, new_ids);
+        }
+        rid_updates.sort_unstable_by_key(|&(k, _)| k);
+
+        // ---- 5. Path-copy the indexes and splice the heap page list.
+        let btree = self.btree.cow_update_values(&rid_updates)?;
+        let rtree = self.rtree.cow_replace_leaf_vals(&rtree_repl)?;
+        let mut heap_pages: Vec<PageId> = Vec::with_capacity(self.heap.page_ids().len());
+        for &p in self.heap.page_ids() {
+            match page_repl.get(&p) {
+                Some(repl) => heap_pages.extend_from_slice(repl),
+                None => heap_pages.push(p),
+            }
+        }
+        let heap = HeapFile::from_parts(Arc::clone(&self.pool), heap_pages, self.heap.len());
+
+        // ---- 6. Fresh catalog chain. Interval statistics are reused
+        // verbatim (edits never move LOD bounds); the cost model is
+        // cloned — its page-box statistics drift only by page splits,
+        // which is optimizer noise, not correctness.
+        let catalog_page = self.pool.try_allocate()?;
+        let db = DirectMeshDb {
+            pool: Arc::clone(&self.pool),
+            heap,
+            btree,
+            rtree,
+            cost: self.cost.clone(),
+            bounds: self.bounds,
+            e_max: self.e_max,
+            n_records: self.n_records,
+            n_leaves: self.n_leaves,
+            roots: self.roots.clone(),
+            lo_sorted: self.lo_sorted.clone(),
+            hi_sorted: self.hi_sorted.clone(),
+            codec: self.codec,
+            rtree_lost: false,
+        };
+        db.save_catalog(catalog_page)?;
+        Ok(PatchOutcome {
+            db,
+            catalog_page,
+            pages_rewritten: page_repl.len(),
+            records_updated: changed.len(),
+        })
+    }
+
     /// In-memory map of all records (testing aid; not a measured path).
     pub fn all_records(&self) -> FxHashMap<u32, DmRecord> {
         let mut out = FxHashMap::with_capacity_and_hasher(self.n_records, Default::default());
@@ -833,6 +1188,82 @@ impl DirectMeshDb {
 /// header plus a 4-byte slot-directory entry per record.
 const HEAP_HEADER: usize = 4;
 const HEAP_SLOT: usize = 4;
+
+/// The z of the sample nearest to `(x, y)` (plan-view distance).
+fn nearest_sample_z(samples: &[(f64, f64, f64)], x: f64, y: f64) -> Option<f64> {
+    samples
+        .iter()
+        .map(|&(sx, sy, sz)| ((x - sx).powi(2) + (y - sy).powi(2), sz))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .map(|(_, z)| z)
+}
+
+/// The height minimizing the quadric error of the triangle fan around
+/// `node`, with its plan-view position held fixed — the same measure PM
+/// construction minimized, restricted to one dimension.
+///
+/// The fan is rebuilt from the connection ring: neighbours sorted by
+/// angle, a plane per consecutive pair (the wrap pair skipped when the
+/// largest angular gap exceeds π — a mesh-border vertex has an open fan).
+/// For planes `A x + B y + C z + D = 0` weighted by triangle area `w`,
+/// the quadric restricted to z is `Σ w (h + C z)²` with
+/// `h = A x + B y + D`, minimized at `z* = −Σ w h C / Σ w C²`.
+fn qem_optimal_z(node: &PmNode, fan: &[Vec3]) -> Option<f64> {
+    if fan.len() < 2 {
+        return None;
+    }
+    let v = node.pos;
+    let mut pts: Vec<(f64, Vec3)> = fan
+        .iter()
+        .map(|&p| ((p.y - v.y).atan2(p.x - v.x), p))
+        .collect();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n = pts.len();
+    let wrap_gap = pts[0].0 + std::f64::consts::TAU - pts[n - 1].0;
+    let (mut num, mut den) = (0.0f64, 0.0f64);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        if j == 0 && wrap_gap > std::f64::consts::PI {
+            continue;
+        }
+        let (a, b) = (pts[i].1, pts[j].1);
+        let nrm = (a - v).cross(b - v);
+        let area = 0.5 * nrm.length();
+        let Some(u) = nrm.normalized() else {
+            continue;
+        };
+        let d = -u.dot(a);
+        let h = u.x * v.x + u.y * v.y + d;
+        num += area * h * u.z;
+        den += area * u.z * u.z;
+    }
+    (den > 1e-12).then(|| -num / den)
+}
+
+/// Write one slotted heap page (same layout as `dm_storage::heap`) onto a
+/// freshly allocated page: the copy-on-write path never appends into an
+/// existing page, so committed versions keep every byte they reference.
+fn write_fresh_heap_page<'a>(
+    pool: &Arc<BufferPool>,
+    encs: impl Iterator<Item = &'a [u8]> + Clone,
+) -> StorageResult<PageId> {
+    use dm_storage::page::codec as pc;
+    let page = pool.try_allocate()?;
+    pool.try_write(page, |buf| {
+        let mut off = dm_storage::PAGE_DATA;
+        let mut n = 0usize;
+        for e in encs.clone() {
+            off -= e.len();
+            buf[off..off + e.len()].copy_from_slice(e);
+            pc::put_u16(buf, HEAP_HEADER + n * HEAP_SLOT, off as u16);
+            pc::put_u16(buf, HEAP_HEADER + n * HEAP_SLOT + 2, e.len() as u16);
+            n += 1;
+        }
+        pc::put_u16(buf, 0, n as u16);
+        pc::put_u16(buf, 2, off as u16);
+    })?;
+    Ok(page)
+}
 
 /// Rough records-per-page for the compact codec, used only to shape the
 /// STR slab/run geometry (the byte-exact grouping happens per run in
@@ -996,6 +1427,100 @@ mod tests {
             compact.n_heap_pages(),
             flat.n_heap_pages()
         );
+    }
+
+    fn corner_region(db: &DirectMeshDb, frac: f64) -> Rect {
+        Rect::from_corners(
+            db.bounds.min,
+            dm_geom::Vec2::new(
+                db.bounds.min.x + db.bounds.width() * frac,
+                db.bounds.min.y + db.bounds.height() * frac,
+            ),
+        )
+    }
+
+    #[test]
+    fn apply_patch_raises_region_and_keeps_old_snapshot() {
+        let db = small_db();
+        let before = db.all_records();
+        let region = corner_region(&db, 0.4);
+        let out = db.apply_patch(&region, &EditOp::Raise(25.0)).unwrap();
+        assert!(out.records_updated > 0);
+        assert!(out.pages_rewritten > 0);
+        // Snapshot isolation: the pre-edit handle still reads the
+        // pre-edit bytes.
+        assert_eq!(db.all_records(), before);
+        // The new version moved exactly the in-region leaves; structure,
+        // connectivity and LOD intervals are untouched everywhere.
+        let after = out.db.all_records();
+        assert_eq!(after.len(), before.len());
+        let mut raised = 0;
+        for (id, rec) in &after {
+            let old = &before[id];
+            assert_eq!(rec.conn, old.conn, "connectivity of {id}");
+            assert_eq!(rec.node.e_lo, old.node.e_lo);
+            assert_eq!(rec.node.e_hi, old.node.e_hi);
+            assert_eq!(rec.node.pos.xy(), old.node.pos.xy());
+            if old.node.is_leaf() {
+                if region.contains(old.node.pos.xy()) {
+                    assert_eq!(rec.node.pos.z, old.node.pos.z + 25.0);
+                    raised += 1;
+                } else {
+                    assert_eq!(rec.node.pos.z, old.node.pos.z);
+                }
+            }
+        }
+        assert!(raised > 0, "the region must contain terrain points");
+        // Point lookups resolve through the path-copied B+-tree.
+        for id in [0u32, 17, db.n_records as u32 - 1] {
+            assert_eq!(out.db.fetch_by_id(id).unwrap().node.id, id);
+        }
+        out.db
+            .rtree()
+            .validate()
+            .expect("post-edit R*-tree is valid");
+    }
+
+    #[test]
+    fn apply_patch_is_readable_from_its_fresh_catalog() {
+        let hf = generate::fractal_terrain(9, 9, 5);
+        let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
+        let db = DirectMeshDb::create_in(Arc::clone(&pool), &pm, &DmBuildOptions::default());
+        let before = db.all_records();
+        let region = corner_region(&db, 0.5);
+        let out = db.apply_patch(&region, &EditOp::Raise(-3.5)).unwrap();
+        pool.flush_all();
+        // Reattach both versions purely from their catalog chains.
+        let old = DirectMeshDb::open(Arc::clone(&pool)).unwrap();
+        assert_eq!(
+            old.all_records(),
+            before,
+            "page 0 still serves the old version"
+        );
+        let new = DirectMeshDb::open_at(Arc::clone(&pool), out.catalog_page).unwrap();
+        assert_eq!(new.all_records(), out.db.all_records());
+        // Range fetches on the reopened edit agree with the live handle.
+        let e = new.e_max * 0.4;
+        let q = Box3::prism(new.bounds, e, e);
+        let mut a: Vec<u32> = new.fetch_box(&q).iter().map(|r| r.node.id).collect();
+        let mut b: Vec<u32> = out.db.fetch_box(&q).iter().map(|r| r.node.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_patch_commits_a_new_catalog_without_rewrites() {
+        let db = small_db();
+        let far = Rect::from_corners(
+            dm_geom::Vec2::new(db.bounds.max.x + 10.0, db.bounds.max.y + 10.0),
+            dm_geom::Vec2::new(db.bounds.max.x + 20.0, db.bounds.max.y + 20.0),
+        );
+        let out = db.apply_patch(&far, &EditOp::Raise(99.0)).unwrap();
+        assert_eq!(out.records_updated, 0);
+        assert_eq!(out.pages_rewritten, 0);
+        assert_eq!(out.db.all_records(), db.all_records());
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Offline integrity scrubber (`dm verify`).
+//!
+//! Walks every structure reachable from a catalog root and cross-checks
+//! them against each other:
+//!
+//! * every heap page decodes cleanly under the store's record codec
+//!   (slot directory in bounds, record framing intact, no duplicate ids),
+//! * every B+-tree entry `id → rid` points at a live heap slot whose
+//!   record carries exactly that id, and the entry count matches the
+//!   record count,
+//! * every R\*-tree leaf entry names a real heap page whose records'
+//!   `(x, y, e)` vertical segments all fit inside the entry's MBR, and
+//!   together the leaves reach every heap page exactly once,
+//! * the catalog's cached counts agree with what is actually on disk.
+//!
+//! Page-level CRC / framing corruption surfaces through the typed
+//! [`StorageError::Corrupt`](dm_storage::StorageError) reads underneath;
+//! record-level corruption is caught by unwinding the panicking compact
+//! decoder. Everything lands in one [`VerifyReport`]; nothing in this
+//! module ever writes.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use dm_geom::{Box3, Vec3};
+use dm_index::RStarTree;
+use dm_storage::{BTree, BufferPool, HeapFile, PageId, RecordId, StorageResult};
+
+use crate::catalog::read_catalog;
+use crate::record::PageDecoder;
+
+/// What the scrubber found. `errors` is empty iff the store is clean.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Catalog page the scrub was rooted at.
+    pub catalog_page: PageId,
+    /// Heap pages listed by the catalog.
+    pub heap_pages: usize,
+    /// Records that decoded cleanly.
+    pub records: u64,
+    /// Entries walked in the primary-key B+-tree.
+    pub btree_entries: u64,
+    /// Leaf entries walked in the R\*-tree.
+    pub rtree_entries: u64,
+    /// Every inconsistency found, human-readable.
+    pub errors: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True iff no inconsistency was found.
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "catalog @ page {}: {} heap pages, {} records, {} btree entries, {} rtree entries",
+            self.catalog_page,
+            self.heap_pages,
+            self.records,
+            self.btree_entries,
+            self.rtree_entries
+        )?;
+        if self.ok() {
+            write!(f, "OK: no inconsistencies found")
+        } else {
+            writeln!(f, "CORRUPT: {} error(s)", self.errors.len())?;
+            for e in &self.errors {
+                writeln!(f, "  - {e}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// One heap page fully decoded: `(slot, record id, vertical segment)`.
+type DecodedPage = StorageResult<Vec<(u16, u32, Box3)>>;
+
+/// Scrub the store rooted at `catalog_page`.
+///
+/// Returns `Err` only when the catalog itself cannot be read (nothing to
+/// scrub against); every downstream inconsistency is collected into the
+/// report instead.
+pub fn verify_store(pool: &Arc<BufferPool>, catalog_page: PageId) -> StorageResult<VerifyReport> {
+    let cat = read_catalog(pool, catalog_page)?;
+    let mut report = VerifyReport {
+        catalog_page,
+        heap_pages: cat.heap_pages.len(),
+        ..VerifyReport::default()
+    };
+
+    // Phase 1: decode every heap slot; map (page, slot) -> id and collect
+    // each record's (x, y, e) vertical segment for the MBR checks.
+    let heap = HeapFile::from_parts(Arc::clone(pool), cat.heap_pages.clone(), cat.heap_len);
+    let e_cap = cat.e_max * 1.001 + 1e-9;
+    let mut slot_ids: HashMap<(PageId, u16), u32> = HashMap::new();
+    let mut segments: HashMap<PageId, Vec<Box3>> = HashMap::new();
+    let mut seen_ids: HashSet<u32> = HashSet::new();
+    for &page in heap.page_ids() {
+        // The compact decoder panics on malformed records; catch the
+        // unwind and turn it into a finding instead of a crash. Typed
+        // slot-directory errors surface through the inner StorageResult.
+        let decoded: Result<DecodedPage, _> = catch_unwind(AssertUnwindSafe(|| {
+            heap.try_view_page(page, |view| {
+                let mut out = Vec::with_capacity(view.n_slots() as usize);
+                let mut dec = PageDecoder::new(cat.codec);
+                for slot in 0..view.n_slots() {
+                    let raw = dec.next(slot, view.record(slot)?);
+                    raw.to_owned(); // verifies the full length framing
+                                    // Root records carry e_hi = ∞; the index stores
+                                    // them clamped to the same cap the build used.
+                    let hi = if raw.e_hi().is_finite() {
+                        raw.e_hi()
+                    } else {
+                        e_cap
+                    };
+                    out.push((
+                        slot,
+                        raw.id(),
+                        Box3::vertical_segment(raw.pos_xy(), raw.e_lo().min(hi), hi),
+                    ));
+                }
+                Ok(out)
+            })
+        }));
+        match decoded {
+            Ok(Ok(rows)) => {
+                for (slot, id, seg) in rows {
+                    if !seen_ids.insert(id) {
+                        report.errors.push(format!(
+                            "heap page {page} slot {slot}: duplicate node id {id}"
+                        ));
+                    }
+                    slot_ids.insert((page, slot), id);
+                    segments.entry(page).or_default().push(seg);
+                    report.records += 1;
+                }
+            }
+            Ok(Err(e)) => report.errors.push(format!("heap page {page}: {e}")),
+            Err(_) => report
+                .errors
+                .push(format!("heap page {page}: record does not decode")),
+        }
+    }
+    if report.records != cat.n_records as u64 {
+        report.errors.push(format!(
+            "catalog claims {} records, heap holds {}",
+            cat.n_records, report.records
+        ));
+    }
+
+    // Phase 2: every B+-tree entry must land on a live slot carrying the
+    // same id, and the tree must cover every record exactly once.
+    let (bt_root, bt_height, bt_len) = cat.btree;
+    let btree = BTree::from_parts(Arc::clone(pool), bt_root, bt_len, bt_height);
+    let mut bt_entries = 0u64;
+    let walk = btree.try_range(0, u64::MAX, |id, rid| {
+        bt_entries += 1;
+        let rid = RecordId::from_u64(rid);
+        match slot_ids.get(&(rid.page, rid.slot)) {
+            Some(&actual) if actual as u64 == id => {}
+            Some(&actual) => report.errors.push(format!(
+                "btree id {id} -> page {} slot {} which holds id {actual}",
+                rid.page, rid.slot
+            )),
+            None => report.errors.push(format!(
+                "btree id {id} -> page {} slot {} which does not exist",
+                rid.page, rid.slot
+            )),
+        }
+    });
+    if let Err(e) = walk {
+        report.errors.push(format!("btree walk failed: {e}"));
+    }
+    report.btree_entries = bt_entries;
+    if bt_entries != report.records {
+        report.errors.push(format!(
+            "btree holds {bt_entries} entries for {} records",
+            report.records
+        ));
+    }
+
+    // Phase 3: R*-tree leaves must name real heap pages, bound their
+    // records' segments, and reach every page exactly once.
+    let (rt_root, rt_height, rt_len) = cat.rtree;
+    let rtree = RStarTree::from_parts(Arc::clone(pool), rt_root, rt_height, rt_len);
+    let everything = Box3 {
+        min: Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        max: Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+    };
+    let heap_page_set: HashSet<PageId> = cat.heap_pages.iter().copied().collect();
+    let mut reached: HashMap<PageId, usize> = HashMap::new();
+    let mut rt_entries = 0u64;
+    let scan = rtree.try_query(&everything, |mbr, val| {
+        rt_entries += 1;
+        let page = val as PageId;
+        if !heap_page_set.contains(&page) {
+            report
+                .errors
+                .push(format!("rtree leaf names page {page}, not a heap page"));
+            return;
+        }
+        *reached.entry(page).or_insert(0) += 1;
+        for (i, seg) in segments.get(&page).into_iter().flatten().enumerate() {
+            if !mbr.contains_box(seg) {
+                report.errors.push(format!(
+                    "rtree MBR of page {page} does not contain record {i}'s segment"
+                ));
+            }
+        }
+    });
+    if let Err(e) = scan {
+        report.errors.push(format!("rtree walk failed: {e}"));
+    }
+    report.rtree_entries = rt_entries;
+    for &page in &cat.heap_pages {
+        match reached.get(&page) {
+            Some(1) => {}
+            Some(n) => report
+                .errors
+                .push(format!("heap page {page} reached by {n} rtree leaves")),
+            None => report
+                .errors
+                .push(format!("heap page {page} unreachable from the rtree")),
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectMeshDb, DmBuildOptions, EditOp};
+    use dm_geom::{Rect, Vec2};
+    use dm_mtm::builder::{build_pm, PmBuildConfig};
+    use dm_storage::{BufferPool, MemStore, PAGE_SIZE};
+    use dm_terrain::{generate, TriMesh};
+
+    fn built_db() -> (Arc<BufferPool>, DirectMeshDb) {
+        let hf = generate::fractal_terrain(11, 11, 3);
+        let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
+        let db = DirectMeshDb::create_in(Arc::clone(&pool), &pm, &DmBuildOptions::default());
+        (pool, db)
+    }
+
+    #[test]
+    fn clean_store_verifies() {
+        let (pool, db) = built_db();
+        let report = verify_store(&pool, 0).unwrap();
+        assert!(report.ok(), "{report}");
+        let stats = db.stats_summary();
+        assert_eq!(report.records, stats.n_records);
+        assert_eq!(report.btree_entries, report.records);
+        assert_eq!(report.heap_pages as u64, stats.heap_pages);
+    }
+
+    #[test]
+    fn patched_store_verifies_at_its_new_catalog() {
+        let (pool, db) = built_db();
+        let c = db.bounds.center();
+        let w = db.bounds.width() * 0.3;
+        let region = Rect::from_corners(Vec2::new(c.x - w, c.y - w), Vec2::new(c.x + w, c.y + w));
+        let out = db.apply_patch(&region, &EditOp::Raise(7.0)).unwrap();
+        let report = verify_store(&pool, out.catalog_page).unwrap();
+        assert!(report.ok(), "{report}");
+        let report0 = verify_store(&pool, 0).unwrap();
+        assert!(report0.ok(), "old snapshot stays clean: {report0}");
+    }
+
+    #[test]
+    fn scrub_reports_smashed_heap_page() {
+        let (pool, _db) = built_db();
+        let victim = read_catalog(&pool, 0).unwrap().heap_pages[0];
+        pool.try_write(victim, |buf| {
+            for b in buf.iter_mut().take(PAGE_SIZE) {
+                *b = 0xA5;
+            }
+        })
+        .unwrap();
+        let report = verify_store(&pool, 0).unwrap();
+        assert!(!report.ok());
+        assert!(
+            report.errors.iter().any(|e| e.contains("heap page")),
+            "{report}"
+        );
+    }
+}

@@ -335,14 +335,153 @@ impl RStarTree {
             .unwrap_or_else(|e| panic!("rstar query: {e}"))
     }
 
+    /// Copy-on-write leaf-value replacement: produce a new tree in which
+    /// every leaf entry whose payload appears as a key of `repl` is
+    /// replaced by that key's `(box, payload)` list (one entry when a
+    /// data page was rewritten in place, several when it split), without
+    /// modifying any page of this tree. Nodes whose subtrees contain no
+    /// replaced payload are shared between old and new tree; only the
+    /// paths above changed leaves are copied to fresh pages. A node
+    /// overflowing from spliced-in entries splits, and a split root grows
+    /// the tree by one level — mirroring the insert path, but append-only.
+    pub fn cow_replace_leaf_vals(
+        &self,
+        repl: &std::collections::HashMap<u64, Vec<(Box3, u64)>>,
+    ) -> StorageResult<RStarTree> {
+        let same = |root| {
+            Ok(RStarTree {
+                pool: Arc::clone(&self.pool),
+                root,
+                height: self.height,
+                len: self.len,
+            })
+        };
+        if repl.is_empty() {
+            return same(self.root);
+        }
+        let mut delta = 0i64;
+        match self.cow_replace_rec(self.root, repl, &mut delta)? {
+            None => same(self.root),
+            Some(mut entries) => {
+                let mut height = self.height;
+                while entries.len() > 1 {
+                    entries = self.write_cow_groups(entries, false)?;
+                    height += 1;
+                }
+                Ok(RStarTree {
+                    pool: Arc::clone(&self.pool),
+                    root: entries[0].val as PageId,
+                    height,
+                    len: (self.len as i64 + delta) as u64,
+                })
+            }
+        }
+    }
+
+    /// Returns `None` when the subtree at `page` contains no replaced
+    /// payload (share it), or the freshly written replacement entries for
+    /// the parent (more than one if the node split).
+    fn cow_replace_rec(
+        &self,
+        page: PageId,
+        repl: &std::collections::HashMap<u64, Vec<(Box3, u64)>>,
+        delta: &mut i64,
+    ) -> StorageResult<Option<Vec<Entry>>> {
+        let node = try_read_node(&self.pool, page)?;
+        if node.is_leaf {
+            if !node.entries.iter().any(|e| repl.contains_key(&e.val)) {
+                return Ok(None);
+            }
+            let mut entries = Vec::with_capacity(node.entries.len());
+            for e in &node.entries {
+                if let Some(news) = repl.get(&e.val) {
+                    *delta += news.len() as i64 - 1;
+                    entries.extend(news.iter().map(|&(bbox, val)| Entry { bbox, val }));
+                } else {
+                    entries.push(*e);
+                }
+            }
+            return self.write_cow_groups(entries, true).map(Some);
+        }
+        let mut changed = false;
+        let mut entries = Vec::with_capacity(node.entries.len());
+        for e in &node.entries {
+            match self.cow_replace_rec(e.val as PageId, repl, delta)? {
+                None => entries.push(*e),
+                Some(repls) => {
+                    changed = true;
+                    entries.extend(repls);
+                }
+            }
+        }
+        if !changed {
+            return Ok(None);
+        }
+        self.write_cow_groups(entries, false).map(Some)
+    }
+
+    /// Write `entries` to freshly allocated node page(s), splitting along
+    /// the widest center axis while over [`CAP`], and return the parent
+    /// entries describing them.
+    fn write_cow_groups(&self, entries: Vec<Entry>, is_leaf: bool) -> StorageResult<Vec<Entry>> {
+        fn split_to_cap(entries: Vec<Entry>) -> Vec<Vec<Entry>> {
+            if entries.len() <= CAP {
+                return vec![entries];
+            }
+            let mut best_axis = 0usize;
+            let mut best_spread = f64::NEG_INFINITY;
+            for d in 0..3 {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for e in &entries {
+                    let c = axis(e.bbox.center(), d);
+                    lo = lo.min(c);
+                    hi = hi.max(c);
+                }
+                if hi - lo > best_spread {
+                    best_spread = hi - lo;
+                    best_axis = d;
+                }
+            }
+            let mut v = entries;
+            sort_by_center(&mut v, best_axis);
+            let right = v.split_off(v.len() / 2);
+            let mut out = split_to_cap(v);
+            out.extend(split_to_cap(right));
+            out
+        }
+        let mut out = Vec::new();
+        for group in split_to_cap(entries) {
+            let page = self.pool.try_allocate()?;
+            let node = Node {
+                is_leaf,
+                entries: group,
+            };
+            try_write_node(&self.pool, page, &node)?;
+            out.push(Entry {
+                bbox: node.mbr(),
+                val: page as u64,
+            });
+        }
+        Ok(out)
+    }
+
     /// Collect every node's MBR (all levels, root included). Used by the
     /// cost model; runs over the buffer pool once at optimizer-statistics
     /// build time, not during measured queries.
     pub fn collect_node_regions(&self) -> Vec<Box3> {
+        self.try_collect_node_regions()
+            .unwrap_or_else(|e| panic!("rstar regions: {e}"))
+    }
+
+    /// Fallible [`Self::collect_node_regions`]: any unreadable node page
+    /// aborts with a typed error instead of panicking, so degraded opens
+    /// can detect a lost index (e.g. a truncated file tail) and fall back
+    /// to heap scans rather than dying.
+    pub fn try_collect_node_regions(&self) -> StorageResult<Vec<Box3>> {
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
-            let node = read_node(&self.pool, page);
+            let node = try_read_node(&self.pool, page)?;
             out.push(node.mbr());
             if !node.is_leaf {
                 for e in &node.entries {
@@ -350,7 +489,7 @@ impl RStarTree {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Number of nodes (pages) in the tree.
@@ -727,12 +866,16 @@ fn try_read_node(pool: &BufferPool, page: PageId) -> StorageResult<Node> {
 }
 
 fn write_node(pool: &BufferPool, page: PageId, node: &Node) {
+    try_write_node(pool, page, node).unwrap_or_else(|e| panic!("rstar node write: {e}"))
+}
+
+fn try_write_node(pool: &BufferPool, page: PageId, node: &Node) -> StorageResult<()> {
     assert!(
         node.entries.len() <= CAP,
         "node overflow: {}",
         node.entries.len()
     );
-    pool.write(page, |b| {
+    pool.try_write(page, |b| {
         b[0] = u8::from(node.is_leaf);
         codec::put_u16(b, 2, node.entries.len() as u16);
         for (i, e) in node.entries.iter().enumerate() {
@@ -745,7 +888,7 @@ fn write_node(pool: &BufferPool, page: PageId, node: &Node) {
             codec::put_f64(b, off + 40, e.bbox.max.z);
             codec::put_u64(b, off + 48, e.val);
         }
-    });
+    })
 }
 
 #[cfg(test)]
@@ -929,6 +1072,78 @@ mod tests {
         for (b, _) in items {
             assert!(root.contains_box(&b));
         }
+    }
+
+    #[test]
+    fn cow_replace_isolates_old_tree() {
+        let items = random_points(20_000, 17);
+        let p = pool();
+        let t = RStarTree::bulk_load(Arc::clone(&p), items.clone(), 0.8);
+        assert!(t.height() >= 2);
+        let before = p.num_pages();
+
+        // Replace payload 7: its box moves to a fresh location, its
+        // payload becomes 1_000_007.
+        let old_box = items.iter().find(|&&(_, d)| d == 7).unwrap().0;
+        let new_box = Box3::vertical_segment(dm_geom::Vec2::new(123.0, 456.0), 5.0, 8.0);
+        let repl = std::collections::HashMap::from([(7u64, vec![(new_box, 1_000_007u64)])]);
+        let t2 = t.cow_replace_leaf_vals(&repl).unwrap();
+
+        assert_eq!(t2.len(), t.len());
+        t2.validate().unwrap();
+        // Old tree unperturbed; new tree answers with the replacement.
+        assert!(query_sorted(&t, &old_box).contains(&7));
+        assert!(!query_sorted(&t2, &new_box).contains(&7));
+        assert!(query_sorted(&t2, &new_box).contains(&1_000_007));
+        // Only the path to the one changed leaf was copied.
+        let copied = p.num_pages() - before;
+        assert!(
+            copied <= t.height() + 1,
+            "copied {copied} pages for a one-leaf change in a height-{} tree",
+            t.height()
+        );
+    }
+
+    #[test]
+    fn cow_replace_splits_overflowing_leaf_and_grows() {
+        // Splice 400 entries in place of one: the leaf must split and the
+        // tree stay structurally valid.
+        let items = random_points(500, 3);
+        let p = pool();
+        let t = RStarTree::bulk_load(Arc::clone(&p), items.clone(), 1.0);
+        let news: Vec<(Box3, u64)> = (0..400u64)
+            .map(|i| {
+                (
+                    Box3::vertical_segment(dm_geom::Vec2::new(i as f64, i as f64), 0.0, 1.0),
+                    10_000 + i,
+                )
+            })
+            .collect();
+        let repl = std::collections::HashMap::from([(0u64, news)]);
+        let t2 = t.cow_replace_leaf_vals(&repl).unwrap();
+        assert_eq!(t2.len(), t.len() + 399);
+        t2.validate().unwrap();
+        t.validate().unwrap();
+        let q = Box3::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(400.0, 400.0, 1.0));
+        let got = query_sorted(&t2, &q);
+        for i in 0..400u64 {
+            assert!(got.contains(&(10_000 + i)), "missing spliced entry {i}");
+        }
+    }
+
+    #[test]
+    fn cow_replace_with_no_match_shares_everything() {
+        let items = random_points(2_000, 9);
+        let p = pool();
+        let t = RStarTree::bulk_load(Arc::clone(&p), items, 0.8);
+        let before = p.num_pages();
+        let repl = std::collections::HashMap::from([(
+            999_999u64,
+            vec![(Box3::point(Vec3::new(0.0, 0.0, 0.0)), 1u64)],
+        )]);
+        let t2 = t.cow_replace_leaf_vals(&repl).unwrap();
+        assert_eq!(p.num_pages(), before, "no match must allocate nothing");
+        assert_eq!(t2.root_page(), t.root_page());
     }
 
     #[test]

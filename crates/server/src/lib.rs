@@ -32,9 +32,10 @@ use std::time::Duration;
 
 use dm_core::{BoundaryPolicy, DirectMeshDb, FetchCounters, NavigationSession, VdQuery};
 use dm_geom::Rect;
-use dm_net::frame::{read_frame, write_frame, FrameEvent};
+use dm_net::frame::{read_frame, write_frame_deadline, FrameEvent};
 use dm_net::mesh::{canonical_mesh, MeshResult};
 use dm_net::proto::{ErrorCode, QueryOpts, Request, Response};
+use dm_net::wire::WireError;
 
 /// Tuning knobs for [`Server`].
 #[derive(Clone, Debug)]
@@ -78,6 +79,9 @@ pub struct ServerStats {
     pub errors: u64,
     /// Requests refused by admission control.
     pub overloaded: u64,
+    /// Connections dropped because the peer read responses too slowly
+    /// to drain a frame within the write deadline.
+    pub slow_disconnects: u64,
 }
 
 /// Clonable handle that asks a running [`Server::serve`] call to stop
@@ -176,6 +180,7 @@ struct Counters {
     requests: AtomicU64,
     errors: AtomicU64,
     overloaded: AtomicU64,
+    slow_disconnects: AtomicU64,
 }
 
 /// State every worker shares.
@@ -272,6 +277,7 @@ impl Server {
             requests: shared.counters.requests.load(Ordering::Relaxed),
             errors: shared.counters.errors.load(Ordering::Relaxed),
             overloaded: shared.counters.overloaded.load(Ordering::Relaxed),
+            slow_disconnects: shared.counters.slow_disconnects.load(Ordering::Relaxed),
         })
     }
 }
@@ -288,8 +294,28 @@ fn needs_permit(req: &Request) -> bool {
     )
 }
 
-fn send(stream: &mut TcpStream, resp: &Response) -> bool {
-    write_frame(stream, resp.kind(), &resp.encode()).is_ok()
+/// Write a response under the server's total write deadline. A peer that
+/// stops (or trickles) its reads cannot pin a worker past
+/// `config.write_timeout`: the bounded write returns the typed
+/// [`WireError::WriteTimeout`], we count the disconnect, and the caller
+/// drops the connection.
+fn send(stream: &mut TcpStream, shared: &Shared, resp: &Response) -> bool {
+    match write_frame_deadline(
+        stream,
+        resp.kind(),
+        &resp.encode(),
+        shared.config.write_timeout,
+    ) {
+        Ok(()) => true,
+        Err(WireError::WriteTimeout { .. }) => {
+            shared
+                .counters
+                .slow_disconnects
+                .fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Err(_) => false,
+    }
 }
 
 fn serve_connection(mut stream: TcpStream, db: &DirectMeshDb, shared: &Shared) {
@@ -298,7 +324,12 @@ fn serve_connection(mut stream: TcpStream, db: &DirectMeshDb, shared: &Shared) {
         .set_read_timeout(Some(shared.config.read_timeout))
         .is_err()
         || stream
-            .set_write_timeout(Some(shared.config.write_timeout))
+            // Short per-syscall timeout: each stalled write() returns
+            // quickly so `send` can enforce the *cumulative* deadline
+            // (`config.write_timeout`) against trickling readers too.
+            .set_write_timeout(Some(
+                shared.config.write_timeout.min(Duration::from_millis(50)),
+            ))
             .is_err()
     {
         return;
@@ -323,6 +354,7 @@ fn serve_connection(mut stream: TcpStream, db: &DirectMeshDb, shared: &Shared) {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
                 send(
                     &mut stream,
+                    shared,
                     &Response::Error {
                         code: ErrorCode::BadRequest,
                         message: format!("unreadable frame: {e}"),
@@ -338,6 +370,7 @@ fn serve_connection(mut stream: TcpStream, db: &DirectMeshDb, shared: &Shared) {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
                 send(
                     &mut stream,
+                    shared,
                     &Response::Error {
                         code: ErrorCode::BadRequest,
                         message: format!("bad request: {e}"),
@@ -349,12 +382,13 @@ fn serve_connection(mut stream: TcpStream, db: &DirectMeshDb, shared: &Shared) {
 
         if let Request::Shutdown = req {
             shared.shutdown.store(true, Ordering::SeqCst);
-            send(&mut stream, &Response::ShutdownAck);
+            send(&mut stream, shared, &Response::ShutdownAck);
             break;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             send(
                 &mut stream,
+                shared,
                 &Response::Error {
                     code: ErrorCode::ShuttingDown,
                     message: "server is draining".to_string(),
@@ -379,7 +413,7 @@ fn serve_connection(mut stream: TcpStream, db: &DirectMeshDb, shared: &Shared) {
         if matches!(resp, Response::Error { .. }) {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
-        if !send(&mut stream, &resp) {
+        if !send(&mut stream, shared, &resp) {
             break;
         }
     }
@@ -742,6 +776,51 @@ mod tests {
                 other => panic!("expected remote error, got {other}"),
             }
         });
+    }
+
+    #[test]
+    fn slow_reader_is_disconnected_not_hung() {
+        use dm_net::frame::write_frame;
+
+        let config = ServerConfig {
+            // Tight cumulative deadline so the test is quick.
+            write_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        };
+        let ((), stats) = with_server(config, |addr, db| {
+            // A peer that pipelines many full-detail queries and never
+            // reads a single response byte: the socket buffers fill and
+            // an unbounded write would pin a worker forever.
+            let mut evil = TcpStream::connect(addr).unwrap();
+            let e = db.e_for_points_fraction(1.0);
+            let req = Request::ViQuery {
+                opts: QueryOpts::default(),
+                roi: db.bounds,
+                e,
+            };
+            let payload = req.encode();
+            // Pipeline until the server sheds us: once its bounded write
+            // hits the deadline it drops the connection, our unread data
+            // turns the close into a reset, and our writes start failing.
+            let mut dropped = false;
+            for _ in 0..200_000 {
+                if write_frame(&mut evil, req.kind(), &payload).is_err() {
+                    dropped = true;
+                    break;
+                }
+            }
+            assert!(dropped, "server never disconnected the non-reading peer");
+            // The server must remain responsive to well-behaved clients
+            // while (and after) shedding the slow reader.
+            let mut c = Client::connect(addr).unwrap();
+            let (remote, _) = c.stats(Vec::new()).unwrap();
+            assert_eq!(remote, db.stats_summary());
+            drop(evil);
+        });
+        assert!(
+            stats.slow_disconnects >= 1,
+            "expected a typed slow-reader disconnect, got {stats:?}"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use crate::buffer::BufferPool;
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
 use crate::page::{codec, PageId, NO_PAGE, PAGE_DATA, PAGE_SIZE};
 
 const HDR: usize = 8;
@@ -139,49 +139,152 @@ impl BTree {
     }
 
     /// Visit all `(key, value)` pairs with `lo <= key <= hi` in order.
+    ///
+    /// Implemented as a pure top-down descent into the children whose key
+    /// ranges intersect `[lo, hi]` — deliberately *not* via the leaf
+    /// sibling chain. Copy-on-write updates ([`Self::cow_update_values`])
+    /// relocate leaves without rewriting their left siblings, so sibling
+    /// pointers are only a hint for external sequential readers; treating
+    /// them as authoritative would walk a scan from a new tree into
+    /// pre-edit pages.
     pub fn try_range(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) -> StorageResult<()> {
         if lo > hi {
             return Ok(());
         }
-        // Descend to the leaf that could contain `lo`.
-        let mut page = self.root;
-        loop {
-            let next = self.pool.try_read(page, |b| {
-                if b[0] == 1 {
-                    None
-                } else {
-                    Some(internal_child_for(b, lo))
-                }
-            })?;
-            match next {
-                Some(child) => page = child,
-                None => break,
-            }
+        self.range_rec(self.root, lo, hi, &mut f)
+    }
+
+    fn range_rec<F: FnMut(u64, u64)>(
+        &self,
+        page: PageId,
+        lo: u64,
+        hi: u64,
+        f: &mut F,
+    ) -> StorageResult<()> {
+        enum Node {
+            Leaf(Vec<(u64, u64)>),
+            Internal(Vec<PageId>),
         }
-        // Walk the leaf chain.
-        let mut current = page;
-        while current != NO_PAGE {
-            let (next, done) = self.pool.try_read(current, |b| {
-                debug_assert_eq!(b[0], 1);
+        let node = self.pool.try_read(page, |b| {
+            if b[0] == 1 {
                 let n = codec::get_u16(b, 2) as usize;
+                let mut pairs = Vec::new();
                 for i in 0..n {
                     let off = HDR + i * LEAF_ENTRY;
                     let k = codec::get_u64(b, off);
                     if k > hi {
-                        return (NO_PAGE, true);
+                        break;
                     }
                     if k >= lo {
-                        f(k, codec::get_u64(b, off + 8));
+                        pairs.push((k, codec::get_u64(b, off + 8)));
                     }
                 }
-                (codec::get_u32(b, 4), false)
-            })?;
-            if done {
-                break;
+                Node::Leaf(pairs)
+            } else {
+                let (keys, children) = read_internal(b);
+                // Child `j` covers keys in `[keys[j-1], keys[j])`.
+                let start = keys.partition_point(|&k| k <= lo);
+                let end = keys.partition_point(|&k| k <= hi);
+                Node::Internal(children[start..=end].to_vec())
             }
-            current = next;
+        })?;
+        match node {
+            Node::Leaf(pairs) => {
+                for (k, v) in pairs {
+                    f(k, v);
+                }
+            }
+            Node::Internal(children) => {
+                for child in children {
+                    self.range_rec(child, lo, hi, f)?;
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Copy-on-write value overwrite: produce a new tree in which every
+    /// `(key, value)` in `updates` (sorted, strictly ascending by key;
+    /// every key must already exist) maps to its new value, without
+    /// modifying any page of this tree. Only the leaves holding updated
+    /// keys and their ancestor paths are copied to freshly allocated
+    /// pages; every other page is shared between old and new tree —
+    /// readers of the old root remain fully isolated.
+    pub fn cow_update_values(&self, updates: &[(u64, u64)]) -> StorageResult<BTree> {
+        debug_assert!(updates.windows(2).all(|w| w[0].0 < w[1].0));
+        let root = if updates.is_empty() {
+            self.root
+        } else {
+            self.cow_rec(self.root, updates)?
+        };
+        Ok(BTree {
+            pool: Arc::clone(&self.pool),
+            root,
+            len: self.len,
+            height: self.height,
+        })
+    }
+
+    /// Copy the path(s) from `page` down to every update; returns the new
+    /// page id standing in for `page`.
+    fn cow_rec(&self, page: PageId, updates: &[(u64, u64)]) -> StorageResult<PageId> {
+        enum Node {
+            Leaf(Vec<u64>, Vec<u64>, PageId),
+            Internal(Vec<u64>, Vec<PageId>),
+        }
+        let node = self.pool.try_read(page, |b| {
+            if b[0] == 1 {
+                let n = codec::get_u16(b, 2) as usize;
+                let mut keys = Vec::with_capacity(n);
+                let mut vals = Vec::with_capacity(n);
+                for i in 0..n {
+                    let off = HDR + i * LEAF_ENTRY;
+                    keys.push(codec::get_u64(b, off));
+                    vals.push(codec::get_u64(b, off + 8));
+                }
+                Node::Leaf(keys, vals, codec::get_u32(b, 4))
+            } else {
+                let (keys, children) = read_internal(b);
+                Node::Internal(keys, children)
+            }
+        })?;
+        match node {
+            Node::Leaf(keys, mut vals, next) => {
+                for &(k, v) in updates {
+                    let i = keys.binary_search(&k).map_err(|_| {
+                        StorageError::corrupt(page, format!("cow update of absent key {k}"))
+                    })?;
+                    vals[i] = v;
+                }
+                let fresh = self.pool.try_allocate()?;
+                // The sibling pointer is copied as-is: it still names the
+                // *old* right sibling and is advisory only (see
+                // `try_range`).
+                try_write_leaf(&self.pool, fresh, &keys, &vals, next)?;
+                Ok(fresh)
+            }
+            Node::Internal(keys, mut children) => {
+                let mut any = false;
+                let mut lo = 0usize;
+                for j in 0..children.len() {
+                    // Child `j` covers update keys in `[keys[j-1], keys[j])`.
+                    let hi = if j < keys.len() {
+                        lo + updates[lo..].partition_point(|&(k, _)| k < keys[j])
+                    } else {
+                        updates.len()
+                    };
+                    if lo < hi {
+                        children[j] = self.cow_rec(children[j], &updates[lo..hi])?;
+                        any = true;
+                    }
+                    lo = hi;
+                }
+                debug_assert!(any, "internal node reached with no updates");
+                let fresh = self.pool.try_allocate()?;
+                try_write_internal(&self.pool, fresh, &keys, &children)?;
+                Ok(fresh)
+            }
+        }
     }
 
     /// Infallible [`Self::try_range`]; panics on storage errors.
@@ -385,24 +488,23 @@ fn read_internal(b: &[u8; PAGE_SIZE]) -> (Vec<u64>, Vec<PageId>) {
 }
 
 fn write_internal(pool: &BufferPool, page: PageId, keys: &[u64], children: &[PageId]) {
-    assert_eq!(children.len(), keys.len() + 1);
-    assert!(keys.len() <= INT_CAP);
-    pool.write(page, |b| {
-        b[0] = 0;
-        codec::put_u16(b, 2, keys.len() as u16);
-        codec::put_u32(b, INT_CHILD0, children[0]);
-        for (i, (&k, &c)) in keys.iter().zip(&children[1..]).enumerate() {
-            let off = INT_CHILD0 + 4 + i * INT_ENTRY;
-            codec::put_u64(b, off, k);
-            codec::put_u32(b, off + 8, c);
-        }
-    });
+    try_write_internal(pool, page, keys, children).unwrap_or_else(|e| panic!("btree write: {e}"))
 }
 
 fn write_leaf(pool: &BufferPool, page: PageId, keys: &[u64], vals: &[u64], next: PageId) {
+    try_write_leaf(pool, page, keys, vals, next).unwrap_or_else(|e| panic!("btree write: {e}"))
+}
+
+fn try_write_leaf(
+    pool: &BufferPool,
+    page: PageId,
+    keys: &[u64],
+    vals: &[u64],
+    next: PageId,
+) -> StorageResult<()> {
     assert_eq!(keys.len(), vals.len());
     assert!(keys.len() <= LEAF_CAP);
-    pool.write(page, |b| {
+    pool.try_write(page, |b| {
         b[0] = 1;
         codec::put_u16(b, 2, keys.len() as u16);
         codec::put_u32(b, 4, next);
@@ -411,7 +513,27 @@ fn write_leaf(pool: &BufferPool, page: PageId, keys: &[u64], vals: &[u64], next:
             codec::put_u64(b, off, k);
             codec::put_u64(b, off + 8, v);
         }
-    });
+    })
+}
+
+fn try_write_internal(
+    pool: &BufferPool,
+    page: PageId,
+    keys: &[u64],
+    children: &[PageId],
+) -> StorageResult<()> {
+    assert_eq!(children.len(), keys.len() + 1);
+    assert!(keys.len() <= INT_CAP);
+    pool.try_write(page, |b| {
+        b[0] = 0;
+        codec::put_u16(b, 2, keys.len() as u16);
+        codec::put_u32(b, INT_CHILD0, children[0]);
+        for (i, (&k, &c)) in keys.iter().zip(&children[1..]).enumerate() {
+            let off = INT_CHILD0 + 4 + i * INT_ENTRY;
+            codec::put_u64(b, off, k);
+            codec::put_u32(b, off + 8, c);
+        }
+    })
 }
 
 #[cfg(test)]
@@ -542,6 +664,84 @@ mod tests {
         p.reset_stats();
         t.get(54_321);
         assert_eq!(p.stats().reads as u32, t.height(), "one access per level");
+    }
+
+    #[test]
+    fn cow_update_isolates_old_tree_and_shares_untouched_pages() {
+        let p = pool();
+        let t = BTree::bulk_load(Arc::clone(&p), (0..400_000u64).map(|k| (k, k)), 1.0);
+        assert!(t.height() >= 3);
+        let before = p.num_pages();
+
+        let updates: Vec<(u64, u64)> = vec![(54_321, 999), (54_322, 998)];
+        let t2 = t.cow_update_values(&updates).unwrap();
+
+        // The old tree still reads the old values; the new one the new.
+        assert_eq!(t.get(54_321), Some(54_321));
+        assert_eq!(t.get(54_322), Some(54_322));
+        assert_eq!(t2.get(54_321), Some(999));
+        assert_eq!(t2.get(54_322), Some(998));
+        assert_eq!(t2.get(54_320), Some(54_320), "untouched key visible");
+        assert_eq!(t2.len(), t.len());
+        assert_eq!(t2.height(), t.height());
+
+        // Both keys live in one leaf: exactly one path was copied.
+        assert_eq!(
+            p.num_pages() - before,
+            t.height(),
+            "CoW must allocate one page per level, sharing the rest"
+        );
+
+        // Full scans agree except at the updated keys.
+        let mut old_scan = Vec::new();
+        let mut new_scan = Vec::new();
+        t.range(54_000, 55_000, |k, v| old_scan.push((k, v)));
+        t2.range(54_000, 55_000, |k, v| new_scan.push((k, v)));
+        assert_eq!(old_scan.len(), new_scan.len());
+        for (o, n) in old_scan.iter().zip(&new_scan) {
+            assert_eq!(o.0, n.0);
+            match o.0 {
+                54_321 => assert_eq!(n.1, 999),
+                54_322 => assert_eq!(n.1, 998),
+                _ => assert_eq!(o.1, n.1),
+            }
+        }
+    }
+
+    #[test]
+    fn cow_update_of_absent_key_is_a_typed_error() {
+        let p = pool();
+        let t = BTree::bulk_load(Arc::clone(&p), (0..100u64).map(|k| (k * 2, k)), 1.0);
+        let err = t.cow_update_values(&[(3, 0)]).map(|_| ()).unwrap_err();
+        assert!(matches!(err, crate::error::StorageError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn cow_update_empty_is_a_no_op_alias() {
+        let p = pool();
+        let t = BTree::bulk_load(Arc::clone(&p), (0..100u64).map(|k| (k, k)), 1.0);
+        let before = p.num_pages();
+        let t2 = t.cow_update_values(&[]).unwrap();
+        assert_eq!(p.num_pages(), before);
+        assert_eq!(t2.root_page(), t.root_page());
+    }
+
+    #[test]
+    fn range_descent_does_not_depend_on_sibling_chain() {
+        // Corrupt every leaf's next pointer; range scans must not care.
+        let p = pool();
+        let t = BTree::bulk_load(Arc::clone(&p), (0..5_000u64).map(|k| (k, k + 1)), 0.8);
+        for page in 0..p.num_pages() {
+            let is_leaf = p.read(page, |b| b[0] == 1);
+            if is_leaf {
+                p.write(page, |b| codec::put_u32(b, 4, 0xDEAD_BEEF));
+            }
+        }
+        let mut got = Vec::new();
+        t.range(100, 4_900, |k, v| got.push((k, v)));
+        assert_eq!(got.len(), 4_801);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(got.iter().all(|&(k, v)| v == k + 1));
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct FaultConfig {
     /// non-retryable error (`None` disables). Models a device dropping
     /// dead mid-query.
     pub fail_reads_after: Option<u64>,
+    /// Kill switch for crash injection: the N-th durable write (pages,
+    /// WAL appends and root-slot writes all count) persists only a
+    /// deterministic prefix of its bytes and fails hard; every later
+    /// write or sync fails hard too (`None` disables). Models the process
+    /// dying at an arbitrary byte offset of an arbitrary write.
+    pub fail_writes_after: Option<u64>,
 }
 
 impl FaultConfig {
@@ -65,6 +71,78 @@ impl FaultConfig {
     pub fn with_fail_reads_after(mut self, n: u64) -> Self {
         self.fail_reads_after = Some(n);
         self
+    }
+
+    pub fn with_fail_writes_after(mut self, n: u64) -> Self {
+        self.fail_writes_after = Some(n);
+        self
+    }
+}
+
+/// Verdict of the [`KillSwitch`] for one durable write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteVerdict {
+    /// Persist the whole buffer and report success.
+    Full,
+    /// The crash point: persist only the first `n` bytes (possibly zero,
+    /// possibly all of them — a crash right after the write is also a
+    /// crash), then fail hard.
+    Torn(usize),
+    /// The process is already dead: persist nothing, fail hard.
+    Dead,
+}
+
+/// A shared kill-after-N-writes switch coordinating crash injection
+/// across every durable-write path of a store: page writes through the
+/// [`FaultInjector`], WAL appends and root-slot commits all draw their
+/// verdict from one monotone counter, so "crash at the N-th write" means
+/// the N-th write *anywhere*, not the N-th page write.
+///
+/// The torn prefix length of the killing write is a pure function of the
+/// seed and the counter, so a given (seed, N, workload) triple always
+/// crashes at the same byte offset — crash-recovery tests are replayable.
+#[derive(Debug)]
+pub struct KillSwitch {
+    seed: u64,
+    kill_after: u64,
+    ops: AtomicU64,
+}
+
+impl KillSwitch {
+    pub fn new(seed: u64, kill_after: u64) -> Arc<Self> {
+        Arc::new(KillSwitch {
+            seed,
+            kill_after,
+            ops: AtomicU64::new(0),
+        })
+    }
+
+    /// Draw the verdict for a durable write of `len` bytes, consuming one
+    /// unit of the write budget.
+    pub fn verdict(&self, len: usize) -> WriteVerdict {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        match op.cmp(&self.kill_after) {
+            std::cmp::Ordering::Less => WriteVerdict::Full,
+            std::cmp::Ordering::Equal => {
+                let k = (mix(self.seed ^ 0xC7A5_4B17, op) % (len as u64 + 1)) as usize;
+                WriteVerdict::Torn(k)
+            }
+            std::cmp::Ordering::Greater => WriteVerdict::Dead,
+        }
+    }
+
+    /// Whether the crash point has been reached (syncs and opens must
+    /// fail from here on).
+    pub fn is_dead(&self) -> bool {
+        self.ops.load(Ordering::SeqCst) > self.kill_after
+    }
+
+    /// The hard, non-retryable error every post-crash operation reports.
+    pub fn dead_error(&self) -> StorageError {
+        StorageError::Io(std::io::Error::other(format!(
+            "injected crash: process killed after {} durable writes",
+            self.kill_after
+        )))
     }
 }
 
@@ -127,15 +205,21 @@ pub struct FaultInjector {
     /// Monotone operation counter; with the seed it fully determines the
     /// fault stream.
     ops: AtomicU64,
+    /// Crash switch, present iff `fail_writes_after` is configured.
+    kill: Option<Arc<KillSwitch>>,
 }
 
 impl FaultInjector {
     pub fn new(inner: Box<dyn PageStore>, config: FaultConfig) -> Self {
+        let kill = config
+            .fail_writes_after
+            .map(|n| KillSwitch::new(config.seed, n));
         FaultInjector {
             inner,
             config,
             counters: Arc::new(FaultCounters::default()),
             ops: AtomicU64::new(0),
+            kill,
         }
     }
 
@@ -143,6 +227,12 @@ impl FaultInjector {
     /// into a buffer pool).
     pub fn counters(&self) -> Arc<FaultCounters> {
         Arc::clone(&self.counters)
+    }
+
+    /// Handle to the crash switch (for WAL and root-file writers that
+    /// must share the same write budget), if one is configured.
+    pub fn kill_switch(&self) -> Option<Arc<KillSwitch>> {
+        self.kill.clone()
     }
 
     /// Draw a deterministic uniform value in `[0, 1)` for this operation.
@@ -198,6 +288,26 @@ impl PageStore for FaultInjector {
 
     fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(ks) = &self.kill {
+            match ks.verdict(PAGE_SIZE) {
+                WriteVerdict::Full => {}
+                WriteVerdict::Torn(k) => {
+                    // Persist the first `k` bytes over the old content,
+                    // then die: the crash landed mid-write.
+                    let mut current = crate::page::zeroed_page();
+                    let _ = self.inner.read_page(id, &mut current);
+                    current[..k].copy_from_slice(&buf[..k]);
+                    let _ = self.inner.write_page(id, &current);
+                    self.counters.torn_writes.fetch_add(1, Ordering::Relaxed);
+                    self.counters.hard_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(ks.dead_error());
+                }
+                WriteVerdict::Dead => {
+                    self.counters.hard_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(ks.dead_error());
+                }
+            }
+        }
         if self.config.torn_write_rate > 0.0 && self.draw(0x7093) < self.config.torn_write_rate {
             // Persist only the first half over whatever is on disk, then
             // report success — the lie a torn sector write tells.
@@ -213,6 +323,12 @@ impl PageStore for FaultInjector {
     }
 
     fn allocate(&self) -> StorageResult<PageId> {
+        if let Some(ks) = &self.kill {
+            if ks.is_dead() {
+                self.counters.hard_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(ks.dead_error());
+            }
+        }
         self.inner.allocate()
     }
 
@@ -221,6 +337,12 @@ impl PageStore for FaultInjector {
     }
 
     fn sync(&self) -> StorageResult<()> {
+        if let Some(ks) = &self.kill {
+            if ks.is_dead() {
+                self.counters.hard_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(ks.dead_error());
+            }
+        }
         self.inner.sync()
     }
 }
@@ -340,6 +462,54 @@ mod tests {
             .sum();
         assert_eq!(differing_bits, 1);
         assert_eq!(counters.bit_flips(), 1);
+    }
+
+    #[test]
+    fn kill_switch_tears_the_nth_write_and_stays_dead() {
+        let store = store_with_pages(2);
+        let mut old = zeroed_page();
+        old.fill(0x11);
+        store.write_page(0, &old).unwrap();
+        store.write_page(1, &old).unwrap();
+        let inj = FaultInjector::new(store, FaultConfig::new(42).with_fail_writes_after(1));
+        let counters = inj.counters();
+        let ks = inj.kill_switch().expect("switch configured");
+        assert!(!ks.is_dead());
+
+        let mut new = zeroed_page();
+        new.fill(0x22);
+        inj.write_page(0, &new).unwrap(); // write 0: survives
+        let err = inj.write_page(1, &new).unwrap_err(); // write 1: crash
+        assert!(!err.is_retryable(), "a crash is not retryable");
+        assert!(ks.is_dead());
+
+        // The torn page holds a prefix of the new content over the old.
+        let mut on_disk = zeroed_page();
+        inj.read_page(1, &mut on_disk).unwrap();
+        let k = on_disk.iter().take_while(|&&b| b == 0x22).count();
+        assert!(on_disk[k..].iter().all(|&b| b == 0x11), "prefix then old");
+
+        // Everything durable after the crash point fails hard.
+        assert!(inj.write_page(0, &new).is_err());
+        assert!(inj.allocate().is_err());
+        assert!(inj.sync().is_err());
+        assert!(counters.hard_failures() >= 3);
+    }
+
+    #[test]
+    fn kill_switch_torn_offset_is_deterministic() {
+        let run = || {
+            let ks = KillSwitch::new(7, 2);
+            assert_eq!(ks.verdict(100), WriteVerdict::Full);
+            assert_eq!(ks.verdict(100), WriteVerdict::Full);
+            let v = ks.verdict(100);
+            assert_eq!(ks.verdict(100), WriteVerdict::Dead);
+            v
+        };
+        let a = run();
+        let b = run();
+        assert!(matches!(a, WriteVerdict::Torn(k) if k <= 100));
+        assert_eq!(a, b, "same seed and budget must tear at the same byte");
     }
 
     #[test]

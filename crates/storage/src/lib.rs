@@ -32,13 +32,15 @@ pub mod pack;
 pub mod page;
 pub mod stats;
 pub mod store;
+pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::BufferPool;
 pub use checksum::{crc32, Crc32Hasher};
 pub use error::{StorageError, StorageResult};
-pub use fault::{FaultConfig, FaultCounters, FaultInjector};
+pub use fault::{FaultConfig, FaultCounters, FaultInjector, KillSwitch, WriteVerdict};
 pub use heap::{HeapFile, PageView, RecordId};
 pub use page::{PageId, PAGE_DATA, PAGE_SIZE};
 pub use stats::{thread_reads, thread_retries, AccessStats, StatsSnapshot};
 pub use store::{FileStore, MemStore, PageStore};
+pub use wal::{RootFile, RootRecord, Wal, WalRecovery};

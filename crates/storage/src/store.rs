@@ -125,6 +125,45 @@ impl FileStore {
         })
     }
 
+    /// Open a store file that may carry a crash tail: a trailing partial
+    /// page (a page write died mid-sector) is rounded away by truncation
+    /// instead of rejecting the whole file. Committed pages are never in
+    /// the tail — the root file's `store_pages` bounds them — so this
+    /// loses only uncommitted copy-on-write garbage.
+    pub fn open_trimmed(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let whole = len - len % PAGE_SIZE as u64;
+        if whole != len {
+            file.set_len(whole)?;
+            file.sync_data()?;
+        }
+        Ok(FileStore {
+            file: Mutex::new(file),
+            num_pages: Mutex::new((whole / PAGE_SIZE as u64) as u32),
+        })
+    }
+
+    /// Shrink the store to exactly `n_pages` pages, discarding everything
+    /// beyond (uncommitted pages allocated by an edit that never reached
+    /// its commit point). Errors if the file is already shorter — the
+    /// committed state cannot be missing bytes.
+    pub fn truncate_to(&self, n_pages: u32) -> StorageResult<()> {
+        let mut n = self.num_pages.lock();
+        if *n < n_pages {
+            return Err(StorageError::ShortFile {
+                page: n_pages.saturating_sub(1),
+            });
+        }
+        if *n > n_pages {
+            let file = self.file.lock();
+            file.set_len(n_pages as u64 * PAGE_SIZE as u64)?;
+            file.sync_data()?;
+            *n = n_pages;
+        }
+        Ok(())
+    }
+
     /// Bounds check shared by reads and writes: seeking past EOF would
     /// silently read zeros / extend the file, so unallocated ids must be
     /// rejected before any positioning happens.

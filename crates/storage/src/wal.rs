@@ -1,0 +1,486 @@
+//! Write-ahead log and versioned root file for the crash-safe write path.
+//!
+//! Durability protocol (see DESIGN.md §11): an edit is first appended to
+//! the WAL and fsynced — from that instant it is *durable* and will be
+//! replayed on reopen. Only then are copy-on-write pages written, and the
+//! commit point is a single 64-byte root-slot write in [`RootFile`].
+//! A crash at any byte offset therefore leaves the store in exactly one
+//! of two states: pre-edit (WAL tail absent or torn — discarded) or
+//! post-edit (WAL entry complete — replayed).
+//!
+//! Both artifacts reuse the page-checksum CRC32 polynomial
+//! ([`crate::checksum::crc32`]), extending the one corruption-detection
+//! discipline to every durable byte the engine writes.
+//!
+//! ## WAL framing
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   "DMWL" (little-endian u32)
+//! 4       4     len     payload length in bytes
+//! 8       4     crc32   over the payload
+//! 12      len   payload opaque (the core layer owns the encoding)
+//! ```
+//!
+//! [`Wal::open`] scans records front to back; the first frame whose
+//! magic, length or CRC does not check out ends the valid prefix and the
+//! file is truncated there (torn-tail detection). A torn *tail* is the
+//! expected signature of a crash mid-append; a torn frame *followed by
+//! more bytes* would mean silent data corruption, but since appends are
+//! strictly sequential it cannot arise from any crash and is treated the
+//! same way — everything from the first bad byte on is discarded.
+//!
+//! ## Root file
+//!
+//! Two fixed 64-byte slots at offsets 0 and 64. A commit for epoch `e`
+//! writes slot `e % 2`, so the previous root is never overwritten by the
+//! write that supersedes it: if the 64-byte slot write itself tears, its
+//! CRC fails and [`RootFile::open`] falls back to the other slot — the
+//! atomic double-root swap.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic         "DMRT" (little-endian u32)
+//! 4       8     epoch         commit sequence number, starts at 1
+//! 12      4     catalog_page  catalog chain head for this epoch
+//! 16      4     store_pages   allocated page count at commit time
+//! 20      40    reserved      zero
+//! 60      4     crc32         over bytes 0..60
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::checksum::crc32;
+use crate::error::{StorageError, StorageResult};
+use crate::fault::{KillSwitch, WriteVerdict};
+use crate::page::PageId;
+
+/// WAL frame magic: `b"DMWL"` as a little-endian u32.
+pub const WAL_MAGIC: u32 = u32::from_le_bytes(*b"DMWL");
+/// WAL frame header size (magic + len + crc).
+pub const WAL_HEADER: usize = 12;
+/// Hard cap on a single WAL payload; a corrupt length prefix must not
+/// make recovery allocate gigabytes.
+pub const WAL_MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Root slot magic: `b"DMRT"` as a little-endian u32.
+pub const ROOT_MAGIC: u32 = u32::from_le_bytes(*b"DMRT");
+/// Size of one root slot; the file holds exactly two.
+pub const ROOT_SLOT: usize = 64;
+
+/// One committed store version: which catalog chain is live and how many
+/// pages the store file held when it was committed (pages beyond that are
+/// uncommitted copy-on-write garbage after a crash).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RootRecord {
+    /// Commit sequence number; the first committed edit is epoch 1.
+    pub epoch: u64,
+    /// Head page of the live catalog chain.
+    pub catalog_page: PageId,
+    /// Allocated page count of the store file at commit time.
+    pub store_pages: u32,
+}
+
+impl RootRecord {
+    fn encode(&self) -> [u8; ROOT_SLOT] {
+        let mut slot = [0u8; ROOT_SLOT];
+        slot[0..4].copy_from_slice(&ROOT_MAGIC.to_le_bytes());
+        slot[4..12].copy_from_slice(&self.epoch.to_le_bytes());
+        slot[12..16].copy_from_slice(&self.catalog_page.to_le_bytes());
+        slot[16..20].copy_from_slice(&self.store_pages.to_le_bytes());
+        let crc = crc32(&slot[..ROOT_SLOT - 4]);
+        slot[ROOT_SLOT - 4..].copy_from_slice(&crc.to_le_bytes());
+        slot
+    }
+
+    fn decode(slot: &[u8]) -> Option<RootRecord> {
+        if slot.len() < ROOT_SLOT {
+            return None;
+        }
+        let stored = u32::from_le_bytes(slot[ROOT_SLOT - 4..ROOT_SLOT].try_into().unwrap());
+        if stored != crc32(&slot[..ROOT_SLOT - 4]) {
+            return None;
+        }
+        if u32::from_le_bytes(slot[0..4].try_into().unwrap()) != ROOT_MAGIC {
+            return None;
+        }
+        Some(RootRecord {
+            epoch: u64::from_le_bytes(slot[4..12].try_into().unwrap()),
+            catalog_page: u32::from_le_bytes(slot[12..16].try_into().unwrap()),
+            store_pages: u32::from_le_bytes(slot[16..20].try_into().unwrap()),
+        })
+    }
+}
+
+/// The two-slot versioned root file.
+pub struct RootFile {
+    file: File,
+    kill: Option<Arc<KillSwitch>>,
+}
+
+impl RootFile {
+    /// Open (or create) the root file at `path` and return the newest
+    /// valid committed root, or `None` when no commit has ever succeeded
+    /// (a legacy batch-built store: catalog at page 0, epoch 0).
+    pub fn open(path: &Path) -> io::Result<(RootFile, Option<RootRecord>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        // Pick the valid slot with the highest epoch: the slot being
+        // written when a crash hit fails its CRC, so the other one wins.
+        let root = [0, ROOT_SLOT]
+            .iter()
+            .filter_map(|&off| bytes.get(off..off + ROOT_SLOT).and_then(RootRecord::decode))
+            .max_by_key(|r| r.epoch);
+        Ok((RootFile { file, kill: None }, root))
+    }
+
+    /// Attach a crash switch: subsequent commits draw from its budget.
+    pub fn with_kill_switch(mut self, kill: Option<Arc<KillSwitch>>) -> Self {
+        self.kill = kill;
+        self
+    }
+
+    /// Durably publish `rec` as the new root. This is the commit point:
+    /// on return the epoch is visible to every future open.
+    pub fn commit(&mut self, rec: &RootRecord) -> StorageResult<()> {
+        let slot = rec.encode();
+        let off = ((rec.epoch % 2) as usize * ROOT_SLOT) as u64;
+        let n = match self.kill.as_ref().map(|k| k.verdict(ROOT_SLOT)) {
+            None | Some(WriteVerdict::Full) => ROOT_SLOT,
+            Some(WriteVerdict::Torn(k)) => k,
+            Some(WriteVerdict::Dead) => {
+                return Err(self.kill.as_ref().unwrap().dead_error());
+            }
+        };
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(&slot[..n])?;
+        self.file.sync_data()?;
+        if n < ROOT_SLOT {
+            return Err(self.kill.as_ref().unwrap().dead_error());
+        }
+        Ok(())
+    }
+}
+
+/// An entry recovered from the WAL by [`Wal::open`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalEntry {
+    pub payload: Vec<u8>,
+}
+
+/// What [`Wal::open`] found on disk.
+pub struct WalRecovery {
+    /// Complete, CRC-verified entries in append order.
+    pub entries: Vec<WalEntry>,
+    /// Whether a torn tail was detected and truncated away.
+    pub torn_tail: bool,
+}
+
+/// The append-only write-ahead log.
+pub struct Wal {
+    file: File,
+    kill: Option<Arc<KillSwitch>>,
+}
+
+impl Wal {
+    /// Open (or create) the WAL at `path`, returning the valid entry
+    /// prefix and truncating any torn tail.
+    pub fn open(path: &Path) -> io::Result<(Wal, WalRecovery)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        while let Some(frame) = bytes.get(pos..pos + WAL_HEADER) {
+            if u32::from_le_bytes(frame[0..4].try_into().unwrap()) != WAL_MAGIC {
+                break;
+            }
+            let len = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+            if len > WAL_MAX_PAYLOAD {
+                break;
+            }
+            let stored = u32::from_le_bytes(frame[8..12].try_into().unwrap());
+            let Some(payload) = bytes.get(pos + WAL_HEADER..pos + WAL_HEADER + len as usize) else {
+                break;
+            };
+            if crc32(payload) != stored {
+                break;
+            }
+            entries.push(WalEntry {
+                payload: payload.to_vec(),
+            });
+            pos += WAL_HEADER + len as usize;
+        }
+        let torn_tail = pos < bytes.len();
+        if torn_tail {
+            file.set_len(pos as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((Wal { file, kill: None }, WalRecovery { entries, torn_tail }))
+    }
+
+    /// Attach a crash switch: subsequent appends draw from its budget.
+    pub fn with_kill_switch(mut self, kill: Option<Arc<KillSwitch>>) -> Self {
+        self.kill = kill;
+        self
+    }
+
+    /// Append one framed entry. Not durable until [`Wal::sync`] returns.
+    pub fn append(&mut self, payload: &[u8]) -> StorageResult<()> {
+        if payload.len() as u64 > WAL_MAX_PAYLOAD as u64 {
+            return Err(StorageError::RecordTooLarge {
+                len: payload.len(),
+                max: WAL_MAX_PAYLOAD as usize,
+            });
+        }
+        let mut frame = Vec::with_capacity(WAL_HEADER + payload.len());
+        frame.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let n = match self.kill.as_ref().map(|k| k.verdict(frame.len())) {
+            None | Some(WriteVerdict::Full) => frame.len(),
+            Some(WriteVerdict::Torn(k)) => k,
+            Some(WriteVerdict::Dead) => {
+                return Err(self.kill.as_ref().unwrap().dead_error());
+            }
+        };
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(&frame[..n])?;
+        if n < frame.len() {
+            // The crash landed mid-append; make the torn prefix visible
+            // to recovery exactly as a real crash would.
+            let _ = self.file.sync_data();
+            return Err(self.kill.as_ref().unwrap().dead_error());
+        }
+        Ok(())
+    }
+
+    /// Make all appended entries durable.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        if let Some(ks) = &self.kill {
+            if ks.is_dead() {
+                return Err(ks.dead_error());
+            }
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Discard every entry (called after the commit point: the edit is
+    /// now owned by the committed root, not the log).
+    pub fn reset(&mut self) -> StorageResult<()> {
+        if let Some(ks) = &self.kill {
+            if ks.is_dead() {
+                return Err(ks.dead_error());
+            }
+        }
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.file.seek(SeekFrom::Start(0))?;
+        Ok(())
+    }
+}
+
+/// Conventional sibling paths for a store file's WAL and root file.
+pub fn wal_path(store: &Path) -> std::path::PathBuf {
+    let mut p = store.as_os_str().to_owned();
+    p.push(".wal");
+    std::path::PathBuf::from(p)
+}
+
+pub fn root_path(store: &Path) -> std::path::PathBuf {
+    let mut p = store.as_os_str().to_owned();
+    p.push(".root");
+    std::path::PathBuf::from(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dm_wal_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn wal_roundtrip_and_reset() {
+        let path = tmp("rt");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, rec) = Wal::open(&path).unwrap();
+        assert!(rec.entries.is_empty() && !rec.torn_tail);
+        wal.append(b"first edit").unwrap();
+        wal.append(b"second edit").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (mut wal, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.entries.len(), 2);
+        assert_eq!(rec.entries[0].payload, b"first edit");
+        assert_eq!(rec.entries[1].payload, b"second edit");
+        assert!(!rec.torn_tail);
+        wal.reset().unwrap();
+        drop(wal);
+
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert!(rec.entries.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wal_truncates_torn_tail_at_every_cut() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"complete entry").unwrap();
+        wal.append(b"doomed entry with a longer payload").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        let first_len = WAL_HEADER + b"complete entry".len();
+
+        for cut in first_len..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, rec) = Wal::open(&path).unwrap();
+            assert_eq!(rec.entries.len(), 1, "cut at {cut}");
+            assert_eq!(rec.entries[0].payload, b"complete entry");
+            assert_eq!(rec.torn_tail, cut != first_len, "cut at {cut}");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                first_len as u64,
+                "tail must be truncated away (cut at {cut})"
+            );
+        }
+        // Cuts inside the first frame lose everything.
+        for cut in [1, 4, WAL_HEADER, first_len - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, rec) = Wal::open(&path).unwrap();
+            assert!(rec.entries.is_empty(), "cut at {cut}");
+            assert!(rec.torn_tail);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wal_rejects_corrupt_payload() {
+        let path = tmp("crc");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"checksummed").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert!(rec.entries.is_empty());
+        assert!(rec.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn root_double_slot_swap_survives_torn_commit() {
+        let path = tmp("root");
+        std::fs::remove_file(&path).ok();
+        let (mut root, cur) = RootFile::open(&path).unwrap();
+        assert!(cur.is_none(), "fresh root file has no committed epoch");
+        let e1 = RootRecord {
+            epoch: 1,
+            catalog_page: 7,
+            store_pages: 100,
+        };
+        root.commit(&e1).unwrap();
+        let e2 = RootRecord {
+            epoch: 2,
+            catalog_page: 19,
+            store_pages: 120,
+        };
+        root.commit(&e2).unwrap();
+        drop(root);
+        let (_, cur) = RootFile::open(&path).unwrap();
+        assert_eq!(cur, Some(e2), "newest valid epoch wins");
+
+        // Tear the epoch-3 slot write at every byte offset: epoch 3 uses
+        // slot 1 (3 % 2), the same slot epoch 1 used, so a torn write
+        // must fall back to epoch 2 in slot 0 — never to epoch 1.
+        let e3 = RootRecord {
+            epoch: 3,
+            catalog_page: 33,
+            store_pages: 140,
+        };
+        let slot3 = e3.encode();
+        let base = std::fs::read(&path).unwrap();
+        for cut in 0..=ROOT_SLOT {
+            let mut bytes = base.clone();
+            bytes[ROOT_SLOT..ROOT_SLOT + cut].copy_from_slice(&slot3[..cut]);
+            std::fs::write(&path, &bytes).unwrap();
+            let (_, cur) = RootFile::open(&path).unwrap();
+            let expect = if cut == ROOT_SLOT { e3 } else { e2 };
+            assert_eq!(cur, Some(expect), "torn commit at byte {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kill_switch_gates_wal_and_root_writes() {
+        use crate::fault::KillSwitch;
+        let path = tmp("kill");
+        std::fs::remove_file(&path).ok();
+        let ks = KillSwitch::new(11, 1);
+        let (wal, _) = Wal::open(&path).unwrap();
+        let mut wal = wal.with_kill_switch(Some(Arc::clone(&ks)));
+        wal.append(b"survives").unwrap();
+        let err = wal.append(b"crashes").unwrap_err();
+        assert!(!err.is_retryable());
+        assert!(wal.sync().is_err(), "post-crash sync must fail");
+        assert!(wal.reset().is_err(), "post-crash reset must fail");
+        drop(wal);
+        // Recovery sees the durable prefix; the torn frame is discarded.
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.entries[0].payload, b"survives");
+        std::fs::remove_file(&path).ok();
+
+        let rpath = tmp("kill_root");
+        std::fs::remove_file(&rpath).ok();
+        let ks = KillSwitch::new(11, 0);
+        let (root, _) = RootFile::open(&rpath).unwrap();
+        let mut root = root.with_kill_switch(Some(ks));
+        let rec = RootRecord {
+            epoch: 1,
+            catalog_page: 3,
+            store_pages: 9,
+        };
+        assert!(root.commit(&rec).is_err(), "commit is the killed write");
+        drop(root);
+        let (_, cur) = RootFile::open(&rpath).unwrap();
+        assert!(
+            cur.is_none() || cur == Some(rec),
+            "torn commit recovers to no-epoch or the full epoch, never garbage"
+        );
+        std::fs::remove_file(&rpath).ok();
+    }
+
+    #[test]
+    fn sibling_paths() {
+        let store = Path::new("/tmp/world.dm");
+        assert_eq!(wal_path(store), Path::new("/tmp/world.dm.wal"));
+        assert_eq!(root_path(store), Path::new("/tmp/world.dm.root"));
+    }
+}

@@ -66,6 +66,36 @@ print("size-regression guard ok: " +
       ", ".join(f"{k}={v:.2f}" for k, v, _, _ in checks))
 PY
 
+echo "== edits bench smoke (live write path, tiny terrain)"
+# The bench itself asserts the injected crash fails the edit and that
+# exactly one WAL entry is replayed on the recovering reopen; anchored
+# output keeps smoke runs from clobbering the committed BENCH_edits.json.
+DM_SCALE=ci DM_EDITS_OUT="$PWD/target/BENCH_edits.ci.json" \
+    cargo bench -p dm-bench --bench edits >/dev/null
+
+echo "== crash-recovery smoke (patch --kill-after / recover / verify / query equality)"
+# Two byte-identical stores get the same edit: one cleanly, one dying
+# mid-commit (the store is killed after one durable write). After
+# `dm recover` replays the WAL tail, both must scrub clean and answer
+# queries identically.
+CRASH_DIR=$(mktemp -d "${TMPDIR:-/tmp}/dm-crash-smoke.XXXXXX")
+DM=target/release/dm
+"$DM" generate --kind mining --size 65 --seed 11 -o "$CRASH_DIR/t.dmh" >/dev/null
+"$DM" build "$CRASH_DIR/t.dmh" -o "$CRASH_DIR/a.dmdb" >/dev/null
+cp "$CRASH_DIR/a.dmdb" "$CRASH_DIR/b.dmdb"
+"$DM" patch "$CRASH_DIR/a.dmdb" --region 20,20,44,44 --raise 3.5 >/dev/null
+if "$DM" patch "$CRASH_DIR/b.dmdb" --region 20,20,44,44 --raise 3.5 --kill-after 1 \
+    >/dev/null 2>&1; then
+    echo "killed patch unexpectedly succeeded"; exit 1
+fi
+"$DM" recover "$CRASH_DIR/b.dmdb" >/dev/null
+"$DM" verify "$CRASH_DIR/a.dmdb" >/dev/null
+"$DM" verify "$CRASH_DIR/b.dmdb" >/dev/null
+diff <("$DM" query "$CRASH_DIR/a.dmdb" --keep 0.5) \
+     <("$DM" query "$CRASH_DIR/b.dmdb" --keep 0.5) \
+    || { echo "recovered store answers differently from the clean edit"; exit 1; }
+rm -rf "$CRASH_DIR"
+
 echo "== server bench smoke (loopback, tiny terrain)"
 # Asserts serial cold remote ≡ local inside the bench itself; anchored
 # output keeps smoke runs from clobbering the committed BENCH_server.json.

@@ -1,0 +1,142 @@
+//! Satellite robustness test: store files truncated **mid-page** — the
+//! classic crash/copy accident. Strict opens must fail with a typed
+//! error (never panic, never serve silently wrong data); degraded opens
+//! must serve exactly the surviving prefix, for both the v2 (flat) and
+//! v3 (compact) record codecs.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dm_core::record::RecordCodec;
+use dm_core::{DirectMeshDb, DmBuildOptions, DmRecord, IntegrityReport};
+use dm_geom::{Box3, Vec3};
+use dm_mtm::builder::{build_pm, PmBuildConfig};
+use dm_storage::{BufferPool, FileStore, PAGE_SIZE};
+use dm_terrain::{generate, TriMesh};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dm_trunc_{}_{name}.db", std::process::id()))
+}
+
+fn everywhere() -> Box3 {
+    Box3::new(
+        Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+    )
+}
+
+/// Build a file-backed database; returns its full record set and the
+/// total page count of the healthy file.
+fn build(path: &Path, codec: RecordCodec) -> (HashMap<u32, DmRecord>, u32) {
+    let _ = std::fs::remove_file(path);
+    let hf = generate::fractal_terrain(33, 33, 3);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+    let pool = Arc::new(BufferPool::new(
+        Box::new(FileStore::create(path).unwrap()),
+        2048,
+    ));
+    let db = DirectMeshDb::create_in(
+        Arc::clone(&pool),
+        &pm,
+        &DmBuildOptions {
+            codec,
+            ..DmBuildOptions::default()
+        },
+    );
+    let full: HashMap<u32, DmRecord> = db
+        .fetch_box(&everywhere())
+        .into_iter()
+        .map(|r| (r.node.id, r))
+        .collect();
+    (full, pool.num_pages())
+}
+
+/// Copy `src` to `dst`, keeping `keep` whole pages plus half of the next
+/// page — a truncation landing in the middle of a page.
+fn truncate_mid_page(src: &Path, dst: &Path, keep: u32) {
+    let _ = std::fs::remove_file(dst);
+    std::fs::copy(src, dst).unwrap();
+    let f = std::fs::OpenOptions::new().write(true).open(dst).unwrap();
+    f.set_len(u64::from(keep) * PAGE_SIZE as u64 + PAGE_SIZE as u64 / 2)
+        .unwrap();
+    f.sync_all().unwrap();
+}
+
+#[test]
+fn truncated_stores_fail_strict_opens_and_serve_surviving_prefix_degraded() {
+    for (codec, name) in [(RecordCodec::Flat, "v2"), (RecordCodec::Compact, "v3")] {
+        let src = tmp(&format!("src_{name}"));
+        let (full, total) = build(&src, codec);
+        assert!(total > 6, "store too small to truncate meaningfully");
+
+        // Cut just before the end (index pages lost, heap intact) and in
+        // the middle (heap pages lost too).
+        for (tag, keep) in [("tail", total - 1), ("mid", total * 3 / 5)] {
+            let cut = tmp(&format!("{tag}_{name}"));
+            truncate_mid_page(&src, &cut, keep);
+
+            // The raw store refuses the mid-page length outright.
+            assert!(
+                FileStore::open(&cut).is_err(),
+                "{name}/{tag}: mid-page file length must be rejected"
+            );
+
+            // A trimmed open succeeds at the store layer, but the strict
+            // database open must fail with a typed error: pages the
+            // catalog promises are gone.
+            let pool = Arc::new(BufferPool::new(
+                Box::new(FileStore::open_trimmed(&cut).unwrap()),
+                2048,
+            ));
+            let strict = DirectMeshDb::open(Arc::clone(&pool));
+            assert!(
+                strict.is_err(),
+                "{name}/{tag}: strict open of a truncated store must fail"
+            );
+
+            // The degraded open serves the surviving prefix: every record
+            // it returns is bit-identical to the healthy build's record.
+            let mut report = IntegrityReport::default();
+            let db = DirectMeshDb::open_degraded_at(pool, 0, &mut report)
+                .unwrap_or_else(|e| panic!("{name}/{tag}: degraded open failed: {e}"));
+            let mut fetch_report = IntegrityReport::default();
+            let got = db
+                .fetch_box_degraded(&everywhere(), &mut fetch_report)
+                .unwrap_or_else(|e| panic!("{name}/{tag}: degraded fetch failed: {e}"));
+            assert!(!got.is_empty(), "{name}/{tag}: surviving prefix is empty");
+            for r in &got {
+                assert_eq!(
+                    full.get(&r.node.id),
+                    Some(r),
+                    "{name}/{tag}: surviving record {} differs from the healthy build",
+                    r.node.id
+                );
+            }
+
+            if keep == total - 1 {
+                // Only index pages were lost: the heap survives whole, so
+                // the degraded view is complete (served via heap scan).
+                assert_eq!(
+                    got.len(),
+                    full.len(),
+                    "{name}/{tag}: heap is intact, no record may be lost"
+                );
+                assert!(db.rtree_lost(), "{name}/{tag}: index loss must be flagged");
+            } else {
+                // Heap pages were chopped: a strict subset survives and
+                // the loss is accounted, not hidden.
+                assert!(
+                    got.len() < full.len(),
+                    "{name}/{tag}: mid-store cut must lose records"
+                );
+                assert!(
+                    report.pages_lost > 0 || fetch_report.pages_lost > 0,
+                    "{name}/{tag}: lost pages must be reported"
+                );
+            }
+            let _ = std::fs::remove_file(&cut);
+        }
+        let _ = std::fs::remove_file(&src);
+    }
+}
