@@ -1,26 +1,46 @@
 //! Load generator for the dm-server network stack.
 //!
 //! Builds the mining dataset in memory, serves it over a loopback TCP
-//! socket with the bounded worker pool, and measures query throughput
-//! and latency percentiles at increasing client-side concurrency
-//! (1/2/4/8 client threads, each with its own connection).
+//! socket with the event-loop reactor + bounded worker pool, and
+//! measures query throughput and latency percentiles two ways:
 //!
-//! Before the load phase, one invariant is *asserted*, not reported:
-//! a serial, cold remote query stream must be byte-identical to the
-//! same queries executed locally — same canonical vertex/face sets,
-//! same fetched-record counts, and the same logical disk-access counts.
-//! The server holds a reference to the same database instance, so the
-//! cost metric of the paper is preserved end-to-end across the wire.
+//! * a **closed-loop sweep** at increasing client counts
+//!   (1/2/4/8/16/32 connections): each client issues serial roundtrips
+//!   with a fixed 20 ms think time between requests — the frame pacing
+//!   of an interactive terrain viewer. Low client counts are
+//!   latency-bound, high counts saturate the executor, so the curve
+//!   shows how far the fleet scales before the core is the limit,
+//! * a **pipelined peak** run: 8 connections, 8 requests in flight
+//!   each, zero think time — the saturation throughput of the reactor
+//!   (and the baseline for the stalled-reader comparison below). The
+//!   seed's blocking server measured 131 req/s on this dataset at 8
+//!   clients; this number is the direct successor.
+//!
+//! Two invariants are *asserted*, not just reported:
+//!
+//! * a serial, cold remote query stream must be byte-identical to the
+//!   same queries executed locally — same canonical vertex/face sets,
+//!   same fetched-record counts, and the same logical disk-access
+//!   counts. The server holds a reference to the same database
+//!   instance, so the cost metric of the paper is preserved end-to-end
+//!   across the wire,
+//! * a **stalled reader** — a connection with executed-but-unread
+//!   responses parked in its write queue — costs the rest of the fleet
+//!   less than 10% throughput. Under the old blocking write path a
+//!   single such peer could pin a worker for the full write deadline;
+//!   the event loop just parks the bytes and moves on.
 //!
 //! Results land in `BENCH_server.json` (override with `DM_SERVER_OUT`).
 
+use std::io::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dm_bench::{random_rois, Scale};
 use dm_core::{DirectMeshDb, DmBuildOptions, FetchCounters};
 use dm_mtm::builder::{build_pm, PmBuildConfig};
-use dm_net::{canonical_mesh, Client, QueryOpts};
+use dm_net::frame::write_frame;
+use dm_net::{canonical_mesh, Client, QueryOpts, Request};
 use dm_server::{Server, ServerConfig};
 use dm_storage::{thread_reads, BufferPool, MemStore};
 use dm_terrain::{generate, TriMesh};
@@ -34,12 +54,88 @@ struct Run {
     p99_us: u64,
 }
 
+impl Run {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.secs.max(1e-9)
+    }
+}
+
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
     }
     let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
     sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// How many requests each saturation-load connection keeps in flight.
+const PIPELINE_WINDOW: usize = 8;
+
+/// Think time between requests for the closed-loop viewer sweep.
+const THINK_MS: u64 = 20;
+
+/// `client_threads` connections, each pipelining warm VI queries with
+/// `window` requests in flight and sleeping `think_ms` between batches
+/// (window 1 with think time models a closed-loop interactive viewer;
+/// window 8 with zero think is saturation load). `total_requests` are
+/// spread across the connections. Per-request latency is the pipelined
+/// batch time divided by the batch size — think time is never counted.
+fn run_load(
+    addr: &str,
+    db: &DirectMeshDb,
+    client_threads: usize,
+    total_requests: usize,
+    avg_lod: f64,
+    window: usize,
+    think_ms: u64,
+) -> Run {
+    let per_thread = (total_requests / client_threads).max(1);
+    let t0 = Instant::now();
+    let lat_chunks: Vec<Vec<u64>> = std::thread::scope(|ls| {
+        let handles: Vec<_> = (0..client_threads)
+            .map(|t| {
+                ls.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let rois = random_rois(&db.bounds, 0.05, per_thread, 100 + t as u64);
+                    let warm = QueryOpts {
+                        cold: false,
+                        degraded: false,
+                    };
+                    let queries: Vec<(dm_geom::Rect, f64)> =
+                        rois.into_iter().map(|roi| (roi, avg_lod)).collect();
+                    let mut lat = Vec::with_capacity(queries.len());
+                    for chunk in queries.chunks(window) {
+                        let q0 = Instant::now();
+                        let meshes = c.vi_query_pipelined(warm, chunk, window).expect("load VI");
+                        let per_req = (q0.elapsed().as_micros() as u64) / chunk.len() as u64;
+                        for m in &meshes {
+                            assert!(m.report.is_clean(), "clean store answered degraded");
+                            lat.push(per_req);
+                        }
+                        if think_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(think_ms));
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let mut lat: Vec<u64> = lat_chunks.into_iter().flatten().collect();
+    lat.sort_unstable();
+    Run {
+        client_threads,
+        requests: lat.len(),
+        secs,
+        p50_us: percentile(&lat, 0.50),
+        p90_us: percentile(&lat, 0.90),
+        p99_us: percentile(&lat, 0.99),
+    }
 }
 
 fn main() {
@@ -60,19 +156,24 @@ fn main() {
 
     let avg_lod = db.e_for_points_fraction(0.25);
     let n_check = scale.locations.max(5);
-    let per_thread = (scale.locations * 4).max(20);
+    let total_requests = (scale.locations * 80).max(400);
     let check_rois = random_rois(&db.bounds, 0.05, n_check, 7);
 
+    let workers = 1;
     let config = ServerConfig {
-        workers: 8,
-        max_inflight: 16,
+        workers,
+        // Admission must not throttle the 32-client sweep point.
+        max_inflight: 64,
         ..ServerConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
     let addr = server.local_addr().expect("local addr").to_string();
 
     let mut runs: Vec<Run> = Vec::new();
+    let mut peak_run: Option<Run> = None;
     let mut verified = 0usize;
+    let mut slow_reader_rps = 0.0f64;
+    let mut baseline8_rps = 0.0f64;
     std::thread::scope(|s| {
         let server = &server;
         let db_ref = &db;
@@ -108,60 +209,99 @@ fn main() {
         }
         eprintln!("# remote ≡ local: {verified} serial cold queries bit-identical");
 
-        // --- Load phase: T client threads, each its own connection. ---
-        for client_threads in [1usize, 2, 4, 8] {
-            let t0 = Instant::now();
-            let lat_chunks: Vec<Vec<u64>> = std::thread::scope(|ls| {
-                let handles: Vec<_> = (0..client_threads)
-                    .map(|t| {
-                        let addr = addr.clone();
-                        ls.spawn(move || {
-                            let mut c = Client::connect(&addr).expect("connect");
-                            let rois =
-                                random_rois(&db_ref.bounds, 0.05, per_thread, 100 + t as u64);
-                            let warm = QueryOpts {
-                                cold: false,
-                                degraded: false,
-                            };
-                            let mut lat = Vec::with_capacity(rois.len());
-                            for roi in rois {
-                                let q0 = Instant::now();
-                                let m = c.vi_query(warm, roi, avg_lod).expect("load VI");
-                                lat.push(q0.elapsed().as_micros() as u64);
-                                assert!(m.report.is_clean(), "clean store answered degraded");
-                            }
-                            lat
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client"))
-                    .collect()
-            });
-            let secs = t0.elapsed().as_secs_f64();
-            let mut lat: Vec<u64> = lat_chunks.into_iter().flatten().collect();
-            lat.sort_unstable();
-            runs.push(Run {
+        // --- Closed-loop sweep: T viewers, 20 ms think time each. ---
+        for client_threads in [1usize, 2, 4, 8, 16, 32] {
+            // Latency-bound points need fewer requests to converge; keep
+            // every point under ~10 s of wall clock.
+            let total = total_requests.min(client_threads * 400);
+            let run = run_load(&addr, db_ref, client_threads, total, avg_lod, 1, THINK_MS);
+            eprintln!(
+                "# {:>2} viewers: {:.1} req/s ({} requests in {:.2}s)",
                 client_threads,
-                requests: lat.len(),
-                secs,
-                p50_us: percentile(&lat, 0.50),
-                p90_us: percentile(&lat, 0.90),
-                p99_us: percentile(&lat, 0.99),
-            });
+                run.rps(),
+                run.requests,
+                run.secs
+            );
+            runs.push(run);
         }
+
+        // --- Pipelined peak: 8 connections, 8 requests in flight each,
+        // no think time — the reactor's saturation throughput. ---
+        let peak = run_load(
+            &addr,
+            db_ref,
+            8,
+            total_requests,
+            avg_lod,
+            PIPELINE_WINDOW,
+            0,
+        );
+        baseline8_rps = peak.rps();
+        eprintln!(
+            "# pipelined peak (8 clients × window {PIPELINE_WINDOW}): {:.1} req/s (p50 {} µs, p99 {} µs)",
+            peak.rps(),
+            peak.p50_us,
+            peak.p99_us
+        );
+        peak_run = Some(peak);
+
+        // --- Stalled-reader scenario: one peer sends a handful of
+        // queries and then never reads a response byte. Its answers park
+        // in the per-connection write queue; the event loop must keep
+        // serving everyone else at effectively full speed. ---
+        let mut evil = std::net::TcpStream::connect(&addr).expect("evil connect");
+        let evil_req = Request::ViQuery {
+            opts: QueryOpts {
+                cold: false,
+                degraded: false,
+            },
+            roi: check_rois[0],
+            e: avg_lod,
+        };
+        let payload = evil_req.encode();
+        for _ in 0..16 {
+            write_frame(&mut evil, evil_req.kind(), &payload).expect("evil write");
+        }
+        evil.flush().ok();
+        // Let the stalled peer's queries execute *before* the timed
+        // window, so the measurement isolates the cost of its parked,
+        // unread responses rather than its one-off CPU use.
+        std::thread::sleep(Duration::from_millis(300));
+        let run = run_load(
+            &addr,
+            db_ref,
+            8,
+            total_requests,
+            avg_lod,
+            PIPELINE_WINDOW,
+            0,
+        );
+        slow_reader_rps = run.rps();
+        eprintln!(
+            "# 8 clients + stalled reader: {:.1} req/s (baseline {:.1})",
+            slow_reader_rps, baseline8_rps
+        );
+        assert!(
+            slow_reader_rps >= 0.9 * baseline8_rps,
+            "a stalled reader cost {:.1}% throughput (>{:.0}% budget): {slow_reader_rps:.1} vs {baseline8_rps:.1} req/s",
+            100.0 * (1.0 - slow_reader_rps / baseline8_rps),
+            10.0
+        );
+        drop(evil);
 
         let mut shut = Client::connect(&addr).expect("connect");
         shut.shutdown_server().expect("shutdown");
         let stats = handle.join().expect("server thread");
         eprintln!(
-            "# server drained: {} connections, {} requests, {} errors, {} overloaded",
-            stats.connections, stats.requests, stats.errors, stats.overloaded
+            "# server drained: {} connections, {} requests, {} errors, {} overloaded, {} slow disconnects",
+            stats.connections, stats.requests, stats.errors, stats.overloaded, stats.slow_disconnects
         );
     });
 
-    println!("\n## Server throughput — VI queries over loopback TCP, 8 workers");
+    println!(
+        "\n## Server throughput — VI queries over loopback TCP, {workers} worker, \
+         closed-loop viewers ({THINK_MS} ms think time)"
+    );
     println!(
         "{}",
         dm_bench::row(
@@ -178,12 +318,28 @@ fn main() {
     );
     let mut json = String::from("{\n  \"bench\": \"server\",\n");
     json.push_str(&format!("  \"dataset\": \"mining-{side}\",\n"));
-    json.push_str("  \"server_workers\": 8,\n");
+    json.push_str(&format!("  \"server_workers\": {workers},\n"));
+    json.push_str(&format!("  \"sweep_think_ms\": {THINK_MS},\n"));
     json.push_str(&format!("  \"verified_cold_queries\": {verified},\n"));
     json.push_str("  \"remote_equals_local\": true,\n");
+    json.push_str(&format!(
+        "  \"stalled_reader\": {{\"baseline_8_clients_rps\": {baseline8_rps:.2}, \
+         \"with_stalled_reader_rps\": {slow_reader_rps:.2}, \"overhead_pct\": {:.2}}},\n",
+        100.0 * (1.0 - slow_reader_rps / baseline8_rps.max(1e-9))
+    ));
+    if let Some(p) = &peak_run {
+        json.push_str(&format!(
+            "  \"pipelined_peak\": {{\"client_threads\": 8, \"pipeline_window\": {PIPELINE_WINDOW}, \
+             \"requests_per_sec\": {:.2}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}},\n",
+            p.rps(),
+            p.p50_us,
+            p.p90_us,
+            p.p99_us
+        ));
+    }
     json.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
-        let rps = r.requests as f64 / r.secs.max(1e-9);
+        let rps = r.rps();
         println!(
             "{}",
             dm_bench::row(

@@ -136,17 +136,24 @@ network service:
   stats <db.dmdb>       structural summary (catalog version, codec,
                         record/page/index-node counts)
   serve <db.dmdb> [--addr host:port] [--workers <n>] [--max-inflight <n>]
+                  [--max-pipeline <n>] [--write-budget <bytes>]
                   [--port-file <file>]
                         serve the database over TCP (the dm-net binary
-                        protocol); --addr defaults to 127.0.0.1:0 and
-                        --port-file records the bound address for scripts
+                        protocol) on an event-loop reactor; --addr
+                        defaults to 127.0.0.1:0 and --port-file records
+                        the bound address for scripts; --max-pipeline
+                        and --write-budget bound one connection's queued
+                        requests and unread response bytes
   remote-query --addr <host:port> [--keep <frac> | --lod <e>]
                [--roi ...] [--batch <n>] [--threads <n>] [--cold]
-               [--degraded] [--verify-local <db.dmdb>] [-o mesh.obj]
+               [--pipeline <window>] [--degraded]
+               [--verify-local <db.dmdb>] [-o mesh.obj]
                         run VI queries against a server; --cold asks the
                         server to flush first (paper-protocol
-                        measurement), --verify-local re-runs locally and
-                        asserts byte-identical results
+                        measurement), --pipeline keeps a window of
+                        requests in flight on one connection,
+                        --verify-local re-runs locally and asserts
+                        byte-identical results
   remote-walkthrough --addr <host:port> [--frames <n>] [--window <frac>]
                [--near-keep <f>] [--far-keep <f>] [--policy ...]
                [--max-cubes <n>] [--full] [--degraded]
@@ -754,25 +761,37 @@ fn cmd_serve(args: Args) -> Result<(), String> {
     let path = args.positional(0)?;
     let db = open_db(path, &args)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let defaults = dm_server::ServerConfig::default();
     let config = dm_server::ServerConfig {
-        workers: args.parse_or("workers", 4)?,
-        max_inflight: args.parse_or("max-inflight", 8)?,
-        ..dm_server::ServerConfig::default()
+        workers: args.parse_or("workers", defaults.workers)?,
+        max_inflight: args.parse_or("max-inflight", defaults.max_inflight)?,
+        // Per-connection byte budget for queued-but-unread responses;
+        // a reader that falls further behind is disconnected.
+        write_budget: args.parse_or("write-budget", defaults.write_budget)?,
+        // How many pipelined requests one connection may have queued
+        // before the reactor stops reading from it (backpressure).
+        max_pipeline: args.parse_or("max-pipeline", defaults.max_pipeline)?,
+        ..defaults
     };
     let server =
         dm_server::Server::bind(addr, config.clone()).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "serving {path} on {bound} ({} workers, {} max in-flight)",
-        config.workers, config.max_inflight
+        "serving {path} on {bound} ({} workers, {} max in-flight, {} max pipeline, {} B write budget)",
+        config.workers, config.max_inflight, config.max_pipeline, config.write_budget
     );
     if let Some(pf) = args.get("port-file") {
         std::fs::write(pf, format!("{bound}\n")).map_err(|e| format!("{pf}: {e}"))?;
     }
     let stats = server.serve(&db).map_err(|e| e.to_string())?;
     println!(
-        "server drained: {} connections, {} requests, {} errors, {} overloaded",
-        stats.connections, stats.requests, stats.errors, stats.overloaded
+        "server drained: {} connections, {} requests, {} errors, {} overloaded, {} slow, {} stalled",
+        stats.connections,
+        stats.requests,
+        stats.errors,
+        stats.overloaded,
+        stats.slow_disconnects,
+        stats.stalled_disconnects
     );
     Ok(())
 }
@@ -869,6 +888,43 @@ fn cmd_remote_query(args: Args) -> Result<(), String> {
     };
     let threads: u32 = args.parse_or("threads", 1)?;
     let batch: usize = args.parse_or("batch", 0)?;
+    let pipeline: usize = args.parse_or("pipeline", 1)?;
+
+    if pipeline > 1 {
+        // Client-side pipelining: sub-queries stream down one connection
+        // with `pipeline` requests in flight (contrast --batch, which
+        // sends one request the server fans out across its workers).
+        let grid = if batch > 1 { batch } else { 4 };
+        let queries: Vec<(Rect, f64)> = roi_grid(&roi, grid).into_iter().map(|r| (r, e)).collect();
+        let items = client
+            .vi_query_pipelined(opts, &queries, pipeline)
+            .map_err(|e| e.to_string())?;
+        let points: usize = items.iter().map(|m| m.vertices.len()).sum();
+        let triangles: usize = items.iter().map(|m| m.faces.len()).sum();
+        let fetched: u64 = items.iter().map(|m| m.fetched_records).sum();
+        let disk: u64 = items.iter().map(|m| m.disk_accesses).sum();
+        println!(
+            "remote pipelined {grid}×{grid} at LOD {e:.4} (window {pipeline}): \
+             {points} points, {triangles} triangles, {fetched} records fetched, \
+             {disk} disk accesses"
+        );
+        if let Some(db_path) = args.get("verify-local") {
+            let db = open_db(db_path, &args)?;
+            if opts.cold {
+                db.try_cold_start().map_err(|e| e.to_string())?;
+            }
+            for (i, ((roi, e), item)) in queries.iter().zip(&items).enumerate() {
+                let (res, _report) = db.try_vi_query(roi, *e).map_err(|e| e.to_string())?;
+                let (lv, lf) = dm_net::canonical_mesh(&res.front);
+                mesh_matches(&format!("pipelined item {i}"), item, &lv, &lf)?;
+            }
+            println!(
+                "remote ≡ local: {} pipelined sub-queries verified",
+                items.len()
+            );
+        }
+        return Ok(());
+    }
 
     if batch > 1 {
         let queries: Vec<(Rect, f64)> = roi_grid(&roi, batch).into_iter().map(|r| (r, e)).collect();

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::hash::BuildHasher;
 
-use dm_geom::tri::{angle_around, orient2d};
+use dm_geom::tri::orient2d;
 use dm_geom::Vec2;
 use fxhash::FxHashMap;
 
@@ -26,30 +26,145 @@ pub fn extract_faces<S1: BuildHasher, S2: BuildHasher>(
     pos: &HashMap<u32, Vec2, S1>,
     adj: &HashMap<u32, Vec<u32>, S2>,
 ) -> Vec<[u32; 3]> {
-    // CCW-sorted neighbour ring of every vertex, then successor map:
-    // next[(v, a)] = neighbour following `a` counter-clockwise around `v`.
-    let mut next: FxHashMap<(u32, u32), u32> = FxHashMap::default();
-    let mut sorted: FxHashMap<u32, Vec<u32>> =
-        FxHashMap::with_capacity_and_hasher(adj.len(), Default::default());
-    for (&v, neigh) in adj {
-        let pv = pos[&v];
-        let mut ring: Vec<u32> = neigh.clone();
-        ring.retain(|n| pos.contains_key(n));
-        ring.sort_by(|&a, &b| {
-            angle_around(pv, pos[&a])
-                .partial_cmp(&angle_around(pv, pos[&b]))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let l = ring.len();
-        for i in 0..l {
-            next.insert((v, ring[i]), ring[(i + 1) % l]);
+    // Densify over the *position* key set: `pos` may be a superset of
+    // `adj`'s keys (the navigation splice supplies rings only for the
+    // dirty neighbourhood K but positions for K plus its ring members,
+    // and those ring-only vertices must still occupy their angular slot
+    // in K's rings). Ids are sorted so dense-index comparisons agree
+    // with id comparisons (the emission rule relies on this).
+    let mut ids: Vec<u32> = pos.keys().copied().collect();
+    ids.sort_unstable();
+    let index_of: FxHashMap<u32, u32> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let dense_pos: Vec<Vec2> = ids.iter().map(|v| pos[v]).collect();
+    let mut dense = DenseAdjacency::with_capacity(ids.len());
+    for &v in &ids {
+        // Neighbours without a position are dropped (historically
+        // `ring.retain(pos.contains_key)`); vertices without an adjacency
+        // entry get an empty ring, which can anchor no triangle — exactly
+        // the old successor-map misses.
+        match adj.get(&v) {
+            Some(neigh) => dense.push_vertex(neigh.iter().filter_map(|n| index_of.get(n).copied())),
+            None => dense.push_vertex(std::iter::empty()),
         }
-        sorted.insert(v, ring);
+    }
+    extract_faces_dense_owned(&dense_pos, dense)
+        .into_iter()
+        .map(|[a, b, c]| [ids[a as usize], ids[b as usize], ids[c as usize]])
+        .collect()
+}
+
+/// Flat CSR adjacency over dense vertex indices `0..n` — the
+/// allocation-free input form of [`extract_faces_dense`]. Build it by
+/// pushing each vertex's (unsorted, pre-filtered) neighbour list in
+/// dense-index order.
+#[derive(Clone, Debug, Default)]
+pub struct DenseAdjacency {
+    starts: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl DenseAdjacency {
+    pub fn with_capacity(vertices: usize) -> DenseAdjacency {
+        let mut starts = Vec::with_capacity(vertices + 1);
+        starts.push(0);
+        DenseAdjacency {
+            starts,
+            neighbors: Vec::with_capacity(vertices * 6),
+        }
     }
 
+    /// Append the next vertex's neighbour list (dense indices).
+    pub fn push_vertex(&mut self, neighbors: impl IntoIterator<Item = u32>) {
+        self.neighbors.extend(neighbors);
+        self.starts.push(self.neighbors.len() as u32);
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    fn ring(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.starts[v] as usize..self.starts[v + 1] as usize]
+    }
+
+    fn ring_mut(&mut self, v: usize) -> &mut [u32] {
+        &mut self.neighbors[self.starts[v] as usize..self.starts[v + 1] as usize]
+    }
+}
+
+/// Monotone surrogate for the CCW angle in `[0, 2π)` around the +x axis:
+/// strictly increasing in the true angle and with the same branch cut, so
+/// sorting by it yields exactly the order `atan2` would — without a
+/// transcendental call per comparison.
+#[inline]
+fn pseudo_angle(d: Vec2) -> f64 {
+    let denom = d.x.abs() + d.y.abs();
+    if denom == 0.0 {
+        return 0.0; // matches atan2(0, 0) == 0
+    }
+    let p = d.x / denom; // in [-1, 1]
+    if d.y < 0.0 {
+        3.0 + p // (π, 2π)
+    } else {
+        1.0 - p // [0, π]
+    }
+}
+
+/// [`extract_faces`] on dense vertex indices: `pos[i]` is vertex `i`'s
+/// plan position, `adj` its neighbour ring (entries must be `< pos.len()`
+/// and symmetric). The hot path of every query-result assembly — no
+/// hashing, no per-vertex allocation.
+///
+/// Faces come out deterministically ordered by (smallest corner, ring
+/// position); each is emitted CCW at its smallest corner index.
+pub fn extract_faces_dense(pos: &[Vec2], adj: &DenseAdjacency) -> Vec<[u32; 3]> {
+    extract_faces_dense_owned(pos, adj.clone())
+}
+
+/// [`extract_faces_dense`] taking the adjacency by value — rings are
+/// sorted in place, skipping the defensive clone. Callers that build the
+/// adjacency per query (every serve-path assembly) use this directly.
+pub fn extract_faces_dense_owned(pos: &[Vec2], mut sorted: DenseAdjacency) -> Vec<[u32; 3]> {
+    let n = sorted.num_vertices();
+    debug_assert_eq!(n, pos.len());
+    // Sort every ring CCW. Keys are computed once per neighbour into a
+    // reused scratch of (angle, vertex) pairs — comparisons then cost a
+    // float compare instead of two pseudo-angle evaluations.
+    let mut keyed: Vec<(f64, u32)> = Vec::new();
+    for v in 0..n {
+        let pv = pos[v];
+        let ring = sorted.ring_mut(v);
+        if ring.len() < 2 {
+            continue;
+        }
+        keyed.clear();
+        keyed.extend(
+            ring.iter()
+                .map(|&u| (pseudo_angle(pos[u as usize] - pv), u)),
+        );
+        keyed.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (slot, &(_, u)) in ring.iter_mut().zip(keyed.iter()) {
+            *slot = u;
+        }
+    }
+    // next(v, a) = neighbour following `a` counter-clockwise around `v`,
+    // found by scanning v's (tiny) sorted ring instead of a global
+    // (v, a) → b hash map.
+    let next = |v: u32, a: u32| -> Option<u32> {
+        let ring = sorted.ring(v as usize);
+        ring.iter()
+            .position(|&x| x == a)
+            .map(|i| ring[(i + 1) % ring.len()])
+    };
+
     let mut out = Vec::new();
-    for (&v, ring) in &sorted {
-        let pv = pos[&v];
+    for v in 0..n as u32 {
+        let ring = sorted.ring(v as usize);
+        let pv = pos[v as usize];
         let l = ring.len();
         if l < 2 {
             continue;
@@ -63,12 +178,12 @@ pub fn extract_faces<S1: BuildHasher, S2: BuildHasher>(
             }
             // The candidate triangle (v, a, b) must be consistent around
             // all three corners ...
-            if next.get(&(a, b)) != Some(&v) || next.get(&(b, v)) != Some(&a) {
+            if next(a, b) != Some(v) || next(b, v) != Some(a) {
                 continue;
             }
             // ... counter-clockwise ...
-            let pa = pos[&a];
-            let pb = pos[&b];
+            let pa = pos[a as usize];
+            let pb = pos[b as usize];
             if orient2d(pv, pa, pb) <= 0.0 {
                 continue;
             }

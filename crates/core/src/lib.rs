@@ -63,7 +63,7 @@ pub mod verify;
 pub use live::{LiveDb, LiveOptions, PatchStats, RecoveryInfo};
 pub use navigation::{FrameStats, NavigationSession};
 pub use parallel::{vd_query_batch, vi_query_batch};
-pub use query::{BoundaryPolicy, ElevationStats, VdQuery, VdResult, ViResult};
+pub use query::{BoundaryPolicy, ElevationStats, VdQuery, VdResult, ViFlatResult, ViResult};
 pub use record::DmRecord;
 pub use store::{
     DbStats, DirectMeshDb, DmBuildOptions, EditOp, FetchCounters, IntegrityReport, PatchOutcome,

@@ -1,5 +1,7 @@
 //! The three Direct Mesh query algorithms and the multi-base optimizer.
 
+use std::cell::RefCell;
+
 use dm_geom::{Box3, Rect, Vec2};
 use dm_mtm::refine::{refine, FrontMesh, LodTarget, RecordSource, RefineStats};
 use dm_mtm::{PlaneTarget, PmNode};
@@ -7,8 +9,8 @@ use fxhash::FxHashMap;
 
 use dm_storage::{StorageError, StorageResult};
 
-use crate::faces::extract_faces;
-use crate::record::DmRecord;
+use crate::faces::{extract_faces_dense_owned, DenseAdjacency};
+use crate::record::{DmRecord, FetchedSet};
 use crate::store::{DirectMeshDb, FetchCounters, IntegrityReport};
 
 /// What to do when refinement needs a record outside the fetched region
@@ -31,6 +33,20 @@ pub struct ViResult {
     pub fetched_records: usize,
     /// Points in the final mesh.
     pub points: usize,
+}
+
+/// Flat form of a viewpoint-independent answer: the canonical vertex set
+/// (nodes ascending by id) and the extracted CCW faces, without the
+/// [`FrontMesh`] editing structure. The serving layer encodes straight
+/// from this; [`ViResult`] is the same data after `FrontMesh::from_parts`
+/// (which preserves it unchanged — see [`DirectMeshDb::try_vi_query_flat_counted`]).
+pub struct ViFlatResult {
+    /// Active nodes of the cut, ascending by id.
+    pub nodes: Vec<PmNode>,
+    /// Faces over node ids, strictly CCW, in extraction order.
+    pub faces: Vec<[u32; 3]>,
+    /// Records fetched by the range query (before exact filtering).
+    pub fetched_records: usize,
 }
 
 /// A viewpoint-dependent query: a ROI and a tilted LOD plane over it.
@@ -273,13 +289,43 @@ impl DirectMeshDb {
         let mut report = IntegrityReport::default();
         let e = self.clamp_e(e);
         let plane = Box3::prism(*roi, e, e);
-        let recs = self.fetch_box_counted(&plane, &mut report, counters)?;
+        let recs = self.fetch_box_flat_counted(&plane, &mut report, counters)?;
         let fetched = recs.len();
-        let front = assemble_uniform_front(recs, roi, e);
+        let front = assemble_uniform_front(&recs, roi, e);
         Ok((
             ViResult {
                 points: front.num_vertices(),
                 front,
+                fetched_records: fetched,
+            },
+            report,
+        ))
+    }
+
+    /// [`Self::try_vi_query_counted`] without the [`FrontMesh`] build —
+    /// the serving fast path. Returns the same cut in flat form: the
+    /// canonical vertex set is exactly the active nodes ascending by id,
+    /// and the faces are exactly what face extraction emits. Extraction
+    /// only ever emits strictly-CCW, non-degenerate faces, so
+    /// `FrontMesh::from_parts` (the full path) neither drops nor reorients
+    /// any of them: canonicalizing this flat answer is bit-identical to
+    /// canonicalizing the assembled front.
+    pub fn try_vi_query_flat_counted(
+        &self,
+        roi: &Rect,
+        e: f64,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(ViFlatResult, IntegrityReport)> {
+        let mut report = IntegrityReport::default();
+        let e = self.clamp_e(e);
+        let plane = Box3::prism(*roi, e, e);
+        let recs = self.fetch_box_flat_counted(&plane, &mut report, counters)?;
+        let fetched = recs.len();
+        let (nodes, faces) = uniform_cut(&recs, roi, e);
+        Ok((
+            ViFlatResult {
+                nodes,
+                faces,
                 fetched_records: fetched,
             },
             report,
@@ -534,68 +580,141 @@ impl DirectMeshDb {
 /// coarser than the cube top — making the record a top-plane cut member —
 /// or positioned outside the ROI). Topology comes from the connection
 /// lists wherever the seeds' LOD intervals overlap.
+/// Dense-index a filtered record set: sort by id (so dense order agrees
+/// with id order, which face emission relies on) and build the id → dense
+/// index map. Shared head of both assembly paths.
+fn dense_index(mut recs: Vec<DmRecord>) -> (Vec<DmRecord>, FxHashMap<u32, u32>) {
+    recs.sort_unstable_by_key(|r| r.node.id);
+    let index_of: FxHashMap<u32, u32> = recs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.node.id, i as u32))
+        .collect();
+    (recs, index_of)
+}
+
+/// Extract faces from densified records and assemble the front. `adj`
+/// holds dense indices; faces are mapped back to PM node ids.
+fn front_from_dense(recs: Vec<DmRecord>, pos: &[Vec2], adj: DenseAdjacency) -> FrontMesh {
+    let faces: Vec<[u32; 3]> = extract_faces_dense_owned(pos, adj)
+        .into_iter()
+        .map(|[a, b, c]| {
+            [
+                recs[a as usize].node.id,
+                recs[b as usize].node.id,
+                recs[c as usize].node.id,
+            ]
+        })
+        .collect();
+    FrontMesh::from_parts(recs.into_iter().map(|r| r.node).collect(), &faces)
+}
+
 pub(crate) fn assemble_topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMesh {
     let in_roi: FxHashMap<u32, DmRecord> = recs
         .into_iter()
         .filter(|r| roi.contains(r.node.pos.xy()))
         .map(|r| (r.node.id, r))
         .collect();
-    let seeds: FxHashMap<u32, &DmRecord> = in_roi
+    let seeds: Vec<DmRecord> = in_roi
         .values()
         .filter(|r| r.node.parent == dm_mtm::NIL_ID || !in_roi.contains_key(&r.node.parent))
-        .map(|r| (r.node.id, r))
+        .cloned()
         .collect();
-    let pos: FxHashMap<u32, Vec2> = seeds
-        .values()
-        .map(|r| (r.node.id, r.node.pos.xy()))
-        .collect();
-    let adj: FxHashMap<u32, Vec<u32>> = seeds
-        .values()
-        .map(|r| {
-            let iv = r.node.interval();
-            let ns = r
-                .conn
-                .iter()
+    let (seeds, index_of) = dense_index(seeds);
+    let pos: Vec<Vec2> = seeds.iter().map(|r| r.node.pos.xy()).collect();
+    let mut adj = DenseAdjacency::with_capacity(seeds.len());
+    for r in &seeds {
+        let iv = r.node.interval();
+        adj.push_vertex(r.conn.iter().filter_map(|c| {
+            index_of
+                .get(c)
                 .copied()
-                .filter(|c| {
-                    seeds
-                        .get(c)
-                        .is_some_and(|o| iv.overlaps(&o.node.interval()))
-                })
-                .collect();
-            (r.node.id, ns)
-        })
+                .filter(|&ci| iv.overlaps(&seeds[ci as usize].node.interval()))
+        }));
+    }
+    front_from_dense(seeds, &pos, adj)
+}
+
+thread_local! {
+    // Generation-stamped direct-mapped id → dense-index table for
+    // [`uniform_cut`]: PM ids are dense small integers, so an array beats
+    // hashing on the per-request hot path. `stamp[id] == gen` marks
+    // `dense[id]` valid for the current call; bumping `gen` invalidates
+    // the whole table without a clear.
+    static CUT_SCRATCH: RefCell<(Vec<u32>, Vec<u32>, u32)> =
+        const { RefCell::new((Vec::new(), Vec::new(), 0)) };
+}
+
+/// Uniform-LOD cut at level `e` in flat canonical-ready form: active
+/// nodes ascending by id, CCW faces over node ids. Both the [`FrontMesh`]
+/// assembly and the network fast path build from this, so the two are
+/// identical by construction (extraction emits only strictly-CCW faces,
+/// which [`FrontMesh::from_parts`] preserves unchanged).
+fn uniform_cut(set: &FetchedSet, roi: &Rect, e: f64) -> (Vec<PmNode>, Vec<[u32; 3]>) {
+    // Dense order is ascending id (face emission relies on index order
+    // agreeing with id order). Sort an (id, slot) permutation instead of
+    // moving whole records.
+    let mut perm: Vec<u64> = set
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.interval().contains(e) && roi.contains(n.pos.xy()))
+        .map(|(i, n)| (u64::from(n.id) << 32) | i as u64)
         .collect();
-    let faces = extract_faces(&pos, &adj);
-    FrontMesh::from_parts(seeds.values().map(|r| r.node).collect(), &faces)
+    perm.sort_unstable();
+    CUT_SCRATCH.with(|scratch| {
+        let (stamp, dense, gen) = &mut *scratch.borrow_mut();
+        *gen = gen.wrapping_add(1);
+        if *gen == 0 {
+            stamp.clear();
+            *gen = 1;
+        }
+        let table_len = perm
+            .iter()
+            .map(|&p| (p >> 32) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        if stamp.len() < table_len {
+            stamp.resize(table_len, 0);
+            dense.resize(table_len, 0);
+        }
+        for (k, &p) in perm.iter().enumerate() {
+            let id = (p >> 32) as usize;
+            stamp[id] = *gen;
+            dense[id] = k as u32;
+        }
+        let slot = |p: u64| (p & 0xFFFF_FFFF) as usize;
+        let pos: Vec<Vec2> = perm.iter().map(|&p| set.nodes[slot(p)].pos.xy()).collect();
+        let mut adj = DenseAdjacency::with_capacity(perm.len());
+        for &p in &perm {
+            // Every active record's interval contains `e` (the filter
+            // above), so neighbour membership in the active set is the
+            // whole test.
+            adj.push_vertex(set.conn_of(slot(p)).iter().filter_map(|&c| {
+                let c = c as usize;
+                (c < stamp.len() && stamp[c] == *gen).then(|| dense[c])
+            }));
+        }
+        let nodes: Vec<PmNode> = perm.iter().map(|&p| set.nodes[slot(p)]).collect();
+        let faces: Vec<[u32; 3]> = extract_faces_dense_owned(&pos, adj)
+            .into_iter()
+            .map(|[a, b, c]| {
+                [
+                    nodes[a as usize].id,
+                    nodes[b as usize].id,
+                    nodes[c as usize].id,
+                ]
+            })
+            .collect();
+        (nodes, faces)
+    })
 }
 
 /// Build the uniform-LOD front at level `e` from fetched records: filter
 /// by interval and ROI, connect via the stored lists, extract faces.
-fn assemble_uniform_front(recs: Vec<DmRecord>, roi: &Rect, e: f64) -> FrontMesh {
-    let active: FxHashMap<u32, DmRecord> = recs
-        .into_iter()
-        .filter(|r| r.node.interval().contains(e) && roi.contains(r.node.pos.xy()))
-        .map(|r| (r.node.id, r))
-        .collect();
-    let pos: FxHashMap<u32, Vec2> = active
-        .values()
-        .map(|r| (r.node.id, r.node.pos.xy()))
-        .collect();
-    let adj: FxHashMap<u32, Vec<u32>> = active
-        .values()
-        .map(|r| {
-            let ns = r
-                .conn
-                .iter()
-                .copied()
-                .filter(|c| active.get(c).is_some_and(|o| o.node.interval().contains(e)))
-                .collect();
-            (r.node.id, ns)
-        })
-        .collect();
-    let faces = extract_faces(&pos, &adj);
-    FrontMesh::from_parts(active.into_values().map(|r| r.node).collect(), &faces)
+fn assemble_uniform_front(recs: &FetchedSet, roi: &Rect, e: f64) -> FrontMesh {
+    let (nodes, faces) = uniform_cut(recs, roi, e);
+    FrontMesh::from_parts(nodes, &faces)
 }
 
 /// Cut a rectangle into `n` equal strips perpendicular to the dominant

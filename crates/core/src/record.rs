@@ -336,6 +336,48 @@ impl<'a> RawRecord<'a> {
         }
     }
 
+    /// Materialize into a [`FetchedSet`] arena — the same decode and
+    /// length-framing verification as [`Self::to_owned`], but the
+    /// connection list lands in the set's shared pool instead of a
+    /// fresh allocation.
+    pub fn append_to(&self, set: &mut FetchedSet) {
+        if self.flat {
+            let b = self.bytes;
+            let n_conn = codec::get_u16(b, 64) as usize;
+            set.conn
+                .extend((0..n_conn).map(|i| codec::get_u32(b, FIXED_LEN + i * 4)));
+            set.nodes.push(self.node());
+            set.conn_off.push(set.conn.len() as u32);
+            return;
+        }
+        let (links, mut off) = self.decode_links();
+        let n_conn = pack::get_varint(self.bytes, &mut off) as usize;
+        assert!(
+            n_conn <= u16::MAX as usize,
+            "corrupt DM record: implausible connection count"
+        );
+        set.conn.reserve(n_conn);
+        let mut prev = i64::from(self.id);
+        for _ in 0..n_conn {
+            let c = decode_id_delta(pack::get_varint(self.bytes, &mut off), prev, "conn id");
+            prev = i64::from(c);
+            set.conn.push(c);
+        }
+        assert_eq!(off, self.bytes.len(), "corrupt DM record length");
+        set.nodes.push(PmNode {
+            id: self.id,
+            pos: Vec3::new(self.x, self.y, self.z),
+            e_lo: self.e_lo,
+            e_hi: self.e_hi,
+            parent: links[0],
+            child1: links[1],
+            child2: links[2],
+            wing1: links[3],
+            wing2: links[4],
+        });
+        set.conn_off.push(set.conn.len() as u32);
+    }
+
     /// Materialize the full owned record (the only allocating step).
     /// For the compact codec this also verifies the length framing:
     /// trailing garbage or truncation panics as "corrupt DM record".
@@ -369,6 +411,56 @@ impl<'a> RawRecord<'a> {
             node: self.node(),
             conn,
         }
+    }
+}
+
+/// A fetched record set in arena form: nodes side by side with one
+/// shared connection-id pool instead of one heap `Vec` per record. The
+/// uniform-cut path materializes thousands of records per request, so
+/// the flat layout trades per-record allocations for three `Vec`s total.
+///
+/// Record `i`'s connection list is `conn[conn_off[i] .. conn_off[i+1]]`
+/// (`conn_off` always carries the trailing end offset, so it has
+/// `len() + 1` entries).
+#[derive(Default)]
+pub struct FetchedSet {
+    pub nodes: Vec<PmNode>,
+    conn_off: Vec<u32>,
+    conn: Vec<u32>,
+}
+
+impl FetchedSet {
+    pub fn new() -> FetchedSet {
+        FetchedSet {
+            nodes: Vec::new(),
+            conn_off: vec![0],
+            conn: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Connection ids of record `i`.
+    #[inline]
+    pub fn conn_of(&self, i: usize) -> &[u32] {
+        &self.conn[self.conn_off[i] as usize..self.conn_off[i + 1] as usize]
+    }
+
+    /// Drop every record from `keep` onwards — used to discard the
+    /// half-read tail of a page whose scan failed mid-way.
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.nodes.len() {
+            return;
+        }
+        self.nodes.truncate(keep);
+        self.conn_off.truncate(keep + 1);
+        self.conn.truncate(self.conn_off[keep] as usize);
     }
 }
 

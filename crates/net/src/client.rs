@@ -183,6 +183,84 @@ impl Client {
         }
     }
 
+    /// Send many requests down one connection with up to `window`
+    /// requests in flight before the first response is read, then keep
+    /// the window full (read one, write one). Responses come back in
+    /// request order — the server executes one connection's requests
+    /// strictly serially — so the returned vector lines up with `reqs`.
+    ///
+    /// No replay or overload backoff is applied: every response
+    /// (including `Overloaded` and error frames) is returned verbatim in
+    /// position. On an I/O error the stream is dropped and the whole
+    /// call fails; pipelined exchanges are not idempotent as a unit.
+    pub fn exchange_pipelined(
+        &mut self,
+        reqs: &[Request],
+        window: usize,
+    ) -> WireResult<Vec<Response>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let window = window.max(1);
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let result = (|| {
+            let stream = self.stream.as_mut().expect("reconnect populated stream");
+            let mut responses = Vec::with_capacity(reqs.len());
+            let mut sent = 0usize;
+            while responses.len() < reqs.len() {
+                // Top up the window. Request frames are small, so these
+                // blocking writes cannot deadlock against our unread
+                // responses in any practical socket-buffer regime.
+                while sent < reqs.len() && sent - responses.len() < window {
+                    let req = &reqs[sent];
+                    let mut w = BufWriter::new(&mut *stream);
+                    write_frame(&mut w, req.kind(), &req.encode())?;
+                    sent += 1;
+                }
+                match read_frame(stream)? {
+                    FrameEvent::Frame(f) => responses.push(Response::decode(&f)?),
+                    FrameEvent::Eof => {
+                        return Err(WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-pipeline",
+                        )))
+                    }
+                    FrameEvent::Idle => {
+                        return Err(WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "timed out waiting for pipelined response",
+                        )))
+                    }
+                }
+            }
+            Ok(responses)
+        })();
+        if matches!(result, Err(WireError::Io(_))) {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Pipeline `rois.len()` VI queries (same opts) and return the
+    /// meshes in request order. Error-class responses fail the call.
+    pub fn vi_query_pipelined(
+        &mut self,
+        opts: QueryOpts,
+        rois: &[(Rect, f64)],
+        window: usize,
+    ) -> WireResult<Vec<MeshResult>> {
+        let reqs: Vec<Request> = rois
+            .iter()
+            .map(|&(roi, e)| Request::ViQuery { opts, roi, e })
+            .collect();
+        self.exchange_pipelined(&reqs, window)?
+            .into_iter()
+            .map(|resp| Self::expect_mesh(resp.into_result()?))
+            .collect()
+    }
+
     fn expect_mesh(resp: Response) -> WireResult<MeshResult> {
         match resp {
             Response::Mesh(m) => Ok(m),

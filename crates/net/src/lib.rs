@@ -31,8 +31,9 @@ pub mod wire;
 
 pub use client::{Client, ClientConfig};
 pub use frame::{
-    encode_frame, read_frame, write_frame, Frame, FrameEvent, MAGIC, MAX_PAYLOAD, VERSION,
+    encode_frame, read_frame, write_frame, Frame, FrameAssembler, FrameEvent, MAGIC, MAX_PAYLOAD,
+    VERSION,
 };
-pub use mesh::{canonical_face, canonical_mesh, MeshResult, WireVertex};
+pub use mesh::{canonical_face, canonical_flat, canonical_mesh, MeshResult, WireVertex};
 pub use proto::{ErrorCode, QueryOpts, Request, Response};
 pub use wire::{Reader, WireError, WireResult, Writer};

@@ -17,7 +17,7 @@
 //! an inconsistent mesh past the frame CRC.
 
 use dm_core::{FetchCounters, IntegrityReport};
-use dm_mtm::FrontMesh;
+use dm_mtm::{FrontMesh, PmNode};
 
 use crate::wire::{Reader, WireError, WireResult, Writer};
 
@@ -66,6 +66,26 @@ pub fn canonical_mesh(front: &FrontMesh) -> (Vec<WireVertex>, Vec<[u32; 3]>) {
     vertices.sort_by_key(|v| v.id);
 
     let mut faces: Vec<[u32; 3]> = front.triangles().map(canonical_face).collect();
+    faces.sort_unstable();
+    (vertices, faces)
+}
+
+/// Canonical vertex + face lists straight from a flat VI answer
+/// ([`dm_core::ViFlatResult`]: nodes ascending by id, faces strictly
+/// CCW). Bit-identical to `canonical_mesh(&FrontMesh::from_parts(..))`
+/// over the same parts — the front build preserves CCW faces unchanged,
+/// and its canonical vertex order is the id order the nodes already have.
+pub fn canonical_flat(nodes: &[PmNode], faces: &[[u32; 3]]) -> (Vec<WireVertex>, Vec<[u32; 3]>) {
+    let vertices: Vec<WireVertex> = nodes
+        .iter()
+        .map(|n| WireVertex {
+            id: n.id,
+            x: n.pos.x,
+            y: n.pos.y,
+            z: n.pos.z,
+        })
+        .collect();
+    let mut faces: Vec<[u32; 3]> = faces.iter().copied().map(canonical_face).collect();
     faces.sort_unstable();
     (vertices, faces)
 }

@@ -176,6 +176,24 @@ impl<'a> Reader<'a> {
     }
 
     pub fn varint(&mut self) -> WireResult<u64> {
+        // Fast paths: one- and two-byte values dominate real streams
+        // (ids are delta-coded, face indices are small).
+        if let Some(&b) = self.b.get(self.off) {
+            if b < 0x80 {
+                self.off += 1;
+                return Ok(u64::from(b));
+            }
+            if let Some(&b2) = self.b.get(self.off + 1) {
+                if b2 < 0x80 {
+                    self.off += 2;
+                    return Ok(u64::from(b & 0x7F) | (u64::from(b2) << 7));
+                }
+            }
+        }
+        self.varint_slow()
+    }
+
+    fn varint_slow(&mut self) -> WireResult<u64> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -217,15 +235,28 @@ impl<'a> Reader<'a> {
         let mid = 8 - lead - trail;
         let mut delta = 0u64;
         if mid > 0 {
-            let end = self
-                .off
-                .checked_add(mid)
-                .filter(|&e| e <= self.b.len())
-                .ok_or(WireError::Truncated("f64 delta bytes"))?;
-            let mut bytes = [0u8; 8];
-            bytes[..mid].copy_from_slice(&self.b[self.off..end]);
-            self.off = end;
-            delta = u64::from_le_bytes(bytes) << (8 * trail);
+            if let Some(window) = self.b.get(self.off..self.off + 8) {
+                // Fast path: enough slack for one unaligned 8-byte load;
+                // mask down to the `mid` bytes that belong to this delta.
+                let raw = u64::from_le_bytes(window.try_into().unwrap());
+                let mask = if mid == 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (8 * mid)) - 1
+                };
+                delta = (raw & mask) << (8 * trail);
+                self.off += mid;
+            } else {
+                let end = self
+                    .off
+                    .checked_add(mid)
+                    .filter(|&e| e <= self.b.len())
+                    .ok_or(WireError::Truncated("f64 delta bytes"))?;
+                let mut bytes = [0u8; 8];
+                bytes[..mid].copy_from_slice(&self.b[self.off..end]);
+                self.off = end;
+                delta = u64::from_le_bytes(bytes) << (8 * trail);
+            }
         }
         let bits = delta ^ self.last_f64;
         self.last_f64 = bits;

@@ -1,58 +1,86 @@
 //! dm-server: a TCP query service over one [`DirectMeshDb`].
 //!
-//! Architecture:
+//! Architecture — a non-blocking readiness event loop in front of a
+//! bounded execute pool:
 //!
-//! * one **accept loop** on the calling thread (non-blocking listener,
-//!   polled so the shutdown flag is honored promptly),
-//! * a **bounded worker pool** ([`rayon::scope`], one OS thread per
-//!   worker) pulling connections off a condvar queue — each worker owns
-//!   one connection at a time and serves it to EOF,
-//! * **framed I/O** per connection with a short read timeout, so idle
-//!   connections poll the shutdown flag between frames,
+//! * one **reactor thread** (the [`Server::serve`] caller) multiplexes
+//!   *all* connections through a vendored epoll/poll shim
+//!   ([`polling::Poller`]): it accepts, reads whatever bytes each socket
+//!   has, reassembles frames incrementally
+//!   ([`dm_net::frame::FrameAssembler`]), decodes requests, and drains
+//!   per-connection write queues — never blocking on any one peer,
+//! * a **bounded worker pool** executes requests: the reactor hands a
+//!   worker one `(connection, request)` job at a time and the worker
+//!   hands back a pre-encoded response frame, waking the reactor via
+//!   [`polling::Poller::notify`]. Decode (reactor) → execute (worker) →
+//!   encode (worker) → write (reactor) are decoupled stages, so a query
+//!   worker never blocks on a slow socket,
+//! * **pipelining**: a connection may send many requests back-to-back;
+//!   the reactor queues up to `max_pipeline` decoded requests and
+//!   dispatches them **strictly serially per connection** (one request on
+//!   one worker thread at a time), so responses come back in request
+//!   order and the thread-attributed disk-read counter
+//!   ([`dm_storage::thread_reads`]) stays exact per request,
+//! * **slow-reader defense by byte budget**: responses queue per
+//!   connection; a peer that reads too slowly to keep its queue under
+//!   `write_budget` bytes is disconnected (counted, typed) — neither the
+//!   reactor nor any worker ever wedges on it. A peer that stalls
+//!   mid-frame longer than `frame_stall_timeout` is likewise shed,
 //! * **admission control**: a global in-flight permit counter; when
 //!   `max_inflight` query-class requests are already executing, further
 //!   ones get a typed `Overloaded` response (with a retry hint) instead
-//!   of queueing unboundedly,
+//!   of queueing unboundedly. Permits are taken at dispatch time on the
+//!   reactor, so refusals still come back in request order,
 //! * **sessions**: `OpenSession` creates a server-side
 //!   [`NavigationSession`]; frames advance it incrementally exactly like
-//!   a local walkthrough. Sessions are connection-scoped and bounded.
-//!
-//! All workers share the database's sharded buffer pool; disk-access
-//! accounting per request uses the thread-attributed read counter
-//! ([`dm_storage::thread_reads`]), which stays exact under concurrency
-//! because one request executes entirely on one worker thread.
+//!   a local walkthrough. Sessions are connection-scoped and bounded;
+//!   their state travels with each job and returns with its completion,
+//!   preserving the one-request-one-thread attribution contract.
 
-use std::collections::HashMap;
-use std::collections::VecDeque;
-use std::io;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dm_core::{BoundaryPolicy, DirectMeshDb, FetchCounters, NavigationSession, VdQuery};
 use dm_geom::Rect;
-use dm_net::frame::{read_frame, write_frame_deadline, FrameEvent};
-use dm_net::mesh::{canonical_mesh, MeshResult};
+use dm_net::frame::{encode_frame, FrameAssembler};
+use dm_net::mesh::{canonical_flat, canonical_mesh, MeshResult};
 use dm_net::proto::{ErrorCode, QueryOpts, Request, Response};
-use dm_net::wire::WireError;
+use polling::{Interest, Poller};
+
+/// Reactor poll tick: bounds how stale shutdown/stall checks can get.
+const TICK: Duration = Duration::from_millis(25);
+/// Poller key reserved for the listener.
+const LISTEN_KEY: usize = 0;
 
 /// Tuning knobs for [`Server`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads (each serves one connection at a time).
+    /// Worker threads executing requests (the reactor runs besides them).
     pub workers: usize,
     /// Query-class requests allowed to execute concurrently before the
     /// server answers `Overloaded`.
     pub max_inflight: usize,
-    /// Read timeout per frame wait; doubles as the shutdown poll tick.
-    pub read_timeout: Duration,
-    /// Write timeout per response.
-    pub write_timeout: Duration,
+    /// Bytes of encoded responses one connection may have queued before
+    /// it is disconnected as a slow reader.
+    pub write_budget: usize,
+    /// How long a peer may stall mid-frame (bytes owed, none arriving)
+    /// before the connection is shed.
+    pub frame_stall_timeout: Duration,
+    /// Decoded requests one connection may have waiting for dispatch;
+    /// beyond this the reactor stops reading the socket (backpressure).
+    pub max_pipeline: usize,
     /// Navigation sessions one connection may hold open.
     pub max_sessions_per_conn: usize,
     /// Retry hint carried by `Overloaded` responses.
     pub retry_after_ms: u64,
+    /// After shutdown, how long connections get to finish queued work
+    /// and flush before they are force-closed.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -60,10 +88,12 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             max_inflight: 8,
-            read_timeout: Duration::from_millis(200),
-            write_timeout: Duration::from_secs(10),
+            write_budget: 32 << 20,
+            frame_stall_timeout: Duration::from_secs(30),
+            max_pipeline: 64,
             max_sessions_per_conn: 8,
             retry_after_ms: 50,
+            drain_grace: Duration::from_secs(1),
         }
     }
 }
@@ -79,9 +109,11 @@ pub struct ServerStats {
     pub errors: u64,
     /// Requests refused by admission control.
     pub overloaded: u64,
-    /// Connections dropped because the peer read responses too slowly
-    /// to drain a frame within the write deadline.
+    /// Connections dropped for exceeding their response-queue byte
+    /// budget (peer reads too slowly or not at all).
     pub slow_disconnects: u64,
+    /// Connections dropped for stalling mid-frame past the deadline.
+    pub stalled_disconnects: u64,
 }
 
 /// Clonable handle that asks a running [`Server::serve`] call to stop
@@ -99,20 +131,19 @@ impl ShutdownHandle {
     }
 }
 
-/// Global in-flight permit counter (admission control).
+/// Global in-flight permit counter (admission control). Acquired on the
+/// reactor at dispatch time, released by the worker after execution.
 struct Admission {
     inflight: AtomicUsize,
     max: usize,
 }
 
-struct AdmissionPermit<'a>(&'a Admission);
-
 impl Admission {
-    fn try_acquire(&self) -> Option<AdmissionPermit<'_>> {
+    fn try_acquire(&self) -> bool {
         let mut cur = self.inflight.load(Ordering::Acquire);
         loop {
             if cur >= self.max {
-                return None;
+                return false;
             }
             match self.inflight.compare_exchange_weak(
                 cur,
@@ -120,45 +151,85 @@ impl Admission {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return Some(AdmissionPermit(self)),
+                Ok(_) => return true,
                 Err(now) => cur = now,
             }
         }
     }
-}
 
-impl Drop for AdmissionPermit<'_> {
-    fn drop(&mut self) {
-        self.0.inflight.fetch_sub(1, Ordering::Release);
+    fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::Release);
     }
 }
 
-/// Accepted connections waiting for a free worker.
-struct ConnQueue {
-    state: Mutex<(VecDeque<TcpStream>, bool)>,
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    slow_disconnects: AtomicU64,
+    stalled_disconnects: AtomicU64,
+}
+
+/// State the reactor and all workers share.
+struct Shared {
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    admission: Admission,
+    counters: Counters,
+}
+
+/// Per-connection state: the navigation sessions this client opened.
+/// Travels with each dispatched job (per-connection execution is serial,
+/// so exactly one of reactor/worker holds it at any time).
+struct ConnState<'db> {
+    sessions: HashMap<u64, NavigationSession<'db>>,
+    next_session: u64,
+}
+
+/// One unit of work for the execute pool.
+struct Job<'db> {
+    token: usize,
+    req: Request,
+    state: ConnState<'db>,
+    /// Whether this job holds an admission permit to release.
+    permit: bool,
+}
+
+/// A finished job: the connection state comes back with the pre-encoded
+/// response frame.
+struct Completion<'db> {
+    token: usize,
+    state: ConnState<'db>,
+    bytes: Vec<u8>,
+}
+
+/// Jobs waiting for a worker.
+struct JobQueue<'db> {
+    state: Mutex<(VecDeque<Job<'db>>, bool)>,
     ready: Condvar,
 }
 
-impl ConnQueue {
-    fn new() -> ConnQueue {
-        ConnQueue {
+impl<'db> JobQueue<'db> {
+    fn new() -> Self {
+        JobQueue {
             state: Mutex::new((VecDeque::new(), false)),
             ready: Condvar::new(),
         }
     }
 
-    fn push(&self, s: TcpStream) {
+    fn push(&self, job: Job<'db>) {
         let mut g = self.state.lock().unwrap();
-        g.0.push_back(s);
+        g.0.push_back(job);
         self.ready.notify_one();
     }
 
-    /// Blocks until a connection is available or the queue is closed.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<Job<'db>> {
         let mut g = self.state.lock().unwrap();
         loop {
-            if let Some(s) = g.0.pop_front() {
-                return Some(s);
+            if let Some(job) = g.0.pop_front() {
+                return Some(job);
             }
             if g.1 {
                 return None;
@@ -174,27 +245,33 @@ impl ConnQueue {
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    overloaded: AtomicU64,
-    slow_disconnects: AtomicU64,
+/// An entry in a connection's ordered pending queue: either a request to
+/// execute or a response already produced on the reactor (overload
+/// refusals, shutdown acks, teardown errors) that must still go out in
+/// arrival order behind earlier requests.
+enum PendingItem {
+    Exec(Request),
+    Reply(Vec<u8>),
 }
 
-/// State every worker shares.
-struct Shared {
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
-    admission: Admission,
-    counters: Counters,
-}
-
-/// Per-connection state: the navigation sessions this client opened.
-struct ConnState<'a> {
-    sessions: HashMap<u64, NavigationSession<'a>>,
-    next_session: u64,
+/// Reactor-side connection record.
+struct Conn<'db> {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    pending: VecDeque<PendingItem>,
+    write_q: VecDeque<Vec<u8>>,
+    /// Bytes of `write_q.front()` already written.
+    write_off: usize,
+    queued_bytes: usize,
+    /// `None` exactly while a job for this connection is executing.
+    state: Option<ConnState<'db>>,
+    inflight: bool,
+    /// Reader side open: new frames are still being accepted.
+    reading: bool,
+    /// Close once pending work is done and the write queue is flushed.
+    close_after_flush: bool,
+    last_byte: Instant,
+    interest: Interest,
 }
 
 /// A bound-but-not-yet-serving query server.
@@ -227,9 +304,9 @@ impl Server {
         ShutdownHandle(Arc::clone(&self.shutdown))
     }
 
-    /// Serve `db` until shut down. Blocks the calling thread (the accept
-    /// loop runs on it); workers run inside a [`rayon::scope`] and are
-    /// all joined before this returns.
+    /// Serve `db` until shut down. Blocks the calling thread (the
+    /// reactor runs on it); workers run inside a [`std::thread::scope`]
+    /// and are all joined before this returns.
     pub fn serve(&self, db: &DirectMeshDb) -> io::Result<ServerStats> {
         let shared = Shared {
             config: self.config.clone(),
@@ -240,37 +317,35 @@ impl Server {
             },
             counters: Counters::default(),
         };
-        let queue = ConnQueue::new();
+        let jobs = JobQueue::new();
+        let completions: Mutex<Vec<Completion<'_>>> = Mutex::new(Vec::new());
+        let poller = Poller::new()?;
         let workers = self.config.workers.max(1);
 
-        rayon::scope(|s| {
+        let run = std::thread::scope(|s| {
             for _ in 0..workers {
-                let queue = &queue;
+                let jobs = &jobs;
+                let completions = &completions;
                 let shared = &shared;
-                s.spawn(move |_| {
-                    while let Some(stream) = queue.pop() {
-                        serve_connection(stream, db, shared);
-                    }
-                });
+                let poller = &poller;
+                s.spawn(move || worker_loop(db, jobs, completions, shared, poller));
             }
-
-            // Accept loop: poll so the shutdown flag is noticed even
-            // when no client ever connects.
-            while !self.shutdown.load(Ordering::SeqCst) {
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-                        queue.push(stream);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                }
-            }
-            queue.close();
+            let mut reactor = Reactor {
+                poller: &poller,
+                listener: &self.listener,
+                shared: &shared,
+                jobs: &jobs,
+                completions: &completions,
+                conns: HashMap::new(),
+                next_token: LISTEN_KEY + 1,
+                accepting: true,
+                drain_deadline: None,
+            };
+            let out = reactor.run();
+            jobs.close();
+            out
         });
+        run?;
 
         Ok(ServerStats {
             connections: shared.counters.connections.load(Ordering::Relaxed),
@@ -278,6 +353,7 @@ impl Server {
             errors: shared.counters.errors.load(Ordering::Relaxed),
             overloaded: shared.counters.overloaded.load(Ordering::Relaxed),
             slow_disconnects: shared.counters.slow_disconnects.load(Ordering::Relaxed),
+            stalled_disconnects: shared.counters.stalled_disconnects.load(Ordering::Relaxed),
         })
     }
 }
@@ -294,129 +370,488 @@ fn needs_permit(req: &Request) -> bool {
     )
 }
 
-/// Write a response under the server's total write deadline. A peer that
-/// stops (or trickles) its reads cannot pin a worker past
-/// `config.write_timeout`: the bounded write returns the typed
-/// [`WireError::WriteTimeout`], we count the disconnect, and the caller
-/// drops the connection.
-fn send(stream: &mut TcpStream, shared: &Shared, resp: &Response) -> bool {
-    match write_frame_deadline(
-        stream,
-        resp.kind(),
-        &resp.encode(),
-        shared.config.write_timeout,
-    ) {
-        Ok(()) => true,
-        Err(WireError::WriteTimeout { .. }) => {
-            shared
-                .counters
-                .slow_disconnects
-                .fetch_add(1, Ordering::Relaxed);
-            false
+fn worker_loop<'db>(
+    db: &'db DirectMeshDb,
+    jobs: &JobQueue<'db>,
+    completions: &Mutex<Vec<Completion<'db>>>,
+    shared: &Shared,
+    poller: &Poller,
+) {
+    while let Some(job) = jobs.pop() {
+        let Job {
+            token,
+            req,
+            mut state,
+            permit,
+        } = job;
+        let resp = handle_request(db, req, &mut state, shared);
+        if permit {
+            shared.admission.release();
         }
-        Err(_) => false,
-    }
-}
-
-fn serve_connection(mut stream: TcpStream, db: &DirectMeshDb, shared: &Shared) {
-    stream.set_nodelay(true).ok();
-    if stream
-        .set_read_timeout(Some(shared.config.read_timeout))
-        .is_err()
-        || stream
-            // Short per-syscall timeout: each stalled write() returns
-            // quickly so `send` can enforce the *cumulative* deadline
-            // (`config.write_timeout`) against trickling readers too.
-            .set_write_timeout(Some(
-                shared.config.write_timeout.min(Duration::from_millis(50)),
-            ))
-            .is_err()
-    {
-        return;
-    }
-    let mut conn = ConnState {
-        sessions: HashMap::new(),
-        next_session: 1,
-    };
-    loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(FrameEvent::Frame(f)) => f,
-            Ok(FrameEvent::Eof) => break,
-            Ok(FrameEvent::Idle) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue;
-            }
-            Err(e) => {
-                // Framing is desynchronized (bad magic, CRC, I/O): answer
-                // if possible, then drop the connection.
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                send(
-                    &mut stream,
-                    shared,
-                    &Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: format!("unreadable frame: {e}"),
-                    },
-                );
-                break;
-            }
-        };
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let req = match Request::decode(&frame) {
-            Ok(req) => req,
-            Err(e) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                send(
-                    &mut stream,
-                    shared,
-                    &Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: format!("bad request: {e}"),
-                    },
-                );
-                break;
-            }
-        };
-
-        if let Request::Shutdown = req {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            send(&mut stream, shared, &Response::ShutdownAck);
-            break;
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            send(
-                &mut stream,
-                shared,
-                &Response::Error {
-                    code: ErrorCode::ShuttingDown,
-                    message: "server is draining".to_string(),
-                },
-            );
-            break;
-        }
-
-        let resp = if needs_permit(&req) {
-            match shared.admission.try_acquire() {
-                None => {
-                    shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-                    Response::Overloaded {
-                        retry_after_ms: shared.config.retry_after_ms,
-                    }
-                }
-                Some(_permit) => handle_request(db, req, &mut conn, shared),
-            }
-        } else {
-            handle_request(db, req, &mut conn, shared)
-        };
         if matches!(resp, Response::Error { .. }) {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
-        if !send(&mut stream, shared, &resp) {
-            break;
+        // Encode on the worker: the reactor only moves finished bytes.
+        let bytes = encode_frame(resp.kind(), &resp.encode());
+        completions.lock().unwrap().push(Completion {
+            token,
+            state,
+            bytes,
+        });
+        poller.notify().ok();
+    }
+}
+
+struct Reactor<'db, 'env> {
+    poller: &'env Poller,
+    listener: &'env TcpListener,
+    shared: &'env Shared,
+    jobs: &'env JobQueue<'db>,
+    completions: &'env Mutex<Vec<Completion<'db>>>,
+    conns: HashMap<usize, Conn<'db>>,
+    next_token: usize,
+    accepting: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl<'db> Reactor<'db, '_> {
+    fn run(&mut self) -> io::Result<()> {
+        self.poller
+            .add(self.listener.as_raw_fd(), LISTEN_KEY, Interest::READ)?;
+        let mut events = Vec::new();
+        loop {
+            self.drain_completions();
+
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.begin_drain();
+                if self.conns.is_empty() {
+                    break;
+                }
+                if self
+                    .drain_deadline
+                    .is_some_and(|deadline| Instant::now() >= deadline)
+                {
+                    let tokens: Vec<usize> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        self.close(token);
+                    }
+                    break;
+                }
+            }
+
+            events.clear();
+            self.poller.wait(&mut events, Some(TICK))?;
+            for &ev in &events {
+                if ev.key == LISTEN_KEY {
+                    self.accept_ready();
+                    continue;
+                }
+                if !self.conns.contains_key(&ev.key) {
+                    continue; // closed earlier this round
+                }
+                if ev.readable {
+                    self.handle_readable(ev.key);
+                }
+                if ev.writable {
+                    self.handle_writable(ev.key);
+                }
+            }
+            self.check_stalls();
+        }
+        self.poller.delete(self.listener.as_raw_fd()).ok();
+        Ok(())
+    }
+
+    fn begin_drain(&mut self) {
+        if self.drain_deadline.is_some() {
+            return;
+        }
+        self.drain_deadline = Some(Instant::now() + self.shared.config.drain_grace);
+        if self.accepting {
+            self.accepting = false;
+            self.poller.delete(self.listener.as_raw_fd()).ok();
+        }
+        // Existing connections finish queued work and flush, then close.
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.close_after_flush = true;
+            }
+            self.after_io(token);
         }
     }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if !self.accepting {
+                        continue; // drained while the event was in flight
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.shared
+                        .counters
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            asm: FrameAssembler::new(),
+                            pending: VecDeque::new(),
+                            write_q: VecDeque::new(),
+                            write_off: 0,
+                            queued_bytes: 0,
+                            state: Some(ConnState {
+                                sessions: HashMap::new(),
+                                next_session: 1,
+                            }),
+                            inflight: false,
+                            reading: true,
+                            close_after_flush: false,
+                            last_byte: Instant::now(),
+                            interest: Interest::READ,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Read everything the socket has, reassemble frames, decode and
+    /// queue requests. Never blocks: the socket is non-blocking and the
+    /// loop exits on `WouldBlock`.
+    fn handle_readable(&mut self, token: usize) {
+        let mut buf = [0u8; 64 * 1024];
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut saw_eof = false;
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.asm.push(&buf[..n]);
+                    conn.last_byte = Instant::now();
+                    // Cap how much we buffer ahead of the parser.
+                    if conn.asm.buffered() > (64 << 20) + (64 * 1024) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        // Parse what we buffered *before* honoring EOF, so a peer that
+        // writes and immediately closes still gets its frames handled.
+        self.parse_frames(token);
+        if saw_eof {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                // Clean EOF: finish queued work, flush, then close.
+                conn.reading = false;
+                conn.close_after_flush = true;
+            }
+        }
+        self.try_dispatch(token);
+        self.after_io(token);
+    }
+
+    /// Decode as many complete frames as the assembler holds into
+    /// pending items (in arrival order).
+    fn parse_frames(&mut self, token: usize) {
+        let shared = self.shared;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while conn.reading {
+            match conn.asm.next_frame() {
+                Ok(None) => break,
+                Ok(Some(frame)) => {
+                    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    match Request::decode(&frame) {
+                        Ok(Request::Shutdown) => {
+                            // Fast-path on the reactor: flip the flag now,
+                            // acknowledge in order behind earlier requests.
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                            let ack = Response::ShutdownAck;
+                            conn.pending.push_back(PendingItem::Reply(encode_frame(
+                                ack.kind(),
+                                &ack.encode(),
+                            )));
+                            conn.reading = false;
+                            conn.close_after_flush = true;
+                        }
+                        Ok(req) => {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                let resp = Response::Error {
+                                    code: ErrorCode::ShuttingDown,
+                                    message: "server is draining".to_string(),
+                                };
+                                conn.pending.push_back(PendingItem::Reply(encode_frame(
+                                    resp.kind(),
+                                    &resp.encode(),
+                                )));
+                                conn.reading = false;
+                                conn.close_after_flush = true;
+                            } else {
+                                conn.pending.push_back(PendingItem::Exec(req));
+                            }
+                        }
+                        Err(e) => {
+                            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                            let resp = Response::Error {
+                                code: ErrorCode::BadRequest,
+                                message: format!("bad request: {e}"),
+                            };
+                            conn.pending.push_back(PendingItem::Reply(encode_frame(
+                                resp.kind(),
+                                &resp.encode(),
+                            )));
+                            conn.reading = false;
+                            conn.close_after_flush = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Framing is desynchronized (bad magic, CRC): answer
+                    // in order if possible, then drop the connection.
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("unreadable frame: {e}"),
+                    };
+                    conn.pending.push_back(PendingItem::Reply(encode_frame(
+                        resp.kind(),
+                        &resp.encode(),
+                    )));
+                    conn.reading = false;
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+    }
+
+    /// Dispatch pending items while the connection has no request in
+    /// flight: pre-encoded replies go straight to the write queue;
+    /// requests go to the worker pool (at most one at a time, preserving
+    /// response order and per-request counter attribution).
+    fn try_dispatch(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.inflight {
+                return;
+            }
+            match conn.pending.front() {
+                None => return,
+                Some(PendingItem::Reply(_)) => {
+                    let Some(PendingItem::Reply(bytes)) = conn.pending.pop_front() else {
+                        unreachable!("front() said Reply");
+                    };
+                    if !self.enqueue_bytes(token, bytes) {
+                        return; // connection was shed or died
+                    }
+                }
+                Some(PendingItem::Exec(req)) => {
+                    let permit = needs_permit(req);
+                    if permit && !self.shared.admission.try_acquire() {
+                        self.shared
+                            .counters
+                            .overloaded
+                            .fetch_add(1, Ordering::Relaxed);
+                        conn.pending.pop_front();
+                        let resp = Response::Overloaded {
+                            retry_after_ms: self.shared.config.retry_after_ms,
+                        };
+                        let bytes = encode_frame(resp.kind(), &resp.encode());
+                        if !self.enqueue_bytes(token, bytes) {
+                            return;
+                        }
+                        continue;
+                    }
+                    let Some(PendingItem::Exec(req)) = conn.pending.pop_front() else {
+                        unreachable!("front() said Exec");
+                    };
+                    let state = conn
+                        .state
+                        .take()
+                        .expect("connection state present while idle");
+                    conn.inflight = true;
+                    self.jobs.push(Job {
+                        token,
+                        req,
+                        state,
+                        permit,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Hand finished jobs' responses back to their connections.
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion<'db>> = std::mem::take(&mut *self.completions.lock().unwrap());
+        for completion in done {
+            let Some(conn) = self.conns.get_mut(&completion.token) else {
+                continue; // connection closed while the job ran
+            };
+            conn.state = Some(completion.state);
+            conn.inflight = false;
+            let token = completion.token;
+            if !self.enqueue_bytes(token, completion.bytes) {
+                continue;
+            }
+            self.try_dispatch(token);
+            self.after_io(token);
+        }
+    }
+
+    /// Queue an encoded response frame and opportunistically flush.
+    /// Returns false when the connection was closed (slow-reader shed or
+    /// I/O failure) — the caller must not touch it again.
+    fn enqueue_bytes(&mut self, token: usize, bytes: Vec<u8>) -> bool {
+        let budget = self.shared.config.write_budget;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        conn.queued_bytes += bytes.len();
+        conn.write_q.push_back(bytes);
+        if flush_writes(conn).is_err() {
+            self.close(token);
+            return false;
+        }
+        let conn = self.conns.get_mut(&token).expect("conn still present");
+        if conn.queued_bytes > budget {
+            // The peer is not reading fast enough to keep its response
+            // queue bounded: shed it rather than buffer without limit.
+            self.shared
+                .counters
+                .slow_disconnects
+                .fetch_add(1, Ordering::Relaxed);
+            self.close(token);
+            return false;
+        }
+        true
+    }
+
+    fn handle_writable(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if flush_writes(conn).is_err() {
+            self.close(token);
+            return;
+        }
+        self.after_io(token);
+    }
+
+    /// Re-derive poller interest from the connection's current needs and
+    /// close it if its teardown conditions are met.
+    fn after_io(&mut self, token: usize) {
+        let max_pipeline = self.shared.config.max_pipeline.max(1);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.close_after_flush
+            && !conn.inflight
+            && conn.pending.is_empty()
+            && conn.write_q.is_empty()
+        {
+            self.close(token);
+            return;
+        }
+        let want = Interest {
+            readable: conn.reading && conn.pending.len() < max_pipeline,
+            writable: !conn.write_q.is_empty(),
+        };
+        if want != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want)
+                .is_err()
+            {
+                self.close(token);
+                return;
+            }
+            conn.interest = want;
+        }
+    }
+
+    /// Shed peers that owe us the rest of a frame but have sent nothing
+    /// for longer than the stall deadline (e.g. a hostile trickler that
+    /// simply stopped). Idle peers *between* frames are left alone.
+    fn check_stalls(&mut self) {
+        let deadline = self.shared.config.frame_stall_timeout;
+        let stalled: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.asm.mid_frame() && c.last_byte.elapsed() >= deadline)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in stalled {
+            self.shared
+                .counters
+                .stalled_disconnects
+                .fetch_add(1, Ordering::Relaxed);
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.delete(conn.stream.as_raw_fd()).ok();
+        }
+    }
+}
+
+/// Write queued response bytes until the socket would block or the queue
+/// empties. `Err` means the connection is dead.
+fn flush_writes(conn: &mut Conn<'_>) -> io::Result<()> {
+    while let Some(front) = conn.write_q.front() {
+        match conn.stream.write(&front[conn.write_off..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes",
+                ))
+            }
+            Ok(n) => {
+                conn.write_off += n;
+                conn.queued_bytes -= n;
+                if conn.write_off == front.len() {
+                    conn.write_q.pop_front();
+                    conn.write_off = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 fn storage_error(e: impl std::fmt::Display) -> Box<Response> {
@@ -436,6 +871,9 @@ fn maybe_cold(db: &DirectMeshDb, opts: QueryOpts) -> Result<(), Box<Response>> {
 }
 
 /// Run one VI query on this thread with exact per-request accounting.
+/// Uses the flat fast path: canonical vertices and faces come straight
+/// from the uniform cut, bit-identical to `canonical_mesh` over the
+/// assembled front (same construction, see `try_vi_query_flat_counted`).
 fn exec_vi(
     db: &DirectMeshDb,
     roi: &Rect,
@@ -445,7 +883,7 @@ fn exec_vi(
     let reads_before = dm_storage::thread_reads();
     let mut counters = FetchCounters::default();
     let (res, report) = db
-        .try_vi_query_counted(roi, e, &mut counters)
+        .try_vi_query_flat_counted(roi, e, &mut counters)
         .map_err(storage_error)?;
     if !degraded && !report.is_clean() {
         return Err(Box::new(Response::Error {
@@ -453,7 +891,7 @@ fn exec_vi(
             message: format!("vi query lost data: {report}"),
         }));
     }
-    let (vertices, faces) = canonical_mesh(&res.front);
+    let (vertices, faces) = canonical_flat(&res.nodes, &res.faces);
     Ok(MeshResult {
         vertices,
         faces,
@@ -674,9 +1112,19 @@ fn handle_request<'db>(
                 .map(|&k| db.e_for_points_fraction(k))
                 .collect(),
         },
-        // Handled by the connection loop before dispatch.
+        // Handled by the reactor before dispatch.
         Request::Shutdown => Response::ShutdownAck,
     }
+}
+
+/// Test helper: the first 6 bytes of a valid frame (magic + version) —
+/// a prefix that obliges the server to wait for the rest.
+#[cfg(test)]
+fn super_valid_prefix() -> Vec<u8> {
+    let mut v = Vec::new();
+    v.extend_from_slice(&dm_net::frame::MAGIC.to_le_bytes());
+    v.extend_from_slice(&dm_net::frame::VERSION.to_le_bytes());
+    v
 }
 
 #[cfg(test)]
@@ -685,6 +1133,7 @@ mod tests {
     use dm_core::DmBuildOptions;
     use dm_mtm::builder::{build_pm, PmBuildConfig};
     use dm_net::client::{Client, ClientConfig};
+    use dm_net::frame::write_frame;
     use dm_net::wire::WireError;
     use dm_storage::{BufferPool, MemStore};
     use dm_terrain::{generate, TriMesh};
@@ -780,17 +1229,16 @@ mod tests {
 
     #[test]
     fn slow_reader_is_disconnected_not_hung() {
-        use dm_net::frame::write_frame;
-
         let config = ServerConfig {
-            // Tight cumulative deadline so the test is quick.
-            write_timeout: Duration::from_millis(200),
+            // Tight byte budget so the shed triggers quickly.
+            write_budget: 64 * 1024,
             ..ServerConfig::default()
         };
         let ((), stats) = with_server(config, |addr, db| {
             // A peer that pipelines many full-detail queries and never
-            // reads a single response byte: the socket buffers fill and
-            // an unbounded write would pin a worker forever.
+            // reads a single response byte: responses pile up in its
+            // write queue until the byte budget sheds the connection —
+            // without ever wedging the reactor or a worker.
             let mut evil = TcpStream::connect(addr).unwrap();
             let e = db.e_for_points_fraction(1.0);
             let req = Request::ViQuery {
@@ -799,9 +1247,9 @@ mod tests {
                 e,
             };
             let payload = req.encode();
-            // Pipeline until the server sheds us: once its bounded write
-            // hits the deadline it drops the connection, our unread data
-            // turns the close into a reset, and our writes start failing.
+            // Pipeline until the server sheds us: once the budget trips
+            // it drops the connection, our unread data turns the close
+            // into a reset, and our writes start failing.
             let mut dropped = false;
             for _ in 0..200_000 {
                 if write_frame(&mut evil, req.kind(), &payload).is_err() {
@@ -824,9 +1272,41 @@ mod tests {
     }
 
     #[test]
+    fn mid_frame_staller_is_shed_on_deadline() {
+        let config = ServerConfig {
+            frame_stall_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        };
+        let ((), stats) = with_server(config, |addr, _db| {
+            // Send half a valid frame header, then go silent: the peer
+            // owes the server bytes it will never send.
+            let mut staller = TcpStream::connect(addr).unwrap();
+            staller.write_all(&super::super_valid_prefix()).unwrap();
+            // Meanwhile a healthy client keeps getting answers.
+            let mut c = Client::connect(addr).unwrap();
+            let t0 = Instant::now();
+            while t0.elapsed() < Duration::from_secs(5) {
+                c.stats(Vec::new()).unwrap();
+                std::thread::sleep(Duration::from_millis(50));
+                // Probe whether the staller was dropped yet.
+                let mut probe = [0u8; 1];
+                staller.set_nonblocking(true).unwrap();
+                match staller.read(&mut probe) {
+                    Ok(_) => break, // EOF: shed
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(_) => break, // reset: shed
+                }
+            }
+        });
+        assert!(
+            stats.stalled_disconnects >= 1,
+            "expected a stall shed, got {stats:?}"
+        );
+    }
+
+    #[test]
     fn garbage_bytes_do_not_crash_the_server() {
         let ((), stats) = with_server(ServerConfig::default(), |addr, _db| {
-            use std::io::Write;
             let mut raw = TcpStream::connect(addr).unwrap();
             raw.write_all(b"this is not a DMNT frame at all").unwrap();
             drop(raw);
@@ -836,5 +1316,37 @@ mod tests {
         });
         assert!(stats.errors >= 1);
         assert_eq!(stats.connections, 2);
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let ((), stats) = with_server(ServerConfig::default(), |addr, db| {
+            let e = db.e_for_points_fraction(0.5);
+            let reqs: Vec<Request> = (0..8)
+                .map(|_| Request::ViQuery {
+                    opts: QueryOpts::default(),
+                    roi: db.bounds,
+                    e,
+                })
+                .collect();
+            let mut c = Client::connect(addr).unwrap();
+            let pipelined = c.exchange_pipelined(&reqs, 8).unwrap();
+            assert_eq!(pipelined.len(), reqs.len());
+            let serial = c.vi_query(QueryOpts::default(), db.bounds, e).unwrap();
+            for (i, resp) in pipelined.iter().enumerate() {
+                match resp {
+                    Response::Mesh(m) => {
+                        assert_eq!(m.vertices, serial.vertices, "response {i}");
+                        assert_eq!(m.faces, serial.faces, "response {i}");
+                    }
+                    other => panic!(
+                        "response {i}: expected mesh, got kind {:#04x}",
+                        other.kind()
+                    ),
+                }
+            }
+        });
+        assert!(stats.requests >= 9);
+        assert_eq!(stats.errors, 0);
     }
 }

@@ -34,6 +34,24 @@ pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 /// or a varint longer than a `u64` can hold.
 #[inline]
 pub fn get_varint(b: &[u8], off: &mut usize) -> u64 {
+    // Fast paths: one- and two-byte values dominate page scans (slot
+    // deltas, small connectivity ids, short lengths).
+    if let Some(&byte) = b.get(*off) {
+        if byte < 0x80 {
+            *off += 1;
+            return u64::from(byte);
+        }
+        if let Some(&b2) = b.get(*off + 1) {
+            if b2 < 0x80 {
+                *off += 2;
+                return u64::from(byte & 0x7F) | (u64::from(b2) << 7);
+            }
+        }
+    }
+    get_varint_slow(b, off)
+}
+
+fn get_varint_slow(b: &[u8], off: &mut usize) -> u64 {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -94,6 +112,18 @@ pub fn get_fdelta(b: &[u8], off: &mut usize) -> u64 {
     let mid = 8 - lead - trail;
     if mid == 0 {
         return 0;
+    }
+    // Fast path: one unaligned 8-byte load masked down to `mid` bytes —
+    // page buffers almost always have 8 readable bytes at the cursor.
+    if let Some(window) = b.get(*off..*off + 8) {
+        let raw = u64::from_le_bytes(window.try_into().unwrap());
+        let mask = if mid == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * mid)) - 1
+        };
+        *off += mid;
+        return (raw & mask) << (8 * trail);
     }
     assert!(*off + mid <= b.len(), "truncated f64 delta");
     let mut bytes = [0u8; 8];

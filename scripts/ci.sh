@@ -24,6 +24,15 @@ echo "== cargo test (single-threaded harness)"
 # (or be provoked by it); the suite must pass both ways.
 cargo test --workspace -q -- --test-threads=1
 
+echo "== adversarial-client suite (default + single-threaded harness)"
+# The stalled-reader / trickle-writer / garbage-sender tests exercise
+# reactor scheduling, so run them explicitly under both harness modes:
+# parallel (other tests competing for the core) and serial (no cover
+# from harness concurrency).
+cargo test -q -p dm-integration --test server_loopback
+cargo test -q -p dm-integration --test server_loopback -- --test-threads=1
+cargo test -q -p dm-integration --test proptest_server_pipeline -- --test-threads=1
+
 echo "== benches compile"
 cargo build --release --benches --workspace
 
@@ -120,6 +129,7 @@ for _ in $(seq 1 100); do [ -s "$SMOKE_DIR/port" ] && break; sleep 0.1; done
 ADDR=$(cat "$SMOKE_DIR/port")
 "$DM" remote-query --addr "$ADDR" --cold --verify-local "$SMOKE_DIR/t.dmdb"
 "$DM" remote-query --addr "$ADDR" --batch 2 --verify-local "$SMOKE_DIR/t.dmdb"
+"$DM" remote-query --addr "$ADDR" --pipeline 4 --verify-local "$SMOKE_DIR/t.dmdb"
 "$DM" remote-walkthrough --addr "$ADDR" --frames 4 --verify-local "$SMOKE_DIR/t.dmdb" >/dev/null
 "$DM" remote-shutdown --addr "$ADDR"
 wait "$SERVE_PID"

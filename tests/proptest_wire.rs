@@ -21,8 +21,8 @@ use dm_core::{BoundaryPolicy, DbStats, FetchCounters, IntegrityReport, VdQuery};
 use dm_geom::{Rect, Vec2};
 use dm_mtm::PlaneTarget;
 use dm_net::{
-    encode_frame, read_frame, ErrorCode, Frame, FrameEvent, MeshResult, QueryOpts, Request,
-    Response, WireVertex,
+    encode_frame, read_frame, ErrorCode, Frame, FrameAssembler, FrameEvent, MeshResult, QueryOpts,
+    Request, Response, WireVertex,
 };
 use proptest::prelude::*;
 
@@ -347,5 +347,77 @@ proptest! {
         let frame = Frame { kind, payload };
         let _ = Request::decode(&frame);
         let _ = Response::decode(&frame);
+    }
+
+    /// Incremental reassembly is delivery-invariant: however a stream of
+    /// frames is split into chunks (any cut points, including mid-header
+    /// and mid-payload), the assembler yields exactly the frames that
+    /// whole-buffer delivery yields, in order, byte for byte. This is
+    /// the property the event-loop server's read path rests on.
+    #[test]
+    fn frame_reassembly_is_split_invariant(
+        resps in collection::vec(arb_response(), 1..4),
+        splits in collection::vec(any::<usize>(), 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for r in &resps {
+            stream.extend_from_slice(&encode_frame(r.kind(), &r.encode()));
+        }
+
+        // Reference: the whole stream delivered in one push.
+        let mut asm = FrameAssembler::new();
+        asm.push(&stream);
+        let mut whole = Vec::new();
+        while let Some(f) = asm.next_frame().expect("clean stream") {
+            whole.push(f);
+        }
+        prop_assert_eq!(whole.len(), resps.len());
+        prop_assert!(!asm.mid_frame(), "clean stream left residue");
+
+        // Same stream delivered at arbitrary split points.
+        let mut cuts: Vec<usize> = splits.iter().map(|s| s % (stream.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(stream.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut asm = FrameAssembler::new();
+        let mut pieces = Vec::new();
+        for w in cuts.windows(2) {
+            asm.push(&stream[w[0]..w[1]]);
+            while let Some(f) = asm.next_frame().expect("clean stream") {
+                pieces.push(f);
+            }
+        }
+        prop_assert_eq!(pieces.len(), whole.len());
+        for (i, (a, b)) in pieces.iter().zip(&whole).enumerate() {
+            prop_assert_eq!(a.kind, b.kind, "frame {} kind", i);
+            prop_assert_eq!(&a.payload, &b.payload, "frame {} payload", i);
+        }
+    }
+
+    /// Untrusted bytes pushed into the assembler in arbitrary chunks
+    /// never panic: every outcome is a clean frame, a need-more-bytes,
+    /// or a typed desync error (at which point a server drops the peer).
+    #[test]
+    fn frame_assembler_never_panics_on_untrusted_bytes(
+        data in collection::vec(any::<u8>(), 0..4096),
+        splits in collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut cuts: Vec<usize> = splits.iter().map(|s| s % (data.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(data.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut asm = FrameAssembler::new();
+        'outer: for w in cuts.windows(2) {
+            asm.push(&data[w[0]..w[1]]);
+            loop {
+                match asm.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => break 'outer, // desync: connection would drop
+                }
+            }
+        }
     }
 }

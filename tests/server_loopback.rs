@@ -41,14 +41,20 @@ fn build_db(side: usize, seed: u64) -> DirectMeshDb {
 /// signalled through the handle even when `f` panics, so a failing
 /// assertion aborts the test instead of deadlocking the scope.
 fn with_server<R>(db: &DirectMeshDb, f: impl FnOnce(&str) -> R) -> R {
-    let server = Server::bind(
-        "127.0.0.1:0",
+    with_server_cfg(
+        db,
         ServerConfig {
             workers: 2,
             ..ServerConfig::default()
         },
+        f,
     )
-    .expect("bind loopback");
+}
+
+/// Like [`with_server`] but with explicit knobs (tight write budgets,
+/// short stall deadlines) for the adversarial-client tests.
+fn with_server_cfg<R>(db: &DirectMeshDb, config: ServerConfig, f: impl FnOnce(&str) -> R) -> R {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
     let addr = server.local_addr().expect("local addr").to_string();
     let ctl = server.shutdown_handle();
     std::thread::scope(|s| {
@@ -304,5 +310,210 @@ fn fault_injected_server_degrades_instead_of_crashing() {
         // The same connection still answers after all of that.
         let (stats, _) = client.stats(vec![]).expect("connection survives faults");
         assert_eq!(stats.n_records, db.n_records as u64);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial clients. A hostile peer — one that never reads, one that
+// trickles and stalls, one that sends garbage — must be shed cleanly
+// (typed error or disconnect, never a wedged server), while a
+// well-behaved client sharing the server keeps getting answers that are
+// bit-identical to local execution.
+// ---------------------------------------------------------------------------
+
+use dm_net::frame::{read_frame, write_frame, FrameEvent};
+use dm_net::proto::{ErrorCode, Request, Response};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// One clean warm VI query over the wire, compared bit-for-bit against
+/// the same query run locally on the shared database object.
+fn assert_clean_query_matches(client: &mut Client, db: &DirectMeshDb, roi: Rect, e: f64) {
+    let remote = client
+        .vi_query(QueryOpts::default(), roi, e)
+        .expect("clean client query");
+    let (local, report) = db.try_vi_query(&roi, e).expect("local query");
+    assert!(report.is_clean());
+    assert_same_mesh("clean client under attack", &remote, &local.front);
+    assert_eq!(remote.fetched_records, local.fetched_records as u64);
+}
+
+#[test]
+fn stalled_reader_is_shed_while_clean_client_stays_bit_identical() {
+    let db = build_db(33, 5);
+    let e_full = db.e_for_points_fraction(1.0);
+    let e_mid = db.e_for_points_fraction(0.3);
+    let roi = db.bounds;
+    let cfg = ServerConfig {
+        workers: 2,
+        // Tight budget so the non-reading peer is shed quickly.
+        write_budget: 64 * 1024,
+        ..ServerConfig::default()
+    };
+    with_server_cfg(&db, cfg, |addr| {
+        let evil_done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let evil = s.spawn(|| {
+                // Pipeline full-detail queries and never read a byte:
+                // responses pile up against the write budget until the
+                // server sheds the connection, which turns our next
+                // blocked write into an error.
+                let mut sock = TcpStream::connect(addr).unwrap();
+                let req = Request::ViQuery {
+                    opts: QueryOpts::default(),
+                    roi,
+                    e: e_full,
+                };
+                let payload = req.encode();
+                let mut dropped = false;
+                for _ in 0..200_000 {
+                    if write_frame(&mut sock, req.kind(), &payload).is_err() {
+                        dropped = true;
+                        break;
+                    }
+                }
+                evil_done.store(true, Ordering::SeqCst);
+                dropped
+            });
+            // The clean client keeps querying while the attack runs.
+            let mut client = Client::connect(addr).expect("clean connect");
+            let t0 = Instant::now();
+            while !evil_done.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(30) {
+                assert_clean_query_matches(&mut client, &db, roi, e_mid);
+            }
+            assert!(
+                evil.join().expect("evil thread"),
+                "server never shed the non-reading peer"
+            );
+            // And still answers bit-identically after the shed.
+            assert_clean_query_matches(&mut client, &db, roi, e_mid);
+        });
+    });
+}
+
+#[test]
+fn trickle_writer_is_served_but_mid_frame_staller_is_shed() {
+    let db = build_db(33, 5);
+    let e = db.e_for_points_fraction(0.3);
+    let roi = db.bounds;
+    let cfg = ServerConfig {
+        workers: 2,
+        frame_stall_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    with_server_cfg(&db, cfg, |addr| {
+        // A 1-byte-at-a-time writer that keeps making progress is a slow
+        // peer, not a hostile one: the event loop reassembles its frame
+        // without ever blocking a worker on it, and the answer is
+        // bit-identical to local execution.
+        let req = Request::ViQuery {
+            opts: QueryOpts::default(),
+            roi,
+            e,
+        };
+        let mut frame_bytes = Vec::new();
+        write_frame(&mut frame_bytes, req.kind(), &req.encode()).unwrap();
+        let mut trickler = TcpStream::connect(addr).unwrap();
+        trickler
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        for byte in &frame_bytes {
+            trickler.write_all(std::slice::from_ref(byte)).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        match read_frame(&mut trickler).expect("trickled query answered") {
+            FrameEvent::Frame(f) => {
+                let resp = Response::decode(&f).expect("decode trickled response");
+                let Response::Mesh(remote) = resp else {
+                    panic!("expected mesh for trickled query");
+                };
+                let (local, _) = db.try_vi_query(&roi, e).expect("local query");
+                assert_same_mesh("trickled query", &remote, &local.front);
+            }
+            other => panic!("expected a response frame, got {other:?}"),
+        }
+        drop(trickler);
+
+        // A peer that goes silent *mid-frame* owes the server bytes it
+        // never sends: the stall deadline sheds it. A clean client on
+        // the same server is never disturbed.
+        let mut staller = TcpStream::connect(addr).unwrap();
+        staller.write_all(&frame_bytes[..7]).unwrap();
+        let mut client = Client::connect(addr).expect("clean connect");
+        staller.set_nonblocking(true).unwrap();
+        let t0 = Instant::now();
+        let mut shed = false;
+        while t0.elapsed() < Duration::from_secs(10) {
+            assert_clean_query_matches(&mut client, &db, roi, e);
+            let mut probe = [0u8; 1];
+            match std::io::Read::read(&mut staller, &mut probe) {
+                Ok(_) => {
+                    shed = true; // EOF: the server dropped us
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => {
+                    shed = true; // reset
+                    break;
+                }
+            }
+        }
+        assert!(shed, "server never shed the mid-frame staller");
+    });
+}
+
+#[test]
+fn garbage_and_truncated_frames_get_typed_errors_not_crashes() {
+    let db = build_db(33, 5);
+    let e = db.e_for_points_fraction(0.3);
+    let roi = db.bounds;
+    with_server(&db, |addr| {
+        // Garbage bytes: the server answers with a *typed* BadRequest
+        // error frame before dropping the connection.
+        let mut garbage = TcpStream::connect(addr).unwrap();
+        garbage
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        garbage
+            .write_all(b"these bytes are not a frame of any kind")
+            .unwrap();
+        match read_frame(&mut garbage).expect("typed error answered") {
+            FrameEvent::Frame(f) => match Response::decode(&f).expect("decode error frame") {
+                Response::Error { code, .. } => {
+                    assert_eq!(code, ErrorCode::BadRequest, "garbage gets BadRequest");
+                }
+                other => panic!("expected error response, got kind {:#04x}", other.kind()),
+            },
+            other => panic!("expected a typed error frame, got {other:?}"),
+        }
+        // ...and then EOF: the connection is closed, not wedged.
+        match read_frame(&mut garbage).expect("read after error") {
+            FrameEvent::Eof => {}
+            other => panic!("expected EOF after typed error, got {other:?}"),
+        }
+
+        // Truncated frame: a valid header promising more bytes than ever
+        // arrive, then an abrupt close. The server just drops the
+        // half-open connection; nothing crashes or leaks.
+        let req = Request::ViQuery {
+            opts: QueryOpts::default(),
+            roi,
+            e,
+        };
+        let mut frame_bytes = Vec::new();
+        write_frame(&mut frame_bytes, req.kind(), &req.encode()).unwrap();
+        let mut trunc = TcpStream::connect(addr).unwrap();
+        trunc
+            .write_all(&frame_bytes[..frame_bytes.len() / 2])
+            .unwrap();
+        drop(trunc);
+
+        // A well-behaved client is still answered bit-identically.
+        let mut client = Client::connect(addr).expect("clean connect");
+        assert_clean_query_matches(&mut client, &db, roi, e);
     });
 }
