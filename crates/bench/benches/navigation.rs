@@ -1,17 +1,25 @@
-//! Incremental navigation vs. per-frame cold requery.
+//! Incremental navigation vs. per-frame cold requery vs. the planner.
 //!
-//! Walks a fixed waypoint path over the mining terrain twice with the
-//! same [`NavigationSession`] machinery: once in full-requery mode (every
-//! frame refetches its whole cube set — the paper's isolated-query
-//! protocol) and once incrementally (delta planning + working-set reuse +
-//! seed-front patching). Both modes share one code path and must produce
-//! identical meshes; only the I/O may differ.
+//! Walks a fixed waypoint path over the mining terrain three times with
+//! the same [`NavigationSession`] machinery — once per [`PlanMode`]:
 //!
-//! Two facts are *asserted*, not just reported:
+//! * `full` — every frame refetches its whole cube set (the paper's
+//!   isolated-query protocol),
+//! * `incremental` — delta planning + working-set reuse + seed-front
+//!   patching,
+//! * `auto` — the query planner picks full or incremental per frame from
+//!   estimated candidate pages and live buffer-pool residency.
 //!
-//! * per-frame vertex counts agree between the two modes, and
+//! All modes share one code path and must produce identical meshes; only
+//! the I/O may differ. Three facts are *asserted*, not just reported:
+//!
+//! * per-frame vertex counts agree across all three modes,
 //! * over the warm frames (all but frame 0) the incremental session
-//!   fetches AND decodes at least 50% fewer records than full requery.
+//!   fetches AND decodes at least 50% fewer records than full requery
+//!   (on walkthrough-density paths), and
+//! * warm incremental frames *examine* at most half the records full
+//!   requery examines — the page-MBR pre-filter keeps the batched delta
+//!   fetch from rescanning shared pages.
 //!
 //! Numbers land in `BENCH_navigation.json`. `DM_NAV_FRAMES` overrides the
 //! path length (default 32); `DM_SCALE` picks the terrain size.
@@ -20,8 +28,11 @@ use std::sync::Arc;
 
 use dm_bench::{vd_query, Scale, POOL_PAGES};
 use dm_core::navigation::waypoint_path;
-use dm_core::{BoundaryPolicy, DirectMeshDb, DmBuildOptions, FrameStats, NavigationSession};
-use dm_geom::{Rect, Vec2};
+use dm_core::{
+    BoundaryPolicy, DirectMeshDb, DmBuildOptions, FrameStats, NavigationSession, PlanMode,
+};
+use dm_geom::Rect;
+use dm_geom::Vec2;
 use dm_mtm::builder::{build_pm, PmBuildConfig};
 use dm_storage::{BufferPool, MemStore};
 use dm_terrain::{generate, TriMesh};
@@ -31,11 +42,11 @@ struct Frame {
     secs: f64,
 }
 
-fn walk(db: &DirectMeshDb, path: &[Rect], e_min: f64, full_requery: bool) -> Vec<Frame> {
+fn walk(db: &DirectMeshDb, path: &[Rect], e_min: f64, mode: PlanMode) -> Vec<Frame> {
     db.cold_start();
     let mut session = NavigationSession::new(db, BoundaryPolicy::Skip)
         .with_max_cubes(16)
-        .with_full_requery(full_requery);
+        .with_plan_mode(mode);
     path.iter()
         .map(|roi| {
             let q = vd_query(roi, db.e_max, e_min, 0.5);
@@ -49,15 +60,31 @@ fn walk(db: &DirectMeshDb, path: &[Rect], e_min: f64, full_requery: bool) -> Vec
         .collect()
 }
 
-fn totals(frames: &[Frame]) -> (u64, u64, u64, f64) {
-    frames.iter().fold((0, 0, 0, 0.0), |acc, f| {
-        (
-            acc.0 + f.stats.disk_accesses,
-            acc.1 + f.stats.fetched_records as u64,
-            acc.2 + f.stats.decoded_records,
-            acc.3 + f.secs,
-        )
-    })
+struct Totals {
+    disk: u64,
+    fetch: u64,
+    dec: u64,
+    exam: u64,
+    secs: f64,
+}
+
+fn totals(frames: &[Frame]) -> Totals {
+    frames.iter().fold(
+        Totals {
+            disk: 0,
+            fetch: 0,
+            dec: 0,
+            exam: 0,
+            secs: 0.0,
+        },
+        |acc, f| Totals {
+            disk: acc.disk + f.stats.disk_accesses,
+            fetch: acc.fetch + f.stats.fetched_records as u64,
+            dec: acc.dec + f.stats.decoded_records,
+            exam: acc.exam + f.stats.examined_records,
+            secs: acc.secs + f.secs,
+        },
+    )
 }
 
 fn json_array<T: std::fmt::Display>(xs: impl Iterator<Item = T>) -> String {
@@ -100,19 +127,26 @@ fn main() {
     // on trivially coarse cuts) and coarsens across the window.
     let e_min = db.e_for_points_fraction(0.35);
 
-    let full = walk(&db, &path, e_min, true);
-    let incr = walk(&db, &path, e_min, false);
+    let full = walk(&db, &path, e_min, PlanMode::Full);
+    let incr = walk(&db, &path, e_min, PlanMode::Incremental);
+    let auto = walk(&db, &path, e_min, PlanMode::Auto);
 
-    for (i, (f, n)) in full.iter().zip(&incr).enumerate() {
+    for i in 0..path.len() {
         assert_eq!(
-            f.stats.vertices, n.stats.vertices,
+            full[i].stats.vertices, incr[i].stats.vertices,
             "frame {i}: incremental mesh diverged from full requery"
         );
+        assert_eq!(
+            full[i].stats.vertices, auto[i].stats.vertices,
+            "frame {i}: planner mesh diverged from full requery"
+        );
     }
+    let auto_full_frames = auto.iter().filter(|f| f.stats.plan.chose_full).count();
 
-    // Warm-frame totals (frame 0 is a cold start in both modes).
-    let (f_disk, f_fetch, f_dec, f_secs) = totals(&full[1..]);
-    let (i_disk, i_fetch, i_dec, i_secs) = totals(&incr[1..]);
+    // Warm-frame totals (frame 0 is a cold start in all modes).
+    let f = totals(&full[1..]);
+    let n = totals(&incr[1..]);
+    let a = totals(&auto[1..]);
     // The ≥50% saving is a claim about walkthrough-density paths. A short
     // smoke run strides a large fraction of the window per frame, where
     // the overlap physically can't reach 50% — there only strict
@@ -124,14 +158,31 @@ fn main() {
         / (path.len() - 1).max(1) as f64;
     if mean_step <= window * 0.2 {
         assert!(
-            2 * i_fetch <= f_fetch,
-            "incremental fetched {i_fetch} records over warm frames, \
-             full requery {f_fetch}: less than the required 50% saving"
+            2 * n.fetch <= f.fetch,
+            "incremental fetched {} records over warm frames, \
+             full requery {}: less than the required 50% saving",
+            n.fetch,
+            f.fetch
         );
         assert!(
-            2 * i_dec <= f_dec,
-            "incremental decoded {i_dec} records over warm frames, \
-             full requery {f_dec}: less than the required 50% saving"
+            2 * n.dec <= f.dec,
+            "incremental decoded {} records over warm frames, \
+             full requery {}: less than the required 50% saving",
+            n.dec,
+            f.dec
+        );
+        // The delta pieces are geometric subsets of the frame's cubes, so
+        // with the batched fetch (one scan per candidate page, page MBR
+        // pre-filtering the piece list) incremental frames can never
+        // examine more than full requery does. The old per-sliver path
+        // violated this badly — shared pages were rescanned once per
+        // overlapping piece, examining ~1.5× what full requery did.
+        assert!(
+            n.exam <= f.exam,
+            "incremental examined {} records over warm frames, full \
+             requery {}: the examined≫decoded blow-up is back",
+            n.exam,
+            f.exam
         );
     } else {
         eprintln!(
@@ -139,7 +190,7 @@ fn main() {
             mean_step / window
         );
         assert!(
-            i_fetch < f_fetch && i_dec < f_dec,
+            n.fetch < f.fetch && n.dec < f.dec,
             "incremental not cheaper"
         );
     }
@@ -155,69 +206,103 @@ fn main() {
             &[
                 "full DA".into(),
                 "incr DA".into(),
-                "full fetch".into(),
-                "incr fetch".into(),
+                "full exam".into(),
+                "incr exam".into(),
                 "incr +s/-s".into(),
+                "auto plan".into(),
                 "verts".into(),
             ]
         )
     );
-    for (i, (f, n)) in full.iter().zip(&incr).enumerate() {
+    for (i, (fr, nr)) in full.iter().zip(&incr).enumerate() {
         println!(
             "{}",
             dm_bench::row(
                 &i.to_string(),
                 &[
-                    f.stats.disk_accesses.to_string(),
-                    n.stats.disk_accesses.to_string(),
-                    f.stats.fetched_records.to_string(),
-                    n.stats.fetched_records.to_string(),
-                    format!("+{}/-{}", n.stats.seeds_added, n.stats.seeds_removed),
-                    n.stats.vertices.to_string(),
+                    fr.stats.disk_accesses.to_string(),
+                    nr.stats.disk_accesses.to_string(),
+                    fr.stats.examined_records.to_string(),
+                    nr.stats.examined_records.to_string(),
+                    format!("+{}/-{}", nr.stats.seeds_added, nr.stats.seeds_removed),
+                    if auto[i].stats.plan.chose_full {
+                        "full".to_string()
+                    } else {
+                        "incr".to_string()
+                    },
+                    nr.stats.vertices.to_string(),
                 ]
             )
         );
     }
-    let pct = |a: u64, b: u64| 100.0 * (1.0 - a as f64 / b.max(1) as f64);
+    let pct = |x: u64, base: u64| 100.0 * (1.0 - x as f64 / base.max(1) as f64);
     println!(
-        "{:>10}  warm frames: disk {f_disk}→{i_disk} ({:.1}% saved), \
-         fetched {f_fetch}→{i_fetch} ({:.1}% saved), decoded {f_dec}→{i_dec} ({:.1}% saved), \
-         {:.3}s→{:.3}s",
+        "{:>10}  warm frames: disk {}→{} ({:.1}% saved), \
+         fetched {}→{} ({:.1}% saved), examined {}→{} ({:.1}% saved), \
+         full {:.3}s / incr {:.3}s / auto {:.3}s ({auto_full_frames} full frame(s) chosen)",
         "total",
-        pct(i_disk, f_disk),
-        pct(i_fetch, f_fetch),
-        pct(i_dec, f_dec),
-        f_secs,
-        i_secs,
+        f.disk,
+        n.disk,
+        pct(n.disk, f.disk),
+        f.fetch,
+        n.fetch,
+        pct(n.fetch, f.fetch),
+        f.exam,
+        n.exam,
+        pct(n.exam, f.exam),
+        f.secs,
+        n.secs,
+        a.secs,
     );
 
-    let mode_json = |name: &str, fs: &[Frame]| {
+    let warm_json = |t: &Totals| {
         format!(
+            "{{\"disk_accesses\": {}, \"fetched_records\": {}, \
+             \"decoded_records\": {}, \"examined_records\": {}, \"secs\": {:.6}}}",
+            t.disk, t.fetch, t.dec, t.exam, t.secs
+        )
+    };
+    let mode_json = |name: &str, fs: &[Frame], plans: bool| {
+        let mut body = format!(
             "    \"{name}\": {{\n      \"disk_accesses\": {},\n      \
              \"fetched_records\": {},\n      \"decoded_records\": {},\n      \
-             \"examined_records\": {},\n      \"frame_secs\": {}\n    }}",
+             \"examined_records\": {},\n      \"frame_secs\": {}",
             json_array(fs.iter().map(|f| f.stats.disk_accesses)),
             json_array(fs.iter().map(|f| f.stats.fetched_records)),
             json_array(fs.iter().map(|f| f.stats.decoded_records)),
             json_array(fs.iter().map(|f| f.stats.examined_records)),
             json_array(fs.iter().map(|f| format!("{:.6}", f.secs))),
-        )
+        );
+        if plans {
+            body.push_str(&format!(
+                ",\n      \"chose_full\": {}",
+                json_array(fs.iter().map(|f| u8::from(f.stats.plan.chose_full)))
+            ));
+        }
+        body.push_str("\n    }");
+        body
     };
     let json = format!(
         "{{\n  \"bench\": \"navigation\",\n  \"dataset\": \"mining-{side}\",\n  \
          \"frames\": {frames},\n  \"window_frac\": 0.35,\n  \"max_cubes\": 16,\n  \
          \"warm_totals\": {{\n    \
-         \"full_requery\": {{\"disk_accesses\": {f_disk}, \"fetched_records\": {f_fetch}, \
-         \"decoded_records\": {f_dec}, \"secs\": {f_secs:.6}}},\n    \
-         \"incremental\": {{\"disk_accesses\": {i_disk}, \"fetched_records\": {i_fetch}, \
-         \"decoded_records\": {i_dec}, \"secs\": {i_secs:.6}}},\n    \
+         \"full_requery\": {},\n    \
+         \"incremental\": {},\n    \
+         \"auto\": {},\n    \
+         \"auto_full_frames\": {auto_full_frames},\n    \
          \"fetch_saved_pct\": {:.2},\n    \"decode_saved_pct\": {:.2},\n    \
-         \"disk_saved_pct\": {:.2}\n  }},\n  \"per_frame\": {{\n{},\n{}\n  }}\n}}\n",
-        pct(i_fetch, f_fetch),
-        pct(i_dec, f_dec),
-        pct(i_disk, f_disk),
-        mode_json("full_requery", &full),
-        mode_json("incremental", &incr),
+         \"examined_saved_pct\": {:.2},\n    \"disk_saved_pct\": {:.2}\n  }},\n  \
+         \"per_frame\": {{\n{},\n{},\n{}\n  }}\n}}\n",
+        warm_json(&f),
+        warm_json(&n),
+        warm_json(&a),
+        pct(n.fetch, f.fetch),
+        pct(n.dec, f.dec),
+        pct(n.exam, f.exam),
+        pct(n.disk, f.disk),
+        mode_json("full_requery", &full, false),
+        mode_json("incremental", &incr, false),
+        mode_json("auto", &auto, true),
     );
     let out = std::env::var("DM_NAV_OUT").unwrap_or_else(|_| "BENCH_navigation.json".to_string());
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));

@@ -30,6 +30,7 @@
 //! don't inflate each other's [`FrameStats`].
 
 use dm_geom::{subtract_boxes, Box3, Rect, Vec2};
+use dm_index::FrameCostParams;
 use dm_mtm::refine::{FrontMesh, RefineStats};
 use dm_mtm::NIL_ID;
 use dm_storage::StorageResult;
@@ -47,6 +48,71 @@ const MAX_DELTA_PIECES: usize = 48;
 
 /// Compact the seed front when dead triangle slots outnumber live ones.
 const COMPACT_SLACK: usize = 2;
+
+/// Per-frame execution strategy of a [`NavigationSession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Decide per frame from the calibrated cost model plus live buffer
+    /// pool residency: incremental ΔROI execution when the delta plan is
+    /// estimated cheaper, a full requery when fragmentation or cold
+    /// cubes make delta planning overhead not worth paying.
+    Auto,
+    /// Always delta-plan against the previous frame (the PR 3 behavior,
+    /// and the default — existing callers see no change).
+    #[default]
+    Incremental,
+    /// Always run the paper's cold-style full requery.
+    Full,
+}
+
+impl PlanMode {
+    /// Parse a CLI-style strategy name.
+    pub fn parse(s: &str) -> Option<PlanMode> {
+        match s {
+            "auto" => Some(PlanMode::Auto),
+            "incremental" => Some(PlanMode::Incremental),
+            "full" => Some(PlanMode::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style strategy name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanMode::Auto => "auto",
+            PlanMode::Incremental => "incremental",
+            PlanMode::Full => "full",
+        }
+    }
+}
+
+/// The planner's decision for one frame, with the inputs that produced
+/// it (surfaced by `dm explain`). For fixed [`PlanMode::Incremental`] /
+/// [`PlanMode::Full`] sessions only `chose_full` is meaningful — no
+/// estimate is computed, because none is needed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlanDecision {
+    /// Whether the frame executed as a full requery of its cubes.
+    pub chose_full: bool,
+    /// Estimated cost of the incremental ΔROI plan ([`FrameCostParams`]).
+    pub cost_incremental: f64,
+    /// Estimated cost of the full-requery plan.
+    pub cost_full: f64,
+    /// ΔROI pieces the box subtraction produced.
+    pub delta_pieces: usize,
+    /// Candidate data pages of the ΔROI plan (stored page MBRs).
+    pub delta_pages: usize,
+    /// …of which resident in the buffer pool at plan time.
+    pub delta_resident: usize,
+    /// Estimated records the ΔROI pieces select (MBR volume overlap).
+    pub delta_est_records: f64,
+    /// Candidate data pages of the full plan.
+    pub full_pages: usize,
+    /// …of which resident in the buffer pool at plan time.
+    pub full_resident: usize,
+    /// Estimated records the full cube set selects.
+    pub full_est_records: f64,
+}
 
 /// Statistics of one navigation step.
 #[derive(Clone, Copy, Debug, Default)]
@@ -70,6 +136,8 @@ pub struct FrameStats {
     pub refine: RefineStats,
     /// Front size after the frame.
     pub vertices: usize,
+    /// The planner's decision for this frame and its inputs.
+    pub plan: PlanDecision,
 }
 
 /// A stateful walkthrough over one Direct Mesh database.
@@ -77,7 +145,9 @@ pub struct NavigationSession<'a> {
     db: &'a DirectMeshDb,
     policy: BoundaryPolicy,
     max_cubes: usize,
-    full_requery: bool,
+    mode: PlanMode,
+    /// Unit costs for the [`PlanMode::Auto`] frame decision.
+    cost_params: FrameCostParams,
     /// The refined mesh of the last frame.
     front: FrontMesh,
     /// Session record cache — always exactly the union fetch set of the
@@ -91,6 +161,11 @@ pub struct NavigationSession<'a> {
     /// that expires (its record may already be gone from `working`) can
     /// still dirty its old neighbours.
     seed_adj: FxHashMap<u32, Vec<u32>>,
+    /// Per-frame scratch, reused across frames so the planner and delta
+    /// executor allocate nothing in steady state: the ΔROI piece list…
+    pieces: Vec<Box3>,
+    /// …and the candidate-page buffer of the planner's estimates.
+    page_scratch: Vec<dm_storage::PageId>,
 }
 
 impl<'a> NavigationSession<'a> {
@@ -100,12 +175,15 @@ impl<'a> NavigationSession<'a> {
             db,
             policy,
             max_cubes: 16,
-            full_requery: false,
+            mode: PlanMode::default(),
+            cost_params: FrameCostParams::default(),
             front: FrontMesh::default(),
             working: FxHashMap::default(),
             prev_cubes: Vec::new(),
             seed_front: FrontMesh::default(),
             seed_adj: FxHashMap::default(),
+            pieces: Vec::new(),
+            page_scratch: Vec::new(),
         }
     }
 
@@ -115,11 +193,36 @@ impl<'a> NavigationSession<'a> {
         self
     }
 
+    /// Per-frame execution strategy (default [`PlanMode::Incremental`]).
+    /// Every mode produces byte-identical meshes; they differ only in
+    /// cost (proven by the planner equivalence proptests).
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Override the planner's unit costs (testing/calibration aid).
+    pub fn with_cost_params(mut self, params: FrameCostParams) -> Self {
+        self.cost_params = params;
+        self
+    }
+
     /// Disable incremental reuse: every frame runs a cold-style
     /// multi-base query (the baseline the benchmarks compare against).
+    /// Sugar for [`Self::with_plan_mode`] with [`PlanMode::Full`] /
+    /// [`PlanMode::Incremental`].
     pub fn with_full_requery(mut self, full: bool) -> Self {
-        self.full_requery = full;
+        self.mode = if full {
+            PlanMode::Full
+        } else {
+            PlanMode::Incremental
+        };
         self
+    }
+
+    /// The session's per-frame execution strategy.
+    pub fn plan_mode(&self) -> PlanMode {
+        self.mode
     }
 
     /// The session's boundary policy.
@@ -162,26 +265,76 @@ impl<'a> NavigationSession<'a> {
             new_cubes.push(Box3::prism(*rect, lo, self.db.clamp_e(hi)));
         }
 
-        // Delta planning: fetch only the parts of the new cubes that the
-        // previous frame's cubes did not cover. All fetches complete
-        // before any session state changes, so an `Err` leaves the
-        // session consistent.
-        let prev: &[Box3] = if self.full_requery {
-            &[]
-        } else {
-            &self.prev_cubes
-        };
-        let mut fresh: Vec<DmRecord> = Vec::new();
-        let mut fetched = 0usize;
-        for cube in &new_cubes {
-            for piece in subtract_boxes(cube, prev, MAX_DELTA_PIECES) {
-                let recs = self
-                    .db
-                    .fetch_box_counted(&piece, &mut report, &mut counters)?;
-                fetched += recs.len();
-                fresh.extend(recs);
+        // Delta planning: the parts of the new cubes that the previous
+        // frame's cubes did not cover. A full requery needs no pieces.
+        self.pieces.clear();
+        if self.mode != PlanMode::Full {
+            for cube in &new_cubes {
+                self.pieces
+                    .extend(subtract_boxes(cube, &self.prev_cubes, MAX_DELTA_PIECES));
             }
         }
+
+        // The planner: estimate both strategies' candidate pages from
+        // the stored page MBRs, discount pages already resident in the
+        // buffer pool (a residency probe — never a counted access), and
+        // charge the delta plan its per-piece bookkeeping. Fixed modes
+        // skip the estimate entirely.
+        let plan = match self.mode {
+            PlanMode::Full => PlanDecision {
+                chose_full: true,
+                ..PlanDecision::default()
+            },
+            PlanMode::Incremental => PlanDecision::default(),
+            PlanMode::Auto => {
+                let (delta_pages, delta_resident, delta_est_records) = self
+                    .db
+                    .estimate_frame_pages(&self.pieces, &mut self.page_scratch);
+                let (full_pages, full_resident, full_est_records) = self
+                    .db
+                    .estimate_frame_pages(&new_cubes, &mut self.page_scratch);
+                let cost_incremental = self.cost_params.frame_cost(
+                    delta_pages,
+                    delta_resident,
+                    delta_est_records,
+                    self.pieces.len(),
+                );
+                // The full plan pays no piece overhead: that term prices
+                // the delta plan's subtraction bookkeeping, which a full
+                // requery skips (ties — e.g. the cold first frame, where
+                // pieces == cubes — therefore resolve to `full`).
+                let cost_full =
+                    self.cost_params
+                        .frame_cost(full_pages, full_resident, full_est_records, 0);
+                PlanDecision {
+                    chose_full: cost_full < cost_incremental,
+                    cost_incremental,
+                    cost_full,
+                    delta_pieces: self.pieces.len(),
+                    delta_pages,
+                    delta_resident,
+                    delta_est_records,
+                    full_pages,
+                    full_resident,
+                    full_est_records,
+                }
+            }
+        };
+
+        // Execute the chosen plan as ONE batched fetch: a single index
+        // descent for all boxes, every candidate heap page scanned once
+        // with its MBR pre-filtering the box list. All fetches complete
+        // before any session state changes, so an `Err` leaves the
+        // session consistent.
+        let exec: &[Box3] = if plan.chose_full {
+            &new_cubes
+        } else {
+            &self.pieces
+        };
+        let fresh = self
+            .db
+            .fetch_boxes_counted(exec, &mut report, &mut counters)?;
+        let fetched = fresh.len();
 
         // Working-set update: drop records whose indexed segment left
         // every new cube, absorb the delta fetch. The cache now equals
@@ -218,6 +371,7 @@ impl<'a> NavigationSession<'a> {
             seeds_removed,
             refine,
             vertices: front.num_vertices(),
+            plan,
         };
         self.front = front;
         Ok((stats, report))
@@ -540,6 +694,70 @@ mod tests {
             assert_eq!(si.vertices, sf.vertices);
             assert_eq!(face_set(inc.front()), face_set(full.front()));
             assert!(si.fetched_records <= sf.fetched_records);
+        }
+    }
+
+    #[test]
+    fn auto_mode_matches_both_fixed_strategies() {
+        let db = db();
+        let mut auto =
+            NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss).with_plan_mode(PlanMode::Auto);
+        let mut inc = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+        let mut full =
+            NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss).with_full_requery(true);
+        let mut chose_incremental = false;
+        for roi in flight_path(&db.bounds, 0.5, 6) {
+            let q = query_at(&db, roi);
+            let sa = auto.move_to(&q);
+            let si = inc.move_to(&q);
+            let sf = full.move_to(&q);
+            assert_eq!(sa.vertices, si.vertices);
+            assert_eq!(sa.vertices, sf.vertices);
+            assert_eq!(face_set(auto.front()), face_set(inc.front()));
+            assert_eq!(face_set(auto.front()), face_set(full.front()));
+            chose_incremental |= !sa.plan.chose_full;
+        }
+        assert!(
+            chose_incremental,
+            "smooth warm sliding must favor the delta plan at least once"
+        );
+    }
+
+    #[test]
+    fn auto_mode_decision_follows_the_cost_params() {
+        let db = db();
+        // Punitive per-piece overhead: the delta plan can never win, so
+        // every frame must execute (and report) a full requery — and the
+        // mesh must still match a default incremental session exactly.
+        let punitive = FrameCostParams {
+            piece_overhead: 1e12,
+            ..FrameCostParams::default()
+        };
+        let mut forced = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss)
+            .with_plan_mode(PlanMode::Auto)
+            .with_cost_params(punitive);
+        let mut inc = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss);
+        for roi in flight_path(&db.bounds, 0.5, 5) {
+            let q = query_at(&db, roi);
+            let s = forced.move_to(&q);
+            inc.move_to(&q);
+            assert!(s.plan.chose_full, "1e12-per-piece delta plan cannot win");
+            assert!(s.plan.cost_incremental > s.plan.cost_full);
+            assert_eq!(face_set(forced.front()), face_set(inc.front()));
+        }
+        // Free pieces + free reads: the delta plan never loses (its
+        // candidate pages are a subset of the full plan's).
+        let free = FrameCostParams {
+            piece_overhead: 0.0,
+            ..FrameCostParams::default()
+        };
+        let mut delta = NavigationSession::new(&db, BoundaryPolicy::FetchOnMiss)
+            .with_plan_mode(PlanMode::Auto)
+            .with_cost_params(free);
+        for roi in flight_path(&db.bounds, 0.5, 5) {
+            let s = delta.move_to(&query_at(&db, roi));
+            assert!(!s.plan.chose_full, "free delta planning always wins ties");
+            assert!(s.plan.delta_pages <= s.plan.full_pages);
         }
     }
 

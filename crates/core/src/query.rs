@@ -539,17 +539,18 @@ impl DirectMeshDb {
     ) -> StorageResult<(VdResult, IntegrityReport)> {
         let mut report = IntegrityReport::default();
         let mut cubes = Vec::with_capacity(strips.len());
-        let mut all: FxHashMap<u32, DmRecord> = FxHashMap::default();
-        let mut fetched = 0usize;
         for rect in strips {
             let (lo, hi) = q.e_range(rect);
-            let cube = Box3::prism(*rect, lo, self.clamp_e(hi));
-            let recs = self.fetch_box_counted(&cube, &mut report, counters)?;
-            fetched += recs.len();
-            for r in recs {
-                all.entry(r.node.id).or_insert(r);
-            }
-            cubes.push(cube);
+            cubes.push(Box3::prism(*rect, lo, self.clamp_e(hi)));
+        }
+        // One batched fetch for the whole staircase: a heap page shared
+        // by several strip cubes is header-scanned once, not once per
+        // strip, and the index descends once for the batch.
+        let recs = self.fetch_boxes_counted(&cubes, &mut report, counters)?;
+        let fetched = recs.len();
+        let mut all: FxHashMap<u32, DmRecord> = FxHashMap::default();
+        for r in recs {
+            all.entry(r.node.id).or_insert(r);
         }
 
         // Initial front: the locally topmost records of the union fetch

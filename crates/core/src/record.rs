@@ -270,6 +270,21 @@ impl<'a> RawRecord<'a> {
         self.e_hi
     }
 
+    /// The record's indexed vertical segment with root caps applied —
+    /// the exact box every fetch path tests against query boxes
+    /// (`e_cap` stands in for an infinite root `e_hi`). Kept here so
+    /// the single-box, arena and batched page scans cannot drift apart
+    /// on the clamping rule.
+    #[inline]
+    pub fn clamped_segment(&self, e_cap: f64) -> dm_geom::Box3 {
+        let hi = if self.e_hi.is_finite() {
+            self.e_hi
+        } else {
+            e_cap
+        };
+        dm_geom::Box3::vertical_segment(self.pos_xy(), self.e_lo.min(hi), hi)
+    }
+
     /// The reference values records delta against when this record is a
     /// page base (slot 0).
     pub fn base_vals(&self) -> BaseVals {

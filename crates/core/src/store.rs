@@ -226,6 +226,13 @@ pub struct DirectMeshDb {
     /// Sorted interval bounds, for cut-size statistics (build metadata).
     lo_sorted: Vec<f64>,
     hi_sorted: Vec<f64>,
+    /// In-memory copy of the heap-page MBRs (the R\*-tree's leaf
+    /// entries), sorted by page id. The navigation planner estimates a
+    /// frame strategy's candidate-page set from these plus the buffer
+    /// pool's residency probe — a pure in-memory computation that costs
+    /// no index descent, no counted I/O and no LRU disturbance. After a
+    /// degraded open this holds only the pages that scanned cleanly.
+    page_regions: Vec<(dm_storage::PageId, Box3)>,
     /// On-disk codec of the heap records.
     codec: RecordCodec,
     /// Set by a degraded open whose R\*-tree pages were unreadable (e.g.
@@ -434,6 +441,9 @@ impl DirectMeshDb {
         let mut stat_regions: Vec<Box3> = page_boxes.values().copied().collect();
         stat_regions.extend(rtree.collect_node_regions());
         let cost = RtreeCostModel::new(&stat_regions, space);
+        let mut page_regions: Vec<(dm_storage::PageId, Box3)> =
+            page_boxes.iter().map(|(&p, &b)| (p, b)).collect();
+        page_regions.sort_unstable_by_key(|&(p, _)| p);
 
         let mut lo_sorted: Vec<f64> = h.nodes.iter().map(|nd| nd.e_lo).collect();
         let mut hi_sorted: Vec<f64> = h
@@ -458,6 +468,7 @@ impl DirectMeshDb {
             roots: h.roots.clone(),
             lo_sorted,
             hi_sorted,
+            page_regions,
             codec: opts.codec,
             rtree_lost: false,
         }
@@ -599,6 +610,9 @@ impl DirectMeshDb {
             }
         }
         report.retries += dm_storage::thread_retries() - retries_before;
+        let mut page_regions: Vec<(dm_storage::PageId, Box3)> =
+            page_boxes.iter().map(|(&p, &b)| (p, b)).collect();
+        page_regions.sort_unstable_by_key(|&(p, _)| p);
         let mut stat_regions: Vec<Box3> = page_boxes.into_values().collect();
         let rtree_lost = match rtree.try_collect_node_regions() {
             Ok(regions) => {
@@ -630,6 +644,7 @@ impl DirectMeshDb {
             roots: cat.roots,
             lo_sorted,
             hi_sorted,
+            page_regions,
             codec: cat.codec,
             rtree_lost,
         })
@@ -766,6 +781,7 @@ impl DirectMeshDb {
         let pages = self.candidate_pages(q)?;
         counters.pages_scanned += pages.len() as u64;
         let est_points = self.mean_records_per_page();
+        let e_cap = self.e_cap();
         let mut out = FetchedSet::new();
         for &page in &pages {
             let len_before = out.len();
@@ -776,10 +792,7 @@ impl DirectMeshDb {
                 .try_for_each_in_page(page as dm_storage::PageId, |rid, bytes| {
                     let raw = dec.next(rid.slot, bytes);
                     examined += 1;
-                    let e_hi = raw.e_hi();
-                    let hi = if e_hi.is_finite() { e_hi } else { self.e_cap() };
-                    let seg = Box3::vertical_segment(raw.pos_xy(), raw.e_lo().min(hi), hi);
-                    if seg.intersects(q) {
+                    if raw.clamped_segment(e_cap).intersects(q) {
                         raw.append_to(&mut out);
                     }
                 });
@@ -792,6 +805,140 @@ impl DirectMeshDb {
         counters.records_decoded += out.len() as u64;
         report.retries += dm_storage::thread_retries() - retries_before;
         Ok(out)
+    }
+
+    /// Candidate heap pages for a *batch* of query boxes, each paired
+    /// with its stored MBR, deduplicated across boxes by one multi-range
+    /// index descent ([`RStarTree::try_query_multi`]): interior index
+    /// pages on paths shared between boxes are read once, however finely
+    /// the batch fragments. Sorted by page id (file order).
+    pub fn candidate_pages_mbr(&self, boxes: &[Box3]) -> StorageResult<Vec<(u64, Box3)>> {
+        if self.rtree_lost {
+            // Degraded open without an index: every surviving heap page
+            // is a candidate and nothing is known about its extent, so
+            // each gets the whole data space and survives any pre-filter
+            // (correctness over cost, as in `candidate_pages`).
+            let space = Box3::prism(self.bounds, 0.0, self.e_cap());
+            return Ok(self
+                .heap
+                .page_ids()
+                .iter()
+                .map(|&p| (p as u64, space))
+                .collect());
+        }
+        let mut pages: Vec<(u64, Box3)> = Vec::new();
+        self.rtree
+            .try_query_multi(boxes, |bbox, page| pages.push((page, *bbox)))?;
+        pages.sort_unstable_by_key(|&(p, _)| p);
+        Ok(pages)
+    }
+
+    /// Batched degraded fetch of every record whose vertical segment
+    /// intersects *any* box — one navigation frame's ΔROI pieces (or one
+    /// cold multi-base plan's cubes) in a single pass. Semantically the
+    /// union of [`Self::fetch_box_counted`] over `boxes` with records
+    /// deduplicated, but executed page-at-a-time: one index descent for
+    /// the whole batch, then each candidate heap page is header-scanned
+    /// *once*, with its slot-0 base decoded once and the page's
+    /// XOR-deltas unpacked in one tight slot loop. Before any header
+    /// scan the page's stored MBR pre-filters the batch down to the
+    /// boxes that can match on that page. The per-piece path scanned
+    /// every page once per overlapping piece, which is exactly the
+    /// examined ≫ decoded blow-up this kills.
+    ///
+    /// Degradation matches the single-box path per page: a page that
+    /// stays unreadable after retries contributes nothing (half-read
+    /// records are dropped) and is accounted once in `report`.
+    pub fn fetch_boxes_counted(
+        &self,
+        boxes: &[Box3],
+        report: &mut IntegrityReport,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<Vec<DmRecord>> {
+        let retries_before = dm_storage::thread_retries();
+        let mut out: Vec<DmRecord> = Vec::new();
+        if boxes.is_empty() {
+            return Ok(out);
+        }
+        let cand = self.candidate_pages_mbr(boxes)?;
+        let est_points = self.mean_records_per_page();
+        let e_cap = self.e_cap();
+        // MBR pre-filter scratch, reused across pages.
+        let mut hit: Vec<&Box3> = Vec::with_capacity(boxes.len());
+        for &(page, ref mbr) in &cand {
+            hit.clear();
+            hit.extend(boxes.iter().filter(|b| mbr.intersects(b)));
+            if hit.is_empty() {
+                continue;
+            }
+            counters.pages_scanned += 1;
+            let len_before = out.len();
+            let mut examined = 0u64;
+            let r = self.heap.try_view_page(page as dm_storage::PageId, |view| {
+                let mut dec = PageDecoder::new(self.codec);
+                for slot in 0..view.n_slots() {
+                    let raw = dec.next(slot, view.record(slot)?);
+                    examined += 1;
+                    let seg = raw.clamped_segment(e_cap);
+                    if hit.iter().any(|b| seg.intersects(b)) {
+                        out.push(raw.to_owned());
+                    }
+                }
+                Ok(())
+            });
+            counters.records_examined += examined;
+            if let Err(e) = r {
+                out.truncate(len_before);
+                report.record_loss(est_points, &e);
+            }
+        }
+        counters.records_decoded += out.len() as u64;
+        report.retries += dm_storage::thread_retries() - retries_before;
+        Ok(out)
+    }
+
+    /// Planner introspection: how many candidate data pages the stored
+    /// page MBRs predict for `boxes`, how many of those are resident in
+    /// the buffer pool right now, and an eq.-1-style estimate of how
+    /// many records the boxes will *select* (each candidate page
+    /// contributes its mean record count scaled by the fraction of its
+    /// MBR volume the boxes cover — a sliver piece crossing a page picks
+    /// up few of its records, a cube containing the page picks up all of
+    /// them). A pure in-memory computation over the page-region table
+    /// plus a lock-only residency probe — no index descent, no counted
+    /// I/O, no LRU disturbance (see [`dm_storage::BufferPool::residency`]).
+    /// `scratch` is the caller's reusable page-id buffer (cleared here),
+    /// so a per-frame planner allocates nothing.
+    pub fn estimate_frame_pages(
+        &self,
+        boxes: &[Box3],
+        scratch: &mut Vec<dm_storage::PageId>,
+    ) -> (usize, usize, f64) {
+        scratch.clear();
+        let slots = self.mean_records_per_page() as f64;
+        let mut est_records = 0.0;
+        for &(page, ref mbr) in &self.page_regions {
+            let vol = mbr.volume();
+            let mut covered = 0.0;
+            for q in boxes {
+                if mbr.intersects(q) {
+                    // Degenerate MBRs (a page whose records share one
+                    // vertical line or LOD plane) have zero volume but
+                    // real records; any intersecting box selects them.
+                    covered += if vol > 0.0 {
+                        mbr.intersection(q).volume() / vol
+                    } else {
+                        1.0
+                    };
+                }
+            }
+            if covered > 0.0 {
+                scratch.push(page);
+                est_records += slots * covered.min(1.0);
+            }
+        }
+        let resident = self.pool.resident_among(scratch);
+        (scratch.len(), resident, est_records)
     }
 
     fn fetch_box_inner(
@@ -807,6 +954,7 @@ impl DirectMeshDb {
         let pages = self.candidate_pages(q)?;
         counters.pages_scanned += pages.len() as u64;
         let est_points = self.mean_records_per_page();
+        let e_cap = self.e_cap();
         let mut out = Vec::new();
         for &page in &pages {
             let len_before = out.len();
@@ -819,10 +967,7 @@ impl DirectMeshDb {
                     // decoded header; non-matching records never allocate.
                     let raw = dec.next(rid.slot, bytes);
                     examined += 1;
-                    let e_hi = raw.e_hi();
-                    let hi = if e_hi.is_finite() { e_hi } else { self.e_cap() };
-                    let seg = Box3::vertical_segment(raw.pos_xy(), raw.e_lo().min(hi), hi);
-                    if seg.intersects(q) {
+                    if raw.clamped_segment(e_cap).intersects(q) {
                         out.push(raw.to_owned());
                     }
                 });
@@ -1188,7 +1333,22 @@ impl DirectMeshDb {
         // ---- 6. Fresh catalog chain. Interval statistics are reused
         // verbatim (edits never move LOD bounds); the cost model is
         // cloned — its page-box statistics drift only by page splits,
-        // which is optimizer noise, not correctness.
+        // which is optimizer noise, not correctness. The planner's
+        // page-region table, by contrast, must track the page ids
+        // exactly (it feeds the residency probe), so replaced pages are
+        // swapped for their rewritten successors.
+        let mut page_regions: Vec<(PageId, Box3)> = self
+            .page_regions
+            .iter()
+            .copied()
+            .filter(|(p, _)| !page_repl.contains_key(p))
+            .collect();
+        for repl in rtree_repl.values() {
+            for &(bbox, page) in repl {
+                page_regions.push((page as PageId, bbox));
+            }
+        }
+        page_regions.sort_unstable_by_key(|&(p, _)| p);
         let catalog_page = self.pool.try_allocate()?;
         let db = DirectMeshDb {
             pool: Arc::clone(&self.pool),
@@ -1203,6 +1363,7 @@ impl DirectMeshDb {
             roots: self.roots.clone(),
             lo_sorted: self.lo_sorted.clone(),
             hi_sorted: self.hi_sorted.clone(),
+            page_regions,
             codec: self.codec,
             rtree_lost: false,
         };
@@ -1377,6 +1538,109 @@ mod tests {
             assert_eq!(rec.node.id, id);
         }
         assert!(db.fetch_by_id(db.n_records as u32).is_none());
+    }
+
+    #[test]
+    fn batched_fetch_matches_per_box_union() {
+        let db = small_db();
+        let b = db.bounds;
+        let cap = db.e_cap();
+        // Overlapping, disjoint and duplicate boxes in one batch.
+        let mk = |fx0: f64, fy0: f64, fx1: f64, fy1: f64, z0: f64, z1: f64| {
+            Box3::prism(
+                Rect::new(
+                    dm_geom::Vec2::new(b.min.x + b.width() * fx0, b.min.y + b.height() * fy0),
+                    dm_geom::Vec2::new(b.min.x + b.width() * fx1, b.min.y + b.height() * fy1),
+                ),
+                z0,
+                z1,
+            )
+        };
+        let boxes = vec![
+            mk(0.0, 0.0, 0.6, 0.6, 0.0, cap),
+            mk(0.3, 0.3, 0.9, 0.9, 0.0, cap * 0.5),
+            mk(0.7, 0.1, 1.0, 0.4, 0.0, cap),
+            mk(0.0, 0.0, 0.6, 0.6, 0.0, cap), // exact duplicate
+        ];
+        let mut union: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut single_counters = FetchCounters::default();
+        let mut report = IntegrityReport::default();
+        for q in &boxes {
+            for r in db
+                .fetch_box_counted(q, &mut report, &mut single_counters)
+                .unwrap()
+            {
+                union.insert(r.node.id);
+            }
+        }
+        let mut batch_counters = FetchCounters::default();
+        let batch = db
+            .fetch_boxes_counted(&boxes, &mut report, &mut batch_counters)
+            .unwrap();
+        assert!(report.is_clean());
+        let batch_ids: std::collections::BTreeSet<u32> = batch.iter().map(|r| r.node.id).collect();
+        assert_eq!(
+            batch_ids.len(),
+            batch.len(),
+            "batch must not repeat records"
+        );
+        assert_eq!(batch_ids, union, "batched fetch ≡ union of per-box fetches");
+        // The point of batching: overlapping boxes stop re-scanning the
+        // same pages.
+        assert!(batch_counters.pages_scanned < single_counters.pages_scanned);
+        assert!(batch_counters.records_examined < single_counters.records_examined);
+        // Degenerate batch.
+        let empty = db
+            .fetch_boxes_counted(&[], &mut report, &mut batch_counters)
+            .unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn planner_page_estimate_tracks_residency() {
+        let db = small_db();
+        let q = Box3::prism(db.bounds, 0.0, db.e_cap());
+        let mut scratch = Vec::new();
+        db.pool().flush_all();
+        let (pages_cold, resident_cold, est_cold) = db.estimate_frame_pages(&[q], &mut scratch);
+        assert_eq!(pages_cold, db.heap.page_ids().len(), "whole-space query");
+        assert_eq!(resident_cold, 0, "flushed pool holds nothing");
+        // A whole-space query selects (an estimate of) every record.
+        assert!(
+            (est_cold - db.n_records as f64).abs() <= pages_cold as f64,
+            "whole-space estimate {est_cold} vs {} records",
+            db.n_records
+        );
+        let reads_before = db.pool().stats().reads;
+        let (_, resident_again, _) = db.estimate_frame_pages(&[q], &mut scratch);
+        assert_eq!(resident_again, 0);
+        assert_eq!(
+            db.pool().stats().reads,
+            reads_before,
+            "planner estimates must not count as disk accesses"
+        );
+        // Warm every candidate page; the probe must now see them all.
+        db.fetch_box(&q);
+        let (pages_warm, resident_warm, _) = db.estimate_frame_pages(&[q], &mut scratch);
+        assert_eq!(pages_warm, pages_cold);
+        assert_eq!(resident_warm, pages_warm, "all candidates just fetched");
+        assert_eq!(db.estimate_frame_pages(&[], &mut scratch), (0, 0, 0.0));
+        // A thin sliver of the space must select far fewer records than
+        // the whole-space query even when it still touches many pages.
+        let b = db.bounds;
+        let sliver = Box3::prism(
+            dm_geom::Rect::from_corners(
+                b.min,
+                dm_geom::Vec2::new(b.max.x, b.min.y + b.height() * 0.02),
+            ),
+            0.0,
+            db.e_cap(),
+        );
+        let (_, _, est_sliver) = db.estimate_frame_pages(&[sliver], &mut scratch);
+        assert!(
+            est_sliver < est_cold / 4.0,
+            "sliver estimate {est_sliver} not well under whole-space {est_cold}"
+        );
     }
 
     #[test]

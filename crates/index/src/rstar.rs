@@ -335,6 +335,39 @@ impl RStarTree {
             .unwrap_or_else(|e| panic!("rstar query: {e}"))
     }
 
+    /// Multi-range query: one descent for a whole batch of boxes. A node
+    /// is entered when its box intersects *any* query box, and `f` is
+    /// called at most once per matching leaf entry — the union of what
+    /// per-box [`Self::try_query`] calls would visit, but interior pages
+    /// on paths shared between boxes are read once instead of once per
+    /// box. Batch fetches (one navigation frame's ΔROI pieces) use this
+    /// to keep index I/O independent of how finely the ΔROI fragments.
+    pub fn try_query_multi(
+        &self,
+        qs: &[Box3],
+        mut f: impl FnMut(&Box3, u64),
+    ) -> StorageResult<usize> {
+        if qs.is_empty() {
+            return Ok(0);
+        }
+        let mut hits = 0;
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = try_read_node(&self.pool, page)?;
+            for e in &node.entries {
+                if qs.iter().any(|q| e.bbox.intersects(q)) {
+                    if node.is_leaf {
+                        hits += 1;
+                        f(&e.bbox, e.val);
+                    } else {
+                        stack.push(e.val as PageId);
+                    }
+                }
+            }
+        }
+        Ok(hits)
+    }
+
     /// Copy-on-write leaf-value replacement: produce a new tree in which
     /// every leaf entry whose payload appears as a key of `repl` is
     /// replaced by that key's `(box, payload)` list (one entry when a
@@ -952,6 +985,48 @@ mod tests {
         let q = Box3::new(Vec3::new(2.5, 0.0, -1.0), Vec3::new(6.5, 10.0, 1.0));
         assert_eq!(query_sorted(&t, &q), vec![3, 4, 5, 6]);
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn multi_query_equals_union_of_single_queries() {
+        let items = random_points(3000, 21);
+        let t = RStarTree::bulk_load(pool(), items.clone(), 0.8);
+        let mut rng = StdRng::seed_from_u64(5);
+        for round in 0..10 {
+            let qs: Vec<Box3> = (0..(round % 5) + 1)
+                .map(|_| {
+                    let x = rng.random_range(0.0..900.0);
+                    let y = rng.random_range(0.0..900.0);
+                    let z = rng.random_range(0.0..80.0);
+                    Box3::new(
+                        Vec3::new(x, y, z),
+                        Vec3::new(
+                            x + rng.random_range(1.0..150.0),
+                            y + rng.random_range(1.0..150.0),
+                            z + rng.random_range(0.0..20.0),
+                        ),
+                    )
+                })
+                .collect();
+            // Union + dedup of per-box answers…
+            let mut single: Vec<u64> = Vec::new();
+            for q in &qs {
+                t.query(q, |_, d| single.push(d));
+            }
+            single.sort_unstable();
+            single.dedup();
+            // …must equal one batched descent (which never repeats an
+            // entry, whatever the overlap between boxes).
+            let mut multi: Vec<u64> = Vec::new();
+            t.try_query_multi(&qs, |_, d| multi.push(d)).unwrap();
+            let n = multi.len();
+            multi.sort_unstable();
+            multi.dedup();
+            assert_eq!(multi.len(), n, "batched descent repeated an entry");
+            assert_eq!(multi, single, "round {round}");
+        }
+        // Degenerate batch.
+        assert_eq!(t.try_query_multi(&[], |_, _| panic!()).unwrap(), 0);
     }
 
     #[test]

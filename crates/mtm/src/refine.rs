@@ -682,7 +682,15 @@ fn split_vertex(
         return SplitOutcome::Blocked;
     }
     let node = front.verts[&id].node;
-    debug_assert!(!node.is_leaf());
+    // Top-level splits are guarded by `needs_split`, but the forced-split
+    // path below can recurse into a wing's active ancestor that is itself
+    // a leaf (the wing is active but not adjacent to the splitting
+    // vertex). A leaf has no children to split into: that forced split is
+    // simply impossible, not a broken invariant.
+    if node.is_leaf() {
+        stats.blocked += 1;
+        return SplitOutcome::Blocked;
+    }
 
     let (Some(c1), Some(c2)) = (source.fetch(node.child1), source.fetch(node.child2)) else {
         stats.missing_records += 1;

@@ -259,6 +259,35 @@ impl BufferPool {
         self.shards.iter().map(|s| s.inner.lock().cache.len()).sum()
     }
 
+    /// Which of `pages` are currently resident, without disturbing the
+    /// pool: the probe takes each involved shard's lock exactly once,
+    /// never refreshes an LRU tick, and never touches [`AccessStats`] —
+    /// a residency question is planner introspection, not a logical
+    /// disk access, so it must not age other pages toward eviction or
+    /// inflate any read counter. Returns one flag per input page, in
+    /// input order (duplicates allowed).
+    pub fn residency(&self, pages: &[PageId]) -> Vec<bool> {
+        let mut out = vec![false; pages.len()];
+        let n = self.shards.len();
+        for (si, shard) in self.shards.iter().enumerate() {
+            // Lock lazily: shards none of the probed pages map to are
+            // never locked at all.
+            let mut inner = None;
+            for (slot, &page) in pages.iter().enumerate() {
+                if page as usize % n == si {
+                    let inner = inner.get_or_insert_with(|| shard.inner.lock());
+                    out[slot] = inner.cache.contains_key(&page);
+                }
+            }
+        }
+        out
+    }
+
+    /// How many of `pages` are resident (see [`Self::residency`]).
+    pub fn resident_among(&self, pages: &[PageId]) -> usize {
+        self.residency(pages).into_iter().filter(|&r| r).count()
+    }
+
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
@@ -481,6 +510,69 @@ mod tests {
             p.read(id, |_| ());
         }
         assert_eq!(p.stats().reads, 4, "all warm repeats hit");
+    }
+
+    #[test]
+    fn residency_probe_reports_without_counting() {
+        let p = pool(8);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate();
+        p.flush_all();
+        p.reset_stats();
+        p.read(a, |_| ());
+        p.read(b, |_| ());
+        let before = p.stats();
+        let tl_before = crate::stats::thread_reads();
+        assert_eq!(p.residency(&[a, b, c, a]), vec![true, true, false, true]);
+        assert_eq!(p.resident_among(&[a, b, c]), 2);
+        // The probe is introspection: no global, shard or thread-local
+        // counter may move, however many pages it asks about.
+        assert_eq!(p.stats(), before, "residency probe counted as access");
+        assert_eq!(crate::stats::thread_reads(), tl_before);
+        for s in p.shard_stats() {
+            assert_eq!(s.retries, 0);
+        }
+        assert_eq!(
+            p.shard_stats()
+                .iter()
+                .fold(0, |acc, s| acc + s.reads + s.writes),
+            before.reads + before.writes
+        );
+    }
+
+    #[test]
+    fn residency_probe_does_not_refresh_lru_order() {
+        // Single shard for a defined global eviction order. Warm a then
+        // b (a is oldest). A probe of `a` must NOT count as a touch: the
+        // next capacity miss still evicts a, not b.
+        let p = pool1(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate();
+        p.flush_all();
+        p.reset_stats();
+        p.read(a, |_| ());
+        p.read(b, |_| ());
+        assert_eq!(p.residency(&[a, b, c]), vec![true, true, false]);
+        p.read(c, |_| ()); // must evict a (LRU despite the probe)
+        assert_eq!(p.residency(&[a, b, c]), vec![false, true, true]);
+        p.read(b, |_| ());
+        assert_eq!(p.stats().reads, 3, "b stayed resident through it all");
+    }
+
+    #[test]
+    fn residency_probe_spans_shards() {
+        // 4 shards × 1 frame: pages 0..4 land in distinct shards.
+        let p = BufferPool::with_shard_count(Box::new(MemStore::new()), 4, 4);
+        let ids: Vec<_> = (0..4).map(|_| p.allocate()).collect();
+        p.flush_all();
+        p.read(ids[1], |_| ());
+        p.read(ids[3], |_| ());
+        assert_eq!(
+            p.residency(&[ids[0], ids[1], ids[2], ids[3]]),
+            vec![false, true, false, true]
+        );
     }
 
     #[test]

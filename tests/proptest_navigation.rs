@@ -9,7 +9,8 @@ use std::sync::Arc;
 
 use dm_core::navigation::waypoint_path;
 use dm_core::{
-    BoundaryPolicy, DirectMeshDb, DmBuildOptions, IntegrityReport, NavigationSession, VdQuery,
+    BoundaryPolicy, DirectMeshDb, DmBuildOptions, IntegrityReport, NavigationSession, PlanMode,
+    VdQuery,
 };
 use dm_geom::{Rect, Vec2};
 use dm_mtm::builder::{build_pm, PmBuildConfig};
@@ -126,6 +127,74 @@ proptest! {
         }
     }
 
+    /// The query planner is an optimizer, not a semantics change: along a
+    /// random waypoint path, a `PlanMode::Auto` session produces frame by
+    /// frame exactly the vertex and face sets of both fixed strategies,
+    /// and each fixed session's stats advertise the strategy it was
+    /// forced to.
+    #[test]
+    fn planner_auto_matches_both_fixed_strategies_on_random_paths(
+        terrain_seed in 0u64..10_000,
+        side in 13usize..20,
+        fracs in collection::vec((0.2..0.8f64, 0.2..0.8f64), 2..5),
+        window_frac in 0.25..0.5f64,
+        frames in 4usize..8,
+        fetch_on_miss in any::<bool>(),
+        max_cubes in 4usize..24,
+    ) {
+        let db = build_db(side, terrain_seed);
+        let policy = if fetch_on_miss {
+            BoundaryPolicy::FetchOnMiss
+        } else {
+            BoundaryPolicy::Skip
+        };
+        let (path, _) = path_in_bounds(&db, &fracs, window_frac, frames);
+        let mut auto_s = NavigationSession::new(&db, policy)
+            .with_max_cubes(max_cubes)
+            .with_plan_mode(PlanMode::Auto);
+        let mut incr_s = NavigationSession::new(&db, policy)
+            .with_max_cubes(max_cubes)
+            .with_plan_mode(PlanMode::Incremental);
+        let mut full_s = NavigationSession::new(&db, policy)
+            .with_max_cubes(max_cubes)
+            .with_plan_mode(PlanMode::Full);
+        for roi in &path {
+            let q = query_at(&db, *roi);
+            let sa = auto_s.move_to(&q);
+            let si = incr_s.move_to(&q);
+            let sf = full_s.move_to(&q);
+            prop_assert!(sa.vertices > 0);
+            prop_assert!(!si.plan.chose_full, "forced incremental must report incremental");
+            prop_assert!(sf.plan.chose_full, "forced full must report full-requery");
+            prop_assert_eq!(sa.vertices, si.vertices);
+            prop_assert_eq!(sa.vertices, sf.vertices);
+            prop_assert_eq!(
+                vertex_set(auto_s.front()),
+                vertex_set(incr_s.front()),
+                "auto vs incremental vertices diverge at roi {:?}",
+                roi
+            );
+            prop_assert_eq!(
+                face_set(auto_s.front()),
+                face_set(incr_s.front()),
+                "auto vs incremental faces diverge at roi {:?}",
+                roi
+            );
+            prop_assert_eq!(
+                vertex_set(auto_s.front()),
+                vertex_set(full_s.front()),
+                "auto vs full-requery vertices diverge at roi {:?}",
+                roi
+            );
+            prop_assert_eq!(
+                face_set(auto_s.front()),
+                face_set(full_s.front()),
+                "auto vs full-requery faces diverge at roi {:?}",
+                roi
+            );
+        }
+    }
+
     /// With ~1% transient read faults the pool's retries usually heal the
     /// frame, and a healed frame must still match a fresh query exactly.
     /// A frame that exhausts retries degrades: it reports losses instead
@@ -159,8 +228,29 @@ proptest! {
         let (path, _) = path_in_bounds(&db, &fracs, window_frac, 6);
         let mut session = NavigationSession::new(&db, BoundaryPolicy::Skip);
         let mut tainted = false;
+        // The planner session rides the same fault stream and must obey
+        // the same contract: healed frames match a fresh query, faulted
+        // frames taint it and waive equivalence from then on.
+        let mut auto_session =
+            NavigationSession::new(&db, BoundaryPolicy::Skip).with_plan_mode(PlanMode::Auto);
+        let mut auto_tainted = false;
         for roi in &path {
             let q = query_at(&db, *roi);
+            let auto_clean = match auto_session.try_move_to(&q) {
+                Ok((stats, report)) => {
+                    prop_assert!(stats.vertices > 0);
+                    let (mesh, _) = auto_session.front().to_trimesh();
+                    prop_assert!(mesh.validate().is_ok(), "{:?}", mesh.validate());
+                    if !report.is_clean() {
+                        auto_tainted = true;
+                    }
+                    !auto_tainted
+                }
+                Err(_) => {
+                    auto_tainted = true;
+                    false
+                }
+            };
             let (stats, report) = match session.try_move_to(&q) {
                 Ok(ok) => ok,
                 // An index-page read that exhausted its retries aborts the
@@ -176,7 +266,7 @@ proptest! {
             if !report.is_clean() {
                 tainted = true;
             }
-            if tainted {
+            if tainted && !auto_clean {
                 continue;
             }
             // Healed frame: exact equivalence against a fresh query, which
@@ -189,8 +279,14 @@ proptest! {
             if !fresh_report.is_clean() {
                 continue;
             }
-            prop_assert_eq!(vertex_set(session.front()), vertex_set(&fresh.front));
-            prop_assert_eq!(face_set(session.front()), face_set(&fresh.front));
+            if !tainted {
+                prop_assert_eq!(vertex_set(session.front()), vertex_set(&fresh.front));
+                prop_assert_eq!(face_set(session.front()), face_set(&fresh.front));
+            }
+            if auto_clean {
+                prop_assert_eq!(vertex_set(auto_session.front()), vertex_set(&fresh.front));
+                prop_assert_eq!(face_set(auto_session.front()), face_set(&fresh.front));
+            }
         }
         std::fs::remove_file(&file).ok();
     }
@@ -250,12 +346,39 @@ fn degraded_database_supports_incremental_navigation() {
     let fracs = [(0.3, 0.3), (0.7, 0.4), (0.5, 0.7)];
     let (path, _) = path_in_bounds(&db, &fracs, 0.45, 8);
     let mut session = NavigationSession::new(&db, BoundaryPolicy::Skip);
+    let mut auto_s =
+        NavigationSession::new(&db, BoundaryPolicy::Skip).with_plan_mode(PlanMode::Auto);
+    let mut full_s =
+        NavigationSession::new(&db, BoundaryPolicy::Skip).with_plan_mode(PlanMode::Full);
     let mut merged = IntegrityReport::default();
     for roi in &path {
         let q = query_at(&db, *roi);
         let (stats, report) = session
             .try_move_to(&q)
             .expect("index pages untouched; heap losses must degrade, not abort");
+        let (auto_stats, auto_report) = auto_s
+            .try_move_to(&q)
+            .expect("planner session degrades the same way");
+        let (_, full_report) = full_s
+            .try_move_to(&q)
+            .expect("full-requery session degrades the same way");
+        // The corruption is persistent, so every strategy loses exactly
+        // the records on the scribbled pages it touches — the planner
+        // session's integrity report is byte-for-byte the report of the
+        // fixed strategy it chose for this frame.
+        let chosen = if auto_stats.plan.chose_full {
+            &full_report
+        } else {
+            &report
+        };
+        assert_eq!(
+            &auto_report, chosen,
+            "auto frame report must equal its chosen strategy's report"
+        );
+        assert_eq!(vertex_set(auto_s.front()), vertex_set(session.front()));
+        assert_eq!(face_set(auto_s.front()), face_set(session.front()));
+        assert_eq!(vertex_set(full_s.front()), vertex_set(session.front()));
+        assert_eq!(face_set(full_s.front()), face_set(session.front()));
         merged.merge(report);
         assert!(
             stats.vertices > 0,
