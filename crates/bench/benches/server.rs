@@ -100,6 +100,7 @@ fn run_load(
                     let warm = QueryOpts {
                         cold: false,
                         degraded: false,
+                        chunked: false,
                     };
                     let queries: Vec<(dm_geom::Rect, f64)> =
                         rois.into_iter().map(|roi| (roi, avg_lod)).collect();
@@ -184,6 +185,7 @@ fn main() {
         let cold = QueryOpts {
             cold: true,
             degraded: false,
+            chunked: false,
         };
         for roi in &check_rois {
             let remote = client.vi_query(cold, *roi, avg_lod).expect("remote VI");
@@ -254,6 +256,7 @@ fn main() {
             opts: QueryOpts {
                 cold: false,
                 degraded: false,
+                chunked: false,
             },
             roi: check_rois[0],
             e: avg_lod,

@@ -44,7 +44,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         print_help();
         return Ok(());
     };
-    let args = Args::parse_with_flags(rest, &["degraded", "full", "cold"])?;
+    let args = Args::parse_with_flags(rest, &["degraded", "full", "cold", "chunked"])?;
     match cmd.as_str() {
         "generate" => cmd_generate(args),
         "build" => cmd_build(args),
@@ -145,6 +145,10 @@ live edits (crash-safe, WAL-backed):
 network service:
   stats <db.dmdb>       structural summary (catalog version, codec,
                         record/page/index-node counts)
+  stats --addr <host:port>
+                        same summary from a running server, plus the
+                        streaming wire counters (bytes in/out, delta vs
+                        full frames) for this connection and in total
   serve <db.dmdb> [--addr host:port] [--workers <n>] [--max-inflight <n>]
                   [--max-pipeline <n>] [--write-budget <bytes>]
                   [--port-file <file>]
@@ -156,19 +160,28 @@ network service:
                         requests and unread response bytes
   remote-query --addr <host:port> [--keep <frac> | --lod <e>]
                [--roi ...] [--batch <n>] [--threads <n>] [--cold]
-               [--pipeline <window>] [--degraded]
+               [--pipeline <window>] [--degraded] [--chunked]
                [--verify-local <db.dmdb>] [-o mesh.obj]
                         run VI queries against a server; --cold asks the
                         server to flush first (paper-protocol
                         measurement), --pipeline keeps a window of
-                        requests in flight on one connection,
+                        requests in flight on one connection, --chunked
+                        streams the answer coarse-to-fine (first chunk
+                        is already a renderable closed mesh prefix),
                         --verify-local re-runs locally and asserts
                         byte-identical results
   remote-walkthrough --addr <host:port> [--frames <n>] [--window <frac>]
                [--near-keep <f>] [--far-keep <f>] [--policy ...]
                [--max-cubes <n>] [--full] [--degraded]
-               [--verify-local <db.dmdb>]
-                        fly a server-side navigation session
+               [--stream <delta|full|auto>] [--verify-local <db.dmdb>]
+                        fly a server-side navigation session; --stream
+                        picks the frame transport: `delta` ships ΔROI
+                        patches against the previous frame, `full` ships
+                        whole meshes, `auto` (default) ships whichever
+                        encodes smaller per frame; prints bytes on the
+                        wire per frame, and --verify-local replays the
+                        path locally asserting the reconstructed meshes
+                        are bit-identical
   remote-shutdown --addr <host:port>
                         ask a server to drain and exit
 
@@ -833,6 +846,36 @@ fn cmd_verify(args: Args) -> Result<(), String> {
 }
 
 fn cmd_stats(args: Args) -> Result<(), String> {
+    // `dm stats --addr host:port` asks a running server instead of
+    // opening a database file, and additionally reports the streaming
+    // byte/frame counters for this connection and the whole server.
+    if let Some(addr) = args.get("addr") {
+        let mut client = dm_net::Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let keep: f64 = args.parse_or("keep", 0.25)?;
+        let (s, resolved, conn, totals) = client
+            .stats_with_counters(vec![keep])
+            .map_err(|e| e.to_string())?;
+        println!("server:          {addr}");
+        println!(
+            "records:         {} ({} original points, {} roots)",
+            s.n_records, s.n_leaves, s.n_roots
+        );
+        println!(
+            "bounds:          ({:.1}, {:.1}) .. ({:.1}, {:.1})",
+            s.bounds.min.x, s.bounds.min.y, s.bounds.max.x, s.bounds.max.y
+        );
+        println!(
+            "max LOD:         {:.3} (keep {keep:.2} resolves to e {:.4})",
+            s.e_max, resolved[0]
+        );
+        for (label, c) in [("this connection", &conn), ("server totals", &totals)] {
+            println!(
+                "{label:<16} {} B in, {} B out, {} delta frames, {} full frames",
+                c.bytes_in, c.bytes_out, c.delta_frames, c.full_frames
+            );
+        }
+        return Ok(());
+    }
     let path = args.positional(0)?;
     let db = open_db(path, &args)?;
     let s = db.stats_summary();
@@ -901,6 +944,10 @@ fn cmd_serve(args: Args) -> Result<(), String> {
         stats.overloaded,
         stats.slow_disconnects,
         stats.stalled_disconnects
+    );
+    println!(
+        "wire totals: {} B in, {} B out, {} delta frames, {} full frames",
+        stats.bytes_in, stats.bytes_out, stats.delta_frames, stats.full_frames
     );
     Ok(())
 }
@@ -994,10 +1041,14 @@ fn cmd_remote_query(args: Args) -> Result<(), String> {
     let opts = dm_net::QueryOpts {
         cold: args.has("cold"),
         degraded: args.has("degraded"),
+        chunked: args.has("chunked"),
     };
     let threads: u32 = args.parse_or("threads", 1)?;
     let batch: usize = args.parse_or("batch", 0)?;
     let pipeline: usize = args.parse_or("pipeline", 1)?;
+    if opts.chunked && (batch > 1 || pipeline > 1) {
+        return Err("--chunked applies to single queries, not --batch or --pipeline".to_string());
+    }
 
     if pipeline > 1 {
         // Client-side pipelining: sub-queries stream down one connection
@@ -1063,7 +1114,24 @@ fn cmd_remote_query(args: Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let m = client.vi_query(opts, roi, e).map_err(|e| e.to_string())?;
+    let m = if opts.chunked {
+        let (m, fetch) = client
+            .vi_query_chunked(opts, roi, e)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "chunked: {} chunks, first triangle after {} of {} B{}",
+            fetch.chunks,
+            fetch.bytes_to_first_triangle,
+            fetch.bytes_received,
+            fetch
+                .time_to_first_triangle
+                .map(|t| format!(" ({} µs)", t.as_micros()))
+                .unwrap_or_default()
+        );
+        m
+    } else {
+        client.vi_query(opts, roi, e).map_err(|e| e.to_string())?
+    };
     if !m.report.is_clean() {
         print_report(&m.report);
     }
@@ -1122,6 +1190,16 @@ fn cmd_remote_walkthrough(args: Args) -> Result<(), String> {
     let max_cubes: u32 = args.parse_or("max-cubes", 16)?;
     let degraded = args.has("degraded");
     let full = args.has("full");
+    let stream = match args.get("stream").unwrap_or("auto") {
+        "delta" => dm_net::StreamMode::Delta,
+        "full" => dm_net::StreamMode::Full,
+        "auto" => dm_net::StreamMode::Auto,
+        other => {
+            return Err(format!(
+                "bad --stream {other:?}: expected delta, full, or auto"
+            ))
+        }
+    };
 
     let (remote_stats, resolved) = client.stats(vec![near, far]).map_err(|e| e.to_string())?;
     let e_min = resolved[0];
@@ -1143,28 +1221,37 @@ fn cmd_remote_walkthrough(args: Args) -> Result<(), String> {
         .open_session(policy, max_cubes, full)
         .map_err(|e| e.to_string())?;
     println!(
-        "remote {} walkthrough on {addr}: {} frames, window {:.0}%, policy {policy:?}",
+        "remote {} walkthrough on {addr}: {} frames, window {:.0}%, policy {policy:?}, \
+         stream {stream:?}",
         if full { "full-requery" } else { "incremental" },
         rois.len(),
         window_frac * 100.0
     );
-    println!("frame    disk  fetched  vertices triangles");
+    println!("frame    disk  fetched  vertices triangles     bytes  frame-kind");
     let mut total_disk = 0u64;
+    let mut total_bytes = 0u64;
+    let mut delta_frames = 0u64;
+    let mut mirror = dm_net::FrontMirror::new();
     for (i, roi) in rois.iter().enumerate() {
         let q = vd_query(*roi, e_min, e_far);
-        let m = client
-            .frame_query(session, q, degraded)
+        let (m, info) = client
+            .frame_query_streamed(session, q, degraded, stream, &mut mirror)
             .map_err(|e| e.to_string())?;
         if !m.report.is_clean() {
             print_report(&m.report);
         }
         total_disk += m.disk_accesses;
+        let frame_bytes = (info.bytes_sent + info.bytes_received) as u64;
+        total_bytes += frame_bytes;
+        delta_frames += u64::from(info.was_delta);
         println!(
-            "{i:>5} {:>7} {:>8} {:>9} {:>9}",
+            "{i:>5} {:>7} {:>8} {:>9} {:>9} {frame_bytes:>9}  {}{}",
             m.disk_accesses,
             m.fetched_records,
             m.vertices.len(),
-            m.faces.len()
+            m.faces.len(),
+            if info.was_delta { "delta" } else { "full" },
+            if info.resynced { " (resynced)" } else { "" }
         );
         if let Some(nav) = local_session.as_mut() {
             let (stats, _report) = nav.try_move_to(&q).map_err(|e| e.to_string())?;
@@ -1179,12 +1266,19 @@ fn cmd_remote_walkthrough(args: Args) -> Result<(), String> {
         }
     }
     client.close_session(session).map_err(|e| e.to_string())?;
+    let n = rois.len().max(1) as f64;
     println!(
-        "total {total_disk:>7}  ({:.1} disk accesses/frame)",
-        total_disk as f64 / rois.len().max(1) as f64
+        "total {total_disk:>7}  ({:.1} disk accesses/frame, {:.0} B/frame on the wire, \
+         {delta_frames}/{} delta frames)",
+        total_disk as f64 / n,
+        total_bytes as f64 / n,
+        rois.len()
     );
     if local_session.is_some() {
-        println!("remote ≡ local: all {} frames verified", rois.len());
+        println!(
+            "remote ≡ local: all {} frames verified bit-for-bit",
+            rois.len()
+        );
     }
     Ok(())
 }

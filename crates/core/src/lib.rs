@@ -62,7 +62,7 @@ pub mod verify;
 
 pub use dm_index::FrameCostParams;
 pub use live::{LiveDb, LiveOptions, PatchStats, RecoveryInfo};
-pub use navigation::{FrameStats, NavigationSession, PlanDecision, PlanMode};
+pub use navigation::{FrameStats, NavigationSession, PlanDecision, PlanMode, SpliceDelta};
 pub use parallel::{vd_query_batch, vi_query_batch};
 pub use query::{BoundaryPolicy, ElevationStats, VdQuery, VdResult, ViFlatResult, ViResult};
 pub use record::DmRecord;

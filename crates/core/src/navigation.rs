@@ -114,8 +114,29 @@ pub struct PlanDecision {
     pub full_est_records: f64,
 }
 
+/// The seed-front splice this frame performed — the ΔROI patch in PM
+/// node ids. This is exactly what [`FrontMesh::splice`] was handed, so
+/// a consumer that mirrors the front (e.g. the wire delta streamer) can
+/// size the frame-to-frame change without re-deriving it.
+#[derive(Clone, Debug, Default)]
+pub struct SpliceDelta {
+    /// Seed ids spliced into the front this frame (sorted ascending).
+    pub added: Vec<u32>,
+    /// Seed ids dropped from the front this frame (sorted ascending).
+    pub removed: Vec<u32>,
+    /// Surviving seeds whose fans were re-extracted (sorted ascending).
+    pub dirty: Vec<u32>,
+}
+
+impl SpliceDelta {
+    /// True when the frame changed nothing at the seed level.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.dirty.is_empty()
+    }
+}
+
 /// Statistics of one navigation step.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FrameStats {
     /// Logical disk accesses by this frame (this thread only).
     pub disk_accesses: u64,
@@ -138,6 +159,8 @@ pub struct FrameStats {
     pub vertices: usize,
     /// The planner's decision for this frame and its inputs.
     pub plan: PlanDecision,
+    /// The seed-front splice sets of this frame (the ΔROI patch).
+    pub splice: SpliceDelta,
 }
 
 /// A stateful walkthrough over one Direct Mesh database.
@@ -349,7 +372,8 @@ impl<'a> NavigationSession<'a> {
         }
         self.prev_cubes = new_cubes;
 
-        let (seeds_added, seeds_removed) = self.patch_seed_front(&q.roi);
+        let splice = self.patch_seed_front(&q.roi);
+        let (seeds_added, seeds_removed) = (splice.added.len(), splice.removed.len());
 
         // Result mesh: clone the seed-level front and refine the clone
         // to the query plane, reading records straight out of the
@@ -372,6 +396,7 @@ impl<'a> NavigationSession<'a> {
             refine,
             vertices: front.num_vertices(),
             plan,
+            splice,
         };
         self.front = front;
         Ok((stats, report))
@@ -380,8 +405,9 @@ impl<'a> NavigationSession<'a> {
     /// Recompute the seed set over the updated working set and splice
     /// the differences into the persistent seed front. Only the *dirty*
     /// neighbourhood — vertices whose filtered connection ring changed —
-    /// is re-extracted. Returns (added, removed) seed counts.
-    fn patch_seed_front(&mut self, roi: &Rect) -> (usize, usize) {
+    /// is re-extracted. Returns the splice sets the front was patched
+    /// with.
+    fn patch_seed_front(&mut self, roi: &Rect) -> SpliceDelta {
         // The seed rule of a cold query (`assemble_topmost_front`):
         // in-ROI records whose parent is absent from the in-ROI set.
         let in_roi: FxHashSet<u32> = self
@@ -422,7 +448,7 @@ impl<'a> NavigationSession<'a> {
             .collect();
 
         if added.is_empty() && removed.is_empty() {
-            return (0, 0);
+            return SpliceDelta::default();
         }
 
         // Dirty = surviving seeds whose ring changed. Connection lists
@@ -490,7 +516,15 @@ impl<'a> NavigationSession<'a> {
         for &d in &dirty_list {
             self.seed_adj.insert(d, ring_of(d));
         }
-        (added.len(), removed.len())
+        let mut delta = SpliceDelta {
+            added,
+            removed,
+            dirty: dirty_list,
+        };
+        delta.added.sort_unstable();
+        delta.removed.sort_unstable();
+        delta.dirty.sort_unstable();
+        delta
     }
 
     /// Forget all session state (the pool stays warm; use a fresh pool

@@ -247,6 +247,13 @@ impl FrontMesh {
         self.verts.keys().copied()
     }
 
+    /// Every active vertex with its record, in hash order — one lookup
+    /// per vertex for callers that need both id and node (the canonical
+    /// wire extraction sorts afterwards anyway).
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (u32, &PmNode)> + '_ {
+        self.verts.iter().map(|(&id, fv)| (id, &fv.node))
+    }
+
     pub fn triangles(&self) -> impl Iterator<Item = [u32; 3]> + '_ {
         self.tris
             .iter()

@@ -18,15 +18,26 @@
 
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dm_core::{BoundaryPolicy, DbStats, VdQuery};
 use dm_geom::Rect;
 
-use crate::frame::{read_frame, write_frame, FrameEvent};
+use crate::frame::{read_frame, write_frame, Frame, FrameEvent, HEADER_LEN};
 use crate::mesh::MeshResult;
-use crate::proto::{QueryOpts, Request, Response};
+use crate::proto::{QueryOpts, Request, Response, StreamCounters};
+use crate::stream::{ChunkAssembler, FrontMirror, StreamMode};
 use crate::wire::{WireError, WireResult};
+
+/// Bytes a frame occupies on the wire (header + payload + CRC).
+fn frame_wire_size(f: &Frame) -> usize {
+    HEADER_LEN + f.payload.len() + 4
+}
+
+/// Bytes a request with this payload occupies on the wire.
+fn request_wire_size(payload: &[u8]) -> usize {
+    HEADER_LEN + payload.len() + 4
+}
 
 /// Client-side retry and timeout policy.
 #[derive(Clone, Debug)]
@@ -57,6 +68,39 @@ impl Default for ClientConfig {
             write_timeout: Duration::from_secs(10),
         }
     }
+}
+
+/// Wire accounting for one streamed navigation frame
+/// ([`Client::frame_query_streamed`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamedFrame {
+    /// Request bytes written, framing included (both requests if the
+    /// frame resynced).
+    pub bytes_sent: usize,
+    /// Response bytes read, framing included.
+    pub bytes_received: usize,
+    /// The server answered with a delta patch rather than a full reset
+    /// or monolithic mesh.
+    pub was_delta: bool,
+    /// The delta could not be applied; the frame was re-fetched in
+    /// full-frame mode and the mirror re-primed.
+    pub resynced: bool,
+}
+
+/// Wire accounting for one chunked (coarse-to-fine) mesh download.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChunkedFetch {
+    /// Chunk frames received.
+    pub chunks: u32,
+    /// Request bytes written, framing included.
+    pub bytes_sent: usize,
+    /// Response bytes read, framing included.
+    pub bytes_received: usize,
+    /// Bytes read up to and including the first chunk that completed a
+    /// triangle (0 if the mesh has none).
+    pub bytes_to_first_triangle: usize,
+    /// Wall time from request write to that first-triangle chunk.
+    pub time_to_first_triangle: Option<Duration>,
 }
 
 /// A blocking connection to a `dm serve` instance.
@@ -120,9 +164,10 @@ impl Client {
         })))
     }
 
-    /// One request → one response over the live connection. On any I/O
-    /// error the stream is dropped so the next call reconnects.
-    fn exchange(&mut self, kind: u8, payload: &[u8]) -> WireResult<Response> {
+    /// One request → one raw response frame over the live connection.
+    /// On any I/O error the stream is dropped so the next call
+    /// reconnects.
+    fn exchange_raw(&mut self, kind: u8, payload: &[u8]) -> WireResult<Frame> {
         if self.stream.is_none() {
             self.reconnect()?;
         }
@@ -133,7 +178,7 @@ impl Client {
                 write_frame(&mut w, kind, payload)?;
             }
             match read_frame(stream)? {
-                FrameEvent::Frame(f) => Response::decode(&f),
+                FrameEvent::Frame(f) => Ok(f),
                 FrameEvent::Eof => Err(WireError::Io(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "server closed the connection",
@@ -148,6 +193,37 @@ impl Client {
             self.stream = None;
         }
         result
+    }
+
+    /// One request → one response over the live connection.
+    fn exchange(&mut self, kind: u8, payload: &[u8]) -> WireResult<Response> {
+        let frame = self.exchange_raw(kind, payload)?;
+        Response::decode(&frame)
+    }
+
+    /// One request → one decoded non-overload response, with wire-byte
+    /// accounting. Overload answers are retried after the server's hint
+    /// (their bytes still count — they crossed the wire); no I/O replay
+    /// is attempted, matching [`Self::roundtrip`]'s session semantics.
+    fn exchange_counted(&mut self, req: &Request) -> WireResult<(Response, usize, usize)> {
+        let payload = req.encode();
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        let mut overload_attempts = 0u32;
+        loop {
+            sent += request_wire_size(&payload);
+            let frame = self.exchange_raw(req.kind(), &payload)?;
+            received += frame_wire_size(&frame);
+            match Response::decode(&frame)? {
+                Response::Overloaded { retry_after_ms }
+                    if overload_attempts < self.config.overload_retries =>
+                {
+                    overload_attempts += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1000)));
+                }
+                resp => return Ok((resp.into_result()?, sent, received)),
+            }
+        }
     }
 
     /// Send a request, absorbing overload backoff and (for idempotent
@@ -336,7 +412,7 @@ impl Client {
         }
     }
 
-    /// Advance a session to a new viewpoint.
+    /// Advance a session to a new viewpoint (full-frame answer).
     pub fn frame_query(
         &mut self,
         session: u64,
@@ -347,7 +423,196 @@ impl Client {
             session,
             query,
             degraded,
+            stream: StreamMode::Full,
         })?)
+    }
+
+    /// Advance a session to a new viewpoint under an explicit stream
+    /// mode, maintaining `mirror` so delta answers reconstruct the full
+    /// mesh. Returns the reconstructed mesh — byte-identical to what a
+    /// full-frame query would have answered — plus wire accounting.
+    ///
+    /// If a delta cannot be applied (stale mirror, corrupt patch), the
+    /// mirror resets and the frame is re-fetched in full-frame mode: the
+    /// session's front is already at the target viewpoint, so the re-run
+    /// move is a no-op that answers the same mesh. Deltas are an
+    /// optimization, never the sole source of truth.
+    pub fn frame_query_streamed(
+        &mut self,
+        session: u64,
+        query: VdQuery,
+        degraded: bool,
+        stream: StreamMode,
+        mirror: &mut FrontMirror,
+    ) -> WireResult<(MeshResult, StreamedFrame)> {
+        let req = Request::FrameQuery {
+            session,
+            query,
+            degraded,
+            stream,
+        };
+        let (resp, sent, received) = self.exchange_counted(&req)?;
+        let mut info = StreamedFrame {
+            bytes_sent: sent,
+            bytes_received: received,
+            was_delta: false,
+            resynced: false,
+        };
+        match resp {
+            Response::Mesh(m) => {
+                mirror.prime_full(mirror.seq().wrapping_add(1), &m);
+                Ok((m, info))
+            }
+            Response::FrameDelta(d) => {
+                info.was_delta = d.is_delta;
+                match mirror.apply(&d) {
+                    Ok(m) => Ok((m, info)),
+                    Err(_) => {
+                        // Mirror already reset itself; resync in full.
+                        info.resynced = true;
+                        info.was_delta = false;
+                        let resync = Request::FrameQuery {
+                            session,
+                            query,
+                            degraded,
+                            stream: StreamMode::Full,
+                        };
+                        let (resp, sent, received) = self.exchange_counted(&resync)?;
+                        info.bytes_sent += sent;
+                        info.bytes_received += received;
+                        let m = Self::expect_mesh(resp)?;
+                        mirror.prime_full(d.seq, &m);
+                        Ok((m, info))
+                    }
+                }
+            }
+            other => Err(WireError::Protocol(format!(
+                "expected mesh or frame-delta response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Viewpoint-independent query streamed as coarse-to-fine chunks.
+    /// The reassembled mesh is byte-identical to [`Self::vi_query`]'s
+    /// monolithic answer.
+    pub fn vi_query_chunked(
+        &mut self,
+        opts: QueryOpts,
+        roi: Rect,
+        e: f64,
+    ) -> WireResult<(MeshResult, ChunkedFetch)> {
+        let opts = QueryOpts {
+            chunked: true,
+            ..opts
+        };
+        self.query_chunked(&Request::ViQuery { opts, roi, e })
+    }
+
+    /// Viewpoint-dependent query streamed as coarse-to-fine chunks.
+    pub fn vd_query_chunked(
+        &mut self,
+        opts: QueryOpts,
+        query: VdQuery,
+        policy: BoundaryPolicy,
+        max_cubes: u32,
+    ) -> WireResult<(MeshResult, ChunkedFetch)> {
+        let opts = QueryOpts {
+            chunked: true,
+            ..opts
+        };
+        self.query_chunked(&Request::VdQuery {
+            opts,
+            query,
+            policy,
+            max_cubes,
+        })
+    }
+
+    /// Issue a chunk-mode query and reassemble the response stream.
+    /// Overload answers retry the whole exchange; a monolithic mesh
+    /// answer (small results, older servers) is accepted as-is.
+    fn query_chunked(&mut self, req: &Request) -> WireResult<(MeshResult, ChunkedFetch)> {
+        let mut overload_attempts = 0u32;
+        loop {
+            match self.query_chunked_once(req) {
+                Err(WireError::Overloaded { retry_after_ms })
+                    if overload_attempts < self.config.overload_retries =>
+                {
+                    overload_attempts += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1000)));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn query_chunked_once(&mut self, req: &Request) -> WireResult<(MeshResult, ChunkedFetch)> {
+        let payload = req.encode();
+        let mut fetch = ChunkedFetch {
+            bytes_sent: request_wire_size(&payload),
+            ..ChunkedFetch::default()
+        };
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let start = Instant::now();
+        let result = (|| {
+            let stream = self.stream.as_mut().expect("reconnect populated stream");
+            {
+                let mut w = BufWriter::new(&mut *stream);
+                write_frame(&mut w, req.kind(), &payload)?;
+            }
+            let mut asm = ChunkAssembler::new();
+            loop {
+                let frame = match read_frame(stream)? {
+                    FrameEvent::Frame(f) => f,
+                    FrameEvent::Eof => {
+                        return Err(WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-stream",
+                        )))
+                    }
+                    FrameEvent::Idle => {
+                        return Err(WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "timed out waiting for mesh chunk",
+                        )))
+                    }
+                };
+                fetch.bytes_received += frame_wire_size(&frame);
+                match Response::decode(&frame)?.into_result()? {
+                    Response::MeshChunk(chunk) => {
+                        fetch.chunks += 1;
+                        let done = asm.push(chunk)?;
+                        if fetch.time_to_first_triangle.is_none() && asm.triangles_so_far() > 0 {
+                            fetch.bytes_to_first_triangle = fetch.bytes_received;
+                            fetch.time_to_first_triangle = Some(start.elapsed());
+                        }
+                        if let Some(mesh) = done {
+                            return Ok(mesh);
+                        }
+                    }
+                    Response::Mesh(m) => {
+                        if fetch.time_to_first_triangle.is_none() && !m.faces.is_empty() {
+                            fetch.bytes_to_first_triangle = fetch.bytes_received;
+                            fetch.time_to_first_triangle = Some(start.elapsed());
+                        }
+                        return Ok(m);
+                    }
+                    other => {
+                        return Err(WireError::Protocol(format!(
+                            "expected mesh chunk, got kind {:#04x}",
+                            other.kind()
+                        )))
+                    }
+                }
+            }
+        })();
+        if matches!(result, Err(WireError::Io(_))) {
+            self.stream = None;
+        }
+        result.map(|mesh| (mesh, fetch))
     }
 
     /// Close a session.
@@ -363,8 +628,23 @@ impl Client {
 
     /// Database summary plus the LODs the keep-fractions resolve to.
     pub fn stats(&mut self, resolve_keep: Vec<f64>) -> WireResult<(DbStats, Vec<f64>)> {
+        let (stats, resolved_e, _, _) = self.stats_with_counters(resolve_keep)?;
+        Ok((stats, resolved_e))
+    }
+
+    /// Like [`Self::stats`], additionally returning this connection's
+    /// and the server-aggregate streaming byte/frame counters.
+    pub fn stats_with_counters(
+        &mut self,
+        resolve_keep: Vec<f64>,
+    ) -> WireResult<(DbStats, Vec<f64>, StreamCounters, StreamCounters)> {
         match self.roundtrip(&Request::Stats { resolve_keep })? {
-            Response::Stats { stats, resolved_e } => Ok((stats, resolved_e)),
+            Response::Stats {
+                stats,
+                resolved_e,
+                conn,
+                totals,
+            } => Ok((stats, resolved_e, conn, totals)),
             other => Err(WireError::Protocol(format!(
                 "expected stats response, got kind {:#04x}",
                 other.kind()

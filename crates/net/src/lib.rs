@@ -27,13 +27,21 @@ pub mod client;
 pub mod frame;
 pub mod mesh;
 pub mod proto;
+pub mod stream;
 pub mod wire;
 
-pub use client::{Client, ClientConfig};
+pub use client::{ChunkedFetch, Client, ClientConfig, StreamedFrame};
 pub use frame::{
-    encode_frame, read_frame, write_frame, Frame, FrameAssembler, FrameEvent, MAGIC, MAX_PAYLOAD,
-    VERSION,
+    encode_frame, read_frame, write_frame, Frame, FrameAssembler, FrameEvent, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, VERSION,
 };
-pub use mesh::{canonical_face, canonical_flat, canonical_mesh, MeshResult, WireVertex};
-pub use proto::{ErrorCode, QueryOpts, Request, Response};
+pub use mesh::{
+    canonical_face, canonical_flat, canonical_mesh, canonical_mesh_into, MeshResult, ResultTail,
+    WireVertex,
+};
+pub use proto::{ErrorCode, QueryOpts, Request, Response, StreamCounters};
+pub use stream::{
+    diff_frames, split_coarse_to_fine, ChunkAssembler, FrameDelta, FrontMirror, MeshChunk,
+    StreamMode, FIRST_CHUNK_VERTICES,
+};
 pub use wire::{Reader, WireError, WireResult, Writer};

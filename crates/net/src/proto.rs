@@ -13,6 +13,7 @@ use dm_mtm::PlaneTarget;
 
 use crate::frame::Frame;
 use crate::mesh::MeshResult;
+use crate::stream::{FrameDelta, MeshChunk, StreamMode};
 use crate::wire::{Reader, WireError, WireResult, Writer};
 
 pub const REQ_VI: u8 = 0x01;
@@ -32,6 +33,8 @@ pub const RESP_STATS: u8 = 0x85;
 pub const RESP_ERROR: u8 = 0x86;
 pub const RESP_OVERLOADED: u8 = 0x87;
 pub const RESP_SHUTDOWN_ACK: u8 = 0x88;
+pub const RESP_FRAME_DELTA: u8 = 0x89;
+pub const RESP_MESH_CHUNK: u8 = 0x8A;
 
 /// Per-request execution options shared by the query variants.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,6 +46,39 @@ pub struct QueryOpts {
     /// integrity report says what was lost). When false, data loss is
     /// answered with [`ErrorCode::DataLoss`].
     pub degraded: bool,
+    /// Stream the answer as coarse-to-fine [`MeshChunk`] frames instead
+    /// of one monolithic mesh, bounding time-to-first-triangle.
+    pub chunked: bool,
+}
+
+/// Streaming byte/frame counters, reported per connection and
+/// server-aggregate in [`Response::Stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamCounters {
+    /// Request bytes read off the socket(s), framing included.
+    pub bytes_in: u64,
+    /// Response bytes queued onto the socket(s), framing included.
+    pub bytes_out: u64,
+    /// Session frames answered as deltas.
+    pub delta_frames: u64,
+    /// Session frames answered in full (monolithic or full reset).
+    pub full_frames: u64,
+}
+
+fn put_stream_counters(w: &mut Writer, c: &StreamCounters) {
+    w.varint(c.bytes_in);
+    w.varint(c.bytes_out);
+    w.varint(c.delta_frames);
+    w.varint(c.full_frames);
+}
+
+fn get_stream_counters(r: &mut Reader) -> WireResult<StreamCounters> {
+    Ok(StreamCounters {
+        bytes_in: r.varint()?,
+        bytes_out: r.varint()?,
+        delta_frames: r.varint()?,
+        full_frames: r.varint()?,
+    })
 }
 
 /// One client→server message.
@@ -70,11 +106,14 @@ pub enum Request {
         max_cubes: u32,
         full_requery: bool,
     },
-    /// Advance an open session to a new viewpoint.
+    /// Advance an open session to a new viewpoint. `stream` picks the
+    /// response transport: monolithic [`Response::Mesh`], or a
+    /// [`Response::FrameDelta`] patched against the previous frame.
     FrameQuery {
         session: u64,
         query: VdQuery,
         degraded: bool,
+        stream: StreamMode,
     },
     /// Drop an open session.
     CloseSession { session: u64 },
@@ -143,6 +182,14 @@ pub enum Response {
         total_disk_accesses: u64,
         items: Vec<MeshResult>,
     },
+    /// One frame of a delta-streamed session answer (full reset or
+    /// patch); the client's [`crate::stream::FrontMirror`] reconstructs
+    /// the monolithic result.
+    FrameDelta(FrameDelta),
+    /// One coarse-to-fine slice of a chunked cold answer. A chunked
+    /// request is answered by several of these on one connection, in
+    /// order, ending with `last == true`.
+    MeshChunk(MeshChunk),
     SessionOpened {
         session: u64,
     },
@@ -150,6 +197,10 @@ pub enum Response {
     Stats {
         stats: DbStats,
         resolved_e: Vec<f64>,
+        /// Streaming counters of the requesting connection.
+        conn: StreamCounters,
+        /// Server-lifetime aggregate streaming counters.
+        totals: StreamCounters,
     },
     Error {
         code: ErrorCode,
@@ -226,12 +277,14 @@ fn get_policy(r: &mut Reader) -> WireResult<BoundaryPolicy> {
 fn put_opts(w: &mut Writer, o: QueryOpts) {
     w.bool(o.cold);
     w.bool(o.degraded);
+    w.bool(o.chunked);
 }
 
 fn get_opts(r: &mut Reader) -> WireResult<QueryOpts> {
     Ok(QueryOpts {
         cold: r.bool()?,
         degraded: r.bool()?,
+        chunked: r.bool()?,
     })
 }
 
@@ -296,10 +349,12 @@ impl Request {
                 session,
                 query,
                 degraded,
+                stream,
             } => {
                 w.varint(*session);
                 put_vd_query(&mut w, query);
                 w.bool(*degraded);
+                w.u8(stream.code());
             }
             Request::CloseSession { session } => w.varint(*session),
             Request::Stats { resolve_keep } => {
@@ -358,6 +413,7 @@ impl Request {
                 session: r.varint()?,
                 query: get_vd_query(&mut r)?,
                 degraded: r.bool()?,
+                stream: StreamMode::from_code(r.u8()?)?,
             },
             REQ_CLOSE_SESSION => Request::CloseSession {
                 session: r.varint()?,
@@ -428,6 +484,8 @@ impl Response {
     pub fn kind(&self) -> u8 {
         match self {
             Response::Mesh(_) => RESP_MESH,
+            Response::FrameDelta(_) => RESP_FRAME_DELTA,
+            Response::MeshChunk(_) => RESP_MESH_CHUNK,
             Response::Batch { .. } => RESP_BATCH,
             Response::SessionOpened { .. } => RESP_SESSION_OPENED,
             Response::SessionClosed => RESP_SESSION_CLOSED,
@@ -443,6 +501,8 @@ impl Response {
         let mut w = Writer::new();
         match self {
             Response::Mesh(m) => m.encode(&mut w),
+            Response::FrameDelta(d) => d.encode(&mut w),
+            Response::MeshChunk(c) => c.encode(&mut w),
             Response::Batch {
                 total_disk_accesses,
                 items,
@@ -455,12 +515,19 @@ impl Response {
             }
             Response::SessionOpened { session } => w.varint(*session),
             Response::SessionClosed => {}
-            Response::Stats { stats, resolved_e } => {
+            Response::Stats {
+                stats,
+                resolved_e,
+                conn,
+                totals,
+            } => {
                 put_db_stats(&mut w, stats);
                 w.varint(resolved_e.len() as u64);
                 for e in resolved_e {
                     w.f64(*e);
                 }
+                put_stream_counters(&mut w, conn);
+                put_stream_counters(&mut w, totals);
             }
             Response::Error { code, message } => {
                 w.u8(code.code());
@@ -477,6 +544,8 @@ impl Response {
         let mut r = Reader::new(&frame.payload);
         let resp = match frame.kind {
             RESP_MESH => Response::Mesh(MeshResult::decode(&mut r)?),
+            RESP_FRAME_DELTA => Response::FrameDelta(FrameDelta::decode(&mut r)?),
+            RESP_MESH_CHUNK => Response::MeshChunk(MeshChunk::decode(&mut r)?),
             RESP_BATCH => {
                 let total_disk_accesses = r.varint()?;
                 let n = r.varint()? as usize;
@@ -510,7 +579,14 @@ impl Response {
                 for _ in 0..n {
                     resolved_e.push(r.f64()?);
                 }
-                Response::Stats { stats, resolved_e }
+                let conn = get_stream_counters(&mut r)?;
+                let totals = get_stream_counters(&mut r)?;
+                Response::Stats {
+                    stats,
+                    resolved_e,
+                    conn,
+                    totals,
+                }
             }
             RESP_ERROR => {
                 let raw = r.u8()?;
@@ -582,6 +658,7 @@ mod tests {
                 opts: QueryOpts {
                     cold: true,
                     degraded: false,
+                    chunked: false,
                 },
                 roi,
                 e: 0.125,
@@ -596,6 +673,7 @@ mod tests {
                 opts: QueryOpts {
                     cold: false,
                     degraded: true,
+                    chunked: true,
                 },
                 queries: vec![(roi, 0.1), (roi, f64::NAN)],
                 threads: 4,
@@ -609,6 +687,7 @@ mod tests {
                 session: u64::MAX,
                 query: q,
                 degraded: true,
+                stream: StreamMode::Auto,
             },
             Request::CloseSession { session: 7 },
             Request::Stats {
@@ -665,6 +744,33 @@ mod tests {
         };
         let resps = vec![
             Response::Mesh(mesh.clone()),
+            Response::FrameDelta(FrameDelta {
+                seq: 3,
+                base_seq: 2,
+                is_delta: true,
+                removed_vertices: vec![4, 9],
+                added_vertices: vec![crate::mesh::WireVertex {
+                    id: 5,
+                    x: 1.0,
+                    y: 2.0,
+                    z: 3.0,
+                }],
+                removed_faces: vec![[4, 9, 10]],
+                added_faces: vec![[5, 10, 11]],
+                tail: mesh.tail(),
+            }),
+            Response::MeshChunk(MeshChunk {
+                seq: 1,
+                last: true,
+                vertices: vec![crate::mesh::WireVertex {
+                    id: 8,
+                    x: -1.0,
+                    y: 0.5,
+                    z: 2.5,
+                }],
+                faces: vec![[8, 9, 10]],
+                tail: mesh.tail(),
+            }),
             Response::Batch {
                 total_disk_accesses: 19,
                 items: vec![mesh.clone(), mesh],
@@ -674,6 +780,18 @@ mod tests {
             Response::Stats {
                 stats,
                 resolved_e: vec![0.02, 0.4],
+                conn: StreamCounters {
+                    bytes_in: 100,
+                    bytes_out: 9000,
+                    delta_frames: 30,
+                    full_frames: 2,
+                },
+                totals: StreamCounters {
+                    bytes_in: 400,
+                    bytes_out: 36000,
+                    delta_frames: 120,
+                    full_frames: 8,
+                },
             },
             Response::Error {
                 code: ErrorCode::DataLoss,

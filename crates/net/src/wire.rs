@@ -113,6 +113,22 @@ impl Writer {
         self.out
     }
 
+    /// Clear the buffer and the XOR-delta reference while keeping the
+    /// allocation, so hot encode paths can reuse one writer per frame.
+    pub fn reset(&mut self) {
+        self.out.clear();
+        self.last_f64 = 0;
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
     pub fn u8(&mut self, v: u8) {
         self.out.push(v);
     }

@@ -48,8 +48,14 @@ use std::time::{Duration, Instant};
 use dm_core::{BoundaryPolicy, DirectMeshDb, FetchCounters, NavigationSession, VdQuery};
 use dm_geom::Rect;
 use dm_net::frame::{encode_frame, FrameAssembler};
-use dm_net::mesh::{canonical_flat, canonical_mesh, MeshResult};
-use dm_net::proto::{ErrorCode, QueryOpts, Request, Response};
+use dm_net::mesh::{
+    canonical_flat, canonical_mesh, canonical_mesh_into, MeshResult, ResultTail, WireVertex,
+};
+use dm_net::proto::{ErrorCode, QueryOpts, Request, Response, StreamCounters};
+use dm_net::stream::{
+    diff_frames, split_coarse_to_fine, FrameDelta, StreamMode, FIRST_CHUNK_VERTICES,
+};
+use dm_net::wire::Writer;
 use polling::{Interest, Poller};
 
 /// Reactor poll tick: bounds how stale shutdown/stall checks can get.
@@ -114,6 +120,14 @@ pub struct ServerStats {
     pub slow_disconnects: u64,
     /// Connections dropped for stalling mid-frame past the deadline.
     pub stalled_disconnects: u64,
+    /// Request bytes read off all sockets, framing included.
+    pub bytes_in: u64,
+    /// Response bytes written to all sockets, framing included.
+    pub bytes_out: u64,
+    /// Navigation frames answered as delta patches.
+    pub delta_frames: u64,
+    /// Navigation frames answered in full (monolithic mesh or reset).
+    pub full_frames: u64,
 }
 
 /// Clonable handle that asks a running [`Server::serve`] call to stop
@@ -170,6 +184,10 @@ struct Counters {
     overloaded: AtomicU64,
     slow_disconnects: AtomicU64,
     stalled_disconnects: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    delta_frames: AtomicU64,
+    full_frames: AtomicU64,
 }
 
 /// State the reactor and all workers share.
@@ -180,12 +198,63 @@ struct Shared {
     counters: Counters,
 }
 
+/// Per-session delta-stream state: the previous frame's canonical form
+/// (the diff base) plus scratch buffers reused across frames so the
+/// per-frame canonicalize/encode path stops reallocating.
+struct StreamState {
+    /// Sequence number of the last delta-class answer.
+    seq: u64,
+    /// `prev_*` hold a valid diff base. Cleared by full-frame answers
+    /// and by error responses: the delta chain only spans consecutive
+    /// delta-mode frames the client provably saw.
+    has_prev: bool,
+    prev_vertices: Vec<WireVertex>,
+    prev_faces: Vec<[u32; 3]>,
+    scratch_vertices: Vec<WireVertex>,
+    scratch_faces: Vec<[u32; 3]>,
+    /// Reused encoder for the delta-vs-full size cutover.
+    enc: Writer,
+}
+
+impl Default for StreamState {
+    fn default() -> StreamState {
+        StreamState {
+            seq: 0,
+            has_prev: false,
+            prev_vertices: Vec::new(),
+            prev_faces: Vec::new(),
+            scratch_vertices: Vec::new(),
+            scratch_faces: Vec::new(),
+            enc: Writer::new(),
+        }
+    }
+}
+
+impl StreamState {
+    fn encoded_len(&mut self, d: &FrameDelta) -> usize {
+        self.enc.reset();
+        d.encode(&mut self.enc);
+        self.enc.len()
+    }
+}
+
+/// A navigation session plus its wire-stream state.
+struct SessionSlot<'db> {
+    nav: NavigationSession<'db>,
+    stream: StreamState,
+}
+
 /// Per-connection state: the navigation sessions this client opened.
 /// Travels with each dispatched job (per-connection execution is serial,
 /// so exactly one of reactor/worker holds it at any time).
 struct ConnState<'db> {
-    sessions: HashMap<u64, NavigationSession<'db>>,
+    sessions: HashMap<u64, SessionSlot<'db>>,
     next_session: u64,
+    /// Streaming counters reported by `Stats`: byte totals are
+    /// snapshotted from the reactor's `Conn` at dispatch time (exact —
+    /// per-connection execution is serial), frame counts are maintained
+    /// here by the worker.
+    counters: StreamCounters,
 }
 
 /// One unit of work for the execute pool.
@@ -197,12 +266,15 @@ struct Job<'db> {
     permit: bool,
 }
 
-/// A finished job: the connection state comes back with the pre-encoded
-/// response frame.
+/// A (possibly partial) job result. Chunked answers post one completion
+/// per frame *as each is encoded*, so the coarse prefix reaches the wire
+/// while the worker is still encoding the fine tail; the connection
+/// state rides only the final completion (`state: Some`), which is also
+/// what re-opens dispatch for the connection.
 struct Completion<'db> {
     token: usize,
-    state: ConnState<'db>,
-    bytes: Vec<u8>,
+    state: Option<ConnState<'db>>,
+    frames: Vec<Vec<u8>>,
 }
 
 /// Jobs waiting for a worker.
@@ -272,6 +344,10 @@ struct Conn<'db> {
     close_after_flush: bool,
     last_byte: Instant,
     interest: Interest,
+    /// Request bytes read off this socket, framing included.
+    bytes_in: u64,
+    /// Response bytes written to this socket, framing included.
+    bytes_out: u64,
 }
 
 /// A bound-but-not-yet-serving query server.
@@ -354,6 +430,10 @@ impl Server {
             overloaded: shared.counters.overloaded.load(Ordering::Relaxed),
             slow_disconnects: shared.counters.slow_disconnects.load(Ordering::Relaxed),
             stalled_disconnects: shared.counters.stalled_disconnects.load(Ordering::Relaxed),
+            bytes_in: shared.counters.bytes_in.load(Ordering::Relaxed),
+            bytes_out: shared.counters.bytes_out.load(Ordering::Relaxed),
+            delta_frames: shared.counters.delta_frames.load(Ordering::Relaxed),
+            full_frames: shared.counters.full_frames.load(Ordering::Relaxed),
         })
     }
 }
@@ -384,21 +464,37 @@ fn worker_loop<'db>(
             mut state,
             permit,
         } = job;
-        let resp = handle_request(db, req, &mut state, shared);
+        let resps = handle_request(db, req, &mut state, shared);
         if permit {
             shared.admission.release();
         }
-        if matches!(resp, Response::Error { .. }) {
+        if resps.iter().any(|r| matches!(r, Response::Error { .. })) {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
         // Encode on the worker: the reactor only moves finished bytes.
-        let bytes = encode_frame(resp.kind(), &resp.encode());
-        completions.lock().unwrap().push(Completion {
-            token,
-            state,
-            bytes,
-        });
-        poller.notify().ok();
+        // Multi-frame answers (chunked meshes) ship each frame the
+        // moment it is encoded — time-to-first-triangle must not wait
+        // for the fine tail of the payload to be serialized. The state
+        // rides the *final* completion, which re-opens dispatch.
+        let mut state = Some(state);
+        let last = resps.len().saturating_sub(1);
+        if resps.is_empty() {
+            completions.lock().unwrap().push(Completion {
+                token,
+                state: state.take(),
+                frames: Vec::new(),
+            });
+            poller.notify().ok();
+        }
+        for (i, r) in resps.iter().enumerate() {
+            let frame = encode_frame(r.kind(), &r.encode());
+            completions.lock().unwrap().push(Completion {
+                token,
+                state: if i == last { state.take() } else { None },
+                frames: vec![frame],
+            });
+            poller.notify().ok();
+        }
     }
 }
 
@@ -517,12 +613,15 @@ impl<'db> Reactor<'db, '_> {
                             state: Some(ConnState {
                                 sessions: HashMap::new(),
                                 next_session: 1,
+                                counters: StreamCounters::default(),
                             }),
                             inflight: false,
                             reading: true,
                             close_after_flush: false,
                             last_byte: Instant::now(),
                             interest: Interest::READ,
+                            bytes_in: 0,
+                            bytes_out: 0,
                         },
                     );
                 }
@@ -538,6 +637,7 @@ impl<'db> Reactor<'db, '_> {
     /// loop exits on `WouldBlock`.
     fn handle_readable(&mut self, token: usize) {
         let mut buf = [0u8; 64 * 1024];
+        let shared = self.shared;
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
@@ -550,6 +650,11 @@ impl<'db> Reactor<'db, '_> {
                 }
                 Ok(n) => {
                     conn.asm.push(&buf[..n]);
+                    conn.bytes_in += n as u64;
+                    shared
+                        .counters
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
                     conn.last_byte = Instant::now();
                     // Cap how much we buffer ahead of the parser.
                     if conn.asm.buffered() > (64 << 20) + (64 * 1024) {
@@ -695,10 +800,14 @@ impl<'db> Reactor<'db, '_> {
                     let Some(PendingItem::Exec(req)) = conn.pending.pop_front() else {
                         unreachable!("front() said Exec");
                     };
-                    let state = conn
+                    let mut state = conn
                         .state
                         .take()
                         .expect("connection state present while idle");
+                    // Snapshot byte totals for `Stats` answers; exact
+                    // because this connection executes serially.
+                    state.counters.bytes_in = conn.bytes_in;
+                    state.counters.bytes_out = conn.bytes_out;
                     conn.inflight = true;
                     self.jobs.push(Job {
                         token,
@@ -711,17 +820,28 @@ impl<'db> Reactor<'db, '_> {
         }
     }
 
-    /// Hand finished jobs' responses back to their connections.
+    /// Hand finished jobs' responses back to their connections. A
+    /// multi-frame answer (chunked mesh) enters the write queue as
+    /// separate entries, each subject to the byte budget.
     fn drain_completions(&mut self) {
         let done: Vec<Completion<'db>> = std::mem::take(&mut *self.completions.lock().unwrap());
         for completion in done {
             let Some(conn) = self.conns.get_mut(&completion.token) else {
                 continue; // connection closed while the job ran
             };
-            conn.state = Some(completion.state);
-            conn.inflight = false;
+            if let Some(state) = completion.state {
+                conn.state = Some(state);
+                conn.inflight = false;
+            }
             let token = completion.token;
-            if !self.enqueue_bytes(token, completion.bytes) {
+            let mut alive = true;
+            for bytes in completion.frames {
+                if !self.enqueue_bytes(token, bytes) {
+                    alive = false;
+                    break; // connection was shed or died
+                }
+            }
+            if !alive {
                 continue;
             }
             self.try_dispatch(token);
@@ -734,15 +854,19 @@ impl<'db> Reactor<'db, '_> {
     /// I/O failure) — the caller must not touch it again.
     fn enqueue_bytes(&mut self, token: usize, bytes: Vec<u8>) -> bool {
         let budget = self.shared.config.write_budget;
+        let shared = self.shared;
         let Some(conn) = self.conns.get_mut(&token) else {
             return false;
         };
         conn.queued_bytes += bytes.len();
         conn.write_q.push_back(bytes);
-        if flush_writes(conn).is_err() {
-            self.close(token);
-            return false;
-        }
+        match flush_writes(conn) {
+            Ok(n) => shared.counters.bytes_out.fetch_add(n, Ordering::Relaxed),
+            Err(_) => {
+                self.close(token);
+                return false;
+            }
+        };
         let conn = self.conns.get_mut(&token).expect("conn still present");
         if conn.queued_bytes > budget {
             // The peer is not reading fast enough to keep its response
@@ -758,13 +882,17 @@ impl<'db> Reactor<'db, '_> {
     }
 
     fn handle_writable(&mut self, token: usize) {
+        let shared = self.shared;
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        if flush_writes(conn).is_err() {
-            self.close(token);
-            return;
-        }
+        match flush_writes(conn) {
+            Ok(n) => shared.counters.bytes_out.fetch_add(n, Ordering::Relaxed),
+            Err(_) => {
+                self.close(token);
+                return;
+            }
+        };
         self.after_io(token);
     }
 
@@ -828,8 +956,10 @@ impl<'db> Reactor<'db, '_> {
 }
 
 /// Write queued response bytes until the socket would block or the queue
-/// empties. `Err` means the connection is dead.
-fn flush_writes(conn: &mut Conn<'_>) -> io::Result<()> {
+/// empties; returns how many bytes went out. `Err` means the connection
+/// is dead.
+fn flush_writes(conn: &mut Conn<'_>) -> io::Result<u64> {
+    let mut written = 0u64;
     while let Some(front) = conn.write_q.front() {
         match conn.stream.write(&front[conn.write_off..]) {
             Ok(0) => {
@@ -841,6 +971,8 @@ fn flush_writes(conn: &mut Conn<'_>) -> io::Result<()> {
             Ok(n) => {
                 conn.write_off += n;
                 conn.queued_bytes -= n;
+                written += n as u64;
+                conn.bytes_out += n as u64;
                 if conn.write_off == front.len() {
                     conn.write_q.pop_front();
                     conn.write_off = 0;
@@ -851,7 +983,7 @@ fn flush_writes(conn: &mut Conn<'_>) -> io::Result<()> {
             Err(e) => return Err(e),
         }
     }
-    Ok(())
+    Ok(written)
 }
 
 fn storage_error(e: impl std::fmt::Display) -> Box<Response> {
@@ -879,6 +1011,7 @@ fn exec_vi(
     roi: &Rect,
     e: f64,
     degraded: bool,
+    coarseness: Option<&mut Vec<f64>>,
 ) -> Result<MeshResult, Box<Response>> {
     let reads_before = dm_storage::thread_reads();
     let mut counters = FetchCounters::default();
@@ -892,6 +1025,12 @@ fn exec_vi(
         }));
     }
     let (vertices, faces) = canonical_flat(&res.nodes, &res.faces);
+    if let Some(c) = coarseness {
+        // `canonical_flat` preserves the node order, so coarseness
+        // aligns with the canonical vertex list by index.
+        c.clear();
+        c.extend(res.nodes.iter().map(|n| n.e_lo));
+    }
     Ok(MeshResult {
         vertices,
         faces,
@@ -909,6 +1048,7 @@ fn exec_vd(
     policy: BoundaryPolicy,
     max_cubes: u32,
     degraded: bool,
+    coarseness: Option<&mut Vec<f64>>,
 ) -> Result<MeshResult, Box<Response>> {
     let reads_before = dm_storage::thread_reads();
     let mut counters = FetchCounters::default();
@@ -922,6 +1062,14 @@ fn exec_vd(
         }));
     }
     let (vertices, faces) = canonical_mesh(&res.front);
+    if let Some(c) = coarseness {
+        c.clear();
+        c.extend(
+            vertices
+                .iter()
+                .map(|v| res.front.node(v.id).map_or(0.0, |n| n.e_lo)),
+        );
+    }
     Ok(MeshResult {
         vertices,
         faces,
@@ -931,6 +1079,21 @@ fn exec_vd(
         counters,
         report,
     })
+}
+
+/// Split a finished mesh answer into coarse-to-fine chunk responses.
+fn chunk_mesh(m: MeshResult, coarseness: &[f64]) -> Vec<Response> {
+    let tail = m.tail();
+    split_coarse_to_fine(
+        &m.vertices,
+        coarseness,
+        &m.faces,
+        tail,
+        FIRST_CHUNK_VERTICES,
+    )
+    .into_iter()
+    .map(Response::MeshChunk)
+    .collect()
 }
 
 /// Fan a batch of VI queries over up to `threads` workers (chunked, one
@@ -950,7 +1113,7 @@ fn exec_batch(
     slots.resize_with(queries.len(), || None);
     if t <= 1 {
         for (slot, (roi, e)) in slots.iter_mut().zip(queries) {
-            *slot = Some(exec_vi(db, roi, *e, degraded));
+            *slot = Some(exec_vi(db, roi, *e, degraded, None));
         }
     } else {
         let chunk = queries.len().div_ceil(t);
@@ -958,7 +1121,7 @@ fn exec_batch(
             for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
                 s.spawn(move |_| {
                     for (slot, (roi, e)) in outs.iter_mut().zip(qs) {
-                        *slot = Some(exec_vi(db, roi, *e, degraded));
+                        *slot = Some(exec_vi(db, roi, *e, degraded, None));
                     }
                 });
             }
@@ -986,20 +1149,30 @@ fn exec_batch(
     Ok((total, items))
 }
 
+/// Execute one request into its response frame sequence — a single
+/// response for everything except chunked queries, which stream several
+/// `MeshChunk` frames.
 fn handle_request<'db>(
     db: &'db DirectMeshDb,
     req: Request,
     conn: &mut ConnState<'db>,
     shared: &Shared,
-) -> Response {
+) -> Vec<Response> {
     match req {
         Request::ViQuery { opts, roi, e } => {
             if let Err(resp) = maybe_cold(db, opts) {
-                return *resp;
+                return vec![*resp];
             }
-            match exec_vi(db, &roi, e, opts.degraded) {
-                Ok(m) => Response::Mesh(m),
-                Err(resp) => *resp,
+            let mut coarseness = Vec::new();
+            let co = if opts.chunked {
+                Some(&mut coarseness)
+            } else {
+                None
+            };
+            match exec_vi(db, &roi, e, opts.degraded, co) {
+                Ok(m) if opts.chunked => chunk_mesh(m, &coarseness),
+                Ok(m) => vec![Response::Mesh(m)],
+                Err(resp) => vec![*resp],
             }
         }
         Request::VdQuery {
@@ -1009,11 +1182,18 @@ fn handle_request<'db>(
             max_cubes,
         } => {
             if let Err(resp) = maybe_cold(db, opts) {
-                return *resp;
+                return vec![*resp];
             }
-            match exec_vd(db, &query, policy, max_cubes, opts.degraded) {
-                Ok(m) => Response::Mesh(m),
-                Err(resp) => *resp,
+            let mut coarseness = Vec::new();
+            let co = if opts.chunked {
+                Some(&mut coarseness)
+            } else {
+                None
+            };
+            match exec_vd(db, &query, policy, max_cubes, opts.degraded, co) {
+                Ok(m) if opts.chunked => chunk_mesh(m, &coarseness),
+                Ok(m) => vec![Response::Mesh(m)],
+                Err(resp) => vec![*resp],
             }
         }
         Request::BatchQuery {
@@ -1022,20 +1202,20 @@ fn handle_request<'db>(
             threads,
         } => {
             if queries.is_empty() {
-                return Response::Batch {
+                return vec![Response::Batch {
                     total_disk_accesses: 0,
                     items: Vec::new(),
-                };
+                }];
             }
             if let Err(resp) = maybe_cold(db, opts) {
-                return *resp;
+                return vec![*resp];
             }
             match exec_batch(db, &queries, threads, opts.degraded) {
-                Ok((total_disk_accesses, items)) => Response::Batch {
+                Ok((total_disk_accesses, items)) => vec![Response::Batch {
                     total_disk_accesses,
                     items,
-                },
-                Err(resp) => *resp,
+                }],
+                Err(resp) => vec![*resp],
             }
         }
         Request::OpenSession {
@@ -1044,44 +1224,54 @@ fn handle_request<'db>(
             full_requery,
         } => {
             if conn.sessions.len() >= shared.config.max_sessions_per_conn {
-                return Response::Error {
+                return vec![Response::Error {
                     code: ErrorCode::TooManySessions,
                     message: format!("connection already holds {} sessions", conn.sessions.len()),
-                };
+                }];
             }
             let id = conn.next_session;
             conn.next_session += 1;
-            let session = NavigationSession::new(db, policy)
+            let nav = NavigationSession::new(db, policy)
                 .with_max_cubes(max_cubes.max(1) as usize)
                 .with_full_requery(full_requery);
-            conn.sessions.insert(id, session);
-            Response::SessionOpened { session: id }
+            conn.sessions.insert(
+                id,
+                SessionSlot {
+                    nav,
+                    stream: StreamState::default(),
+                },
+            );
+            vec![Response::SessionOpened { session: id }]
         }
         Request::FrameQuery {
             session,
             query,
             degraded,
+            stream,
         } => {
-            let Some(nav) = conn.sessions.get_mut(&session) else {
-                return Response::Error {
+            let Some(slot) = conn.sessions.get_mut(&session) else {
+                return vec![Response::Error {
                     code: ErrorCode::UnknownSession,
                     message: format!("session {session} is not open on this connection"),
-                };
+                }];
             };
             let reads_before = dm_storage::thread_reads();
-            match nav.try_move_to(&query) {
-                Err(e) => *storage_error(e),
+            match slot.nav.try_move_to(&query) {
+                Err(e) => {
+                    slot.stream.has_prev = false;
+                    vec![*storage_error(e)]
+                }
                 Ok((stats, report)) => {
                     if !degraded && !report.is_clean() {
-                        return Response::Error {
+                        // The client never saw this frame: break the
+                        // delta chain so the next answer is a reset.
+                        slot.stream.has_prev = false;
+                        return vec![Response::Error {
                             code: ErrorCode::DataLoss,
                             message: format!("frame lost data: {report}"),
-                        };
+                        }];
                     }
-                    let (vertices, faces) = canonical_mesh(nav.front());
-                    Response::Mesh(MeshResult {
-                        vertices,
-                        faces,
+                    let tail = ResultTail {
                         fetched_records: stats.fetched_records as u64,
                         disk_accesses: dm_storage::thread_reads() - reads_before,
                         cubes: 0,
@@ -1091,29 +1281,110 @@ fn handle_request<'db>(
                             records_decoded: stats.decoded_records,
                         },
                         report,
-                    })
+                    };
+                    let st = &mut slot.stream;
+                    canonical_mesh_into(
+                        slot.nav.front(),
+                        &mut st.scratch_vertices,
+                        &mut st.scratch_faces,
+                    );
+                    if stream == StreamMode::Full {
+                        // Monolithic answer; it carries no sequence
+                        // number, so the delta chain breaks here.
+                        st.has_prev = false;
+                        conn.counters.full_frames += 1;
+                        shared.counters.full_frames.fetch_add(1, Ordering::Relaxed);
+                        return vec![Response::Mesh(MeshResult::from_parts(
+                            st.scratch_vertices.clone(),
+                            st.scratch_faces.clone(),
+                            tail,
+                        ))];
+                    }
+                    let next_seq = st.seq.wrapping_add(1);
+                    let delta = if st.has_prev {
+                        let (removed_vertices, added_vertices, removed_faces, added_faces) =
+                            diff_frames(
+                                &st.prev_vertices,
+                                &st.prev_faces,
+                                &st.scratch_vertices,
+                                &st.scratch_faces,
+                            );
+                        let patch = FrameDelta {
+                            seq: next_seq,
+                            base_seq: st.seq,
+                            is_delta: true,
+                            removed_vertices,
+                            added_vertices,
+                            removed_faces,
+                            added_faces,
+                            tail: tail.clone(),
+                        };
+                        if stream == StreamMode::Auto {
+                            // Size cutover: both forms answer the same
+                            // frame; ship whichever encodes smaller.
+                            let full = FrameDelta::full_reset(
+                                next_seq,
+                                st.scratch_vertices.clone(),
+                                st.scratch_faces.clone(),
+                                tail,
+                            );
+                            if st.encoded_len(&patch) <= st.encoded_len(&full) {
+                                patch
+                            } else {
+                                full
+                            }
+                        } else {
+                            patch
+                        }
+                    } else {
+                        FrameDelta::full_reset(
+                            next_seq,
+                            st.scratch_vertices.clone(),
+                            st.scratch_faces.clone(),
+                            tail,
+                        )
+                    };
+                    st.seq = next_seq;
+                    std::mem::swap(&mut st.prev_vertices, &mut st.scratch_vertices);
+                    std::mem::swap(&mut st.prev_faces, &mut st.scratch_faces);
+                    st.has_prev = true;
+                    if delta.is_delta {
+                        conn.counters.delta_frames += 1;
+                        shared.counters.delta_frames.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        conn.counters.full_frames += 1;
+                        shared.counters.full_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                    vec![Response::FrameDelta(delta)]
                 }
             }
         }
         Request::CloseSession { session } => {
             if conn.sessions.remove(&session).is_some() {
-                Response::SessionClosed
+                vec![Response::SessionClosed]
             } else {
-                Response::Error {
+                vec![Response::Error {
                     code: ErrorCode::UnknownSession,
                     message: format!("session {session} is not open on this connection"),
-                }
+                }]
             }
         }
-        Request::Stats { resolve_keep } => Response::Stats {
+        Request::Stats { resolve_keep } => vec![Response::Stats {
             stats: db.stats_summary(),
             resolved_e: resolve_keep
                 .iter()
                 .map(|&k| db.e_for_points_fraction(k))
                 .collect(),
-        },
+            conn: conn.counters,
+            totals: StreamCounters {
+                bytes_in: shared.counters.bytes_in.load(Ordering::Relaxed),
+                bytes_out: shared.counters.bytes_out.load(Ordering::Relaxed),
+                delta_frames: shared.counters.delta_frames.load(Ordering::Relaxed),
+                full_frames: shared.counters.full_frames.load(Ordering::Relaxed),
+            },
+        }],
         // Handled by the reactor before dispatch.
-        Request::Shutdown => Response::ShutdownAck,
+        Request::Shutdown => vec![Response::ShutdownAck],
     }
 }
 

@@ -159,6 +159,37 @@ echo "== server bench smoke (loopback, tiny terrain)"
 DM_SCALE=ci DM_SERVER_OUT="$PWD/target/BENCH_server.ci.json" \
     cargo bench -p dm-bench --bench server >/dev/null
 
+echo "== streaming bench smoke + wire-cost regression guard"
+# Smoke-run the delta-streaming bench on the tiny terrain (the bench
+# itself asserts lockstep bit-identity for every streamed frame and the
+# scratch-buffer steady state), then hold the committed official run to
+# the PR's acceptance bar: the delta transport must ship at most half
+# the full transport's bytes on the warm 32-frame walkthrough, auto must
+# never ship more than full, and chunked time-to-first-triangle must not
+# exceed the monolithic response time.
+DM_SCALE=ci DM_STREAM_OUT="$PWD/target/BENCH_streaming.ci.json" \
+    cargo bench -p dm-bench --bench streaming >/dev/null
+python3 - "$PWD/BENCH_streaming.json" << 'PY'
+import json, sys
+base = json.load(open(sys.argv[1]))
+full, delta, auto = base["full_bytes"], base["delta_bytes"], base["auto_bytes"]
+ttft = base["ttft"]
+checks = [
+    ("delta_bytes", delta, "<=", 0.5 * full),
+    ("auto_bytes", auto, "<=", full),
+    ("ttft_chunked_us", ttft["chunked_us"], "<=", ttft["monolithic_us"]),
+]
+bad = [f"{k}: {v:.0f} not {op} {lim:.0f}"
+       for k, v, op, lim in checks if not v <= lim]
+if not base.get("lockstep_bit_identity"):
+    bad.append("lockstep_bit_identity missing or false")
+if bad:
+    sys.exit("streaming regression guard FAILED\n  " + "\n  ".join(bad))
+print("streaming guard ok: "
+      f"delta/full={delta / max(full, 1):.3f}, "
+      f"ttft chunked/monolithic={ttft['chunked_us'] / max(ttft['monolithic_us'], 1):.3f}")
+PY
+
 echo "== server smoke (serve / remote-query / remote-shutdown over loopback)"
 # End-to-end through the installed binaries: build a tiny database, serve
 # it in the background, run a remote batch query verified bit-for-bit
@@ -178,10 +209,24 @@ ADDR=$(cat "$SMOKE_DIR/port")
 "$DM" remote-query --addr "$ADDR" --cold --verify-local "$SMOKE_DIR/t.dmdb"
 "$DM" remote-query --addr "$ADDR" --batch 2 --verify-local "$SMOKE_DIR/t.dmdb"
 "$DM" remote-query --addr "$ADDR" --pipeline 4 --verify-local "$SMOKE_DIR/t.dmdb"
+"$DM" remote-query --addr "$ADDR" --chunked --verify-local "$SMOKE_DIR/t.dmdb" \
+    | grep -q "^chunked:" || { echo "chunked remote-query printed no chunk stats"; exit 1; }
 "$DM" remote-walkthrough --addr "$ADDR" --frames 4 --verify-local "$SMOKE_DIR/t.dmdb" >/dev/null
+# Delta streaming end to end: every reconstructed frame must verify
+# bit-for-bit against the lockstep local session, and a multi-frame walk
+# must actually ship delta frames.
+"$DM" remote-walkthrough --addr "$ADDR" --frames 6 --stream delta \
+    --verify-local "$SMOKE_DIR/t.dmdb" > "$SMOKE_DIR/delta.log"
+grep -q "verified bit-for-bit" "$SMOKE_DIR/delta.log" \
+    || { echo "delta walkthrough did not verify"; cat "$SMOKE_DIR/delta.log"; exit 1; }
+grep -qE "5/6 delta frames" "$SMOKE_DIR/delta.log" \
+    || { echo "delta walkthrough shipped no deltas"; cat "$SMOKE_DIR/delta.log"; exit 1; }
+"$DM" stats --addr "$ADDR" | grep -q "delta frames" \
+    || { echo "remote stats printed no streaming counters"; exit 1; }
 "$DM" remote-shutdown --addr "$ADDR"
 wait "$SERVE_PID"
 SERVE_PID=
 grep -q "server drained" "$SMOKE_DIR/serve.log" || { echo "server did not drain cleanly"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+grep -q "wire totals:" "$SMOKE_DIR/serve.log" || { echo "server drain printed no wire totals"; cat "$SMOKE_DIR/serve.log"; exit 1; }
 
 echo "ci: all green"

@@ -21,8 +21,8 @@ use dm_core::{BoundaryPolicy, DbStats, FetchCounters, IntegrityReport, VdQuery};
 use dm_geom::{Rect, Vec2};
 use dm_mtm::PlaneTarget;
 use dm_net::{
-    encode_frame, read_frame, ErrorCode, Frame, FrameAssembler, FrameEvent, MeshResult, QueryOpts,
-    Request, Response, WireVertex,
+    encode_frame, read_frame, ErrorCode, Frame, FrameAssembler, FrameDelta, FrameEvent, MeshChunk,
+    MeshResult, QueryOpts, Request, Response, StreamCounters, StreamMode, WireVertex,
 };
 use proptest::prelude::*;
 
@@ -66,7 +66,19 @@ fn arb_policy() -> impl Strategy<Value = BoundaryPolicy> {
 }
 
 fn arb_opts() -> impl Strategy<Value = QueryOpts> {
-    (any::<bool>(), any::<bool>()).prop_map(|(cold, degraded)| QueryOpts { cold, degraded })
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(cold, degraded, chunked)| QueryOpts {
+        cold,
+        degraded,
+        chunked,
+    })
+}
+
+fn arb_stream_mode() -> impl Strategy<Value = StreamMode> {
+    (0u8..3).prop_map(|m| match m {
+        0 => StreamMode::Full,
+        1 => StreamMode::Delta,
+        _ => StreamMode::Auto,
+    })
 }
 
 fn arb_ascii(max_len: usize) -> impl Strategy<Value = String> {
@@ -86,6 +98,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
             any::<u64>(),
             any::<bool>(),
             collection::vec(bits_f64(), 0..6),
+            arb_stream_mode(),
         ),
     )
         .prop_map(
@@ -94,7 +107,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 (opts, roi, e),
                 (query, policy, max_cubes),
                 (queries, threads),
-                (session, flag, resolve_keep),
+                (session, flag, resolve_keep, stream),
             )| match sel {
                 0 => Request::ViQuery { opts, roi, e },
                 1 => Request::VdQuery {
@@ -117,6 +130,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     session,
                     query,
                     degraded: flag,
+                    stream,
                 },
                 5 => Request::CloseSession { session },
                 6 => Request::Stats { resolve_keep },
@@ -230,17 +244,106 @@ fn arb_db_stats() -> impl Strategy<Value = DbStats> {
         )
 }
 
+/// Strictly ascending unique vertex ids (the id-set codec invariant).
+fn arb_id_set() -> impl Strategy<Value = Vec<u32>> {
+    collection::vec(any::<u32>(), 0..16).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    })
+}
+
+fn arb_stream_counters() -> impl Strategy<Value = StreamCounters> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+        |(bytes_in, bytes_out, delta_frames, full_frames)| StreamCounters {
+            bytes_in,
+            bytes_out,
+            delta_frames,
+            full_frames,
+        },
+    )
+}
+
+/// Either a genuine delta patch or a full-reset frame, both respecting
+/// the codec invariants (ascending id sets; resets carry no removals).
+fn arb_frame_delta() -> impl Strategy<Value = FrameDelta> {
+    (
+        (any::<u64>(), any::<u64>(), any::<bool>()),
+        arb_id_set(),
+        arb_vertices(),
+        (
+            collection::vec(arb_face(), 0..16),
+            collection::vec(arb_face(), 0..16),
+        ),
+        arb_mesh(),
+    )
+        .prop_map(
+            |(
+                (seq, base_seq, is_delta),
+                removed_vertices,
+                added_vertices,
+                (removed_faces, added_faces),
+                mesh,
+            )| {
+                let tail = mesh.tail();
+                if is_delta {
+                    FrameDelta {
+                        seq,
+                        base_seq,
+                        is_delta: true,
+                        removed_vertices,
+                        added_vertices,
+                        removed_faces,
+                        added_faces,
+                        tail,
+                    }
+                } else {
+                    FrameDelta::full_reset(seq, added_vertices, added_faces, tail)
+                }
+            },
+        )
+}
+
+fn arb_mesh_chunk() -> impl Strategy<Value = MeshChunk> {
+    (
+        (any::<u32>(), any::<bool>()),
+        arb_vertices(),
+        collection::vec(arb_face(), 0..16),
+        arb_mesh(),
+    )
+        .prop_map(|((seq, last), vertices, faces, mesh)| MeshChunk {
+            seq,
+            last,
+            vertices,
+            faces,
+            tail: mesh.tail(),
+        })
+}
+
 /// One strategy covering every response variant.
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0u8..8,
+        0u8..10,
         arb_mesh(),
         (any::<u64>(), collection::vec(arb_mesh(), 0..3)),
-        (arb_db_stats(), collection::vec(bits_f64(), 0..6)),
+        (
+            arb_db_stats(),
+            collection::vec(bits_f64(), 0..6),
+            arb_stream_counters(),
+            arb_stream_counters(),
+        ),
         (1u8..8, arb_ascii(60), any::<u64>()),
+        (arb_frame_delta(), arb_mesh_chunk()),
     )
         .prop_map(
-            |(sel, mesh, (total, items), (stats, resolved_e), (code, message, retry))| match sel {
+            |(
+                sel,
+                mesh,
+                (total, items),
+                (stats, resolved_e, conn, totals),
+                (code, message, retry),
+                (delta, chunk),
+            )| match sel {
                 0 => Response::Mesh(mesh),
                 1 => Response::Batch {
                     total_disk_accesses: total,
@@ -248,7 +351,12 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 },
                 2 => Response::SessionOpened { session: total },
                 3 => Response::SessionClosed,
-                4 => Response::Stats { stats, resolved_e },
+                4 => Response::Stats {
+                    stats,
+                    resolved_e,
+                    conn,
+                    totals,
+                },
                 5 => Response::Error {
                     code: ErrorCode::from_code(code).expect("1..=7 are valid codes"),
                     message,
@@ -256,6 +364,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 6 => Response::Overloaded {
                     retry_after_ms: retry,
                 },
+                7 => Response::FrameDelta(delta),
+                8 => Response::MeshChunk(chunk),
                 _ => Response::ShutdownAck,
             },
         )

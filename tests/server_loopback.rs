@@ -93,6 +93,7 @@ fn assert_same_mesh(label: &str, remote: &MeshResult, front: &dm_mtm::FrontMesh)
 const COLD: QueryOpts = QueryOpts {
     cold: true,
     degraded: false,
+    chunked: false,
 };
 
 #[test]
@@ -281,6 +282,7 @@ fn fault_injected_server_degrades_instead_of_crashing() {
                 QueryOpts {
                     cold: i % 2 == 0,
                     degraded: true,
+                    chunked: false,
                 },
                 roi,
                 e,
