@@ -97,11 +97,7 @@ fn run_load(
                 ls.spawn(move || {
                     let mut c = Client::connect(addr).expect("connect");
                     let rois = random_rois(&db.bounds, 0.05, per_thread, 100 + t as u64);
-                    let warm = QueryOpts {
-                        cold: false,
-                        degraded: false,
-                        chunked: false,
-                    };
+                    let warm = QueryOpts::default();
                     let queries: Vec<(dm_geom::Rect, f64)> =
                         rois.into_iter().map(|roi| (roi, avg_lod)).collect();
                     let mut lat = Vec::with_capacity(queries.len());
@@ -184,8 +180,7 @@ fn main() {
         let mut client = Client::connect(&addr).expect("connect");
         let cold = QueryOpts {
             cold: true,
-            degraded: false,
-            chunked: false,
+            ..QueryOpts::default()
         };
         for roi in &check_rois {
             let remote = client.vi_query(cold, *roi, avg_lod).expect("remote VI");
@@ -253,11 +248,7 @@ fn main() {
         // serving everyone else at effectively full speed. ---
         let mut evil = std::net::TcpStream::connect(&addr).expect("evil connect");
         let evil_req = Request::ViQuery {
-            opts: QueryOpts {
-                cold: false,
-                degraded: false,
-                chunked: false,
-            },
+            opts: QueryOpts::default(),
             roi: check_rois[0],
             e: avg_lod,
         };

@@ -182,8 +182,7 @@ fn main() {
         let roi = db_ref.bounds;
         let cold = QueryOpts {
             cold: true,
-            degraded: false,
-            chunked: false,
+            ..QueryOpts::default()
         };
         let mut client = Client::connect(&addr).expect("connect ttft");
         let reference = client.vi_query(cold, roi, e).expect("monolithic VI");

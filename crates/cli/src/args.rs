@@ -68,6 +68,11 @@ impl Args {
             .ok_or_else(|| format!("missing required option --{key}"))
     }
 
+    /// All positionals, in order (for commands taking a variable list).
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
     pub fn positional(&self, idx: usize) -> Result<&str, String> {
         self.positionals
             .get(idx)

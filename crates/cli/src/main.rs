@@ -44,7 +44,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         print_help();
         return Ok(());
     };
-    let args = Args::parse_with_flags(rest, &["degraded", "full", "cold", "chunked"])?;
+    let args = Args::parse_with_flags(rest, &["degraded", "full", "cold", "chunked", "world"])?;
     match cmd.as_str() {
         "generate" => cmd_generate(args),
         "build" => cmd_build(args),
@@ -57,6 +57,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "patch" => cmd_patch(args),
         "recover" => cmd_recover(args),
         "verify" => cmd_verify(args),
+        "world-build" => cmd_world_build(args),
+        "world-verify" => cmd_world_verify(args),
         "serve" => cmd_serve(args),
         "remote-query" => cmd_remote_query(args),
         "remote-walkthrough" => cmd_remote_walkthrough(args),
@@ -142,13 +144,35 @@ live edits (crash-safe, WAL-backed):
                         record, cross-check B+-tree and R*-tree against
                         the heap; exits nonzero on any inconsistency
 
+multi-terrain worlds:
+  world-build <store1> <store2> ... -o <world.dmwm> [--gap <units>]
+                        assemble independent stores into one world
+                        manifest: regions are placed left-to-right with
+                        --gap world units between them (default 16) and
+                        receive disjoint record-id ranges; stores are
+                        referenced, not copied
+  world-verify <world.dmwm>
+                        validate the manifest (version + checksum), then
+                        run the offline integrity scrub on every region
+                        store; exits nonzero if any region fails
+  serve <world.dmwm> --world [--max-open <n>] [--page-budget <pages>]
+                        [--region-floor <pages>] [...serve options]
+                        serve every region from one process: region
+                        stores open lazily on first touch and are
+                        LRU-evicted past --max-open; --page-budget pool
+                        pages are shared across open regions weighted by
+                        size (never below --region-floor each), so one
+                        hot region cannot evict the world
+
 network service:
   stats <db.dmdb>       structural summary (catalog version, codec,
                         record/page/index-node counts)
   stats --addr <host:port>
                         same summary from a running server, plus the
                         streaming wire counters (bytes in/out, delta vs
-                        full frames) for this connection and in total
+                        full frames) for this connection and in total;
+                        a world server adds a per-region table (opens,
+                        evictions, hits, queries, resident pages)
   serve <db.dmdb> [--addr host:port] [--workers <n>] [--max-inflight <n>]
                   [--max-pipeline <n>] [--write-budget <bytes>]
                   [--port-file <file>]
@@ -161,7 +185,7 @@ network service:
   remote-query --addr <host:port> [--keep <frac> | --lod <e>]
                [--roi ...] [--batch <n>] [--threads <n>] [--cold]
                [--pipeline <window>] [--degraded] [--chunked]
-               [--verify-local <db.dmdb>] [-o mesh.obj]
+               [--region <id>] [--verify-local <db.dmdb>] [-o mesh.obj]
                         run VI queries against a server; --cold asks the
                         server to flush first (paper-protocol
                         measurement), --pipeline keeps a window of
@@ -845,6 +869,93 @@ fn cmd_verify(args: Args) -> Result<(), String> {
     }
 }
 
+fn cmd_world_build(args: Args) -> Result<(), String> {
+    let stores: Vec<std::path::PathBuf> = args
+        .positionals()
+        .iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+    if stores.is_empty() {
+        return Err("world-build needs at least one store file".to_string());
+    }
+    let out = args.require("o")?;
+    let gap: f64 = args.parse_or("gap", 16.0)?;
+    let manifest =
+        dm_world::assemble_manifest(&stores, gap).map_err(|e| format!("world-build: {e}"))?;
+    manifest
+        .write(std::path::Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "world manifest {out}: {} regions, max LOD {:.3}",
+        manifest.regions.len(),
+        manifest.e_max
+    );
+    for r in &manifest.regions {
+        let wb = r.world_bounds();
+        println!(
+            "  region {:>3}  {:<24} {:>9} records  ids {}..{}  world ({:.1}, {:.1}) .. ({:.1}, {:.1})",
+            r.id,
+            r.path.display(),
+            r.n_records,
+            r.id_base,
+            u64::from(r.id_base) + u64::from(r.n_records),
+            wb.min.x,
+            wb.min.y,
+            wb.max.x,
+            wb.max.y
+        );
+    }
+    Ok(())
+}
+
+fn cmd_world_verify(args: Args) -> Result<(), String> {
+    let path = args.positional(0)?;
+    // `read` validates the manifest's CRC and version and resolves
+    // relative region paths against the manifest directory.
+    let manifest = dm_world::WorldManifest::read(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("world manifest {path}: {} regions", manifest.regions.len());
+    let mut failures = 0usize;
+    for r in &manifest.regions {
+        // Every region is an ordinary single-terrain store: follow its
+        // committed root (if live-edited) and run the same offline scrub
+        // `dm verify` applies to standalone databases.
+        let verdict = dm_world::open_region_store(&r.path, 4096, None)
+            .and_then(|(pool, catalog)| verify_store(&pool, catalog))
+            .map_err(|e| e.to_string());
+        match verdict {
+            Ok(report) if report.ok() => {
+                println!("  region {:>3}  {:<24} ok", r.id, r.path.display());
+            }
+            Ok(report) => {
+                failures += 1;
+                println!(
+                    "  region {:>3}  {:<24} {} integrity error(s)",
+                    r.id,
+                    r.path.display(),
+                    report.errors.len()
+                );
+                for e in &report.errors {
+                    println!("    lost: {e}");
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!(
+                    "  region {:>3}  {:<24} unreadable: {e}",
+                    r.id,
+                    r.path.display()
+                );
+            }
+        }
+    }
+    if failures == 0 {
+        Ok(())
+    } else {
+        Err(format!("{path}: {failures} region(s) failed verification"))
+    }
+}
+
 fn cmd_stats(args: Args) -> Result<(), String> {
     // `dm stats --addr host:port` asks a running server instead of
     // opening a database file, and additionally reports the streaming
@@ -873,6 +984,37 @@ fn cmd_stats(args: Args) -> Result<(), String> {
                 "{label:<16} {} B in, {} B out, {} delta frames, {} full frames",
                 c.bytes_in, c.bytes_out, c.delta_frames, c.full_frames
             );
+        }
+        // A world server additionally reports per-region lifecycle
+        // counters; a single-terrain server answers BadRequest, which
+        // just means there is no region table to print.
+        match client.world_stats() {
+            Ok(regions) => {
+                println!(
+                    "regions:         {} ({} open)",
+                    regions.len(),
+                    regions.iter().filter(|r| r.open).count()
+                );
+                println!(
+                    "  {:>6} {:>7} {:>9} {:>7} {:>8} {:>10}  state",
+                    "region", "opens", "evictions", "hits", "queries", "res pages"
+                );
+                for r in &regions {
+                    println!(
+                        "  {:>6} {:>7} {:>9} {:>7} {:>8} {:>10}  {}",
+                        r.id,
+                        r.opens,
+                        r.evictions,
+                        r.hits,
+                        r.queries,
+                        r.resident_pages,
+                        if r.open { "open" } else { "closed" }
+                    );
+                }
+            }
+            Err(dm_net::WireError::Remote { code, .. })
+                if code == dm_net::ErrorCode::BadRequest.code() => {}
+            Err(e) => return Err(format!("world stats: {e}")),
         }
         return Ok(());
     }
@@ -911,7 +1053,38 @@ fn cmd_stats(args: Args) -> Result<(), String> {
 
 fn cmd_serve(args: Args) -> Result<(), String> {
     let path = args.positional(0)?;
-    let db = open_db(path, &args)?;
+    // `--world` serves a multi-region world manifest instead of one
+    // database: regions open lazily on first touch and are LRU-evicted
+    // past --max-open, sharing --page-budget pool pages weighted by
+    // region size (never below --region-floor each).
+    let world = if args.has("world") {
+        let defaults = dm_world::WorldOptions::default();
+        let fault_rate: f64 = args.parse_or("fault-rate", 0.0)?;
+        let opts = dm_world::WorldOptions {
+            max_open: args.parse_or("max-open", defaults.max_open)?,
+            page_budget: args.parse_or("page-budget", defaults.page_budget)?,
+            region_floor: args.parse_or("region-floor", defaults.region_floor)?,
+            threads: args.parse_or("threads", defaults.threads)?,
+            degraded: args.has("degraded"),
+            fault: if fault_rate > 0.0 {
+                let seed: u64 = args.parse_or("fault-seed", 1)?;
+                Some(FaultConfig::new(seed).with_read_fail_rate(fault_rate))
+            } else {
+                None
+            },
+        };
+        Some(
+            dm_world::WorldDb::open(std::path::Path::new(path), opts)
+                .map_err(|e| format!("{path}: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let db = if world.is_none() {
+        Some(open_db(path, &args)?)
+    } else {
+        None
+    };
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let defaults = dm_server::ServerConfig::default();
     let config = dm_server::ServerConfig {
@@ -928,14 +1101,27 @@ fn cmd_serve(args: Args) -> Result<(), String> {
     let server =
         dm_server::Server::bind(addr, config.clone()).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
-    println!(
-        "serving {path} on {bound} ({} workers, {} max in-flight, {} max pipeline, {} B write budget)",
-        config.workers, config.max_inflight, config.max_pipeline, config.write_budget
-    );
+    match &world {
+        Some(w) => println!(
+            "serving world {path} on {bound} ({} regions, {} max open, {} workers, {} max in-flight)",
+            w.n_regions(),
+            w.options().max_open,
+            config.workers,
+            config.max_inflight
+        ),
+        None => println!(
+            "serving {path} on {bound} ({} workers, {} max in-flight, {} max pipeline, {} B write budget)",
+            config.workers, config.max_inflight, config.max_pipeline, config.write_budget
+        ),
+    }
     if let Some(pf) = args.get("port-file") {
         std::fs::write(pf, format!("{bound}\n")).map_err(|e| format!("{pf}: {e}"))?;
     }
-    let stats = server.serve(&db).map_err(|e| e.to_string())?;
+    let stats = match (&world, &db) {
+        (Some(w), _) => server.serve_world(w).map_err(|e| e.to_string())?,
+        (None, Some(db)) => server.serve(db).map_err(|e| e.to_string())?,
+        (None, None) => unreachable!(),
+    };
     println!(
         "server drained: {} connections, {} requests, {} errors, {} overloaded, {} slow, {} stalled",
         stats.connections,
@@ -949,6 +1135,21 @@ fn cmd_serve(args: Args) -> Result<(), String> {
         "wire totals: {} B in, {} B out, {} delta frames, {} full frames",
         stats.bytes_in, stats.bytes_out, stats.delta_frames, stats.full_frames
     );
+    if let Some(w) = &world {
+        let rs = w.region_stats();
+        let opens: u64 = rs.iter().map(|r| r.opens).sum();
+        let evictions: u64 = rs.iter().map(|r| r.evictions).sum();
+        let hits: u64 = rs.iter().map(|r| r.hits).sum();
+        let queries: u64 = rs.iter().map(|r| r.queries).sum();
+        println!(
+            "world totals: {} region opens, {} evictions, {} hits, {} region queries, {} still open",
+            opens,
+            evictions,
+            hits,
+            queries,
+            rs.iter().filter(|r| r.open).count()
+        );
+    }
     Ok(())
 }
 
@@ -1042,6 +1243,12 @@ fn cmd_remote_query(args: Args) -> Result<(), String> {
         cold: args.has("cold"),
         degraded: args.has("degraded"),
         chunked: args.has("chunked"),
+        scope: match args.get("region") {
+            Some(v) => dm_net::QueryScope::Region(
+                v.parse::<u32>().map_err(|e| format!("bad --region: {e}"))?,
+            ),
+            None => dm_net::QueryScope::World,
+        },
     };
     let threads: u32 = args.parse_or("threads", 1)?;
     let batch: usize = args.parse_or("batch", 0)?;

@@ -64,8 +64,11 @@ pub use dm_index::FrameCostParams;
 pub use live::{LiveDb, LiveOptions, PatchStats, RecoveryInfo};
 pub use navigation::{FrameStats, NavigationSession, PlanDecision, PlanMode, SpliceDelta};
 pub use parallel::{vd_query_batch, vi_query_batch};
-pub use query::{BoundaryPolicy, ElevationStats, VdQuery, VdResult, ViFlatResult, ViResult};
-pub use record::DmRecord;
+pub use query::{
+    equal_strips, topmost_front, uniform_cut, BoundaryPolicy, ElevationStats, VdQuery, VdResult,
+    ViFlatResult, ViResult,
+};
+pub use record::{DmRecord, FetchedSet};
 pub use store::{
     DbStats, DirectMeshDb, DmBuildOptions, EditOp, FetchCounters, IntegrityReport, PatchOutcome,
 };

@@ -38,8 +38,10 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// Map `f` over `items` with at most `threads` workers, preserving input
 /// order. Items are split into contiguous chunks, one spawned task per
 /// chunk; each task writes into its own disjoint slice of the output, so
-/// the result order never depends on scheduling.
-fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// the result order never depends on scheduling. Public so the world
+/// catalog's per-region fan-out can reuse the same machinery (and its
+/// determinism argument) instead of growing a second one.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,

@@ -610,6 +610,16 @@ fn front_from_dense(recs: Vec<DmRecord>, pos: &[Vec2], adj: DenseAdjacency) -> F
     FrontMesh::from_parts(recs.into_iter().map(|r| r.node).collect(), &faces)
 }
 
+/// Public (crate-external) form of the topmost-front assembly, for
+/// callers that merge record sets from several stores (the world catalog)
+/// before running the exact single-store seeding rule. Input order is
+/// irrelevant: seeds are re-sorted by id internally, so a cross-tile
+/// union produces the identical front to a single-store fetch of the
+/// same records.
+pub fn topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMesh {
+    assemble_topmost_front(recs, roi)
+}
+
 pub(crate) fn assemble_topmost_front(recs: Vec<DmRecord>, roi: &Rect) -> FrontMesh {
     let in_roi: FxHashMap<u32, DmRecord> = recs
         .into_iter()
@@ -651,7 +661,12 @@ thread_local! {
 /// assembly and the network fast path build from this, so the two are
 /// identical by construction (extraction emits only strictly-CCW faces,
 /// which [`FrontMesh::from_parts`] preserves unchanged).
-fn uniform_cut(set: &FetchedSet, roi: &Rect, e: f64) -> (Vec<PmNode>, Vec<[u32; 3]>) {
+/// Public for the world catalog: a cross-tile VI query concatenates the
+/// per-region fetches into one [`FetchedSet`] (slot order is irrelevant —
+/// the cut sorts by id) and runs this exact function, so tiled and
+/// single-store answers are bit-identical by construction. Callers must
+/// pass `e` already clamped and deduplicate ids across tiles.
+pub fn uniform_cut(set: &FetchedSet, roi: &Rect, e: f64) -> (Vec<PmNode>, Vec<[u32; 3]>) {
     // Dense order is ascending id (face emission relies on index order
     // agreeing with id order). Sort an (id, slot) permutation instead of
     // moving whole records.

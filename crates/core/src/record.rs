@@ -467,6 +467,15 @@ impl FetchedSet {
         &self.conn[self.conn_off[i] as usize..self.conn_off[i + 1] as usize]
     }
 
+    /// Append a record built field-by-field — how the world catalog
+    /// merges per-region fetches (remapped into world ids/coordinates)
+    /// into one set for the shared cut/extraction paths.
+    pub fn push(&mut self, node: PmNode, conn: impl IntoIterator<Item = u32>) {
+        self.conn.extend(conn);
+        self.nodes.push(node);
+        self.conn_off.push(self.conn.len() as u32);
+    }
+
     /// Drop every record from `keep` onwards — used to discard the
     /// half-read tail of a page whose scan failed mid-way.
     pub fn truncate(&mut self, keep: usize) {

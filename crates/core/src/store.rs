@@ -488,6 +488,191 @@ impl DirectMeshDb {
         db
     }
 
+    /// Build a database over an explicit, already-constructed record set
+    /// — how the world catalog's tile splitter materializes one region:
+    /// ids, links and connection lists are stored verbatim, so references
+    /// that cross the subset boundary (seam-crossing connection points,
+    /// out-of-tile parents) survive and resolve against the neighbouring
+    /// tiles at query time. `bounds` and `e_max` come from the *source*
+    /// terrain, not the subset: tile stores must clamp query LOD and cap
+    /// root segments exactly like the store they were split from, or the
+    /// per-tile fetch sets drift from the single-store reference.
+    ///
+    /// The catalog's `roots` become the subset's locally topmost records
+    /// (parent `NIL` or outside the subset), and `n_leaves` counts the
+    /// subset's leaf records.
+    pub fn build_from_records(
+        pool: Arc<BufferPool>,
+        mut records: Vec<DmRecord>,
+        bounds: Rect,
+        e_max: f64,
+        opts: &DmBuildOptions,
+    ) -> Self {
+        records.sort_unstable_by_key(|r| r.node.id);
+        let n = records.len();
+        let e_cap = e_max * 1.001 + 1e-9;
+        let seg = |node: &PmNode| {
+            let hi = if node.e_hi.is_finite() {
+                node.e_hi.min(e_cap)
+            } else {
+                e_cap
+            };
+            Box3::vertical_segment(node.pos.xy(), node.e_lo, hi)
+        };
+
+        // Heap placement order (indices into `records`). One group: the
+        // compact codec's fits-probe opens pages as needed, the same
+        // packing rule `build` uses for its non-grouped orders.
+        let order: Vec<usize> = match opts.clustering {
+            Clustering::StrLeaf => {
+                let items: Vec<(Box3, u64)> = records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (seg(&r.node), i as u64))
+                    .collect();
+                dm_index::rstar::str_leaf_order(&items, opts.rtree_fill)
+                    .into_iter()
+                    .map(|v| v as usize)
+                    .collect()
+            }
+            Clustering::Hilbert => {
+                let mut order: Vec<usize> = (0..n).collect();
+                let ext = (bounds.width().max(1e-12), bounds.height().max(1e-12));
+                order.sort_by_key(|&i| {
+                    let p = records[i].node.pos;
+                    dm_geom::hilbert::continuous_key(
+                        16,
+                        p.x,
+                        p.y,
+                        (bounds.min.x, bounds.min.y),
+                        ext,
+                    )
+                });
+                order
+            }
+            Clustering::IdOrder => (0..n).collect(),
+        };
+
+        let mut heap = HeapFile::create(Arc::clone(&pool));
+        let mut rids: Vec<RecordId> = vec![RecordId { page: 0, slot: 0 }; n];
+        let mut base = BaseVals::ZERO;
+        for &i in &order {
+            let rec = &records[i];
+            rids[i] = match opts.codec {
+                RecordCodec::Flat => heap.insert(&rec.encode()),
+                RecordCodec::Compact => {
+                    let delta = encode_compact(rec, &base);
+                    let fits = heap
+                        .fits_in_last_page(delta.len())
+                        .unwrap_or_else(|e| panic!("heap probe: {e}"));
+                    if fits {
+                        heap.insert(&delta)
+                    } else {
+                        let opener = encode_compact(rec, &BaseVals::ZERO);
+                        base = RawRecord::parse_compact(&opener, &BaseVals::ZERO).base_vals();
+                        heap.try_insert_new_page(&opener)
+                            .unwrap_or_else(|e| panic!("heap insert: {e}"))
+                    }
+                }
+            };
+        }
+
+        let btree = BTree::bulk_load(
+            Arc::clone(&pool),
+            records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (u64::from(r.node.id), rids[i].to_u64())),
+            0.9,
+        );
+
+        let mut page_boxes: HashMap<dm_storage::PageId, Box3> = HashMap::new();
+        for (i, r) in records.iter().enumerate() {
+            let b = seg(&r.node);
+            page_boxes
+                .entry(rids[i].page)
+                .and_modify(|acc| *acc = acc.union(&b))
+                .or_insert(b);
+        }
+        let items: Vec<(Box3, u64)> = page_boxes.iter().map(|(&p, &b)| (b, p as u64)).collect();
+        let rtree = if opts.dynamic_rtree {
+            let mut t = RStarTree::new(Arc::clone(&pool));
+            for &(b, p) in &items {
+                t.insert(b, p);
+            }
+            t
+        } else {
+            RStarTree::bulk_load(Arc::clone(&pool), items, opts.rtree_fill)
+        };
+
+        let space = Box3::prism(bounds, 0.0, e_cap);
+        let mut stat_regions: Vec<Box3> = page_boxes.values().copied().collect();
+        stat_regions.extend(rtree.collect_node_regions());
+        let cost = RtreeCostModel::new(&stat_regions, space);
+        let mut page_regions: Vec<(dm_storage::PageId, Box3)> =
+            page_boxes.iter().map(|(&p, &b)| (p, b)).collect();
+        page_regions.sort_unstable_by_key(|&(p, _)| p);
+
+        let present: std::collections::HashSet<u32> = records.iter().map(|r| r.node.id).collect();
+        let roots: Vec<u32> = records
+            .iter()
+            .filter(|r| r.node.parent == NIL_ID || !present.contains(&r.node.parent))
+            .map(|r| r.node.id)
+            .collect();
+        let n_leaves = records.iter().filter(|r| r.node.is_leaf()).count();
+
+        let mut lo_sorted: Vec<f64> = records.iter().map(|r| r.node.e_lo).collect();
+        let mut hi_sorted: Vec<f64> = records
+            .iter()
+            .filter(|r| r.node.e_hi.is_finite())
+            .map(|r| r.node.e_hi)
+            .collect();
+        lo_sorted.sort_by(f64::total_cmp);
+        hi_sorted.sort_by(f64::total_cmp);
+
+        DirectMeshDb {
+            pool,
+            heap,
+            btree,
+            rtree,
+            cost,
+            bounds,
+            e_max,
+            n_records: n,
+            n_leaves,
+            roots,
+            lo_sorted,
+            hi_sorted,
+            page_regions,
+            codec: opts.codec,
+            rtree_lost: false,
+        }
+    }
+
+    /// [`Self::build_from_records`] into an *empty* store, with the
+    /// catalog persisted at page 0 — the durable form a world manifest
+    /// points at (see [`Self::create_in`]).
+    pub fn create_from_records_in(
+        pool: Arc<BufferPool>,
+        records: Vec<DmRecord>,
+        bounds: Rect,
+        e_max: f64,
+        opts: &DmBuildOptions,
+    ) -> Self {
+        assert_eq!(
+            pool.num_pages(),
+            0,
+            "create_from_records_in needs an empty store"
+        );
+        let catalog_page = pool.allocate();
+        debug_assert_eq!(catalog_page, 0);
+        let db = Self::build_from_records(pool, records, bounds, e_max, opts);
+        db.save_catalog(catalog_page)
+            .unwrap_or_else(|e| panic!("save catalog: {e}"));
+        db.pool.flush_all();
+        db
+    }
+
     /// Persist the catalog starting at `page` (normally page 0).
     pub fn save_catalog(&self, page: dm_storage::PageId) -> StorageResult<()> {
         let data = crate::catalog::CatalogData {
@@ -1527,6 +1712,74 @@ mod tests {
         let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
         let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
         DirectMeshDb::build(pool, &pm, &DmBuildOptions::default())
+    }
+
+    #[test]
+    fn build_from_records_answers_like_the_source() {
+        let db = small_db();
+        let records: Vec<DmRecord> = db.all_records().into_values().collect();
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
+        let rebuilt = DirectMeshDb::build_from_records(
+            pool,
+            records,
+            db.bounds,
+            db.e_max,
+            &DmBuildOptions::default(),
+        );
+        assert_eq!(rebuilt.n_records, db.n_records);
+        assert_eq!(rebuilt.n_leaves, db.n_leaves);
+        assert_eq!(rebuilt.e_cap(), db.e_cap());
+        {
+            let mut roots = rebuilt.roots.clone();
+            roots.sort_unstable();
+            let mut src_roots = db.roots.clone();
+            src_roots.sort_unstable();
+            assert_eq!(roots, src_roots, "full record set keeps the true roots");
+        }
+        for e_frac in [0.1, 0.5] {
+            let e = db.e_max * e_frac;
+            let a = db.vi_query(&db.bounds, e);
+            let b = rebuilt.vi_query(&db.bounds, e);
+            assert_eq!(a.points, b.points);
+            assert_eq!(a.front.num_triangles(), b.front.num_triangles());
+        }
+        // Point lookups resolve through the rebuilt B+-tree.
+        for id in [0u32, 17, db.n_records as u32 - 1] {
+            assert_eq!(rebuilt.fetch_by_id(id), db.fetch_by_id(id));
+        }
+    }
+
+    #[test]
+    fn subset_build_keeps_seam_crossing_references() {
+        let db = small_db();
+        let mid_x = db.bounds.center().x;
+        let left: Vec<DmRecord> = db
+            .all_records()
+            .into_values()
+            .filter(|r| r.node.pos.x < mid_x)
+            .collect();
+        assert!(!left.is_empty() && left.len() < db.n_records);
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 1024));
+        let tile = DirectMeshDb::build_from_records(
+            pool,
+            left.clone(),
+            db.bounds,
+            db.e_max,
+            &DmBuildOptions::default(),
+        );
+        assert_eq!(tile.n_records, left.len());
+        // Every stored record round-trips verbatim — including links and
+        // connection ids that point outside the subset.
+        for r in &left {
+            assert_eq!(tile.fetch_by_id(r.node.id).as_ref(), Some(r));
+        }
+        // Ids not in the subset are absent, not aliased.
+        let absent = db
+            .all_records()
+            .into_values()
+            .find(|r| r.node.pos.x >= mid_x)
+            .unwrap();
+        assert!(tile.fetch_by_id(absent.node.id).is_none());
     }
 
     #[test]

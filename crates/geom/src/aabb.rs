@@ -136,6 +136,22 @@ impl Rect {
         )
     }
 
+    /// The rectangle shifted by `d` — the world↔region coordinate map
+    /// for tiled terrains (a region's local frame differs from the world
+    /// frame by a pure translation, so shapes map both ways with `d` and
+    /// `-d`). Empty rectangles stay empty (translating an infinite
+    /// sentinel bound would poison later unions).
+    #[inline]
+    pub fn translated(&self, d: Vec2) -> Rect {
+        if self.is_empty() {
+            return *self;
+        }
+        Rect {
+            min: self.min + d,
+            max: self.max + d,
+        }
+    }
+
     /// Intersection; `Rect::EMPTY`-like result when disjoint.
     pub fn intersection(&self, o: &Rect) -> Rect {
         let min = Vec2::new(self.min.x.max(o.min.x), self.min.y.max(o.min.y));
@@ -351,6 +367,20 @@ impl Box3 {
                 self.max.y.max(o.max.y),
                 self.max.z.max(o.max.z),
             ),
+        }
+    }
+
+    /// The box shifted by `d` in the plan-view plane, LOD axis untouched —
+    /// the world↔region map for query cubes (regions translate in `(x, y)`
+    /// only; LOD is a world-global scale). Empty boxes stay empty.
+    #[inline]
+    pub fn translated_xy(&self, d: Vec2) -> Box3 {
+        if self.is_empty() {
+            return *self;
+        }
+        Box3 {
+            min: Vec3::new(self.min.x + d.x, self.min.y + d.y, self.min.z),
+            max: Vec3::new(self.max.x + d.x, self.max.y + d.y, self.max.z),
         }
     }
 
@@ -723,5 +753,24 @@ mod tests {
                 && inside_hole.z < p.max.z
         }));
         assert!(pieces.iter().any(|p| p.contains(outside)));
+    }
+
+    #[test]
+    fn translation_maps_world_and_region_frames_both_ways() {
+        let d = Vec2::new(100.0, -50.0);
+        let r = Rect::new(Vec2::new(1.0, 2.0), Vec2::new(5.0, 6.0));
+        let w = r.translated(d);
+        assert_eq!(w.min, Vec2::new(101.0, -48.0));
+        assert_eq!(w.translated(Vec2::new(-d.x, -d.y)), r);
+        assert!(Rect::EMPTY.translated(d).is_empty());
+
+        let cube = Box3::prism(r, 0.25, 0.75);
+        let moved = cube.translated_xy(d);
+        assert_eq!(moved.rect(), w);
+        // The LOD axis is a world-global scale: translation leaves it alone.
+        assert_eq!(moved.min.z, 0.25);
+        assert_eq!(moved.max.z, 0.75);
+        assert_eq!(moved.translated_xy(Vec2::new(-d.x, -d.y)), cube);
+        assert!(Box3::EMPTY.translated_xy(d).is_empty());
     }
 }

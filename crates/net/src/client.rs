@@ -25,7 +25,7 @@ use dm_geom::Rect;
 
 use crate::frame::{read_frame, write_frame, Frame, FrameEvent, HEADER_LEN};
 use crate::mesh::MeshResult;
-use crate::proto::{QueryOpts, Request, Response, StreamCounters};
+use crate::proto::{QueryOpts, RegionWireStats, Request, Response, StreamCounters};
 use crate::stream::{ChunkAssembler, FrontMirror, StreamMode};
 use crate::wire::{WireError, WireResult};
 
@@ -647,6 +647,19 @@ impl Client {
             } => Ok((stats, resolved_e, conn, totals)),
             other => Err(WireError::Protocol(format!(
                 "expected stats response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Per-region world-catalog counters, in manifest order. A
+    /// single-terrain server answers `BadRequest` (surfaced as
+    /// [`WireError::Remote`]).
+    pub fn world_stats(&mut self) -> WireResult<Vec<RegionWireStats>> {
+        match self.roundtrip(&Request::WorldStats)? {
+            Response::WorldStats { regions } => Ok(regions),
+            other => Err(WireError::Protocol(format!(
+                "expected world-stats response, got kind {:#04x}",
                 other.kind()
             ))),
         }

@@ -39,7 +39,9 @@ pub use mesh::{
     canonical_face, canonical_flat, canonical_mesh, canonical_mesh_into, MeshResult, ResultTail,
     WireVertex,
 };
-pub use proto::{ErrorCode, QueryOpts, Request, Response, StreamCounters};
+pub use proto::{
+    ErrorCode, QueryOpts, QueryScope, RegionWireStats, Request, Response, StreamCounters,
+};
 pub use stream::{
     diff_frames, split_coarse_to_fine, ChunkAssembler, FrameDelta, FrontMirror, MeshChunk,
     StreamMode, FIRST_CHUNK_VERTICES,

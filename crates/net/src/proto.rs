@@ -24,6 +24,7 @@ pub const REQ_FRAME: u8 = 0x05;
 pub const REQ_CLOSE_SESSION: u8 = 0x06;
 pub const REQ_STATS: u8 = 0x07;
 pub const REQ_SHUTDOWN: u8 = 0x08;
+pub const REQ_WORLD_STATS: u8 = 0x09;
 
 pub const RESP_MESH: u8 = 0x81;
 pub const RESP_BATCH: u8 = 0x82;
@@ -35,6 +36,37 @@ pub const RESP_OVERLOADED: u8 = 0x87;
 pub const RESP_SHUTDOWN_ACK: u8 = 0x88;
 pub const RESP_FRAME_DELTA: u8 = 0x89;
 pub const RESP_MESH_CHUNK: u8 = 0x8A;
+pub const RESP_WORLD_STATS: u8 = 0x8B;
+
+/// Which part of a multi-region world a query addresses. On a
+/// single-terrain server only [`QueryScope::World`] is valid; a
+/// [`QueryScope::Region`] request is answered with
+/// [`ErrorCode::BadRequest`] (as is an unknown region id on a world
+/// server).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueryScope {
+    /// The whole catalog: fan out to every region the ROI overlaps.
+    #[default]
+    World,
+    /// Restrict the query to one region, by manifest region id.
+    Region(u32),
+}
+
+fn put_scope(w: &mut Writer, s: QueryScope) {
+    // 0 = world, n + 1 = region n: old clients always emit 0.
+    w.varint(match s {
+        QueryScope::World => 0,
+        QueryScope::Region(id) => u64::from(id) + 1,
+    });
+}
+
+fn get_scope(r: &mut Reader) -> WireResult<QueryScope> {
+    match r.varint()? {
+        0 => Ok(QueryScope::World),
+        n if n <= u64::from(u32::MAX) + 1 => Ok(QueryScope::Region((n - 1) as u32)),
+        n => Err(WireError::Malformed(format!("query scope {n} overflows"))),
+    }
+}
 
 /// Per-request execution options shared by the query variants.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,6 +81,8 @@ pub struct QueryOpts {
     /// Stream the answer as coarse-to-fine [`MeshChunk`] frames instead
     /// of one monolithic mesh, bounding time-to-first-triangle.
     pub chunked: bool,
+    /// World-catalog scope: whole world (default) or one region.
+    pub scope: QueryScope,
 }
 
 /// Streaming byte/frame counters, reported per connection and
@@ -120,8 +154,54 @@ pub enum Request {
     /// Database summary; each `resolve_keep` fraction is answered with
     /// the LOD threshold `e_for_points_fraction` resolves it to.
     Stats { resolve_keep: Vec<f64> },
+    /// Per-region world-catalog counters ([`Response::WorldStats`]).
+    /// A single-terrain server answers [`ErrorCode::BadRequest`].
+    WorldStats,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
+}
+
+/// One region's row in a [`Response::WorldStats`] answer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionWireStats {
+    /// Manifest region id.
+    pub id: u32,
+    /// Times the region store was opened (lazy first touch + reopens
+    /// after eviction).
+    pub opens: u64,
+    /// Times the region handle was evicted by the LRU cap.
+    pub evictions: u64,
+    /// Region-catalog hits: queries that found the handle already open.
+    pub hits: u64,
+    /// Queries that fanned out to this region.
+    pub queries: u64,
+    /// Pages currently resident in the region's buffer pool (0 when the
+    /// region is closed).
+    pub resident_pages: u64,
+    /// Whether the region handle is currently open.
+    pub open: bool,
+}
+
+fn put_region_stats(w: &mut Writer, s: &RegionWireStats) {
+    w.varint(u64::from(s.id));
+    w.varint(s.opens);
+    w.varint(s.evictions);
+    w.varint(s.hits);
+    w.varint(s.queries);
+    w.varint(s.resident_pages);
+    w.bool(s.open);
+}
+
+fn get_region_stats(r: &mut Reader) -> WireResult<RegionWireStats> {
+    Ok(RegionWireStats {
+        id: r.varint_u32("region id")?,
+        opens: r.varint()?,
+        evictions: r.varint()?,
+        hits: r.varint()?,
+        queries: r.varint()?,
+        resident_pages: r.varint()?,
+        open: r.bool()?,
+    })
 }
 
 /// Typed failure classes a server can answer with.
@@ -202,6 +282,10 @@ pub enum Response {
         /// Server-lifetime aggregate streaming counters.
         totals: StreamCounters,
     },
+    /// Per-region world-catalog counters, in manifest order.
+    WorldStats {
+        regions: Vec<RegionWireStats>,
+    },
     Error {
         code: ErrorCode,
         message: String,
@@ -278,6 +362,7 @@ fn put_opts(w: &mut Writer, o: QueryOpts) {
     w.bool(o.cold);
     w.bool(o.degraded);
     w.bool(o.chunked);
+    put_scope(w, o.scope);
 }
 
 fn get_opts(r: &mut Reader) -> WireResult<QueryOpts> {
@@ -285,6 +370,7 @@ fn get_opts(r: &mut Reader) -> WireResult<QueryOpts> {
         cold: r.bool()?,
         degraded: r.bool()?,
         chunked: r.bool()?,
+        scope: get_scope(r)?,
     })
 }
 
@@ -299,6 +385,7 @@ impl Request {
             Request::FrameQuery { .. } => REQ_FRAME,
             Request::CloseSession { .. } => REQ_CLOSE_SESSION,
             Request::Stats { .. } => REQ_STATS,
+            Request::WorldStats => REQ_WORLD_STATS,
             Request::Shutdown => REQ_SHUTDOWN,
         }
     }
@@ -363,6 +450,7 @@ impl Request {
                     w.f64(*k);
                 }
             }
+            Request::WorldStats => {}
             Request::Shutdown => {}
         }
         w.into_inner()
@@ -431,6 +519,7 @@ impl Request {
                 }
                 Request::Stats { resolve_keep }
             }
+            REQ_WORLD_STATS => Request::WorldStats,
             REQ_SHUTDOWN => Request::Shutdown,
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -490,6 +579,7 @@ impl Response {
             Response::SessionOpened { .. } => RESP_SESSION_OPENED,
             Response::SessionClosed => RESP_SESSION_CLOSED,
             Response::Stats { .. } => RESP_STATS,
+            Response::WorldStats { .. } => RESP_WORLD_STATS,
             Response::Error { .. } => RESP_ERROR,
             Response::Overloaded { .. } => RESP_OVERLOADED,
             Response::ShutdownAck => RESP_SHUTDOWN_ACK,
@@ -528,6 +618,12 @@ impl Response {
                 }
                 put_stream_counters(&mut w, conn);
                 put_stream_counters(&mut w, totals);
+            }
+            Response::WorldStats { regions } => {
+                w.varint(regions.len() as u64);
+                for s in regions {
+                    put_region_stats(&mut w, s);
+                }
             }
             Response::Error { code, message } => {
                 w.u8(code.code());
@@ -587,6 +683,19 @@ impl Response {
                     conn,
                     totals,
                 }
+            }
+            RESP_WORLD_STATS => {
+                let n = r.varint()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Malformed(format!(
+                        "region count {n} exceeds payload"
+                    )));
+                }
+                let mut regions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    regions.push(get_region_stats(&mut r)?);
+                }
+                Response::WorldStats { regions }
             }
             RESP_ERROR => {
                 let raw = r.u8()?;
@@ -659,6 +768,7 @@ mod tests {
                     cold: true,
                     degraded: false,
                     chunked: false,
+                    scope: QueryScope::Region(u32::MAX),
                 },
                 roi,
                 e: 0.125,
@@ -674,6 +784,7 @@ mod tests {
                     cold: false,
                     degraded: true,
                     chunked: true,
+                    scope: QueryScope::Region(3),
                 },
                 queries: vec![(roi, 0.1), (roi, f64::NAN)],
                 threads: 4,
@@ -693,6 +804,7 @@ mod tests {
             Request::Stats {
                 resolve_keep: vec![0.05, 0.25, 1.0],
             },
+            Request::WorldStats,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -793,6 +905,23 @@ mod tests {
                     full_frames: 8,
                 },
             },
+            Response::WorldStats {
+                regions: vec![
+                    RegionWireStats {
+                        id: 0,
+                        opens: 2,
+                        evictions: 1,
+                        hits: 40,
+                        queries: 41,
+                        resident_pages: 512,
+                        open: true,
+                    },
+                    RegionWireStats {
+                        id: 7,
+                        ..RegionWireStats::default()
+                    },
+                ],
+            },
             Response::Error {
                 code: ErrorCode::DataLoss,
                 message: "2 pages lost".to_string(),
@@ -819,6 +948,28 @@ mod tests {
             Response::decode(&frame),
             Err(WireError::UnknownKind(0x7E))
         ));
+    }
+
+    #[test]
+    fn scope_roundtrips_and_overflow_is_rejected() {
+        for scope in [
+            QueryScope::World,
+            QueryScope::Region(0),
+            QueryScope::Region(u32::MAX),
+        ] {
+            let mut w = Writer::new();
+            put_scope(&mut w, scope);
+            let bytes = w.into_inner();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(get_scope(&mut r).unwrap(), scope);
+            r.finish().unwrap();
+        }
+        // u32::MAX + 2 encodes a region id that does not fit in u32.
+        let mut w = Writer::new();
+        w.varint(u64::from(u32::MAX) + 2);
+        let bytes = w.into_inner();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(get_scope(&mut r), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -51,12 +51,24 @@ use dm_net::frame::{encode_frame, FrameAssembler};
 use dm_net::mesh::{
     canonical_flat, canonical_mesh, canonical_mesh_into, MeshResult, ResultTail, WireVertex,
 };
-use dm_net::proto::{ErrorCode, QueryOpts, Request, Response, StreamCounters};
+use dm_net::proto::{
+    ErrorCode, QueryOpts, QueryScope, RegionWireStats, Request, Response, StreamCounters,
+};
 use dm_net::stream::{
     diff_frames, split_coarse_to_fine, FrameDelta, StreamMode, FIRST_CHUNK_VERTICES,
 };
 use dm_net::wire::Writer;
+use dm_world::{WorldDb, WorldSession};
 use polling::{Interest, Poller};
+
+/// What a server instance hosts: one terrain store, or a whole world
+/// catalog of regions behind [`WorldDb`]. `Copy` — every worker and the
+/// reactor hold the same borrowed handle.
+#[derive(Clone, Copy)]
+pub enum Host<'db> {
+    Single(&'db DirectMeshDb),
+    World(&'db WorldDb),
+}
 
 /// Reactor poll tick: bounds how stale shutdown/stall checks can get.
 const TICK: Duration = Duration::from_millis(25);
@@ -238,10 +250,37 @@ impl StreamState {
     }
 }
 
+/// Server-side navigation state: an incremental single-store session,
+/// or a world walkthrough that re-queries the catalog each frame and
+/// pins the regions it touches.
+enum SessionNav<'db> {
+    Single(Box<NavigationSession<'db>>),
+    World(WorldSession),
+}
+
 /// A navigation session plus its wire-stream state.
 struct SessionSlot<'db> {
-    nav: NavigationSession<'db>,
+    nav: SessionNav<'db>,
     stream: StreamState,
+}
+
+impl SessionSlot<'_> {
+    /// Release whatever the session holds on the host (world sessions
+    /// pin regions). MUST run on every teardown path — explicit close,
+    /// connection drop, and server drain — or eviction wedges.
+    fn release(&mut self, host: Host<'_>) {
+        if let (SessionNav::World(ws), Host::World(world)) = (&mut self.nav, host) {
+            ws.close(world);
+        }
+    }
+}
+
+/// Drop a connection's sessions, releasing their region pins first.
+fn release_conn_sessions(host: Host<'_>, state: &mut ConnState<'_>) {
+    for slot in state.sessions.values_mut() {
+        slot.release(host);
+    }
+    state.sessions.clear();
 }
 
 /// Per-connection state: the navigation sessions this client opened.
@@ -384,6 +423,18 @@ impl Server {
     /// reactor runs on it); workers run inside a [`std::thread::scope`]
     /// and are all joined before this returns.
     pub fn serve(&self, db: &DirectMeshDb) -> io::Result<ServerStats> {
+        self.serve_host(Host::Single(db))
+    }
+
+    /// Serve a multi-region world catalog until shut down. Queries fan
+    /// out across regions (or one region under `QueryScope::Region`);
+    /// sessions pin the regions they touch, released on close *and* on
+    /// connection teardown so eviction can proceed.
+    pub fn serve_world(&self, world: &WorldDb) -> io::Result<ServerStats> {
+        self.serve_host(Host::World(world))
+    }
+
+    fn serve_host(&self, host: Host<'_>) -> io::Result<ServerStats> {
         let shared = Shared {
             config: self.config.clone(),
             shutdown: Arc::clone(&self.shutdown),
@@ -404,12 +455,13 @@ impl Server {
                 let completions = &completions;
                 let shared = &shared;
                 let poller = &poller;
-                s.spawn(move || worker_loop(db, jobs, completions, shared, poller));
+                s.spawn(move || worker_loop(host, jobs, completions, shared, poller));
             }
             let mut reactor = Reactor {
                 poller: &poller,
                 listener: &self.listener,
                 shared: &shared,
+                host,
                 jobs: &jobs,
                 completions: &completions,
                 conns: HashMap::new(),
@@ -451,7 +503,7 @@ fn needs_permit(req: &Request) -> bool {
 }
 
 fn worker_loop<'db>(
-    db: &'db DirectMeshDb,
+    host: Host<'db>,
     jobs: &JobQueue<'db>,
     completions: &Mutex<Vec<Completion<'db>>>,
     shared: &Shared,
@@ -464,7 +516,7 @@ fn worker_loop<'db>(
             mut state,
             permit,
         } = job;
-        let resps = handle_request(db, req, &mut state, shared);
+        let resps = handle_request(host, req, &mut state, shared);
         if permit {
             shared.admission.release();
         }
@@ -502,6 +554,7 @@ struct Reactor<'db, 'env> {
     poller: &'env Poller,
     listener: &'env TcpListener,
     shared: &'env Shared,
+    host: Host<'db>,
     jobs: &'env JobQueue<'db>,
     completions: &'env Mutex<Vec<Completion<'db>>>,
     conns: HashMap<usize, Conn<'db>>,
@@ -827,7 +880,12 @@ impl<'db> Reactor<'db, '_> {
         let done: Vec<Completion<'db>> = std::mem::take(&mut *self.completions.lock().unwrap());
         for completion in done {
             let Some(conn) = self.conns.get_mut(&completion.token) else {
-                continue; // connection closed while the job ran
+                // Connection closed while the job ran: its state (and
+                // any world-session region pins) comes home here.
+                if let Some(mut state) = completion.state {
+                    release_conn_sessions(self.host, &mut state);
+                }
+                continue;
             };
             if let Some(state) = completion.state {
                 conn.state = Some(state);
@@ -949,8 +1007,15 @@ impl<'db> Reactor<'db, '_> {
     }
 
     fn close(&mut self, token: usize) {
-        if let Some(conn) = self.conns.remove(&token) {
+        if let Some(mut conn) = self.conns.remove(&token) {
             self.poller.delete(conn.stream.as_raw_fd()).ok();
+            // Disconnect teardown: release region pins held by this
+            // connection's sessions so LRU eviction can proceed. If a
+            // job is in flight the state rides its completion instead
+            // (see `drain_completions`).
+            if let Some(state) = conn.state.as_mut() {
+                release_conn_sessions(self.host, state);
+            }
         }
     }
 }
@@ -993,11 +1058,38 @@ fn storage_error(e: impl std::fmt::Display) -> Box<Response> {
     })
 }
 
+fn bad_request(message: String) -> Box<Response> {
+    Box::new(Response::Error {
+        code: ErrorCode::BadRequest,
+        message,
+    })
+}
+
+/// Resolve the request's region scope against what this server hosts:
+/// `None` = whole host, `Some(idx)` = one region index of the world.
+/// Region scope on a single-terrain server — and an unknown region id
+/// on a world server — is a typed `BadRequest`.
+fn resolve_scope(host: Host<'_>, opts: QueryOpts) -> Result<Option<usize>, Box<Response>> {
+    match (host, opts.scope) {
+        (_, QueryScope::World) => Ok(None),
+        (Host::Single(_), QueryScope::Region(id)) => Err(bad_request(format!(
+            "region scope {id} on a single-terrain server"
+        ))),
+        (Host::World(w), QueryScope::Region(id)) => w
+            .resolve_region_id(id)
+            .map(Some)
+            .ok_or_else(|| bad_request(format!("unknown region id {id}"))),
+    }
+}
+
 /// Flush + reset statistics when the request asks for paper-protocol
 /// cold measurement.
-fn maybe_cold(db: &DirectMeshDb, opts: QueryOpts) -> Result<(), Box<Response>> {
+fn maybe_cold(host: Host<'_>, opts: QueryOpts) -> Result<(), Box<Response>> {
     if opts.cold {
-        db.try_cold_start().map_err(storage_error)?;
+        match host {
+            Host::Single(db) => db.try_cold_start().map_err(storage_error)?,
+            Host::World(w) => w.try_cold_start().map_err(storage_error)?,
+        }
     }
     Ok(())
 }
@@ -1007,17 +1099,20 @@ fn maybe_cold(db: &DirectMeshDb, opts: QueryOpts) -> Result<(), Box<Response>> {
 /// from the uniform cut, bit-identical to `canonical_mesh` over the
 /// assembled front (same construction, see `try_vi_query_flat_counted`).
 fn exec_vi(
-    db: &DirectMeshDb,
+    host: Host<'_>,
     roi: &Rect,
     e: f64,
+    scope: Option<usize>,
     degraded: bool,
     coarseness: Option<&mut Vec<f64>>,
 ) -> Result<MeshResult, Box<Response>> {
     let reads_before = dm_storage::thread_reads();
     let mut counters = FetchCounters::default();
-    let (res, report) = db
-        .try_vi_query_flat_counted(roi, e, &mut counters)
-        .map_err(storage_error)?;
+    let (res, report) = match host {
+        Host::Single(db) => db.try_vi_query_flat_counted(roi, e, &mut counters),
+        Host::World(w) => w.try_vi_query_flat_scoped(roi, e, scope, &mut counters),
+    }
+    .map_err(storage_error)?;
     if !degraded && !report.is_clean() {
         return Err(Box::new(Response::Error {
             code: ErrorCode::DataLoss,
@@ -1043,18 +1138,22 @@ fn exec_vi(
 }
 
 fn exec_vd(
-    db: &DirectMeshDb,
+    host: Host<'_>,
     query: &VdQuery,
     policy: BoundaryPolicy,
     max_cubes: u32,
+    scope: Option<usize>,
     degraded: bool,
     coarseness: Option<&mut Vec<f64>>,
 ) -> Result<MeshResult, Box<Response>> {
     let reads_before = dm_storage::thread_reads();
     let mut counters = FetchCounters::default();
-    let (res, report) = db
-        .try_vd_multi_base_counted(query, policy, max_cubes.max(1) as usize, &mut counters)
-        .map_err(storage_error)?;
+    let max_cubes = max_cubes.max(1) as usize;
+    let (res, report) = match host {
+        Host::Single(db) => db.try_vd_multi_base_counted(query, policy, max_cubes, &mut counters),
+        Host::World(w) => w.try_vd_query_scoped(query, policy, max_cubes, scope, &mut counters),
+    }
+    .map_err(storage_error)?;
     if !degraded && !report.is_clean() {
         return Err(Box::new(Response::Error {
             code: ErrorCode::DataLoss,
@@ -1101,9 +1200,10 @@ fn chunk_mesh(m: MeshResult, coarseness: &[f64]) -> Vec<Response> {
 /// item runs entirely on one thread, so its thread-attributed counters
 /// stay exact even under parallel execution.
 fn exec_batch(
-    db: &DirectMeshDb,
+    host: Host<'_>,
     queries: &[(Rect, f64)],
     threads: u32,
+    scope: Option<usize>,
     degraded: bool,
 ) -> Result<(u64, Vec<MeshResult>), Box<Response>> {
     let t = dm_core::parallel::resolve_threads(threads as usize)
@@ -1113,7 +1213,7 @@ fn exec_batch(
     slots.resize_with(queries.len(), || None);
     if t <= 1 {
         for (slot, (roi, e)) in slots.iter_mut().zip(queries) {
-            *slot = Some(exec_vi(db, roi, *e, degraded, None));
+            *slot = Some(exec_vi(host, roi, *e, scope, degraded, None));
         }
     } else {
         let chunk = queries.len().div_ceil(t);
@@ -1121,7 +1221,7 @@ fn exec_batch(
             for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
                 s.spawn(move |_| {
                     for (slot, (roi, e)) in outs.iter_mut().zip(qs) {
-                        *slot = Some(exec_vi(db, roi, *e, degraded, None));
+                        *slot = Some(exec_vi(host, roi, *e, scope, degraded, None));
                     }
                 });
             }
@@ -1153,14 +1253,18 @@ fn exec_batch(
 /// response for everything except chunked queries, which stream several
 /// `MeshChunk` frames.
 fn handle_request<'db>(
-    db: &'db DirectMeshDb,
+    host: Host<'db>,
     req: Request,
     conn: &mut ConnState<'db>,
     shared: &Shared,
 ) -> Vec<Response> {
     match req {
         Request::ViQuery { opts, roi, e } => {
-            if let Err(resp) = maybe_cold(db, opts) {
+            let scope = match resolve_scope(host, opts) {
+                Ok(s) => s,
+                Err(resp) => return vec![*resp],
+            };
+            if let Err(resp) = maybe_cold(host, opts) {
                 return vec![*resp];
             }
             let mut coarseness = Vec::new();
@@ -1169,7 +1273,7 @@ fn handle_request<'db>(
             } else {
                 None
             };
-            match exec_vi(db, &roi, e, opts.degraded, co) {
+            match exec_vi(host, &roi, e, scope, opts.degraded, co) {
                 Ok(m) if opts.chunked => chunk_mesh(m, &coarseness),
                 Ok(m) => vec![Response::Mesh(m)],
                 Err(resp) => vec![*resp],
@@ -1181,7 +1285,11 @@ fn handle_request<'db>(
             policy,
             max_cubes,
         } => {
-            if let Err(resp) = maybe_cold(db, opts) {
+            let scope = match resolve_scope(host, opts) {
+                Ok(s) => s,
+                Err(resp) => return vec![*resp],
+            };
+            if let Err(resp) = maybe_cold(host, opts) {
                 return vec![*resp];
             }
             let mut coarseness = Vec::new();
@@ -1190,7 +1298,7 @@ fn handle_request<'db>(
             } else {
                 None
             };
-            match exec_vd(db, &query, policy, max_cubes, opts.degraded, co) {
+            match exec_vd(host, &query, policy, max_cubes, scope, opts.degraded, co) {
                 Ok(m) if opts.chunked => chunk_mesh(m, &coarseness),
                 Ok(m) => vec![Response::Mesh(m)],
                 Err(resp) => vec![*resp],
@@ -1201,16 +1309,20 @@ fn handle_request<'db>(
             queries,
             threads,
         } => {
+            let scope = match resolve_scope(host, opts) {
+                Ok(s) => s,
+                Err(resp) => return vec![*resp],
+            };
             if queries.is_empty() {
                 return vec![Response::Batch {
                     total_disk_accesses: 0,
                     items: Vec::new(),
                 }];
             }
-            if let Err(resp) = maybe_cold(db, opts) {
+            if let Err(resp) = maybe_cold(host, opts) {
                 return vec![*resp];
             }
-            match exec_batch(db, &queries, threads, opts.degraded) {
+            match exec_batch(host, &queries, threads, scope, opts.degraded) {
                 Ok((total_disk_accesses, items)) => vec![Response::Batch {
                     total_disk_accesses,
                     items,
@@ -1231,9 +1343,19 @@ fn handle_request<'db>(
             }
             let id = conn.next_session;
             conn.next_session += 1;
-            let nav = NavigationSession::new(db, policy)
-                .with_max_cubes(max_cubes.max(1) as usize)
-                .with_full_requery(full_requery);
+            let nav = match host {
+                Host::Single(db) => SessionNav::Single(Box::new(
+                    NavigationSession::new(db, policy)
+                        .with_max_cubes(max_cubes.max(1) as usize)
+                        .with_full_requery(full_requery),
+                )),
+                // World walkthroughs re-plan against the catalog every
+                // frame (full requery is implied); the session's job is
+                // pinning the regions it touches.
+                Host::World(_) => {
+                    SessionNav::World(WorldSession::new(policy, max_cubes.max(1) as usize))
+                }
+            };
             conn.sessions.insert(
                 id,
                 SessionSlot {
@@ -1256,38 +1378,75 @@ fn handle_request<'db>(
                 }];
             };
             let reads_before = dm_storage::thread_reads();
-            match slot.nav.try_move_to(&query) {
-                Err(e) => {
-                    slot.stream.has_prev = false;
-                    vec![*storage_error(e)]
-                }
-                Ok((stats, report)) => {
-                    if !degraded && !report.is_clean() {
-                        // The client never saw this frame: break the
-                        // delta chain so the next answer is a reset.
-                        slot.stream.has_prev = false;
-                        return vec![Response::Error {
-                            code: ErrorCode::DataLoss,
-                            message: format!("frame lost data: {report}"),
-                        }];
+            let SessionSlot { nav, stream: st } = slot;
+            // Advance the session: each nav flavor leaves the frame's
+            // canonical mesh in the scratch buffers and hands back the
+            // accounting tail. Errors break the delta chain — the
+            // client never saw this frame, so the next answer resets.
+            let advanced = match nav {
+                SessionNav::Single(nav) => match nav.try_move_to(&query) {
+                    Err(e) => Err(*storage_error(e)),
+                    Ok((_, report)) if !degraded && !report.is_clean() => Err(Response::Error {
+                        code: ErrorCode::DataLoss,
+                        message: format!("frame lost data: {report}"),
+                    }),
+                    Ok((stats, report)) => {
+                        let tail = ResultTail {
+                            fetched_records: stats.fetched_records as u64,
+                            disk_accesses: dm_storage::thread_reads() - reads_before,
+                            cubes: 0,
+                            counters: FetchCounters {
+                                pages_scanned: stats.pages_scanned,
+                                records_examined: stats.examined_records,
+                                records_decoded: stats.decoded_records,
+                            },
+                            report,
+                        };
+                        canonical_mesh_into(
+                            nav.front(),
+                            &mut st.scratch_vertices,
+                            &mut st.scratch_faces,
+                        );
+                        Ok(tail)
                     }
-                    let tail = ResultTail {
-                        fetched_records: stats.fetched_records as u64,
-                        disk_accesses: dm_storage::thread_reads() - reads_before,
-                        cubes: 0,
-                        counters: FetchCounters {
-                            pages_scanned: stats.pages_scanned,
-                            records_examined: stats.examined_records,
-                            records_decoded: stats.decoded_records,
-                        },
-                        report,
+                },
+                SessionNav::World(ws) => {
+                    let Host::World(world) = host else {
+                        unreachable!("world session on a single-terrain host");
                     };
-                    let st = &mut slot.stream;
-                    canonical_mesh_into(
-                        slot.nav.front(),
-                        &mut st.scratch_vertices,
-                        &mut st.scratch_faces,
-                    );
+                    let mut counters = FetchCounters::default();
+                    match ws.frame(world, &query, &mut counters) {
+                        Err(e) => Err(*storage_error(e)),
+                        Ok((_, report)) if !degraded && !report.is_clean() => {
+                            Err(Response::Error {
+                                code: ErrorCode::DataLoss,
+                                message: format!("frame lost data: {report}"),
+                            })
+                        }
+                        Ok((res, report)) => {
+                            let tail = ResultTail {
+                                fetched_records: res.fetched_records as u64,
+                                disk_accesses: dm_storage::thread_reads() - reads_before,
+                                cubes: res.cubes.len() as u32,
+                                counters,
+                                report,
+                            };
+                            canonical_mesh_into(
+                                &res.front,
+                                &mut st.scratch_vertices,
+                                &mut st.scratch_faces,
+                            );
+                            Ok(tail)
+                        }
+                    }
+                }
+            };
+            match advanced {
+                Err(resp) => {
+                    st.has_prev = false;
+                    vec![resp]
+                }
+                Ok(tail) => {
                     if stream == StreamMode::Full {
                         // Monolithic answer; it carries no sequence
                         // number, so the delta chain breaks here.
@@ -1360,7 +1519,8 @@ fn handle_request<'db>(
             }
         }
         Request::CloseSession { session } => {
-            if conn.sessions.remove(&session).is_some() {
+            if let Some(mut slot) = conn.sessions.remove(&session) {
+                slot.release(host);
                 vec![Response::SessionClosed]
             } else {
                 vec![Response::Error {
@@ -1369,20 +1529,63 @@ fn handle_request<'db>(
                 }]
             }
         }
-        Request::Stats { resolve_keep } => vec![Response::Stats {
-            stats: db.stats_summary(),
-            resolved_e: resolve_keep
-                .iter()
-                .map(|&k| db.e_for_points_fraction(k))
-                .collect(),
-            conn: conn.counters,
-            totals: StreamCounters {
-                bytes_in: shared.counters.bytes_in.load(Ordering::Relaxed),
-                bytes_out: shared.counters.bytes_out.load(Ordering::Relaxed),
-                delta_frames: shared.counters.delta_frames.load(Ordering::Relaxed),
-                full_frames: shared.counters.full_frames.load(Ordering::Relaxed),
-            },
-        }],
+        Request::Stats { resolve_keep } => {
+            let (stats, resolved_e) = match host {
+                Host::Single(db) => (
+                    db.stats_summary(),
+                    resolve_keep
+                        .iter()
+                        .map(|&k| db.e_for_points_fraction(k))
+                        .collect(),
+                ),
+                Host::World(w) => {
+                    let stats = match w.stats_summary() {
+                        Ok(s) => s,
+                        Err(e) => return vec![*storage_error(e)],
+                    };
+                    let mut resolved = Vec::with_capacity(resolve_keep.len());
+                    for &k in &resolve_keep {
+                        match w.e_for_points_fraction(k) {
+                            Ok(e) => resolved.push(e),
+                            Err(e) => return vec![*storage_error(e)],
+                        }
+                    }
+                    (stats, resolved)
+                }
+            };
+            vec![Response::Stats {
+                stats,
+                resolved_e,
+                conn: conn.counters,
+                totals: StreamCounters {
+                    bytes_in: shared.counters.bytes_in.load(Ordering::Relaxed),
+                    bytes_out: shared.counters.bytes_out.load(Ordering::Relaxed),
+                    delta_frames: shared.counters.delta_frames.load(Ordering::Relaxed),
+                    full_frames: shared.counters.full_frames.load(Ordering::Relaxed),
+                },
+            }]
+        }
+        Request::WorldStats => match host {
+            Host::Single(_) => vec![Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "world stats on a single-terrain server".to_string(),
+            }],
+            Host::World(w) => vec![Response::WorldStats {
+                regions: w
+                    .region_stats()
+                    .into_iter()
+                    .map(|s| RegionWireStats {
+                        id: s.id,
+                        opens: s.opens,
+                        evictions: s.evictions,
+                        hits: s.hits,
+                        queries: s.queries,
+                        resident_pages: s.resident_pages,
+                        open: s.open,
+                    })
+                    .collect(),
+            }],
+        },
         // Handled by the reactor before dispatch.
         Request::Shutdown => vec![Response::ShutdownAck],
     }

@@ -359,6 +359,66 @@ impl BufferPool {
         }
     }
 
+    /// Evict the shard's LRU victim, sealing and writing it back if
+    /// dirty. Shared by [`Self::install`] (making room for an incoming
+    /// page) and [`Self::try_set_capacity`] (shrinking the shard).
+    fn evict_one(&self, shard: &Shard, inner: &mut Inner) -> StorageResult<()> {
+        let (&tick, &victim) = inner.lru.iter().next().expect("lru nonempty");
+        inner.lru.remove(&tick);
+        let mut frame = inner.cache.remove(&victim).expect("victim cached");
+        if frame.dirty {
+            self.stats.record_write();
+            shard.stats.record_write();
+            seal_page(&mut frame.buf);
+            self.store.write_page(victim, &frame.buf)?;
+        }
+        Ok(())
+    }
+
+    /// Re-stripe the pool to a new total `capacity` (pages), in place.
+    ///
+    /// Growing only raises the per-shard limits. Shrinking additionally
+    /// evicts each over-full shard's LRU victims down to the new limit,
+    /// sealing and writing back dirty pages exactly like a capacity
+    /// eviction on [`Self::install`]. Shards are visited one at a time in
+    /// index order (never two locks at once), so this is safe against
+    /// concurrent readers; the first write-back error is returned after
+    /// every shard has still been resized.
+    ///
+    /// This is what per-tenant page budgeting builds on: a world catalog
+    /// reapportions one global page budget across its open regions'
+    /// pools, so a region's share can shrink while its handle stays open.
+    pub fn try_set_capacity(&self, capacity: usize) -> StorageResult<()> {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let per_shard = capacity.div_ceil(self.shards.len()).max(1);
+        let mut first_err = None;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            inner.capacity = per_shard;
+            while inner.cache.len() > inner.capacity {
+                if let Err(e) = self.evict_one(shard, &mut inner) {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Infallible [`Self::try_set_capacity`]; panics on storage errors.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.try_set_capacity(capacity)
+            .unwrap_or_else(|e| panic!("set_capacity: {e}"));
+    }
+
+    /// Current total frame capacity (sum of the per-shard limits; the
+    /// striping rounds the constructor's request up to a shard multiple).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.inner.lock().capacity).sum()
+    }
+
     fn install(
         &self,
         shard: &Shard,
@@ -369,18 +429,10 @@ impl BufferPool {
     ) -> StorageResult<()> {
         let mut first_err = None;
         while inner.cache.len() >= inner.capacity {
-            let (&tick, &victim) = inner.lru.iter().next().expect("lru nonempty");
-            inner.lru.remove(&tick);
-            let mut frame = inner.cache.remove(&victim).expect("victim cached");
-            if frame.dirty {
-                self.stats.record_write();
-                shard.stats.record_write();
-                seal_page(&mut frame.buf);
-                if let Err(e) = self.store.write_page(victim, &frame.buf) {
-                    // The incoming page must still be installed; report
-                    // the eviction failure afterwards.
-                    first_err.get_or_insert(e);
-                }
+            if let Err(e) = self.evict_one(shard, inner) {
+                // The incoming page must still be installed; report
+                // the eviction failure afterwards.
+                first_err.get_or_insert(e);
             }
         }
         inner.next_tick += 1;
@@ -425,6 +477,55 @@ mod tests {
         let id = p.allocate();
         p.write(id, |b| b[42] = 7);
         assert_eq!(p.read(id, |b| b[42]), 7);
+    }
+
+    #[test]
+    fn shrink_evicts_lru_and_preserves_dirty_data() {
+        let p = pool1(8);
+        let ids: Vec<PageId> = (0..8).map(|_| p.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.write(id, |b| b[0] = i as u8);
+        }
+        assert_eq!(p.resident(), 8);
+        // Touch the last three so they are the MRU set.
+        for &id in &ids[5..] {
+            p.read(id, |b| b[0]);
+        }
+        p.set_capacity(3);
+        assert_eq!(p.capacity(), 3);
+        assert_eq!(p.resident(), 3);
+        // Exactly the MRU set survived; the evicted dirty pages were
+        // sealed and written back, so their data reads back intact.
+        assert_eq!(p.resident_among(&ids[5..]), 3);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.read(id, |b| b[0]), i as u8, "page {i} after shrink");
+        }
+    }
+
+    #[test]
+    fn grow_raises_the_eviction_threshold() {
+        let p = pool1(2);
+        let ids: Vec<PageId> = (0..6).map(|_| p.allocate()).collect();
+        p.set_capacity(6);
+        assert_eq!(p.capacity(), 6);
+        for &id in &ids {
+            p.read(id, |b| b[0]);
+        }
+        // All six now fit where two did before.
+        assert_eq!(p.resident(), 6);
+        assert_eq!(p.resident_among(&ids), 6);
+    }
+
+    #[test]
+    fn resize_is_striped_over_shards() {
+        let p = BufferPool::with_shard_count(Box::new(MemStore::new()), 16, 4);
+        assert_eq!(p.capacity(), 16);
+        p.set_capacity(6);
+        // 6 over 4 shards rounds up to 2 per shard.
+        assert_eq!(p.capacity(), 8);
+        p.set_capacity(1);
+        // Every shard keeps at least one frame.
+        assert_eq!(p.capacity(), 4);
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Multi-terrain world catalog: serve many Direct Mesh regions from one
+//! process.
+//!
+//! The paper's system manages a single terrain database; deployments
+//! hold many — a planet of tiles, several unrelated datasets, or one
+//! huge terrain split for build parallelism. This crate adds a thin
+//! catalog layer over unmodified single-terrain stores:
+//!
+//! * [`manifest`] — the versioned, checksummed world manifest mapping
+//!   region ids to store paths and world-frame placement,
+//! * [`WorldDb`] — lazy region opens behind an LRU handle cap, a shared
+//!   page budget weighted per region (separate pools: a viral region
+//!   can never evict a cold one's pages), a region-level R\*-tree for
+//!   cross-tile fan-out, and world-frame VI/VD queries that are
+//!   bit-identical to single-store answers for split worlds,
+//! * [`WorldSession`] — server-side walkthrough sessions that pin the
+//!   regions they touch,
+//! * [`build`] — splitting one store into a tiled world and assembling
+//!   independent stores into one (`dm world-build`).
+
+pub mod build;
+pub mod manifest;
+pub mod world;
+
+pub use build::{assemble_manifest, partition_grid, split_world_in_memory, write_split_world};
+pub use manifest::{RegionMeta, WorldManifest};
+pub use world::{
+    open_region_store, RegionStats, WorldDb, WorldOptions, WorldSession, DEFAULT_REGION_PAGES,
+};

@@ -1,0 +1,1149 @@
+//! The world catalog: many single-terrain Direct Mesh stores served
+//! behind one query facade.
+//!
+//! A [`WorldDb`] owns a [`WorldManifest`] plus a region-level R\*-tree
+//! over the regions' world-frame footprints. Region stores are opened
+//! *lazily* on first touch and kept behind an LRU cap
+//! ([`WorldOptions::max_open`]); each open region gets its own buffer
+//! pool, sized from a shared page budget weighted by the region's heap
+//! size (with a per-region floor), so a viral region can grow its share
+//! but can never evict a colder region's working set — the pools are
+//! physically separate and only the *budget* is shared.
+//!
+//! ## Frames and bit-identity
+//!
+//! Regions live in their own local coordinate frame; the manifest's
+//! `offset` translates plan-view positions into the world frame and
+//! `id_base` translates record ids (the LOD axis is never touched). A
+//! cross-tile query translates its world-frame boxes into each
+//! overlapping region's frame, fetches with the *same* boxes the
+//! single-store path would use, translates the records back, and feeds
+//! the merged union through the exact single-store assembly code
+//! ([`dm_core::uniform_cut`], [`dm_core::topmost_front`], and
+//! [`dm_mtm::refine::refine`]). For a world split out of one store
+//! (offsets zero, `id_base` zero) the records partition exactly, so the
+//! merged set — and therefore every derived mesh — is bit-identical to
+//! the single store's answer by construction. The per-region fan-out
+//! reuses [`dm_core::parallel::par_map`], whose output order never
+//! depends on scheduling, and all merges run in ascending region order.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dm_core::parallel::par_map;
+use dm_geom::{Box3, Rect, Vec2};
+use dm_index::RStarTree;
+use dm_mtm::refine::{refine, RecordSource};
+use dm_mtm::{PmNode, NIL_ID};
+use dm_storage::{
+    BufferPool, FaultConfig, FaultInjector, FileStore, MemStore, PageStore, RootFile, StorageError,
+    StorageResult,
+};
+use fxhash::{FxHashMap, FxHashSet};
+use parking_lot::Mutex;
+
+use dm_core::{
+    equal_strips, topmost_front, uniform_cut, BoundaryPolicy, DbStats, DirectMeshDb, DmRecord,
+    FetchCounters, FetchedSet, IntegrityReport, VdQuery, VdResult, ViFlatResult,
+};
+
+use crate::manifest::{RegionMeta, WorldManifest};
+
+/// Pool pages per open region when no world page budget is set.
+pub const DEFAULT_REGION_PAGES: usize = 4096;
+
+/// Tuning knobs for a [`WorldDb`].
+#[derive(Clone, Debug)]
+pub struct WorldOptions {
+    /// Maximum simultaneously open region stores. Opening one more
+    /// evicts the least-recently-used unpinned region; if every open
+    /// region is pinned the cap is temporarily exceeded rather than
+    /// failing the query.
+    pub max_open: usize,
+    /// Total buffer-pool pages shared by all open regions (0 =
+    /// unbudgeted: every region gets [`DEFAULT_REGION_PAGES`]). The
+    /// budget is split across open regions proportionally to their heap
+    /// size, never below `region_floor`.
+    pub page_budget: usize,
+    /// Minimum pool pages an open region is guaranteed, whatever its
+    /// weight.
+    pub region_floor: usize,
+    /// Worker threads for the per-region query fan-out (0 = auto).
+    pub threads: usize,
+    /// Open regions with [`DirectMeshDb::open_degraded_at`]: unreadable
+    /// heap pages are skipped (losses land in the slot's open report)
+    /// instead of failing the open.
+    pub degraded: bool,
+    /// Wrap each region's file store in a deterministic
+    /// [`FaultInjector`] (tests and fault drills).
+    pub fault: Option<FaultConfig>,
+}
+
+impl Default for WorldOptions {
+    fn default() -> Self {
+        WorldOptions {
+            max_open: 8,
+            page_budget: 0,
+            region_floor: 64,
+            threads: 0,
+            degraded: false,
+            fault: None,
+        }
+    }
+}
+
+/// Per-region lifecycle and traffic counters, as reported by
+/// [`WorldDb::region_stats`] (and over the wire by `WorldStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    pub id: u32,
+    /// Times the region store was (re)opened.
+    pub opens: u64,
+    /// Times the region was closed by LRU pressure.
+    pub evictions: u64,
+    /// Queries that found the region already open.
+    pub hits: u64,
+    /// Queries that touched the region at all.
+    pub queries: u64,
+    /// Pages currently resident in the region's buffer pool (0 when
+    /// closed).
+    pub resident_pages: u64,
+    pub open: bool,
+}
+
+#[derive(Default)]
+struct RegionCounters {
+    opens: AtomicU64,
+    evictions: AtomicU64,
+    hits: AtomicU64,
+    queries: AtomicU64,
+}
+
+struct RegionSlot {
+    db: Option<Arc<DirectMeshDb>>,
+    /// LRU clock value of the last touch.
+    last_used: u64,
+    /// Pins held by sessions; a pinned region is never evicted.
+    pins: u32,
+    /// In-memory regions ([`WorldDb::from_regions`]) have no file to
+    /// reopen from, so they are never evicted.
+    evictable: bool,
+    /// What a degraded open had to skip (empty for clean opens).
+    open_report: IntegrityReport,
+}
+
+struct WorldState {
+    slots: Vec<RegionSlot>,
+    tick: u64,
+    n_open: usize,
+}
+
+/// A multi-region Direct Mesh world (see the module docs).
+pub struct WorldDb {
+    regions: Vec<RegionMeta>,
+    /// Region-level index: world-frame footprint prisms → region index.
+    rtree: RStarTree,
+    /// Largest region `e_max` — the world LOD clamp.
+    e_max: f64,
+    /// Union of region footprints, world frame.
+    bounds: Rect,
+    opts: WorldOptions,
+    state: Mutex<WorldState>,
+    counters: Vec<RegionCounters>,
+}
+
+fn neg(v: Vec2) -> Vec2 {
+    Vec2::new(-v.x, -v.y)
+}
+
+fn remap_id(id: u32, base: u32) -> u32 {
+    if id == NIL_ID {
+        id
+    } else {
+        id + base
+    }
+}
+
+fn remap_node(mut n: PmNode, base: u32, offset: Vec2) -> PmNode {
+    if base != 0 {
+        n.id += base;
+        n.parent = remap_id(n.parent, base);
+        n.child1 = remap_id(n.child1, base);
+        n.child2 = remap_id(n.child2, base);
+        n.wing1 = remap_id(n.wing1, base);
+        n.wing2 = remap_id(n.wing2, base);
+    }
+    n.pos.x += offset.x;
+    n.pos.y += offset.y;
+    n
+}
+
+fn remap_record(mut rec: DmRecord, base: u32, offset: Vec2) -> DmRecord {
+    rec.node = remap_node(rec.node, base, offset);
+    if base != 0 {
+        for c in &mut rec.conn {
+            *c = remap_id(*c, base);
+        }
+    }
+    rec
+}
+
+/// Open the store file at `path` read-only, following the committed
+/// root (`<store>.root`, written by the live edit path) to the current
+/// catalog page; a store without a root file reads its catalog at page
+/// 0, exactly like [`DirectMeshDb::create_in`] left it.
+pub fn open_region_store(
+    path: &Path,
+    cache_pages: usize,
+    fault: Option<FaultConfig>,
+) -> StorageResult<(Arc<BufferPool>, dm_storage::PageId)> {
+    let root = dm_storage::wal::root_path(path);
+    let catalog_page = if root.exists() {
+        let (_f, rec) = RootFile::open(&root)?;
+        rec.map(|r| r.catalog_page).unwrap_or(0)
+    } else {
+        0
+    };
+    let store = FileStore::open_trimmed(path)?;
+    let store: Box<dyn PageStore> = match fault {
+        Some(cfg) => Box::new(FaultInjector::new(Box::new(store), cfg)),
+        None => Box::new(store),
+    };
+    Ok((
+        Arc::new(BufferPool::new(store, cache_pages.max(1))),
+        catalog_page,
+    ))
+}
+
+impl WorldDb {
+    /// Open the world whose manifest lives at `path`. No region store is
+    /// touched yet — handles open lazily on first query.
+    pub fn open(path: &Path, opts: WorldOptions) -> StorageResult<WorldDb> {
+        Self::from_manifest(WorldManifest::read(path)?, opts)
+    }
+
+    /// Build a world from a decoded manifest (region paths must already
+    /// be resolved).
+    pub fn from_manifest(m: WorldManifest, opts: WorldOptions) -> StorageResult<WorldDb> {
+        Self::new_inner(m.regions, opts, Vec::new())
+    }
+
+    /// Build a world from already-open region databases — the in-memory
+    /// construction used by tests and benches. These regions have no
+    /// file to reopen from, so they are exempt from LRU eviction.
+    pub fn from_regions(
+        regions: Vec<(RegionMeta, DirectMeshDb)>,
+        opts: WorldOptions,
+    ) -> StorageResult<WorldDb> {
+        let (metas, dbs): (Vec<_>, Vec<_>) = regions.into_iter().unzip();
+        Self::new_inner(metas, opts, dbs)
+    }
+
+    fn new_inner(
+        regions: Vec<RegionMeta>,
+        opts: WorldOptions,
+        prebuilt: Vec<DirectMeshDb>,
+    ) -> StorageResult<WorldDb> {
+        if regions.is_empty() {
+            return Err(StorageError::format("world has no regions"));
+        }
+        assert!(
+            prebuilt.is_empty() || prebuilt.len() == regions.len(),
+            "prebuilt region count mismatch"
+        );
+        let e_max = regions.iter().map(|r| r.e_max).fold(0.0, f64::max);
+        let e_cap = e_max * 1.001 + 1e-9;
+        let mut bounds = Rect::EMPTY;
+        for r in &regions {
+            bounds = bounds.union(&r.world_bounds());
+        }
+        let pool = Arc::new(BufferPool::new(
+            Box::new(MemStore::new()),
+            (regions.len() / 4).max(64),
+        ));
+        let items: Vec<(Box3, u64)> = regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Box3::prism(r.world_bounds(), 0.0, e_cap), i as u64))
+            .collect();
+        let rtree = RStarTree::bulk_load(pool, items, 0.7);
+        let counters: Vec<RegionCounters> =
+            regions.iter().map(|_| RegionCounters::default()).collect();
+        let in_memory = !prebuilt.is_empty();
+        let mut dbs: Vec<Option<Arc<DirectMeshDb>>> =
+            prebuilt.into_iter().map(|db| Some(Arc::new(db))).collect();
+        dbs.resize_with(regions.len(), || None);
+        let n_open = dbs.iter().filter(|d| d.is_some()).count();
+        let slots = dbs
+            .into_iter()
+            .map(|db| RegionSlot {
+                db,
+                last_used: 0,
+                pins: 0,
+                evictable: !in_memory,
+                open_report: IntegrityReport::default(),
+            })
+            .collect();
+        for c in counters.iter().take(n_open) {
+            c.opens.store(1, Ordering::Relaxed);
+        }
+        Ok(WorldDb {
+            regions,
+            rtree,
+            e_max,
+            bounds,
+            opts,
+            state: Mutex::new(WorldState {
+                slots,
+                tick: 0,
+                n_open,
+            }),
+            counters,
+        })
+    }
+
+    pub fn n_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The tuning knobs this world was opened with.
+    pub fn options(&self) -> &WorldOptions {
+        &self.opts
+    }
+
+    pub fn region_meta(&self, idx: usize) -> &RegionMeta {
+        &self.regions[idx]
+    }
+
+    /// Union of the regions' world-frame footprints.
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    pub fn e_max(&self) -> f64 {
+        self.e_max
+    }
+
+    /// Total records across all regions (manifest metadata; no I/O).
+    pub fn n_records(&self) -> u64 {
+        self.regions.iter().map(|r| u64::from(r.n_records)).sum()
+    }
+
+    pub fn e_cap(&self) -> f64 {
+        self.e_max * 1.001 + 1e-9
+    }
+
+    /// World LOD clamp — same formula as the single-store clamp, over
+    /// the largest region `e_max`. A world split out of one store
+    /// inherits that store's `e_max` in every tile, so this clamp is
+    /// bit-identical to the source store's.
+    pub fn clamp_e(&self, e: f64) -> f64 {
+        e.clamp(0.0, self.e_max * 1.0005 + 1e-12)
+    }
+
+    /// Region indices whose world-frame footprint intersects `b`,
+    /// ascending (deterministic merge order).
+    pub fn regions_for(&self, b: &Box3) -> StorageResult<Vec<usize>> {
+        let mut idxs: Vec<usize> = Vec::new();
+        self.rtree.try_query(b, |_, d| idxs.push(d as usize))?;
+        idxs.sort_unstable();
+        idxs.dedup();
+        Ok(idxs)
+    }
+
+    /// Currently open region handles.
+    pub fn open_count(&self) -> usize {
+        self.state.lock().n_open
+    }
+
+    /// Pin a region: it stays open (exempt from LRU eviction) until the
+    /// matching [`Self::unpin_region`]. Pins nest.
+    pub fn pin_region(&self, idx: usize) {
+        self.state.lock().slots[idx].pins += 1;
+    }
+
+    pub fn unpin_region(&self, idx: usize) {
+        let mut state = self.state.lock();
+        let slot = &mut state.slots[idx];
+        debug_assert!(slot.pins > 0, "unpin without pin");
+        slot.pins = slot.pins.saturating_sub(1);
+    }
+
+    /// Pins currently held on a region (observability for eviction
+    /// tests).
+    pub fn region_pins(&self, idx: usize) -> u32 {
+        self.state.lock().slots[idx].pins
+    }
+
+    /// What a degraded open of this region had to skip (empty while the
+    /// region is closed or after a clean open).
+    pub fn region_open_report(&self, idx: usize) -> IntegrityReport {
+        self.state.lock().slots[idx].open_report.clone()
+    }
+
+    /// Per-region lifecycle counters, ascending by region index.
+    pub fn region_stats(&self) -> Vec<RegionStats> {
+        let state = self.state.lock();
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let slot = &state.slots[i];
+                RegionStats {
+                    id: m.id,
+                    opens: self.counters[i].opens.load(Ordering::Relaxed),
+                    evictions: self.counters[i].evictions.load(Ordering::Relaxed),
+                    hits: self.counters[i].hits.load(Ordering::Relaxed),
+                    queries: self.counters[i].queries.load(Ordering::Relaxed),
+                    resident_pages: slot.db.as_ref().map_or(0, |db| db.pool().resident() as u64),
+                    open: slot.db.is_some(),
+                }
+            })
+            .collect()
+    }
+
+    /// The region's open handle, opening (and possibly evicting another
+    /// region) on miss. The returned `Arc` stays valid across a
+    /// concurrent eviction — eviction only drops the catalog's
+    /// reference.
+    pub fn region(&self, idx: usize) -> StorageResult<Arc<DirectMeshDb>> {
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(db) = &state.slots[idx].db {
+            let db = Arc::clone(db);
+            state.slots[idx].last_used = tick;
+            self.counters[idx].hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(db);
+        }
+
+        // Make room under the handle cap. Pinned (and in-memory) regions
+        // are skipped; if everything open is pinned the cap is exceeded
+        // temporarily rather than failing the caller.
+        while state.n_open >= self.opts.max_open.max(1) {
+            let victim = state
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.db.is_some() && s.pins == 0 && s.evictable)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(v) => {
+                    state.slots[v].db = None;
+                    state.slots[v].open_report = IntegrityReport::default();
+                    state.n_open -= 1;
+                    self.counters[v].evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+
+        let meta = &self.regions[idx];
+        let initial = if self.opts.page_budget == 0 {
+            DEFAULT_REGION_PAGES
+        } else {
+            (self.opts.page_budget / (state.n_open + 1)).max(self.opts.region_floor.max(1))
+        };
+        let (pool, catalog_page) = open_region_store(&meta.path, initial, self.opts.fault)?;
+        let mut report = IntegrityReport::default();
+        let db = if self.opts.degraded {
+            DirectMeshDb::open_degraded_at(pool, catalog_page, &mut report)?
+        } else {
+            DirectMeshDb::open_at(pool, catalog_page)?
+        };
+        let db = Arc::new(db);
+        state.slots[idx].db = Some(Arc::clone(&db));
+        state.slots[idx].last_used = tick;
+        state.slots[idx].open_report = report;
+        state.n_open += 1;
+        self.counters[idx].opens.fetch_add(1, Ordering::Relaxed);
+        self.rebalance_budgets(&mut state);
+        Ok(db)
+    }
+
+    /// Re-split the world page budget across the open regions, weighted
+    /// by heap size with a per-region floor. Separate pools mean a hot
+    /// region's traffic can never evict a cold region's pages; only this
+    /// explicit rebalance (on open/evict) moves capacity between them.
+    fn rebalance_budgets(&self, state: &mut WorldState) {
+        if self.opts.page_budget == 0 {
+            return;
+        }
+        let open: Vec<usize> = (0..state.slots.len())
+            .filter(|&i| state.slots[i].db.is_some())
+            .collect();
+        if open.is_empty() {
+            return;
+        }
+        let floor = self.opts.region_floor.max(1);
+        let total_heap: f64 = open
+            .iter()
+            .map(|&i| state.slots[i].db.as_ref().unwrap().n_heap_pages().max(1) as f64)
+            .sum();
+        for &i in &open {
+            let db = state.slots[i].db.as_ref().unwrap();
+            let w = db.n_heap_pages().max(1) as f64 / total_heap;
+            let share = ((self.opts.page_budget as f64 * w) as usize).max(floor);
+            // A failed shrink-flush leaves the old capacity in place for
+            // the affected shard; read-only pools have nothing dirty, so
+            // this is effectively infallible.
+            let _ = db.pool().try_set_capacity(share);
+        }
+    }
+
+    /// Region index for a manifest region id (what the wire protocol's
+    /// `QueryScope::Region` names).
+    pub fn resolve_region_id(&self, id: u32) -> Option<usize> {
+        self.regions.iter().position(|m| m.id == id)
+    }
+
+    /// Flush every *open* region's buffer pool and reset its statistics
+    /// (paper-protocol cold measurement). Closed regions are already
+    /// cold by construction.
+    pub fn try_cold_start(&self) -> StorageResult<()> {
+        let open: Vec<Arc<DirectMeshDb>> = {
+            let state = self.state.lock();
+            state.slots.iter().filter_map(|s| s.db.clone()).collect()
+        };
+        for db in open {
+            db.try_cold_start()?;
+        }
+        Ok(())
+    }
+
+    /// `Stats`-answer summary for a world server. Record count, bounds
+    /// and `e_max` are world-level; the structural fields (catalog
+    /// version, codec, page and index shape) describe region 0 — the
+    /// per-region world totals live in [`Self::region_stats`].
+    pub fn stats_summary(&self) -> StorageResult<DbStats> {
+        let db = self.region(0)?;
+        let mut s = db.stats_summary();
+        s.n_records = self.n_records();
+        s.bounds = *self.bounds();
+        s.e_max = self.e_max();
+        Ok(s)
+    }
+
+    /// LOD threshold that keeps roughly `frac` of the points, resolved
+    /// against region 0's catalog histogram (every tile of a split world
+    /// shares the source's LOD distribution).
+    pub fn e_for_points_fraction(&self, frac: f64) -> StorageResult<f64> {
+        Ok(self.region(0)?.e_for_points_fraction(frac))
+    }
+
+    /// Viewpoint-independent cross-tile query in flat canonical form:
+    /// fan the query plane out to every overlapping region, merge the
+    /// per-region fetches (ids deduplicated in ascending region order),
+    /// and run the single-store cut on the union.
+    pub fn try_vi_query_flat_counted(
+        &self,
+        roi: &Rect,
+        e: f64,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(ViFlatResult, IntegrityReport)> {
+        self.try_vi_query_flat_scoped(roi, e, None, counters)
+    }
+
+    /// [`Self::try_vi_query_flat_counted`] restricted to one region
+    /// index when `scope` is set (the wire protocol's region scope).
+    pub fn try_vi_query_flat_scoped(
+        &self,
+        roi: &Rect,
+        e: f64,
+        scope: Option<usize>,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(ViFlatResult, IntegrityReport)> {
+        let e = self.clamp_e(e);
+        let plane = Box3::prism(*roi, e, e);
+        let mut idxs = self.regions_for(&plane)?;
+        if let Some(s) = scope {
+            idxs.retain(|&i| i == s);
+        }
+        let fetched = par_map(&idxs, self.opts.threads, |&i| {
+            self.fetch_plane_region(i, &plane)
+        });
+        let mut report = IntegrityReport::default();
+        let mut merged = FetchedSet::new();
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        let mut total_fetched = 0usize;
+        for (&i, r) in idxs.iter().zip(fetched) {
+            let (set, rep, ctr) = r?;
+            report.merge(rep);
+            counters.merge(&ctr);
+            total_fetched += set.len();
+            let meta = &self.regions[i];
+            for s in 0..set.len() {
+                let node = remap_node(set.nodes[s], meta.id_base, meta.offset);
+                if seen.insert(node.id) {
+                    merged.push(
+                        node,
+                        set.conn_of(s).iter().map(|&c| remap_id(c, meta.id_base)),
+                    );
+                }
+            }
+        }
+        let (nodes, faces) = uniform_cut(&merged, roi, e);
+        Ok((
+            ViFlatResult {
+                nodes,
+                faces,
+                fetched_records: total_fetched,
+            },
+            report,
+        ))
+    }
+
+    fn fetch_plane_region(
+        &self,
+        idx: usize,
+        plane: &Box3,
+    ) -> StorageResult<(FetchedSet, IntegrityReport, FetchCounters)> {
+        let db = self.region(idx)?;
+        self.counters[idx].queries.fetch_add(1, Ordering::Relaxed);
+        let local = plane.translated_xy(neg(self.regions[idx].offset));
+        let mut rep = IntegrityReport::default();
+        let mut ctr = FetchCounters::default();
+        let set = db.fetch_box_flat_counted(&local, &mut rep, &mut ctr)?;
+        Ok((set, rep, ctr))
+    }
+
+    /// World-level multi-base plan: the same staircase candidates as the
+    /// single-store planner (equal strips along the LOD gradient, powers
+    /// of two up to `max_cubes`), costed by summing each overlapping
+    /// region's union page count plus the per-cube descent overhead.
+    /// Deterministic for a given open world — the cost models are built
+    /// from catalog statistics, not from cache state.
+    pub fn plan_multi_base(&self, q: &VdQuery, max_cubes: usize) -> StorageResult<Vec<Rect>> {
+        self.plan_multi_base_scoped(q, max_cubes, None)
+    }
+
+    fn plan_multi_base_scoped(
+        &self,
+        q: &VdQuery,
+        max_cubes: usize,
+        scope: Option<usize>,
+    ) -> StorageResult<Vec<Rect>> {
+        let overhead_per_cube = 3.0;
+        let along_x = q.target.dir.x.abs() >= q.target.dir.y.abs();
+        let probe = Box3::prism(q.roi, 0.0, self.e_cap());
+        let mut idxs = self.regions_for(&probe)?;
+        if let Some(s) = scope {
+            idxs.retain(|&i| i == s);
+        }
+        let mut best: Vec<Rect> = vec![q.roi];
+        let mut best_cost = f64::INFINITY;
+        let mut n = 1usize;
+        while n <= max_cubes.max(1) {
+            let strips = equal_strips(&q.roi, n, along_x);
+            let cubes: Vec<Box3> = strips
+                .iter()
+                .map(|r| {
+                    let (lo, hi) = q.e_range(r);
+                    Box3::prism(*r, lo, self.clamp_e(hi))
+                })
+                .collect();
+            let mut cost = overhead_per_cube * (n as f64 - 1.0);
+            for &i in &idxs {
+                let db = self.region(i)?;
+                let local: Vec<Box3> = self.cubes_for_region(i, &cubes);
+                if !local.is_empty() {
+                    cost += db.cost_model().count_union(&local) as f64;
+                }
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best = strips;
+            }
+            n *= 2;
+        }
+        Ok(best)
+    }
+
+    /// The world-frame cubes that can hold records of region `idx`,
+    /// translated into its frame. Dropping non-overlapping cubes is
+    /// exact: a record's vertical segment sits at its plan-view
+    /// position, which lies inside the region's footprint.
+    fn cubes_for_region(&self, idx: usize, cubes: &[Box3]) -> Vec<Box3> {
+        let meta = &self.regions[idx];
+        let wb = meta.world_bounds();
+        cubes
+            .iter()
+            .filter(|c| {
+                let r =
+                    Rect::from_corners(Vec2::new(c.min.x, c.min.y), Vec2::new(c.max.x, c.max.y));
+                wb.intersects(&r)
+            })
+            .map(|c| c.translated_xy(neg(meta.offset)))
+            .collect()
+    }
+
+    /// Viewpoint-dependent cross-tile query with the world's own plan.
+    pub fn try_vd_query_counted(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        max_cubes: usize,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
+        self.try_vd_query_scoped(q, policy, max_cubes, None, counters)
+    }
+
+    /// [`Self::try_vd_query_counted`] restricted to one region index
+    /// when `scope` is set: the plan is costed against that region alone
+    /// and the fan-out skips every other region.
+    pub fn try_vd_query_scoped(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        max_cubes: usize,
+        scope: Option<usize>,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
+        let strips = self.plan_multi_base_scoped(q, max_cubes, scope)?;
+        self.try_vd_strips_scoped(q, policy, &strips, scope, counters)
+    }
+
+    /// Viewpoint-dependent cross-tile query over a fixed strip
+    /// decomposition: per-region fetches of the same staircase cubes,
+    /// merged (ascending region order) and assembled by the exact
+    /// single-store topmost-front + refine pipeline. Equivalence tests
+    /// feed the same strips to
+    /// [`DirectMeshDb::try_vd_multi_base_with_strips_counted`].
+    pub fn try_vd_with_strips_counted(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        strips: &[Rect],
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
+        self.try_vd_strips_scoped(q, policy, strips, None, counters)
+    }
+
+    fn try_vd_strips_scoped(
+        &self,
+        q: &VdQuery,
+        policy: BoundaryPolicy,
+        strips: &[Rect],
+        scope: Option<usize>,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
+        let mut report = IntegrityReport::default();
+        let mut cubes = Vec::with_capacity(strips.len());
+        for rect in strips {
+            let (lo, hi) = q.e_range(rect);
+            cubes.push(Box3::prism(*rect, lo, self.clamp_e(hi)));
+        }
+        let mut idxs: Vec<usize> = Vec::new();
+        for c in &cubes {
+            idxs.extend(self.regions_for(c)?);
+        }
+        idxs.sort_unstable();
+        idxs.dedup();
+        if let Some(s) = scope {
+            idxs.retain(|&i| i == s);
+        }
+
+        let fetched = par_map(&idxs, self.opts.threads, |&i| {
+            self.fetch_cubes_region(i, &cubes)
+        });
+        let mut all: FxHashMap<u32, DmRecord> = FxHashMap::default();
+        let mut total_fetched = 0usize;
+        for (&i, r) in idxs.iter().zip(fetched) {
+            let (recs, rep, ctr) = r?;
+            report.merge(rep);
+            counters.merge(&ctr);
+            total_fetched += recs.len();
+            let meta = &self.regions[i];
+            for rec in recs {
+                let rec = remap_record(rec, meta.id_base, meta.offset);
+                all.entry(rec.node.id).or_insert(rec);
+            }
+        }
+
+        let recs: Vec<DmRecord> = all.values().cloned().collect();
+        let mut front = topmost_front(recs, &q.roi);
+        let map: FxHashMap<u32, PmNode> = all.values().map(|r| (r.node.id, r.node)).collect();
+        let mut source = WorldSource {
+            world: self,
+            map,
+            policy,
+            misses_fetched: 0,
+            fetch_errors: 0,
+            first_error: None,
+        };
+        let retries_before = dm_storage::thread_retries();
+        let stats = refine(&mut front, &mut source, &q.target);
+        report.retries += dm_storage::thread_retries() - retries_before;
+        report.points_lost += source.fetch_errors as u64;
+        if let Some(e) = &source.first_error {
+            if report.errors.len() < IntegrityReport::MAX_ERRORS {
+                report.errors.push(format!("boundary fetch: {e}"));
+            }
+        }
+        Ok((
+            VdResult {
+                front,
+                refine: stats,
+                fetched_records: total_fetched,
+                cubes,
+                boundary_fetches: source.misses_fetched,
+            },
+            report,
+        ))
+    }
+
+    fn fetch_cubes_region(
+        &self,
+        idx: usize,
+        cubes: &[Box3],
+    ) -> StorageResult<(Vec<DmRecord>, IntegrityReport, FetchCounters)> {
+        let db = self.region(idx)?;
+        self.counters[idx].queries.fetch_add(1, Ordering::Relaxed);
+        let local = self.cubes_for_region(idx, cubes);
+        let mut rep = IntegrityReport::default();
+        let mut ctr = FetchCounters::default();
+        let recs = if local.is_empty() {
+            Vec::new()
+        } else {
+            db.fetch_boxes_counted(&local, &mut rep, &mut ctr)?
+        };
+        Ok((recs, rep, ctr))
+    }
+
+    /// Fetch one record by *world* id, probing regions in ascending
+    /// order. Worlds assembled from independent stores carry disjoint
+    /// `[id_base, id_base + n_records)` ranges, so at most one region is
+    /// opened; split worlds share the id space (`id_base == 0`) and fall
+    /// back to an in-order probe.
+    pub fn try_fetch_by_id(&self, id: u32) -> StorageResult<Option<DmRecord>> {
+        let ranged = self.ranged_ids();
+        for (i, meta) in self.regions.iter().enumerate() {
+            if id < meta.id_base {
+                continue;
+            }
+            let local = id - meta.id_base;
+            if ranged && local >= meta.n_records {
+                continue;
+            }
+            let db = self.region(i)?;
+            if let Some(rec) = db.try_fetch_by_id(local)? {
+                return Ok(Some(remap_record(rec, meta.id_base, meta.offset)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether the regions' id ranges are pairwise disjoint (assembled
+    /// worlds), enabling direct region lookup by id.
+    fn ranged_ids(&self) -> bool {
+        let mut ranges: Vec<(u64, u64)> = self
+            .regions
+            .iter()
+            .map(|m| {
+                (
+                    u64::from(m.id_base),
+                    u64::from(m.id_base) + u64::from(m.n_records),
+                )
+            })
+            .collect();
+        ranges.sort_unstable();
+        ranges.windows(2).all(|w| w[0].1 <= w[1].0)
+    }
+}
+
+/// A [`RecordSource`] for world-frame refinement: the merged fetch map
+/// first, then (under [`BoundaryPolicy::FetchOnMiss`]) a world
+/// fetch-by-id — mirroring the single-store `DbSource` fall-through so
+/// split worlds refine identically.
+struct WorldSource<'a> {
+    world: &'a WorldDb,
+    map: FxHashMap<u32, PmNode>,
+    policy: BoundaryPolicy,
+    misses_fetched: usize,
+    fetch_errors: usize,
+    first_error: Option<StorageError>,
+}
+
+impl RecordSource for WorldSource<'_> {
+    fn fetch(&mut self, id: u32) -> Option<PmNode> {
+        if let Some(n) = self.map.get(&id) {
+            return Some(*n);
+        }
+        match self.policy {
+            BoundaryPolicy::Skip => None,
+            BoundaryPolicy::FetchOnMiss => match self.world.try_fetch_by_id(id) {
+                Ok(Some(rec)) => {
+                    self.misses_fetched += 1;
+                    self.map.insert(id, rec.node);
+                    Some(rec.node)
+                }
+                Ok(None) => None,
+                Err(e) => {
+                    self.fetch_errors += 1;
+                    if self.first_error.is_none() {
+                        self.first_error = Some(e);
+                    }
+                    None
+                }
+            },
+        }
+    }
+}
+
+/// A server-side viewpoint-dependent session over a world: every frame
+/// re-plans and re-queries (cross-tile results stay canonical for the
+/// delta streamer), while the regions the session has touched stay
+/// *pinned* so LRU pressure from other clients cannot close a store
+/// this walkthrough is about to revisit. Pins are released by
+/// [`Self::close`] — the server calls it on `CloseSession` and on
+/// connection teardown.
+pub struct WorldSession {
+    policy: BoundaryPolicy,
+    max_cubes: usize,
+    pinned: Vec<usize>,
+}
+
+impl WorldSession {
+    pub fn new(policy: BoundaryPolicy, max_cubes: usize) -> WorldSession {
+        WorldSession {
+            policy,
+            max_cubes,
+            pinned: Vec::new(),
+        }
+    }
+
+    /// Region indices this session currently pins (the latest frame's
+    /// region set), in first-touch order.
+    pub fn regions(&self) -> &[usize] {
+        &self.pinned
+    }
+
+    /// Answer one frame, pinning every region the frame's ROI reaches
+    /// before querying — so the handles cannot be evicted mid-frame or
+    /// between consecutive frames over the same ground. Pins on regions
+    /// the viewer has left are released after the frame: a session
+    /// sweeping a large world protects only the terrain under it, and
+    /// never wedges LRU eviction by accumulating the whole world.
+    pub fn frame(
+        &mut self,
+        world: &WorldDb,
+        q: &VdQuery,
+        counters: &mut FetchCounters,
+    ) -> StorageResult<(VdResult, IntegrityReport)> {
+        let probe = Box3::prism(q.roi, 0.0, world.e_cap());
+        let needed = world.regions_for(&probe)?;
+        for &i in &needed {
+            if !self.pinned.contains(&i) {
+                world.pin_region(i);
+                self.pinned.push(i);
+            }
+        }
+        let res = world.try_vd_query_counted(q, self.policy, self.max_cubes, counters);
+        let mut kept = Vec::with_capacity(needed.len());
+        for i in self.pinned.drain(..) {
+            if needed.contains(&i) {
+                kept.push(i);
+            } else {
+                world.unpin_region(i);
+            }
+        }
+        self.pinned = kept;
+        res
+    }
+
+    /// Release every pin this session holds. Idempotent.
+    pub fn close(&mut self, world: &WorldDb) {
+        for i in self.pinned.drain(..) {
+            world.unpin_region(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{split_world_in_memory, write_split_world};
+    use dm_core::DmBuildOptions;
+    use dm_mtm::builder::{build_pm, PmBuildConfig};
+    use dm_storage::MemStore;
+    use dm_terrain::{generate, TriMesh};
+
+    fn build_db(seed: u64, side: usize) -> DirectMeshDb {
+        let hf = generate::fractal_terrain(side, side, seed);
+        let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+        let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 8192));
+        DirectMeshDb::build(pool, &pm, &DmBuildOptions::default())
+    }
+
+    #[test]
+    fn split_world_vi_matches_single_store() {
+        let db = build_db(7, 33);
+        let world = split_world_in_memory(
+            &db,
+            2,
+            2,
+            4096,
+            &DmBuildOptions::default(),
+            WorldOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(world.n_regions(), 4);
+        assert_eq!(world.n_records() as usize, db.n_records);
+        for frac in [0.1, 0.4, 0.9] {
+            let e = db.e_for_points_fraction(frac);
+            let roi = db.bounds;
+            let mut c1 = FetchCounters::default();
+            let mut c2 = FetchCounters::default();
+            let (single, r1) = db.try_vi_query_flat_counted(&roi, e, &mut c1).unwrap();
+            let (tiled, r2) = world.try_vi_query_flat_counted(&roi, e, &mut c2).unwrap();
+            assert!(r1.is_clean() && r2.is_clean());
+            assert_eq!(
+                single.nodes, tiled.nodes,
+                "vertex sets differ at frac {frac}"
+            );
+            assert_eq!(single.faces, tiled.faces, "faces differ at frac {frac}");
+            assert_eq!(single.fetched_records, tiled.fetched_records);
+        }
+    }
+
+    #[test]
+    fn split_world_vd_matches_single_store_with_same_strips() {
+        let db = build_db(11, 33);
+        let world = split_world_in_memory(
+            &db,
+            2,
+            2,
+            4096,
+            &DmBuildOptions::default(),
+            WorldOptions::default(),
+        )
+        .unwrap();
+        let roi = db.bounds;
+        let eye = Vec2::new(roi.min.x - 1.0, roi.center().y);
+        let q = VdQuery::from_viewpoint(roi, eye, db.e_max / 40.0, db.e_max);
+        let strips = world.plan_multi_base(&q, 8).unwrap();
+        let mut c1 = FetchCounters::default();
+        let mut c2 = FetchCounters::default();
+        for policy in [BoundaryPolicy::Skip, BoundaryPolicy::FetchOnMiss] {
+            let (single, r1) = db
+                .try_vd_multi_base_with_strips_counted(&q, policy, &strips, &mut c1)
+                .unwrap();
+            let (tiled, r2) = world
+                .try_vd_with_strips_counted(&q, policy, &strips, &mut c2)
+                .unwrap();
+            assert!(r1.is_clean() && r2.is_clean());
+            assert_eq!(single.fetched_records, tiled.fetched_records);
+            let (m1, ids1) = single.front.to_trimesh();
+            let (m2, ids2) = tiled.front.to_trimesh();
+            assert_eq!(ids1, ids2, "vertex ids differ under {policy:?}");
+            let verts = |m: &dm_terrain::TriMesh| -> Vec<_> {
+                m.live_vertices().map(|v| m.position(v)).collect()
+            };
+            let tris = |m: &dm_terrain::TriMesh| -> Vec<_> {
+                m.live_triangles().map(|t| m.triangle(t)).collect()
+            };
+            assert_eq!(verts(&m1), verts(&m2));
+            assert_eq!(tris(&m1), tris(&m2));
+        }
+    }
+
+    #[test]
+    fn lazy_open_lru_eviction_and_pins() {
+        let db = build_db(3, 33);
+        let dir = std::env::temp_dir().join(format!("dm_world_lru_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = write_split_world(&db, 2, 2, &dir, &DmBuildOptions::default()).unwrap();
+        let world = WorldDb::open(
+            &manifest,
+            WorldOptions {
+                max_open: 2,
+                page_budget: 512,
+                region_floor: 32,
+                ..WorldOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(world.open_count(), 0, "regions open lazily");
+        // Touch every region in turn: the cap holds and LRU evicts.
+        for i in 0..world.n_regions() {
+            world.region(i).unwrap();
+        }
+        assert!(world.open_count() <= 2);
+        let stats = world.region_stats();
+        let opens: u64 = stats.iter().map(|s| s.opens).sum();
+        let evictions: u64 = stats.iter().map(|s| s.evictions).sum();
+        assert_eq!(opens, 4);
+        assert!(evictions >= 2, "{evictions} evictions");
+        // Budgets: every open pool's capacity is at least the floor and
+        // the open capacities stay within the budget plus floor slack.
+        let open_caps: Vec<usize> = (0..world.n_regions())
+            .filter_map(|i| {
+                let s = world.state.lock();
+                s.slots[i].db.as_ref().map(|db| db.pool().capacity())
+            })
+            .collect();
+        for &c in &open_caps {
+            assert!(c >= 32, "capacity {c} below floor");
+        }
+        // Pin region 0 and hammer the others: 0 must stay open.
+        world.region(0).unwrap();
+        world.pin_region(0);
+        for i in 1..world.n_regions() {
+            world.region(i).unwrap();
+        }
+        assert!(world.region_stats()[0].open, "pinned region was evicted");
+        world.unpin_region(0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_pins_release_on_close() {
+        let db = build_db(5, 33);
+        let dir = std::env::temp_dir().join(format!("dm_world_sess_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = write_split_world(&db, 2, 1, &dir, &DmBuildOptions::default()).unwrap();
+        let world = WorldDb::open(&manifest, WorldOptions::default()).unwrap();
+        let mut sess = WorldSession::new(BoundaryPolicy::Skip, 4);
+        let q = VdQuery::from_viewpoint(db.bounds, db.bounds.center(), db.e_max / 20.0, db.e_max);
+        let mut ctr = FetchCounters::default();
+        let (_res, rep) = sess.frame(&world, &q, &mut ctr).unwrap();
+        assert!(rep.is_clean());
+        assert!(!sess.regions().is_empty());
+        for &i in sess.regions() {
+            assert!(world.region_pins(i) > 0);
+        }
+        sess.close(&world);
+        for i in 0..world.n_regions() {
+            assert_eq!(world.region_pins(i), 0);
+        }
+        sess.close(&world); // idempotent
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn world_fetch_by_id_matches_store() {
+        let db = build_db(9, 33);
+        let world = split_world_in_memory(
+            &db,
+            2,
+            2,
+            4096,
+            &DmBuildOptions::default(),
+            WorldOptions::default(),
+        )
+        .unwrap();
+        for id in [
+            0u32,
+            5,
+            17,
+            db.n_records as u32 - 1,
+            db.n_records as u32 + 7,
+        ] {
+            let a = db.try_fetch_by_id(id).unwrap();
+            let b = world.try_fetch_by_id(id).unwrap();
+            assert_eq!(a, b, "record {id}");
+        }
+    }
+}

@@ -87,7 +87,7 @@ diff "$PLAN_DIR/auto.verts" "$PLAN_DIR/incremental.verts" \
 diff "$PLAN_DIR/auto.verts" "$PLAN_DIR/full.verts" \
     || { echo "auto and full walkthroughs disagree"; exit 1; }
 "$DM" explain "$PLAN_DIR/t.dmdb" --frames 6 --window 0.4 \
-    | grep -q "chosen: .* incremental frame(s), .* full-requery frame(s)" \
+    | grep "chosen: .* incremental frame(s), .* full-requery frame(s)" >/dev/null \
     || { echo "dm explain printed no decision summary"; exit 1; }
 rm -rf "$PLAN_DIR"
 
@@ -190,6 +190,45 @@ print("streaming guard ok: "
       f"ttft chunked/monolithic={ttft['chunked_us'] / max(ttft['monolithic_us'], 1):.3f}")
 PY
 
+echo "== world bench smoke + region-eviction regression guard"
+# Smoke-run the multi-terrain world bench on tiny tiles (the bench
+# itself asserts lazy open, the handle cap, and that hot-region traffic
+# cannot evict a cold region's pages), then hold the committed official
+# run to the PR's acceptance bar: each region opened exactly once per
+# cold sweep, the open-handle cap respected throughout, LRU evictions
+# actually exercised, warm hits present, and the weighted pool smaller
+# than the world so the isolation result is meaningful.
+DM_SCALE=ci DM_WORLD_OUT="$PWD/target/BENCH_world.ci.json" \
+    cargo bench -p dm-bench --bench world >/dev/null
+python3 - "$PWD/BENCH_world.json" << 'PY'
+import json, sys
+base = json.load(open(sys.argv[1]))
+cold, warm, iso = base["cold"], base["warm"], base["isolation"]
+bad = []
+if cold["opens"] != base["regions"]:
+    bad.append(f"cold sweep opened {cold['opens']} regions, want {base['regions']} (lazy open broken)")
+if cold["max_open_seen"] > base["max_open"] or warm["max_open_seen"] > base["max_open"]:
+    bad.append(f"handle cap {base['max_open']} violated "
+               f"(cold {cold['max_open_seen']}, warm {warm['max_open_seen']})")
+if cold["evictions"] == 0:
+    bad.append("cold sweep triggered no LRU evictions")
+if warm["hits"] == 0:
+    bad.append("warm sweep produced no buffer-pool hits")
+if not iso["held"] or iso["cold_resident_after"] != iso["cold_resident_before"]:
+    bad.append(f"weighted pool isolation broken: cold residency "
+               f"{iso['cold_resident_before']} -> {iso['cold_resident_after']}")
+if base["page_budget"] >= base["total_pages"]:
+    bad.append("pool budget covers the whole world; eviction pressure untested")
+if not base.get("lazy_open") or not base.get("cap_respected"):
+    bad.append("lazy_open / cap_respected flags missing or false")
+if bad:
+    sys.exit("world regression guard FAILED\n  " + "\n  ".join(bad))
+print("world guard ok: "
+      f"{base['regions']} regions, {cold['evictions']} cold evictions, "
+      f"{warm['hits']} warm hits, isolation held "
+      f"({iso['cold_resident_before']} pages untouched)")
+PY
+
 echo "== server smoke (serve / remote-query / remote-shutdown over loopback)"
 # End-to-end through the installed binaries: build a tiny database, serve
 # it in the background, run a remote batch query verified bit-for-bit
@@ -209,8 +248,10 @@ ADDR=$(cat "$SMOKE_DIR/port")
 "$DM" remote-query --addr "$ADDR" --cold --verify-local "$SMOKE_DIR/t.dmdb"
 "$DM" remote-query --addr "$ADDR" --batch 2 --verify-local "$SMOKE_DIR/t.dmdb"
 "$DM" remote-query --addr "$ADDR" --pipeline 4 --verify-local "$SMOKE_DIR/t.dmdb"
+# grep without -q: consume the whole stream so the writer never takes
+# a SIGPIPE when the match lands before its last line (set -o pipefail).
 "$DM" remote-query --addr "$ADDR" --chunked --verify-local "$SMOKE_DIR/t.dmdb" \
-    | grep -q "^chunked:" || { echo "chunked remote-query printed no chunk stats"; exit 1; }
+    | grep "^chunked:" >/dev/null || { echo "chunked remote-query printed no chunk stats"; exit 1; }
 "$DM" remote-walkthrough --addr "$ADDR" --frames 4 --verify-local "$SMOKE_DIR/t.dmdb" >/dev/null
 # Delta streaming end to end: every reconstructed frame must verify
 # bit-for-bit against the lockstep local session, and a multi-frame walk
@@ -221,12 +262,43 @@ grep -q "verified bit-for-bit" "$SMOKE_DIR/delta.log" \
     || { echo "delta walkthrough did not verify"; cat "$SMOKE_DIR/delta.log"; exit 1; }
 grep -qE "5/6 delta frames" "$SMOKE_DIR/delta.log" \
     || { echo "delta walkthrough shipped no deltas"; cat "$SMOKE_DIR/delta.log"; exit 1; }
-"$DM" stats --addr "$ADDR" | grep -q "delta frames" \
+"$DM" stats --addr "$ADDR" | grep "delta frames" >/dev/null \
     || { echo "remote stats printed no streaming counters"; exit 1; }
 "$DM" remote-shutdown --addr "$ADDR"
 wait "$SERVE_PID"
 SERVE_PID=
 grep -q "server drained" "$SMOKE_DIR/serve.log" || { echo "server did not drain cleanly"; cat "$SMOKE_DIR/serve.log"; exit 1; }
 grep -q "wire totals:" "$SMOKE_DIR/serve.log" || { echo "server drain printed no wire totals"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+
+echo "== world smoke (world-build / world-verify / serve --world over loopback)"
+# Assemble two independent stores into a world manifest, scrub it, serve
+# it with a deliberately tiny handle cap so lazy open and LRU eviction
+# both fire, then check the region dimension end to end: region-scoped
+# remote queries, the per-region stats table, and world totals on drain.
+"$DM" generate --kind mining --size 65 --seed 11 -o "$SMOKE_DIR/a.dmh" >/dev/null
+"$DM" build "$SMOKE_DIR/a.dmh" -o "$SMOKE_DIR/a.dmdb" >/dev/null
+"$DM" world-build "$SMOKE_DIR/t.dmdb" "$SMOKE_DIR/a.dmdb" -o "$SMOKE_DIR/w.dmwm" \
+    | grep "2 regions" >/dev/null || { echo "world-build did not report 2 regions"; exit 1; }
+"$DM" world-verify "$SMOKE_DIR/w.dmwm" \
+    | grep "ok" >/dev/null || { echo "world-verify reported no healthy region"; exit 1; }
+"$DM" serve "$SMOKE_DIR/w.dmwm" --world --max-open 1 \
+    --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/wport" \
+    > "$SMOKE_DIR/wserve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SMOKE_DIR/wport" ] && break; sleep 0.1; done
+[ -s "$SMOKE_DIR/wport" ] || { echo "world server never published its port"; cat "$SMOKE_DIR/wserve.log"; exit 1; }
+WADDR=$(cat "$SMOKE_DIR/wport")
+"$DM" remote-query --addr "$WADDR" >/dev/null
+"$DM" remote-query --addr "$WADDR" --region 0 >/dev/null
+"$DM" remote-query --addr "$WADDR" --region 1 >/dev/null
+"$DM" stats --addr "$WADDR" | grep -E "regions: +2 " >/dev/null \
+    || { echo "remote stats printed no region table"; exit 1; }
+"$DM" remote-shutdown --addr "$WADDR"
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "world totals:" "$SMOKE_DIR/wserve.log" \
+    || { echo "world server drain printed no world totals"; cat "$SMOKE_DIR/wserve.log"; exit 1; }
+grep -qE "world totals: [0-9]+ region opens, [1-9][0-9]* evictions" "$SMOKE_DIR/wserve.log" \
+    || { echo "world server with --max-open 1 never evicted a region"; cat "$SMOKE_DIR/wserve.log"; exit 1; }
 
 echo "ci: all green"

@@ -17,7 +17,7 @@ use dm_core::{DirectMeshDb, DmBuildOptions, VdQuery};
 use dm_geom::{Rect, Vec2};
 use dm_mtm::builder::{build_pm, PmBuildConfig};
 use dm_mtm::PlaneTarget;
-use dm_net::{Client, QueryOpts, Request, Response, StreamCounters};
+use dm_net::{Client, QueryOpts, QueryScope, Request, Response, StreamCounters};
 use dm_server::{Server, ServerConfig};
 use dm_storage::{BufferPool, MemStore};
 use dm_terrain::{generate, TriMesh};
@@ -94,6 +94,7 @@ const COLD: QueryOpts = QueryOpts {
     cold: true,
     degraded: false,
     chunked: false,
+    scope: QueryScope::World,
 };
 
 /// Zero the streaming byte counters in `Stats` answers before comparing:

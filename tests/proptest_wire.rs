@@ -22,7 +22,7 @@ use dm_geom::{Rect, Vec2};
 use dm_mtm::PlaneTarget;
 use dm_net::{
     encode_frame, read_frame, ErrorCode, Frame, FrameAssembler, FrameDelta, FrameEvent, MeshChunk,
-    MeshResult, QueryOpts, Request, Response, StreamCounters, StreamMode, WireVertex,
+    MeshResult, QueryOpts, QueryScope, Request, Response, StreamCounters, StreamMode, WireVertex,
 };
 use proptest::prelude::*;
 
@@ -66,11 +66,23 @@ fn arb_policy() -> impl Strategy<Value = BoundaryPolicy> {
 }
 
 fn arb_opts() -> impl Strategy<Value = QueryOpts> {
-    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(cold, degraded, chunked)| QueryOpts {
-        cold,
-        degraded,
-        chunked,
-    })
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u32>(),
+    )
+        .prop_map(|(cold, degraded, chunked, scoped, region)| QueryOpts {
+            cold,
+            degraded,
+            chunked,
+            scope: if scoped {
+                QueryScope::Region(region)
+            } else {
+                QueryScope::World
+            },
+        })
 }
 
 fn arb_stream_mode() -> impl Strategy<Value = StreamMode> {

@@ -21,7 +21,7 @@ use dm_core::{
 use dm_geom::{Rect, Vec2};
 use dm_mtm::builder::{build_pm, PmBuildConfig};
 use dm_mtm::PlaneTarget;
-use dm_net::{canonical_mesh, Client, MeshResult, QueryOpts, WireError};
+use dm_net::{canonical_mesh, Client, MeshResult, QueryOpts, QueryScope, WireError};
 use dm_server::{Server, ServerConfig};
 use dm_storage::{
     thread_reads, BufferPool, FaultConfig, FaultInjector, FileStore, MemStore, PageStore,
@@ -94,6 +94,7 @@ const COLD: QueryOpts = QueryOpts {
     cold: true,
     degraded: false,
     chunked: false,
+    scope: QueryScope::World,
 };
 
 #[test]
@@ -282,7 +283,7 @@ fn fault_injected_server_degrades_instead_of_crashing() {
                 QueryOpts {
                     cold: i % 2 == 0,
                     degraded: true,
-                    chunked: false,
+                    ..QueryOpts::default()
                 },
                 roi,
                 e,

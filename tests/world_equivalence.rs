@@ -1,0 +1,286 @@
+//! Cross-tile ≡ single-store equivalence: a world split 2×2 out of one
+//! database must answer VI and VD queries **bit-identically** to that
+//! database — for ROIs that cross the tile seams, at any LOD, under
+//! either boundary policy — because the world path fetches with the
+//! same boxes and feeds the merged records through the exact
+//! single-store assembly code.
+//!
+//! A second group serves the same contract under adversity: 1% transient
+//! read faults on every tile store and a degraded open of one tile must
+//! still produce bit-identical answers whenever the query reports clean
+//! (retries healed every fault), and valid degraded meshes otherwise.
+
+use std::sync::Arc;
+
+use dm_core::{
+    BoundaryPolicy, DirectMeshDb, DmBuildOptions, FetchCounters, IntegrityReport, VdQuery,
+};
+use dm_geom::{Rect, Vec2};
+use dm_mtm::builder::{build_pm, PmBuildConfig};
+use dm_storage::{BufferPool, FaultConfig, MemStore};
+use dm_terrain::{generate, TriMesh};
+use dm_world::{split_world_in_memory, write_split_world, WorldDb, WorldOptions};
+use proptest::prelude::*;
+
+fn build_db(side: usize, seed: u64) -> DirectMeshDb {
+    let hf = generate::fractal_terrain(side, side, seed);
+    let pm = build_pm(TriMesh::from_heightfield(&hf), &PmBuildConfig::default());
+    let pool = Arc::new(BufferPool::new(Box::new(MemStore::new()), 8192));
+    DirectMeshDb::build(pool, &pm, &DmBuildOptions::default())
+}
+
+/// An ROI guaranteed to straddle both seams of a 2×2 split: corners on
+/// opposite sides of the midlines in both axes.
+fn seam_roi(b: Rect, fx0: f64, fy0: f64, fx1: f64, fy1: f64) -> Rect {
+    let at = |f: f64, lo: f64, span: f64| lo + f * span;
+    Rect::from_corners(
+        Vec2::new(at(fx0, b.min.x, b.width()), at(fy0, b.min.y, b.height())),
+        Vec2::new(at(fx1, b.min.x, b.width()), at(fy1, b.min.y, b.height())),
+    )
+}
+
+fn vd_query(db_e_max: f64, roi: Rect, eye: Vec2) -> VdQuery {
+    VdQuery::from_viewpoint(roi, eye, db_e_max / 40.0, db_e_max)
+}
+
+fn mesh_fingerprint(front: &dm_mtm::FrontMesh) -> (Vec<u32>, Vec<[f64; 3]>, Vec<[u32; 3]>) {
+    let (mesh, ids) = front.to_trimesh();
+    let verts = mesh
+        .live_vertices()
+        .map(|v| {
+            let p = mesh.position(v);
+            [p.x, p.y, p.z]
+        })
+        .collect();
+    let tris = mesh.live_triangles().map(|t| mesh.triangle(t)).collect();
+    (ids, verts, tris)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// VI across the seam: the tiled world returns the exact node and
+    /// face vectors of the single store, at every sampled LOD.
+    #[test]
+    fn vi_across_seams_is_bit_identical(
+        terrain_seed in 0u64..10_000,
+        side in 17usize..28,
+        fx0 in 0.05..0.45f64,
+        fy0 in 0.05..0.45f64,
+        fx1 in 0.55..0.95f64,
+        fy1 in 0.55..0.95f64,
+        frac in 0.05..0.95f64,
+    ) {
+        let db = build_db(side, terrain_seed);
+        let world = split_world_in_memory(
+            &db, 2, 2, 4096, &DmBuildOptions::default(), WorldOptions::default(),
+        ).unwrap();
+        let roi = seam_roi(db.bounds, fx0, fy0, fx1, fy1);
+        let e = db.e_for_points_fraction(frac);
+        let mut c1 = FetchCounters::default();
+        let mut c2 = FetchCounters::default();
+        let (single, r1) = db.try_vi_query_flat_counted(&roi, e, &mut c1).unwrap();
+        let (tiled, r2) = world.try_vi_query_flat_counted(&roi, e, &mut c2).unwrap();
+        prop_assert!(r1.is_clean() && r2.is_clean());
+        prop_assert_eq!(&single.nodes, &tiled.nodes, "vertex sets differ across the seam");
+        prop_assert_eq!(&single.faces, &tiled.faces, "face sets differ across the seam");
+        prop_assert_eq!(single.fetched_records, tiled.fetched_records);
+    }
+
+    /// VD across the seam: with the world's own strip plan, both paths
+    /// produce the same front — identical vertex ids, bit-identical
+    /// positions, identical triangles — under either boundary policy.
+    #[test]
+    fn vd_across_seams_is_bit_identical(
+        terrain_seed in 0u64..10_000,
+        side in 17usize..28,
+        fx0 in 0.05..0.45f64,
+        fy0 in 0.05..0.45f64,
+        fx1 in 0.55..0.95f64,
+        fy1 in 0.55..0.95f64,
+        eye_fx in -0.2..1.2f64,
+        eye_fy in -0.2..1.2f64,
+        fetch_on_miss in any::<bool>(),
+        max_cubes in 4usize..16,
+    ) {
+        let db = build_db(side, terrain_seed);
+        let world = split_world_in_memory(
+            &db, 2, 2, 4096, &DmBuildOptions::default(), WorldOptions::default(),
+        ).unwrap();
+        let roi = seam_roi(db.bounds, fx0, fy0, fx1, fy1);
+        let eye = Vec2::new(
+            db.bounds.min.x + eye_fx * db.bounds.width(),
+            db.bounds.min.y + eye_fy * db.bounds.height(),
+        );
+        let q = vd_query(db.e_max, roi, eye);
+        let policy = if fetch_on_miss {
+            BoundaryPolicy::FetchOnMiss
+        } else {
+            BoundaryPolicy::Skip
+        };
+        // One strip plan for both sides: the planner sees the same ROI
+        // and viewpoint either way, and a shared plan makes the record
+        // unions comparable strip by strip.
+        let strips = world.plan_multi_base(&q, max_cubes).unwrap();
+        let mut c1 = FetchCounters::default();
+        let mut c2 = FetchCounters::default();
+        let (single, r1) = db
+            .try_vd_multi_base_with_strips_counted(&q, policy, &strips, &mut c1)
+            .unwrap();
+        let (tiled, r2) = world
+            .try_vd_with_strips_counted(&q, policy, &strips, &mut c2)
+            .unwrap();
+        prop_assert!(r1.is_clean() && r2.is_clean());
+        prop_assert_eq!(single.fetched_records, tiled.fetched_records);
+        let (ids1, verts1, tris1) = mesh_fingerprint(&single.front);
+        let (ids2, verts2, tris2) = mesh_fingerprint(&tiled.front);
+        prop_assert_eq!(ids1, ids2, "vertex ids differ under {:?}", policy);
+        // f64 equality here is deliberate: positions must match to the
+        // last bit, not within a tolerance.
+        prop_assert_eq!(verts1, verts2, "positions differ under {:?}", policy);
+        prop_assert_eq!(tris1, tris2, "triangles differ under {:?}", policy);
+    }
+
+    /// The same seam queries with every tile store behind a 1% transient
+    /// fault injector and the world opened degraded: a run whose report
+    /// is clean (retries healed every fault) must still be bit-identical
+    /// to the pristine single store; a degraded run must report its
+    /// losses and still assemble a valid mesh.
+    #[test]
+    fn faulted_degraded_world_heals_to_bit_identical(
+        terrain_seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        fx0 in 0.1..0.4f64,
+        fy0 in 0.1..0.4f64,
+        fx1 in 0.6..0.9f64,
+        fy1 in 0.6..0.9f64,
+        frac in 0.1..0.6f64,
+    ) {
+        let db = build_db(17, terrain_seed);
+        let dir = std::env::temp_dir().join(format!(
+            "dm_world_eq_{}_{terrain_seed}_{fault_seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = write_split_world(&db, 2, 2, &dir, &DmBuildOptions::default()).unwrap();
+        let world = WorldDb::open(
+            &manifest,
+            WorldOptions {
+                degraded: true,
+                fault: Some(FaultConfig::new(fault_seed).with_read_fail_rate(0.01)),
+                ..WorldOptions::default()
+            },
+        )
+        .unwrap();
+        let roi = seam_roi(db.bounds, fx0, fy0, fx1, fy1);
+        let e = db.e_for_points_fraction(frac);
+        let mut c = FetchCounters::default();
+        match world.try_vi_query_flat_counted(&roi, e, &mut c) {
+            Ok((tiled, report)) if report.is_clean() => {
+                let mut c1 = FetchCounters::default();
+                let (single, r1) = db.try_vi_query_flat_counted(&roi, e, &mut c1).unwrap();
+                prop_assert!(r1.is_clean());
+                prop_assert_eq!(&single.nodes, &tiled.nodes);
+                prop_assert_eq!(&single.faces, &tiled.faces);
+            }
+            Ok((tiled, report)) => {
+                // Degraded: losses are reported, never silent, and the
+                // surviving records still form a coherent answer.
+                prop_assert!(report.pages_lost > 0 || !report.errors.is_empty());
+                prop_assert!(!tiled.nodes.is_empty());
+            }
+            // An index-page read that exhausted its retries aborts the
+            // query with a typed error; nothing to compare.
+            Err(_) => {}
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Degraded open of one wounded tile: scribble over part of one tile's
+/// heap, open the world degraded, and check the world (a) answers with a
+/// loss report rather than failing, (b) still answers queries confined
+/// to healthy tiles bit-identically to the pristine store.
+#[test]
+fn degraded_open_of_one_tile_quarantines_the_damage() {
+    let db = build_db(25, 77);
+    let dir = std::env::temp_dir().join(format!("dm_world_wound_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let manifest = write_split_world(&db, 2, 2, &dir, &DmBuildOptions::default()).unwrap();
+
+    // Wound tile 0: scribble over a third of its heap pages. Page
+    // checksums turn the scribble into deterministic read losses.
+    let tile0 = dir.join("tile_0000.dm");
+    let report = {
+        let (pool, catalog) = dm_world::open_region_store(&tile0, 1024, None).unwrap();
+        let heap_pages = dm_core::catalog::read_catalog(&pool, catalog)
+            .unwrap()
+            .heap_pages;
+        drop(pool);
+        let n_corrupt = (heap_pages.len() / 3).max(1);
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&tile0)
+                .unwrap();
+            for &page in heap_pages.iter().take(n_corrupt) {
+                f.seek(SeekFrom::Start(
+                    page as u64 * dm_storage::PAGE_SIZE as u64 + 77,
+                ))
+                .unwrap();
+                f.write_all(b"scribble").unwrap();
+            }
+            f.sync_all().unwrap();
+        }
+        let mut report = IntegrityReport::default();
+        let (pool, catalog) = dm_world::open_region_store(&tile0, 1024, None).unwrap();
+        // The wounded tile opens degraded on its own — the world-level
+        // degraded open goes through exactly this path per region.
+        DirectMeshDb::open_degraded_at(pool, catalog, &mut report).unwrap();
+        report
+    };
+    assert!(!report.is_clean(), "corruption must be visible at open");
+
+    let world = WorldDb::open(
+        &manifest,
+        WorldOptions {
+            degraded: true,
+            ..WorldOptions::default()
+        },
+    )
+    .unwrap();
+
+    // A world-spanning query answers (degraded, never failing) and
+    // reports the wounded tile's losses rather than silently thinning
+    // the mesh.
+    let e = db.e_for_points_fraction(0.3);
+    let mut c = FetchCounters::default();
+    let (whole, whole_report) = world
+        .try_vi_query_flat_counted(&db.bounds, e, &mut c)
+        .expect("degraded world answers world-spanning queries");
+    assert!(!whole.nodes.is_empty());
+    assert!(
+        !whole_report.is_clean(),
+        "a third of tile 0's heap is gone; the world query must say so"
+    );
+
+    // Tile 3 (far corner from tile 0) is healthy: a query confined to
+    // its interior must be bit-identical to the pristine single store.
+    let b = db.bounds;
+    let healthy = Rect::from_corners(
+        Vec2::new(b.min.x + b.width() * 0.6, b.min.y + b.height() * 0.6),
+        Vec2::new(b.min.x + b.width() * 0.95, b.min.y + b.height() * 0.95),
+    );
+    let mut c1 = FetchCounters::default();
+    let mut c2 = FetchCounters::default();
+    let (single, r1) = db.try_vi_query_flat_counted(&healthy, e, &mut c1).unwrap();
+    let (tiled, r2) = world
+        .try_vi_query_flat_counted(&healthy, e, &mut c2)
+        .unwrap();
+    assert!(r1.is_clean() && r2.is_clean());
+    assert_eq!(single.nodes, tiled.nodes);
+    assert_eq!(single.faces, tiled.faces);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
